@@ -1,0 +1,189 @@
+//! Box-plot data for the fault sweeps (Figs. 15 and 16).
+//!
+//! Figs. 15/16 show, for each fault count `f ∈ {0,…,5}`, box plots of the
+//! per-run skew order statistics (`min`, `q5`, `avg`, `q95`, `max` —
+//! the paper's `σ^op_ρ` / `σ̂^op_ρ`): every run contributes one value per
+//! op, and the box summarizes the 250-run distribution of that value.
+
+use crate::stats::{quantile_sorted, Summary};
+
+/// The per-run op being box-plotted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Op {
+    /// Per-run minimum.
+    Min,
+    /// Per-run 5% quantile.
+    Q05,
+    /// Per-run average.
+    Avg,
+    /// Per-run 95% quantile.
+    Q95,
+    /// Per-run maximum.
+    Max,
+}
+
+impl Op {
+    /// All ops in display order.
+    pub const ALL: [Op; 5] = [Op::Min, Op::Q05, Op::Avg, Op::Q95, Op::Max];
+
+    /// Extract this op from a per-run summary.
+    pub fn of(self, s: &Summary) -> f64 {
+        match self {
+            Op::Min => s.min,
+            Op::Q05 => s.q05,
+            Op::Avg => s.avg,
+            Op::Q95 => s.q95,
+            Op::Max => s.max,
+        }
+    }
+
+    /// Display label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Op::Min => "min",
+            Op::Q05 => "q5",
+            Op::Avg => "avg",
+            Op::Q95 => "q95",
+            Op::Max => "max",
+        }
+    }
+}
+
+/// Five-number box summary of a distribution over runs.
+#[derive(Debug, Clone, Copy)]
+pub struct Box {
+    /// Whisker low (distribution minimum).
+    pub lo: f64,
+    /// First quartile.
+    pub q1: f64,
+    /// Median.
+    pub med: f64,
+    /// Third quartile.
+    pub q3: f64,
+    /// Whisker high (distribution maximum).
+    pub hi: f64,
+    /// Number of runs.
+    pub n: usize,
+}
+
+impl Box {
+    /// Build from raw per-run values. Returns `None` on empty input.
+    pub fn from_values(values: &[f64]) -> Option<Box> {
+        if values.is_empty() {
+            return None;
+        }
+        let mut sorted = values.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN"));
+        Some(Box {
+            lo: sorted[0],
+            q1: quantile_sorted(&sorted, 0.25),
+            med: quantile_sorted(&sorted, 0.5),
+            q3: quantile_sorted(&sorted, 0.75),
+            hi: sorted[sorted.len() - 1],
+            n: sorted.len(),
+        })
+    }
+}
+
+/// Box-plot rows for one fault count: for each op, the distribution of that
+/// op's per-run value.
+#[derive(Debug, Clone)]
+pub struct OpBoxes {
+    /// `(op, box)` pairs in [`Op::ALL`] order (ops whose per-run values
+    /// exist).
+    pub boxes: Vec<(Op, Box)>,
+}
+
+/// Compute [`OpBoxes`] from per-run summaries (one [`Summary`] per run).
+pub fn op_boxes(per_run: &[Summary]) -> OpBoxes {
+    let boxes = Op::ALL
+        .iter()
+        .filter_map(|&op| {
+            let vals: Vec<f64> = per_run.iter().map(|s| op.of(s)).collect();
+            Box::from_values(&vals).map(|b| (op, b))
+        })
+        .collect();
+    OpBoxes { boxes }
+}
+
+/// CSV rendering: `f,op,lo,q1,med,q3,hi,n` rows for a whole fault sweep.
+pub fn sweep_csv(sweep: &[(usize, OpBoxes)]) -> String {
+    let mut s = String::from("f,op,lo_ns,q1_ns,med_ns,q3_ns,hi_ns,runs\n");
+    for (f, boxes) in sweep {
+        for (op, b) in &boxes.boxes {
+            s.push_str(&format!(
+                "{},{},{:.3},{:.3},{:.3},{:.3},{:.3},{}\n",
+                f,
+                op.label(),
+                b.lo,
+                b.q1,
+                b.med,
+                b.q3,
+                b.hi,
+                b.n
+            ));
+        }
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn box_of_known_values() {
+        let b = Box::from_values(&[1.0, 2.0, 3.0, 4.0, 5.0]).unwrap();
+        assert_eq!(b.lo, 1.0);
+        assert_eq!(b.med, 3.0);
+        assert_eq!(b.hi, 5.0);
+        assert_eq!(b.q1, 2.0);
+        assert_eq!(b.q3, 4.0);
+        assert_eq!(b.n, 5);
+    }
+
+    #[test]
+    fn op_extraction() {
+        let s = Summary::from_ns(&[1.0, 2.0, 3.0]).unwrap();
+        assert_eq!(Op::Min.of(&s), 1.0);
+        assert_eq!(Op::Max.of(&s), 3.0);
+        assert_eq!(Op::Avg.of(&s), 2.0);
+    }
+
+    #[test]
+    fn op_boxes_from_runs() {
+        let runs: Vec<Summary> = (0..10)
+            .map(|i| Summary::from_ns(&[i as f64, i as f64 + 1.0, i as f64 + 2.0]).unwrap())
+            .collect();
+        let boxes = op_boxes(&runs);
+        assert_eq!(boxes.boxes.len(), 5);
+        // The "max" op distribution spans [2, 11].
+        let (_, max_box) = boxes.boxes.iter().find(|(op, _)| *op == Op::Max).unwrap();
+        assert_eq!(max_box.lo, 2.0);
+        assert_eq!(max_box.hi, 11.0);
+    }
+
+    #[test]
+    fn sweep_csv_format() {
+        let runs: Vec<Summary> = (0..4)
+            .map(|i| Summary::from_ns(&[i as f64, i as f64 + 1.0]).unwrap())
+            .collect();
+        let sweep = vec![(0, op_boxes(&runs)), (1, op_boxes(&runs))];
+        let csv = sweep_csv(&sweep);
+        assert!(csv.starts_with("f,op"));
+        assert_eq!(csv.lines().count(), 1 + 2 * 5);
+    }
+
+    proptest! {
+        /// A box is always ordered lo ≤ q1 ≤ med ≤ q3 ≤ hi.
+        #[test]
+        fn prop_box_order(values in prop::collection::vec(-1e5f64..1e5, 1..200)) {
+            let b = Box::from_values(&values).unwrap();
+            prop_assert!(b.lo <= b.q1 + 1e-9);
+            prop_assert!(b.q1 <= b.med + 1e-9);
+            prop_assert!(b.med <= b.q3 + 1e-9);
+            prop_assert!(b.q3 <= b.hi + 1e-9);
+        }
+    }
+}

@@ -1,0 +1,408 @@
+//! Causal links and left zig-zag paths (Definitions 1 and 2), with
+//! executable checks of Lemma 1 and Lemma 2.
+//!
+//! In an execution, a node is **left- / centrally / right-triggered**
+//! according to which guard alternative fired it; both links of that
+//! alternative are *causal*. The **left zig-zag path** `p^{i′→(ℓ,i)}_left`
+//! backtraces causal links from `(ℓ, i)`: if the current origin `(ℓ′, j)`
+//! was left-triggered, prepend the rightward link from `(ℓ′, j−1)`;
+//! otherwise prepend the up-left link from `(ℓ′−1, j+1)`. The construction
+//! terminates when an up-left step (i) reaches the target column `i′` with
+//! more up-left than rightward links (a **triangular** path) or (ii)
+//! reaches layer 0 (**non-triangular**).
+//!
+//! These paths are the engine of the worst-case analysis; running their
+//! construction against simulated executions gives an executable check of
+//! the paper's proofs:
+//!
+//! * **Lemma 1**: the construction always terminates, and every prefix of a
+//!   triangular path is triangular;
+//! * **Lemma 2**: for a prefix starting at `(ℓ′, i′)` and ending at
+//!   `(ℓ, i)` with surplus `r = #upleft − #rightward > 0`:
+//!   `t_{ℓ,i′} ≤ t_{ℓ,i} + r·d− + (ℓ−ℓ′)·ε`.
+
+use hex_core::{Coord, HexGrid, TriggerCause};
+use hex_des::Duration;
+use hex_sim::PulseView;
+
+/// A link of a left zig-zag path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ZigZagLink {
+    /// `((ℓ, j−1), (ℓ, j))` — the origin was the left neighbor.
+    Rightward,
+    /// `((ℓ−1, j+1), (ℓ, j))` — the origin was the lower-right neighbor.
+    UpLeft,
+}
+
+/// How the construction of a left zig-zag path terminated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ZigZagEnd {
+    /// Terminated at the target column `i′` with an up-left surplus.
+    Triangular,
+    /// Terminated at layer 0.
+    NonTriangular,
+}
+
+/// A constructed left zig-zag path.
+#[derive(Debug, Clone)]
+pub struct ZigZag {
+    /// Path nodes from origin to destination (so `nodes.len() == links.len()
+    /// + 1`). Column indices are *unwrapped* (may be negative or ≥ W) so
+    /// that surplus bookkeeping is exact; reduce mod W for lookups.
+    pub nodes: Vec<(u32, i64)>,
+    /// Path links, `links[k]` connecting `nodes[k] → nodes[k+1]`.
+    pub links: Vec<ZigZagLink>,
+    /// Termination kind.
+    pub end: ZigZagEnd,
+}
+
+impl ZigZag {
+    /// Origin coordinate (wrapped to the grid).
+    pub fn origin(&self, grid: &HexGrid) -> Coord {
+        let (l, c) = self.nodes[0];
+        grid.coord_of(grid.node(l, c))
+    }
+
+    /// Number of up-left links minus number of rightward links.
+    pub fn surplus(&self) -> i64 {
+        self.links
+            .iter()
+            .map(|l| match l {
+                ZigZagLink::UpLeft => 1,
+                ZigZagLink::Rightward => -1,
+            })
+            .sum()
+    }
+
+    /// Surplus of the prefix `nodes[0..=k]`.
+    pub fn prefix_surplus(&self, k: usize) -> i64 {
+        self.links[..k]
+            .iter()
+            .map(|l| match l {
+                ZigZagLink::UpLeft => 1,
+                ZigZagLink::Rightward => -1,
+            })
+            .sum()
+    }
+}
+
+/// Construct the left zig-zag path `p^{target_col→(ℓ,i)}_left` from the
+/// trigger causes recorded in `view`.
+///
+/// Returns `None` if a needed trigger cause is missing (node never fired —
+/// possible with faults) or if the construction exceeds `4·(L+1)·W` steps
+/// (cannot happen for causally consistent views; guards against malformed
+/// input).
+pub fn left_zigzag(
+    grid: &HexGrid,
+    view: &PulseView,
+    dest_layer: u32,
+    dest_col: i64,
+    target_col: i64,
+) -> Option<ZigZag> {
+    assert!(dest_layer > 0, "destination must be above layer 0");
+    let mut nodes = vec![(dest_layer, dest_col)];
+    let mut links: Vec<ZigZagLink> = Vec::new();
+    let (mut layer, mut col) = (dest_layer, dest_col);
+    let step_cap = 4 * (grid.length() as usize + 1) * grid.width() as usize;
+
+    loop {
+        if links.len() > step_cap {
+            return None;
+        }
+        if layer == 0 {
+            // Can only happen if dest_layer traversal already ended; the
+            // loop breaks before this, but guard anyway.
+            return Some(ZigZag {
+                nodes: reversed(nodes),
+                links: reversed(links),
+                end: ZigZagEnd::NonTriangular,
+            });
+        }
+        let cause = view.trigger_cause(layer, col)?;
+        match cause {
+            TriggerCause::Left => {
+                // Prepend rightward link from (layer, col-1).
+                links.push(ZigZagLink::Rightward);
+                col -= 1;
+                nodes.push((layer, col));
+            }
+            TriggerCause::Central | TriggerCause::Right => {
+                // Prepend up-left link from (layer-1, col+1).
+                links.push(ZigZagLink::UpLeft);
+                layer -= 1;
+                col += 1;
+                nodes.push((layer, col));
+                // Termination checks (Definition 2): performed after adding
+                // an up-left link.
+                let surplus: i64 = links
+                    .iter()
+                    .map(|l| match l {
+                        ZigZagLink::UpLeft => 1,
+                        ZigZagLink::Rightward => -1,
+                    })
+                    .sum();
+                if col == target_col && surplus > 0 {
+                    return Some(ZigZag {
+                        nodes: reversed(nodes),
+                        links: reversed(links),
+                        end: ZigZagEnd::Triangular,
+                    });
+                }
+                if layer == 0 {
+                    return Some(ZigZag {
+                        nodes: reversed(nodes),
+                        links: reversed(links),
+                        end: ZigZagEnd::NonTriangular,
+                    });
+                }
+            }
+            TriggerCause::Source => {
+                return Some(ZigZag {
+                    nodes: reversed(nodes),
+                    links: reversed(links),
+                    end: ZigZagEnd::NonTriangular,
+                });
+            }
+            TriggerCause::Other(_) => return None,
+        }
+    }
+}
+
+fn reversed<T>(mut v: Vec<T>) -> Vec<T> {
+    v.reverse();
+    v
+}
+
+/// Check the Lemma 1 prefix property: every prefix of a triangular path is
+/// triangular, i.e. has positive surplus **at its up-left termination
+/// points**; operationally we verify the path never crosses the target
+/// column with non-positive surplus before its end.
+pub fn check_lemma1_prefixes(zz: &ZigZag) -> bool {
+    if zz.end != ZigZagEnd::Triangular {
+        return true; // vacuous
+    }
+    // For a triangular path ending at the target column with surplus > 0:
+    // walking backwards from the destination, every up-left arrival at the
+    // target column except the final one must have had surplus ≤ 0 (else
+    // the construction would have stopped earlier) — equivalently, the
+    // *final* arrival is the first with positive surplus. Verify by
+    // replaying the construction bookkeeping.
+    let target = zz.nodes[0].1;
+    let mut surplus_from_end = 0i64;
+    // Traverse links from destination side (end of vecs) to origin.
+    for k in (0..zz.links.len()).rev() {
+        surplus_from_end += match zz.links[k] {
+            ZigZagLink::UpLeft => 1,
+            ZigZagLink::Rightward => -1,
+        };
+        let node = zz.nodes[k];
+        let arrived_by_upleft = zz.links[k] == ZigZagLink::UpLeft;
+        let is_origin = k == 0;
+        if arrived_by_upleft && node.1 == target && surplus_from_end > 0 && !is_origin {
+            // Construction should have terminated here already.
+            return false;
+        }
+    }
+    true
+}
+
+/// Check the Lemma 2 inequality on every prefix of `zz` (prefixes start at
+/// the origin): for a prefix ending at `(ℓ, i)` with surplus `r > 0`,
+/// `t_{ℓ, i′} ≤ t_{ℓ, i} + r·d− + (ℓ − ℓ′)·ε` where `(ℓ′, i′)` is the
+/// origin. Prefixes with missing triggering times are skipped. Returns the
+/// number of checked prefixes, or `Err(k)` with the index of the first
+/// violated prefix.
+pub fn check_lemma2(
+    _grid: &HexGrid,
+    view: &PulseView,
+    zz: &ZigZag,
+    d_minus: Duration,
+    epsilon: Duration,
+) -> Result<usize, usize> {
+    if zz.end != ZigZagEnd::Triangular {
+        return Ok(0);
+    }
+    let (origin_layer, origin_col) = zz.nodes[0];
+    let mut checked = 0;
+    for k in 1..zz.nodes.len() {
+        let (layer, col) = zz.nodes[k];
+        if layer == 0 {
+            continue;
+        }
+        // Surplus of the prefix origin..=k, counted over links 0..k.
+        let r = zz.prefix_surplus_from_origin(k);
+        if r <= 0 {
+            continue;
+        }
+        let (Some(t_i), Some(t_target)) = (
+            view.time(layer, col),
+            view.time(layer, origin_col),
+        ) else {
+            continue;
+        };
+        let bound = t_i + d_minus.times(r) + epsilon.times((layer - origin_layer) as i64);
+        if t_target > bound {
+            return Err(k);
+        }
+        checked += 1;
+    }
+    Ok(checked)
+}
+
+impl ZigZag {
+    /// Surplus (#up-left − #rightward) of the prefix from the origin through
+    /// `nodes[k]`, counted in *backtrace* orientation (up-left links go from
+    /// lower-right origin up to the destination side). Since `nodes` is
+    /// stored origin → destination and the links were built destination →
+    /// origin then reversed, `links[..k]` are exactly the links of that
+    /// prefix; an `UpLeft` link contributes +1.
+    fn prefix_surplus_from_origin(&self, k: usize) -> i64 {
+        self.links[..k]
+            .iter()
+            .map(|l| match l {
+                ZigZagLink::UpLeft => 1,
+                ZigZagLink::Rightward => -1,
+            })
+            .sum()
+    }
+}
+
+/// Count trigger causes over a pulse view (diagnostics; the wave plots
+/// color-code these).
+pub fn cause_counts(grid: &HexGrid, view: &PulseView) -> (usize, usize, usize) {
+    let (mut left, mut central, mut right) = (0, 0, 0);
+    for layer in 1..=grid.length() {
+        for col in 0..grid.width() {
+            match view.trigger_cause(layer, col as i64) {
+                Some(TriggerCause::Left) => left += 1,
+                Some(TriggerCause::Central) => central += 1,
+                Some(TriggerCause::Right) => right += 1,
+                _ => {}
+            }
+        }
+    }
+    (left, central, right)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hex_core::{D_MINUS, EPSILON};
+    use hex_des::{Schedule, Time};
+    use hex_sim::{simulate, PulseView, SimConfig};
+
+    fn zero_view(l: u32, w: u32, seed: u64) -> (HexGrid, PulseView) {
+        let grid = HexGrid::new(l, w);
+        let sched = Schedule::single_pulse(vec![Time::ZERO; w as usize]);
+        let trace = simulate(grid.graph(), &sched, &SimConfig::fault_free(), seed);
+        (grid.clone(), PulseView::from_single_pulse(&grid, &trace))
+    }
+
+    #[test]
+    fn zigzag_terminates_and_is_causal() {
+        let (grid, view) = zero_view(8, 10, 1);
+        for col in 0..10i64 {
+            let zz = left_zigzag(&grid, &view, 8, col, col + 1).expect("path exists");
+            assert!(!zz.links.is_empty());
+            assert_eq!(*zz.nodes.last().unwrap(), (8, col));
+            // Causality: times strictly increase by ≥ d- along the path
+            // where both endpoints are above layer 0.
+            for k in 0..zz.links.len() {
+                let (la, ca) = zz.nodes[k];
+                let (lb, cb) = zz.nodes[k + 1];
+                let (Some(ta), Some(tb)) = (view.time(la, ca), view.time(lb, cb)) else {
+                    continue;
+                };
+                assert!(
+                    tb - ta >= D_MINUS,
+                    "link {k} of path to col {col} not causal: {:?} -> {:?}",
+                    ta,
+                    tb
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn zero_scenario_paths_reach_layer0_or_triangle() {
+        let (grid, view) = zero_view(6, 8, 2);
+        for col in 0..8i64 {
+            let zz = left_zigzag(&grid, &view, 6, col, col + 1).unwrap();
+            match zz.end {
+                ZigZagEnd::NonTriangular => assert_eq!(zz.nodes[0].0, 0),
+                ZigZagEnd::Triangular => {
+                    assert_eq!(zz.nodes[0].1, col + 1);
+                    assert!(zz.surplus() > 0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lemma1_prefix_property_holds_in_simulation() {
+        for seed in 0..10 {
+            let (grid, view) = zero_view(8, 8, seed);
+            for col in 0..8i64 {
+                if let Some(zz) = left_zigzag(&grid, &view, 8, col, col + 1) {
+                    assert!(check_lemma1_prefixes(&zz), "seed {seed} col {col}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lemma2_holds_in_simulation() {
+        let mut total_checked = 0;
+        for seed in 0..20 {
+            let (grid, view) = zero_view(10, 10, seed);
+            for layer in [4u32, 7, 10] {
+                for col in 0..10i64 {
+                    if let Some(zz) = left_zigzag(&grid, &view, layer, col, col + 1) {
+                        match check_lemma2(&grid, &view, &zz, D_MINUS, EPSILON) {
+                            Ok(n) => total_checked += n,
+                            Err(k) => panic!("Lemma 2 violated at prefix {k} (seed {seed}, layer {layer}, col {col})"),
+                        }
+                    }
+                }
+            }
+        }
+        assert!(total_checked > 0, "no triangular prefixes were exercised");
+    }
+
+    #[test]
+    fn lemma2_detects_fabricated_violation() {
+        // Fabricate a view where the target column fires absurdly late at
+        // the destination layer: the full-path prefix (which always has
+        // surplus > 0 for a triangular path) must then violate the bound.
+        let mut found = false;
+        'seeds: for seed in 0..50u64 {
+            let (grid, mut view) = zero_view(6, 8, seed);
+            for col in 0..8i64 {
+                if let Some(zz) = left_zigzag(&grid, &view, 6, col, col + 1) {
+                    if zz.end == ZigZagEnd::Triangular {
+                        let w = grid.width() as i64;
+                        let tcol = (col + 1).rem_euclid(w) as usize;
+                        view.t[6][tcol] = Some(Time::from_ns(10_000.0));
+                        assert!(
+                            check_lemma2(&grid, &view, &zz, D_MINUS, EPSILON).is_err(),
+                            "seed {seed} col {col}: fabricated violation undetected"
+                        );
+                        found = true;
+                        break 'seeds;
+                    }
+                }
+            }
+        }
+        assert!(found, "no triangular path found across 50 seeds");
+    }
+
+    #[test]
+    fn cause_counts_sum_to_forwarders() {
+        let (grid, view) = zero_view(5, 6, 4);
+        let (l, c, r) = cause_counts(&grid, &view);
+        assert_eq!(l + c + r, 5 * 6);
+        // With zero layer-0 skew, central triggering dominates.
+        assert!(c >= l && c >= r, "central {c} should dominate ({l}, {r})");
+    }
+}

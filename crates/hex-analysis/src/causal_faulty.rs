@@ -1,0 +1,669 @@
+//! Fault-avoiding causal paths (Appendix A).
+//!
+//! The worst-case analysis of Section 3 backtraces *causal paths* — chains
+//! of links that belong to satisfied guard pairs — towards layer 0. With a
+//! Byzantine node in the grid this machinery breaks in two ways (Appendix
+//! A): the faulty node can (i) "shortcut" a causal path to the fast node
+//! (a stuck-1 link sets a memory flag without a real message behind it) and
+//! (ii) refrain from sending to delay the slow node. The appendix repairs
+//! the construction by **evading** the faulty node: whenever the backtrace
+//! would step onto it, it follows *the other causal link of the satisfied
+//! guard pair* instead, which exists, has a correct origin (Condition 1
+//! allows at most one faulty in-neighbor), and costs only `O(d+)` of bound
+//! slack per detour.
+//!
+//! This module is the executable version of that argument. It generalizes
+//! the left zig-zag construction of [`crate::causal`] with two *evasion*
+//! link kinds and verifies, on recorded executions:
+//!
+//! * the construction terminates and never visits a faulty node;
+//! * every traversed link is causal in time (`t_dst − t_src ≥ d−`);
+//! * a relaxed Lemma 2 holds, with `O(d+)` slack per detour
+//!   ([`check_lemma2_relaxed`]).
+
+use std::collections::BTreeSet;
+
+use hex_core::{HexGrid, NodeId, TriggerCause};
+use hex_des::Duration;
+use hex_sim::PulseView;
+
+/// A link of a fault-avoiding causal path, in backtrace orientation
+/// (the path is *stored* origin → destination, like [`crate::causal::ZigZag`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AvoidLink {
+    /// `((ℓ, j−1), (ℓ, j))` — regular zig-zag step via the left neighbor.
+    Rightward,
+    /// `((ℓ−1, j+1), (ℓ, j))` — regular zig-zag step via the lower-right
+    /// neighbor.
+    UpLeft,
+    /// `((ℓ−1, j), (ℓ, j))` — **evasion** via the lower-left neighbor
+    /// (taken when the regular step's origin is faulty and the satisfied
+    /// guard was (left ∧ lower-left) or (lower-left ∧ lower-right)).
+    UpRight,
+    /// `((ℓ, j+1), (ℓ, j))` — **evasion** via the right neighbor (taken
+    /// when the lower-right origin of a right-triggered node is faulty).
+    Leftward,
+}
+
+impl AvoidLink {
+    /// `(Δlayer, Δcol)` of the backtrace step (destination → origin).
+    pub fn step(self) -> (i64, i64) {
+        match self {
+            AvoidLink::Rightward => (0, -1),
+            AvoidLink::UpLeft => (-1, 1),
+            AvoidLink::UpRight => (-1, 0),
+            AvoidLink::Leftward => (0, 1),
+        }
+    }
+
+    /// True for the two evasion kinds.
+    pub fn is_detour(self) -> bool {
+        matches!(self, AvoidLink::UpRight | AvoidLink::Leftward)
+    }
+}
+
+/// How a fault-avoiding construction terminated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AvoidEnd {
+    /// Reached the target column via an up-left step with positive surplus.
+    Triangular,
+    /// Reached layer 0.
+    Layer0,
+}
+
+/// A constructed fault-avoiding causal path.
+#[derive(Debug, Clone)]
+pub struct AvoidPath {
+    /// Path nodes origin → destination; columns are unwrapped (reduce mod
+    /// `W` for grid lookups).
+    pub nodes: Vec<(u32, i64)>,
+    /// Path links, `links[k]` connecting `nodes[k] → nodes[k+1]`.
+    pub links: Vec<AvoidLink>,
+    /// Termination kind.
+    pub end: AvoidEnd,
+}
+
+impl AvoidPath {
+    /// Number of evasion (detour) links on the path.
+    pub fn detours(&self) -> usize {
+        self.links.iter().filter(|l| l.is_detour()).count()
+    }
+
+    /// `#UpLeft − #Rightward` over the whole path (Definition 2's surplus;
+    /// detour links do not count).
+    pub fn surplus(&self) -> i64 {
+        self.links
+            .iter()
+            .map(|l| match l {
+                AvoidLink::UpLeft => 1,
+                AvoidLink::Rightward => -1,
+                _ => 0,
+            })
+            .sum()
+    }
+
+    /// Surplus of the prefix `links[..k]` (origin side).
+    pub fn prefix_surplus(&self, k: usize) -> i64 {
+        self.links[..k]
+            .iter()
+            .map(|l| match l {
+                AvoidLink::UpLeft => 1,
+                AvoidLink::Rightward => -1,
+                _ => 0,
+            })
+            .sum()
+    }
+
+    /// Detour count of the prefix `links[..k]`.
+    pub fn prefix_detours(&self, k: usize) -> usize {
+        self.links[..k].iter().filter(|l| l.is_detour()).count()
+    }
+}
+
+/// Fast faulty-coordinate lookup for a grid.
+#[derive(Debug, Clone, Default)]
+pub struct FaultSet {
+    coords: BTreeSet<(u32, u32)>,
+}
+
+impl FaultSet {
+    /// Build from faulty node ids.
+    pub fn new(grid: &HexGrid, faulty: &[NodeId]) -> Self {
+        FaultSet {
+            coords: faulty
+                .iter()
+                .map(|&n| {
+                    let c = grid.coord_of(n);
+                    (c.layer, c.col)
+                })
+                .collect(),
+        }
+    }
+
+    /// True iff `(layer, col)` (cyclic column) is faulty.
+    pub fn contains(&self, grid: &HexGrid, layer: u32, col: i64) -> bool {
+        let w = grid.width() as i64;
+        self.coords
+            .contains(&(layer, col.rem_euclid(w) as u32))
+    }
+
+    /// Number of faults.
+    pub fn len(&self) -> usize {
+        self.coords.len()
+    }
+
+    /// True iff no faults.
+    pub fn is_empty(&self) -> bool {
+        self.coords.is_empty()
+    }
+}
+
+/// Construct the fault-avoiding left zig-zag path from `(dest_layer,
+/// dest_col)` towards `target_col`, evading nodes in `faults`.
+///
+/// The regular step follows [`crate::causal::left_zigzag`]'s rules; when
+/// its origin is faulty, the *other* causal link of the recorded guard pair
+/// is taken:
+///
+/// | recorded cause | regular origin | evasion origin |
+/// |---|---|---|
+/// | left-triggered | left `(ℓ, j−1)` | lower-left `(ℓ−1, j)` |
+/// | centrally triggered | lower-right `(ℓ−1, j+1)` | lower-left `(ℓ−1, j)` |
+/// | right-triggered | lower-right `(ℓ−1, j+1)` | right `(ℓ, j+1)` |
+///
+/// Both links of a satisfied pair are causal (Definition 1), and under
+/// Condition 1 at most one in-neighbor is faulty, so the evasion origin is
+/// always correct.
+///
+/// Returns `None` if the destination is faulty, a needed trigger cause is
+/// missing (starved node — cannot happen under Condition 1 with `f ≤ 1`),
+/// or the step cap is exceeded (malformed input).
+pub fn left_zigzag_avoiding(
+    grid: &HexGrid,
+    view: &PulseView,
+    faults: &FaultSet,
+    dest_layer: u32,
+    dest_col: i64,
+    target_col: i64,
+) -> Option<AvoidPath> {
+    assert!(dest_layer > 0, "destination must be above layer 0");
+    if faults.contains(grid, dest_layer, dest_col) {
+        return None;
+    }
+    let mut nodes = vec![(dest_layer, dest_col)];
+    let mut links: Vec<AvoidLink> = Vec::new();
+    let (mut layer, mut col) = (dest_layer, dest_col);
+    let step_cap = 8 * (grid.length() as usize + 1) * grid.width() as usize;
+    let mut surplus = 0i64;
+
+    loop {
+        if links.len() > step_cap {
+            return None;
+        }
+        let cause = view.trigger_cause(layer, col)?;
+        let link = match cause {
+            TriggerCause::Left => {
+                if faults.contains(grid, layer, col - 1) {
+                    AvoidLink::UpRight // evade via lower-left (ℓ−1, j)
+                } else {
+                    AvoidLink::Rightward
+                }
+            }
+            TriggerCause::Central => {
+                if faults.contains(grid, layer - 1, col + 1) {
+                    AvoidLink::UpRight
+                } else {
+                    AvoidLink::UpLeft
+                }
+            }
+            TriggerCause::Right => {
+                if faults.contains(grid, layer - 1, col + 1) {
+                    AvoidLink::Leftward // evade via the right neighbor
+                } else {
+                    AvoidLink::UpLeft
+                }
+            }
+            TriggerCause::Source => {
+                return Some(AvoidPath {
+                    nodes: reversed(nodes),
+                    links: reversed(links),
+                    end: AvoidEnd::Layer0,
+                });
+            }
+            TriggerCause::Other(_) => return None,
+        };
+        let (dl, dc) = link.step();
+        match link {
+            AvoidLink::UpLeft => surplus += 1,
+            AvoidLink::Rightward => surplus -= 1,
+            _ => {}
+        }
+        layer = (layer as i64 + dl) as u32;
+        col += dc;
+        links.push(link);
+        nodes.push((layer, col));
+        // Termination mirrors Definition 2: only an up-left arrival on the
+        // target column with positive surplus ends the triangle; hitting
+        // layer 0 ends the walk regardless of the step kind.
+        if link == AvoidLink::UpLeft && col == target_col && surplus > 0 {
+            return Some(AvoidPath {
+                nodes: reversed(nodes),
+                links: reversed(links),
+                end: AvoidEnd::Triangular,
+            });
+        }
+        if layer == 0 {
+            return Some(AvoidPath {
+                nodes: reversed(nodes),
+                links: reversed(links),
+                end: AvoidEnd::Layer0,
+            });
+        }
+    }
+}
+
+/// Appendix A's target-column shifts: when the fault sits in column `i` or
+/// `i + 1`, the construction falls back to `p^{i+2}` or `p^{i+3}` so the
+/// path can pass the fault on its right. Tries `target_col = dest_col + 1,
+/// +2, +3` in order and returns the first success together with the shift
+/// `k ∈ {1, 2, 3}` used.
+pub fn left_zigzag_with_shift(
+    grid: &HexGrid,
+    view: &PulseView,
+    faults: &FaultSet,
+    dest_layer: u32,
+    dest_col: i64,
+) -> Option<(AvoidPath, i64)> {
+    for shift in 1..=3i64 {
+        if let Some(p) = left_zigzag_avoiding(
+            grid,
+            view,
+            faults,
+            dest_layer,
+            dest_col,
+            dest_col + shift,
+        ) {
+            return Some((p, shift));
+        }
+    }
+    None
+}
+
+/// Verify that every link of `path` is causal in time: the origin fired at
+/// least `d−` before the endpoint. Returns the number of checked links, or
+/// `Err(k)` for the first violated link. Links with a missing endpoint time
+/// (layer-0 source entries always have one; starved nodes never appear on
+/// valid paths) are counted as violations.
+pub fn check_causality(
+    view: &PulseView,
+    path: &AvoidPath,
+    d_minus: Duration,
+) -> Result<usize, usize> {
+    let mut checked = 0;
+    for k in 0..path.links.len() {
+        let (la, ca) = path.nodes[k];
+        let (lb, cb) = path.nodes[k + 1];
+        let (Some(ta), Some(tb)) = (view.time(la, ca), view.time(lb, cb)) else {
+            return Err(k);
+        };
+        if tb - ta < d_minus {
+            return Err(k);
+        }
+        checked += 1;
+    }
+    Ok(checked)
+}
+
+/// Relaxed Lemma 2 (Appendix A): for a prefix of a triangular
+/// fault-avoiding path that starts at the origin `(ℓ′, i′)` and ends at
+/// `(ℓ, i)` with surplus `r > 0`, `c` detours and `g` faults inside the
+/// prefix's triangle,
+///
+/// `t_{ℓ, i_target} ≤ t_{ℓ, i} + r·d− + (ℓ − ℓ′)·ε + (c + g)·slack_hops·d+`.
+///
+/// With no faults this is exactly Lemma 2. A fault degrades the bound in
+/// two ways, each worth `O(d+)` (Appendix A):
+///
+/// * **on the path** — the construction evades it, one detour link (`c`);
+/// * **inside the triangle** (Fig. A.23) — Lemma 2's diagonal induction
+///   stalls where the fault's out-neighbors need side support, delaying
+///   each by up to `2·d+` before the wave re-forms (`g`).
+///
+/// The triangle of a prefix ending at `(ℓ, i)` is the Lemma-2 region with
+/// corners `(ℓ′, i′)`, `(ℓ, i′ − (ℓ − ℓ′))`, `(ℓ, i′)`: at layer
+/// `λ ∈ [ℓ′, ℓ]` the columns `i′ − (λ − ℓ′) ..= i′`.
+///
+/// Returns the number of checked prefixes or `Err(k)` for the first
+/// violation.
+#[allow(clippy::too_many_arguments)]
+pub fn check_lemma2_relaxed(
+    grid: &HexGrid,
+    view: &PulseView,
+    faults: &FaultSet,
+    path: &AvoidPath,
+    target_col: i64,
+    d_minus: Duration,
+    d_plus: Duration,
+    epsilon: Duration,
+    slack_hops: i64,
+) -> Result<usize, usize> {
+    if path.end != AvoidEnd::Triangular {
+        return Ok(0);
+    }
+    let (origin_layer, origin_col) = path.nodes[0];
+    let mut checked = 0;
+    for k in 1..path.nodes.len() {
+        let (layer, col) = path.nodes[k];
+        if layer == 0 {
+            continue;
+        }
+        let r = path.prefix_surplus(k);
+        if r <= 0 {
+            continue;
+        }
+        let c = path.prefix_detours(k) as i64;
+        let g = faults_in_triangle(grid, faults, origin_layer, origin_col, layer) as i64;
+        let (Some(t_i), Some(t_target)) = (view.time(layer, col), view.time(layer, target_col))
+        else {
+            continue;
+        };
+        let bound = t_i
+            + d_minus.times(r)
+            + epsilon.times((layer - origin_layer) as i64)
+            + d_plus.times((c + g) * slack_hops);
+        if t_target > bound {
+            return Err(k);
+        }
+        checked += 1;
+    }
+    Ok(checked)
+}
+
+/// Count faults inside the Lemma-2 triangle with lower corner
+/// `(origin_layer, origin_col)` and top layer `top`: at layer
+/// `λ ∈ [origin_layer, top]`, columns `origin_col − (λ − origin_layer)
+/// ..= origin_col`.
+pub fn faults_in_triangle(
+    grid: &HexGrid,
+    faults: &FaultSet,
+    origin_layer: u32,
+    origin_col: i64,
+    top: u32,
+) -> usize {
+    if faults.is_empty() {
+        return 0;
+    }
+    let mut count = 0;
+    for layer in origin_layer..=top {
+        let span = (layer - origin_layer) as i64;
+        for col in (origin_col - span)..=origin_col {
+            if faults.contains(grid, layer, col) {
+                count += 1;
+            }
+        }
+    }
+    count
+}
+
+/// Statistics of fault-avoiding constructions over a whole pulse view:
+/// how many paths needed evading, how many detour links were taken, and
+/// which target shifts were needed. Printed by the `appendix_a`
+/// regenerator.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct AvoidStats {
+    /// Paths constructed (one per correct destination probed).
+    pub paths: usize,
+    /// Paths containing at least one detour link.
+    pub with_detours: usize,
+    /// Total detour links.
+    pub detour_links: usize,
+    /// Paths per target shift `k = 1, 2, 3` (index `k − 1`).
+    pub shifts: [usize; 3],
+    /// Triangular terminations.
+    pub triangular: usize,
+    /// Layer-0 terminations.
+    pub layer0: usize,
+}
+
+/// Probe every correct node of `layer` (all columns) and collect
+/// [`AvoidStats`]. Panics if a construction fails (which would falsify
+/// Appendix A for this execution — under Condition 1 with `f = 1` every
+/// correct node is reachable).
+pub fn collect_avoid_stats(
+    grid: &HexGrid,
+    view: &PulseView,
+    faults: &FaultSet,
+    layer: u32,
+) -> AvoidStats {
+    let mut stats = AvoidStats::default();
+    for col in 0..grid.width() as i64 {
+        if faults.contains(grid, layer, col) {
+            continue;
+        }
+        let (path, shift) = left_zigzag_with_shift(grid, view, faults, layer, col)
+            .unwrap_or_else(|| panic!("no fault-avoiding path to ({layer},{col})"));
+        stats.paths += 1;
+        if path.detours() > 0 {
+            stats.with_detours += 1;
+        }
+        stats.detour_links += path.detours();
+        stats.shifts[(shift - 1) as usize] += 1;
+        match path.end {
+            AvoidEnd::Triangular => stats.triangular += 1,
+            AvoidEnd::Layer0 => stats.layer0 += 1,
+        }
+    }
+    stats
+}
+
+fn reversed<T>(mut v: Vec<T>) -> Vec<T> {
+    v.reverse();
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::causal::{left_zigzag, ZigZagEnd, ZigZagLink};
+    use hex_core::{FaultPlan, NodeFault, D_MINUS, D_PLUS, EPSILON};
+    use hex_des::{Schedule, Time};
+    use hex_sim::{simulate, SimConfig};
+
+    fn run(
+        l: u32,
+        w: u32,
+        faults: FaultPlan,
+        seed: u64,
+    ) -> (HexGrid, PulseView, FaultSet) {
+        let grid = HexGrid::new(l, w);
+        let sched = Schedule::single_pulse(vec![Time::ZERO; w as usize]);
+        let cfg = SimConfig {
+            faults: faults.clone(),
+            ..SimConfig::fault_free()
+        };
+        let trace = simulate(grid.graph(), &sched, &cfg, seed);
+        let view = PulseView::from_single_pulse(&grid, &trace);
+        let fs = FaultSet::new(&grid, &faults.faulty_nodes());
+        (grid, view, fs)
+    }
+
+    #[test]
+    fn fault_free_reduces_to_plain_zigzag() {
+        let (grid, view, fs) = run(8, 10, FaultPlan::none(), 1);
+        for col in 0..10i64 {
+            let plain = left_zigzag(&grid, &view, 8, col, col + 1).unwrap();
+            let avoid =
+                left_zigzag_avoiding(&grid, &view, &fs, 8, col, col + 1).unwrap();
+            assert_eq!(avoid.detours(), 0, "col {col}: fault-free must not detour");
+            assert_eq!(plain.nodes, avoid.nodes, "col {col}: node sequences differ");
+            let plain_kinds: Vec<AvoidLink> = plain
+                .links
+                .iter()
+                .map(|l| match l {
+                    ZigZagLink::Rightward => AvoidLink::Rightward,
+                    ZigZagLink::UpLeft => AvoidLink::UpLeft,
+                })
+                .collect();
+            assert_eq!(plain_kinds, avoid.links);
+            match (plain.end, avoid.end) {
+                (ZigZagEnd::Triangular, AvoidEnd::Triangular)
+                | (ZigZagEnd::NonTriangular, AvoidEnd::Layer0) => {}
+                other => panic!("col {col}: termination mismatch {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn avoids_planted_fault() {
+        // Plant a fail-silent node and verify no constructed path touches
+        // it, across destinations and seeds.
+        for seed in 0..12u64 {
+            let grid0 = HexGrid::new(10, 9);
+            let victim = grid0.node(3, 4);
+            let plan = FaultPlan::none().with_node(victim, NodeFault::FailSilent);
+            let (grid, view, fs) = run(10, 9, plan, seed);
+            for col in 0..9i64 {
+                let Some((path, _)) =
+                    left_zigzag_with_shift(&grid, &view, &fs, 10, col)
+                else {
+                    panic!("seed {seed} col {col}: construction failed");
+                };
+                for &(l, c) in &path.nodes {
+                    assert!(
+                        !fs.contains(&grid, l, c),
+                        "seed {seed} col {col}: path visits fault at ({l},{c})"
+                    );
+                }
+                assert!(check_causality(&view, &path, D_MINUS).is_ok());
+            }
+        }
+    }
+
+    #[test]
+    fn byzantine_fault_paths_stay_causal() {
+        for seed in 0..12u64 {
+            let grid0 = HexGrid::new(10, 9);
+            let victim = grid0.node(2, 1);
+            let plan = FaultPlan::none().with_node(victim, NodeFault::Byzantine);
+            let (grid, view, fs) = run(10, 9, plan, 100 + seed);
+            for layer in [4u32, 10] {
+                for col in 0..9i64 {
+                    if fs.contains(&grid, layer, col) {
+                        continue;
+                    }
+                    let (path, _) = left_zigzag_with_shift(&grid, &view, &fs, layer, col)
+                        .expect("path exists");
+                    check_causality(&view, &path, D_MINUS)
+                        .unwrap_or_else(|k| panic!("non-causal link {k} (seed {seed})"));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn relaxed_lemma2_holds_with_single_fault() {
+        let mut checked = 0usize;
+        for seed in 0..10u64 {
+            let grid0 = HexGrid::new(12, 10);
+            let victim = grid0.node(4, 5);
+            let plan = FaultPlan::none().with_node(victim, NodeFault::Byzantine);
+            let (grid, view, fs) = run(12, 10, plan, 200 + seed);
+            for layer in [6u32, 12] {
+                for col in 0..10i64 {
+                    if fs.contains(&grid, layer, col) {
+                        continue;
+                    }
+                    let Some((path, shift)) =
+                        left_zigzag_with_shift(&grid, &view, &fs, layer, col)
+                    else {
+                        continue;
+                    };
+                    match check_lemma2_relaxed(
+                        &grid,
+                        &view,
+                        &fs,
+                        &path,
+                        col + shift,
+                        D_MINUS,
+                        D_PLUS,
+                        EPSILON,
+                        3,
+                    ) {
+                        Ok(n) => checked += n,
+                        Err(k) => panic!(
+                            "seed {seed} ({layer},{col}): relaxed Lemma 2 violated at {k}"
+                        ),
+                    }
+                }
+            }
+        }
+        assert!(checked > 30, "only {checked} prefixes exercised");
+    }
+
+    #[test]
+    fn detours_only_occur_near_the_fault() {
+        // A fault far to the "slow" side of the probed region never forces
+        // detours for paths that stay away from it; we at least verify
+        // detour links are adjacent to the fault when they occur.
+        for seed in 0..8u64 {
+            let grid0 = HexGrid::new(10, 12);
+            let victim = grid0.node(5, 6);
+            let plan = FaultPlan::none().with_node(victim, NodeFault::Byzantine);
+            let (grid, view, fs) = run(10, 12, plan, 300 + seed);
+            for col in 0..12i64 {
+                let Some((path, _)) = left_zigzag_with_shift(&grid, &view, &fs, 10, col)
+                else {
+                    continue;
+                };
+                for (k, link) in path.links.iter().enumerate() {
+                    if link.is_detour() {
+                        // The evaded (regular) origin of nodes[k+1] must be
+                        // the faulty node.
+                        let (l, c) = path.nodes[k + 1];
+                        let evaded_is_fault = fs.contains(&grid, l, c - 1)
+                            || fs.contains(&grid, l - 1, c + 1);
+                        assert!(
+                            evaded_is_fault,
+                            "seed {seed} col {col}: detour at ({l},{c}) without adjacent fault"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn stats_cover_whole_layer() {
+        let grid0 = HexGrid::new(8, 10);
+        let victim = grid0.node(3, 3);
+        let plan = FaultPlan::none().with_node(victim, NodeFault::Byzantine);
+        let (grid, view, fs) = run(8, 10, plan, 7);
+        let stats = collect_avoid_stats(&grid, &view, &fs, 8);
+        assert_eq!(stats.paths, 10);
+        assert_eq!(stats.triangular + stats.layer0, stats.paths);
+        assert_eq!(stats.shifts.iter().sum::<usize>(), stats.paths);
+        // Shift 1 dominates: only fault-adjacent columns ever need more.
+        assert!(stats.shifts[0] >= stats.paths - 3);
+    }
+
+    #[test]
+    fn faulty_destination_is_rejected() {
+        let grid0 = HexGrid::new(6, 8);
+        let victim = grid0.node(4, 2);
+        let plan = FaultPlan::none().with_node(victim, NodeFault::FailSilent);
+        let (grid, view, fs) = run(6, 8, plan, 9);
+        assert!(left_zigzag_avoiding(&grid, &view, &fs, 4, 2, 3).is_none());
+    }
+
+    #[test]
+    fn fault_set_lookup_wraps_columns() {
+        let grid = HexGrid::new(4, 6);
+        let fs = FaultSet::new(&grid, &[grid.node(2, 0)]);
+        assert!(fs.contains(&grid, 2, 0));
+        assert!(fs.contains(&grid, 2, 6));
+        assert!(fs.contains(&grid, 2, -6));
+        assert!(!fs.contains(&grid, 2, 1));
+        assert_eq!(fs.len(), 1);
+        assert!(!fs.is_empty());
+    }
+}

@@ -1,0 +1,301 @@
+//! Execution checker: verifies that a recorded execution obeys the
+//! paper's system model (Section 2), message by message.
+//!
+//! The skew analysis rests on three model facts; given a trace recorded
+//! with `SimConfig::record_arrivals`, this module verifies all of them
+//! *post hoc* against every message of an execution:
+//!
+//! 1. **Delay bounds** — every flag-setting arrival from a correct sender
+//!    was sent by a firing of that sender between `d-` and `d+` earlier;
+//! 2. **Guard support** — every forwarder firing is justified: both ports
+//!    of the satisfied guard pair received an arrival no later than the
+//!    firing (and not forgotten: within `T+_link` before it);
+//! 3. **Causality floor** — along any justified trigger, the receiver
+//!    fires at least `d-` after the sender (the "causal link" property
+//!    behind Definitions 1–2).
+//!
+//! The checker is the reproduction's answer to "how do we know the
+//! simulator implements the model the theorems speak about": the property
+//! suite runs it on randomized executions, including faulty ones (where
+//! stuck-at-1 ports are exempt from rule 1 — a constant-1 signal has no
+//! sending event).
+
+use hex_core::{DelayRange, NodeId, PulseGraph, Role, TriggerCause};
+use hex_des::Duration;
+use hex_sim::Trace;
+
+/// Statistics from a successful check.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CheckStats {
+    /// Arrivals verified against sender firings.
+    pub arrivals_checked: usize,
+    /// Firings verified to have guard support.
+    pub firings_checked: usize,
+    /// Causal links verified to respect the `d-` floor.
+    pub causal_links_checked: usize,
+}
+
+/// A model violation found in an execution.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Violation {
+    /// An arrival has no sender firing within `[at - d+, at - d-]`.
+    UnexplainedArrival {
+        /// Receiving node.
+        node: NodeId,
+        /// Sending node.
+        from: NodeId,
+        /// Delivery time (ns).
+        at_ns: f64,
+    },
+    /// A firing's guard pair has a port with no supporting arrival.
+    UnsupportedFiring {
+        /// The firing node.
+        node: NodeId,
+        /// Firing time (ns).
+        at_ns: f64,
+        /// The unsupported port.
+        port: u8,
+    },
+    /// A causal link with the receiver firing less than `d-` after the
+    /// sender.
+    CausalFloorViolated {
+        /// Sender.
+        from: NodeId,
+        /// Receiver.
+        to: NodeId,
+        /// Gap between the two firings (ns).
+        gap_ns: f64,
+    },
+}
+
+/// Verify an execution against the model. `delays` is the configured
+/// envelope `[d-, d+]`; `t_link_max` the maximum memory retention
+/// (`T+_link`).
+///
+/// Requires the trace to have been recorded with `record_arrivals`;
+/// returns `Ok` with counters or the first violation found.
+pub fn verify_execution(
+    graph: &PulseGraph,
+    trace: &Trace,
+    delays: DelayRange,
+    t_link_max: Duration,
+) -> Result<CheckStats, Violation> {
+    let mut stats = CheckStats::default();
+    let is_faulty = |n: NodeId| trace.is_faulty(n);
+
+    // Rule 1: every arrival is explained by a sender firing.
+    for n in graph.node_ids() {
+        for a in &trace.arrivals[n as usize] {
+            if is_faulty(a.from) {
+                continue; // stuck-at-1 ports have no sending events
+            }
+            let sender_fires = &trace.fires[a.from as usize];
+            let explained = sender_fires.iter().any(|&(t, _)| {
+                let gap = a.at - t;
+                gap >= delays.lo && gap <= delays.hi
+            });
+            if !explained {
+                return Err(Violation::UnexplainedArrival {
+                    node: n,
+                    from: a.from,
+                    at_ns: a.at.ns(),
+                });
+            }
+            stats.arrivals_checked += 1;
+        }
+    }
+
+    // Rules 2 and 3: every forwarder firing has guard support, and the
+    // supporting causal links respect the d- floor.
+    for n in graph.node_ids() {
+        if graph.role(n) != Role::Forwarder || is_faulty(n) {
+            continue;
+        }
+        let guard = graph.guard(n);
+        for &(t_fire, cause) in &trace.fires[n as usize] {
+            let pair = match cause {
+                TriggerCause::Left => guard[0],
+                TriggerCause::Central => guard[1],
+                TriggerCause::Right => guard[2],
+                TriggerCause::Other(ix) => guard[ix as usize],
+                TriggerCause::Source => continue,
+            };
+            for port in [pair.0, pair.1] {
+                let in_link = graph.in_links(n)[port as usize];
+                let src = graph.link(in_link).src;
+                // Stuck-at-1 ports are always-on support.
+                if is_faulty(src) {
+                    continue;
+                }
+                let support = trace.arrivals[n as usize]
+                    .iter()
+                    .filter(|a| a.port == port)
+                    .filter(|a| a.at <= t_fire && t_fire - a.at <= t_link_max)
+                    .max_by_key(|a| a.at);
+                let Some(support) = support else {
+                    return Err(Violation::UnsupportedFiring {
+                        node: n,
+                        at_ns: t_fire.ns(),
+                        port,
+                    });
+                };
+                stats.firings_checked += 1;
+                // Rule 3: the sender firing that explains this arrival is
+                // at least d- before our firing.
+                if let Some(&(t_src, _)) = trace.fires[support.from as usize]
+                    .iter()
+                    .filter(|&&(t, _)| {
+                        let gap = support.at - t;
+                        gap >= delays.lo && gap <= delays.hi
+                    })
+                    .next_back()
+                {
+                    let gap = t_fire - t_src;
+                    if gap < delays.lo {
+                        return Err(Violation::CausalFloorViolated {
+                            from: support.from,
+                            to: n,
+                            gap_ns: gap.ns(),
+                        });
+                    }
+                    stats.causal_links_checked += 1;
+                }
+            }
+        }
+    }
+    Ok(stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hex_core::{FaultPlan, HexGrid, NodeFault, Timing};
+    use hex_des::{Schedule, SimRng, Time};
+    use hex_sim::{simulate, SimConfig};
+
+    fn recorded_cfg() -> SimConfig {
+        SimConfig {
+            record_arrivals: true,
+            ..SimConfig::fault_free()
+        }
+    }
+
+    fn t_link_max(cfg: &SimConfig) -> Duration {
+        cfg.timing.link.hi
+    }
+
+    #[test]
+    fn clean_execution_verifies() {
+        let grid = HexGrid::new(10, 8);
+        let cfg = recorded_cfg();
+        let sched = Schedule::single_pulse(vec![Time::ZERO; 8]);
+        let trace = simulate(grid.graph(), &sched, &cfg, 1);
+        let stats = verify_execution(
+            grid.graph(),
+            &trace,
+            DelayRange::paper(),
+            t_link_max(&cfg),
+        )
+        .expect("clean execution must verify");
+        assert!(stats.arrivals_checked > 0);
+        assert!(stats.firings_checked > 0);
+        assert!(stats.causal_links_checked > 0);
+    }
+
+    #[test]
+    fn every_scenario_and_seed_verifies() {
+        use hex_clock::Scenario;
+        let grid = HexGrid::new(8, 8);
+        for scenario in Scenario::ALL {
+            for seed in 0..5u64 {
+                let mut rng = SimRng::seed_from_u64(seed);
+                let offsets = scenario.single_pulse_times(
+                    8,
+                    hex_core::D_MINUS,
+                    hex_core::D_PLUS,
+                    &mut rng,
+                );
+                let cfg = recorded_cfg();
+                let sched = Schedule::single_pulse(offsets);
+                let trace = simulate(grid.graph(), &sched, &cfg, seed);
+                verify_execution(
+                    grid.graph(),
+                    &trace,
+                    DelayRange::paper(),
+                    t_link_max(&cfg),
+                )
+                .unwrap_or_else(|v| panic!("{} seed {seed}: {v:?}", scenario.label()));
+            }
+        }
+    }
+
+    #[test]
+    fn faulty_execution_verifies_with_exemptions() {
+        let grid = HexGrid::new(10, 8);
+        let cfg = SimConfig {
+            faults: FaultPlan::none().with_node(grid.node(3, 4), NodeFault::Byzantine),
+            timing: Timing::paper_scenario_iii(),
+            record_arrivals: true,
+            ..SimConfig::fault_free()
+        };
+        let sched = Schedule::single_pulse(vec![Time::ZERO; 8]);
+        let trace = simulate(grid.graph(), &sched, &cfg, 3);
+        verify_execution(
+            grid.graph(),
+            &trace,
+            DelayRange::paper(),
+            t_link_max(&cfg),
+        )
+        .expect("faulty execution still satisfies the model for correct nodes");
+    }
+
+    #[test]
+    fn detects_fabricated_delay_violation() {
+        let grid = HexGrid::new(6, 6);
+        let cfg = recorded_cfg();
+        let sched = Schedule::single_pulse(vec![Time::ZERO; 6]);
+        let mut trace = simulate(grid.graph(), &sched, &cfg, 4);
+        // Corrupt one arrival to be impossibly early.
+        let victim = grid.node(3, 3);
+        let a = &mut trace.arrivals[victim as usize][0];
+        a.at = Time::from_ps(1);
+        let err = verify_execution(
+            grid.graph(),
+            &trace,
+            DelayRange::paper(),
+            t_link_max(&cfg),
+        )
+        .unwrap_err();
+        assert!(matches!(err, Violation::UnexplainedArrival { .. }));
+    }
+
+    #[test]
+    fn detects_fabricated_unsupported_firing() {
+        let grid = HexGrid::new(6, 6);
+        let cfg = recorded_cfg();
+        let sched = Schedule::single_pulse(vec![Time::ZERO; 6]);
+        let mut trace = simulate(grid.graph(), &sched, &cfg, 5);
+        // Erase all arrivals of one node: its firing loses justification.
+        let victim = grid.node(2, 2);
+        trace.arrivals[victim as usize].clear();
+        let err = verify_execution(
+            grid.graph(),
+            &trace,
+            DelayRange::paper(),
+            t_link_max(&cfg),
+        )
+        .unwrap_err();
+        assert!(matches!(
+            err,
+            Violation::UnsupportedFiring { .. } | Violation::UnexplainedArrival { .. }
+        ));
+    }
+
+    #[test]
+    fn no_arrivals_recorded_without_flag() {
+        let grid = HexGrid::new(4, 6);
+        let sched = Schedule::single_pulse(vec![Time::ZERO; 6]);
+        let trace = simulate(grid.graph(), &sched, &SimConfig::fault_free(), 6);
+        assert!(trace.arrivals.iter().all(Vec::is_empty));
+    }
+}

@@ -1,0 +1,231 @@
+//! Crash-cluster analysis (Section 3.2, and the crash-fault simulations of
+//! the paper's companion \[32\]).
+//!
+//! Crash (fail-silent) faults are more benign than Byzantine ones: "two
+//! adjacent crash failures on some layer just effectively crash their
+//! common neighbor in the layer above and affect the skews of surrounding
+//! nodes". The starvation geometry is purely topological: every HEX guard
+//! pair — (left ∧ lower-left), (lower-left ∧ lower-right),
+//! (lower-right ∧ right) — contains a *lower* port, so a node can fire iff
+//! at least one of its two lower in-neighbors delivers. A cluster of `k`
+//! adjacent dead nodes therefore starves the `k−1` nodes above it, `k−2`
+//! above those, … — an upward triangle of `k(k−1)/2` nodes, independent of
+//! delays. [`crash_shadow`] computes that fixpoint for arbitrary dead
+//! sets; [`starved`] extracts the measured set from a trace; and
+//! [`hop_distances`] supports blast-radius ("skew vs distance from the
+//! hole") plots.
+
+use std::collections::VecDeque;
+
+use hex_core::{HexGrid, NodeId};
+use hex_sim::Trace;
+
+/// Correct nodes that never fired in `trace` (ascending ids). With crash
+/// faults these are the starved nodes; the faulty nodes themselves are not
+/// included.
+pub fn starved(grid: &HexGrid, trace: &Trace) -> Vec<NodeId> {
+    grid.graph()
+        .node_ids()
+        .filter(|&n| !trace.is_faulty(n) && trace.fires[n as usize].is_empty())
+        .collect()
+}
+
+/// The exact starvation shadow of a dead set: the least fixpoint of
+/// "a forwarder starves iff both its lower in-neighbors are dead or
+/// starved". Returns starved node ids (ascending), *excluding* the dead set
+/// itself. Sources never starve (they are externally driven).
+pub fn crash_shadow(grid: &HexGrid, dead: &[NodeId]) -> Vec<NodeId> {
+    let mut is_dead = vec![false; grid.node_count()];
+    for &n in dead {
+        is_dead[n as usize] = true;
+    }
+    let mut shadow = Vec::new();
+    // Layers only depend on the layer below: one upward sweep is the
+    // fixpoint.
+    for layer in 1..=grid.length() {
+        for col in 0..grid.width() as i64 {
+            let n = grid.node(layer, col);
+            if is_dead[n as usize] {
+                continue;
+            }
+            let ll = grid.node(layer - 1, col);
+            let lr = grid.node(layer - 1, col + 1);
+            if is_dead[ll as usize] && is_dead[lr as usize] {
+                is_dead[n as usize] = true;
+                shadow.push(n);
+            }
+        }
+    }
+    shadow
+}
+
+/// Undirected hop distance from the seed set for every node (`u32::MAX`
+/// where unreachable — cannot happen on a connected grid with a non-empty
+/// seed set). Distance 0 is the seed set itself.
+pub fn hop_distances(grid: &HexGrid, seeds: &[NodeId]) -> Vec<u32> {
+    let graph = grid.graph();
+    let mut dist = vec![u32::MAX; graph.node_count()];
+    let mut queue: VecDeque<NodeId> = VecDeque::new();
+    for &s in seeds {
+        if dist[s as usize] == u32::MAX {
+            dist[s as usize] = 0;
+            queue.push_back(s);
+        }
+    }
+    while let Some(u) = queue.pop_front() {
+        let next = dist[u as usize] + 1;
+        // Undirected: both link directions count as one hop.
+        let neighbors = graph
+            .out_neighbors(u)
+            .chain(graph.in_neighbors(u))
+            .collect::<Vec<_>>();
+        for v in neighbors {
+            if dist[v as usize] == u32::MAX {
+                dist[v as usize] = next;
+                queue.push_back(v);
+            }
+        }
+    }
+    dist
+}
+
+/// A horizontal cluster of `k` adjacent nodes at `(layer, col..col+k)`.
+pub fn horizontal_cluster(grid: &HexGrid, layer: u32, col: i64, k: usize) -> Vec<NodeId> {
+    (0..k as i64).map(|d| grid.node(layer, col + d)).collect()
+}
+
+/// The closed-form shadow size of a `k`-cluster placed low enough that the
+/// triangle fits below layer `L`: `k·(k−1)/2`, truncated if the triangle
+/// pokes past the top layer.
+pub fn cluster_shadow_size(k: usize, layers_above: u32) -> usize {
+    (1..k)
+        .rev()
+        .take(layers_above as usize)
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hex_core::{FaultPlan, NodeFault};
+    use std::collections::BTreeSet;
+    use hex_des::{Schedule, Time};
+    use hex_sim::{simulate, SimConfig};
+
+    fn run(grid: &HexGrid, dead: &[NodeId], seed: u64) -> Trace {
+        let sched = Schedule::single_pulse(vec![Time::ZERO; grid.width() as usize]);
+        let cfg = SimConfig {
+            faults: FaultPlan::none().with_nodes(dead, NodeFault::FailSilent),
+            ..SimConfig::fault_free()
+        };
+        simulate(grid.graph(), &sched, &cfg, seed)
+    }
+
+    #[test]
+    fn two_adjacent_crashes_starve_exactly_the_common_neighbor() {
+        let grid = HexGrid::new(8, 10);
+        let dead = horizontal_cluster(&grid, 3, 4, 2);
+        let shadow = crash_shadow(&grid, &dead);
+        assert_eq!(shadow, vec![grid.node(4, 4)]);
+        // The simulation agrees, for several seeds.
+        for seed in 0..6 {
+            let trace = run(&grid, &dead, seed);
+            assert_eq!(starved(&grid, &trace), shadow, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn k_cluster_shadow_is_a_triangle() {
+        let grid = HexGrid::new(12, 12);
+        for k in 1..=5usize {
+            let dead = horizontal_cluster(&grid, 2, 3, k);
+            let shadow = crash_shadow(&grid, &dead);
+            assert_eq!(shadow.len(), k * (k - 1) / 2, "cluster size {k}");
+            assert_eq!(shadow.len(), cluster_shadow_size(k, 10));
+            // Triangle shape: k−r starved nodes r layers above the cluster.
+            for r in 1..k as u32 {
+                let at_layer = shadow
+                    .iter()
+                    .filter(|&&n| grid.coord_of(n).layer == 2 + r)
+                    .count();
+                assert_eq!(at_layer, k - r as usize);
+            }
+            let trace = run(&grid, &dead, 7);
+            assert_eq!(starved(&grid, &trace), shadow);
+        }
+    }
+
+    #[test]
+    fn truncated_triangle_near_the_top() {
+        // A 4-cluster one layer below the top can only starve the first
+        // triangle row.
+        let grid = HexGrid::new(4, 10);
+        let dead = horizontal_cluster(&grid, 3, 2, 4);
+        let shadow = crash_shadow(&grid, &dead);
+        assert_eq!(shadow.len(), 3);
+        assert_eq!(cluster_shadow_size(4, 1), 3);
+        assert!(shadow.iter().all(|&n| grid.coord_of(n).layer == 4));
+    }
+
+    #[test]
+    fn single_crash_has_no_shadow() {
+        let grid = HexGrid::new(6, 8);
+        assert!(crash_shadow(&grid, &[grid.node(2, 3)]).is_empty());
+        assert_eq!(cluster_shadow_size(1, 4), 0);
+    }
+
+    #[test]
+    fn separated_crashes_cast_no_shadow() {
+        let grid = HexGrid::new(8, 12);
+        let dead = vec![grid.node(2, 1), grid.node(2, 5), grid.node(5, 9)];
+        assert!(crash_shadow(&grid, &dead).is_empty());
+        let trace = run(&grid, &dead, 3);
+        assert!(starved(&grid, &trace).is_empty());
+    }
+
+    #[test]
+    fn wave_flows_around_the_hole() {
+        let grid = HexGrid::new(10, 10);
+        let dead = horizontal_cluster(&grid, 2, 4, 3);
+        let trace = run(&grid, &dead, 11);
+        let shadow: BTreeSet<NodeId> = crash_shadow(&grid, &dead).into_iter().collect();
+        for n in grid.graph().node_ids() {
+            let expected = if trace.is_faulty(n) || shadow.contains(&n) { 0 } else { 1 };
+            assert_eq!(
+                trace.fires[n as usize].len(),
+                expected,
+                "node {:?}",
+                grid.coord_of(n)
+            );
+        }
+    }
+
+    #[test]
+    fn hop_distances_bfs() {
+        let grid = HexGrid::new(5, 8);
+        let seed = grid.node(2, 3);
+        let d = hop_distances(&grid, &[seed]);
+        assert_eq!(d[seed as usize], 0);
+        // All six hexagon neighbors at distance 1.
+        for n in grid.hexagon(2, 3) {
+            assert_eq!(d[n as usize], 1, "neighbor {:?}", grid.coord_of(n));
+        }
+        // Everything reachable.
+        assert!(d.iter().all(|&x| x != u32::MAX));
+        // Monotone triangle inequality along a link.
+        for l in 0..grid.graph().link_count() as u32 {
+            let link = grid.graph().link(l);
+            let (a, b) = (d[link.src as usize], d[link.dst as usize]);
+            assert!(a.abs_diff(b) <= 1, "link {l}");
+        }
+    }
+
+    #[test]
+    fn cluster_wraps_columns() {
+        let grid = HexGrid::new(6, 8);
+        let dead = horizontal_cluster(&grid, 2, 6, 4); // cols 6,7,0,1
+        assert_eq!(dead.len(), 4);
+        let shadow = crash_shadow(&grid, &dead);
+        assert_eq!(shadow.len(), 6);
+    }
+}

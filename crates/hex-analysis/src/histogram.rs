@@ -1,0 +1,216 @@
+//! Cumulated skew histograms (Figs. 10 and 11).
+//!
+//! The paper plots histograms of the intra- and inter-layer skew samples
+//! cumulated over 250 runs, observing "a sharp concentration with an
+//! exponential tail" — plus, in scenario (iv), a separate cluster near the
+//! end of the tail caused by the excessive initial skews.
+
+use hex_des::Duration;
+
+/// A fixed-width-bin histogram over a closed duration range.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    lo: Duration,
+    bin_width: Duration,
+    counts: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+}
+
+impl Histogram {
+    /// Create a histogram of `bins` equal bins covering `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bins == 0` or the range is empty.
+    pub fn new(lo: Duration, hi: Duration, bins: usize) -> Self {
+        assert!(bins > 0, "need at least one bin");
+        assert!(hi > lo, "empty histogram range");
+        let width = Duration::from_ps(((hi - lo).ps() + bins as i64 - 1) / bins as i64);
+        Histogram {
+            lo,
+            bin_width: width,
+            counts: vec![0; bins],
+            underflow: 0,
+            overflow: 0,
+        }
+    }
+
+    /// Add one sample.
+    pub fn add(&mut self, d: Duration) {
+        let off = (d - self.lo).ps();
+        if off < 0 {
+            self.underflow += 1;
+            return;
+        }
+        let ix = (off / self.bin_width.ps()) as usize;
+        if ix >= self.counts.len() {
+            self.overflow += 1;
+        } else {
+            self.counts[ix] += 1;
+        }
+    }
+
+    /// Add many samples.
+    pub fn add_all(&mut self, ds: &[Duration]) {
+        for &d in ds {
+            self.add(d);
+        }
+    }
+
+    /// Total number of in-range samples.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Samples below the range.
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+
+    /// Samples at or above the range end.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Bin count array.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// `(bin_start, bin_end, count)` rows.
+    pub fn rows(&self) -> impl Iterator<Item = (Duration, Duration, u64)> + '_ {
+        self.counts.iter().enumerate().map(move |(i, &c)| {
+            let start = self.lo + self.bin_width.times(i as i64);
+            (start, start + self.bin_width, c)
+        })
+    }
+
+    /// CSV rendering: `bin_start_ns,bin_end_ns,count`.
+    pub fn to_csv(&self) -> String {
+        let mut s = String::from("bin_start_ns,bin_end_ns,count\n");
+        for (a, b, c) in self.rows() {
+            s.push_str(&format!("{:.3},{:.3},{}\n", a.ns(), b.ns(), c));
+        }
+        s
+    }
+
+    /// ASCII bar rendering (log-ish scaling to make exponential tails
+    /// visible), max `width` characters per bar.
+    pub fn to_ascii(&self, width: usize) -> String {
+        let max = self.counts.iter().copied().max().unwrap_or(0).max(1);
+        let mut out = String::new();
+        for (a, b, c) in self.rows() {
+            let scaled = if c == 0 {
+                0
+            } else {
+                // log scale: bars proportional to ln(1+c)/ln(1+max)
+                let frac = ((1 + c) as f64).ln() / ((1 + max) as f64).ln();
+                (frac * width as f64).round().max(1.0) as usize
+            };
+            out.push_str(&format!(
+                "[{:8.3}, {:8.3}) {:>8} |{}\n",
+                a.ns(),
+                b.ns(),
+                c,
+                "#".repeat(scaled)
+            ));
+        }
+        out
+    }
+
+    /// The index of the last non-empty bin, if any (tail length indicator).
+    pub fn last_occupied_bin(&self) -> Option<usize> {
+        self.counts.iter().rposition(|&c| c > 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn d(ps: i64) -> Duration {
+        Duration::from_ps(ps)
+    }
+
+    #[test]
+    fn binning() {
+        let mut h = Histogram::new(d(0), d(100), 10);
+        h.add(d(0)); // bin 0
+        h.add(d(9)); // bin 0
+        h.add(d(10)); // bin 1
+        h.add(d(99)); // bin 9
+        h.add(d(100)); // overflow
+        h.add(d(-1)); // underflow
+        assert_eq!(h.counts()[0], 2);
+        assert_eq!(h.counts()[1], 1);
+        assert_eq!(h.counts()[9], 1);
+        assert_eq!(h.overflow(), 1);
+        assert_eq!(h.underflow(), 1);
+        assert_eq!(h.total(), 4);
+    }
+
+    #[test]
+    fn rows_cover_range() {
+        let h = Histogram::new(d(0), d(100), 4);
+        let rows: Vec<_> = h.rows().collect();
+        assert_eq!(rows.len(), 4);
+        assert_eq!(rows[0].0, d(0));
+        assert!(rows[3].1 >= d(100));
+    }
+
+    #[test]
+    fn csv_and_ascii_render() {
+        let mut h = Histogram::new(d(0), d(10), 2);
+        h.add_all(&[d(1), d(2), d(7)]);
+        let csv = h.to_csv();
+        assert!(csv.starts_with("bin_start_ns"));
+        assert_eq!(csv.lines().count(), 3);
+        let art = h.to_ascii(20);
+        assert!(art.contains('#'));
+        assert_eq!(h.last_occupied_bin(), Some(1));
+    }
+
+    #[test]
+    fn empty_histogram() {
+        let h = Histogram::new(d(0), d(10), 5);
+        assert_eq!(h.total(), 0);
+        assert_eq!(h.last_occupied_bin(), None);
+    }
+
+    proptest! {
+        /// Every in-range sample lands in exactly one bin; totals add up.
+        #[test]
+        fn prop_conservation(samples in prop::collection::vec(-200i64..400, 0..500)) {
+            let mut h = Histogram::new(d(0), d(200), 8);
+            for &s in &samples {
+                h.add(d(s));
+            }
+            let in_range = samples.iter().filter(|&&s| (0..h.bin_width.ps() * 8).contains(&s) && s < 200 + (h.bin_width.ps()*8 - 200)).count();
+            // Conservation: total + under + over == sample count.
+            prop_assert_eq!(
+                h.total() + h.underflow() + h.overflow(),
+                samples.len() as u64
+            );
+            // All negative samples underflow.
+            let neg = samples.iter().filter(|&&s| s < 0).count() as u64;
+            prop_assert_eq!(h.underflow(), neg);
+            let _ = in_range;
+        }
+
+        /// Bin index of a sample equals floor((s-lo)/width).
+        #[test]
+        fn prop_bin_index(s in 0i64..1_000) {
+            let mut h = Histogram::new(d(0), d(1_000), 10);
+            h.add(d(s));
+            let width = h.bin_width.ps();
+            let expect = (s / width) as usize;
+            if expect < 10 {
+                prop_assert_eq!(h.counts()[expect], 1);
+            } else {
+                prop_assert_eq!(h.overflow(), 1);
+            }
+        }
+    }
+}

@@ -1,0 +1,155 @@
+//! Per-layer skew series (Fig. 12).
+//!
+//! Fig. 12 plots, per layer ℓ, the minimum / average / maximum (± std) of
+//! the inter-layer skews `t_{ℓ,i} − t_{ℓ−1,i}` and `t_{ℓ,i} − t_{ℓ−1,i+1}`
+//! over all columns and all runs, showing how "the fairly discrepant skews
+//! observed in lower layers start to smooth out after layer W − 2, in
+//! accordance with Lemma 3".
+
+use hex_core::HexGrid;
+use hex_sim::PulseView;
+
+use crate::stats::Summary;
+
+/// One row of the Fig. 12 series: statistics of the signed inter-layer skew
+/// of one layer across columns and runs.
+#[derive(Debug, Clone, Copy)]
+pub struct LayerRow {
+    /// The layer ℓ (relative to ℓ−1).
+    pub layer: u32,
+    /// Summary over all `(column, run)` samples.
+    pub summary: Summary,
+}
+
+/// Collect the per-layer signed inter-layer skew samples of several runs.
+/// Returns, for each layer `1..=max_layer`, the sample vector in
+/// nanoseconds.
+pub fn per_layer_inter_samples(
+    grid: &HexGrid,
+    views: &[&PulseView],
+    excluded: &[bool],
+    max_layer: u32,
+) -> Vec<Vec<f64>> {
+    let top = max_layer.min(grid.length());
+    let w = grid.width();
+    let mut out: Vec<Vec<f64>> = vec![Vec::new(); top as usize];
+    for view in views {
+        for layer in 1..=top {
+            for col in 0..w as i64 {
+                let n = grid.node(layer, col);
+                if excluded[n as usize] {
+                    continue;
+                }
+                let Some(t) = view.time(layer, col) else {
+                    continue;
+                };
+                for lower in [col, col + 1] {
+                    let m = grid.node(layer - 1, lower);
+                    if excluded[m as usize] {
+                        continue;
+                    }
+                    if let Some(tl) = view.time(layer - 1, lower) {
+                        out[(layer - 1) as usize].push((t - tl).ns());
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Summarize [`per_layer_inter_samples`] into Fig. 12 rows.
+pub fn layer_series(
+    grid: &HexGrid,
+    views: &[&PulseView],
+    excluded: &[bool],
+    max_layer: u32,
+) -> Vec<LayerRow> {
+    per_layer_inter_samples(grid, views, excluded, max_layer)
+        .into_iter()
+        .enumerate()
+        .filter_map(|(ix, samples)| {
+            Summary::from_ns(&samples).map(|summary| LayerRow {
+                layer: ix as u32 + 1,
+                summary,
+            })
+        })
+        .collect()
+}
+
+/// CSV rendering of a layer series:
+/// `layer,min_ns,q5_ns,avg_ns,q95_ns,max_ns,std_ns,n`.
+pub fn layer_series_csv(rows: &[LayerRow]) -> String {
+    let mut s = String::from("layer,min_ns,q5_ns,avg_ns,q95_ns,max_ns,std_ns,n\n");
+    for r in rows {
+        s.push_str(&format!(
+            "{},{:.3},{:.3},{:.3},{:.3},{:.3},{:.3},{}\n",
+            r.layer,
+            r.summary.min,
+            r.summary.q05,
+            r.summary.avg,
+            r.summary.q95,
+            r.summary.max,
+            r.summary.std,
+            r.summary.n
+        ));
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::skew::exclusion_mask;
+    use hex_des::{Schedule, Time};
+    use hex_sim::{simulate, SimConfig};
+
+    fn runs(l: u32, w: u32, n: usize) -> (HexGrid, Vec<PulseView>) {
+        let grid = HexGrid::new(l, w);
+        let sched = Schedule::single_pulse(vec![Time::ZERO; w as usize]);
+        let views = (0..n)
+            .map(|s| {
+                let t = simulate(grid.graph(), &sched, &SimConfig::fault_free(), s as u64);
+                PulseView::from_single_pulse(&grid, &t)
+            })
+            .collect();
+        (grid, views)
+    }
+
+    #[test]
+    fn series_shape_and_sample_counts() {
+        let (grid, views) = runs(10, 6, 5);
+        let refs: Vec<&PulseView> = views.iter().collect();
+        let mask = exclusion_mask(&grid, &[], 0);
+        let rows = layer_series(&grid, &refs, &mask, 10);
+        assert_eq!(rows.len(), 10);
+        for r in &rows {
+            // 2 samples per column per run.
+            assert_eq!(r.summary.n, 2 * 6 * 5);
+            // Inter-layer skews in a zero-scenario run live in [d-, ~2d+].
+            assert!(r.summary.min >= 7.161, "layer {} min {}", r.layer, r.summary.min);
+            assert!(r.summary.max <= 2.0 * 8.197, "layer {} max {}", r.layer, r.summary.max);
+        }
+    }
+
+    #[test]
+    fn truncation_to_max_layer() {
+        let (grid, views) = runs(10, 6, 2);
+        let refs: Vec<&PulseView> = views.iter().collect();
+        let mask = exclusion_mask(&grid, &[], 0);
+        let rows = layer_series(&grid, &refs, &mask, 4);
+        assert_eq!(rows.len(), 4);
+        assert_eq!(rows.last().unwrap().layer, 4);
+    }
+
+    #[test]
+    fn csv_rendering() {
+        let (grid, views) = runs(4, 5, 2);
+        let refs: Vec<&PulseView> = views.iter().collect();
+        let mask = exclusion_mask(&grid, &[], 0);
+        let rows = layer_series(&grid, &refs, &mask, 4);
+        let csv = layer_series_csv(&rows);
+        assert!(csv.starts_with("layer,"));
+        assert_eq!(csv.lines().count(), 5);
+    }
+}

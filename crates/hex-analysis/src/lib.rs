@@ -1,0 +1,47 @@
+//! # hex-analysis — the evaluation pipeline of the HEX paper
+//!
+//! Replaces the authors' Haskell post-processing infrastructure
+//! (Section 4.1): everything between raw simulation traces and the numbers
+//! printed in the paper's tables and figures.
+//!
+//! * [`stats`] — order statistics (`min`, `q5`, `avg`, `q95`, `max`, std)
+//!   over skew samples;
+//! * [`skew`] — Definition-3 intra-/inter-layer skew extraction from
+//!   per-pulse triggering-time matrices, with fault/h-hop exclusion
+//!   (Figs. 15/16's `h` parameter);
+//! * [`histogram`] — cumulated skew histograms (Figs. 10/11);
+//! * [`layers`] — per-layer inter-layer skew series (Fig. 12);
+//! * [`boxplot`] — per-run distribution summaries (Figs. 15/16);
+//! * [`stabilization`] — the stabilization-time estimator of Section 4.4
+//!   (minimal pulse from which all layer skews persistently satisfy a
+//!   layer-dependent bound);
+//! * [`causal`] — Definition 1/2 machinery: trigger-cause classification,
+//!   left zig-zag path construction, and executable checks of Lemma 1 and
+//!   Lemma 2 against simulated executions;
+//! * [`causal_faulty`] — the Appendix-A fault-avoiding variant of the same
+//!   machinery: evasion steps around Byzantine nodes, target-column shifts,
+//!   and the relaxed (`O(d+)`-slack) Lemma 2 check;
+//! * [`crash`] — crash-cluster geometry (Section 3.2): exact starvation
+//!   shadows of dead sets, measured starved sets, hop-distance classes for
+//!   blast-radius plots;
+//! * [`wave`] — rendering of pulse waves (Figs. 8/9/13/14) as CSV series
+//!   and ASCII relief.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod boxplot;
+pub mod causal;
+pub mod causal_faulty;
+pub mod checker;
+pub mod crash;
+pub mod histogram;
+pub mod layers;
+pub mod report;
+pub mod skew;
+pub mod stabilization;
+pub mod stats;
+pub mod wave;
+
+pub use skew::{collect_skews, exclusion_mask, SkewSamples};
+pub use stats::Summary;

@@ -1,0 +1,141 @@
+//! Report rendering: paper-style tables as aligned text, Markdown and CSV.
+//!
+//! The regenerator binaries print aligned text; this module additionally
+//! renders the same data as Markdown (for EXPERIMENTS.md-style documents)
+//! and CSV (for external tooling), so a downstream user can wire the
+//! experiment drivers into their own reporting.
+
+use crate::stats::Summary;
+
+/// A table of labeled skew summaries (one row per scenario/configuration),
+/// with the paper's column layout: intra (avg, q95, max) and inter
+/// (min, q5, avg, q95, max).
+#[derive(Debug, Clone, Default)]
+pub struct SkewTable {
+    rows: Vec<(String, Summary, Summary)>,
+}
+
+impl SkewTable {
+    /// Create an empty table.
+    pub fn new() -> Self {
+        SkewTable::default()
+    }
+
+    /// Append a row.
+    pub fn push(&mut self, label: impl Into<String>, intra: Summary, inter: Summary) {
+        self.rows.push((label.into(), intra, inter));
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True iff the table has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Render as aligned plain text (the paper's Table 1/2 layout).
+    pub fn to_text(&self, title: &str) -> String {
+        let mut s = format!("{title}\n");
+        s.push_str(&format!(
+            "{:<24} | {:>7} {:>7} {:>7} | {:>7} {:>7} {:>7} {:>7} {:>7}\n",
+            "scenario", "avg", "q95", "max", "min", "q5", "avg", "q95", "max"
+        ));
+        for (label, intra, inter) in &self.rows {
+            s.push_str(&format!(
+                "{label:<24} | {} | {}\n",
+                intra.intra_row(),
+                inter.inter_row()
+            ));
+        }
+        s
+    }
+
+    /// Render as a Markdown table.
+    pub fn to_markdown(&self) -> String {
+        let mut s = String::from(
+            "| scenario | intra avg | intra q95 | intra max | inter min | inter q5 | inter avg | inter q95 | inter max |\n\
+             |---|---|---|---|---|---|---|---|---|\n",
+        );
+        for (label, intra, inter) in &self.rows {
+            s.push_str(&format!(
+                "| {label} | {:.3} | {:.3} | {:.3} | {:.3} | {:.3} | {:.3} | {:.3} | {:.3} |\n",
+                intra.avg, intra.q95, intra.max, inter.min, inter.q05, inter.avg, inter.q95, inter.max
+            ));
+        }
+        s
+    }
+
+    /// Render as CSV.
+    pub fn to_csv(&self) -> String {
+        let mut s = String::from(
+            "scenario,intra_avg_ns,intra_q95_ns,intra_max_ns,inter_min_ns,inter_q5_ns,inter_avg_ns,inter_q95_ns,inter_max_ns\n",
+        );
+        for (label, intra, inter) in &self.rows {
+            s.push_str(&format!(
+                "{label},{:.3},{:.3},{:.3},{:.3},{:.3},{:.3},{:.3},{:.3}\n",
+                intra.avg, intra.q95, intra.max, inter.min, inter.q05, inter.avg, inter.q95, inter.max
+            ));
+        }
+        s
+    }
+
+    /// Relative deviation of a measured cell against a reference value
+    /// (e.g. the paper's printed number): `|measured − reference| /
+    /// max(|reference|, εfloor)`. Used by EXPERIMENTS.md tooling to flag
+    /// shape mismatches.
+    pub fn relative_deviation(measured: f64, reference: f64) -> f64 {
+        (measured - reference).abs() / reference.abs().max(1e-3)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table() -> SkewTable {
+        let intra = Summary::from_ns(&[0.3, 0.5, 1.0]).unwrap();
+        let inter = Summary::from_ns(&[7.2, 7.9, 8.6]).unwrap();
+        let mut t = SkewTable::new();
+        t.push("(i) 0", intra, inter);
+        t.push("(iv) ramp d+", intra, inter);
+        t
+    }
+
+    #[test]
+    fn text_layout() {
+        let t = table();
+        let s = t.to_text("Table X");
+        assert!(s.starts_with("Table X\n"));
+        assert_eq!(s.lines().count(), 4);
+        assert!(s.contains("(iv) ramp d+"));
+    }
+
+    #[test]
+    fn markdown_layout() {
+        let md = table().to_markdown();
+        assert_eq!(md.lines().count(), 4);
+        assert!(md.lines().all(|l| l.starts_with('|')));
+    }
+
+    #[test]
+    fn csv_layout() {
+        let csv = table().to_csv();
+        assert_eq!(csv.lines().count(), 3);
+        assert!(csv.starts_with("scenario,"));
+        // Every data row has 9 fields.
+        for line in csv.lines().skip(1) {
+            assert_eq!(line.split(',').count(), 9);
+        }
+    }
+
+    #[test]
+    fn deviation() {
+        assert!(SkewTable::relative_deviation(0.41, 0.40) < 0.05);
+        assert!(SkewTable::relative_deviation(0.80, 0.40) > 0.9);
+        assert_eq!(table().len(), 2);
+        assert!(!table().is_empty());
+    }
+}

@@ -1,0 +1,184 @@
+//! Order statistics over skew samples.
+//!
+//! The paper reports `min`, the 5% quantile, the average, the 95% quantile
+//! and `max` of skew populations (Section 4.1, experiments (A)). Quantiles
+//! use the standard linear-interpolation estimator (R type 7), which is
+//! well-defined for every population size ≥ 1.
+
+use hex_des::Duration;
+
+/// Linear-interpolation quantile (R type 7) of an ascending slice.
+///
+/// # Panics
+///
+/// Panics on an empty slice or `q ∉ [0, 1]`.
+pub fn quantile_sorted(sorted: &[f64], q: f64) -> f64 {
+    assert!(!sorted.is_empty(), "quantile of empty sample");
+    assert!((0.0..=1.0).contains(&q), "quantile {q} out of range");
+    let n = sorted.len();
+    if n == 1 {
+        return sorted[0];
+    }
+    let h = q * (n - 1) as f64;
+    let lo = h.floor() as usize;
+    let hi = h.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        sorted[lo] + (h - lo as f64) * (sorted[hi] - sorted[lo])
+    }
+}
+
+/// Five-point summary (+ mean, std, count) of a sample, in nanoseconds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Minimum.
+    pub min: f64,
+    /// 5% quantile.
+    pub q05: f64,
+    /// Arithmetic mean.
+    pub avg: f64,
+    /// 95% quantile.
+    pub q95: f64,
+    /// Maximum.
+    pub max: f64,
+    /// Population standard deviation.
+    pub std: f64,
+    /// Sample size.
+    pub n: usize,
+}
+
+impl Summary {
+    /// Summarize a sample of nanosecond values. Returns `None` on empty
+    /// input.
+    pub fn from_ns(values: &[f64]) -> Option<Summary> {
+        if values.is_empty() {
+            return None;
+        }
+        let mut sorted = values.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in sample"));
+        let n = sorted.len();
+        let avg = sorted.iter().sum::<f64>() / n as f64;
+        let var = sorted.iter().map(|v| (v - avg) * (v - avg)).sum::<f64>() / n as f64;
+        Some(Summary {
+            min: sorted[0],
+            q05: quantile_sorted(&sorted, 0.05),
+            avg,
+            q95: quantile_sorted(&sorted, 0.95),
+            max: sorted[n - 1],
+            std: var.sqrt(),
+            n,
+        })
+    }
+
+    /// Summarize a sample of [`Duration`]s (converted to nanoseconds).
+    pub fn from_durations(values: &[Duration]) -> Option<Summary> {
+        let ns: Vec<f64> = values.iter().map(|d| d.ns()).collect();
+        Summary::from_ns(&ns)
+    }
+
+    /// The paper's intra-layer row: `avg | q95 | max`.
+    pub fn intra_row(&self) -> String {
+        format!("{:7.3} {:7.3} {:7.3}", self.avg, self.q95, self.max)
+    }
+
+    /// The paper's inter-layer row: `min | q5 | avg | q95 | max`.
+    pub fn inter_row(&self) -> String {
+        format!(
+            "{:7.3} {:7.3} {:7.3} {:7.3} {:7.3}",
+            self.min, self.q05, self.avg, self.q95, self.max
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn quantile_endpoints() {
+        let s = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(quantile_sorted(&s, 0.0), 1.0);
+        assert_eq!(quantile_sorted(&s, 1.0), 4.0);
+        assert_eq!(quantile_sorted(&s, 0.5), 2.5);
+    }
+
+    #[test]
+    fn quantile_single_element() {
+        assert_eq!(quantile_sorted(&[7.5], 0.3), 7.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty sample")]
+    fn quantile_empty_panics() {
+        quantile_sorted(&[], 0.5);
+    }
+
+    #[test]
+    fn summary_basics() {
+        let s = Summary::from_ns(&[1.0, 2.0, 3.0, 4.0, 5.0]).unwrap();
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 5.0);
+        assert_eq!(s.avg, 3.0);
+        assert_eq!(s.n, 5);
+        assert!((s.std - (2.0f64).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_from_durations() {
+        let ds = [
+            Duration::from_ps(1000),
+            Duration::from_ps(2000),
+            Duration::from_ps(3000),
+        ];
+        let s = Summary::from_durations(&ds).unwrap();
+        assert_eq!(s.avg, 2.0);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 3.0);
+    }
+
+    #[test]
+    fn summary_empty_is_none() {
+        assert!(Summary::from_ns(&[]).is_none());
+        assert!(Summary::from_durations(&[]).is_none());
+    }
+
+    #[test]
+    fn rows_format() {
+        let s = Summary::from_ns(&[0.395, 1.0, 3.098]).unwrap();
+        assert!(s.intra_row().contains("3.098"));
+        assert!(s.inter_row().contains("0.395"));
+    }
+
+    proptest! {
+        /// min ≤ q05 ≤ avg-compatible ordering ≤ q95 ≤ max and quantiles are
+        /// monotone in q.
+        #[test]
+        fn prop_summary_order(values in prop::collection::vec(-1e6f64..1e6, 1..300)) {
+            let s = Summary::from_ns(&values).unwrap();
+            prop_assert!(s.min <= s.q05 + 1e-9);
+            prop_assert!(s.q05 <= s.q95 + 1e-9);
+            prop_assert!(s.q95 <= s.max + 1e-9);
+            prop_assert!(s.min <= s.avg && s.avg <= s.max);
+            prop_assert!(s.std >= 0.0);
+        }
+
+        /// Quantile is monotone in q for any sample.
+        #[test]
+        fn prop_quantile_monotone(values in prop::collection::vec(-1e6f64..1e6, 1..100),
+                                  q1 in 0.0f64..1.0, q2 in 0.0f64..1.0) {
+            let mut sorted = values;
+            sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            let (lo, hi) = if q1 <= q2 { (q1, q2) } else { (q2, q1) };
+            prop_assert!(quantile_sorted(&sorted, lo) <= quantile_sorted(&sorted, hi) + 1e-9);
+        }
+
+        /// Quantiles of a constant sample equal the constant.
+        #[test]
+        fn prop_constant_sample(c in -1e3f64..1e3, n in 1usize..50, q in 0.0f64..1.0) {
+            let s = vec![c; n];
+            prop_assert!((quantile_sorted(&s, q) - c).abs() < 1e-12);
+        }
+    }
+}

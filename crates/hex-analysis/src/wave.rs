@@ -1,0 +1,170 @@
+//! Pulse-wave rendering (Figs. 8, 9, 13, 14).
+//!
+//! The paper visualizes a pulse as a 3D surface over the `(ℓ, i)` plane with
+//! the triggering time on the z-axis. Here a wave renders as
+//!
+//! * a CSV series `layer,col,t_ns,cause` (feedable to any plotting tool),
+//! * an ASCII relief where each cell shows the triggering time quantized
+//!   into `0-9a-z…` steps — enough to *see* the wave smooth out and faults
+//!   dent it.
+
+use hex_core::{HexGrid, TriggerCause};
+use hex_sim::PulseView;
+
+/// CSV rendering of a pulse view: `layer,col,t_ns,cause` (missing nodes get
+/// empty time and cause `dead`).
+pub fn wave_csv(grid: &HexGrid, view: &PulseView) -> String {
+    let mut s = String::from("layer,col,t_ns,cause\n");
+    for layer in 0..=grid.length() {
+        for col in 0..grid.width() {
+            let t = view.time(layer, col as i64);
+            let cause = view.trigger_cause(layer, col as i64);
+            match t {
+                Some(t) => s.push_str(&format!(
+                    "{},{},{:.3},{}\n",
+                    layer,
+                    col,
+                    t.ns(),
+                    cause_label(cause)
+                )),
+                None => s.push_str(&format!("{},{},,dead\n", layer, col)),
+            }
+        }
+    }
+    s
+}
+
+fn cause_label(c: Option<TriggerCause>) -> &'static str {
+    match c {
+        Some(TriggerCause::Left) => "left",
+        Some(TriggerCause::Central) => "central",
+        Some(TriggerCause::Right) => "right",
+        Some(TriggerCause::Source) => "source",
+        Some(TriggerCause::Other(_)) => "other",
+        None => "dead",
+    }
+}
+
+/// ASCII relief of a pulse view, truncated to `max_layers` layers. Each cell
+/// is the triggering time quantized to 36 levels (`0-9a-z`) between the
+/// wave's min and max; `·` marks nodes that never fired.
+pub fn wave_ascii(grid: &HexGrid, view: &PulseView, max_layers: u32) -> String {
+    let top = max_layers.min(grid.length());
+    let mut times = Vec::new();
+    for layer in 0..=top {
+        for col in 0..grid.width() {
+            if let Some(t) = view.time(layer, col as i64) {
+                times.push(t);
+            }
+        }
+    }
+    if times.is_empty() {
+        return String::from("(empty wave)\n");
+    }
+    let lo = *times.iter().min().unwrap();
+    let hi = *times.iter().max().unwrap();
+    let span = (hi - lo).ps().max(1);
+    const GLYPHS: &[u8] = b"0123456789abcdefghijklmnopqrstuvwxyz";
+    let mut out = String::new();
+    // Print top layer first so the wave "rises" down the page like Fig. 8.
+    for layer in (0..=top).rev() {
+        out.push_str(&format!("{layer:>3} |"));
+        for col in 0..grid.width() {
+            match view.time(layer, col as i64) {
+                Some(t) => {
+                    let frac = (t - lo).ps() as f64 / span as f64;
+                    let ix = ((frac * (GLYPHS.len() - 1) as f64).round() as usize)
+                        .min(GLYPHS.len() - 1);
+                    out.push(GLYPHS[ix] as char);
+                }
+                None => out.push('·'),
+            }
+        }
+        out.push('\n');
+    }
+    out.push_str("    +");
+    out.push_str(&"-".repeat(grid.width() as usize));
+    out.push('\n');
+    out
+}
+
+/// Per-layer wave front summary: for each layer, min/max triggering time in
+/// ns — the numeric backbone of the 3D plots.
+pub fn wave_front(grid: &HexGrid, view: &PulseView) -> Vec<(u32, Option<(f64, f64)>)> {
+    (0..=grid.length())
+        .map(|layer| {
+            let ts: Vec<_> = (0..grid.width())
+                .filter_map(|c| view.time(layer, c as i64))
+                .collect();
+            let span = if ts.is_empty() {
+                None
+            } else {
+                Some((
+                    ts.iter().min().unwrap().ns(),
+                    ts.iter().max().unwrap().ns(),
+                ))
+            };
+            (layer, span)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hex_core::{FaultPlan, NodeFault};
+    use hex_des::{Schedule, Time};
+    use hex_sim::{simulate, SimConfig};
+
+    fn view(seed: u64, faults: FaultPlan) -> (HexGrid, PulseView) {
+        let grid = HexGrid::new(6, 8);
+        let sched = Schedule::single_pulse(vec![Time::ZERO; 8]);
+        let cfg = SimConfig {
+            faults,
+            ..SimConfig::fault_free()
+        };
+        let trace = simulate(grid.graph(), &sched, &cfg, seed);
+        (grid.clone(), PulseView::from_single_pulse(&grid, &trace))
+    }
+
+    #[test]
+    fn csv_has_all_cells() {
+        let (grid, v) = view(1, FaultPlan::none());
+        let csv = wave_csv(&grid, &v);
+        assert_eq!(csv.lines().count(), 1 + 7 * 8);
+        assert!(csv.contains("source"));
+        assert!(csv.contains("central") || csv.contains("left") || csv.contains("right"));
+    }
+
+    #[test]
+    fn ascii_marks_dead_nodes() {
+        let grid0 = HexGrid::new(6, 8);
+        let victim = grid0.node(2, 3);
+        let starving_pair = FaultPlan::none()
+            .with_nodes(&[grid0.node(2, 3), grid0.node(2, 4)], NodeFault::FailSilent);
+        let _ = victim;
+        let (grid, v) = view(2, starving_pair);
+        let art = wave_ascii(&grid, &v, 6);
+        assert!(art.contains('·'), "dead nodes should render as ·:\n{art}");
+        assert_eq!(art.lines().count(), 7 + 1);
+    }
+
+    #[test]
+    fn front_is_monotone_in_layer() {
+        let (grid, v) = view(3, FaultPlan::none());
+        let front = wave_front(&grid, &v);
+        assert_eq!(front.len(), 7);
+        for w in front.windows(2) {
+            let (_, Some((lo_a, _))) = w[0] else { panic!() };
+            let (_, Some((lo_b, _))) = w[1] else { panic!() };
+            assert!(lo_b > lo_a, "wave front must move upward in time");
+        }
+    }
+
+    #[test]
+    fn ascii_truncation() {
+        let (grid, v) = view(4, FaultPlan::none());
+        let art = wave_ascii(&grid, &v, 3);
+        assert_eq!(art.lines().count(), 4 + 1);
+    }
+}

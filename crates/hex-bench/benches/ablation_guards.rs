@@ -1,0 +1,73 @@
+//! Guard ablation: why Algorithm 1 requires two *adjacent* in-neighbors.
+//!
+//! Three guard variants on the same cylinder:
+//!
+//! * `hex` — the paper's guard {(L,LL), (LL,LR), (LR,R)};
+//! * `central_only` — {(LL,LR)}: no side help; a single crashed lower
+//!   neighbor starves the node (no fault tolerance);
+//! * `any_two` — all six port pairs: faster, but two *opposite* neighbors
+//!   (e.g. left+right) can trigger a node, which breaks the causal-chain
+//!   arguments behind the skew bounds and lets Byzantine pairs forge
+//!   pulses.
+//!
+//! The bench times a pulse through each variant; the behavioural
+//! differences (starvation, forged triggers) are asserted in the
+//! integration tests (`tests/ablation.rs` at the workspace root).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hex_bench::zero_schedule;
+use hex_core::graph::Role;
+use hex_core::{Coord, PulseGraph};
+use hex_sim::{simulate, SimConfig};
+
+/// Build a HEX-shaped cylinder with a custom guard.
+fn guarded_grid(l: u32, w: u32, guard: &[(u8, u8)]) -> PulseGraph {
+    let mut b = PulseGraph::builder();
+    for layer in 0..=l {
+        for col in 0..w {
+            let role = if layer == 0 { Role::Source } else { Role::Forwarder };
+            let g = if layer == 0 { vec![] } else { guard.to_vec() };
+            b.add_node(role, Some(Coord::new(layer, col)), g);
+        }
+    }
+    let id = |layer: u32, col: i64| -> u32 { layer * w + col.rem_euclid(w as i64) as u32 };
+    for layer in 1..=l {
+        for col in 0..w as i64 {
+            let dst = id(layer, col);
+            b.add_link(id(layer, col - 1), dst, 0);
+            b.add_link(id(layer - 1, col), dst, 1);
+            b.add_link(id(layer - 1, col + 1), dst, 2);
+            b.add_link(id(layer, col + 1), dst, 3);
+        }
+    }
+    b.build()
+}
+
+fn bench_guards(c: &mut Criterion) {
+    let mut g = c.benchmark_group("guard_ablation");
+    g.sample_size(20);
+    let variants: [(&str, Vec<(u8, u8)>); 3] = [
+        ("hex", hex_core::grid::HEX_GUARD.to_vec()),
+        ("central_only", vec![(1, 2)]),
+        (
+            "any_two",
+            vec![(0, 1), (1, 2), (2, 3), (0, 2), (1, 3), (0, 3)],
+        ),
+    ];
+    for (name, guard) in variants {
+        let graph = guarded_grid(30, 16, &guard);
+        let sched = zero_schedule(16);
+        let cfg = SimConfig::fault_free();
+        g.bench_with_input(BenchmarkId::new("pulse", name), &graph, |b, graph| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                simulate(graph, &sched, &cfg, seed).total_fires()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_guards);
+criterion_main!(benches);

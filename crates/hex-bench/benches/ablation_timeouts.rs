@@ -1,0 +1,47 @@
+//! Timeout ablation: the link timeouts of Algorithm 1 exist purely for
+//! self-stabilization ("there would be no need for the individual link
+//! timeout mechanism if the algorithm always started from a properly
+//! initialized state"). This bench runs the stabilization pipeline with
+//! the Table-3 link timeouts vs. effectively-infinite ones and reports the
+//! wall time; the stabilization-quality comparison (with timeouts HEX
+//! "reliably stabilizes within two clock pulses") is asserted in
+//! `tests/stabilization.rs`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hex_clock::{PulseTrain, Scenario};
+use hex_core::{DelayRange, HexGrid, Timing};
+use hex_des::{Duration, SimRng};
+use hex_sim::{simulate, InitState, SimConfig};
+
+fn bench_timeouts(c: &mut Criterion) {
+    let mut g = c.benchmark_group("timeout_ablation");
+    g.sample_size(10);
+    let grid = HexGrid::new(20, 10);
+    let with_timeouts = Timing::paper_scenario_iii();
+    let without_timeouts = Timing {
+        link: DelayRange::fixed(Duration::from_ns(100_000.0)),
+        sleep: with_timeouts.sleep,
+    };
+    for (name, timing) in [("link_timeouts_on", with_timeouts), ("link_timeouts_off", without_timeouts)]
+    {
+        g.bench_with_input(BenchmarkId::new("stab_run", name), &timing, |b, timing| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                let mut rng = SimRng::seed_from_u64(seed);
+                let train = PulseTrain::new(Scenario::Zero, 10, Duration::from_ns(300.0));
+                let sched = train.generate(10, &mut rng);
+                let cfg = SimConfig {
+                    timing: *timing,
+                    init: InitState::Arbitrary,
+                    ..SimConfig::fault_free()
+                };
+                simulate(grid.graph(), &sched, &cfg, seed).total_fires()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_timeouts);
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! Analysis-pipeline benchmarks: skew statistics, histograms and the
+//! stabilization estimator over pre-simulated run sets.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hex_analysis::histogram::Histogram;
+use hex_analysis::skew::{collect_skews, exclusion_mask, SkewSamples};
+use hex_analysis::stabilization::{stabilization_pulse, Criterion as StabCriterion};
+use hex_analysis::stats::Summary;
+use hex_bench::zero_schedule;
+use hex_clock::{PulseTrain, Scenario};
+use hex_core::{HexGrid, Timing, D_PLUS};
+use hex_des::{Duration, SimRng};
+use hex_sim::{assign_pulses, simulate, InitState, PulseView, SimConfig};
+
+fn bench_stats(c: &mut Criterion) {
+    let grid = HexGrid::paper();
+    let mask = exclusion_mask(&grid, &[], 0);
+    let views: Vec<PulseView> = (0..50u64)
+        .map(|seed| {
+            let trace = simulate(
+                grid.graph(),
+                &zero_schedule(20),
+                &SimConfig::fault_free(),
+                seed,
+            );
+            PulseView::from_single_pulse(&grid, &trace)
+        })
+        .collect();
+    let mut cumulated = SkewSamples::default();
+    for v in &views {
+        cumulated.extend(&collect_skews(&grid, v, &mask));
+    }
+
+    c.bench_function("collect_skews_50x20", |b| {
+        b.iter(|| collect_skews(&grid, &views[0], &mask).intra.len())
+    });
+    c.bench_function("summary_50k_samples", |b| {
+        b.iter(|| Summary::from_durations(&cumulated.intra).unwrap().max)
+    });
+    c.bench_function("histogram_50k_samples", |b| {
+        b.iter(|| {
+            let mut h = Histogram::new(Duration::ZERO, Duration::from_ns(9.0), 36);
+            h.add_all(&cumulated.intra);
+            h.total()
+        })
+    });
+}
+
+fn bench_stabilization_estimator(c: &mut Criterion) {
+    let grid = HexGrid::new(20, 10);
+    let mut rng = SimRng::seed_from_u64(1);
+    let train = PulseTrain::new(Scenario::Zero, 10, Duration::from_ns(300.0));
+    let sched = train.generate(10, &mut rng);
+    let cfg = SimConfig {
+        timing: Timing::paper_scenario_iii(),
+        init: InitState::Arbitrary,
+        ..SimConfig::fault_free()
+    };
+    let trace = simulate(grid.graph(), &sched, &cfg, 2);
+    let views = assign_pulses(&grid, &trace, &sched, hex_core::DelayRange::paper().mid());
+    let mask = exclusion_mask(&grid, &[], 0);
+    let crit = StabCriterion::uniform(D_PLUS * 2, D_PLUS, grid.length());
+    c.bench_function("stabilization_estimate_10_pulses", |b| {
+        b.iter(|| stabilization_pulse(&grid, &views, &mask, &crit))
+    });
+}
+
+criterion_group!(benches, bench_stats, bench_stabilization_estimator);
+criterion_main!(benches);

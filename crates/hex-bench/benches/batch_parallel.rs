@@ -1,0 +1,33 @@
+//! Batch-runner scaling: the experiment loop at 1, 2, 4 and all available
+//! worker threads (crossbeam work-stealing over run indices).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hex_bench::zero_schedule;
+use hex_core::HexGrid;
+use hex_sim::batch::default_threads;
+use hex_sim::{run_batch, simulate, SimConfig};
+
+fn bench_batch(c: &mut Criterion) {
+    let mut g = c.benchmark_group("batch_64_runs");
+    g.sample_size(10);
+    let grid = HexGrid::new(30, 16);
+    let sched = zero_schedule(16);
+    let cfg = SimConfig::fault_free();
+    let all = default_threads();
+    let mut threads: Vec<usize> = vec![1, 2, 4, all];
+    threads.sort_unstable();
+    threads.dedup();
+    for t in threads {
+        g.bench_with_input(BenchmarkId::new("threads", t), &t, |b, &t| {
+            b.iter(|| {
+                run_batch(64, t, |run| {
+                    simulate(grid.graph(), &sched, &cfg, run as u64).total_fires()
+                })
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_batch);
+criterion_main!(benches);

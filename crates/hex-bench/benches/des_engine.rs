@@ -1,0 +1,61 @@
+//! Engine microbenchmarks: event-queue throughput and single-pulse
+//! simulation cost as a function of grid size.
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use hex_bench::zero_schedule;
+use hex_core::HexGrid;
+use hex_des::{EventQueue, Time};
+use hex_sim::{simulate, SimConfig};
+
+fn bench_event_queue(c: &mut Criterion) {
+    let mut g = c.benchmark_group("event_queue");
+    for n in [1_000usize, 10_000, 100_000] {
+        g.bench_with_input(BenchmarkId::new("push_pop", n), &n, |b, &n| {
+            b.iter_batched(
+                EventQueue::<u64>::new,
+                |mut q| {
+                    // Pseudo-random but deterministic times.
+                    let mut x = 0x9E3779B97F4A7C15u64;
+                    for i in 0..n {
+                        x ^= x << 13;
+                        x ^= x >> 7;
+                        x ^= x << 17;
+                        q.push(Time::from_ps((x % 1_000_000) as i64), i as u64);
+                    }
+                    let mut acc = 0u64;
+                    while let Some(e) = q.pop() {
+                        acc = acc.wrapping_add(e.payload);
+                    }
+                    acc
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+fn bench_single_pulse(c: &mut Criterion) {
+    let mut g = c.benchmark_group("single_pulse");
+    g.sample_size(20);
+    for (l, w) in [(20u32, 20u32), (50, 20), (100, 40)] {
+        let grid = HexGrid::new(l, w);
+        let sched = zero_schedule(w);
+        let cfg = SimConfig::fault_free();
+        g.bench_with_input(
+            BenchmarkId::new("grid", format!("{l}x{w}")),
+            &grid,
+            |b, grid| {
+                let mut seed = 0u64;
+                b.iter(|| {
+                    seed += 1;
+                    simulate(grid.graph(), &sched, &cfg, seed).total_fires()
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_event_queue, bench_single_pulse);
+criterion_main!(benches);

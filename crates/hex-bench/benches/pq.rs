@@ -1,0 +1,95 @@
+//! Priority-queue ablation: `std::collections::BinaryHeap` (the engine's
+//! default future event list) versus the cache-friendlier 4-ary
+//! [`QuadHeapQueue`], on simulation-shaped workloads.
+//!
+//! Two access patterns matter for a DES:
+//!
+//! * **bulk drain** — schedule everything, pop everything (single-pulse
+//!   runs are close to this: most events exist before the wave passes);
+//! * **hold model** — pop one, reschedule it a random delta ahead
+//!   (steady-state multi-pulse simulation; the classic PQ benchmark).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use hex_des::{Duration, EventQueue, QuadHeapQueue, SimRng, Time};
+use std::hint::black_box;
+
+fn delays(n: usize, seed: u64) -> Vec<i64> {
+    let mut rng = SimRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| rng.duration_in(Duration::from_ps(1), Duration::from_ps(10_000)).ps())
+        .collect()
+}
+
+fn bulk_drain(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pq_bulk_drain");
+    for &n in &[1_000usize, 10_000, 100_000] {
+        let ts = delays(n, 1);
+        g.throughput(Throughput::Elements(n as u64));
+        g.bench_with_input(BenchmarkId::new("binary_heap", n), &ts, |b, ts| {
+            b.iter(|| {
+                let mut q = EventQueue::with_capacity(ts.len());
+                for (i, &t) in ts.iter().enumerate() {
+                    q.push(Time::from_ps(t), i);
+                }
+                let mut acc = 0usize;
+                while let Some(e) = q.pop() {
+                    acc ^= e.payload;
+                }
+                black_box(acc)
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("quad_heap", n), &ts, |b, ts| {
+            b.iter(|| {
+                let mut q = QuadHeapQueue::with_capacity(ts.len());
+                for (i, &t) in ts.iter().enumerate() {
+                    q.push(Time::from_ps(t), i);
+                }
+                let mut acc = 0usize;
+                while let Some((_, p)) = q.pop() {
+                    acc ^= p;
+                }
+                black_box(acc)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn hold_model(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pq_hold_model");
+    const OPS: usize = 100_000;
+    for &resident in &[64usize, 1_024, 16_384] {
+        let ds = delays(OPS, 2);
+        g.throughput(Throughput::Elements(OPS as u64));
+        g.bench_with_input(BenchmarkId::new("binary_heap", resident), &ds, |b, ds| {
+            b.iter(|| {
+                let mut q = EventQueue::with_capacity(resident);
+                for i in 0..resident {
+                    q.push(Time::from_ps(i as i64), i);
+                }
+                for &d in ds {
+                    let e = q.pop().expect("resident set never empties");
+                    q.push(e.at + Duration::from_ps(d), e.payload);
+                }
+                black_box(q.len())
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("quad_heap", resident), &ds, |b, ds| {
+            b.iter(|| {
+                let mut q = QuadHeapQueue::with_capacity(resident);
+                for i in 0..resident {
+                    q.push(Time::from_ps(i as i64), i);
+                }
+                for &d in ds {
+                    let (t, p) = q.pop().expect("resident set never empties");
+                    q.push(t + Duration::from_ps(d), p);
+                }
+                black_box(q.len())
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bulk_drain, hold_model);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Reduced-run versions of the Table 1 / Table 2 pipelines, keeping
+//! `cargo bench` an honest end-to-end exercise of the experiment drivers.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hex_bench::{batch_skews, single_pulse_batch, Experiment, FaultRegime};
+use hex_clock::Scenario;
+
+fn bench_tables(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tables");
+    g.sample_size(10);
+    let exp = Experiment {
+        runs: 10,
+        ..Experiment::paper()
+    };
+    g.bench_with_input(
+        BenchmarkId::new("table1_pipeline", "10_runs"),
+        &exp,
+        |b, exp| {
+            b.iter(|| {
+                let views = single_pulse_batch(exp, Scenario::RandomDPlus, FaultRegime::None);
+                batch_skews(exp, &views, 0).cumulated.intra.len()
+            })
+        },
+    );
+    g.bench_with_input(
+        BenchmarkId::new("table2_pipeline", "10_runs"),
+        &exp,
+        |b, exp| {
+            b.iter(|| {
+                let views =
+                    single_pulse_batch(exp, Scenario::RandomDPlus, FaultRegime::Byzantine(1));
+                batch_skews(exp, &views, 0).cumulated.intra.len()
+            })
+        },
+    );
+    g.finish();
+}
+
+criterion_group!(benches, bench_tables);
+criterion_main!(benches);

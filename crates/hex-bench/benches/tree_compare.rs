@@ -1,0 +1,38 @@
+//! HEX vs H-tree: build + one pulse at several sizes (the performance side
+//! of the title-claim comparison; the structural side is the
+//! `tree_compare` binary).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hex_bench::zero_schedule;
+use hex_core::HexGrid;
+use hex_des::SimRng;
+use hex_sim::{simulate, SimConfig};
+use hex_tree::{HTree, HTreeConfig};
+
+fn bench_compare(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tree_vs_hex_pulse");
+    g.sample_size(20);
+    for depth in [3u32, 4, 5] {
+        let side = 1u32 << depth;
+        let tree = HTree::build(HTreeConfig::paper_comparable(depth));
+        g.bench_with_input(BenchmarkId::new("htree", side), &tree, |b, tree| {
+            let mut rng = SimRng::seed_from_u64(1);
+            b.iter(|| tree.simulate_pulse(&[], &mut rng).len())
+        });
+
+        let grid = HexGrid::new((side - 1).max(1), side.max(3));
+        let sched = zero_schedule(side.max(3));
+        let cfg = SimConfig::fault_free();
+        g.bench_with_input(BenchmarkId::new("hex", side), &grid, |b, grid| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                simulate(grid.graph(), &sched, &cfg, seed).total_fires()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_compare);
+criterion_main!(benches);

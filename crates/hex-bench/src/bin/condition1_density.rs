@@ -1,0 +1,85 @@
+//! Condition-1 fault density (Section 3.2's probability claim).
+//!
+//! "If we place f faults uniformly at random in a grid of n nodes, the
+//! probability that [Condition 1] is satisfied is bounded from below by
+//! `(1 − 13(f−1)/n)^f`. In expectation, a uniformly random subset of
+//! `Θ(√n)` nodes may fail before it becomes violated." This driver checks
+//! both statements on real grids: Monte Carlo satisfaction frequency
+//! versus the two closed-form lower bounds, and the measured break-even
+//! fault count versus `√n` scaling.
+//!
+//! ```text
+//! cargo run --release -p hex-bench --bin condition1_density
+//! ```
+
+use hex_core::fault::satisfies_condition1;
+use hex_core::HexGrid;
+use hex_des::SimRng;
+use hex_theory::condition1::{
+    condition1_probability_display, condition1_probability_product, max_faults_at_probability,
+};
+
+fn main() {
+    let trials: usize = std::env::var("HEX_RUNS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(2_000);
+    let seed: u64 = std::env::var("HEX_SEED")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(42);
+
+    println!("Condition-1 probability, {trials} Monte Carlo trials per cell\n");
+    println!(
+        "{:>9} {:>6} {:>3} | {:>9} {:>9} {:>9}",
+        "grid", "n", "f", "measured", "product", "display"
+    );
+    for (l, w) in [(50u32, 20u32), (25, 10), (100, 40)] {
+        let grid = HexGrid::new(l, w);
+        // The paper places faults among ALL n = W·(L+1) nodes — clock
+        // sources may be faulty too (Byzantine clock sources, §1).
+        let candidates: Vec<u32> = grid.graph().node_ids().collect();
+        let n = grid.node_count();
+        let mut rng = SimRng::seed_from_u64(seed);
+        for f in [2usize, 5, 10, 20] {
+            if f > candidates.len() {
+                continue;
+            }
+            let mut ok = 0usize;
+            for _ in 0..trials {
+                let mut pool = candidates.clone();
+                rng.shuffle(&mut pool);
+                let mut pick = pool[..f].to_vec();
+                pick.sort_unstable();
+                if satisfies_condition1(grid.graph(), &pick) {
+                    ok += 1;
+                }
+            }
+            let measured = ok as f64 / trials as f64;
+            let product = condition1_probability_product(n, f);
+            let display = condition1_probability_display(n, f);
+            assert!(
+                measured + 0.05 >= display,
+                "measured frequency fell below the closed-form lower bound"
+            );
+            println!(
+                "{:>5}x{:<3} {:>6} {:>3} | {:>9.3} {:>9.3} {:>9.3}",
+                l, w, n, f, measured, product, display
+            );
+        }
+    }
+
+    println!("\nΘ(√n) break-even (largest f with display bound ≥ 1/2):");
+    println!("{:>8} {:>6} {:>8}", "n", "f(1/2)", "f/√n");
+    for n in [500usize, 1_020, 2_000, 4_080, 8_000, 16_320] {
+        let f = max_faults_at_probability(n, 0.5);
+        println!("{:>8} {:>6} {:>8.3}", n, f, f as f64 / (n as f64).sqrt());
+    }
+    println!(
+        "\nshape: the measured satisfaction frequency tracks the product form within \
+         Monte-Carlo noise (the forbidden regions barely overlap at these densities) and \
+         clearly dominates the displayed (1 − 13(f−1)/n)^f relaxation; the break-even f \
+         grows as ~0.2·√n — the paper's 'a uniformly random subset of Θ(√n) nodes may \
+         fail'."
+    );
+}

@@ -1,0 +1,154 @@
+//! Crash-cluster study (Section 3.2 / the companion paper's \[32\] crash
+//! simulations).
+//!
+//! Crash faults are "more benign": a cluster of `k` adjacent fail-silent
+//! nodes starves exactly an upward triangle of `k(k−1)/2` nodes (every HEX
+//! guard pair contains a lower port), the wave flows around the hole, and
+//! the skew perturbation is local. This driver measures, per cluster size:
+//!
+//! * the starved set against the exact topological shadow;
+//! * skew versus hop distance from the hole (blast radius);
+//! * clustered versus Condition-1-separated placement of the same `f`.
+//!
+//! ```text
+//! cargo run --release -p hex-bench --bin crash_clusters
+//! ```
+
+use hex_analysis::crash::{crash_shadow, hop_distances, horizontal_cluster, starved};
+use hex_analysis::skew::exclusion_mask;
+use hex_analysis::stats::Summary;
+use hex_bench::{batch_skews, single_pulse_batch, Experiment, FaultRegime};
+use hex_clock::Scenario;
+use hex_core::{FaultPlan, NodeFault, D_MINUS, D_PLUS};
+use hex_des::{Duration, Schedule, SimRng};
+use hex_sim::{simulate, PulseView, SimConfig};
+
+fn main() {
+    let exp = Experiment::from_env();
+    let scenario = Scenario::RandomDPlus;
+    let grid = exp.grid();
+    println!(
+        "Crash clusters: {}x{} grid, scenario {}, {} runs per configuration\n",
+        exp.length,
+        exp.width,
+        scenario.label(),
+        exp.runs
+    );
+
+    // Fault-free reference for the blast-radius comparison.
+    let ff = batch_skews(&exp, &single_pulse_batch(&exp, scenario, FaultRegime::None), 0);
+    let ff_sum = Summary::from_durations(&ff.cumulated.intra).unwrap();
+    println!(
+        "fault-free reference: intra avg {:.3} / q95 {:.3} / max {:.3} ns\n",
+        ff_sum.avg, ff_sum.q95, ff_sum.max
+    );
+
+    println!(
+        "{:>2} | {:>7} {:>7} | {}",
+        "k", "shadow", "exact", "q95 intra skew by hop distance from hole (ns)"
+    );
+    let cluster_layer = 4u32;
+    for k in 1..=5usize {
+        let dead = horizontal_cluster(&grid, cluster_layer, 7, k);
+        let shadow = crash_shadow(&grid, &dead);
+        // Distance classes measured from the dead ∪ starved hole.
+        let mut hole = dead.clone();
+        hole.extend(&shadow);
+        hole.sort_unstable();
+        let dist = hop_distances(&grid, &hole);
+
+        // Intra-skew samples per distance class over runs.
+        let mut by_dist: Vec<Vec<Duration>> = vec![Vec::new(); 7];
+        let mut measured_shadow = None;
+        for run in 0..exp.runs {
+            let seed = exp.seed + run as u64;
+            let mut rng = SimRng::seed_from_u64(seed ^ 0xC4A5);
+            let offsets = scenario.single_pulse_times(exp.width, D_MINUS, D_PLUS, &mut rng);
+            let cfg = SimConfig {
+                faults: FaultPlan::none().with_nodes(&dead, NodeFault::FailSilent),
+                ..SimConfig::fault_free()
+            };
+            let trace = simulate(grid.graph(), &Schedule::single_pulse(offsets), &cfg, seed);
+            let got = starved(&grid, &trace);
+            assert_eq!(got, shadow, "run {run}: measured shadow deviates from the fixpoint");
+            measured_shadow = Some(got.len());
+            let view = PulseView::from_single_pulse(&grid, &trace);
+            for layer in 1..=exp.length {
+                for col in 0..exp.width as i64 {
+                    let a = grid.node(layer, col);
+                    let b = grid.node(layer, col + 1);
+                    let (Some(ta), Some(tb)) = (view.time(layer, col), view.time(layer, col + 1))
+                    else {
+                        continue;
+                    };
+                    let d = dist[a as usize].min(dist[b as usize]).min(6) as usize;
+                    by_dist[d].push(ta.abs_diff(tb));
+                }
+            }
+        }
+        let cells: Vec<String> = by_dist
+            .iter()
+            .enumerate()
+            .map(|(d, samples)| match Summary::from_durations(samples) {
+                Some(s) if d > 0 => format!("d{d}: {:5.2}", s.q95),
+                _ => format!("d{d}: —   "),
+            })
+            .collect();
+        println!(
+            "{:>2} | {:>7} {:>7} | {}",
+            k,
+            measured_shadow.unwrap_or(0),
+            k * (k - 1) / 2,
+            cells.join("  ")
+        );
+    }
+
+    // Clustered vs separated placement of the same f (skew over survivors,
+    // excluding the hole itself).
+    println!("\nclustered vs Condition-1-separated fail-silent faults (h = 0 exclusion of dead+starved):");
+    println!(
+        "{:>2} | {:>28} | {:>28}",
+        "f", "clustered intra avg/q95/max", "separated intra avg/q95/max"
+    );
+    for f in 2..=4usize {
+        // Clustered: one k = f horizontal run.
+        let dead = horizontal_cluster(&grid, cluster_layer, 7, f);
+        let shadow = crash_shadow(&grid, &dead);
+        let mut excluded = dead.clone();
+        excluded.extend(&shadow);
+        excluded.sort_unstable();
+        let mut all = Vec::new();
+        for run in 0..exp.runs {
+            let seed = exp.seed + run as u64;
+            let mut rng = SimRng::seed_from_u64(seed ^ 0xC4A6);
+            let offsets = scenario.single_pulse_times(exp.width, D_MINUS, D_PLUS, &mut rng);
+            let cfg = SimConfig {
+                faults: FaultPlan::none().with_nodes(&dead, NodeFault::FailSilent),
+                ..SimConfig::fault_free()
+            };
+            let trace = simulate(grid.graph(), &Schedule::single_pulse(offsets), &cfg, seed);
+            let view = PulseView::from_single_pulse(&grid, &trace);
+            let mask = exclusion_mask(&grid, &excluded, 0);
+            all.extend(hex_analysis::skew::collect_skews(&grid, &view, &mask).intra);
+        }
+        let clustered = Summary::from_durations(&all).unwrap();
+
+        let sep =
+            batch_skews(&exp, &single_pulse_batch(&exp, scenario, FaultRegime::FailSilent(f)), 0);
+        let separated = Summary::from_durations(&sep.cumulated.intra).unwrap();
+        println!(
+            "{:>2} | {:>8.3} {:>8.3} {:>8.3} | {:>8.3} {:>8.3} {:>8.3}",
+            f, clustered.avg, clustered.q95, clustered.max, separated.avg, separated.q95,
+            separated.max
+        );
+    }
+    println!(
+        "\nshapes: measured starved sets equal the exact k(k−1)/2 triangle in every run. The \
+         per-distance q95 decays away from the hole but stays elevated in its upward wake: \
+         nodes rescued by side-triggering run ~d+ late, and that lateness smooths out over \
+         ~W layers exactly like an initial skew (Lemma 3) — a cone, not a ball. Worst-case \
+         (max) skew never exceeds ~d+ anywhere, and clustered crashes cost *less* neighbor \
+         skew than separated ones of the same f — clustering trades skew for the starved \
+         triangle."
+    );
+}

@@ -1,0 +1,49 @@
+//! Fig. 10 — cumulated skew histograms from 250 runs in scenario (i).
+//!
+//! Expected shape: "a sharp concentration with an exponential tail" for
+//! both the intra-layer and the (signed) inter-layer skews.
+
+use hex_analysis::histogram::Histogram;
+use hex_analysis::stats::Summary;
+use hex_bench::{batch_skews, single_pulse_batch, Experiment, FaultRegime};
+use hex_clock::Scenario;
+use hex_des::Duration;
+
+fn main() {
+    let exp = Experiment::from_env();
+    let views = single_pulse_batch(&exp, Scenario::Zero, FaultRegime::None);
+    let skews = batch_skews(&exp, &views, 0);
+
+    println!(
+        "Fig. 10: cumulated skew histograms, scenario (i), {} runs",
+        exp.runs
+    );
+
+    let mut intra = Histogram::new(Duration::ZERO, Duration::from_ns(9.0), 36);
+    intra.add_all(&skews.cumulated.intra);
+    println!(
+        "\nintra-layer skews ({} samples, overflow {}):",
+        intra.total(),
+        intra.overflow()
+    );
+    print!("{}", intra.to_ascii(48));
+    let s = Summary::from_durations(&skews.cumulated.intra).unwrap();
+    println!("summary: {}", s.intra_row());
+
+    let mut inter = Histogram::new(Duration::ZERO, Duration::from_ns(18.0), 36);
+    inter.add_all(&skews.cumulated.inter);
+    println!(
+        "\ninter-layer skews ({} samples, underflow {}, overflow {}):",
+        inter.total(),
+        inter.underflow(),
+        inter.overflow()
+    );
+    print!("{}", inter.to_ascii(48));
+    let s = Summary::from_durations(&skews.cumulated.inter).unwrap();
+    println!("summary: {}", s.inter_row());
+
+    if std::env::var("HEX_CSV").is_ok() {
+        println!("\nintra CSV:\n{}", intra.to_csv());
+        println!("inter CSV:\n{}", inter.to_csv());
+    }
+}

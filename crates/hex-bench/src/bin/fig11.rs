@@ -1,0 +1,50 @@
+//! Fig. 11 — cumulated skew histograms from 250 runs in scenario (iv).
+//!
+//! Expected shape: like Fig. 10 but with "a visible cluster near the end of
+//! the tail that is caused by the large initial skews" — the ramped layer-0
+//! times keep neighbor skews of ≈ d+ alive in the lowest layers.
+
+use hex_analysis::histogram::Histogram;
+use hex_analysis::stats::Summary;
+use hex_bench::{batch_skews, single_pulse_batch, Experiment, FaultRegime};
+use hex_clock::Scenario;
+use hex_des::Duration;
+
+fn main() {
+    let exp = Experiment::from_env();
+    let views = single_pulse_batch(&exp, Scenario::Ramp, FaultRegime::None);
+    let skews = batch_skews(&exp, &views, 0);
+
+    println!(
+        "Fig. 11: cumulated skew histograms, scenario (iv), {} runs",
+        exp.runs
+    );
+
+    let mut intra = Histogram::new(Duration::ZERO, Duration::from_ns(9.0), 36);
+    intra.add_all(&skews.cumulated.intra);
+    println!(
+        "\nintra-layer skews ({} samples, overflow {}):",
+        intra.total(),
+        intra.overflow()
+    );
+    print!("{}", intra.to_ascii(48));
+    let s = Summary::from_durations(&skews.cumulated.intra).unwrap();
+    println!("summary: {}", s.intra_row());
+
+    let mut inter = Histogram::new(Duration::from_ns(-2.0), Duration::from_ns(18.0), 40);
+    inter.add_all(&skews.cumulated.inter);
+    println!(
+        "\ninter-layer skews ({} samples, underflow {}, overflow {}):",
+        inter.total(),
+        inter.underflow(),
+        inter.overflow()
+    );
+    print!("{}", inter.to_ascii(48));
+    let s = Summary::from_durations(&skews.cumulated.inter).unwrap();
+    println!("summary: {}", s.inter_row());
+
+    if std::env::var("HEX_CSV").is_ok() {
+        println!("\nintra CSV:\n{}", intra.to_csv());
+        println!("inter CSV:\n{}", inter.to_csv());
+    }
+}

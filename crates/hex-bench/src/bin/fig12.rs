@@ -1,0 +1,48 @@
+//! Fig. 12 — per-layer inter-layer skews (min/avg/max ± std), scenarios
+//! (iii) and (iv), truncated to 30 layers, 250 runs.
+//!
+//! Expected shape: "the fairly discrepant skews observed in lower layers
+//! start to smooth out after layer W − 2, in accordance with Lemma 3" —
+//! most visible for the ramp scenario, whose per-layer max drops sharply
+//! after layer 18 (W = 20).
+
+use hex_analysis::layers::{layer_series, layer_series_csv};
+use hex_analysis::skew::exclusion_mask;
+use hex_bench::{single_pulse_batch, Experiment, FaultRegime};
+use hex_clock::Scenario;
+use hex_sim::PulseView;
+
+fn main() {
+    let exp = Experiment::from_env();
+    let grid = exp.grid();
+    let mask = exclusion_mask(&grid, &[], 0);
+    for scenario in [Scenario::RandomDPlus, Scenario::Ramp] {
+        let views = single_pulse_batch(&exp, scenario, FaultRegime::None);
+        let refs: Vec<&PulseView> = views.iter().map(|rv| &rv.view).collect();
+        let rows = layer_series(&grid, &refs, &mask, 30);
+        println!(
+            "\nFig. 12, scenario {}: per-layer inter-layer skews (ns), {} runs",
+            scenario.label(),
+            exp.runs
+        );
+        println!(
+            "{:>5} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8}",
+            "layer", "min", "q5", "avg", "q95", "max", "std"
+        );
+        for r in &rows {
+            println!(
+                "{:>5} {:>8.3} {:>8.3} {:>8.3} {:>8.3} {:>8.3} {:>8.3}",
+                r.layer,
+                r.summary.min,
+                r.summary.q05,
+                r.summary.avg,
+                r.summary.q95,
+                r.summary.max,
+                r.summary.std
+            );
+        }
+        if std::env::var("HEX_CSV").is_ok() {
+            println!("{}", layer_series_csv(&rows));
+        }
+    }
+}

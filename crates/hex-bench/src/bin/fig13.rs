@@ -1,0 +1,64 @@
+//! Fig. 13 — pulse propagation for scenario (i) with one Byzantine node at
+//! `(1, 19)` sending constant 1 to its same-layer neighbors and constant 0
+//! upward.
+//!
+//! Expected shape: "the increase in skews emanating from the faulty node
+//! fades with the distance from the fault location" (fault locality).
+
+use hex_analysis::skew::{collect_skews, exclusion_mask};
+use hex_analysis::stats::Summary;
+use hex_analysis::wave::wave_ascii;
+use hex_bench::Experiment;
+use hex_clock::Scenario;
+use hex_core::{FaultPlan, LinkBehavior, NodeFault};
+use hex_des::{Schedule, SimRng};
+use hex_sim::{simulate, PulseView, SimConfig};
+
+fn main() {
+    let exp = Experiment::from_env();
+    let grid = exp.grid();
+    let byz = grid.node(1, 19);
+
+    // The figure's exact behaviour: constant 1 to left/right, constant 0 to
+    // both upper neighbors.
+    let mut faults = FaultPlan::none().with_node(byz, NodeFault::Byzantine);
+    for &l in grid.graph().out_links(byz) {
+        let dst = grid.graph().link(l).dst;
+        let c = grid.coord_of(dst);
+        let behavior = if c.layer == 1 {
+            LinkBehavior::StuckOne
+        } else {
+            LinkBehavior::StuckZero
+        };
+        faults = faults.with_link(l, behavior);
+    }
+
+    let mut rng = SimRng::seed_from_u64(exp.seed);
+    let offsets = Scenario::Zero.single_pulse_times(
+        exp.width,
+        hex_core::D_MINUS,
+        hex_core::D_PLUS,
+        &mut rng,
+    );
+    let cfg = SimConfig {
+        timing: hex_bench::scenario_timing(Scenario::Zero),
+        faults,
+        ..SimConfig::fault_free()
+    };
+    let trace = simulate(grid.graph(), &Schedule::single_pulse(offsets), &cfg, exp.seed);
+    let view = PulseView::from_single_pulse(&grid, &trace);
+
+    println!("Fig. 13: wave with Byzantine node at (1,19), scenario (i)");
+    print!("{}", wave_ascii(&grid, &view, 30));
+
+    // Fault locality: skews near the fault vs. far away.
+    for h in [0usize, 1, 2] {
+        let mask = exclusion_mask(&grid, &[byz], h);
+        let s = collect_skews(&grid, &view, &mask);
+        let sum = Summary::from_durations(&s.intra).unwrap();
+        println!(
+            "h={h}: intra-layer skews avg {:>6.3} q95 {:>6.3} max {:>6.3} (n={})",
+            sum.avg, sum.q95, sum.max, sum.n
+        );
+    }
+}

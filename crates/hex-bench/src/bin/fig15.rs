@@ -1,0 +1,15 @@
+//! Fig. 15 — box plots of intra-/inter-layer skews from 250 runs in
+//! scenario (iii), for `f ∈ {0,…,5}` Byzantine nodes, with `h ∈ {0, 1}`
+//! hop exclusion around the faults.
+//!
+//! Expected shapes: skews increase *moderately* with f (far slower than the
+//! worst-case ≈ 5·f·d+), and with `h = 1` the fault effects essentially
+//! disappear (fault locality).
+
+use hex_bench::{fault_sweep, Experiment};
+use hex_clock::Scenario;
+
+fn main() {
+    let exp = Experiment::from_env();
+    fault_sweep(&exp, Scenario::RandomDPlus, "Fig. 15");
+}

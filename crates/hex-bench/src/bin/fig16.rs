@@ -1,0 +1,16 @@
+//! Fig. 16 — box plots of intra-/inter-layer skews from 250 runs in
+//! scenario (iv), `f ∈ {0,…,5}` Byzantine nodes, `h ∈ {0, 1}`.
+//!
+//! Expected shapes beyond Fig. 15: "a single fault essentially causes the
+//! worst-case skew" (skew effects of multiple faults do not accumulate),
+//! and "the maximal intra-layer skews typically exceed the inter-layer
+//! skews" because the ramped wave propagates diagonally (Fig. 17's
+//! explanation).
+
+use hex_bench::{fault_sweep, Experiment};
+use hex_clock::Scenario;
+
+fn main() {
+    let exp = Experiment::from_env();
+    fault_sweep(&exp, Scenario::Ramp, "Fig. 16");
+}

@@ -1,0 +1,81 @@
+//! Fig. 17 — the deterministic single-Byzantine worst case: ramp scenario,
+//! all delays `d+`, a Byzantine node tearing its two upper neighbors apart.
+//!
+//! The paper's construction yields an intra-layer skew of `5·d+` between
+//! the fault's upper neighbors, with the inter-layer skew smaller by `d+`.
+//! This binary sweeps the Byzantine profile and position and reports the
+//! worst skews found, next to the fault-free ramp baseline of exactly
+//! `d+`.
+
+use hex_core::D_PLUS;
+use hex_des::Duration;
+use hex_sim::{simulate, PulseView, SimConfig};
+use hex_theory::adversary::{byzantine_ramp, ByzProfile, Construction};
+
+fn run(c: &Construction) -> PulseView {
+    let cfg = SimConfig {
+        delays: c.delays.clone(),
+        faults: c.faults.clone(),
+        ..SimConfig::fault_free()
+    };
+    let trace = simulate(c.grid.graph(), &c.schedule, &cfg, 1);
+    PulseView::from_single_pulse(&c.grid, &trace)
+}
+
+fn main() {
+    let delays = hex_core::DelayRange::paper();
+    let (length, width, byz_layer) = (16u32, 20u32, 5u32);
+    println!(
+        "Fig. 17: deterministic single-Byzantine worst case (all delays d+, ramp layer 0)"
+    );
+    println!("d+ = {:.3} ns; paper's constructed skew: 5*d+ = {:.3} ns", D_PLUS.ns(), D_PLUS.ns() * 5.0);
+
+    let mut best_intra = Duration::ZERO;
+    let mut best_inter = Duration::ZERO;
+    let mut best_at = (ByzProfile::silent(), 0u32);
+    for profile in ByzProfile::sweep() {
+        for byz_col in 0..width {
+            let c = byzantine_ramp(length, width, byz_layer, byz_col, profile, delays);
+            let view = run(&c);
+            let ((la, ca), (lb, cb)) = c.focus;
+            let (Some(ta), Some(tb)) = (view.time(la, ca), view.time(lb, cb)) else {
+                continue;
+            };
+            let intra = ta.abs_diff(tb);
+            if intra > best_intra {
+                best_intra = intra;
+                best_at = (profile, byz_col);
+            }
+            // Inter-layer skew around the fault: upper neighbors vs their
+            // layer-(byz_layer) in-neighbors, skipping the fault itself.
+            for (ul, uc) in [(la, ca), (lb, cb)] {
+                for lower in [uc, uc + 1] {
+                    if lower.rem_euclid(width as i64) == byz_col as i64 {
+                        continue;
+                    }
+                    if let (Some(tu), Some(tl)) =
+                        (view.time(ul, uc), view.time(ul - 1, lower))
+                    {
+                        best_inter = best_inter.max(tu.abs_diff(tl));
+                    }
+                }
+            }
+        }
+    }
+    println!(
+        "worst intra-layer skew between the fault's upper neighbors: {:.3} ns = {:.2}*d+  (profile {:?}, col {})",
+        best_intra.ns(),
+        best_intra.ns() / D_PLUS.ns(),
+        best_at.0,
+        best_at.1
+    );
+    println!(
+        "worst inter-layer skew around the fault:                    {:.3} ns = {:.2}*d+",
+        best_inter.ns(),
+        best_inter.ns() / D_PLUS.ns()
+    );
+    println!(
+        "fault-free ramp baseline (neighbor skew):                    {:.3} ns = 1.00*d+",
+        D_PLUS.ns()
+    );
+}

@@ -1,0 +1,62 @@
+//! Fig. 5 — the fault-free worst-case construction: a barrier of dead
+//! nodes cuts the cylinder, nodes in and left of the focus column run at
+//! `d-`, everything to the right crawls at `d+` with large initial layer-0
+//! skews. The skew between the top-layer focus neighbors approaches the
+//! Lemma-4 worst case.
+
+use hex_analysis::wave::wave_ascii;
+use hex_clock::Scenario;
+use hex_des::Time;
+use hex_sim::{simulate, PulseView, SimConfig};
+use hex_theory::adversary::fault_free_worst_case;
+use hex_theory::bounds::Theorem1;
+
+fn main() {
+    let delays = hex_core::DelayRange::paper();
+    let (length, width, fast_col, barrier_col) = (20u32, 20u32, 8u32, 16u32);
+    let c = fault_free_worst_case(length, width, fast_col, barrier_col, delays);
+
+    let cfg = SimConfig {
+        delays: c.delays.clone(),
+        faults: c.faults.clone(),
+        ..SimConfig::fault_free()
+    };
+    let trace = simulate(c.grid.graph(), &c.schedule, &cfg, 1);
+    let view = PulseView::from_single_pulse(&c.grid, &trace);
+
+    println!(
+        "Fig. 5: fault-free worst case ({}x{}, dead barrier col {}, fast cols 0..={})",
+        length, width, barrier_col, fast_col
+    );
+    print!("{}", wave_ascii(&c.grid, &view, length));
+
+    let ((la, ca), (lb, cb)) = c.focus;
+    let ta = view.time(la, ca).expect("fast node fired");
+    let tb = view.time(lb, cb).expect("slow node fired");
+    let skew = ta.abs_diff(tb);
+
+    let offs: Vec<_> = (0..width as usize)
+        .map(|i| c.schedule.source(i)[0] - Time::ZERO)
+        .collect();
+    let pot = Scenario::skew_potential(&offs, delays.lo);
+    let thm = Theorem1 {
+        width,
+        length,
+        delays,
+        potential0: pot,
+    };
+    println!(
+        "constructed skew between ({},{}) and ({},{}): {:.3} ns",
+        la, ca, lb, cb, skew.ns()
+    );
+    println!("layer-0 skew potential of the construction:  {:.3} ns", pot.ns());
+    println!(
+        "Theorem-1 worst-case bound (same potential):  {:.3} ns (steady {:.3})",
+        thm.intra_max().ns(),
+        thm.steady_intra().ns()
+    );
+    println!(
+        "random-delay runs (Table 1, scenario (i)) max out around 3 ns — the deterministic construction gets {:.1}x closer to the bound",
+        skew.ns() / 3.1
+    );
+}

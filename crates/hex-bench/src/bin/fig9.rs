@@ -1,0 +1,32 @@
+//! Fig. 9 — pulse wave propagation with layer-0 skews ramping up/down by
+//! `d+` (scenario (iv)).
+//!
+//! The wave starts strongly tilted (the ramp) and the tilt visibly smooths
+//! out after ≈ W − 2 layers, in accordance with Lemma 3.
+
+use hex_analysis::wave::{wave_ascii, wave_csv, wave_front};
+use hex_bench::{single_wave, Experiment, FaultRegime};
+use hex_clock::Scenario;
+
+fn main() {
+    let exp = Experiment::from_env();
+    let rv = single_wave(&exp, Scenario::Ramp, FaultRegime::None);
+    let grid = exp.grid();
+    println!(
+        "Fig. 9: pulse wave, scenario (iv) ramp d+, {}x{} grid (ASCII relief, 30 layers)",
+        exp.length, exp.width
+    );
+    print!("{}", wave_ascii(&grid, &rv.view, 30));
+    println!("\nwave front (layer: min..max trigger time, ns):");
+    for (layer, span) in wave_front(&grid, &rv.view) {
+        if layer > 30 {
+            break;
+        }
+        if let Some((lo, hi)) = span {
+            println!("  {layer:>3}: {lo:8.3} .. {hi:8.3}  (spread {:.3})", hi - lo);
+        }
+    }
+    if std::env::var("HEX_CSV").is_ok() {
+        println!("\n{}", wave_csv(&grid, &rv.view));
+    }
+}

@@ -1,0 +1,33 @@
+//! Table 1 — intra- and inter-layer skews (ns) over 250 runs on a 50×20
+//! grid, fault-free, for the four layer-0 scenarios.
+//!
+//! Paper reference values (for shape comparison; absolute values depend on
+//! the RNG stream):
+//!
+//! ```text
+//! scenario                  intra avg/q95/max        inter min/q5/avg/q95/max
+//! (i)   0                   0.395  1.000  3.098      7.164 7.356 7.937  8.626 11.030
+//! (ii)  random in [0,d-]    0.462  1.226  6.888      7.164 7.350 7.988  8.795 15.199
+//! (iii) random in [0,d+]    0.473  1.260  7.786      7.164 7.349 7.997  8.814 16.219
+//! (iv)  ramp d+             1.860  7.639  8.191      0.357 7.262 8.642 14.834 16.390
+//! ```
+
+use hex_bench::{batch_skews, single_pulse_batch, table_row, Experiment, FaultRegime};
+use hex_clock::Scenario;
+
+fn main() {
+    let exp = Experiment::from_env();
+    println!(
+        "Table 1: skews (ns), {} runs on a {}x{} grid, fault-free",
+        exp.runs, exp.length, exp.width
+    );
+    println!(
+        "{:<24} | {:>7} {:>7} {:>7} | {:>7} {:>7} {:>7} {:>7} {:>7}",
+        "scenario", "avg", "q95", "max", "min", "q5", "avg", "q95", "max"
+    );
+    for scenario in Scenario::ALL {
+        let views = single_pulse_batch(&exp, scenario, FaultRegime::None);
+        let skews = batch_skews(&exp, &views, 0);
+        println!("{}", table_row(scenario.label(), &skews));
+    }
+}

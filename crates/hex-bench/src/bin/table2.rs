@@ -1,0 +1,33 @@
+//! Table 2 — intra- and inter-layer skews (ns) over 250 runs on a 50×20
+//! grid with **one Byzantine node** (random Condition-1 placement, random
+//! per-link stuck-0/1 behaviour), for the four layer-0 scenarios.
+//!
+//! Paper reference values:
+//!
+//! ```text
+//! scenario                  intra avg/q95/max        inter min/q5/avg/q95/max
+//! (i)   0                   0.539  1.335 10.385      5.575 7.352 8.007  8.760 17.548
+//! (ii)  random in [0,d-]    0.607  1.717 10.123      4.205 7.343 8.058  9.003 20.027
+//! (iii) random in [0,d+]    0.618  1.787 10.363      3.515 7.343 8.067  9.033 20.717
+//! (iv)  ramp d+             1.973  7.660 34.590    −19.695 7.260 8.690 14.866 24.305
+//! ```
+
+use hex_bench::{batch_skews, single_pulse_batch, table_row, Experiment, FaultRegime};
+use hex_clock::Scenario;
+
+fn main() {
+    let exp = Experiment::from_env();
+    println!(
+        "Table 2: skews (ns), {} runs on a {}x{} grid, one Byzantine node",
+        exp.runs, exp.length, exp.width
+    );
+    println!(
+        "{:<24} | {:>7} {:>7} {:>7} | {:>7} {:>7} {:>7} {:>7} {:>7}",
+        "scenario", "avg", "q95", "max", "min", "q5", "avg", "q95", "max"
+    );
+    for scenario in Scenario::ALL {
+        let views = single_pulse_batch(&exp, scenario, FaultRegime::Byzantine(1));
+        let skews = batch_skews(&exp, &views, 0);
+        println!("{}", table_row(scenario.label(), &skews));
+    }
+}

@@ -1,0 +1,59 @@
+//! Table 3 — assumed stable skews σ and the Condition-2 timeout values
+//! used in the stabilization experiments (ns).
+//!
+//! Paper reference:
+//!
+//! ```text
+//! scenario                σ      T-link  T+link  T-sleep T+sleep S
+//! (i)   0                 28.48  31.98   33.58   83.56   87.74   264.08
+//! (ii)  random in [0,d-]  31.16  34.66   36.39   89.18   93.64   275.60
+//! (iii) random in [0,d+]  31.75  35.25   37.01   90.42   94.94   278.14
+//! (iv)  ramp d+           40.64  44.14   46.34   109.08  114.53  316.40
+//! ```
+//!
+//! The derivation includes the paper's footnote-10 pulse-width allowance
+//! (2.464 ns); the bare Condition-2 values (allowance 0) are printed as a
+//! second block.
+
+use hex_clock::Scenario;
+use hex_des::Duration;
+use hex_theory::condition2::TABLE3_SIGMA_NS;
+use hex_theory::Condition2;
+
+fn print_block(title: &str, pulse_width: Duration) {
+    println!("{title}");
+    println!(
+        "{:<24} {:>7} {:>8} {:>8} {:>8} {:>8} {:>8}",
+        "scenario", "sigma", "T-link", "T+link", "T-sleep", "T+sleep", "S"
+    );
+    for (ix, scenario) in Scenario::ALL.iter().enumerate() {
+        let sigma = Duration::from_ns(TABLE3_SIGMA_NS[ix]);
+        let c2 = Condition2 {
+            pulse_width,
+            ..Condition2::paper(sigma)
+        };
+        let d = c2.derive();
+        println!(
+            "{:<24} {:>7.2} {:>8.2} {:>8.2} {:>8.2} {:>8.2} {:>8.2}",
+            scenario.label(),
+            sigma.ns(),
+            d.t_link_min.ns(),
+            d.t_link_max.ns(),
+            d.t_sleep_min.ns(),
+            d.t_sleep_max.ns(),
+            d.separation.ns()
+        );
+    }
+}
+
+fn main() {
+    print_block(
+        "Table 3: Condition-2 timeouts (ns), with footnote-10 pulse-width allowance (paper values)",
+        Duration::from_ps(2_464),
+    );
+    println!();
+    print_block(
+        "Bare Condition 2 (pulse-width allowance 0)",
+        Duration::ZERO,
+    );
+}

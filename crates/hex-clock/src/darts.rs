@@ -1,0 +1,393 @@
+//! A DARTS-style distributed tick generator.
+//!
+//! The paper names two candidate algorithms for the layer-0 clock sources:
+//! FATAL⁺ \[31\] (approximated by [`crate::pulser`]) and **DARTS** [29, 30] —
+//! a Byzantine fault-tolerant *tick generation* scheme in which `n ≥ 3f+1`
+//! clique members maintain a common tick counter without any local
+//! oscillator agreement, purely through counting rules:
+//!
+//! * **catch-up rule**: seeing `f + 1` distinct `TICK(≥ k)` messages proves
+//!   some correct node reached tick `k`, so it is safe to jump to `k`;
+//! * **advance rule**: seeing `n − f` distinct `TICK(≥ k)` messages means
+//!   enough correct nodes reached `k` to move on: emit `TICK(k+1)`.
+//!
+//! (This is the classic Srikanth–Toueg bounded-tick construction that DARTS
+//! implements in hardware; our version is the message-passing skeleton with
+//! a local pacing timer, which is exactly the interface HEX needs: a stream
+//! of synchronized, well-separated ticks per member.)
+//!
+//! Guarantees exercised by the tests, for `n ≥ 3f + 1`:
+//!
+//! * **progress** — correct members' tick counters grow without bound;
+//! * **bounded divergence** — correct members' counters differ by at most 1
+//!   at any instant (checked on the full event log);
+//! * **tick skew** — the times at which two correct members reach tick `k`
+//!   differ by at most `2·d+` once the system is running.
+
+use std::collections::BTreeMap;
+
+use hex_des::{Duration, EventQueue, Schedule, SimRng, Time};
+
+/// Configuration of a DARTS-style clique.
+#[derive(Debug, Clone)]
+pub struct DartsConfig {
+    /// Clique size `n ≥ 3f + 1`.
+    pub n: usize,
+    /// Byzantine members (absent/arbitrary senders).
+    pub byzantine: Vec<usize>,
+    /// Message delay bounds within the clique.
+    pub d_minus: Duration,
+    /// Maximum message delay.
+    pub d_plus: Duration,
+    /// Local pacing: a member waits `[pace, ϑ·pace]` after advancing before
+    /// it volunteers the next tick (keeps the tick rate bounded; progress
+    /// never depends on it).
+    pub pace: Duration,
+    /// Drift bound `ϑ ≥ 1`.
+    pub theta: f64,
+    /// Run until every correct member reached this tick.
+    pub ticks: u32,
+}
+
+impl DartsConfig {
+    /// A fault-free clique with paper delays, 50 ns pacing, `ϑ = 1.05`.
+    pub fn new(n: usize, ticks: u32) -> Self {
+        DartsConfig {
+            n,
+            byzantine: Vec::new(),
+            d_minus: hex_core::D_MINUS,
+            d_plus: hex_core::D_PLUS,
+            pace: Duration::from_ns(50.0),
+            theta: hex_core::THETA,
+            ticks,
+        }
+    }
+
+    /// Number of Byzantine members `f`.
+    pub fn f(&self) -> usize {
+        self.byzantine.len()
+    }
+}
+
+/// Per-member tick history: `reached[k]` is the time the member's counter
+/// first reached tick `k+1`.
+#[derive(Debug, Clone)]
+pub struct DartsTrace {
+    /// Tick times per member (empty for Byzantine members).
+    pub reached: Vec<Vec<Time>>,
+    /// Byzantine ids.
+    pub byzantine: Vec<usize>,
+}
+
+impl DartsTrace {
+    /// Correct member ids.
+    pub fn correct(&self) -> Vec<usize> {
+        (0..self.reached.len())
+            .filter(|i| !self.byzantine.contains(i))
+            .collect()
+    }
+
+    /// Skew of tick `k`: spread of the first-reach times over correct
+    /// members (`None` if some member never reached it).
+    pub fn tick_skew(&self, k: u32) -> Option<Duration> {
+        let times: Vec<Time> = self
+            .correct()
+            .iter()
+            .map(|&i| self.reached[i].get(k as usize).copied())
+            .collect::<Option<Vec<_>>>()?;
+        Some(*times.iter().max()? - *times.iter().min()?)
+    }
+
+    /// Maximum instantaneous counter divergence between correct members
+    /// over the whole run: for each pair of consecutive tick times, how far
+    /// ahead the leader was.
+    pub fn max_divergence(&self) -> u32 {
+        // Build a timeline of (time, member, new_tick) events and sweep.
+        let mut events: Vec<(Time, usize, u32)> = Vec::new();
+        for &i in &self.correct() {
+            for (k, &t) in self.reached[i].iter().enumerate() {
+                events.push((t, i, k as u32 + 1));
+            }
+        }
+        events.sort();
+        let mut counter: BTreeMap<usize, u32> =
+            self.correct().into_iter().map(|i| (i, 0)).collect();
+        let mut worst = 0;
+        for (_, i, k) in events {
+            counter.insert(i, k);
+            let hi = *counter.values().max().unwrap();
+            let lo = *counter.values().min().unwrap();
+            worst = worst.max(hi - lo);
+        }
+        worst
+    }
+
+    /// Convert the tick streams into a layer-0 [`Schedule`] (tick `k` of
+    /// member `i` becomes pulse `k` of source `i`).
+    pub fn to_layer0_schedule(&self, w: u32, pulses: usize) -> Schedule {
+        assert!((w as usize) <= self.reached.len());
+        Schedule::new(
+            (0..w as usize)
+                .map(|i| {
+                    if self.byzantine.contains(&i) {
+                        Vec::new()
+                    } else {
+                        self.reached[i].iter().take(pulses).copied().collect()
+                    }
+                })
+                .collect(),
+        )
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Ev {
+    /// `TICK(k)` from `from` arrives at `to`.
+    Deliver { from: usize, to: usize, k: u32 },
+    /// Pacing timer of `node` expired (it may volunteer the next tick).
+    Pace { node: usize, epoch: u32 },
+}
+
+struct Member {
+    tick: u32,
+    /// Highest tick value received from each peer.
+    seen: Vec<u32>,
+    /// Has this member broadcast its current tick?
+    sent: u32,
+    pace_epoch: u32,
+    reached: Vec<Time>,
+}
+
+/// Run the DARTS-style clique.
+pub fn run_darts(cfg: &DartsConfig, rng: &mut SimRng) -> DartsTrace {
+    assert!(cfg.n >= 3 * cfg.f() + 1, "need n ≥ 3f+1");
+    let n = cfg.n;
+    let f = cfg.f();
+    let is_byz = |i: usize| cfg.byzantine.contains(&i);
+
+    let mut q: EventQueue<Ev> = EventQueue::new();
+    let mut members: Vec<Member> = (0..n)
+        .map(|_| Member {
+            tick: 0,
+            seen: vec![0; n],
+            sent: 0,
+            pace_epoch: 0,
+            reached: Vec::new(),
+        })
+        .collect();
+
+    // Kick-off: every correct member schedules its first pace expiry with a
+    // start jitter; Byzantine members stay silent (the worst benign-looking
+    // behaviour for progress) — spamming variants are covered by the
+    // threshold pulser's tests.
+    for i in 0..n {
+        if !is_byz(i) {
+            let jitter = rng.duration_in(Duration::ZERO, cfg.d_plus);
+            q.push(Time::ZERO + jitter, Ev::Pace { node: i, epoch: 0 });
+        }
+    }
+
+    let broadcast =
+        |from: usize, k: u32, now: Time, q: &mut EventQueue<Ev>, rng: &mut SimRng| {
+            for to in 0..n {
+                if to != from {
+                    let d = rng.duration_in(cfg.d_minus, cfg.d_plus);
+                    q.push(now + d, Ev::Deliver { from, to, k });
+                }
+            }
+        };
+
+    while let Some(ev) = q.pop() {
+        let now = ev.at;
+        match ev.payload {
+            Ev::Pace { node, epoch } => {
+                let m = &mut members[node];
+                if m.pace_epoch != epoch {
+                    continue;
+                }
+                // Volunteer: announce the next tick.
+                let next = m.tick + 1;
+                if m.sent < next {
+                    m.sent = next;
+                    broadcast(node, next, now, &mut q, rng);
+                    // Count own announcement.
+                    members[node].seen[node] = next;
+                    try_advance(node, now, &mut members, &mut q, rng, cfg, f, &broadcast);
+                }
+            }
+            Ev::Deliver { from, to, k } => {
+                if is_byz(to) {
+                    continue;
+                }
+                if members[to].seen[from] < k {
+                    members[to].seen[from] = k;
+                    try_advance(to, now, &mut members, &mut q, rng, cfg, f, &broadcast);
+                }
+            }
+        }
+        if (0..n)
+            .filter(|&i| !is_byz(i))
+            .all(|i| members[i].tick >= cfg.ticks)
+        {
+            break;
+        }
+    }
+
+    DartsTrace {
+        reached: members.into_iter().map(|m| m.reached).collect(),
+        byzantine: cfg.byzantine.clone(),
+    }
+}
+
+/// Apply the catch-up (`f+1`) and advance (`n−f`) rules for `node`.
+#[allow(clippy::too_many_arguments)]
+fn try_advance(
+    node: usize,
+    now: Time,
+    members: &mut [Member],
+    q: &mut EventQueue<Ev>,
+    rng: &mut SimRng,
+    cfg: &DartsConfig,
+    f: usize,
+    broadcast: &impl Fn(usize, u32, Time, &mut EventQueue<Ev>, &mut SimRng),
+) {
+    let n = cfg.n;
+    loop {
+        let m = &members[node];
+        let target = m.tick + 1;
+        let support = m.seen.iter().filter(|&&k| k >= target).count();
+        // Catch-up: f+1 distinct TICK(≥ target) proves a correct node is
+        // there — echo it (so slow members relay support).
+        if support >= f + 1 && m.sent < target {
+            members[node].sent = target;
+            members[node].seen[node] = target;
+            broadcast(node, target, now, q, rng);
+            continue;
+        }
+        // Advance: n−f distinct TICK(≥ target).
+        if support >= n - f {
+            let m = &mut members[node];
+            m.tick = target;
+            m.reached.push(now);
+            m.pace_epoch += 1;
+            let pace = rng.duration_in(cfg.pace, cfg.pace.scale(cfg.theta));
+            q.push(
+                now + pace,
+                Ev::Pace {
+                    node,
+                    epoch: m.pace_epoch,
+                },
+            );
+            continue;
+        }
+        break;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fault_free_progress_and_skew() {
+        let cfg = DartsConfig::new(7, 8);
+        let mut rng = SimRng::seed_from_u64(1);
+        let trace = run_darts(&cfg, &mut rng);
+        for &i in &trace.correct() {
+            assert!(trace.reached[i].len() >= 8, "member {i} stalled");
+        }
+        for k in 0..8 {
+            let skew = trace.tick_skew(k).unwrap();
+            assert!(
+                skew <= cfg.d_plus * 2,
+                "tick {k} skew {skew:?} exceeds 2·d+"
+            );
+        }
+    }
+
+    #[test]
+    fn counters_diverge_by_at_most_one() {
+        let cfg = DartsConfig::new(7, 10);
+        let mut rng = SimRng::seed_from_u64(2);
+        let trace = run_darts(&cfg, &mut rng);
+        assert!(trace.max_divergence() <= 1, "divergence {}", trace.max_divergence());
+    }
+
+    #[test]
+    fn tolerates_silent_byzantine_members() {
+        let mut cfg = DartsConfig::new(10, 6);
+        cfg.byzantine = vec![2, 7, 9];
+        let mut rng = SimRng::seed_from_u64(3);
+        let trace = run_darts(&cfg, &mut rng);
+        for &i in &trace.correct() {
+            assert!(trace.reached[i].len() >= 6);
+        }
+        for k in 0..6 {
+            assert!(trace.tick_skew(k).unwrap() <= cfg.d_plus * 2);
+        }
+        assert!(trace.max_divergence() <= 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "need n ≥ 3f+1")]
+    fn rejects_excess_faults() {
+        let mut cfg = DartsConfig::new(6, 1);
+        cfg.byzantine = vec![0, 1];
+        let mut rng = SimRng::seed_from_u64(4);
+        run_darts(&cfg, &mut rng);
+    }
+
+    #[test]
+    fn tick_separation_respects_pace() {
+        let cfg = DartsConfig::new(5, 6);
+        let mut rng = SimRng::seed_from_u64(5);
+        let trace = run_darts(&cfg, &mut rng);
+        for &i in &trace.correct() {
+            for w in trace.reached[i].windows(2) {
+                // Ticks are separated by at least ~a pace period minus the
+                // clique skew (a fast member can be dragged forward).
+                assert!(
+                    w[1] - w[0] >= cfg.pace - cfg.d_plus * 2,
+                    "member {i}: gap {:?}",
+                    w[1] - w[0]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn feeds_a_hex_grid() {
+        use hex_core::{HexGrid, Timing};
+        use hex_sim::{simulate, SimConfig};
+
+        let mut cfg = DartsConfig::new(12, 5);
+        cfg.byzantine = vec![4];
+        cfg.pace = Duration::from_ns(300.0);
+        let mut rng = SimRng::seed_from_u64(6);
+        let trace = run_darts(&cfg, &mut rng);
+        let sched = trace.to_layer0_schedule(12, 5);
+        let grid = HexGrid::new(10, 12);
+        let sim_cfg = SimConfig {
+            timing: Timing::paper_scenario_iii(),
+            ..SimConfig::fault_free()
+        };
+        let t = simulate(grid.graph(), &sched, &sim_cfg, 7);
+        // Every forwarder sees every pulse despite the mute source column.
+        for n in grid.graph().node_ids() {
+            if grid.coord_of(n).layer > 0 {
+                assert_eq!(t.fires[n as usize].len(), 5, "node {n}");
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let cfg = DartsConfig::new(5, 4);
+        let run = |seed| {
+            let mut rng = SimRng::seed_from_u64(seed);
+            run_darts(&cfg, &mut rng).reached
+        };
+        assert_eq!(run(8), run(8));
+        assert_ne!(run(8), run(9));
+    }
+}

@@ -1,0 +1,270 @@
+//! IEEE-1588-style master–slave synchronization (the network-scale
+//! clock-tree analogue of the paper's introduction).
+//!
+//! The introduction places HEX against "master-slave-type network clock
+//! synchronization approaches like IEEE1588", which distribute time down a
+//! tree exactly like a VLSI clock tree distributes pulses. This module
+//! implements the two-step PTP offset measurement over links with
+//! asymmetric delay uncertainty and shows the tree pathology in the small:
+//! the per-hop offset error is bounded by half the delay *asymmetry*
+//! (`ε/2` per hop), and errors **accumulate along the master–slave chain**
+//! — `Θ(depth·ε)` at the leaves — whereas HEX's neighbor skew is flat in
+//! the grid depth (Theorem 1 depends on the width only). The
+//! `tree_compare` story, restated for networks.
+//!
+//! The model is deliberately minimal: symmetric two-step exchange (Sync +
+//! Delay_Req), no residence-time corrections, no drift during the exchange
+//! (the paper's `ϑ − 1 < 0.05` over a sub-microsecond exchange is
+//! negligible at the delay scales modeled here).
+
+use hex_core::DelayRange;
+use hex_des::{Duration, SimRng, Time};
+
+/// A master–slave link with (possibly asymmetric) delay uncertainty per
+/// direction.
+#[derive(Debug, Clone, Copy)]
+pub struct PtpLink {
+    /// Master → slave delay interval.
+    pub ms: DelayRange,
+    /// Slave → master delay interval.
+    pub sm: DelayRange,
+}
+
+impl PtpLink {
+    /// A symmetric link with the paper's delay interval.
+    pub fn symmetric(range: DelayRange) -> Self {
+        PtpLink {
+            ms: range,
+            sm: range,
+        }
+    }
+
+    /// The worst-case offset-estimate error of one two-step exchange over
+    /// this link: `(max_asym) / 2` where the asymmetry spans
+    /// `[ms.lo − sm.hi, ms.hi − sm.lo]`.
+    pub fn offset_error_bound(&self) -> Duration {
+        let up = (self.ms.hi - self.sm.lo).abs();
+        let down = (self.sm.hi - self.ms.lo).abs();
+        up.max(down) / 2
+    }
+}
+
+/// The four timestamps of one two-step exchange.
+///
+/// `t1`: master sends Sync (master clock); `t2`: slave receives it (slave
+/// clock); `t3`: slave sends Delay_Req (slave clock); `t4`: master receives
+/// it (master clock).
+#[derive(Debug, Clone, Copy)]
+pub struct SyncExchange {
+    /// Sync departure, master clock.
+    pub t1: Time,
+    /// Sync arrival, slave clock.
+    pub t2: Time,
+    /// Delay_Req departure, slave clock.
+    pub t3: Time,
+    /// Delay_Req arrival, master clock.
+    pub t4: Time,
+}
+
+impl SyncExchange {
+    /// The standard PTP offset estimate
+    /// `θ̂ = ((t2 − t1) − (t4 − t3)) / 2`.
+    pub fn offset_estimate(&self) -> Duration {
+        ((self.t2 - self.t1) - (self.t4 - self.t3)) / 2
+    }
+
+    /// The standard mean-path-delay estimate
+    /// `d̂ = ((t2 − t1) + (t4 − t3)) / 2`.
+    pub fn path_delay_estimate(&self) -> Duration {
+        ((self.t2 - self.t1) + (self.t4 - self.t3)) / 2
+    }
+}
+
+/// Run one two-step exchange over `link` against a slave whose clock reads
+/// `master_time + true_offset`. Returns the four timestamps; the caller
+/// recovers `offset_estimate() − true_offset = (d_ms − d_sm)/2`, the
+/// irreducible asymmetry error.
+pub fn run_exchange(
+    true_offset: Duration,
+    link: PtpLink,
+    start: Time,
+    rng: &mut SimRng,
+) -> SyncExchange {
+    let d_ms = rng.duration_in(link.ms.lo, link.ms.hi);
+    let d_sm = rng.duration_in(link.sm.lo, link.sm.hi);
+    let t1 = start;
+    let t2 = t1 + d_ms + true_offset; // slave-clock reading at arrival
+    let t3 = t2 + Duration::from_ns(10.0); // turnaround, slave clock
+    let t4 = (t3 - true_offset) + d_sm; // back on the master clock
+    SyncExchange { t1, t2, t3, t4 }
+}
+
+/// Synchronize a chain of `depth` slaves hanging off a grandmaster, each
+/// syncing to its parent with `rounds` exchanges (averaging the offset
+/// estimates). Returns the absolute residual offset of each hop's clock
+/// w.r.t. the grandmaster after correction, in chain order.
+///
+/// Each slave inherits its parent's *corrected* clock error, so the
+/// residuals accumulate like a random walk with per-hop steps bounded by
+/// [`PtpLink::offset_error_bound`] — the `Θ(depth·ε)` tree pathology.
+pub fn chain_sync_residuals(
+    depth: usize,
+    link: PtpLink,
+    rounds: usize,
+    rng: &mut SimRng,
+) -> Vec<Duration> {
+    assert!(depth >= 1 && rounds >= 1);
+    let mut residuals = Vec::with_capacity(depth);
+    // Parent's residual error w.r.t. the grandmaster (signed, ps).
+    let mut parent_err = 0i64;
+    for hop in 0..depth {
+        // The slave starts with an arbitrary large offset w.r.t. its
+        // parent; PTP must estimate and remove it.
+        let raw_offset = Duration::from_ns(1_000.0 + hop as f64 * 13.0);
+        let mut acc = 0i64;
+        for r in 0..rounds {
+            let ex = run_exchange(
+                raw_offset,
+                link,
+                Time::from_ns(1_000.0 * r as f64),
+                rng,
+            );
+            acc += ex.offset_estimate().ps();
+        }
+        let estimate = Duration::from_ps(acc / rounds as i64);
+        // Residual vs the parent, plus the inherited parent error.
+        let err = (raw_offset - estimate).ps() + parent_err;
+        residuals.push(Duration::from_ps(err.abs()));
+        parent_err = err;
+    }
+    residuals
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hex_core::EPSILON;
+    use proptest::prelude::*;
+
+    fn paper_link() -> PtpLink {
+        PtpLink::symmetric(DelayRange::paper())
+    }
+
+    #[test]
+    fn perfect_symmetric_link_recovers_offset_exactly() {
+        // With zero uncertainty the estimate is exact.
+        let link = PtpLink::symmetric(DelayRange::fixed(Duration::from_ns(5.0)));
+        let mut rng = SimRng::seed_from_u64(1);
+        for off_ns in [-40.0, 0.0, 17.5] {
+            let off = Duration::from_ns(off_ns);
+            let ex = run_exchange(off, link, Time::ZERO, &mut rng);
+            assert_eq!(ex.offset_estimate(), off);
+            assert_eq!(ex.path_delay_estimate(), Duration::from_ns(5.0));
+        }
+    }
+
+    #[test]
+    fn single_hop_error_bounded_by_half_epsilon() {
+        let link = paper_link();
+        let mut rng = SimRng::seed_from_u64(2);
+        let bound = link.offset_error_bound();
+        assert_eq!(bound, EPSILON / 2);
+        for _ in 0..200 {
+            let off = Duration::from_ns(123.0);
+            let ex = run_exchange(off, link, Time::ZERO, &mut rng);
+            let err = (ex.offset_estimate() - off).abs();
+            assert!(err <= bound, "error {err:?} > bound {bound:?}");
+        }
+    }
+
+    #[test]
+    fn asymmetric_link_biases_the_estimate() {
+        // A consistently slower return path shows up as a systematic
+        // offset bias of (d_ms − d_sm)/2 — the PTP blind spot.
+        let link = PtpLink {
+            ms: DelayRange::fixed(Duration::from_ns(5.0)),
+            sm: DelayRange::fixed(Duration::from_ns(9.0)),
+        };
+        let mut rng = SimRng::seed_from_u64(3);
+        let ex = run_exchange(Duration::ZERO, link, Time::ZERO, &mut rng);
+        assert_eq!(ex.offset_estimate(), Duration::from_ns(-2.0));
+        assert_eq!(link.offset_error_bound(), Duration::from_ns(2.0));
+    }
+
+    #[test]
+    fn chain_error_grows_with_depth() {
+        // The intro's point, quantified: leaf error grows with chain depth
+        // (while HEX neighbor skew is depth-independent). Compare the mean
+        // leaf residual at depth 2 vs depth 16 over many seeds.
+        let link = paper_link();
+        let (mut shallow, mut deep) = (0.0f64, 0.0f64);
+        let seeds = 60;
+        for seed in 0..seeds {
+            let mut rng = SimRng::seed_from_u64(seed);
+            let r2 = chain_sync_residuals(2, link, 1, &mut rng);
+            let r16 = chain_sync_residuals(16, link, 1, &mut rng);
+            shallow += r2.last().unwrap().ns();
+            deep += r16.last().unwrap().ns();
+        }
+        assert!(
+            deep > 1.8 * shallow,
+            "depth-16 residual {deep:.3} should dwarf depth-2 {shallow:.3}"
+        );
+    }
+
+    #[test]
+    fn residuals_within_linear_envelope() {
+        let link = paper_link();
+        let per_hop = link.offset_error_bound();
+        for seed in 0..20u64 {
+            let mut rng = SimRng::seed_from_u64(seed);
+            let rs = chain_sync_residuals(12, link, 1, &mut rng);
+            for (hop, r) in rs.iter().enumerate() {
+                let bound = per_hop.times((hop + 1) as i64);
+                assert!(
+                    *r <= bound,
+                    "seed {seed} hop {hop}: residual {r:?} > {bound:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn averaging_rounds_tightens_the_estimate() {
+        let link = paper_link();
+        let (mut one, mut many) = (0.0f64, 0.0f64);
+        for seed in 0..40u64 {
+            let mut rng = SimRng::seed_from_u64(seed);
+            one += chain_sync_residuals(1, link, 1, &mut rng)[0].ns();
+            let mut rng = SimRng::seed_from_u64(seed);
+            many += chain_sync_residuals(1, link, 16, &mut rng)[0].ns();
+        }
+        assert!(
+            many < one,
+            "16-round average {many:.3} should beat single-shot {one:.3}"
+        );
+    }
+
+    proptest! {
+        /// The offset estimate error is always (d_ms − d_sm)/2 — exactly,
+        /// for any offset and any delays (up to the ±1 ps integer-division
+        /// rounding of the two halving operations).
+        #[test]
+        fn prop_estimate_error_is_half_asymmetry(
+            off_ps in -1_000_000i64..1_000_000,
+            dms in 1_000i64..20_000,
+            dsm in 1_000i64..20_000,
+        ) {
+            let link = PtpLink {
+                ms: DelayRange::fixed(Duration::from_ps(dms)),
+                sm: DelayRange::fixed(Duration::from_ps(dsm)),
+            };
+            let mut rng = SimRng::seed_from_u64(0);
+            let off = Duration::from_ps(off_ps);
+            let ex = run_exchange(off, link, Time::ZERO, &mut rng);
+            let expected = (dms - dsm) / 2;
+            let got = (ex.offset_estimate() - off).ps();
+            prop_assert!((got - expected).abs() <= 1, "got {got}, expected {expected}");
+        }
+    }
+}

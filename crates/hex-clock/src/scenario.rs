@@ -1,0 +1,226 @@
+//! The four layer-0 skew scenarios of the evaluation (Section 4.2).
+//!
+//! The triggering times of the layer-0 nodes `t_{0,i}` are:
+//!
+//! * **(i) Zero** — all 0, so `σ₀ = 0` and skew potential `Δ₀ = 0`;
+//! * **(ii) RandomDMinus** — iid uniform in `[0, d-]` (`σ₀ ≈ d-`, `Δ₀ = 0`);
+//! * **(iii) RandomDPlus** — iid uniform in `[0, d+]` (`σ₀ ≈ d+`,
+//!   `Δ₀ ≈ ε`); models the average-case output of a layer-0 clock
+//!   generation scheme with neighbor skew bound `d+`;
+//! * **(iv) Ramp** — `t_{0,i+1} = t_{0,i} + d+` for `i < W/2` and
+//!   `t_{0,i+1} = t_{0,i} − d+` for `i ≥ W/2` (`σ₀ = d+`,
+//!   `Δ₀ ≈ W·ε/2`); models the worst-case output of such a scheme.
+
+use hex_des::{Duration, SimRng, Time};
+
+/// A layer-0 skew scenario.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Scenario {
+    /// (i): all layer-0 nodes trigger at the same instant.
+    Zero,
+    /// (ii): offsets iid uniform in `[0, d-]`.
+    RandomDMinus,
+    /// (iii): offsets iid uniform in `[0, d+]`.
+    RandomDPlus,
+    /// (iv): offsets ramp up by `d+` per column to the middle, then down.
+    Ramp,
+}
+
+impl Scenario {
+    /// All four scenarios in paper order.
+    pub const ALL: [Scenario; 4] = [
+        Scenario::Zero,
+        Scenario::RandomDMinus,
+        Scenario::RandomDPlus,
+        Scenario::Ramp,
+    ];
+
+    /// The paper's row label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Scenario::Zero => "(i) 0",
+            Scenario::RandomDMinus => "(ii) random in [0,d-]",
+            Scenario::RandomDPlus => "(iii) random in [0,d+]",
+            Scenario::Ramp => "(iv) ramp d+",
+        }
+    }
+
+    /// Draw the layer-0 offsets for one pulse on a width-`w` grid, given the
+    /// delay bounds `d-`/`d+`. Offsets are relative to the pulse base time.
+    pub fn offsets(
+        self,
+        w: u32,
+        d_minus: Duration,
+        d_plus: Duration,
+        rng: &mut SimRng,
+    ) -> Vec<Duration> {
+        match self {
+            Scenario::Zero => vec![Duration::ZERO; w as usize],
+            Scenario::RandomDMinus => (0..w)
+                .map(|_| rng.duration_in(Duration::ZERO, d_minus))
+                .collect(),
+            Scenario::RandomDPlus => (0..w)
+                .map(|_| rng.duration_in(Duration::ZERO, d_plus))
+                .collect(),
+            Scenario::Ramp => ramp_offsets(w, d_plus),
+        }
+    }
+
+    /// The largest offset this scenario can produce (used to budget pulse
+    /// periods so that the separation `S` is honored).
+    pub fn max_offset(self, w: u32, d_minus: Duration, d_plus: Duration) -> Duration {
+        match self {
+            Scenario::Zero => Duration::ZERO,
+            Scenario::RandomDMinus => d_minus,
+            Scenario::RandomDPlus => d_plus,
+            Scenario::Ramp => d_plus.times((w / 2) as i64),
+        }
+    }
+
+    /// The scenario's layer-0 **skew potential** `Δ₀ = max_{i,j}(t_{0,i} −
+    /// t_{0,j} − |i−j|_W·d-)` for a concrete offset vector (Definition 3).
+    pub fn skew_potential(offsets: &[Duration], d_minus: Duration) -> Duration {
+        let w = offsets.len() as u32;
+        let mut best = Duration::ZERO; // i = j term is always 0
+        for i in 0..offsets.len() {
+            for j in 0..offsets.len() {
+                let dist = hex_core::cyclic_distance(i as u32, j as u32, w) as i64;
+                let v = offsets[i] - offsets[j] - d_minus.times(dist);
+                best = best.max(v);
+            }
+        }
+        best
+    }
+
+    /// Convenience: single-pulse layer-0 triggering times at base time 0.
+    pub fn single_pulse_times(
+        self,
+        w: u32,
+        d_minus: Duration,
+        d_plus: Duration,
+        rng: &mut SimRng,
+    ) -> Vec<Time> {
+        self.offsets(w, d_minus, d_plus, rng)
+            .into_iter()
+            .map(|d| Time::ZERO + d)
+            .collect()
+    }
+}
+
+/// The ramp of scenario (iv): up by `d+` per column until `W/2`, then down.
+fn ramp_offsets(w: u32, d_plus: Duration) -> Vec<Duration> {
+    (0..w)
+        .map(|i| {
+            let steps = if i <= w / 2 { i } else { w - i };
+            d_plus.times(steps as i64)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hex_core::{D_MINUS, D_PLUS};
+    use proptest::prelude::*;
+
+    #[test]
+    fn zero_scenario() {
+        let mut rng = SimRng::seed_from_u64(1);
+        let offs = Scenario::Zero.offsets(20, D_MINUS, D_PLUS, &mut rng);
+        assert!(offs.iter().all(|&d| d == Duration::ZERO));
+        assert_eq!(Scenario::skew_potential(&offs, D_MINUS), Duration::ZERO);
+    }
+
+    #[test]
+    fn ramp_shape() {
+        let offs = ramp_offsets(20, D_PLUS);
+        // Peak at column W/2 = 10 with value 10·d+.
+        assert_eq!(offs[10], D_PLUS.times(10));
+        assert_eq!(offs[0], Duration::ZERO);
+        assert_eq!(offs[19], D_PLUS); // one step down from wrap to col 0
+        // Up by exactly d+ per column on the way up.
+        for i in 0..10 {
+            assert_eq!(offs[i + 1] - offs[i], D_PLUS);
+        }
+        // Down by exactly d+ per column on the way down.
+        for i in 10..19 {
+            assert_eq!(offs[i] - offs[i + 1], D_PLUS);
+        }
+    }
+
+    #[test]
+    fn ramp_neighbor_skew_is_d_plus_everywhere() {
+        let offs = ramp_offsets(20, D_PLUS);
+        for i in 0..20 {
+            let j = (i + 1) % 20;
+            assert_eq!((offs[i] - offs[j]).abs(), D_PLUS, "at column {i}");
+        }
+    }
+
+    #[test]
+    fn ramp_skew_potential_matches_paper() {
+        // Paper: Δ₀ ≈ W·ε/2 = 10.36 ns for W = 20.
+        let offs = ramp_offsets(20, D_PLUS);
+        let pot = Scenario::skew_potential(&offs, D_MINUS);
+        assert_eq!(pot.ps(), 10 * (D_PLUS - D_MINUS).ps()); // 10·ε = 10.36 ns
+    }
+
+    #[test]
+    fn random_scenarios_in_range() {
+        let mut rng = SimRng::seed_from_u64(2);
+        for _ in 0..16 {
+            for d in Scenario::RandomDMinus.offsets(20, D_MINUS, D_PLUS, &mut rng) {
+                assert!(Duration::ZERO <= d && d <= D_MINUS);
+            }
+            for d in Scenario::RandomDPlus.offsets(20, D_MINUS, D_PLUS, &mut rng) {
+                assert!(Duration::ZERO <= d && d <= D_PLUS);
+            }
+        }
+    }
+
+    #[test]
+    fn labels_stable() {
+        assert_eq!(Scenario::Zero.label(), "(i) 0");
+        assert_eq!(Scenario::Ramp.label(), "(iv) ramp d+");
+        assert_eq!(Scenario::ALL.len(), 4);
+    }
+
+    proptest! {
+        /// Offsets never exceed the scenario's declared max_offset.
+        #[test]
+        fn prop_max_offset_is_bound(seed in any::<u64>(), w in 3u32..40) {
+            let mut rng = SimRng::seed_from_u64(seed);
+            for sc in Scenario::ALL {
+                let offs = sc.offsets(w, D_MINUS, D_PLUS, &mut rng);
+                prop_assert_eq!(offs.len(), w as usize);
+                let max = sc.max_offset(w, D_MINUS, D_PLUS);
+                for d in offs {
+                    prop_assert!(d <= max);
+                    prop_assert!(d >= Duration::ZERO);
+                }
+            }
+        }
+
+        /// Skew potential is non-negative and zero for the all-zero vector.
+        #[test]
+        fn prop_skew_potential_nonneg(seed in any::<u64>(), w in 3u32..24) {
+            let mut rng = SimRng::seed_from_u64(seed);
+            for sc in Scenario::ALL {
+                let offs = sc.offsets(w, D_MINUS, D_PLUS, &mut rng);
+                prop_assert!(Scenario::skew_potential(&offs, D_MINUS) >= Duration::ZERO);
+            }
+        }
+
+        /// RandomDMinus offsets have (near-)zero skew potential: adjacent
+        /// differences are at most d-, which the distance term absorbs.
+        #[test]
+        fn prop_random_dminus_zero_potential(seed in any::<u64>()) {
+            let mut rng = SimRng::seed_from_u64(seed);
+            let offs = Scenario::RandomDMinus.offsets(20, D_MINUS, D_PLUS, &mut rng);
+            prop_assert_eq!(
+                Scenario::skew_potential(&offs, D_MINUS),
+                Duration::ZERO
+            );
+        }
+    }
+}

@@ -1,0 +1,119 @@
+//! Grid coordinates and cyclic column arithmetic.
+//!
+//! A HEX node is addressed as `(ℓ, i)`: layer `ℓ ∈ [L+1] = {0,…,L}` and
+//! column `i ∈ [W] = {0,…,W−1}`, columns taken modulo `W` (the grid is a
+//! cylinder). This module provides the coordinate type and the cyclic
+//! distance `|i − j|_W` of Definition 3.
+
+use std::fmt;
+
+/// A `(layer, column)` grid coordinate.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Coord {
+    /// Layer (row) index, `0 ≤ layer ≤ L`. Layer 0 holds the clock sources.
+    pub layer: u32,
+    /// Column index, `0 ≤ col < W`, cyclic.
+    pub col: u32,
+}
+
+impl Coord {
+    /// Construct a coordinate.
+    pub const fn new(layer: u32, col: u32) -> Self {
+        Coord { layer, col }
+    }
+
+    /// The column `steps` to the left (wrapping modulo `w`).
+    pub fn left(self, w: u32, steps: u32) -> Coord {
+        Coord {
+            layer: self.layer,
+            col: (self.col + w - (steps % w)) % w,
+        }
+    }
+
+    /// The column `steps` to the right (wrapping modulo `w`).
+    pub fn right(self, w: u32, steps: u32) -> Coord {
+        Coord {
+            layer: self.layer,
+            col: (self.col + steps) % w,
+        }
+    }
+}
+
+impl fmt::Debug for Coord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {})", self.layer, self.col)
+    }
+}
+
+impl fmt::Display for Coord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {})", self.layer, self.col)
+    }
+}
+
+/// The cyclic distance `|i − j|_W = min{d, W − d}` with `d = (i − j) mod W`
+/// (Definition 3). This is the hop distance between columns on the cylinder.
+pub fn cyclic_distance(i: u32, j: u32, w: u32) -> u32 {
+    assert!(w > 0, "width must be positive");
+    let d = (i as i64 - j as i64).rem_euclid(w as i64) as u32;
+    d.min(w - d)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn distance_basics() {
+        assert_eq!(cyclic_distance(0, 0, 20), 0);
+        assert_eq!(cyclic_distance(0, 1, 20), 1);
+        assert_eq!(cyclic_distance(1, 0, 20), 1);
+        assert_eq!(cyclic_distance(0, 19, 20), 1); // wrap-around
+        assert_eq!(cyclic_distance(0, 10, 20), 10); // antipodal
+        assert_eq!(cyclic_distance(3, 17, 20), 6);
+    }
+
+    #[test]
+    fn left_right_wrap() {
+        let c = Coord::new(2, 0);
+        assert_eq!(c.left(20, 1), Coord::new(2, 19));
+        assert_eq!(c.right(20, 1), Coord::new(2, 1));
+        assert_eq!(c.left(20, 25), Coord::new(2, 15));
+        assert_eq!(c.right(20, 25), Coord::new(2, 5));
+    }
+
+    #[test]
+    fn left_right_inverse() {
+        let c = Coord::new(1, 7);
+        assert_eq!(c.left(20, 3).right(20, 3), c);
+    }
+
+    proptest! {
+        /// Cyclic distance is symmetric, bounded by W/2, and satisfies the
+        /// triangle inequality on the cycle.
+        #[test]
+        fn prop_distance_metric(i in 0u32..64, j in 0u32..64, k in 0u32..64, w in 1u32..64) {
+            let (i, j, k) = (i % w, j % w, k % w);
+            let dij = cyclic_distance(i, j, w);
+            prop_assert_eq!(dij, cyclic_distance(j, i, w));
+            prop_assert!(dij <= w / 2);
+            prop_assert_eq!(cyclic_distance(i, i, w), 0);
+            prop_assert!(cyclic_distance(i, k, w) <= dij + cyclic_distance(j, k, w));
+        }
+
+        /// Moving right by s then left by s is the identity.
+        #[test]
+        fn prop_left_right_inverse(col in 0u32..64, s in 0u32..256, w in 1u32..64) {
+            let c = Coord::new(0, col % w);
+            prop_assert_eq!(c.right(w, s).left(w, s), c);
+        }
+
+        /// Distance between a column and its right neighbor is 1 when W > 1.
+        #[test]
+        fn prop_neighbor_distance(col in 0u32..64, w in 2u32..64) {
+            let c = col % w;
+            prop_assert_eq!(cyclic_distance(c, (c + 1) % w, w), 1);
+        }
+    }
+}

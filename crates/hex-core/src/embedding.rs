@@ -1,0 +1,295 @@
+//! Planar embeddings of the HEX cylinder (Section 5, "Embedding").
+//!
+//! The cylindric grid must be laid out on a die. The paper discusses two
+//! options:
+//!
+//! * **fold-flat** — "one simply squeezes the cylindric shape flat" onto
+//!   two interconnect layers. Wire lengths stay short, but "the now
+//!   physically close nodes from opposite sides of the original cylinder
+//!   are distant in the grid and therefore may suffer from larger skews" —
+//!   half the nodes may become unusable for clocking;
+//! * **open honeycomb** — for non-cylindric deployments (or the Fig.-21
+//!   ring variant in `hex-topo`), the standard hexagonal lattice with unit
+//!   pitch, where *every* link is `Θ(1)` long and physical adjacency
+//!   coincides with graph adjacency.
+//!
+//! This module computes the quantities behind those statements: per-link
+//! Euclidean wire lengths, the worst link, and the *proximity penalty* —
+//! pairs of nodes that are physically close but far apart in the grid
+//! (and hence poorly synchronized relative to their physical distance).
+
+use crate::graph::{NodeId, PulseGraph};
+use crate::grid::HexGrid;
+
+/// A planar position assignment for every node of a graph.
+#[derive(Debug, Clone)]
+pub struct Embedded {
+    positions: Vec<(f64, f64)>,
+}
+
+impl Embedded {
+    /// Raw positions (indexed by node id), in grid-pitch units.
+    pub fn positions(&self) -> &[(f64, f64)] {
+        &self.positions
+    }
+
+    /// Position of one node.
+    pub fn position(&self, n: NodeId) -> (f64, f64) {
+        self.positions[n as usize]
+    }
+
+    /// Euclidean distance between two nodes.
+    pub fn distance(&self, a: NodeId, b: NodeId) -> f64 {
+        let (xa, ya) = self.position(a);
+        let (xb, yb) = self.position(b);
+        ((xa - xb).powi(2) + (ya - yb).powi(2)).sqrt()
+    }
+
+    /// Euclidean length of every link.
+    pub fn link_lengths(&self, graph: &PulseGraph) -> Vec<f64> {
+        (0..graph.link_count() as u32)
+            .map(|l| {
+                let link = graph.link(l);
+                self.distance(link.src, link.dst)
+            })
+            .collect()
+    }
+
+    /// The longest link of the embedding.
+    pub fn max_link_length(&self, graph: &PulseGraph) -> f64 {
+        self.link_lengths(graph)
+            .into_iter()
+            .fold(0.0, f64::max)
+    }
+
+    /// All unordered node pairs within Euclidean distance `radius` of each
+    /// other (excluding identical positions of the same node).
+    pub fn close_pairs(&self, radius: f64) -> Vec<(NodeId, NodeId)> {
+        let n = self.positions.len();
+        let mut out = Vec::new();
+        for a in 0..n {
+            for b in a + 1..n {
+                if self.distance(a as NodeId, b as NodeId) <= radius {
+                    out.push((a as NodeId, b as NodeId));
+                }
+            }
+        }
+        out
+    }
+
+    /// The **proximity penalty**: the maximum undirected graph distance
+    /// between any two nodes that are physically within `radius` of each
+    /// other. An ideal embedding keeps this small (physically close ⇒
+    /// well synchronized); the fold-flat embedding drives it to ≈ W/2.
+    pub fn proximity_penalty(&self, graph: &PulseGraph, radius: f64) -> u32 {
+        self.close_pairs(radius)
+            .into_iter()
+            .map(|(a, b)| graph_distance(graph, a, b))
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+/// Undirected hop distance between two nodes (BFS over links in both
+/// directions); `u32::MAX` if disconnected.
+pub fn graph_distance(graph: &PulseGraph, from: NodeId, to: NodeId) -> u32 {
+    if from == to {
+        return 0;
+    }
+    let n = graph.node_count();
+    let mut dist = vec![u32::MAX; n];
+    dist[from as usize] = 0;
+    let mut frontier = vec![from];
+    while !frontier.is_empty() {
+        let mut next = Vec::new();
+        for &u in &frontier {
+            let du = dist[u as usize];
+            let neighbors = graph
+                .out_neighbors(u)
+                .chain(graph.in_neighbors(u))
+                .collect::<Vec<_>>();
+            for v in neighbors {
+                if dist[v as usize] == u32::MAX {
+                    dist[v as usize] = du + 1;
+                    if v == to {
+                        return du + 1;
+                    }
+                    next.push(v);
+                }
+            }
+        }
+        frontier = next;
+    }
+    u32::MAX
+}
+
+/// The **open honeycomb** embedding: the triangular lattice the HEX
+/// adjacency induces — unit column pitch, row pitch `√3/2`, each layer
+/// sheared `+0.5` to the right of the one below (so that `(ℓ+1, i−1)` and
+/// `(ℓ+1, i)` sit symmetrically above `(ℓ, i)`, completing the hexagon of
+/// Fig. 1). Ignores the cylinder wrap (the wrap links of column `W−1 → 0`
+/// become long; meaningful for grids used as open sheets, and as the
+/// optimal-layout reference for the `Θ(1)` wire-length claim).
+pub fn open_honeycomb(grid: &HexGrid) -> Embedded {
+    let positions = grid
+        .graph()
+        .node_ids()
+        .map(|n| {
+            let c = grid.coord_of(n);
+            let x = c.col as f64 + 0.5 * c.layer as f64;
+            let y = c.layer as f64 * (3.0f64.sqrt() / 2.0);
+            (x, y)
+        })
+        .collect();
+    Embedded { positions }
+}
+
+/// The **fold-flat** embedding: the cylinder squeezed onto two sheets.
+/// Columns `0 ≤ i < W/2` go on the front sheet left-to-right; columns
+/// `W/2 ≤ i < W` return on the back sheet right-to-left, offset by
+/// `sheet_gap` in y (two interconnect layers). Nodes from opposite sides
+/// of the cylinder land nearly on top of each other.
+pub fn fold_flat(grid: &HexGrid, sheet_gap: f64) -> Embedded {
+    let w = grid.width();
+    let positions = grid
+        .graph()
+        .node_ids()
+        .map(|n| {
+            let c = grid.coord_of(n);
+            let shear = 0.5 * c.layer as f64;
+            let y_base = c.layer as f64 * (3.0f64.sqrt() / 2.0);
+            if c.col < w / 2 {
+                (c.col as f64 + shear, y_base)
+            } else {
+                ((w - 1 - c.col) as f64 + 0.5 + shear, y_base + sheet_gap)
+            }
+        })
+        .collect();
+    Embedded { positions }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn honeycomb_links_are_unit_length() {
+        // The Θ(1) wire claim: with optimal (open) layout, every non-wrap
+        // link is ≈ 1 pitch long.
+        let grid = HexGrid::new(6, 10);
+        let emb = open_honeycomb(&grid);
+        let graph = grid.graph();
+        for l in 0..graph.link_count() as u32 {
+            let link = graph.link(l);
+            let (a, b) = (grid.coord_of(link.src), grid.coord_of(link.dst));
+            // Skip wrap links (col 0 <-> col W-1).
+            if (a.col as i64 - b.col as i64).abs() > 1 {
+                continue;
+            }
+            let len = emb.distance(link.src, link.dst);
+            assert!(
+                (0.9..=1.2).contains(&len),
+                "link {:?} -> {:?} has length {len}",
+                a,
+                b
+            );
+        }
+    }
+
+    #[test]
+    fn honeycomb_max_link_is_the_wrap() {
+        let grid = HexGrid::new(4, 10);
+        let emb = open_honeycomb(&grid);
+        // The wrap links span ~W-1 pitches; everything else ~1.
+        let max = emb.max_link_length(grid.graph());
+        assert!(max > 8.0, "wrap link should dominate, got {max}");
+    }
+
+    #[test]
+    fn fold_flat_links_stay_short() {
+        // Squeezing flat keeps every link short (≤ ~2 pitches incl. the
+        // fold and the sheet gap) — wires are NOT the fold-flat problem.
+        let grid = HexGrid::new(6, 12);
+        let emb = fold_flat(&grid, 0.25);
+        let max = emb.max_link_length(grid.graph());
+        assert!(max <= 2.5, "fold-flat max link {max}");
+    }
+
+    #[test]
+    fn fold_flat_proximity_penalty_is_large() {
+        // The fold-flat *problem*: nodes from opposite cylinder sides land
+        // within < 1 pitch of each other but are ~W/2 grid hops apart.
+        let grid = HexGrid::new(6, 12);
+        let flat = fold_flat(&grid, 0.25);
+        let open = open_honeycomb(&grid);
+        let flat_penalty = flat.proximity_penalty(grid.graph(), 0.8);
+        let open_penalty = open.proximity_penalty(grid.graph(), 0.8);
+        assert!(
+            flat_penalty >= grid.width() / 2 - 1,
+            "fold-flat penalty {flat_penalty} should reach ~W/2"
+        );
+        assert!(
+            open_penalty <= 2,
+            "open layout keeps physically close nodes graph-close, got {open_penalty}"
+        );
+    }
+
+    #[test]
+    fn graph_distance_basics() {
+        let grid = HexGrid::new(4, 8);
+        let g = grid.graph();
+        let a = grid.node(1, 1);
+        assert_eq!(graph_distance(g, a, a), 0);
+        assert_eq!(graph_distance(g, a, grid.node(1, 2)), 1);
+        assert_eq!(graph_distance(g, a, grid.node(2, 1)), 1); // up-right link
+        // Distance is symmetric for the undirected closure.
+        let b = grid.node(3, 5);
+        assert_eq!(graph_distance(g, a, b), graph_distance(g, b, a));
+    }
+
+    #[test]
+    fn close_pairs_radius_zero_is_empty_for_distinct_positions() {
+        let grid = HexGrid::new(3, 6);
+        let emb = open_honeycomb(&grid);
+        assert!(emb.close_pairs(0.1).is_empty());
+    }
+
+    proptest! {
+        /// Graph distance satisfies the triangle inequality on sampled
+        /// triples.
+        #[test]
+        fn prop_graph_distance_triangle(l in 2u32..5, w in 4u32..8, seed in any::<u64>()) {
+            let grid = HexGrid::new(l, w);
+            let g = grid.graph();
+            let n = g.node_count() as u32;
+            let mut rng = hex_des::SimRng::seed_from_u64(seed);
+            let a = rng.index(n as usize) as u32;
+            let b = rng.index(n as usize) as u32;
+            let c = rng.index(n as usize) as u32;
+            let ab = graph_distance(g, a, b);
+            let bc = graph_distance(g, b, c);
+            let ac = graph_distance(g, a, c);
+            prop_assert!(ac <= ab + bc);
+        }
+
+        /// In the open honeycomb, Euclidean distance lower-bounds graph
+        /// distance (each hop covers at most ~1.2 pitch).
+        #[test]
+        fn prop_honeycomb_distance_vs_hops(l in 2u32..5, w in 4u32..8, seed in any::<u64>()) {
+            let grid = HexGrid::new(l, w);
+            let emb = open_honeycomb(&grid);
+            let g = grid.graph();
+            let mut rng = hex_des::SimRng::seed_from_u64(seed);
+            let a = rng.index(g.node_count()) as u32;
+            let b = rng.index(g.node_count()) as u32;
+            let hops = graph_distance(g, a, b) as f64;
+            // Wrap links can cover large Euclidean spans, so only the
+            // direction "few hops => close" fails; "far => many hops" holds
+            // without wrap usage... conservatively: distance <= hops * max
+            // link length.
+            let max_link = emb.max_link_length(g);
+            prop_assert!(emb.distance(a, b) <= hops * max_link + 1e-9);
+        }
+    }
+}

@@ -1,0 +1,349 @@
+//! The fault model of Section 3.2.
+//!
+//! The simulation framework (Section 4.1, item 4) declares links "correct,
+//! Byzantine (choose output constant 0 resp. 1 corresponding to no resp.
+//! fast triggering), or fail-silent (output constant 0); declaring a node
+//! Byzantine or fail-silent is equivalent to doing so for each of its
+//! outgoing links". [`FaultPlan`] captures exactly that, and
+//! [`place_condition1`] implements the evaluation's placement rule:
+//! f nodes uniformly at random, rejection-sampled until **Condition 1**
+//! (fault separation: no node has more than one faulty in-neighbor) holds.
+
+use std::collections::BTreeMap;
+
+use hex_des::SimRng;
+
+use crate::graph::{LinkId, NodeId, PulseGraph};
+
+/// Behaviour of a single directed link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LinkBehavior {
+    /// Normal: delivers each trigger message within the delay range.
+    Correct,
+    /// Output stuck at 0: never delivers anything (fail-silent link / broken
+    /// wire).
+    StuckZero,
+    /// Output stuck at 1: the receiver's memory flag (re-)sets as soon as it
+    /// is cleared — the "fast triggering" Byzantine behaviour.
+    StuckOne,
+}
+
+/// A faulty node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NodeFault {
+    /// Byzantine: each outgoing link independently stuck at 0 or 1, drawn at
+    /// simulation start and fixed for the run (the evaluation's model).
+    Byzantine,
+    /// Fail-silent (crash): all outgoing links stuck at 0.
+    FailSilent,
+}
+
+/// The complete fault assignment of a run: per-node faults plus optional
+/// per-link overrides (broken wires between otherwise-correct nodes).
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    node_faults: BTreeMap<NodeId, NodeFault>,
+    link_overrides: BTreeMap<LinkId, LinkBehavior>,
+}
+
+impl FaultPlan {
+    /// The fault-free plan.
+    pub fn none() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Mark a node faulty.
+    pub fn with_node(mut self, node: NodeId, fault: NodeFault) -> Self {
+        self.node_faults.insert(node, fault);
+        self
+    }
+
+    /// Mark several nodes with the same fault kind.
+    pub fn with_nodes(mut self, nodes: &[NodeId], fault: NodeFault) -> Self {
+        for &n in nodes {
+            self.node_faults.insert(n, fault);
+        }
+        self
+    }
+
+    /// Override a single link's behaviour (stronger than node faults).
+    pub fn with_link(mut self, link: LinkId, behavior: LinkBehavior) -> Self {
+        self.link_overrides.insert(link, behavior);
+        self
+    }
+
+    /// The set of faulty node ids, ascending.
+    pub fn faulty_nodes(&self) -> Vec<NodeId> {
+        self.node_faults.keys().copied().collect()
+    }
+
+    /// Number of faulty nodes (the paper's `f`).
+    pub fn fault_count(&self) -> usize {
+        self.node_faults.len()
+    }
+
+    /// The fault of `node`, if any.
+    pub fn node_fault(&self, node: NodeId) -> Option<NodeFault> {
+        self.node_faults.get(&node).copied()
+    }
+
+    /// True iff `node` is declared faulty.
+    pub fn is_faulty(&self, node: NodeId) -> bool {
+        self.node_faults.contains_key(&node)
+    }
+
+    /// Resolve the plan into a per-link behaviour table. Byzantine nodes
+    /// draw stuck-0/stuck-1 per outgoing link from `rng` (fixed for the
+    /// run); explicit link overrides win over node faults.
+    pub fn resolve(&self, graph: &PulseGraph, rng: &mut SimRng) -> Vec<LinkBehavior> {
+        let mut table = vec![LinkBehavior::Correct; graph.link_count()];
+        for (&node, &fault) in &self.node_faults {
+            for &l in graph.out_links(node) {
+                table[l as usize] = match fault {
+                    NodeFault::FailSilent => LinkBehavior::StuckZero,
+                    NodeFault::Byzantine => {
+                        if rng.coin() {
+                            LinkBehavior::StuckOne
+                        } else {
+                            LinkBehavior::StuckZero
+                        }
+                    }
+                };
+            }
+        }
+        for (&l, &b) in &self.link_overrides {
+            table[l as usize] = b;
+        }
+        table
+    }
+
+    /// The number of *layers that contain a faulty node* among layers
+    /// `1..=up_to_layer` — the paper's `f_ℓ` of Lemma 5. Only meaningful for
+    /// coordinate-bearing graphs.
+    pub fn faulty_layers(&self, graph: &PulseGraph, up_to_layer: u32) -> usize {
+        let mut layers: Vec<u32> = self
+            .node_faults
+            .keys()
+            .filter_map(|&n| graph.coord(n))
+            .map(|c| c.layer)
+            .filter(|&l| l >= 1 && l <= up_to_layer)
+            .collect();
+        layers.sort_unstable();
+        layers.dedup();
+        layers.len()
+    }
+}
+
+/// Check **Condition 1** (fault separation): for each node of the graph, at
+/// most one of its incoming links connects to a faulty neighbor.
+pub fn satisfies_condition1(graph: &PulseGraph, faulty: &[NodeId]) -> bool {
+    let mut is_faulty = vec![false; graph.node_count()];
+    for &f in faulty {
+        is_faulty[f as usize] = true;
+    }
+    graph.node_ids().all(|n| {
+        graph
+            .in_neighbors(n)
+            .filter(|&m| is_faulty[m as usize])
+            .count()
+            <= 1
+    })
+}
+
+/// Place `f` faulty nodes uniformly at random among `candidates`, rejecting
+/// placements that violate Condition 1 — the evaluation's fault placement
+/// (Sections 4.3/4.4). Returns `None` if no valid placement was found within
+/// `max_attempts` (the condition caps the feasible fault density at
+/// Θ(√n) in expectation, so dense requests can be infeasible).
+pub fn place_condition1(
+    graph: &PulseGraph,
+    candidates: &[NodeId],
+    f: usize,
+    rng: &mut SimRng,
+    max_attempts: usize,
+) -> Option<Vec<NodeId>> {
+    if f == 0 {
+        return Some(Vec::new());
+    }
+    if f > candidates.len() {
+        return None;
+    }
+    let mut pool: Vec<NodeId> = candidates.to_vec();
+    for _ in 0..max_attempts {
+        rng.shuffle(&mut pool);
+        let pick: Vec<NodeId> = pool[..f].to_vec();
+        if satisfies_condition1(graph, &pick) {
+            let mut sorted = pick;
+            sorted.sort_unstable();
+            return Some(sorted);
+        }
+    }
+    None
+}
+
+/// Convenience: all forwarder nodes of a graph (the usual fault candidates —
+/// the evaluation keeps layer 0 correct so skews stay well-defined).
+pub fn forwarder_candidates(graph: &PulseGraph) -> Vec<NodeId> {
+    graph
+        .node_ids()
+        .filter(|&n| graph.role(n) == crate::graph::Role::Forwarder)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grid::HexGrid;
+    use proptest::prelude::*;
+
+    #[test]
+    fn resolve_fail_silent() {
+        let g = HexGrid::new(3, 5);
+        let victim = g.node(1, 2);
+        let plan = FaultPlan::none().with_node(victim, NodeFault::FailSilent);
+        let mut rng = SimRng::seed_from_u64(1);
+        let table = plan.resolve(g.graph(), &mut rng);
+        for &l in g.graph().out_links(victim) {
+            assert_eq!(table[l as usize], LinkBehavior::StuckZero);
+        }
+        // Everything else correct.
+        let faulty_links: Vec<_> = g.graph().out_links(victim).to_vec();
+        for l in 0..g.graph().link_count() as u32 {
+            if !faulty_links.contains(&l) {
+                assert_eq!(table[l as usize], LinkBehavior::Correct);
+            }
+        }
+    }
+
+    #[test]
+    fn resolve_byzantine_mixes_behaviors() {
+        let g = HexGrid::new(6, 8);
+        let victim = g.node(2, 3);
+        let plan = FaultPlan::none().with_node(victim, NodeFault::Byzantine);
+        // Over several seeds we should see both stuck-0 and stuck-1.
+        let (mut zeros, mut ones) = (0, 0);
+        for seed in 0..32 {
+            let mut rng = SimRng::seed_from_u64(seed);
+            let table = plan.resolve(g.graph(), &mut rng);
+            for &l in g.graph().out_links(victim) {
+                match table[l as usize] {
+                    LinkBehavior::StuckZero => zeros += 1,
+                    LinkBehavior::StuckOne => ones += 1,
+                    LinkBehavior::Correct => panic!("faulty link resolved correct"),
+                }
+            }
+        }
+        assert!(zeros > 0 && ones > 0);
+    }
+
+    #[test]
+    fn link_override_wins() {
+        let g = HexGrid::new(3, 5);
+        let victim = g.node(1, 2);
+        let l0 = g.graph().out_links(victim)[0];
+        let plan = FaultPlan::none()
+            .with_node(victim, NodeFault::FailSilent)
+            .with_link(l0, LinkBehavior::StuckOne);
+        let mut rng = SimRng::seed_from_u64(1);
+        let table = plan.resolve(g.graph(), &mut rng);
+        assert_eq!(table[l0 as usize], LinkBehavior::StuckOne);
+    }
+
+    #[test]
+    fn condition1_detects_violation() {
+        let g = HexGrid::new(3, 6);
+        // (1,2) and (1,3) are both in-neighbors of (2,2): left+lower pairs.
+        // Specifically (2,2) hears (1,2)? in-neighbors of (2,2): (2,1),(1,2),(1,3),(2,3).
+        let a = g.node(1, 2);
+        let b = g.node(1, 3);
+        assert!(!satisfies_condition1(g.graph(), &[a, b]));
+        // Far-apart faults are fine.
+        let c = g.node(3, 0);
+        assert!(satisfies_condition1(g.graph(), &[a, c]));
+    }
+
+    #[test]
+    fn condition1_empty_and_single() {
+        let g = HexGrid::new(2, 4);
+        assert!(satisfies_condition1(g.graph(), &[]));
+        for n in g.graph().node_ids() {
+            assert!(satisfies_condition1(g.graph(), &[n]));
+        }
+    }
+
+    #[test]
+    fn placement_respects_condition1() {
+        let g = HexGrid::paper();
+        let candidates = forwarder_candidates(g.graph());
+        let mut rng = SimRng::seed_from_u64(7);
+        for f in 0..=5 {
+            let placed = place_condition1(g.graph(), &candidates, f, &mut rng, 1000)
+                .expect("placement feasible on 50x20");
+            assert_eq!(placed.len(), f);
+            assert!(satisfies_condition1(g.graph(), &placed));
+        }
+    }
+
+    #[test]
+    fn placement_infeasible_when_too_dense() {
+        let g = HexGrid::new(2, 4);
+        let candidates = forwarder_candidates(g.graph());
+        let mut rng = SimRng::seed_from_u64(1);
+        // 8 faults among 8 forwarders can never satisfy Condition 1.
+        assert_eq!(
+            place_condition1(g.graph(), &candidates, 8, &mut rng, 200),
+            None
+        );
+    }
+
+    #[test]
+    fn faulty_layers_counts_distinct_layers() {
+        let g = HexGrid::new(5, 6);
+        let plan = FaultPlan::none()
+            .with_node(g.node(2, 0), NodeFault::Byzantine)
+            .with_node(g.node(2, 3), NodeFault::Byzantine)
+            .with_node(g.node(4, 1), NodeFault::FailSilent);
+        assert_eq!(plan.faulty_layers(g.graph(), 5), 2);
+        assert_eq!(plan.faulty_layers(g.graph(), 3), 1);
+        assert_eq!(plan.faulty_layers(g.graph(), 1), 0);
+    }
+
+    proptest! {
+        /// Random Condition-1 placements always verify, for many seeds and
+        /// grid shapes.
+        #[test]
+        fn prop_placement_valid(seed in any::<u64>(), l in 3u32..8, w in 4u32..10, f in 0usize..4) {
+            let g = HexGrid::new(l, w);
+            let candidates = forwarder_candidates(g.graph());
+            let mut rng = SimRng::seed_from_u64(seed);
+            if let Some(placed) = place_condition1(g.graph(), &candidates, f, &mut rng, 500) {
+                prop_assert_eq!(placed.len(), f);
+                prop_assert!(satisfies_condition1(g.graph(), &placed));
+                // Returned sorted and deduplicated.
+                let mut copy = placed.clone();
+                copy.sort_unstable();
+                copy.dedup();
+                prop_assert_eq!(copy, placed);
+            }
+        }
+
+        /// Condition 1 is monotone: removing a fault never invalidates it.
+        #[test]
+        fn prop_condition1_monotone(seed in any::<u64>(), f in 1usize..5) {
+            let g = HexGrid::new(5, 8);
+            let candidates = forwarder_candidates(g.graph());
+            let mut rng = SimRng::seed_from_u64(seed);
+            if let Some(placed) = place_condition1(g.graph(), &candidates, f, &mut rng, 500) {
+                for skip in 0..placed.len() {
+                    let subset: Vec<_> = placed
+                        .iter()
+                        .enumerate()
+                        .filter(|&(i, _)| i != skip)
+                        .map(|(_, &n)| n)
+                        .collect();
+                    prop_assert!(satisfies_condition1(g.graph(), &subset));
+                }
+            }
+        }
+    }
+}

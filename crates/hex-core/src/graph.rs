@@ -1,0 +1,328 @@
+//! Generic pulse-propagation graph.
+//!
+//! The HEX grid, the Section-5 topology variants and any future layout are
+//! all instances of a [`PulseGraph`]: a directed graph whose nodes are either
+//! pulse *sources* (driven by an external schedule, layer 0 in HEX) or
+//! *forwarders* running Algorithm 1. Each forwarder's incoming links are
+//! bound to numbered **ports**, and its trigger condition is a *guard*: a
+//! list of port pairs, satisfied when both ports of some pair hold a
+//! memorized trigger message. For the HEX grid the ports are
+//! (left, lower-left, lower-right, right) and the guard is the paper's
+//! "(left ∧ lower-left) ∨ (lower-left ∧ lower-right) ∨ (lower-right ∧ right)".
+
+use crate::coord::Coord;
+
+/// Node identifier: index into [`PulseGraph::node_count`].
+pub type NodeId = u32;
+/// Link identifier: index into [`PulseGraph::link_count`].
+pub type LinkId = u32;
+
+/// What drives a node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Role {
+    /// A clock source: fires according to an external schedule and ignores
+    /// incoming links (HEX layer 0).
+    Source,
+    /// A forwarder running the HEX pulse forwarding algorithm (Algorithm 1).
+    Forwarder,
+}
+
+/// A directed link from `src` to `dst`, arriving at `dst`'s port `dst_port`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Link {
+    /// Sending node.
+    pub src: NodeId,
+    /// Receiving node.
+    pub dst: NodeId,
+    /// Port index at the receiver (index into its in-port array).
+    pub dst_port: u8,
+}
+
+/// Per-node topology record.
+#[derive(Debug, Clone)]
+struct NodeTopo {
+    role: Role,
+    coord: Option<Coord>,
+    /// Incoming links, indexed by port number.
+    in_links: Vec<LinkId>,
+    out_links: Vec<LinkId>,
+    /// Trigger guard: (port, port) pairs; fires when both flags of some pair
+    /// are set. Empty for sources.
+    guard: Vec<(u8, u8)>,
+}
+
+/// A complete pulse-propagation topology.
+///
+/// Built through [`GraphBuilder`]; immutable afterwards. All queries are
+/// O(1) or return slices into pre-built arrays, since the simulator's inner
+/// loop calls them per event.
+#[derive(Debug, Clone)]
+pub struct PulseGraph {
+    nodes: Vec<NodeTopo>,
+    links: Vec<Link>,
+}
+
+impl PulseGraph {
+    /// Start building a graph.
+    pub fn builder() -> GraphBuilder {
+        GraphBuilder::default()
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of links.
+    pub fn link_count(&self) -> usize {
+        self.links.len()
+    }
+
+    /// The role of a node.
+    pub fn role(&self, n: NodeId) -> Role {
+        self.nodes[n as usize].role
+    }
+
+    /// The grid coordinate of a node, if the topology assigned one.
+    pub fn coord(&self, n: NodeId) -> Option<Coord> {
+        self.nodes[n as usize].coord
+    }
+
+    /// Incoming links of `n`, indexed by port.
+    pub fn in_links(&self, n: NodeId) -> &[LinkId] {
+        &self.nodes[n as usize].in_links
+    }
+
+    /// Outgoing links of `n`.
+    pub fn out_links(&self, n: NodeId) -> &[LinkId] {
+        &self.nodes[n as usize].out_links
+    }
+
+    /// The trigger guard of `n` (empty for sources).
+    pub fn guard(&self, n: NodeId) -> &[(u8, u8)] {
+        &self.nodes[n as usize].guard
+    }
+
+    /// The link record for `l`.
+    pub fn link(&self, l: LinkId) -> Link {
+        self.links[l as usize]
+    }
+
+    /// The number of in-ports of `n`.
+    pub fn port_count(&self, n: NodeId) -> usize {
+        self.nodes[n as usize].in_links.len()
+    }
+
+    /// The in-neighbor of `n` on port `port`.
+    pub fn in_neighbor(&self, n: NodeId, port: u8) -> NodeId {
+        self.link(self.nodes[n as usize].in_links[port as usize]).src
+    }
+
+    /// Iterate over all node ids.
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> {
+        0..self.node_count() as NodeId
+    }
+
+    /// Iterate over all source node ids (in insertion order; for the HEX
+    /// grid this is column order of layer 0).
+    pub fn source_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.node_ids().filter(|&n| self.role(n) == Role::Source)
+    }
+
+    /// All out-neighbors of `n` (one per outgoing link).
+    pub fn out_neighbors(&self, n: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        self.out_links(n).iter().map(|&l| self.link(l).dst)
+    }
+
+    /// All in-neighbors of `n` in port order.
+    pub fn in_neighbors(&self, n: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        self.in_links(n).iter().map(|&l| self.link(l).src)
+    }
+
+    /// The set of nodes within `h` hops of `n` along *outgoing* links,
+    /// including `n` itself. Used by the evaluation's "discard the h-hop
+    /// outgoing neighborhood of faulty nodes" filter (Figs. 15/16).
+    pub fn out_ball(&self, n: NodeId, h: usize) -> Vec<NodeId> {
+        let mut seen = vec![false; self.node_count()];
+        let mut frontier = vec![n];
+        seen[n as usize] = true;
+        let mut out = vec![n];
+        for _ in 0..h {
+            let mut next = Vec::new();
+            for &u in &frontier {
+                for v in self.out_neighbors(u) {
+                    if !seen[v as usize] {
+                        seen[v as usize] = true;
+                        out.push(v);
+                        next.push(v);
+                    }
+                }
+            }
+            frontier = next;
+        }
+        out
+    }
+}
+
+/// Incremental [`PulseGraph`] construction.
+#[derive(Debug, Default)]
+pub struct GraphBuilder {
+    nodes: Vec<NodeTopo>,
+    links: Vec<Link>,
+}
+
+impl GraphBuilder {
+    /// Add a node; returns its id. `coord` is optional display/analysis
+    /// metadata. The guard must reference ports that are later filled by
+    /// [`GraphBuilder::add_link`]; consistency is checked in
+    /// [`GraphBuilder::build`].
+    pub fn add_node(&mut self, role: Role, coord: Option<Coord>, guard: Vec<(u8, u8)>) -> NodeId {
+        let id = self.nodes.len() as NodeId;
+        self.nodes.push(NodeTopo {
+            role,
+            coord,
+            in_links: Vec::new(),
+            out_links: Vec::new(),
+            guard,
+        });
+        id
+    }
+
+    /// Connect `src → dst` at the receiver's port `dst_port`. Ports must be
+    /// added in increasing order per receiver (0, 1, 2, …).
+    pub fn add_link(&mut self, src: NodeId, dst: NodeId, dst_port: u8) -> LinkId {
+        let id = self.links.len() as LinkId;
+        let dst_topo = &mut self.nodes[dst as usize];
+        assert_eq!(
+            dst_topo.in_links.len(),
+            dst_port as usize,
+            "ports of node {dst} must be added in order; expected port {}, got {dst_port}",
+            dst_topo.in_links.len()
+        );
+        dst_topo.in_links.push(id);
+        self.nodes[src as usize].out_links.push(id);
+        self.links.push(Link { src, dst, dst_port });
+        id
+    }
+
+    /// Finish construction, validating guard/port consistency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a guard references a non-existent port, a source has a
+    /// non-empty guard, or a forwarder has an empty guard (it could never
+    /// fire).
+    pub fn build(self) -> PulseGraph {
+        for (i, n) in self.nodes.iter().enumerate() {
+            match n.role {
+                Role::Source => assert!(
+                    n.guard.is_empty(),
+                    "source node {i} must not have a guard"
+                ),
+                Role::Forwarder => {
+                    assert!(
+                        !n.guard.is_empty(),
+                        "forwarder node {i} has an empty guard and could never fire"
+                    );
+                    for &(a, b) in &n.guard {
+                        assert!(
+                            (a as usize) < n.in_links.len() && (b as usize) < n.in_links.len(),
+                            "guard of node {i} references port out of range"
+                        );
+                        assert_ne!(a, b, "guard of node {i} pairs a port with itself");
+                    }
+                }
+            }
+        }
+        PulseGraph {
+            nodes: self.nodes,
+            links: self.links,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// source -> a -> b chain with 2-port guards fed by parallel links.
+    fn diamond() -> PulseGraph {
+        let mut b = PulseGraph::builder();
+        let s0 = b.add_node(Role::Source, None, vec![]);
+        let s1 = b.add_node(Role::Source, None, vec![]);
+        let a = b.add_node(Role::Forwarder, None, vec![(0, 1)]);
+        b.add_link(s0, a, 0);
+        b.add_link(s1, a, 1);
+        b.build()
+    }
+
+    #[test]
+    fn diamond_wiring() {
+        let g = diamond();
+        assert_eq!(g.node_count(), 3);
+        assert_eq!(g.link_count(), 2);
+        assert_eq!(g.role(2), Role::Forwarder);
+        assert_eq!(g.port_count(2), 2);
+        assert_eq!(g.in_neighbor(2, 0), 0);
+        assert_eq!(g.in_neighbor(2, 1), 1);
+        assert_eq!(g.out_links(0).len(), 1);
+        assert_eq!(g.source_ids().collect::<Vec<_>>(), vec![0, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "ports of node")]
+    fn rejects_out_of_order_ports() {
+        let mut b = PulseGraph::builder();
+        let s = b.add_node(Role::Source, None, vec![]);
+        let f = b.add_node(Role::Forwarder, None, vec![(0, 1)]);
+        b.add_link(s, f, 1); // port 0 skipped
+    }
+
+    #[test]
+    #[should_panic(expected = "empty guard")]
+    fn rejects_guardless_forwarder() {
+        let mut b = PulseGraph::builder();
+        b.add_node(Role::Forwarder, None, vec![]);
+        b.build();
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_dangling_guard_port() {
+        let mut b = PulseGraph::builder();
+        let s = b.add_node(Role::Source, None, vec![]);
+        let f = b.add_node(Role::Forwarder, None, vec![(0, 3)]);
+        b.add_link(s, f, 0);
+        b.build();
+    }
+
+    #[test]
+    #[should_panic(expected = "pairs a port with itself")]
+    fn rejects_self_paired_guard() {
+        let mut b = PulseGraph::builder();
+        let s = b.add_node(Role::Source, None, vec![]);
+        let f = b.add_node(Role::Forwarder, None, vec![(0, 0)]);
+        b.add_link(s, f, 0);
+        b.build();
+    }
+
+    #[test]
+    fn out_ball_radii() {
+        // chain s -> f1 -> f2 (f's have a dummy second in-link from s to
+        // satisfy guard arity).
+        let mut b = PulseGraph::builder();
+        let s = b.add_node(Role::Source, None, vec![]);
+        let f1 = b.add_node(Role::Forwarder, None, vec![(0, 1)]);
+        let f2 = b.add_node(Role::Forwarder, None, vec![(0, 1)]);
+        b.add_link(s, f1, 0);
+        b.add_link(s, f1, 1);
+        b.add_link(f1, f2, 0);
+        b.add_link(s, f2, 1);
+        let g = b.build();
+        assert_eq!(g.out_ball(f1, 0), vec![f1]);
+        let ball1 = g.out_ball(f1, 1);
+        assert!(ball1.contains(&f1) && ball1.contains(&f2) && ball1.len() == 2);
+        let ball_s = g.out_ball(s, 1);
+        assert_eq!(ball_s.len(), 3); // s, f1, f2 (two links into each)
+    }
+}

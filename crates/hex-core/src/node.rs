@@ -1,0 +1,424 @@
+//! The two asynchronous state machines of a HEX node (Fig. 7).
+//!
+//! * The **firing state machine** (Fig. 7a) cycles ready → firing →
+//!   sleeping → ready. Firing is instantaneous at this abstraction level, so
+//!   [`FiringState`] only distinguishes `Ready` and `Sleeping`.
+//! * One **memory-flag state machine** per incoming link (Fig. 7b): ready →
+//!   (trigger message) → memorize → (timeout `T_link`) → ready. A flag is
+//!   also cleared when the firing machine takes its sleeping → ready
+//!   transition ("forget previously received trigger messages").
+//!
+//! This module holds the *pure* transition logic. Timer durations are
+//! sampled and scheduled by the simulator; stale timer events are filtered
+//! with per-flag and per-sleep **epoch counters**, the standard DES idiom
+//! for cancellable timers (each set/clear bumps the epoch; a timeout event
+//! carries the epoch it was scheduled for and is ignored if outdated).
+
+use crate::graph::NodeId;
+
+/// State of the firing machine (Fig. 7a, with the transient `firing` state
+/// collapsed into the transition).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FiringState {
+    /// Waiting for the trigger guard.
+    Ready,
+    /// Pulse forwarded; refusing to fire until the sleep timeout expires.
+    Sleeping,
+}
+
+/// Which guard alternative fired a node, in grid terms (Definition 1).
+///
+/// For the HEX guard `{(left, lower-left), (lower-left, lower-right),
+/// (lower-right, right)}` these are exactly the paper's left-triggered /
+/// centrally-triggered / right-triggered cases. For non-HEX guards the
+/// variant is derived from the index of the satisfied pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TriggerCause {
+    /// Fired by (left ∧ lower-left) — guard pair index 0.
+    Left,
+    /// Fired by (lower-left ∧ lower-right) — guard pair index 1.
+    Central,
+    /// Fired by (lower-right ∧ right) — guard pair index 2.
+    Right,
+    /// Fired by some other guard pair (alternative topologies).
+    Other(u8),
+    /// Externally driven (layer-0 source).
+    Source,
+}
+
+impl TriggerCause {
+    /// Map a satisfied guard-pair index to a cause, using the HEX convention
+    /// for indices 0..3.
+    pub fn from_guard_index(ix: usize) -> TriggerCause {
+        match ix {
+            0 => TriggerCause::Left,
+            1 => TriggerCause::Central,
+            2 => TriggerCause::Right,
+            other => TriggerCause::Other(other as u8),
+        }
+    }
+}
+
+/// Dynamic state of one node: firing machine + memory flags + epochs.
+#[derive(Debug, Clone)]
+pub struct NodeState {
+    id: NodeId,
+    firing: FiringState,
+    /// One memorized-trigger flag per in-port.
+    flags: Vec<bool>,
+    /// Epoch counter per flag; bumped on every set *and* clear so that
+    /// in-flight timeout events for older epochs are ignored.
+    flag_epochs: Vec<u32>,
+    /// Epoch counter for the sleep timer.
+    sleep_epoch: u32,
+    /// Number of times this node fired (diagnostics).
+    fire_count: u32,
+}
+
+impl NodeState {
+    /// Fresh, properly initialized state: ready, all flags cleared. This is
+    /// the state assumed by the fault-free analysis (constraints (C1)/(C2)).
+    pub fn clean(id: NodeId, ports: usize) -> Self {
+        NodeState {
+            id,
+            firing: FiringState::Ready,
+            flags: vec![false; ports],
+            flag_epochs: vec![0; ports],
+            sleep_epoch: 0,
+            fire_count: 0,
+        }
+    }
+
+    /// The node this state belongs to.
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// Current firing-machine state.
+    pub fn firing_state(&self) -> FiringState {
+        self.firing
+    }
+
+    /// Number of in-ports.
+    pub fn ports(&self) -> usize {
+        self.flags.len()
+    }
+
+    /// Whether the flag of `port` is set.
+    pub fn flag(&self, port: u8) -> bool {
+        self.flags[port as usize]
+    }
+
+    /// Current epoch of the flag of `port`.
+    pub fn flag_epoch(&self, port: u8) -> u32 {
+        self.flag_epochs[port as usize]
+    }
+
+    /// Current sleep epoch.
+    pub fn sleep_epoch(&self) -> u32 {
+        self.sleep_epoch
+    }
+
+    /// How often this node has fired so far.
+    pub fn fire_count(&self) -> u32 {
+        self.fire_count
+    }
+
+    /// Trigger message received on `port` (memory-flag SM: ready →
+    /// memorize). Returns `Some(epoch)` — the epoch the caller must attach
+    /// to the link-timeout event — if the flag was newly set; `None` if the
+    /// flag was already set (the SM stays in `memorize`; the original
+    /// timeout keeps running, which matches a level-sensitive flag that was
+    /// set earlier).
+    pub fn set_flag(&mut self, port: u8) -> Option<u32> {
+        let p = port as usize;
+        if self.flags[p] {
+            return None;
+        }
+        self.flags[p] = true;
+        self.flag_epochs[p] += 1;
+        Some(self.flag_epochs[p])
+    }
+
+    /// Link timeout for `port` at `epoch` expired (memorize → ready).
+    /// Returns `true` if the flag was actually cleared; `false` if the event
+    /// was stale (flag re-set or cleared since it was scheduled).
+    pub fn expire_flag(&mut self, port: u8, epoch: u32) -> bool {
+        let p = port as usize;
+        if self.flags[p] && self.flag_epochs[p] == epoch {
+            self.flags[p] = false;
+            self.flag_epochs[p] += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Evaluate a guard (list of port pairs). Returns the index of the first
+    /// satisfied pair, if any. Only meaningful in `Ready` state; the caller
+    /// checks.
+    pub fn satisfied_guard(&self, guard: &[(u8, u8)]) -> Option<usize> {
+        guard
+            .iter()
+            .position(|&(a, b)| self.flags[a as usize] && self.flags[b as usize])
+    }
+
+    /// Fire: broadcast is the simulator's job; here the firing SM moves to
+    /// `Sleeping` and the new sleep epoch is returned for the wake-up event.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called while sleeping (the guard must not be evaluated
+    /// then).
+    pub fn fire(&mut self) -> u32 {
+        assert_eq!(
+            self.firing,
+            FiringState::Ready,
+            "node {} fired while sleeping",
+            self.id
+        );
+        self.firing = FiringState::Sleeping;
+        self.sleep_epoch += 1;
+        self.fire_count += 1;
+        self.sleep_epoch
+    }
+
+    /// Sleep timeout at `epoch` expired (sleeping → ready, clearing all
+    /// memory flags). Returns `true` and the machine is ready again, or
+    /// `false` for a stale event.
+    pub fn wake(&mut self, epoch: u32) -> bool {
+        if self.firing == FiringState::Sleeping && self.sleep_epoch == epoch {
+            self.firing = FiringState::Ready;
+            self.clear_all_flags();
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Clear every memory flag (bumping epochs so pending timeouts die).
+    pub fn clear_all_flags(&mut self) {
+        for p in 0..self.flags.len() {
+            if self.flags[p] {
+                self.flags[p] = false;
+                self.flag_epochs[p] += 1;
+            }
+        }
+    }
+
+    /// Force an arbitrary state, for self-stabilization experiments
+    /// (Theorem 2 allows *any* initial internal state). `sleeping` selects
+    /// the firing-SM state; `set_flags` lists ports whose memory flag starts
+    /// set. Returns the epochs for which the caller should schedule residual
+    /// sleep/link timeouts.
+    pub fn force_arbitrary(&mut self, sleeping: bool, set_flags: &[u8]) -> ArbitraryEpochs {
+        self.firing = if sleeping {
+            FiringState::Sleeping
+        } else {
+            FiringState::Ready
+        };
+        self.sleep_epoch += 1;
+        for p in 0..self.flags.len() {
+            if self.flags[p] {
+                self.flags[p] = false;
+                self.flag_epochs[p] += 1;
+            }
+        }
+        let mut flag_epochs = Vec::with_capacity(set_flags.len());
+        for &port in set_flags {
+            let e = self.set_flag(port).expect("duplicate port in set_flags");
+            flag_epochs.push((port, e));
+        }
+        ArbitraryEpochs {
+            sleep_epoch: if sleeping { Some(self.sleep_epoch) } else { None },
+            flag_epochs,
+        }
+    }
+}
+
+/// Epochs produced by [`NodeState::force_arbitrary`]; the simulator turns
+/// these into residual timeout events.
+#[derive(Debug, Clone)]
+pub struct ArbitraryEpochs {
+    /// Sleep epoch to wake, if the node starts sleeping.
+    pub sleep_epoch: Option<u32>,
+    /// `(port, epoch)` pairs for initially-set flags.
+    pub flag_epochs: Vec<(u8, u32)>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grid::HEX_GUARD;
+    use proptest::prelude::*;
+
+    fn hex_node() -> NodeState {
+        NodeState::clean(7, 4)
+    }
+
+    #[test]
+    fn clean_state() {
+        let n = hex_node();
+        assert_eq!(n.firing_state(), FiringState::Ready);
+        assert_eq!(n.ports(), 4);
+        assert!((0..4).all(|p| !n.flag(p)));
+        assert_eq!(n.fire_count(), 0);
+    }
+
+    #[test]
+    fn guard_needs_adjacent_pair() {
+        let mut n = hex_node();
+        // left + right: NOT adjacent, must not fire (this is the crux of the
+        // HEX guard — two opposite neighbors don't form a majority).
+        n.set_flag(0);
+        n.set_flag(3);
+        assert_eq!(n.satisfied_guard(&HEX_GUARD), None);
+        // Adding lower-right satisfies (lower-right, right) = pair 2.
+        n.set_flag(2);
+        assert_eq!(n.satisfied_guard(&HEX_GUARD), Some(2));
+    }
+
+    #[test]
+    fn guard_priority_order() {
+        let mut n = hex_node();
+        n.set_flag(1);
+        n.set_flag(2);
+        assert_eq!(n.satisfied_guard(&HEX_GUARD), Some(1)); // centrally triggered
+        n.set_flag(0);
+        // (0,1) now also satisfied and has lower index.
+        assert_eq!(n.satisfied_guard(&HEX_GUARD), Some(0));
+    }
+
+    #[test]
+    fn trigger_cause_mapping() {
+        assert_eq!(TriggerCause::from_guard_index(0), TriggerCause::Left);
+        assert_eq!(TriggerCause::from_guard_index(1), TriggerCause::Central);
+        assert_eq!(TriggerCause::from_guard_index(2), TriggerCause::Right);
+        assert_eq!(TriggerCause::from_guard_index(5), TriggerCause::Other(5));
+    }
+
+    #[test]
+    fn set_flag_idempotent_until_cleared() {
+        let mut n = hex_node();
+        let e1 = n.set_flag(1).unwrap();
+        assert_eq!(n.set_flag(1), None); // already memorized
+        assert!(n.expire_flag(1, e1));
+        let e2 = n.set_flag(1).unwrap();
+        assert!(e2 > e1);
+    }
+
+    #[test]
+    fn stale_timeout_ignored() {
+        let mut n = hex_node();
+        let e1 = n.set_flag(2).unwrap();
+        n.clear_all_flags(); // e.g. wake-up cleared it first
+        assert!(!n.expire_flag(2, e1));
+        let e2 = n.set_flag(2).unwrap();
+        assert!(!n.expire_flag(2, e1)); // old epoch can't clear new flag
+        assert!(n.expire_flag(2, e2));
+    }
+
+    #[test]
+    fn fire_sleep_wake_cycle() {
+        let mut n = hex_node();
+        n.set_flag(1);
+        n.set_flag(2);
+        let sleep_epoch = n.fire();
+        assert_eq!(n.firing_state(), FiringState::Sleeping);
+        assert_eq!(n.fire_count(), 1);
+        // Message arriving during sleep is memorized (flags are independent
+        // SMs) …
+        n.set_flag(0);
+        assert!(n.flag(0));
+        // … but cleared by the wake transition.
+        assert!(n.wake(sleep_epoch));
+        assert_eq!(n.firing_state(), FiringState::Ready);
+        assert!((0..4).all(|p| !n.flag(p)));
+    }
+
+    #[test]
+    fn stale_wake_ignored() {
+        let mut n = hex_node();
+        n.set_flag(1);
+        n.set_flag(2);
+        let e1 = n.fire();
+        assert!(n.wake(e1));
+        n.set_flag(1);
+        n.set_flag(2);
+        let e2 = n.fire();
+        assert!(!n.wake(e1)); // stale
+        assert!(n.wake(e2));
+    }
+
+    #[test]
+    #[should_panic(expected = "fired while sleeping")]
+    fn cannot_fire_while_sleeping() {
+        let mut n = hex_node();
+        n.fire();
+        n.fire();
+    }
+
+    #[test]
+    fn arbitrary_state_forcing() {
+        let mut n = hex_node();
+        let eps = n.force_arbitrary(true, &[0, 2]);
+        assert_eq!(n.firing_state(), FiringState::Sleeping);
+        assert!(n.flag(0) && !n.flag(1) && n.flag(2) && !n.flag(3));
+        assert!(eps.sleep_epoch.is_some());
+        assert_eq!(eps.flag_epochs.len(), 2);
+        // The returned epochs are live: expiring them clears the flags.
+        for (port, e) in eps.flag_epochs {
+            assert!(n.expire_flag(port, e));
+        }
+        assert!(n.wake(eps.sleep_epoch.unwrap()));
+        assert_eq!(n.firing_state(), FiringState::Ready);
+    }
+
+    proptest! {
+        /// Epochs strictly increase over any sequence of operations, and a
+        /// timeout can clear a flag at most once.
+        #[test]
+        fn prop_epoch_monotone(ops in prop::collection::vec((0u8..4, 0u8..3), 1..200)) {
+            let mut n = hex_node();
+            let mut last_epoch = [0u32; 4];
+            let mut pending: Vec<(u8, u32)> = Vec::new();
+            for (port, op) in ops {
+                match op {
+                    0 => {
+                        if let Some(e) = n.set_flag(port) {
+                            prop_assert!(e > last_epoch[port as usize]);
+                            last_epoch[port as usize] = e;
+                            pending.push((port, e));
+                        }
+                    }
+                    1 => {
+                        if let Some(ix) = pending.iter().position(|&(p, _)| p == port) {
+                            let (p, e) = pending.remove(ix);
+                            // Expiring may succeed at most once per epoch.
+                            let first = n.expire_flag(p, e);
+                            let second = n.expire_flag(p, e);
+                            prop_assert!(!second || !first);
+                        }
+                    }
+                    _ => n.clear_all_flags(),
+                }
+            }
+        }
+
+        /// After wake, no flag survives, regardless of history.
+        #[test]
+        fn prop_wake_clears_everything(sets in prop::collection::vec(0u8..4, 0..20)) {
+            let mut n = hex_node();
+            n.set_flag(1);
+            n.set_flag(2);
+            let e = n.fire();
+            for p in sets {
+                n.set_flag(p);
+            }
+            prop_assert!(n.wake(e));
+            for p in 0..4u8 {
+                prop_assert!(!n.flag(p));
+            }
+        }
+    }
+}

@@ -1,0 +1,208 @@
+//! Seedable random sampling helpers.
+//!
+//! All stochastic choices of a run (link delays, timeout durations, fault
+//! placement, Byzantine per-link behaviour, arbitrary initial states) are
+//! drawn from one [`SimRng`] seeded per run, so every experiment is exactly
+//! reproducible from `(config, seed)`.
+
+use rand::distributions::{Distribution, Uniform};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::time::{Duration, Time};
+
+/// Deterministic random source for a single simulation run.
+///
+/// Thin wrapper over `rand::StdRng` with [`Duration`]/[`Time`]-typed
+/// convenience samplers for the closed intervals used throughout the paper
+/// (delays in `[d-, d+]`, timeouts in `[T-, T+]`, layer-0 skews in
+/// `[0, d-]` / `[0, d+]`).
+#[derive(Debug, Clone)]
+pub struct SimRng {
+    rng: StdRng,
+}
+
+impl SimRng {
+    /// Create a generator from a 64-bit seed.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        SimRng {
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Derive an independent child generator (e.g. one per node) without
+    /// consuming more than one draw from the parent stream.
+    pub fn fork(&mut self) -> SimRng {
+        SimRng::seed_from_u64(self.rng.gen())
+    }
+
+    /// Sample a duration uniformly from the closed interval `[lo, hi]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    pub fn duration_in(&mut self, lo: Duration, hi: Duration) -> Duration {
+        assert!(lo <= hi, "empty interval [{:?}, {:?}]", lo, hi);
+        if lo == hi {
+            return lo;
+        }
+        Duration(Uniform::new_inclusive(lo.0, hi.0).sample(&mut self.rng))
+    }
+
+    /// Sample an instant uniformly from the closed interval `[lo, hi]`.
+    pub fn time_in(&mut self, lo: Time, hi: Time) -> Time {
+        assert!(lo <= hi, "empty interval [{:?}, {:?}]", lo, hi);
+        if lo == hi {
+            return lo;
+        }
+        Time(Uniform::new_inclusive(lo.0, hi.0).sample(&mut self.rng))
+    }
+
+    /// Sample an index uniformly from `0..n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn index(&mut self, n: usize) -> usize {
+        assert!(n > 0, "index range must be non-empty");
+        self.rng.gen_range(0..n)
+    }
+
+    /// A fair coin flip.
+    pub fn coin(&mut self) -> bool {
+        self.rng.gen()
+    }
+
+    /// A uniform draw from `[0, 1)`.
+    pub fn unit(&mut self) -> f64 {
+        self.rng.gen()
+    }
+
+    /// A Bernoulli draw with probability `p` of `true`.
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.rng.gen_bool(p.clamp(0.0, 1.0))
+    }
+
+    /// A raw 64-bit draw (used to derive sub-seeds for batch runs).
+    pub fn next_u64(&mut self) -> u64 {
+        self.rng.gen()
+    }
+
+    /// Fisher–Yates shuffle of a slice.
+    pub fn shuffle<T>(&mut self, xs: &mut [T]) {
+        for i in (1..xs.len()).rev() {
+            let j = self.rng.gen_range(0..=i);
+            xs.swap(i, j);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = SimRng::seed_from_u64(7);
+        let mut b = SimRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(
+                a.duration_in(Duration::from_ps(7161), Duration::from_ps(8197)),
+                b.duration_in(Duration::from_ps(7161), Duration::from_ps(8197))
+            );
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = SimRng::seed_from_u64(1);
+        let mut b = SimRng::seed_from_u64(2);
+        let da: Vec<i64> = (0..32)
+            .map(|_| a.duration_in(Duration::ZERO, Duration::from_ps(1 << 30)).ps())
+            .collect();
+        let db: Vec<i64> = (0..32)
+            .map(|_| b.duration_in(Duration::ZERO, Duration::from_ps(1 << 30)).ps())
+            .collect();
+        assert_ne!(da, db);
+    }
+
+    #[test]
+    fn degenerate_interval() {
+        let mut r = SimRng::seed_from_u64(0);
+        assert_eq!(
+            r.duration_in(Duration::from_ps(5), Duration::from_ps(5)),
+            Duration::from_ps(5)
+        );
+    }
+
+    #[test]
+    fn fork_is_independent() {
+        let mut parent = SimRng::seed_from_u64(3);
+        let mut c1 = parent.fork();
+        let mut c2 = parent.fork();
+        assert_ne!(c1.next_u64(), c2.next_u64());
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut r = SimRng::seed_from_u64(11);
+        let mut xs: Vec<u32> = (0..50).collect();
+        r.shuffle(&mut xs);
+        let mut sorted = xs.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn uniform_hits_endpoints() {
+        // Closed interval: both endpoints must be reachable.
+        let mut r = SimRng::seed_from_u64(5);
+        let (mut lo_seen, mut hi_seen) = (false, false);
+        for _ in 0..10_000 {
+            let d = r.duration_in(Duration::from_ps(0), Duration::from_ps(3));
+            if d.ps() == 0 {
+                lo_seen = true;
+            }
+            if d.ps() == 3 {
+                hi_seen = true;
+            }
+        }
+        assert!(lo_seen && hi_seen);
+    }
+
+    proptest! {
+        /// Samples always fall inside the requested closed interval.
+        #[test]
+        fn prop_in_range(seed in any::<u64>(), lo in -10_000i64..10_000, span in 0i64..10_000) {
+            let mut r = SimRng::seed_from_u64(seed);
+            for _ in 0..32 {
+                let d = r.duration_in(Duration::from_ps(lo), Duration::from_ps(lo + span));
+                prop_assert!(d.ps() >= lo && d.ps() <= lo + span);
+                let t = r.time_in(Time::from_ps(lo), Time::from_ps(lo + span));
+                prop_assert!(t.ps() >= lo && t.ps() <= lo + span);
+            }
+        }
+
+        /// index() stays in bounds.
+        #[test]
+        fn prop_index_in_bounds(seed in any::<u64>(), n in 1usize..500) {
+            let mut r = SimRng::seed_from_u64(seed);
+            for _ in 0..16 {
+                prop_assert!(r.index(n) < n);
+            }
+        }
+
+        /// Uniform mean sanity: the sample mean of [0, 1000] lands near 500.
+        #[test]
+        fn prop_uniform_mean(seed in any::<u64>()) {
+            let mut r = SimRng::seed_from_u64(seed);
+            let n = 4_000;
+            let sum: i64 = (0..n)
+                .map(|_| r.duration_in(Duration::ZERO, Duration::from_ps(1000)).ps())
+                .sum();
+            let mean = sum as f64 / n as f64;
+            prop_assert!((mean - 500.0).abs() < 40.0, "mean {}", mean);
+        }
+    }
+}

@@ -1,0 +1,142 @@
+//! Absolute-time schedules.
+//!
+//! Pulse sources (layer-0 nodes of the HEX grid, the root of the H-tree
+//! baseline) are driven by precomputed schedules: for each source, the sorted
+//! list of instants at which it emits a pulse. `hex-clock` builds these from
+//! the paper's four layer-0 scenarios and the pulse separation time `S`.
+
+use crate::time::Time;
+
+/// A per-source list of pulse emission instants.
+///
+/// Invariant: each source's instants are strictly increasing (checked at
+/// construction).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Schedule {
+    fires: Vec<Vec<Time>>,
+}
+
+impl Schedule {
+    /// Build a schedule from per-source instant lists.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any source's list is not strictly increasing.
+    pub fn new(fires: Vec<Vec<Time>>) -> Self {
+        for (s, list) in fires.iter().enumerate() {
+            for w in list.windows(2) {
+                assert!(
+                    w[0] < w[1],
+                    "schedule for source {s} not strictly increasing: {:?} -> {:?}",
+                    w[0],
+                    w[1]
+                );
+            }
+        }
+        Schedule { fires }
+    }
+
+    /// Single-pulse schedule: source `i` fires once at `offsets[i]`.
+    pub fn single_pulse(offsets: Vec<Time>) -> Self {
+        Schedule::new(offsets.into_iter().map(|t| vec![t]).collect())
+    }
+
+    /// Number of sources.
+    pub fn sources(&self) -> usize {
+        self.fires.len()
+    }
+
+    /// Number of pulses of the source with the most pulses.
+    pub fn pulses(&self) -> usize {
+        self.fires.iter().map(Vec::len).max().unwrap_or(0)
+    }
+
+    /// Firing instants of one source.
+    pub fn source(&self, i: usize) -> &[Time] {
+        &self.fires[i]
+    }
+
+    /// Iterate over `(source, pulse_index, time)` triples.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, usize, Time)> + '_ {
+        self.fires
+            .iter()
+            .enumerate()
+            .flat_map(|(s, ts)| ts.iter().enumerate().map(move |(k, &t)| (s, k, t)))
+    }
+
+    /// Earliest firing time of pulse `k` over all sources that have one
+    /// (the paper's `t_min^(k)`).
+    pub fn t_min(&self, k: usize) -> Option<Time> {
+        self.fires.iter().filter_map(|ts| ts.get(k)).min().copied()
+    }
+
+    /// Latest firing time of pulse `k` over all sources that have one
+    /// (the paper's `t_max^(k)`).
+    pub fn t_max(&self, k: usize) -> Option<Time> {
+        self.fires.iter().filter_map(|ts| ts.get(k)).max().copied()
+    }
+
+    /// The realized pulse separation: `min_k (t_min^(k+1) - t_max^(k))`,
+    /// `None` for single-pulse schedules.
+    pub fn min_separation(&self) -> Option<crate::time::Duration> {
+        let pulses = self.pulses();
+        if pulses < 2 {
+            return None;
+        }
+        (0..pulses - 1)
+            .filter_map(|k| Some(self.t_min(k + 1)? - self.t_max(k)?))
+            .min()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::Duration;
+
+    fn t(ps: i64) -> Time {
+        Time::from_ps(ps)
+    }
+
+    #[test]
+    fn single_pulse_basics() {
+        let s = Schedule::single_pulse(vec![t(0), t(5), t(3)]);
+        assert_eq!(s.sources(), 3);
+        assert_eq!(s.pulses(), 1);
+        assert_eq!(s.t_min(0), Some(t(0)));
+        assert_eq!(s.t_max(0), Some(t(5)));
+        assert_eq!(s.min_separation(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "not strictly increasing")]
+    fn rejects_unsorted() {
+        Schedule::new(vec![vec![t(5), t(5)]]);
+    }
+
+    #[test]
+    fn separation() {
+        let s = Schedule::new(vec![vec![t(0), t(100)], vec![t(10), t(95)]]);
+        // t_max(0) = 10, t_min(1) = 95 -> separation 85.
+        assert_eq!(s.min_separation(), Some(Duration::from_ps(85)));
+    }
+
+    #[test]
+    fn iter_covers_all() {
+        let s = Schedule::new(vec![vec![t(0), t(10)], vec![t(1)]]);
+        let triples: Vec<_> = s.iter().collect();
+        assert_eq!(
+            triples,
+            vec![(0, 0, t(0)), (0, 1, t(10)), (1, 0, t(1))]
+        );
+    }
+
+    #[test]
+    fn t_min_missing_pulse() {
+        let s = Schedule::new(vec![vec![t(0)], vec![t(1), t(50)]]);
+        // Pulse 1 exists only at source 1.
+        assert_eq!(s.t_min(1), Some(t(50)));
+        assert_eq!(s.t_max(1), Some(t(50)));
+        assert_eq!(s.t_min(2), None);
+    }
+}

@@ -1,0 +1,352 @@
+//! Integer picosecond time.
+//!
+//! All temporal quantities in the reproduction are exact integers in
+//! picoseconds. The paper's delay interval `[d-, d+] = [7.161, 8.197] ns`
+//! maps to `[7161, 8197] ps` with the delay uncertainty
+//! `ε = d+ - d- = 1036 ps`. Integer time keeps event ordering exact (no
+//! float-comparison hazards in the event queue) and makes every run
+//! bit-reproducible.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+
+/// An absolute instant in simulated time, in picoseconds.
+///
+/// `Time` is a transparent wrapper around `i64`; negative instants are legal
+/// (the worst-case constructions of the paper shift waves into negative time
+/// for convenience, cf. the virtual layers `-(W-1)..0` in Theorem 1's proof).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Time(pub i64);
+
+/// A signed span of simulated time, in picoseconds.
+///
+/// Durations are signed so that skews (differences of triggering times) can
+/// be represented directly; the paper's inter-layer skew is signed while the
+/// intra-layer skew takes absolute values (Definition 3).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Duration(pub i64);
+
+impl Time {
+    /// The zero instant.
+    pub const ZERO: Time = Time(0);
+    /// The largest representable instant; used as an "infinity" sentinel.
+    pub const MAX: Time = Time(i64::MAX);
+    /// The smallest representable instant.
+    pub const MIN: Time = Time(i64::MIN);
+
+    /// Construct an instant from picoseconds.
+    #[inline]
+    pub const fn from_ps(ps: i64) -> Self {
+        Time(ps)
+    }
+
+    /// Construct an instant from (possibly fractional) nanoseconds.
+    ///
+    /// Rounds to the nearest picosecond; intended for configuration
+    /// convenience, not for arithmetic inside the simulator.
+    #[inline]
+    pub fn from_ns(ns: f64) -> Self {
+        Time((ns * 1e3).round() as i64)
+    }
+
+    /// The raw picosecond count.
+    #[inline]
+    pub const fn ps(self) -> i64 {
+        self.0
+    }
+
+    /// The instant expressed in nanoseconds (lossy, for reporting only).
+    #[inline]
+    pub fn ns(self) -> f64 {
+        self.0 as f64 / 1e3
+    }
+
+    /// Absolute difference between two instants.
+    #[inline]
+    pub fn abs_diff(self, other: Time) -> Duration {
+        Duration((self.0 - other.0).abs())
+    }
+
+    /// Saturating addition of a duration (used when scheduling relative to
+    /// `Time::MAX` sentinels must not wrap).
+    #[inline]
+    pub fn saturating_add(self, d: Duration) -> Time {
+        Time(self.0.saturating_add(d.0))
+    }
+}
+
+impl Duration {
+    /// The zero-length duration.
+    pub const ZERO: Duration = Duration(0);
+
+    /// Construct a duration from picoseconds.
+    #[inline]
+    pub const fn from_ps(ps: i64) -> Self {
+        Duration(ps)
+    }
+
+    /// Construct a duration from (possibly fractional) nanoseconds.
+    #[inline]
+    pub fn from_ns(ns: f64) -> Self {
+        Duration((ns * 1e3).round() as i64)
+    }
+
+    /// The raw picosecond count.
+    #[inline]
+    pub const fn ps(self) -> i64 {
+        self.0
+    }
+
+    /// The duration expressed in nanoseconds (lossy, for reporting only).
+    #[inline]
+    pub fn ns(self) -> f64 {
+        self.0 as f64 / 1e3
+    }
+
+    /// Absolute value of the duration.
+    #[inline]
+    pub const fn abs(self) -> Duration {
+        Duration(self.0.abs())
+    }
+
+    /// True iff the duration is strictly positive.
+    #[inline]
+    pub const fn is_positive(self) -> bool {
+        self.0 > 0
+    }
+
+    /// Multiply by an integer factor (e.g. `ℓ · d-` path-length bounds).
+    #[inline]
+    pub const fn times(self, k: i64) -> Duration {
+        Duration(self.0 * k)
+    }
+
+    /// Scale by a float factor, rounding to the nearest picosecond. Used for
+    /// the clock-drift bound `ϑ` in Condition 2 (`T+ = ϑ·T-`).
+    #[inline]
+    pub fn scale(self, factor: f64) -> Duration {
+        Duration((self.0 as f64 * factor).round() as i64)
+    }
+
+    /// Largest of two durations.
+    #[inline]
+    pub fn max(self, other: Duration) -> Duration {
+        if self.0 >= other.0 {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Smallest of two durations.
+    #[inline]
+    pub fn min(self, other: Duration) -> Duration {
+        if self.0 <= other.0 {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+impl fmt::Debug for Time {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}ps", self.0)
+    }
+}
+
+impl fmt::Display for Time {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}ns", self.ns())
+    }
+}
+
+impl fmt::Debug for Duration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}ps", self.0)
+    }
+}
+
+impl fmt::Display for Duration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}ns", self.ns())
+    }
+}
+
+impl Add<Duration> for Time {
+    type Output = Time;
+    #[inline]
+    fn add(self, rhs: Duration) -> Time {
+        Time(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<Duration> for Time {
+    #[inline]
+    fn add_assign(&mut self, rhs: Duration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub<Duration> for Time {
+    type Output = Time;
+    #[inline]
+    fn sub(self, rhs: Duration) -> Time {
+        Time(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign<Duration> for Time {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Duration) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Sub<Time> for Time {
+    type Output = Duration;
+    #[inline]
+    fn sub(self, rhs: Time) -> Duration {
+        Duration(self.0 - rhs.0)
+    }
+}
+
+impl Add<Duration> for Duration {
+    type Output = Duration;
+    #[inline]
+    fn add(self, rhs: Duration) -> Duration {
+        Duration(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<Duration> for Duration {
+    #[inline]
+    fn add_assign(&mut self, rhs: Duration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub<Duration> for Duration {
+    type Output = Duration;
+    #[inline]
+    fn sub(self, rhs: Duration) -> Duration {
+        Duration(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign<Duration> for Duration {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Duration) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Mul<i64> for Duration {
+    type Output = Duration;
+    #[inline]
+    fn mul(self, rhs: i64) -> Duration {
+        Duration(self.0 * rhs)
+    }
+}
+
+impl Div<i64> for Duration {
+    type Output = Duration;
+    #[inline]
+    fn div(self, rhs: i64) -> Duration {
+        Duration(self.0 / rhs)
+    }
+}
+
+impl Neg for Duration {
+    type Output = Duration;
+    #[inline]
+    fn neg(self) -> Duration {
+        Duration(-self.0)
+    }
+}
+
+impl Sum for Duration {
+    fn sum<I: Iterator<Item = Duration>>(iter: I) -> Duration {
+        Duration(iter.map(|d| d.0).sum())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ns_roundtrip() {
+        let t = Time::from_ns(7.161);
+        assert_eq!(t.ps(), 7161);
+        assert!((t.ns() - 7.161).abs() < 1e-9);
+    }
+
+    #[test]
+    fn paper_delay_constants() {
+        let d_minus = Duration::from_ns(7.161);
+        let d_plus = Duration::from_ns(8.197);
+        assert_eq!((d_plus - d_minus).ps(), 1036); // ε = 1.036 ns
+    }
+
+    #[test]
+    fn arithmetic() {
+        let t = Time::from_ps(100);
+        let d = Duration::from_ps(42);
+        assert_eq!((t + d).ps(), 142);
+        assert_eq!((t - d).ps(), 58);
+        assert_eq!(((t + d) - t).ps(), 42);
+        assert_eq!((d * 3).ps(), 126);
+        assert_eq!((d / 2).ps(), 21);
+        assert_eq!((-d).ps(), -42);
+    }
+
+    #[test]
+    fn abs_diff_is_symmetric() {
+        let a = Time::from_ps(10);
+        let b = Time::from_ps(25);
+        assert_eq!(a.abs_diff(b), b.abs_diff(a));
+        assert_eq!(a.abs_diff(b).ps(), 15);
+    }
+
+    #[test]
+    fn scale_rounds_to_nearest() {
+        // ϑ = 1.05 applied to T- = 31.98 ns (paper Table 3 row i).
+        let t_minus = Duration::from_ns(31.98);
+        let t_plus = t_minus.scale(1.05);
+        assert_eq!(t_plus.ps(), 33579); // 33.579 ns, printed as 33.58 in the paper
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(Time::from_ps(1) < Time::from_ps(2));
+        assert!(Duration::from_ps(-1) < Duration::ZERO);
+        assert_eq!(
+            Duration::from_ps(5).max(Duration::from_ps(9)),
+            Duration::from_ps(9)
+        );
+        assert_eq!(
+            Duration::from_ps(5).min(Duration::from_ps(9)),
+            Duration::from_ps(5)
+        );
+    }
+
+    #[test]
+    fn saturating_add_does_not_wrap() {
+        let t = Time::MAX;
+        assert_eq!(t.saturating_add(Duration::from_ps(1)), Time::MAX);
+    }
+
+    #[test]
+    fn sum_of_durations() {
+        let total: Duration = (1..=4).map(Duration::from_ps).sum();
+        assert_eq!(total.ps(), 10);
+    }
+
+    #[test]
+    fn display_formats_in_ns() {
+        assert_eq!(format!("{}", Time::from_ps(7161)), "7.161ns");
+        assert_eq!(format!("{}", Duration::from_ps(-1036)), "-1.036ns");
+    }
+}

@@ -1,0 +1,223 @@
+//! Trace-level invariants of Algorithm 1, checkable on any run.
+//!
+//! These are the semantic guarantees the state machines of Fig. 7 enforce
+//! by construction, expressed as post-hoc predicates over recorded traces:
+//!
+//! * **sleep separation** — a node never fires twice within `T−_sleep`
+//!   (the firing SM is in `sleeping` and the guard is not evaluated);
+//! * **source conformance** — sources fire exactly at their scheduled
+//!   instants (and never otherwise);
+//! * **fault silence** — faulty nodes never record a firing.
+//!
+//! The property suite drives randomized configurations (grid shapes,
+//! scenarios, fault mixes, arbitrary initial states) through these
+//! predicates; `hex-analysis::checker` adds the message-level rules.
+
+use hex_core::{NodeId, PulseGraph, Role};
+use hex_des::{Duration, Schedule, Time};
+
+use crate::trace::Trace;
+
+/// A violated trace invariant.
+#[derive(Debug, Clone, PartialEq)]
+pub enum InvariantViolation {
+    /// Two firings of one node closer than the minimum sleep.
+    SleepViolated {
+        /// The node.
+        node: NodeId,
+        /// Gap between the two firings (ns).
+        gap_ns: f64,
+    },
+    /// A source fired at an unscheduled time (or missed a scheduled one
+    /// inside the horizon).
+    SourceMismatch {
+        /// The source node.
+        node: NodeId,
+    },
+    /// A faulty node recorded a firing.
+    FaultyNodeFired {
+        /// The node.
+        node: NodeId,
+    },
+}
+
+/// Check the sleep-separation invariant: consecutive firings of every
+/// forwarder are at least `t_sleep_min` apart.
+pub fn check_sleep_separation(
+    graph: &PulseGraph,
+    trace: &Trace,
+    t_sleep_min: Duration,
+) -> Result<(), InvariantViolation> {
+    for n in graph.node_ids() {
+        if graph.role(n) != Role::Forwarder {
+            continue;
+        }
+        for w in trace.fires[n as usize].windows(2) {
+            let gap = w[1].0 - w[0].0;
+            if gap < t_sleep_min {
+                return Err(InvariantViolation::SleepViolated {
+                    node: n,
+                    gap_ns: gap.ns(),
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Check that every correct source fired exactly its scheduled instants
+/// (clipped to the horizon).
+pub fn check_source_conformance(
+    graph: &PulseGraph,
+    trace: &Trace,
+    schedule: &Schedule,
+) -> Result<(), InvariantViolation> {
+    let sources: Vec<NodeId> = graph.source_ids().collect();
+    for (ix, &s) in sources.iter().enumerate() {
+        if trace.is_faulty(s) {
+            continue;
+        }
+        let expected: Vec<Time> = schedule
+            .source(ix)
+            .iter()
+            .copied()
+            .filter(|&t| t <= trace.horizon)
+            .collect();
+        let actual: Vec<Time> = trace.fires[s as usize].iter().map(|&(t, _)| t).collect();
+        if expected != actual {
+            return Err(InvariantViolation::SourceMismatch { node: s });
+        }
+    }
+    Ok(())
+}
+
+/// Check that declared-faulty nodes recorded no firings.
+pub fn check_faulty_silent(trace: &Trace) -> Result<(), InvariantViolation> {
+    for &f in &trace.faulty {
+        if !trace.fires[f as usize].is_empty() {
+            return Err(InvariantViolation::FaultyNodeFired { node: f });
+        }
+    }
+    Ok(())
+}
+
+/// Run all trace invariants.
+pub fn check_all(
+    graph: &PulseGraph,
+    trace: &Trace,
+    schedule: &Schedule,
+    t_sleep_min: Duration,
+) -> Result<(), InvariantViolation> {
+    check_sleep_separation(graph, trace, t_sleep_min)?;
+    check_source_conformance(graph, trace, schedule)?;
+    check_faulty_silent(trace)?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{simulate, InitState, SimConfig};
+    use hex_core::fault::{forwarder_candidates, place_condition1};
+    use hex_core::{FaultPlan, HexGrid, NodeFault, Timing};
+    use hex_clock::{PulseTrain, Scenario};
+    use hex_des::SimRng;
+    use proptest::prelude::*;
+
+    #[test]
+    fn clean_single_pulse_passes_all() {
+        let grid = HexGrid::new(8, 6);
+        let sched = Schedule::single_pulse(vec![Time::ZERO; 6]);
+        let cfg = SimConfig::fault_free();
+        let trace = simulate(grid.graph(), &sched, &cfg, 1);
+        check_all(grid.graph(), &trace, &sched, cfg.timing.sleep.lo).unwrap();
+    }
+
+    #[test]
+    fn detects_fabricated_sleep_violation() {
+        let grid = HexGrid::new(4, 6);
+        let sched = Schedule::single_pulse(vec![Time::ZERO; 6]);
+        let cfg = SimConfig::fault_free();
+        let mut trace = simulate(grid.graph(), &sched, &cfg, 2);
+        let n = grid.node(2, 2) as usize;
+        let (t, c) = trace.fires[n][0];
+        trace.fires[n].push((t + Duration::from_ps(10), c));
+        assert!(matches!(
+            check_sleep_separation(grid.graph(), &trace, cfg.timing.sleep.lo),
+            Err(InvariantViolation::SleepViolated { .. })
+        ));
+    }
+
+    #[test]
+    fn detects_fabricated_source_mismatch() {
+        let grid = HexGrid::new(4, 6);
+        let sched = Schedule::single_pulse(vec![Time::ZERO; 6]);
+        let cfg = SimConfig::fault_free();
+        let mut trace = simulate(grid.graph(), &sched, &cfg, 3);
+        trace.fires[0].clear();
+        assert!(matches!(
+            check_source_conformance(grid.graph(), &trace, &sched),
+            Err(InvariantViolation::SourceMismatch { .. })
+        ));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        /// Every randomized configuration — grid shape, scenario, fault
+        /// count/kind, initial-state regime, seed — satisfies all trace
+        /// invariants.
+        #[test]
+        fn prop_invariants_hold(
+            l in 3u32..10,
+            w in 4u32..10,
+            scenario_ix in 0usize..4,
+            f in 0usize..3,
+            byzantine in any::<bool>(),
+            arbitrary_init in any::<bool>(),
+            pulses in 1usize..4,
+            seed in any::<u64>(),
+        ) {
+            let grid = HexGrid::new(l, w);
+            let scenario = Scenario::ALL[scenario_ix];
+            let mut rng = SimRng::seed_from_u64(seed);
+            let sched = PulseTrain::new(scenario, pulses, Duration::from_ns(300.0))
+                .generate(w, &mut rng);
+            let candidates = forwarder_candidates(grid.graph());
+            let placed = place_condition1(grid.graph(), &candidates, f, &mut rng, 2_000)
+                .unwrap_or_default();
+            let kind = if byzantine { NodeFault::Byzantine } else { NodeFault::FailSilent };
+            let cfg = SimConfig {
+                timing: Timing::paper_scenario_iii(),
+                faults: FaultPlan::none().with_nodes(&placed, kind),
+                init: if arbitrary_init { InitState::Arbitrary } else { InitState::Clean },
+                ..SimConfig::fault_free()
+            };
+            let trace = simulate(grid.graph(), &sched, &cfg, seed);
+            prop_assert!(check_all(grid.graph(), &trace, &sched, cfg.timing.sleep.lo).is_ok());
+        }
+
+        /// Clean-start fault-free runs additionally fire exactly once per
+        /// node per pulse.
+        #[test]
+        fn prop_exactly_once_per_pulse(
+            l in 3u32..8,
+            w in 4u32..8,
+            pulses in 1usize..4,
+            seed in any::<u64>(),
+        ) {
+            let grid = HexGrid::new(l, w);
+            let mut rng = SimRng::seed_from_u64(seed);
+            let sched = PulseTrain::new(Scenario::Zero, pulses, Duration::from_ns(300.0))
+                .generate(w, &mut rng);
+            let cfg = SimConfig {
+                timing: Timing::paper_scenario_iii(),
+                ..SimConfig::fault_free()
+            };
+            let trace = simulate(grid.graph(), &sched, &cfg, seed);
+            for n in grid.graph().node_ids() {
+                prop_assert_eq!(trace.fires[n as usize].len(), pulses);
+            }
+        }
+    }
+}

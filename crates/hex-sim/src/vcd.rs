@@ -1,0 +1,328 @@
+//! VCD (Value Change Dump) export of simulation traces.
+//!
+//! The authors inspected HEX executions as ModelSim waveforms; this module
+//! is the equivalent exit of our simulator: it renders a [`Trace`] as an
+//! IEEE-1364 VCD document that any waveform viewer (GTKWave, Surfer, …)
+//! can open. One 1-bit wire per node, grouped into per-layer scopes;
+//! a node's wire pulses high for [`VcdOptions::pulse_width`] at every
+//! firing. Faulty nodes dump `x` and never change — they are visually
+//! distinct from silent-but-correct nodes.
+//!
+//! A small self-contained parser for the emitted subset
+//! ([`VcdDocument::parse`]) supports round-trip tests and lets downstream
+//! tooling recover firing times from a dump without re-running the
+//! simulation.
+
+use std::fmt::Write as _;
+
+use hex_core::HexGrid;
+use hex_des::{Duration, Time};
+
+use crate::trace::Trace;
+
+/// Rendering options for [`vcd_document`].
+#[derive(Debug, Clone)]
+pub struct VcdOptions {
+    /// High time of the firing pulse on each wire. Clamped so a pulse never
+    /// overlaps the node's next firing.
+    pub pulse_width: Duration,
+    /// Name of the top-level `$scope module`.
+    pub module: String,
+}
+
+impl Default for VcdOptions {
+    fn default() -> Self {
+        VcdOptions {
+            pulse_width: Duration::from_ps(500),
+            module: "hex".to_string(),
+        }
+    }
+}
+
+/// Encode a signal index as a VCD identifier code (printable ASCII 33–126,
+/// base 94, little-endian).
+pub fn id_code(mut ix: usize) -> String {
+    let mut s = String::new();
+    loop {
+        s.push((33 + (ix % 94)) as u8 as char);
+        ix /= 94;
+        if ix == 0 {
+            break;
+        }
+    }
+    s
+}
+
+/// Render `trace` on `grid` as a VCD document.
+pub fn vcd_document(grid: &HexGrid, trace: &Trace, opts: &VcdOptions) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "$date HEX simulation trace $end");
+    let _ = writeln!(out, "$version hexclock vcd exporter $end");
+    let _ = writeln!(out, "$timescale 1ps $end");
+    let _ = writeln!(out, "$scope module {} $end", opts.module);
+
+    // Declarations: one scope per layer, one wire per node.
+    for layer in 0..=grid.length() {
+        let _ = writeln!(out, "$scope module layer_{layer} $end");
+        for col in 0..grid.width() {
+            let n = grid.node(layer, col as i64);
+            let _ = writeln!(out, "$var wire 1 {} n{col} $end", id_code(n as usize));
+        }
+        let _ = writeln!(out, "$upscope $end");
+    }
+    let _ = writeln!(out, "$upscope $end");
+    let _ = writeln!(out, "$enddefinitions $end");
+
+    // Initial values.
+    let _ = writeln!(out, "$dumpvars");
+    for n in grid.graph().node_ids() {
+        let v = if trace.is_faulty(n) { 'x' } else { '0' };
+        let _ = writeln!(out, "{v}{}", id_code(n as usize));
+    }
+    let _ = writeln!(out, "$end");
+
+    // Edge list: (time, node, value). Falling edges are clamped to the next
+    // firing so pulses never overlap; a fall that would coincide with (or
+    // pass) the next rise is dropped (pulses merge).
+    let mut edges: Vec<(Time, u32, char)> = Vec::new();
+    for n in grid.graph().node_ids() {
+        let fires = &trace.fires[n as usize];
+        for (k, &(t, _)) in fires.iter().enumerate() {
+            edges.push((t, n, '1'));
+            let fall = t + opts.pulse_width;
+            match fires.get(k + 1) {
+                Some(&(next, _)) if fall >= next => {} // merged
+                _ => edges.push((fall, n, '0')),
+            }
+        }
+    }
+    // Within a timestamp, emit falls before rises so a merged viewer state
+    // never glitches low-high-low.
+    edges.sort_by_key(|&(t, n, v)| (t, v != '0', n));
+
+    let mut current: Option<Time> = None;
+    for (t, n, v) in edges {
+        if current != Some(t) {
+            let _ = writeln!(out, "#{}", t.ps());
+            current = Some(t);
+        }
+        let _ = writeln!(out, "{v}{}", id_code(n as usize));
+    }
+    let _ = writeln!(out, "#{}", trace.horizon.ps().max(current.map_or(0, |t| t.ps())));
+    out
+}
+
+/// A parsed VCD document (the subset emitted by [`vcd_document`]).
+#[derive(Debug, Clone, Default)]
+pub struct VcdDocument {
+    /// `(scope path, wire name, id code)` per declaration, in order.
+    pub vars: Vec<(String, String, String)>,
+    /// Value changes per id code: `(time ps, value char)`, chronological.
+    pub changes: std::collections::BTreeMap<String, Vec<(i64, char)>>,
+    /// The declared timescale line (e.g. `1ps`).
+    pub timescale: String,
+}
+
+impl VcdDocument {
+    /// Parse the subset of VCD that [`vcd_document`] emits. Unknown
+    /// constructs make this return `None` — it is a validator, not a
+    /// general VCD reader.
+    pub fn parse(text: &str) -> Option<VcdDocument> {
+        let mut doc = VcdDocument::default();
+        let mut scopes: Vec<String> = Vec::new();
+        let mut now: i64 = 0;
+        let mut in_dumpvars = false;
+        let mut lines = text.lines();
+        while let Some(line) = lines.next() {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(rest) = line.strip_prefix("$timescale") {
+                doc.timescale = rest.trim().trim_end_matches("$end").trim().to_string();
+                // Multi-line form not emitted; single-line only.
+            } else if let Some(rest) = line.strip_prefix("$scope module ") {
+                scopes.push(rest.trim_end_matches("$end").trim().to_string());
+            } else if line.starts_with("$upscope") {
+                scopes.pop()?;
+            } else if let Some(rest) = line.strip_prefix("$var wire 1 ") {
+                let rest = rest.trim_end_matches("$end").trim();
+                let mut parts = rest.split_whitespace();
+                let code = parts.next()?.to_string();
+                let name = parts.next()?.to_string();
+                doc.vars.push((scopes.join("."), name, code));
+            } else if line.starts_with("$dumpvars") {
+                in_dumpvars = true;
+                now = 0;
+            } else if line.starts_with("$end") {
+                in_dumpvars = false;
+            } else if line.starts_with("$date") || line.starts_with("$version")
+                || line.starts_with("$enddefinitions")
+            {
+                // header noise
+            } else if let Some(t) = line.strip_prefix('#') {
+                now = t.parse().ok()?;
+            } else {
+                let mut chars = line.chars();
+                let v = chars.next()?;
+                if !matches!(v, '0' | '1' | 'x' | 'z') {
+                    return None;
+                }
+                let code: String = chars.collect();
+                if code.is_empty() {
+                    return None;
+                }
+                let at = if in_dumpvars { 0 } else { now };
+                doc.changes.entry(code).or_default().push((at, v));
+            }
+        }
+        Some(doc)
+    }
+
+    /// Rising-edge times (ps) of the wire with id `code`.
+    pub fn rising_edges(&self, code: &str) -> Vec<i64> {
+        let mut out = Vec::new();
+        let mut prev = '0';
+        for &(t, v) in self.changes.get(code).into_iter().flatten() {
+            if v == '1' && prev != '1' {
+                out.push(t);
+            }
+            prev = v;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{simulate, SimConfig};
+    use hex_core::{FaultPlan, NodeFault};
+    use hex_des::Schedule;
+
+    fn small_trace(seed: u64, faults: FaultPlan) -> (HexGrid, Trace) {
+        let grid = HexGrid::new(4, 5);
+        let sched = Schedule::single_pulse(vec![Time::ZERO; 5]);
+        let cfg = SimConfig {
+            faults,
+            ..SimConfig::fault_free()
+        };
+        let trace = simulate(grid.graph(), &sched, &cfg, seed);
+        (grid, trace)
+    }
+
+    #[test]
+    fn id_codes_unique_and_printable() {
+        let mut seen = std::collections::BTreeSet::new();
+        for ix in 0..5000 {
+            let code = id_code(ix);
+            assert!(code.chars().all(|c| ('!'..='~').contains(&c)));
+            assert!(seen.insert(code), "duplicate code at {ix}");
+        }
+        assert_eq!(id_code(0), "!");
+        assert_eq!(id_code(93), "~");
+        assert_eq!(id_code(94).len(), 2);
+    }
+
+    #[test]
+    fn document_structure() {
+        let (grid, trace) = small_trace(1, FaultPlan::none());
+        let doc = vcd_document(&grid, &trace, &VcdOptions::default());
+        assert!(doc.starts_with("$date"));
+        assert!(doc.contains("$timescale 1ps $end"));
+        assert!(doc.contains("$scope module hex $end"));
+        for layer in 0..=4 {
+            assert!(doc.contains(&format!("$scope module layer_{layer} $end")));
+        }
+        assert!(doc.contains("$enddefinitions $end"));
+        // One var per node.
+        assert_eq!(doc.matches("$var wire 1 ").count(), grid.node_count());
+    }
+
+    #[test]
+    fn roundtrip_recovers_fire_times() {
+        let (grid, trace) = small_trace(2, FaultPlan::none());
+        let text = vcd_document(&grid, &trace, &VcdOptions::default());
+        let doc = VcdDocument::parse(&text).expect("parse own output");
+        assert_eq!(doc.timescale, "1ps");
+        assert_eq!(doc.vars.len(), grid.node_count());
+        for n in grid.graph().node_ids() {
+            let code = id_code(n as usize);
+            let edges = doc.rising_edges(&code);
+            let fires: Vec<i64> = trace.fires[n as usize].iter().map(|&(t, _)| t.ps()).collect();
+            assert_eq!(edges, fires, "node {:?}", grid.coord_of(n));
+        }
+    }
+
+    #[test]
+    fn scopes_name_layers_and_columns() {
+        let (grid, trace) = small_trace(3, FaultPlan::none());
+        let text = vcd_document(&grid, &trace, &VcdOptions::default());
+        let doc = VcdDocument::parse(&text).unwrap();
+        let n = grid.node(2, 3);
+        let entry = doc
+            .vars
+            .iter()
+            .find(|(_, _, code)| *code == id_code(n as usize))
+            .unwrap();
+        assert_eq!(entry.0, "hex.layer_2");
+        assert_eq!(entry.1, "n3");
+    }
+
+    #[test]
+    fn faulty_nodes_dump_x_and_stay_silent() {
+        let grid0 = HexGrid::new(4, 5);
+        let victim = grid0.node(2, 2);
+        let (grid, trace) = small_trace(
+            4,
+            FaultPlan::none().with_node(victim, NodeFault::FailSilent),
+        );
+        let text = vcd_document(&grid, &trace, &VcdOptions::default());
+        let doc = VcdDocument::parse(&text).unwrap();
+        let changes = &doc.changes[&id_code(victim as usize)];
+        assert_eq!(changes.as_slice(), &[(0, 'x')]);
+    }
+
+    #[test]
+    fn pulses_do_not_overlap_under_short_separation() {
+        // Force merged pulses with an absurd pulse width: every wire must
+        // still be monotone 0→1→0 without a 1→1 double rise.
+        let (grid, trace) = small_trace(5, FaultPlan::none());
+        let opts = VcdOptions {
+            pulse_width: Duration::from_ns(10_000.0),
+            module: "hex".into(),
+        };
+        let text = vcd_document(&grid, &trace, &opts);
+        let doc = VcdDocument::parse(&text).unwrap();
+        for (_, _, code) in &doc.vars {
+            let mut prev = '0';
+            for &(_, v) in &doc.changes[code] {
+                assert_ne!((prev, v), ('1', '1'), "double rise on {code}");
+                prev = v;
+            }
+        }
+    }
+
+    #[test]
+    fn falling_edges_precede_rising_at_same_timestamp() {
+        let (grid, trace) = small_trace(6, FaultPlan::none());
+        let _ = grid;
+        let text = vcd_document(&grid, &trace, &VcdOptions::default());
+        // Within each #t block (after the dump section), no '0'-change may
+        // follow a '1'-change.
+        let mut in_changes = false;
+        let mut saw_rise = false;
+        for line in text.lines() {
+            if line.starts_with('#') {
+                in_changes = true;
+                saw_rise = false;
+            } else if in_changes {
+                if line.starts_with('1') {
+                    saw_rise = true;
+                } else if line.starts_with('0') {
+                    assert!(!saw_rise, "fall after rise in block: {line}");
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,180 @@
+//! Condition-1 placement probability (Section 3.2).
+//!
+//! The paper bounds the probability that `f` uniformly random faults
+//! satisfy Condition 1 (fault separation) from below by
+//!
+//! ```text
+//! P ≥ (1/ (C(n,f)·f!)) · ∏_{i=0}^{f−1} (n − 13·i)  >  (1 − 13(f−1)/n)^f ,
+//! ```
+//!
+//! because each placed fault forbids at most 13 positions (itself plus its
+//! ≤ 12-node "forbidden region": in-neighbors of its out-neighbors) for
+//! every later fault. In expectation a uniformly random subset of `Θ(√n)`
+//! nodes may fail before the condition breaks. This module computes both
+//! closed forms and the implied feasible fault density; the
+//! `condition1_density` driver and the unit tests validate them against
+//! Monte Carlo placement on real grids.
+
+/// Nodes a single fault forbids for *later* faults: itself plus up to 12
+/// distinct in-neighbors of its out-neighbors on the HEX grid.
+pub const FORBIDDEN_REGION: usize = 13;
+
+/// The paper's product form
+/// `∏_{i=0}^{f−1} (n − 13·i) / (n·(n−1)·…·(n−f+1))` — the probability that
+/// sequentially placed uniform faults all land outside every earlier
+/// fault's forbidden region (a lower bound on the Condition-1
+/// probability). Returns 0 if the product hits a non-positive factor.
+pub fn condition1_probability_product(n: usize, f: usize) -> f64 {
+    if f == 0 {
+        return 1.0;
+    }
+    let mut p = 1.0f64;
+    for i in 0..f {
+        let allowed = n as f64 - (FORBIDDEN_REGION * i) as f64;
+        let remaining = (n - i) as f64;
+        if allowed <= 0.0 {
+            return 0.0;
+        }
+        p *= allowed / remaining;
+    }
+    p
+}
+
+/// The paper's displayed relaxation `(1 − 13(f−1)/n)^f`, a further lower
+/// bound on [`condition1_probability_product`]. Clamped at 0.
+pub fn condition1_probability_display(n: usize, f: usize) -> f64 {
+    if f == 0 {
+        return 1.0;
+    }
+    let base = 1.0 - (FORBIDDEN_REGION * (f - 1)) as f64 / n as f64;
+    if base <= 0.0 {
+        0.0
+    } else {
+        base.powi(f as i32)
+    }
+}
+
+/// The `Θ(√n)` claim made concrete: the largest `f` for which the display
+/// bound stays at least `threshold` (e.g. 0.5). Grows like
+/// `√(−ln(threshold)·n/13)` for small `f/n`.
+pub fn max_faults_at_probability(n: usize, threshold: f64) -> usize {
+    assert!((0.0..1.0).contains(&threshold) && threshold > 0.0);
+    let mut f = 0;
+    while condition1_probability_display(n, f + 1) >= threshold {
+        f += 1;
+        if f > n {
+            break;
+        }
+    }
+    f
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hex_core::fault::{forwarder_candidates, satisfies_condition1};
+    use hex_core::HexGrid;
+    use hex_des::SimRng;
+
+    #[test]
+    fn trivial_cases() {
+        assert_eq!(condition1_probability_product(1000, 0), 1.0);
+        assert_eq!(condition1_probability_display(1000, 0), 1.0);
+        assert_eq!(condition1_probability_product(1000, 1), 1.0);
+        assert_eq!(condition1_probability_display(1000, 1), 1.0);
+    }
+
+    #[test]
+    fn display_bound_lower_bounds_product() {
+        for n in [100usize, 1_020, 10_000] {
+            for f in 0..=30 {
+                let prod = condition1_probability_product(n, f);
+                let disp = condition1_probability_display(n, f);
+                assert!(
+                    disp <= prod + 1e-12,
+                    "n={n} f={f}: display {disp} > product {prod}"
+                );
+                assert!((0.0..=1.0).contains(&prod));
+                assert!((0.0..=1.0).contains(&disp));
+            }
+        }
+    }
+
+    #[test]
+    fn probabilities_decrease_in_f() {
+        let n = 1_020; // the paper grid
+        let mut prev = 1.0;
+        for f in 0..40 {
+            let p = condition1_probability_product(n, f);
+            assert!(p <= prev + 1e-12, "f={f}");
+            prev = p;
+        }
+    }
+
+    #[test]
+    fn sqrt_n_scaling() {
+        // Quadrupling n should roughly double the feasible f at fixed
+        // probability (Θ(√n)).
+        let f1 = max_faults_at_probability(1_000, 0.5);
+        let f4 = max_faults_at_probability(4_000, 0.5);
+        let f16 = max_faults_at_probability(16_000, 0.5);
+        assert!(f4 as f64 >= 1.6 * f1 as f64, "f1={f1} f4={f4}");
+        assert!(f16 as f64 >= 1.6 * f4 as f64, "f4={f4} f16={f16}");
+        assert!(f16 as f64 <= 2.6 * f4 as f64);
+    }
+
+    #[test]
+    fn monte_carlo_respects_lower_bound() {
+        // Uniform placement on the real grid must satisfy Condition 1 at
+        // least as often as the closed-form lower bound predicts. Use the
+        // paper grid and a few fault counts; 400 trials keep the test fast
+        // and the margin wide (the true probability is well above the
+        // bound, since the forbidden regions overlap).
+        let grid = HexGrid::paper();
+        let candidates = forwarder_candidates(grid.graph());
+        let n = grid.node_count(); // the paper's n = W·(L+1)
+        let mut rng = SimRng::seed_from_u64(1234);
+        for f in [2usize, 5, 8] {
+            let trials = 400;
+            let mut ok = 0;
+            for _ in 0..trials {
+                let mut pool = candidates.clone();
+                rng.shuffle(&mut pool);
+                let mut pick = pool[..f].to_vec();
+                pick.sort_unstable();
+                if satisfies_condition1(grid.graph(), &pick) {
+                    ok += 1;
+                }
+            }
+            let measured = ok as f64 / trials as f64;
+            let bound = condition1_probability_display(n, f);
+            assert!(
+                measured >= bound - 0.08,
+                "f={f}: measured {measured:.3} < bound {bound:.3} − margin"
+            );
+        }
+    }
+
+    #[test]
+    fn forbidden_region_is_at_most_13_on_the_hex_grid() {
+        // For each node: itself plus the distinct in-neighbors of its
+        // out-neighbors is at most 13 nodes (the constant in the formula).
+        let grid = HexGrid::new(8, 10);
+        let graph = grid.graph();
+        for n in graph.node_ids() {
+            let mut region = std::collections::BTreeSet::new();
+            region.insert(n);
+            for m in graph.out_neighbors(n) {
+                for p in graph.in_neighbors(m) {
+                    region.insert(p);
+                }
+            }
+            assert!(
+                region.len() <= FORBIDDEN_REGION,
+                "node {:?}: region {}",
+                grid.coord_of(n),
+                region.len()
+            );
+        }
+    }
+}

@@ -1,0 +1,206 @@
+//! Condition 2: the timing constraints of Algorithm 1 (and Table 3).
+//!
+//! Given a *stable skew* bound `σ(f)` (any valid bound on the skew between
+//! correct neighbors once the system has stabilized), Condition 2 derives
+//! the timeout parameters and the required pulse separation time:
+//!
+//! ```text
+//! T−link  = σ(f) + ε  (+ w, a pulse-width allowance, see below)
+//! T+link  = ϑ·T−link
+//! T−sleep = 2·T+link + 2·d+
+//! T+sleep = ϑ·T−sleep
+//! S       = T−sleep + T+sleep + ε·L + f·d+
+//! ```
+//!
+//! The paper's Table 3 values include a small extra allowance because
+//! "triggering signals in our HEX implementation have non-zero duration"
+//! (footnote 10). We expose it as [`Condition2::pulse_width`]; with
+//! `w = 2.464 ns` the derivation reproduces Table 3 to the printed
+//! precision, with `w = 0` it is the bare Condition 2.
+
+use hex_core::{DelayRange, Timing};
+use hex_des::Duration;
+
+/// Inputs of the Condition-2 derivation.
+#[derive(Debug, Clone, Copy)]
+pub struct Condition2 {
+    /// Stable skew bound `σ(f)` between correct neighbors.
+    pub sigma: Duration,
+    /// Delay interval `[d−, d+]`.
+    pub delays: DelayRange,
+    /// Clock drift bound `ϑ ≥ 1`.
+    pub theta: f64,
+    /// Grid length `L`.
+    pub length: u32,
+    /// Number of Byzantine faults `f` budgeted for.
+    pub faults: usize,
+    /// Non-zero trigger-signal duration allowance (footnote 10); 0 for the
+    /// bare Condition 2, 2.464 ns to reproduce Table 3.
+    pub pulse_width: Duration,
+}
+
+/// The derived parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DerivedTiming {
+    /// Minimum memory-flag retention `T−_link`.
+    pub t_link_min: Duration,
+    /// Maximum memory-flag retention `T+_link = ϑ·T−_link`.
+    pub t_link_max: Duration,
+    /// Minimum sleep `T−_sleep = 2·T+_link + 2·d+`.
+    pub t_sleep_min: Duration,
+    /// Maximum sleep `T+_sleep = ϑ·T−_sleep`.
+    pub t_sleep_max: Duration,
+    /// Required pulse separation `S`.
+    pub separation: Duration,
+}
+
+impl Condition2 {
+    /// Paper defaults for everything but the stable skew: delays
+    /// `[7.161, 8.197] ns`, `ϑ = 1.05`, `L = 50`, `f = 5`, Table-3 pulse
+    /// width.
+    pub fn paper(sigma: Duration) -> Self {
+        Condition2 {
+            sigma,
+            delays: DelayRange::paper(),
+            theta: hex_core::THETA,
+            length: 50,
+            faults: 5,
+            pulse_width: Duration::from_ps(2_464),
+        }
+    }
+
+    /// Derive the timeout parameters and pulse separation.
+    pub fn derive(&self) -> DerivedTiming {
+        assert!(self.theta >= 1.0, "drift bound must be ≥ 1");
+        let eps = self.delays.uncertainty();
+        let t_link_min = self.sigma + eps + self.pulse_width;
+        let t_link_max = t_link_min.scale(self.theta);
+        let t_sleep_min = t_link_max.times(2) + self.delays.hi.times(2);
+        let t_sleep_max = t_sleep_min.scale(self.theta);
+        let separation = t_sleep_min
+            + t_sleep_max
+            + eps.times(self.length as i64)
+            + self.delays.hi.times(self.faults as i64);
+        DerivedTiming {
+            t_link_min,
+            t_link_max,
+            t_sleep_min,
+            t_sleep_max,
+            separation,
+        }
+    }
+
+    /// Package the derived values as a `hex-core` [`Timing`] usable by the
+    /// simulator.
+    pub fn timing(&self) -> Timing {
+        let d = self.derive();
+        Timing {
+            link: DelayRange::new(d.t_link_min, d.t_link_max),
+            sleep: DelayRange::new(d.t_sleep_min, d.t_sleep_max),
+        }
+    }
+}
+
+/// The stable-skew inputs of the paper's Table 3, per scenario (in the
+/// paper's order: (i), (ii), (iii), (iv)). These were "determined via the
+/// previous simulations, plus a slack of d+" (Section 4.4).
+pub const TABLE3_SIGMA_NS: [f64; 4] = [28.48, 31.16, 31.75, 40.64];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The full Table 3 of the paper (ns): σ, T−link, T+link, T−sleep,
+    /// T+sleep, S.
+    const TABLE3: [[f64; 6]; 4] = [
+        [28.48, 31.98, 33.58, 83.56, 87.74, 264.08],
+        [31.16, 34.66, 36.39, 89.18, 93.64, 275.60],
+        [31.75, 35.25, 37.01, 90.42, 94.94, 278.14],
+        [40.64, 44.14, 46.34, 109.08, 114.53, 316.40],
+    ];
+
+    #[test]
+    fn reproduces_table3() {
+        for (row_ix, row) in TABLE3.iter().enumerate() {
+            let c2 = Condition2::paper(Duration::from_ns(row[0]));
+            let d = c2.derive();
+            let got = [
+                d.t_link_min.ns(),
+                d.t_link_max.ns(),
+                d.t_sleep_min.ns(),
+                d.t_sleep_max.ns(),
+                d.separation.ns(),
+            ];
+            for (col, (&want, &have)) in row[1..].iter().zip(got.iter()).enumerate() {
+                assert!(
+                    (want - have).abs() < 0.05,
+                    "Table 3 row {row_ix} column {col}: paper {want}, derived {have}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn drift_ratios() {
+        let c2 = Condition2::paper(Duration::from_ns(30.0));
+        let d = c2.derive();
+        let link_ratio = d.t_link_max.ps() as f64 / d.t_link_min.ps() as f64;
+        let sleep_ratio = d.t_sleep_max.ps() as f64 / d.t_sleep_min.ps() as f64;
+        assert!((link_ratio - 1.05).abs() < 1e-3);
+        assert!((sleep_ratio - 1.05).abs() < 1e-3);
+    }
+
+    #[test]
+    fn bare_condition2_is_smaller() {
+        let with = Condition2::paper(Duration::from_ns(30.0)).derive();
+        let bare = Condition2 {
+            pulse_width: Duration::ZERO,
+            ..Condition2::paper(Duration::from_ns(30.0))
+        }
+        .derive();
+        assert!(bare.t_link_min < with.t_link_min);
+        assert!(bare.separation < with.separation);
+    }
+
+    #[test]
+    fn separation_grows_with_faults() {
+        let base = Condition2::paper(Duration::from_ns(30.0));
+        let f0 = Condition2 { faults: 0, ..base }.derive();
+        let f5 = Condition2 { faults: 5, ..base }.derive();
+        assert_eq!(
+            (f5.separation - f0.separation).ps(),
+            5 * hex_core::D_PLUS.ps()
+        );
+    }
+
+    #[test]
+    fn timing_matches_derivation() {
+        let c2 = Condition2::paper(Duration::from_ns(31.75));
+        let t = c2.timing();
+        let d = c2.derive();
+        assert_eq!(t.link.lo, d.t_link_min);
+        assert_eq!(t.link.hi, d.t_link_max);
+        assert_eq!(t.sleep.lo, d.t_sleep_min);
+        assert_eq!(t.sleep.hi, d.t_sleep_max);
+    }
+
+    #[test]
+    fn table3_matches_paper_timing_constant() {
+        // hex-core's baked-in Timing::paper_scenario_iii must agree with the
+        // derivation for the scenario (iii) stable skew.
+        let c2 = Condition2::paper(Duration::from_ns(TABLE3_SIGMA_NS[2]));
+        let derived = c2.timing();
+        let baked = Timing::paper_scenario_iii();
+        assert!((derived.link.lo.ns() - baked.link.lo.ns()).abs() < 0.05);
+        assert!((derived.sleep.hi.ns() - baked.sleep.hi.ns()).abs() < 0.05);
+    }
+
+    #[test]
+    fn sleep_exceeds_double_link() {
+        // The self-stabilization proof needs T−sleep > 2·T+link.
+        for sigma_ns in [10.0, 28.48, 40.64, 100.0] {
+            let d = Condition2::paper(Duration::from_ns(sigma_ns)).derive();
+            assert!(d.t_sleep_min > d.t_link_max.times(2));
+        }
+    }
+}

@@ -1,0 +1,38 @@
+//! # hex-theory — the worst-case analysis of HEX, executable
+//!
+//! Closed forms for every bound in Section 3 of the paper, plus the
+//! adversarial delay/fault constructions the paper uses to show the bounds
+//! are (nearly) tight:
+//!
+//! * [`bounds`] — `λ₀`, Lemma 3 (skew-potential decay), Lemma 4 (intra-layer
+//!   skew recursion), Corollary 1 (width-aware refinement), Theorem 1
+//!   (the headline skew bounds), Lemma 5 (coarse faulty-case bound);
+//! * [`condition2`] — the timeout/separation parameter derivation
+//!   (`T±_link`, `T±_sleep`, `S`) reproducing Table 3;
+//! * [`adversary`] — deterministic worst-case executions: the fault-free
+//!   construction of Fig. 5 (dead-node barrier, fast left / slow right) and
+//!   the single-Byzantine construction of Fig. 17 (ramp scenario, ≈ 5·d+
+//!   neighbor skew);
+//! * [`appendix_a`] — the Appendix-A degradation bounds: how much a single
+//!   (or `f` separated) Byzantine fault(s) can add to the Theorem-1 skew
+//!   bounds, with the `O(d+)` constants made explicit.
+//!
+//! Everything here is pure arithmetic on the paper's parameters; the
+//! benches cross-check these numbers against simulated executions.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod adversary;
+pub mod appendix_a;
+pub mod bounds;
+pub mod condition1;
+pub mod condition2;
+pub mod limits;
+pub mod search;
+
+pub use bounds::{
+    inter_layer_envelope, lambda0, lemma3_skew_potential, lemma4_intra_bound, lemma5_pulse_skew,
+    theorem1_intra_bound, Theorem1,
+};
+pub use condition2::Condition2;

@@ -1,0 +1,229 @@
+//! The circular doubling-layer topology of Fig. 21.
+//!
+//! Nodes of each layer form a ring; a **doubling layer** has twice as many
+//! nodes as the layer below, each child connecting to the two parents
+//! flanking its angular position. Non-doubling layers use the standard HEX
+//! connectivity within their ring width. This keeps all link lengths short
+//! in a planar annular embedding ("little distortion", Section 5) instead
+//! of squeezing the cylinder flat.
+//!
+//! The pulse-forwarding algorithm and guard are unchanged — each node still
+//! waits for two adjacent in-neighbors — so the whole `hex-sim` pipeline
+//! applies as-is.
+
+use hex_core::graph::Role;
+use hex_core::{Coord, NodeId, PulseGraph};
+use hex_des::Time;
+
+/// A circular topology with per-layer ring widths and doubling transitions.
+#[derive(Debug, Clone)]
+pub struct DoublingTopology {
+    graph: PulseGraph,
+    /// Ring width of each layer.
+    widths: Vec<u32>,
+    /// First node id of each layer.
+    offsets: Vec<u32>,
+}
+
+impl DoublingTopology {
+    /// Build a topology starting from `initial_width` sources, with layers
+    /// `1..=length`; layers whose index appears in `doubling_layers` have
+    /// twice the width of the layer below.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `initial_width < 3` or `length < 1`.
+    pub fn new(initial_width: u32, length: u32, doubling_layers: &[u32]) -> Self {
+        assert!(initial_width >= 3, "need initial width ≥ 3");
+        assert!(length >= 1, "need length ≥ 1");
+        let mut widths = vec![initial_width];
+        for layer in 1..=length {
+            let below = widths[(layer - 1) as usize];
+            let w = if doubling_layers.contains(&layer) {
+                below * 2
+            } else {
+                below
+            };
+            widths.push(w);
+        }
+
+        let mut b = PulseGraph::builder();
+        let mut offsets = Vec::with_capacity(widths.len());
+        for (layer, &w) in widths.iter().enumerate() {
+            offsets.push(if layer == 0 {
+                0
+            } else {
+                offsets[layer - 1] + widths[layer - 1]
+            });
+            for col in 0..w {
+                let role = if layer == 0 { Role::Source } else { Role::Forwarder };
+                let guard = if layer == 0 {
+                    vec![]
+                } else {
+                    hex_core::grid::HEX_GUARD.to_vec()
+                };
+                b.add_node(role, Some(Coord::new(layer as u32, col)), guard);
+            }
+        }
+
+        let id = |layer: u32, col: i64| -> NodeId {
+            let w = widths[layer as usize] as i64;
+            offsets[layer as usize] + col.rem_euclid(w) as u32
+        };
+
+        for layer in 1..=length {
+            let w = widths[layer as usize];
+            let below = widths[(layer - 1) as usize];
+            let doubled = w == below * 2;
+            for col in 0..w as i64 {
+                let dst = id(layer, col);
+                // Port order must match HEX_GUARD: left, lower-left,
+                // lower-right, right.
+                b.add_link(id(layer, col - 1), dst, 0);
+                let (ll, lr) = if doubled {
+                    // Child col flanked by parents ⌊col/2⌋ and ⌊col/2⌋+1.
+                    (col.div_euclid(2), col.div_euclid(2) + 1)
+                } else {
+                    (col, col + 1)
+                };
+                b.add_link(id(layer - 1, ll), dst, 1);
+                b.add_link(id(layer - 1, lr), dst, 2);
+                b.add_link(id(layer, col + 1), dst, 3);
+            }
+        }
+
+        DoublingTopology {
+            graph: b.build(),
+            widths,
+            offsets,
+        }
+    }
+
+    /// The underlying graph.
+    pub fn graph(&self) -> &PulseGraph {
+        &self.graph
+    }
+
+    /// Ring width of `layer`.
+    pub fn width(&self, layer: u32) -> u32 {
+        self.widths[layer as usize]
+    }
+
+    /// Highest layer index.
+    pub fn length(&self) -> u32 {
+        self.widths.len() as u32 - 1
+    }
+
+    /// Node id of `(layer, col)` (cyclic within the layer's ring).
+    pub fn node(&self, layer: u32, col: i64) -> NodeId {
+        let w = self.widths[layer as usize] as i64;
+        self.offsets[layer as usize] + col.rem_euclid(w) as u32
+    }
+
+    /// Total node count.
+    pub fn node_count(&self) -> usize {
+        self.graph.node_count()
+    }
+
+    /// Max absolute intra-ring neighbor skew of `layer` for a set of
+    /// per-node unique firing times (`None` entries skipped).
+    pub fn ring_skew(&self, layer: u32, fire: &[Option<Time>]) -> Option<hex_des::Duration> {
+        let w = self.widths[layer as usize] as i64;
+        let mut best = None;
+        for col in 0..w {
+            let a = fire[self.node(layer, col) as usize]?;
+            let b = fire[self.node(layer, col + 1) as usize]?;
+            let s = a.abs_diff(b);
+            best = Some(match best {
+                None => s,
+                Some(m) => s.max(m),
+            });
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hex_des::Schedule;
+    use hex_sim::{simulate, SimConfig};
+
+    fn fire_times(topo: &DoublingTopology, seed: u64) -> Vec<Option<Time>> {
+        let sched = Schedule::single_pulse(vec![Time::ZERO; topo.width(0) as usize]);
+        let trace = simulate(topo.graph(), &sched, &SimConfig::fault_free(), seed);
+        (0..topo.node_count())
+            .map(|n| trace.unique_fire(n as u32))
+            .collect()
+    }
+
+    #[test]
+    fn widths_double_at_declared_layers() {
+        let t = DoublingTopology::new(4, 6, &[2, 4]);
+        assert_eq!(t.width(0), 4);
+        assert_eq!(t.width(1), 4);
+        assert_eq!(t.width(2), 8);
+        assert_eq!(t.width(3), 8);
+        assert_eq!(t.width(4), 16);
+        assert_eq!(t.width(6), 16);
+        assert_eq!(t.node_count(), 4 + 4 + 8 + 8 + 16 + 16 + 16);
+    }
+
+    #[test]
+    fn every_forwarder_has_four_ports() {
+        let t = DoublingTopology::new(4, 5, &[1, 3]);
+        for layer in 1..=5 {
+            for col in 0..t.width(layer) as i64 {
+                assert_eq!(t.graph().port_count(t.node(layer, col)), 4);
+            }
+        }
+    }
+
+    #[test]
+    fn doubling_parents_flank_children() {
+        let t = DoublingTopology::new(4, 2, &[1]);
+        // Layer 1 has width 8; child col 5 should hear parents 2 and 3.
+        let child = t.node(1, 5);
+        assert_eq!(t.graph().in_neighbor(child, 1), t.node(0, 2));
+        assert_eq!(t.graph().in_neighbor(child, 2), t.node(0, 3));
+        // Child col 0 hears parents 0 and 1.
+        let child0 = t.node(1, 0);
+        assert_eq!(t.graph().in_neighbor(child0, 1), t.node(0, 0));
+        assert_eq!(t.graph().in_neighbor(child0, 2), t.node(0, 1));
+    }
+
+    #[test]
+    fn pulse_reaches_every_node() {
+        let t = DoublingTopology::new(4, 6, &[2, 4]);
+        let fires = fire_times(&t, 1);
+        assert!(fires.iter().all(Option::is_some));
+    }
+
+    #[test]
+    fn ring_skews_stay_small() {
+        // The Section-5 conjecture: skews in the doubling topology are not
+        // worse than in the plain grid. Check every ring's neighbor skew
+        // stays below the Theorem-1-style bound for its width.
+        let t = DoublingTopology::new(6, 8, &[2, 5]);
+        for seed in 0..5 {
+            let fires = fire_times(&t, seed);
+            for layer in 1..=8 {
+                let skew = t.ring_skew(layer, &fires).unwrap();
+                let bound = hex_theory::theorem1_intra_bound(
+                    t.width(layer),
+                    hex_core::DelayRange::paper(),
+                );
+                assert!(
+                    skew <= bound,
+                    "layer {layer} skew {skew:?} > bound {bound:?} (seed {seed})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let t = DoublingTopology::new(4, 4, &[2]);
+        assert_eq!(fire_times(&t, 3), fire_times(&t, 3));
+    }
+}

@@ -1,0 +1,210 @@
+//! Frequency multiplication (Fig. 20 and the Section-5 discussion).
+//!
+//! HEX pulses are slow (the separation `S` is hundreds of nanoseconds), so
+//! each node locks a local start/stoppable high-frequency oscillator to
+//! them: after every HEX pulse the oscillator emits `m` fast ticks and then
+//! stops, guaranteeing a metastability-free restart at the next pulse. The
+//! constraint is that the whole burst fits within the minimum pulse
+//! separation `Δ_min` even for the slowest oscillator
+//! (`m · T_fast · ϑ < Δ_min`); the achievable fast-clock skew between
+//! neighbors is the HEX skew plus a drift term of roughly
+//! `(ϑ − 1) · burst length`.
+
+use hex_des::{Duration, SimRng, Time};
+
+/// A per-node frequency multiplier.
+#[derive(Debug, Clone, Copy)]
+pub struct FreqMultiplier {
+    /// Ticks generated per HEX pulse (`m`).
+    pub mult: u32,
+    /// Nominal fast-clock period (`T_fast`).
+    pub fast_period: Duration,
+    /// Oscillator drift bound `ϑ ≥ 1`: a node's actual period lies in
+    /// `[T_fast, ϑ·T_fast]`.
+    pub theta: f64,
+}
+
+impl FreqMultiplier {
+    /// Create a multiplier.
+    ///
+    /// # Panics
+    ///
+    /// Panics on `mult == 0`, non-positive period, or `ϑ < 1`.
+    pub fn new(mult: u32, fast_period: Duration, theta: f64) -> Self {
+        assert!(mult > 0, "need at least one tick per pulse");
+        assert!(fast_period.is_positive(), "fast period must be positive");
+        assert!(theta >= 1.0, "drift bound must be ≥ 1");
+        FreqMultiplier {
+            mult,
+            fast_period,
+            theta,
+        }
+    }
+
+    /// The worst-case burst length `m · ϑ · T_fast`.
+    pub fn burst_length(&self) -> Duration {
+        self.fast_period.scale(self.theta).times(self.mult as i64)
+    }
+
+    /// Check the Fig.-20 feasibility constraint against a minimum pulse
+    /// separation `Δ_min`: the slowest burst must fit strictly inside it.
+    pub fn fits_within(&self, min_separation: Duration) -> bool {
+        self.burst_length() < min_separation
+    }
+
+    /// The paper's fast-skew decomposition: the worst-case skew of the j-th
+    /// fast tick between two neighbors whose HEX pulses are at most
+    /// `hex_skew` apart is `hex_skew + j · (ϑ − 1) · T_fast`; maximized at
+    /// `j = m − 1`.
+    pub fn worst_fast_skew(&self, hex_skew: Duration) -> Duration {
+        let drift = self
+            .fast_period
+            .scale(self.theta - 1.0)
+            .times((self.mult - 1) as i64);
+        hex_skew + drift
+    }
+
+    /// Generate a node's fast ticks for its HEX pulse times: the node's
+    /// oscillator period is drawn once in `[T_fast, ϑ·T_fast]` (a static
+    /// per-node process parameter), then each pulse spawns `m` ticks.
+    /// Returns the flat, sorted tick list.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if a burst would overrun the next pulse —
+    /// the caller must validate with [`FreqMultiplier::fits_within`] first.
+    pub fn ticks(&self, pulses: &[Time], rng: &mut SimRng) -> Vec<Time> {
+        let period = rng.duration_in(self.fast_period, self.fast_period.scale(self.theta));
+        let mut out = Vec::with_capacity(pulses.len() * self.mult as usize);
+        for (ix, &p) in pulses.iter().enumerate() {
+            for j in 0..self.mult {
+                let t = p + period.times(j as i64);
+                if let Some(&next) = pulses.get(ix + 1) {
+                    debug_assert!(t < next, "burst overruns next pulse");
+                }
+                out.push(t);
+            }
+        }
+        out
+    }
+}
+
+/// Worst skew between two aligned fast tick streams (same length), e.g. two
+/// neighboring nodes' outputs.
+pub fn tick_stream_skew(a: &[Time], b: &[Time]) -> Option<Duration> {
+    if a.len() != b.len() || a.is_empty() {
+        return None;
+    }
+    a.iter()
+        .zip(b.iter())
+        .map(|(&x, &y)| x.abs_diff(y))
+        .max()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn mult() -> FreqMultiplier {
+        // 10 ticks of 2 ns within pulses ~300 ns apart, ϑ = 1.05.
+        FreqMultiplier::new(10, Duration::from_ns(2.0), 1.05)
+    }
+
+    #[test]
+    fn burst_and_feasibility() {
+        let m = mult();
+        assert_eq!(m.burst_length(), Duration::from_ps(21_000)); // 10·2.1 ns
+        assert!(m.fits_within(Duration::from_ns(300.0)));
+        assert!(!m.fits_within(Duration::from_ns(20.0)));
+    }
+
+    #[test]
+    fn tick_generation_shape() {
+        let m = mult();
+        let pulses = vec![Time::ZERO, Time::from_ns(300.0), Time::from_ns(600.0)];
+        let mut rng = SimRng::seed_from_u64(1);
+        let ticks = m.ticks(&pulses, &mut rng);
+        assert_eq!(ticks.len(), 30);
+        // Sorted, first tick of each burst is the pulse itself.
+        assert!(ticks.windows(2).all(|w| w[0] < w[1]));
+        assert_eq!(ticks[0], Time::ZERO);
+        assert_eq!(ticks[10], Time::from_ns(300.0));
+    }
+
+    #[test]
+    fn period_within_drift_bound() {
+        let m = mult();
+        let pulses = vec![Time::ZERO];
+        for seed in 0..32 {
+            let mut rng = SimRng::seed_from_u64(seed);
+            let ticks = m.ticks(&pulses, &mut rng);
+            let period = ticks[1] - ticks[0];
+            assert!(period >= m.fast_period);
+            assert!(period <= m.fast_period.scale(m.theta));
+        }
+    }
+
+    #[test]
+    fn worst_fast_skew_formula() {
+        let m = mult();
+        let hex_skew = Duration::from_ns(8.0);
+        // drift = 9 ticks · 0.05 · 2 ns = 0.9 ns.
+        assert_eq!(m.worst_fast_skew(hex_skew), Duration::from_ps(8_900));
+    }
+
+    #[test]
+    fn measured_skew_within_worst_case() {
+        // Two neighbors with HEX skew δ and independent oscillators: the
+        // measured fast-tick skew never exceeds the closed form.
+        let m = mult();
+        let hex_skew = Duration::from_ns(5.0);
+        for seed in 0..64 {
+            let mut rng = SimRng::seed_from_u64(seed);
+            let a = m.ticks(&[Time::ZERO], &mut rng);
+            let b = m.ticks(&[Time::ZERO + hex_skew], &mut rng);
+            let measured = tick_stream_skew(&a, &b).unwrap();
+            assert!(
+                measured <= m.worst_fast_skew(hex_skew),
+                "seed {seed}: {measured:?} > {:?}",
+                m.worst_fast_skew(hex_skew)
+            );
+        }
+    }
+
+    #[test]
+    fn stream_skew_edge_cases() {
+        assert_eq!(tick_stream_skew(&[], &[]), None);
+        assert_eq!(tick_stream_skew(&[Time::ZERO], &[]), None);
+        let a = [Time::ZERO, Time::from_ns(1.0)];
+        let b = [Time::from_ns(0.5), Time::from_ns(1.2)];
+        assert_eq!(tick_stream_skew(&a, &b), Some(Duration::from_ps(500)));
+    }
+
+    proptest! {
+        /// The effective multiplied frequency is m× the pulse rate: tick
+        /// count is exactly m per pulse for any pulse train that satisfies
+        /// the feasibility constraint.
+        #[test]
+        fn prop_tick_count(pulses in 1usize..10, seed in any::<u64>()) {
+            let m = mult();
+            let train: Vec<Time> = (0..pulses)
+                .map(|k| Time::from_ns(300.0 * k as f64))
+                .collect();
+            let mut rng = SimRng::seed_from_u64(seed);
+            prop_assert_eq!(m.ticks(&train, &mut rng).len(), pulses * 10);
+        }
+
+        /// worst_fast_skew is monotone in the HEX skew and at least the HEX
+        /// skew itself.
+        #[test]
+        fn prop_worst_skew_monotone(s1 in 0i64..100_000, s2 in 0i64..100_000) {
+            let m = mult();
+            let (lo, hi) = if s1 <= s2 { (s1, s2) } else { (s2, s1) };
+            let a = m.worst_fast_skew(Duration::from_ps(lo));
+            let b = m.worst_fast_skew(Duration::from_ps(hi));
+            prop_assert!(a <= b);
+            prop_assert!(a >= Duration::from_ps(lo));
+        }
+    }
+}

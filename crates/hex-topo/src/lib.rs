@@ -1,0 +1,27 @@
+//! # hex-topo — the Section-5 extensions of HEX
+//!
+//! The paper's discussion section sketches three practical extensions; this
+//! crate implements all of them on top of the generic `hex-core` graph and
+//! the `hex-sim` engine:
+//!
+//! * [`doubling`] — the **alternative circular topology** of Fig. 21: layers
+//!   arranged in concentric rings, with *doubling layers* that duplicate
+//!   nodes to grow the ring width, embeddable in two interconnect layers
+//!   without the cylinder's fold-flat penalty;
+//! * [`augmented`] — the **augmented HEX grid** ("connecting each node to
+//!   additional in-neighbors from the previous layer"), which mitigates the
+//!   skew cost of faulty lower neighbors;
+//! * [`freqmul`] — **frequency multiplication** (Fig. 20): per-node
+//!   start/stoppable fast oscillators locked to the HEX pulses, with the
+//!   skew/drift accounting of the paper's discussion.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod augmented;
+pub mod doubling;
+pub mod freqmul;
+
+pub use augmented::AugmentedHexGrid;
+pub use doubling::DoublingTopology;
+pub use freqmul::FreqMultiplier;

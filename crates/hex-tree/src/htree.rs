@@ -1,0 +1,381 @@
+//! Recursive H-tree construction and simulation.
+//!
+//! An H-tree of depth `k` distributes a clock from a central root to a
+//! `2^k × 2^k` grid of leaves through `4^k − 1`-ish internal branch points
+//! ("buffers"). We build it recursively: each node covers a square region,
+//! splits it into four quadrants and feeds a child buffer at each quadrant
+//! center. Every tree edge has a geometric wire length (half the parent's
+//! span per axis) and a delay sampled per pulse within a configurable
+//! uncertainty of its nominal (length-proportional) value — the moderately
+//! balanced wire engineering the paper assumes for HEX, applied to the
+//! tree for a fair comparison.
+
+use hex_des::{Duration, SimRng, Time};
+
+/// Configuration of an H-tree clock network.
+#[derive(Debug, Clone, Copy)]
+pub struct HTreeConfig {
+    /// Recursion depth `k`; the tree drives `4^k` leaves on a `2^k × 2^k`
+    /// grid.
+    pub depth: u32,
+    /// Delay per unit wire length (nominal).
+    pub delay_per_unit: Duration,
+    /// Relative delay uncertainty per segment (e.g. 0.0671 to mirror HEX's
+    /// `ε/d+ ≈ 1.036/8.197 ≈ 12.6%`… the default uses the HEX ratio).
+    pub uncertainty: f64,
+    /// Fixed buffer (regeneration) delay added per internal node.
+    pub buffer_delay: Duration,
+}
+
+impl HTreeConfig {
+    /// A tree comparable to the paper's HEX parameters: unit wire delay
+    /// scaled so one leaf-pitch of wire costs `d_mid = 7.679 ns` (the HEX
+    /// hop cost), the HEX relative uncertainty, and a 0.18 ns buffer.
+    pub fn paper_comparable(depth: u32) -> Self {
+        HTreeConfig {
+            depth,
+            delay_per_unit: Duration::from_ps(7_679),
+            uncertainty: 1_036.0 / 8_197.0 / 2.0, // ± half of ε/d+ around nominal
+            buffer_delay: Duration::from_ps(180),
+        }
+    }
+
+    /// Number of leaves, `4^depth`.
+    pub fn leaves(&self) -> usize {
+        1usize << (2 * self.depth)
+    }
+
+    /// Side length of the leaf grid, `2^depth`.
+    pub fn side(&self) -> usize {
+        1usize << self.depth
+    }
+}
+
+/// A node of the built tree.
+#[derive(Debug, Clone)]
+pub struct TreeNode {
+    /// Parent index (`None` for the root).
+    pub parent: Option<usize>,
+    /// Children indices (empty for leaves).
+    pub children: Vec<usize>,
+    /// Geometric position (leaf-pitch units).
+    pub pos: (f64, f64),
+    /// Wire length from the parent (leaf-pitch units; 0 for the root).
+    pub wire_from_parent: f64,
+    /// For leaves: the `(row, col)` cell they clock.
+    pub cell: Option<(usize, usize)>,
+}
+
+/// A built H-tree.
+#[derive(Debug, Clone)]
+pub struct HTree {
+    cfg: HTreeConfig,
+    nodes: Vec<TreeNode>,
+    /// Leaf node index by `(row, col)`.
+    leaf_of_cell: Vec<usize>,
+}
+
+impl HTree {
+    /// Build an H-tree of the configured depth.
+    pub fn build(cfg: HTreeConfig) -> Self {
+        let side = cfg.side();
+        let mut nodes = vec![TreeNode {
+            parent: None,
+            children: Vec::new(),
+            pos: (side as f64 / 2.0, side as f64 / 2.0),
+            wire_from_parent: 0.0,
+            cell: None,
+        }];
+        let mut leaf_of_cell = vec![usize::MAX; side * side];
+        // Recursive subdivision (iterative with an explicit stack).
+        struct Region {
+            node: usize,
+            x0: f64,
+            y0: f64,
+            span: f64,
+        }
+        let mut stack = vec![Region {
+            node: 0,
+            x0: 0.0,
+            y0: 0.0,
+            span: side as f64,
+        }];
+        while let Some(r) = stack.pop() {
+            if r.span <= 1.0 {
+                // Leaf: assign its cell.
+                let col = r.x0 as usize;
+                let row = r.y0 as usize;
+                nodes[r.node].cell = Some((row, col));
+                leaf_of_cell[row * side + col] = r.node;
+                continue;
+            }
+            let half = r.span / 2.0;
+            let parent_pos = nodes[r.node].pos;
+            for (qx, qy) in [(0.0, 0.0), (half, 0.0), (0.0, half), (half, half)] {
+                let (cx0, cy0) = (r.x0 + qx, r.y0 + qy);
+                let center = (cx0 + half / 2.0, cy0 + half / 2.0);
+                // H-tree wiring: horizontal then vertical arm (Manhattan).
+                let wire = (center.0 - parent_pos.0).abs() + (center.1 - parent_pos.1).abs();
+                let child = nodes.len();
+                nodes.push(TreeNode {
+                    parent: Some(r.node),
+                    children: Vec::new(),
+                    pos: center,
+                    wire_from_parent: wire,
+                    cell: None,
+                });
+                nodes[r.node].children.push(child);
+                stack.push(Region {
+                    node: child,
+                    x0: cx0,
+                    y0: cy0,
+                    span: half,
+                });
+            }
+        }
+        HTree {
+            cfg,
+            nodes,
+            leaf_of_cell,
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &HTreeConfig {
+        &self.cfg
+    }
+
+    /// All nodes.
+    pub fn nodes(&self) -> &[TreeNode] {
+        &self.nodes
+    }
+
+    /// Total node count (root + buffers + leaves).
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Leaf node index of cell `(row, col)`.
+    pub fn leaf(&self, row: usize, col: usize) -> usize {
+        self.leaf_of_cell[row * self.cfg.side() + col]
+    }
+
+    /// Total wire length of the tree (leaf-pitch units).
+    pub fn total_wire(&self) -> f64 {
+        self.nodes.iter().map(|n| n.wire_from_parent).sum()
+    }
+
+    /// Tree depth in edges from root to any leaf.
+    pub fn depth(&self) -> u32 {
+        self.cfg.depth
+    }
+
+    /// The root-to-leaf wire length of cell `(row, col)`.
+    pub fn root_to_leaf_wire(&self, row: usize, col: usize) -> f64 {
+        let mut n = self.leaf(row, col);
+        let mut total = 0.0;
+        while let Some(p) = self.nodes[n].parent {
+            total += self.nodes[n].wire_from_parent;
+            n = p;
+        }
+        total
+    }
+
+    /// Simulate one clock pulse released at the root at time 0: each
+    /// segment's delay is its nominal wire delay perturbed by the relative
+    /// uncertainty, plus the buffer delay. `dead_buffers` never propagate
+    /// (their whole subtree is silenced). Returns per-leaf arrival times in
+    /// `(row-major) cell` order, `None` for silenced leaves.
+    pub fn simulate_pulse(&self, dead_buffers: &[usize], rng: &mut SimRng) -> Vec<Option<Time>> {
+        let mut arrival: Vec<Option<Time>> = vec![None; self.nodes.len()];
+        arrival[0] = Some(Time::ZERO);
+        // Nodes were pushed parent-before-children, so index order is a
+        // valid topological order.
+        for ix in 1..self.nodes.len() {
+            let n = &self.nodes[ix];
+            let parent = n.parent.expect("non-root");
+            if dead_buffers.contains(&parent) || dead_buffers.contains(&ix) {
+                continue;
+            }
+            let Some(t0) = arrival[parent] else { continue };
+            let nominal = self.cfg.delay_per_unit.ps() as f64 * n.wire_from_parent;
+            let jitter = nominal * self.cfg.uncertainty;
+            let d = rng.duration_in(
+                Duration::from_ps((nominal - jitter).round() as i64),
+                Duration::from_ps((nominal + jitter).round() as i64),
+            );
+            arrival[ix] = Some(t0 + d + self.cfg.buffer_delay);
+        }
+        let side = self.cfg.side();
+        (0..side * side)
+            .map(|cell| arrival[self.leaf_of_cell[cell]])
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts() {
+        let t = HTree::build(HTreeConfig::paper_comparable(3));
+        assert_eq!(t.config().leaves(), 64);
+        assert_eq!(t.config().side(), 8);
+        // 1 + 4 + 16 + 64 nodes.
+        assert_eq!(t.node_count(), 1 + 4 + 16 + 64);
+        // Every cell has a leaf.
+        for r in 0..8 {
+            for c in 0..8 {
+                assert!(t.leaf(r, c) < t.node_count());
+                assert_eq!(t.nodes()[t.leaf(r, c)].cell, Some((r, c)));
+            }
+        }
+    }
+
+    #[test]
+    fn balanced_root_to_leaf_wire() {
+        // The defining property of the H-tree: identical root-to-leaf wire
+        // length for every leaf.
+        let t = HTree::build(HTreeConfig::paper_comparable(4));
+        let w0 = t.root_to_leaf_wire(0, 0);
+        for r in 0..16 {
+            for c in 0..16 {
+                assert!((t.root_to_leaf_wire(r, c) - w0).abs() < 1e-9);
+            }
+        }
+        assert!(w0 > 0.0);
+    }
+
+    #[test]
+    fn root_to_leaf_scales_as_sqrt_n() {
+        // Root-to-leaf wire grows ≈ linearly in the side (= √n).
+        let w3 = HTree::build(HTreeConfig::paper_comparable(3)).root_to_leaf_wire(0, 0);
+        let w5 = HTree::build(HTreeConfig::paper_comparable(5)).root_to_leaf_wire(0, 0);
+        let ratio = w5 / w3;
+        assert!(
+            (3.0..5.5).contains(&ratio),
+            "expected ≈ 4x wire for 4x side, got {ratio}"
+        );
+    }
+
+    #[test]
+    fn pulse_reaches_all_leaves() {
+        let t = HTree::build(HTreeConfig::paper_comparable(3));
+        let mut rng = SimRng::seed_from_u64(1);
+        let arrivals = t.simulate_pulse(&[], &mut rng);
+        assert!(arrivals.iter().all(Option::is_some));
+        // All arrivals strictly positive and within nominal bounds.
+        let w = t.root_to_leaf_wire(0, 0);
+        let max_ns = w * t.config().delay_per_unit.ns() * (1.0 + t.config().uncertainty)
+            + 4.0 * t.config().buffer_delay.ns();
+        for a in arrivals.into_iter().flatten() {
+            assert!(a > Time::ZERO);
+            assert!(a.ns() <= max_ns + 1e-6);
+        }
+    }
+
+    #[test]
+    fn dead_buffer_silences_subtree() {
+        let t = HTree::build(HTreeConfig::paper_comparable(3));
+        let mut rng = SimRng::seed_from_u64(2);
+        // Kill the first child of the root: one quadrant (16 of 64 leaves)
+        // goes dark.
+        let victim = t.nodes()[0].children[0];
+        let arrivals = t.simulate_pulse(&[victim], &mut rng);
+        let dead = arrivals.iter().filter(|a| a.is_none()).count();
+        assert_eq!(dead, 16);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let t = HTree::build(HTreeConfig::paper_comparable(3));
+        let a = t.simulate_pulse(&[], &mut SimRng::seed_from_u64(7));
+        let b = t.simulate_pulse(&[], &mut SimRng::seed_from_u64(7));
+        assert_eq!(a, b);
+    }
+
+    mod props {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// Structural invariants for any depth: node count is the
+            /// 4-ary geometric sum, internal nodes have exactly 4
+            /// children, node order is topological, cells biject with
+            /// leaves.
+            #[test]
+            fn prop_structure(depth in 1u32..5) {
+                let t = HTree::build(HTreeConfig::paper_comparable(depth));
+                let expected: usize = (0..=depth).map(|k| 1usize << (2 * k)).sum();
+                prop_assert_eq!(t.node_count(), expected);
+                let mut leaf_cells = std::collections::BTreeSet::new();
+                for (ix, n) in t.nodes().iter().enumerate() {
+                    if let Some(p) = n.parent {
+                        prop_assert!(p < ix, "parent after child");
+                    }
+                    match n.cell {
+                        Some(cell) => {
+                            prop_assert!(n.children.is_empty());
+                            prop_assert!(leaf_cells.insert(cell), "duplicate cell");
+                        }
+                        None => prop_assert_eq!(n.children.len(), 4),
+                    }
+                }
+                prop_assert_eq!(leaf_cells.len(), t.config().leaves());
+            }
+
+            /// The balanced-wire property holds at every depth, and the
+            /// fault-free leaf-arrival spread is bounded by the total
+            /// jitter budget 2·u·(root-to-leaf wire)·delay_per_unit.
+            #[test]
+            fn prop_skew_within_jitter_budget(depth in 1u32..5, seed in any::<u64>()) {
+                let cfg = HTreeConfig::paper_comparable(depth);
+                let t = HTree::build(cfg);
+                let w0 = t.root_to_leaf_wire(0, 0);
+                for r in 0..t.config().side() {
+                    for c in 0..t.config().side() {
+                        prop_assert!((t.root_to_leaf_wire(r, c) - w0).abs() < 1e-9);
+                    }
+                }
+                let mut rng = SimRng::seed_from_u64(seed);
+                let arrivals = t.simulate_pulse(&[], &mut rng);
+                let times: Vec<i64> = arrivals.into_iter().map(|a| a.unwrap().ps()).collect();
+                let spread = (times.iter().max().unwrap() - times.iter().min().unwrap()) as f64;
+                let budget = 2.0 * cfg.uncertainty * w0 * cfg.delay_per_unit.ps() as f64;
+                // +depth for per-segment rounding of the jitter interval.
+                prop_assert!(
+                    spread <= budget + depth as f64,
+                    "spread {spread} > budget {budget}"
+                );
+            }
+
+            /// Killing any single internal buffer silences exactly its
+            /// subtree: 4^(depth − level) leaves.
+            #[test]
+            fn prop_blast_radius_is_subtree(depth in 2u32..5, seed in any::<u64>(), pick in any::<prop::sample::Index>()) {
+                let t = HTree::build(HTreeConfig::paper_comparable(depth));
+                // Choose an internal non-root node.
+                let internals: Vec<usize> = t
+                    .nodes()
+                    .iter()
+                    .enumerate()
+                    .filter(|(ix, n)| *ix != 0 && n.cell.is_none())
+                    .map(|(ix, _)| ix)
+                    .collect();
+                let victim = internals[pick.index(internals.len())];
+                // Level of the victim = edges from root.
+                let mut level = 0;
+                let mut cur = victim;
+                while let Some(p) = t.nodes()[cur].parent {
+                    level += 1;
+                    cur = p;
+                }
+                let mut rng = SimRng::seed_from_u64(seed);
+                let arrivals = t.simulate_pulse(&[victim], &mut rng);
+                let dead = arrivals.iter().filter(|a| a.is_none()).count();
+                prop_assert_eq!(dead, 1usize << (2 * (depth - level)));
+            }
+        }
+    }
+}

@@ -1,0 +1,27 @@
+//! # hex-tree — the buffered clock-tree baseline
+//!
+//! The paper's title claim — *scaling honeycombs is easier than scaling
+//! clock trees* — rests on three structural facts about tree-based clock
+//! distribution (Section 1):
+//!
+//! 1. with optimal layout, some physically adjacent functional units are
+//!    separated by `Θ(√n)` of tree wiring, whereas HEX neighbors are `Θ(1)`
+//!    apart;
+//! 2. a single broken wire or buffer silences an entire subtree, whereas a
+//!    HEX fault perturbs a constant-size neighborhood;
+//! 3. skew between tree leaves accumulates along disjoint root–leaf paths,
+//!    so the delay *engineering* burden grows with depth.
+//!
+//! This crate implements that comparator: an **H-tree** over an `s × s`
+//! leaf grid with per-segment buffered delays, delay-uncertainty sampling,
+//! fault injection (dead buffers) and the wire-length / skew / blast-radius
+//! metrics the comparison benches report.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod htree;
+pub mod metrics;
+
+pub use htree::{HTree, HTreeConfig};
+pub use metrics::{blast_radius, leaf_skews, neighbor_wire_distance, worst_blast_radius};

@@ -1,0 +1,208 @@
+//! Comparison metrics: wire distance between physical neighbors, leaf
+//! skews, and fault blast radius.
+
+use hex_des::{Duration, SimRng, Time};
+
+use crate::htree::HTree;
+
+/// The tree-wire distance between two leaves: the wire length of the unique
+/// tree path connecting them (up to the lowest common ancestor and down).
+pub fn tree_wire_distance(tree: &HTree, a: (usize, usize), b: (usize, usize)) -> f64 {
+    let (mut x, mut y) = (tree.leaf(a.0, a.1), tree.leaf(b.0, b.1));
+    // Climb both to the root, recording cumulative wire.
+    let path = |mut n: usize| {
+        let mut steps = vec![(n, 0.0)];
+        let mut acc = 0.0;
+        while let Some(p) = tree.nodes()[n].parent {
+            acc += tree.nodes()[n].wire_from_parent;
+            n = p;
+            steps.push((n, acc));
+        }
+        steps
+    };
+    let pa = path(x);
+    let pb = path(y);
+    // Find LCA: first common node.
+    for &(na, wa) in &pa {
+        for &(nb, wb) in &pb {
+            if na == nb {
+                return wa + wb;
+            }
+        }
+    }
+    // Root is always common.
+    x = pa.last().unwrap().0;
+    y = pb.last().unwrap().0;
+    debug_assert_eq!(x, y);
+    unreachable!("root is a common ancestor");
+}
+
+/// The **maximum tree-wire distance between physically adjacent leaves**:
+/// the paper's `Θ(√n)` observation. For cells straddling the root cut, the
+/// connecting tree path traverses `Θ(side)` of wire.
+pub fn neighbor_wire_distance(tree: &HTree) -> f64 {
+    let side = tree.config().side();
+    let mut worst: f64 = 0.0;
+    for r in 0..side {
+        for c in 0..side {
+            if c + 1 < side {
+                worst = worst.max(tree_wire_distance(tree, (r, c), (r, c + 1)));
+            }
+            if r + 1 < side {
+                worst = worst.max(tree_wire_distance(tree, (r, c), (r + 1, c)));
+            }
+        }
+    }
+    worst
+}
+
+/// Skews between physically adjacent leaves for one simulated pulse:
+/// returns all `|t_a − t_b|` over adjacent (4-neighborhood) live leaf
+/// pairs.
+pub fn leaf_skews(tree: &HTree, arrivals: &[Option<Time>]) -> Vec<Duration> {
+    let side = tree.config().side();
+    let get = |r: usize, c: usize| arrivals[r * side + c];
+    let mut out = Vec::new();
+    for r in 0..side {
+        for c in 0..side {
+            if let Some(a) = get(r, c) {
+                if c + 1 < side {
+                    if let Some(b) = get(r, c + 1) {
+                        out.push(a.abs_diff(b));
+                    }
+                }
+                if r + 1 < side {
+                    if let Some(b) = get(r + 1, c) {
+                        out.push(a.abs_diff(b));
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// The **blast radius** of a single dead buffer: the expected fraction of
+/// leaves silenced by killing one uniformly random *internal* buffer (the
+/// paper's broken-wire/buffer scenario — "all the functional units supplied
+/// via the affected subtree will stop working"). Contrast: a HEX fault
+/// under Condition 1 silences nobody.
+pub fn blast_radius(tree: &HTree, samples: usize, rng: &mut SimRng) -> f64 {
+    let leaves = tree.config().leaves() as f64;
+    let internal: Vec<usize> = (1..tree.node_count())
+        .filter(|&ix| !tree.nodes()[ix].children.is_empty())
+        .collect();
+    assert!(!internal.is_empty(), "tree of depth ≥ 2 required");
+    let mut total = 0.0;
+    for _ in 0..samples {
+        let victim = internal[rng.index(internal.len())];
+        let arrivals = tree.simulate_pulse(&[victim], rng);
+        let dead = arrivals.iter().filter(|a| a.is_none()).count();
+        total += dead as f64 / leaves;
+    }
+    total / samples as f64
+}
+
+/// The **worst-case blast radius**: the fraction of leaves silenced by the
+/// worst single dead buffer — a root child, i.e. a whole quadrant (25%),
+/// independent of tree size.
+pub fn worst_blast_radius(tree: &HTree) -> f64 {
+    let mut rng = SimRng::seed_from_u64(0);
+    tree.nodes()[0]
+        .children
+        .iter()
+        .map(|&child| {
+            let arrivals = tree.simulate_pulse(&[child], &mut rng);
+            arrivals.iter().filter(|a| a.is_none()).count() as f64
+                / tree.config().leaves() as f64
+        })
+        .fold(0.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::htree::HTreeConfig;
+
+    #[test]
+    fn wire_distance_symmetric_and_positive() {
+        let t = HTree::build(HTreeConfig::paper_comparable(3));
+        let d1 = tree_wire_distance(&t, (0, 0), (0, 1));
+        let d2 = tree_wire_distance(&t, (0, 1), (0, 0));
+        assert!((d1 - d2).abs() < 1e-9);
+        assert!(d1 > 0.0);
+        assert_eq!(tree_wire_distance(&t, (2, 2), (2, 2)), 0.0);
+    }
+
+    #[test]
+    fn neighbor_distance_grows_with_side() {
+        // The Θ(√n) claim: doubling the side roughly doubles the worst
+        // neighbor wire distance.
+        let d3 = neighbor_wire_distance(&HTree::build(HTreeConfig::paper_comparable(3)));
+        let d4 = neighbor_wire_distance(&HTree::build(HTreeConfig::paper_comparable(4)));
+        let d5 = neighbor_wire_distance(&HTree::build(HTreeConfig::paper_comparable(5)));
+        assert!(d4 / d3 > 1.5, "d4/d3 = {}", d4 / d3);
+        assert!(d5 / d4 > 1.5, "d5/d4 = {}", d5 / d4);
+    }
+
+    #[test]
+    fn leaf_skew_sample_count() {
+        let t = HTree::build(HTreeConfig::paper_comparable(3));
+        let mut rng = SimRng::seed_from_u64(1);
+        let arrivals = t.simulate_pulse(&[], &mut rng);
+        let skews = leaf_skews(&t, &arrivals);
+        // 2·side·(side−1) adjacent pairs.
+        assert_eq!(skews.len(), 2 * 8 * 7);
+        assert!(skews.iter().all(|d| *d >= Duration::ZERO));
+    }
+
+    #[test]
+    fn blast_radius_between_zero_and_one() {
+        let t = HTree::build(HTreeConfig::paper_comparable(3));
+        let mut rng = SimRng::seed_from_u64(2);
+        let r = blast_radius(&t, 50, &mut rng);
+        assert!(r > 0.0 && r < 1.0, "blast radius {r}");
+        // Killing a random internal buffer silences at least a 4-leaf
+        // subtree.
+        assert!(r >= 4.0 / 64.0);
+    }
+
+    #[test]
+    fn worst_blast_is_a_quadrant() {
+        for depth in [3u32, 4, 5] {
+            let t = HTree::build(HTreeConfig::paper_comparable(depth));
+            let w = worst_blast_radius(&t);
+            assert!((w - 0.25).abs() < 1e-9, "depth {depth}: worst blast {w}");
+        }
+    }
+
+    #[test]
+    fn skews_straddling_root_cut_are_larger_on_average() {
+        // Leaves (r, side/2-1) and (r, side/2) are physically adjacent but
+        // tree-distant; their skew population should exceed same-quadrant
+        // neighbors' on average.
+        let t = HTree::build(HTreeConfig::paper_comparable(4));
+        let side = t.config().side();
+        let mut rng = SimRng::seed_from_u64(3);
+        let (mut cut, mut local) = (0.0f64, 0.0f64);
+        let (mut nc, mut nl) = (0, 0);
+        for _ in 0..40 {
+            let arr = t.simulate_pulse(&[], &mut rng);
+            for r in 0..side {
+                let a = arr[r * side + side / 2 - 1].unwrap();
+                let b = arr[r * side + side / 2].unwrap();
+                cut += a.abs_diff(b).ns();
+                nc += 1;
+                let c = arr[r * side].unwrap();
+                let d = arr[r * side + 1].unwrap();
+                local += c.abs_diff(d).ns();
+                nl += 1;
+            }
+        }
+        let (cut_avg, local_avg) = (cut / nc as f64, local / nl as f64);
+        assert!(
+            cut_avg > local_avg,
+            "cut-straddling skew {cut_avg} should exceed local {local_avg}"
+        );
+    }
+}

@@ -1,0 +1,52 @@
+//! Quickstart: build a HEX grid, push one pulse through it, look at the
+//! skews, and compare them with the worst-case theory.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use hexclock::prelude::*;
+
+fn main() {
+    // The paper's evaluation grid: L = 50 layers above the sources, W = 20
+    // columns around the cylinder, link delays uniform in [7.161, 8.197] ns.
+    let grid = HexGrid::paper();
+    println!(
+        "HEX grid: {} layers x {} columns = {} nodes, {} links",
+        grid.length() + 1,
+        grid.width(),
+        grid.node_count(),
+        grid.graph().link_count()
+    );
+
+    // All 20 layer-0 clock sources fire at t = 0 (scenario (i)).
+    let schedule = Schedule::single_pulse(vec![Time::ZERO; 20]);
+    let trace = simulate(grid.graph(), &schedule, &SimConfig::fault_free(), 42);
+    println!("pulse forwarded {} times (once per node)", trace.total_fires());
+
+    // Definition-3 skews.
+    let view = PulseView::from_single_pulse(&grid, &trace);
+    let mask = exclusion_mask(&grid, &[], 0);
+    let skews = collect_skews(&grid, &view, &mask);
+    let intra = Summary::from_durations(&skews.intra).unwrap();
+    let inter = Summary::from_durations(&skews.inter).unwrap();
+    println!("\nintra-layer neighbor skews (ns): avg {:.3}  q95 {:.3}  max {:.3}", intra.avg, intra.q95, intra.max);
+    println!("inter-layer neighbor skews (ns): min {:.3}  avg {:.3}  max {:.3}", inter.min, inter.avg, inter.max);
+
+    // Theory check: Theorem 1 bounds the intra-layer skew by
+    // d+ + ceil(W*eps/d+)*eps for zero layer-0 skew potential.
+    let bound = theorem1_intra_bound(grid.width(), DelayRange::paper());
+    println!(
+        "\nTheorem-1 worst-case bound: {:.3} ns (measured max is {:.1}% of it)",
+        bound.ns(),
+        100.0 * intra.max / bound.ns()
+    );
+    assert!(intra.max <= bound.ns());
+
+    // The wave, as a picture (first 15 layers).
+    println!("\nthe wave (time quantized 0-9a-z, top layer first):");
+    print!(
+        "{}",
+        hexclock::analysis::wave::wave_ascii(&grid, &view, 15)
+    );
+}

@@ -1,0 +1,297 @@
+//! `hexctl` — command-line front end for the HEX reproduction.
+//!
+//! ```text
+//! hexctl wave      [--length L] [--width W] [--scenario i|ii|iii|iv] [--seed S]
+//!                  [--byzantine N] [--fail-silent N]      one pulse, ASCII wave + skews
+//! hexctl table     [--runs R] [--scenario ..] [--byzantine N] ...   Table-1/2-style stats
+//! hexctl stabilize [--runs R] [--pulses P] [--byzantine N] ...      stabilization estimate
+//! hexctl bounds    [--length L] [--width W]                         Theorem-1 / Condition-2 numbers
+//! hexctl vcd       [--out FILE] [--pulses P] [--scenario ..] ...    dump a run as a VCD waveform
+//! ```
+//!
+//! Plain `std::env::args` parsing — no CLI dependency.
+
+use hexclock::analysis::stabilization::{stabilization_pulse, summarize, Criterion};
+use hexclock::analysis::wave::wave_ascii;
+use hexclock::core::fault::{forwarder_candidates, place_condition1};
+use hexclock::prelude::*;
+
+#[derive(Debug, Clone)]
+struct Opts {
+    command: String,
+    length: u32,
+    width: u32,
+    scenario: Scenario,
+    seed: u64,
+    runs: usize,
+    pulses: usize,
+    byzantine: usize,
+    fail_silent: usize,
+    out: String,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: hexctl <wave|table|stabilize|bounds|vcd> [--length L] [--width W] \
+         [--scenario i|ii|iii|iv] [--seed S] [--runs R] [--pulses P] \
+         [--byzantine N] [--fail-silent N] [--out FILE]"
+    );
+    std::process::exit(2);
+}
+
+fn parse() -> Opts {
+    let mut args = std::env::args().skip(1);
+    let command = args.next().unwrap_or_else(|| usage());
+    let mut o = Opts {
+        command,
+        length: 50,
+        width: 20,
+        scenario: Scenario::RandomDPlus,
+        seed: 42,
+        runs: 50,
+        pulses: 10,
+        byzantine: 0,
+        fail_silent: 0,
+        out: "hex.vcd".to_string(),
+    };
+    let mut args: Vec<String> = args.collect();
+    while !args.is_empty() {
+        let flag = args.remove(0);
+        let mut value = || -> String {
+            if args.is_empty() {
+                eprintln!("missing value for {flag}");
+                usage();
+            }
+            args.remove(0)
+        };
+        match flag.as_str() {
+            "--length" => o.length = value().parse().unwrap_or_else(|_| usage()),
+            "--width" => o.width = value().parse().unwrap_or_else(|_| usage()),
+            "--seed" => o.seed = value().parse().unwrap_or_else(|_| usage()),
+            "--runs" => o.runs = value().parse().unwrap_or_else(|_| usage()),
+            "--pulses" => o.pulses = value().parse().unwrap_or_else(|_| usage()),
+            "--byzantine" => o.byzantine = value().parse().unwrap_or_else(|_| usage()),
+            "--fail-silent" => o.fail_silent = value().parse().unwrap_or_else(|_| usage()),
+            "--out" => o.out = value(),
+            "--scenario" => {
+                o.scenario = match value().as_str() {
+                    "i" | "zero" => Scenario::Zero,
+                    "ii" => Scenario::RandomDMinus,
+                    "iii" => Scenario::RandomDPlus,
+                    "iv" | "ramp" => Scenario::Ramp,
+                    other => {
+                        eprintln!("unknown scenario {other}");
+                        usage();
+                    }
+                }
+            }
+            other => {
+                eprintln!("unknown flag {other}");
+                usage();
+            }
+        }
+    }
+    o
+}
+
+fn faults_for(o: &Opts, grid: &HexGrid, rng: &mut SimRng) -> (FaultPlan, Vec<u32>) {
+    let candidates = forwarder_candidates(grid.graph());
+    let byz = place_condition1(grid.graph(), &candidates, o.byzantine, rng, 10_000)
+        .expect("Condition-1 placement for Byzantine nodes");
+    let mut plan = FaultPlan::none().with_nodes(&byz, NodeFault::Byzantine);
+    let mut all = byz.clone();
+    if o.fail_silent > 0 {
+        let remaining: Vec<u32> = candidates
+            .iter()
+            .copied()
+            .filter(|n| !byz.contains(n))
+            .collect();
+        // Keep Condition 1 over the union by rejection on the combined set.
+        let mut silent = Vec::new();
+        for _ in 0..10_000 {
+            let pick = place_condition1(grid.graph(), &remaining, o.fail_silent, rng, 1)
+                .unwrap_or_default();
+            if pick.len() == o.fail_silent {
+                let mut union = byz.clone();
+                union.extend(&pick);
+                union.sort_unstable();
+                if hexclock::core::fault::satisfies_condition1(grid.graph(), &union) {
+                    silent = pick;
+                    break;
+                }
+            }
+        }
+        assert_eq!(silent.len(), o.fail_silent, "combined placement infeasible");
+        plan = plan.with_nodes(&silent, NodeFault::FailSilent);
+        all.extend(silent);
+    }
+    all.sort_unstable();
+    (plan, all)
+}
+
+fn cmd_wave(o: &Opts) {
+    let grid = HexGrid::new(o.length, o.width);
+    let mut rng = SimRng::seed_from_u64(o.seed);
+    let offsets = o.scenario.single_pulse_times(o.width, D_MINUS, D_PLUS, &mut rng);
+    let (faults, faulty) = faults_for(o, &grid, &mut rng);
+    let cfg = SimConfig {
+        faults,
+        timing: Timing::paper_scenario_iii(),
+        ..SimConfig::fault_free()
+    };
+    let trace = simulate(grid.graph(), &Schedule::single_pulse(offsets), &cfg, o.seed);
+    let view = PulseView::from_single_pulse(&grid, &trace);
+    println!(
+        "wave: {}x{} grid, scenario {}, {} fault(s)",
+        o.length,
+        o.width,
+        o.scenario.label(),
+        faulty.len()
+    );
+    print!("{}", wave_ascii(&grid, &view, 30));
+    let mask = exclusion_mask(&grid, &faulty, 0);
+    let skews = collect_skews(&grid, &view, &mask);
+    if let Some(s) = Summary::from_durations(&skews.intra) {
+        println!("intra-layer skews (ns): avg {:.3} q95 {:.3} max {:.3}", s.avg, s.q95, s.max);
+    }
+    if let Some(s) = Summary::from_durations(&skews.inter) {
+        println!("inter-layer skews (ns): min {:.3} avg {:.3} max {:.3}", s.min, s.avg, s.max);
+    }
+}
+
+fn cmd_table(o: &Opts) {
+    let grid = HexGrid::new(o.length, o.width);
+    let mut all = SkewSamples::default();
+    let results = run_batch(o.runs, hexclock::sim::batch::default_threads(), |run| {
+        let seed = o.seed + run as u64;
+        let mut rng = SimRng::seed_from_u64(seed);
+        let offsets = o.scenario.single_pulse_times(o.width, D_MINUS, D_PLUS, &mut rng);
+        let (faults, faulty) = faults_for(o, &grid, &mut rng);
+        let cfg = SimConfig {
+            faults,
+            timing: Timing::paper_scenario_iii(),
+            ..SimConfig::fault_free()
+        };
+        let trace = simulate(grid.graph(), &Schedule::single_pulse(offsets), &cfg, seed);
+        let view = PulseView::from_single_pulse(&grid, &trace);
+        let mask = exclusion_mask(&grid, &faulty, 0);
+        collect_skews(&grid, &view, &mask)
+    });
+    for s in &results {
+        all.extend(s);
+    }
+    let intra = Summary::from_durations(&all.intra).unwrap();
+    let inter = Summary::from_durations(&all.inter).unwrap();
+    println!(
+        "{} over {} runs ({} byzantine, {} fail-silent):",
+        o.scenario.label(),
+        o.runs,
+        o.byzantine,
+        o.fail_silent
+    );
+    println!("  intra (avg/q95/max): {}", intra.intra_row());
+    println!("  inter (min/q5/avg/q95/max): {}", inter.inter_row());
+}
+
+fn cmd_stabilize(o: &Opts) {
+    let grid = HexGrid::new(o.length, o.width);
+    let sep = hexclock::theory::Condition2::paper(Duration::from_ns(31.75))
+        .derive()
+        .separation;
+    let estimates = run_batch(o.runs, hexclock::sim::batch::default_threads(), |run| {
+        let seed = o.seed + run as u64;
+        let mut rng = SimRng::seed_from_u64(seed);
+        let sched = PulseTrain::new(o.scenario, o.pulses, sep).generate(o.width, &mut rng);
+        let (faults, faulty) = faults_for(o, &grid, &mut rng);
+        let cfg = SimConfig {
+            faults,
+            timing: Timing::paper_scenario_iii(),
+            init: InitState::Arbitrary,
+            ..SimConfig::fault_free()
+        };
+        let trace = simulate(grid.graph(), &sched, &cfg, seed);
+        let views = assign_pulses(&grid, &trace, &sched, DelayRange::paper().mid());
+        let mask = exclusion_mask(&grid, &faulty, 0);
+        let crit = Criterion::uniform(D_PLUS * 3, D_PLUS, grid.length());
+        stabilization_pulse(&grid, &views, &mask, &crit)
+    });
+    let stats = summarize(&estimates);
+    println!(
+        "stabilization ({} runs, {} pulses, scenario {}): avg pulse {:.2} ± {:.2}, {}/{} stabilized",
+        stats.runs,
+        o.pulses,
+        o.scenario.label(),
+        stats.avg,
+        stats.std,
+        stats.stabilized,
+        stats.runs
+    );
+}
+
+fn cmd_bounds(o: &Opts) {
+    let delays = DelayRange::paper();
+    let bound = theorem1_intra_bound(o.width, delays);
+    let diam = hexclock::theory::limits::hex_diameter(o.length, o.width);
+    println!("{}x{} grid, [d-,d+] = [{:.3},{:.3}] ns, eps = {:.3} ns:", o.length, o.width, delays.lo.ns(), delays.hi.ns(), delays.uncertainty().ns());
+    println!("  Theorem-1 neighbor skew bound (Δ0=0): {:.3} ns", bound.ns());
+    println!(
+        "  global skew lower bound (any algorithm, D = {}): {:.3} ns",
+        diam,
+        hexclock::theory::limits::global_skew_lower_bound(diam, delays).ns()
+    );
+    println!(
+        "  gradient neighbor lower bound:         {:.3} ns",
+        hexclock::theory::limits::gradient_skew_lower_bound(diam, delays).ns()
+    );
+    let c2 = Condition2::paper(Duration::from_ns(31.75)).derive();
+    println!(
+        "  Condition-2 (sigma 31.75 ns): T-link {:.2}, T-sleep {:.2}, S {:.2} ns  (max pulse rate {:.2} MHz)",
+        c2.t_link_min.ns(),
+        c2.t_sleep_min.ns(),
+        c2.separation.ns(),
+        1e3 / c2.separation.ns()
+    );
+}
+
+fn cmd_vcd(o: &Opts) {
+    use hexclock::sim::{vcd_document, VcdOptions};
+    let grid = HexGrid::new(o.length, o.width);
+    let mut rng = SimRng::seed_from_u64(o.seed);
+    let sep = hexclock::theory::Condition2::paper(Duration::from_ns(31.75))
+        .derive()
+        .separation;
+    let sched = if o.pulses <= 1 {
+        Schedule::single_pulse(o.scenario.single_pulse_times(o.width, D_MINUS, D_PLUS, &mut rng))
+    } else {
+        PulseTrain::new(o.scenario, o.pulses, sep).generate(o.width, &mut rng)
+    };
+    let (faults, faulty) = faults_for(o, &grid, &mut rng);
+    let cfg = SimConfig {
+        faults,
+        timing: Timing::paper_scenario_iii(),
+        ..SimConfig::fault_free()
+    };
+    let trace = simulate(grid.graph(), &sched, &cfg, o.seed);
+    let doc = vcd_document(&grid, &trace, &VcdOptions::default());
+    std::fs::write(&o.out, &doc).expect("write VCD file");
+    println!(
+        "wrote {} ({} nodes, {} firings, {} fault(s), {} pulse(s)) — open with gtkwave",
+        o.out,
+        grid.node_count(),
+        trace.total_fires(),
+        faulty.len(),
+        o.pulses.max(1)
+    );
+}
+
+fn main() {
+    let o = parse();
+    match o.command.as_str() {
+        "wave" => cmd_wave(&o),
+        "table" => cmd_table(&o),
+        "stabilize" => cmd_stabilize(&o),
+        "bounds" => cmd_bounds(&o),
+        "vcd" => cmd_vcd(&o),
+        _ => usage(),
+    }
+}

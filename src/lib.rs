@@ -1,0 +1,73 @@
+//! # hexclock — Byzantine fault-tolerant, self-stabilizing clock
+//! distribution on a hexagonal grid
+//!
+//! A faithful, production-quality Rust reproduction of
+//!
+//! > D. Dolev, M. Függer, C. Lenzen, M. Perner, U. Schmid:
+//! > *HEX: Scaling honeycombs is easier than scaling clock trees*,
+//! > SPAA 2013 / Journal of Computer and System Sciences 82 (2016).
+//!
+//! HEX distributes clock pulses from a row of synchronized sources through
+//! a cylindric hexagonal grid of tiny forwarding nodes. Each node fires as
+//! soon as two *adjacent* in-neighbors have delivered the pulse, then
+//! sleeps and forgets; memory flags expire on their own, which makes the
+//! whole fabric self-stabilizing even under persistent Byzantine faults.
+//!
+//! This crate is the facade over the workspace:
+//!
+//! | crate | contents |
+//! |-------|----------|
+//! | [`des`] (`hex-des`) | deterministic discrete-event engine, ps time |
+//! | [`core`] (`hex-core`) | grid topology, node state machines, faults |
+//! | [`clock`] (`hex-clock`) | layer-0 scenarios, pulse trains, FT pulser |
+//! | [`sim`] (`hex-sim`) | simulator, traces, parallel batch runner |
+//! | [`analysis`] (`hex-analysis`) | skews, histograms, stabilization, causal paths |
+//! | [`theory`] (`hex-theory`) | Theorem 1 / Lemmas 2–5 / Condition 2, adversarial constructions |
+//! | [`tree`] (`hex-tree`) | buffered H-tree baseline |
+//! | [`topo`] (`hex-topo`) | doubling layers, augmented grid, frequency multiplication |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use hexclock::prelude::*;
+//!
+//! // The paper's 50×20 grid, one zero-skew pulse, paper delays.
+//! let grid = HexGrid::new(10, 8);
+//! let schedule = Schedule::single_pulse(vec![Time::ZERO; 8]);
+//! let trace = simulate(grid.graph(), &schedule, &SimConfig::fault_free(), 42);
+//!
+//! // Every node forwards the pulse exactly once...
+//! assert_eq!(trace.total_fires(), grid.node_count());
+//!
+//! // ...and neighbor skews stay below the Theorem-1 worst case.
+//! let view = PulseView::from_single_pulse(&grid, &trace);
+//! let mask = exclusion_mask(&grid, &[], 0);
+//! let skews = collect_skews(&grid, &view, &mask);
+//! let bound = theorem1_intra_bound(grid.width(), DelayRange::paper());
+//! assert!(skews.intra.iter().all(|&s| s <= bound));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use hex_analysis as analysis;
+pub use hex_clock as clock;
+pub use hex_core as core;
+pub use hex_des as des;
+pub use hex_sim as sim;
+pub use hex_theory as theory;
+pub use hex_topo as topo;
+pub use hex_tree as tree;
+
+/// One-stop imports for the common simulation workflow.
+pub mod prelude {
+    pub use hex_analysis::skew::{collect_skews, exclusion_mask, SkewSamples};
+    pub use hex_analysis::stats::Summary;
+    pub use hex_clock::{PulseTrain, Scenario};
+    pub use hex_core::{
+        DelayModel, DelayRange, FaultPlan, HexGrid, NodeFault, Timing, D_MINUS, D_PLUS, EPSILON,
+    };
+    pub use hex_des::{Duration, Schedule, SimRng, Time};
+    pub use hex_sim::{assign_pulses, run_batch, simulate, InitState, PulseView, SimConfig};
+    pub use hex_theory::{theorem1_intra_bound, Condition2};
+}

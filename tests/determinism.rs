@@ -1,0 +1,75 @@
+//! Reproducibility guarantees: everything is a pure function of
+//! `(config, seed)`, independent of thread count.
+
+use hexclock::prelude::*;
+
+#[test]
+fn simulation_bitwise_reproducible() {
+    let grid = HexGrid::new(20, 12);
+    let sched = Schedule::single_pulse(vec![Time::ZERO; 12]);
+    let cfg = SimConfig::fault_free();
+    let a = simulate(grid.graph(), &sched, &cfg, 123);
+    let b = simulate(grid.graph(), &sched, &cfg, 123);
+    assert_eq!(a.fires, b.fires);
+}
+
+#[test]
+fn different_seeds_different_executions() {
+    let grid = HexGrid::new(10, 8);
+    let sched = Schedule::single_pulse(vec![Time::ZERO; 8]);
+    let cfg = SimConfig::fault_free();
+    let a = simulate(grid.graph(), &sched, &cfg, 1);
+    let b = simulate(grid.graph(), &sched, &cfg, 2);
+    assert_ne!(a.fires, b.fires);
+}
+
+#[test]
+fn batch_output_independent_of_thread_count() {
+    let grid = HexGrid::new(15, 10);
+    let sched = Schedule::single_pulse(vec![Time::ZERO; 10]);
+    let cfg = SimConfig::fault_free();
+    let job = |threads: usize| {
+        run_batch(24, threads, |run| {
+            let trace = simulate(grid.graph(), &sched, &cfg, run as u64);
+            trace
+                .fires
+                .iter()
+                .flat_map(|fs| fs.iter().map(|&(t, _)| t.ps()))
+                .sum::<i64>()
+        })
+    };
+    let t1 = job(1);
+    let t4 = job(4);
+    let t8 = job(8);
+    assert_eq!(t1, t4);
+    assert_eq!(t4, t8);
+}
+
+#[test]
+fn faulty_runs_reproducible_including_byzantine_choices() {
+    let grid = HexGrid::new(12, 10);
+    let sched = Schedule::single_pulse(vec![Time::ZERO; 10]);
+    let cfg = SimConfig {
+        faults: FaultPlan::none().with_node(grid.node(3, 3), NodeFault::Byzantine),
+        timing: Timing::paper_scenario_iii(),
+        ..SimConfig::fault_free()
+    };
+    let a = simulate(grid.graph(), &sched, &cfg, 55);
+    let b = simulate(grid.graph(), &sched, &cfg, 55);
+    assert_eq!(a.fires, b.fires);
+}
+
+#[test]
+fn arbitrary_init_reproducible() {
+    let grid = HexGrid::new(10, 8);
+    let mut rng = SimRng::seed_from_u64(9);
+    let sched = PulseTrain::new(Scenario::Zero, 4, Duration::from_ns(300.0)).generate(8, &mut rng);
+    let cfg = SimConfig {
+        timing: Timing::paper_scenario_iii(),
+        init: InitState::Arbitrary,
+        ..SimConfig::fault_free()
+    };
+    let a = simulate(grid.graph(), &sched, &cfg, 66);
+    let b = simulate(grid.graph(), &sched, &cfg, 66);
+    assert_eq!(a.fires, b.fires);
+}

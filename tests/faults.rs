@@ -1,0 +1,176 @@
+//! Fault-injection integration tests: Table 2 / Figs. 13–16 claims.
+
+use hexclock::core::fault::{forwarder_candidates, place_condition1};
+use hexclock::prelude::*;
+
+const L: u32 = 25;
+const W: u32 = 12;
+const RUNS: usize = 30;
+
+fn faulty_batch(f: usize, kind: NodeFault) -> (HexGrid, Vec<(PulseView, Vec<u32>)>) {
+    let grid = HexGrid::new(L, W);
+    let views = run_batch(RUNS, 4, |run| {
+        let seed = 2000 + run as u64;
+        let mut rng = SimRng::seed_from_u64(seed);
+        let offsets =
+            Scenario::RandomDPlus.single_pulse_times(W, D_MINUS, D_PLUS, &mut rng);
+        let sched = Schedule::single_pulse(offsets);
+        let candidates = forwarder_candidates(grid.graph());
+        let placed = place_condition1(grid.graph(), &candidates, f, &mut rng, 10_000).unwrap();
+        let cfg = SimConfig {
+            faults: FaultPlan::none().with_nodes(&placed, kind),
+            timing: Timing::paper_scenario_iii(),
+            ..SimConfig::fault_free()
+        };
+        let trace = simulate(grid.graph(), &sched, &cfg, seed);
+        (PulseView::from_single_pulse(&grid, &trace), placed)
+    });
+    (grid, views)
+}
+
+fn max_intra(grid: &HexGrid, batch: &[(PulseView, Vec<u32>)], h: usize) -> f64 {
+    let mut worst: f64 = 0.0;
+    for (view, faulty) in batch {
+        let mask = exclusion_mask(grid, faulty, h);
+        let s = collect_skews(grid, view, &mask);
+        if let Some(sum) = Summary::from_durations(&s.intra) {
+            worst = worst.max(sum.max);
+        }
+    }
+    worst
+}
+
+#[test]
+fn correct_nodes_always_fire_under_condition1() {
+    for f in [1usize, 3, 5] {
+        let (grid, batch) = faulty_batch(f, NodeFault::Byzantine);
+        for (view, faulty) in &batch {
+            assert!(
+                view.complete_except(&grid, faulty),
+                "f={f}: some correct node starved"
+            );
+        }
+    }
+}
+
+#[test]
+fn single_byzantine_increases_skew_moderately() {
+    // Table 2 vs Table 1: max intra roughly 1.3–4x the fault-free one, far
+    // below the worst-case ~5·d+ addition.
+    let (grid, clean) = faulty_batch(0, NodeFault::Byzantine);
+    let (_, faulty) = faulty_batch(1, NodeFault::Byzantine);
+    let clean_max = max_intra(&grid, &clean, 0);
+    let faulty_max = max_intra(&grid, &faulty, 0);
+    assert!(faulty_max >= clean_max, "faults should not reduce worst skew");
+    assert!(
+        faulty_max <= clean_max + 5.0 * D_PLUS.ns(),
+        "single fault exceeded the 5·d+ worst-case addition: {faulty_max} vs {clean_max}"
+    );
+}
+
+#[test]
+fn fault_locality_h1_removes_most_of_the_effect() {
+    // Figs. 15b/15d: discarding the 1-hop outgoing neighborhood of faults
+    // brings the skew distribution essentially back to fault-free levels.
+    let (grid, clean) = faulty_batch(0, NodeFault::Byzantine);
+    let (_, faulty) = faulty_batch(3, NodeFault::Byzantine);
+    let clean_h0 = max_intra(&grid, &clean, 0);
+    let faulty_h0 = max_intra(&grid, &faulty, 0);
+    let faulty_h1 = max_intra(&grid, &faulty, 1);
+    assert!(faulty_h1 <= faulty_h0);
+    // h=1 within 2x of fault-free worst (h=0 may be much larger).
+    assert!(
+        faulty_h1 <= clean_h0 * 2.0 + 1.0,
+        "h=1 skew {faulty_h1} not local enough vs clean {clean_h0}"
+    );
+}
+
+#[test]
+fn fail_silent_is_more_benign_than_byzantine() {
+    // Section 4.3: "Concerning fail-silent nodes, all results are
+    // qualitatively similar, albeit with smaller skews."
+    let (grid, byz) = faulty_batch(4, NodeFault::Byzantine);
+    let (_, silent) = faulty_batch(4, NodeFault::FailSilent);
+    let byz_avg: f64 = byz
+        .iter()
+        .map(|(v, f)| {
+            let mask = exclusion_mask(&grid, f, 0);
+            Summary::from_durations(&collect_skews(&grid, v, &mask).intra)
+                .unwrap()
+                .max
+        })
+        .sum::<f64>()
+        / byz.len() as f64;
+    let silent_avg: f64 = silent
+        .iter()
+        .map(|(v, f)| {
+            let mask = exclusion_mask(&grid, f, 0);
+            Summary::from_durations(&collect_skews(&grid, v, &mask).intra)
+                .unwrap()
+                .max
+        })
+        .sum::<f64>()
+        / silent.len() as f64;
+    assert!(
+        silent_avg <= byz_avg * 1.1,
+        "fail-silent ({silent_avg:.3}) should not be notably worse than Byzantine ({byz_avg:.3})"
+    );
+}
+
+#[test]
+fn skew_effects_do_not_accumulate_linearly() {
+    // Section 4.3 (Fig. 16): "skew effects of multiple faults do not
+    // accumulate, or do so in a very limited way" — f=5 is nowhere near 5x
+    // the f=1 effect.
+    let (grid, clean) = faulty_batch(0, NodeFault::Byzantine);
+    let (_, f5) = faulty_batch(5, NodeFault::Byzantine);
+    let base = max_intra(&grid, &clean, 0);
+    let d5 = (max_intra(&grid, &f5, 0) - base).max(0.0);
+    // Worst case would allow ~5·d+ of excess *per fault*; the measured
+    // five-fault excess must stay below even a single fault's worst-case
+    // allowance.
+    assert!(
+        d5 <= 5.0 * D_PLUS.ns(),
+        "f=5 excess {d5:.3} ns should stay below one fault's 5·d+ allowance"
+    );
+}
+
+#[test]
+fn lemma5_bound_holds_for_faulty_pulses() {
+    // Lemma 5: every correct node of layer ℓ triggers within
+    // [tmin + ℓ·d−, tmax + (ℓ + f_ℓ)·d+].
+    let (grid, batch) = faulty_batch(3, NodeFault::FailSilent);
+    for (view, faulty) in batch.iter().take(10) {
+        // Layer-0 spread of this run.
+        let t0: Vec<Time> = (0..W)
+            .filter_map(|c| view.time(0, c as i64))
+            .collect();
+        let tmin = *t0.iter().min().unwrap();
+        let tmax = *t0.iter().max().unwrap();
+        for layer in 1..=L {
+            // f_ℓ = faulty layers among 1..=layer.
+            let mut layers: Vec<u32> = faulty
+                .iter()
+                .map(|&n| grid.coord_of(n).layer)
+                .filter(|&l| l >= 1 && l <= layer)
+                .collect();
+            layers.sort_unstable();
+            layers.dedup();
+            let fl = layers.len() as i64;
+            for col in 0..W {
+                let n = grid.node(layer, col as i64);
+                if faulty.contains(&n) {
+                    continue;
+                }
+                let Some(t) = view.time(layer, col as i64) else {
+                    continue;
+                };
+                assert!(t >= tmin + D_MINUS.times(layer as i64), "lower Lemma-5 bound");
+                assert!(
+                    t <= tmax + D_PLUS.times(layer as i64 + fl),
+                    "upper Lemma-5 bound at ({layer},{col}): {t:?}"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,161 @@
+//! Metamorphic tests: transformations of a simulation's input whose effect
+//! on the output is known exactly. These are the executable versions of
+//! the symmetry arguments the paper's proofs lean on ("we will exploit the
+//! translation and mirror symmetry of the grid w.r.t. column indices",
+//! footnote 6).
+
+use hexclock::prelude::*;
+
+const L: u32 = 10;
+const W: u32 = 8;
+
+fn fire_matrix(grid: &HexGrid, offsets: Vec<Time>, cfg: &SimConfig, seed: u64) -> Vec<Vec<Time>> {
+    let trace = simulate(grid.graph(), &Schedule::single_pulse(offsets), cfg, seed);
+    (0..=L)
+        .map(|layer| {
+            (0..W as i64)
+                .map(|col| {
+                    trace
+                        .unique_fire(grid.node(layer, col))
+                        .expect("clean fault-free pulse")
+                })
+                .collect()
+        })
+        .collect()
+}
+
+#[test]
+fn time_shift_invariance() {
+    // Shifting every source offset by Δ shifts every firing time by exactly
+    // Δ (same seed ⇒ same delay and timer draws: the event order, and hence
+    // the RNG consumption order, is invariant under a global shift).
+    let grid = HexGrid::new(L, W);
+    let cfg = SimConfig::fault_free();
+    let mut rng = SimRng::seed_from_u64(3);
+    let offsets: Vec<Time> = Scenario::RandomDPlus.single_pulse_times(W, D_MINUS, D_PLUS, &mut rng);
+    let delta = Duration::from_ns(123.456);
+    let shifted: Vec<Time> = offsets.iter().map(|&t| t + delta).collect();
+    for seed in 0..5u64 {
+        let base = fire_matrix(&grid, offsets.clone(), &cfg, seed);
+        let moved = fire_matrix(&grid, shifted.clone(), &cfg, seed);
+        for layer in 0..=L as usize {
+            for col in 0..W as usize {
+                assert_eq!(
+                    moved[layer][col] - base[layer][col],
+                    delta,
+                    "seed {seed} node ({layer},{col})"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn column_rotation_equivariance_under_fixed_delays() {
+    // With deterministic (per-link-identical) delays, rotating the source
+    // offsets by r columns rotates the whole triggering-time matrix by r:
+    // the grid's translation symmetry, executable.
+    let grid = HexGrid::new(L, W);
+    let cfg = SimConfig {
+        delays: DelayModel::Fixed(D_PLUS),
+        ..SimConfig::fault_free()
+    };
+    let mut rng = SimRng::seed_from_u64(11);
+    let offsets: Vec<Time> = Scenario::RandomDMinus.single_pulse_times(W, D_MINUS, D_PLUS, &mut rng);
+    let base = fire_matrix(&grid, offsets.clone(), &cfg, 0);
+    for r in 1..W as usize {
+        let rotated: Vec<Time> = (0..W as usize).map(|i| offsets[(i + r) % W as usize]).collect();
+        let rot = fire_matrix(&grid, rotated, &cfg, 0);
+        for layer in 0..=L as usize {
+            for col in 0..W as usize {
+                assert_eq!(
+                    rot[layer][col],
+                    base[layer][(col + r) % W as usize],
+                    "rotation {r} node ({layer},{col})"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn mirror_symmetry_under_fixed_delays() {
+    // The mirror map of the cylindric grid is ψ(ℓ, i) = (ℓ, a − ℓ − i): it
+    // swaps left↔right and lower-left↔lower-right in-neighbors, so under
+    // per-link-identical delays, mirroring the source offsets mirrors the
+    // triggering-time matrix. This is footnote 6's "mirror symmetry",
+    // which lets the paper prove only the i < i′ cases of its lemmas.
+    let grid = HexGrid::new(L, W);
+    let cfg = SimConfig {
+        delays: DelayModel::Fixed(D_MINUS),
+        ..SimConfig::fault_free()
+    };
+    let mut rng = SimRng::seed_from_u64(17);
+    let offsets: Vec<Time> = Scenario::RandomDPlus.single_pulse_times(W, D_MINUS, D_PLUS, &mut rng);
+    let a = 0i64; // any fixed anchor works; the map is mod W
+    let mirrored: Vec<Time> = (0..W as i64)
+        .map(|i| offsets[(a - i).rem_euclid(W as i64) as usize])
+        .collect();
+    let base = fire_matrix(&grid, offsets, &cfg, 0);
+    let mir = fire_matrix(&grid, mirrored, &cfg, 0);
+    for layer in 0..=L as i64 {
+        for col in 0..W as i64 {
+            let m = (a - layer - col).rem_euclid(W as i64);
+            assert_eq!(
+                mir[layer as usize][m as usize],
+                base[layer as usize][col as usize],
+                "mirror node ({layer},{col}) -> ({layer},{m})"
+            );
+        }
+    }
+}
+
+#[test]
+fn batch_results_independent_of_thread_count() {
+    // The crossbeam batch runner must be a pure function of (runs, seeds),
+    // not of the worker count.
+    let grid = HexGrid::new(6, 6);
+    let job = |run: usize| {
+        let seed = 100 + run as u64;
+        let trace = simulate(
+            grid.graph(),
+            &Schedule::single_pulse(vec![Time::ZERO; 6]),
+            &SimConfig::fault_free(),
+            seed,
+        );
+        trace.fires
+    };
+    let one = run_batch(12, 1, job);
+    let four = run_batch(12, 4, job);
+    assert_eq!(one, four);
+}
+
+#[test]
+fn pulse_number_irrelevance() {
+    // Within a well-separated multi-pulse run, every pulse is statistically
+    // the same experiment: with *fixed* delays the per-pulse relative
+    // triggering times are identical across pulses.
+    let grid = HexGrid::new(L, W);
+    let sep = Duration::from_ns(400.0);
+    let mut rng = SimRng::seed_from_u64(23);
+    let sched = PulseTrain::new(Scenario::Zero, 4, sep).generate(W, &mut rng);
+    let cfg = SimConfig {
+        delays: DelayModel::Fixed(D_PLUS),
+        timing: Timing::paper_scenario_iii(),
+        ..SimConfig::fault_free()
+    };
+    let trace = simulate(grid.graph(), &sched, &cfg, 23);
+    let views = assign_pulses(&grid, &trace, &sched, DelayRange::paper().mid());
+    assert_eq!(views.len(), 4);
+    let base_origin = views[0].time(0, 0).unwrap();
+    for (k, v) in views.iter().enumerate() {
+        let origin = v.time(0, 0).unwrap();
+        for layer in 0..=L {
+            for col in 0..W as i64 {
+                let rel = v.time(layer, col).unwrap() - origin;
+                let base_rel = views[0].time(layer, col).unwrap() - base_origin;
+                assert_eq!(rel, base_rel, "pulse {k} node ({layer},{col})");
+            }
+        }
+    }
+}

@@ -1,0 +1,175 @@
+//! End-to-end pipeline tests: scenario → batch simulation → skew
+//! statistics, checked against the paper's qualitative claims (Table 1).
+
+use hexclock::prelude::*;
+
+const L: u32 = 25;
+const W: u32 = 12;
+const RUNS: usize = 30;
+
+fn scenario_batch(scenario: Scenario) -> (HexGrid, Vec<PulseView>) {
+    let grid = HexGrid::new(L, W);
+    let views = run_batch(RUNS, 4, |run| {
+        let seed = 1000 + run as u64;
+        let mut rng = SimRng::seed_from_u64(seed);
+        let offsets = scenario.single_pulse_times(W, D_MINUS, D_PLUS, &mut rng);
+        let sched = Schedule::single_pulse(offsets);
+        let trace = simulate(grid.graph(), &sched, &SimConfig::fault_free(), seed);
+        PulseView::from_single_pulse(&grid, &trace)
+    });
+    (grid, views)
+}
+
+fn cumulated(grid: &HexGrid, views: &[PulseView]) -> SkewSamples {
+    let mask = exclusion_mask(grid, &[], 0);
+    let mut all = SkewSamples::default();
+    for v in views {
+        all.extend(&collect_skews(grid, v, &mask));
+    }
+    all
+}
+
+#[test]
+fn every_node_fires_once_in_every_scenario() {
+    for scenario in Scenario::ALL {
+        let (grid, views) = scenario_batch(scenario);
+        for v in &views {
+            assert!(v.complete_except(&grid, &[]), "{}", scenario.label());
+            assert_eq!(v.spurious, 0);
+        }
+    }
+}
+
+#[test]
+fn table1_shape_average_far_below_max_below_bound() {
+    // The paper's Table-1 shape: avg intra-layer skew well below ε; max
+    // below the Theorem-1 bound; scenarios ordered (i) ≤ (iii) in spread.
+    let bound = theorem1_intra_bound(W, DelayRange::paper());
+    let mut avg_zero = f64::NAN;
+    let mut avg_dplus = f64::NAN;
+    for scenario in Scenario::ALL {
+        let (grid, views) = scenario_batch(scenario);
+        let all = cumulated(&grid, &views);
+        let s = Summary::from_durations(&all.intra).unwrap();
+        // Paper Table 1: (i)–(iii) average below ε (0.395–0.473 ns); the
+        // ramp keeps d+-sized skews alive in the transient layers (paper:
+        // 1.860 ns) but stays well below d+ on average.
+        let avg_cap = if scenario == Scenario::Ramp {
+            D_PLUS.ns() / 2.0
+        } else {
+            EPSILON.ns()
+        };
+        assert!(
+            s.avg < avg_cap,
+            "{}: avg intra {} above cap {avg_cap}",
+            scenario.label(),
+            s.avg
+        );
+        match scenario {
+            Scenario::Zero => avg_zero = s.avg,
+            Scenario::RandomDPlus => avg_dplus = s.avg,
+            _ => {}
+        }
+        if scenario != Scenario::Ramp {
+            assert!(
+                s.max <= bound.ns(),
+                "{}: max {} exceeds Theorem-1 bound {}",
+                scenario.label(),
+                s.max,
+                bound.ns()
+            );
+        }
+    }
+    assert!(avg_zero <= avg_dplus, "scenario (i) should be tightest");
+}
+
+#[test]
+fn inter_layer_bias_matches_paper() {
+    // Scenarios (i)–(iii): σ̂min ≈ d− ("all nodes were always triggered by
+    // their lower neighbors"); scenario (iv) violates this.
+    for scenario in [Scenario::Zero, Scenario::RandomDMinus, Scenario::RandomDPlus] {
+        let (grid, views) = scenario_batch(scenario);
+        let all = cumulated(&grid, &views);
+        let min = all.inter.iter().min().unwrap();
+        assert!(
+            *min >= D_MINUS,
+            "{}: inter-layer min {:?} below d-",
+            scenario.label(),
+            min
+        );
+    }
+    let (grid, views) = scenario_batch(Scenario::Ramp);
+    let all = cumulated(&grid, &views);
+    let min = all.inter.iter().min().unwrap();
+    assert!(
+        *min < D_MINUS,
+        "ramp scenario should produce sub-d- inter-layer skews, got {:?}",
+        min
+    );
+}
+
+#[test]
+fn ramp_skews_decay_after_w_minus_2_layers() {
+    // Lemma 3 in action (Figs. 9/12): in the ramp scenario, per-layer max
+    // intra skew in low layers ≈ d+, but far smaller above layer 2(W−2).
+    use hexclock::analysis::skew::per_layer_max_intra;
+    let (grid, views) = scenario_batch(Scenario::Ramp);
+    let mask = exclusion_mask(&grid, &[], 0);
+    let (mut low, mut high) = (Duration::ZERO, Duration::ZERO);
+    for v in &views {
+        for (ix, s) in per_layer_max_intra(&grid, v, &mask).into_iter().enumerate() {
+            let layer = ix as u32 + 1;
+            let s = s.unwrap();
+            if layer <= 3 {
+                low = low.max(s);
+            } else if layer >= 2 * (W - 2) {
+                high = high.max(s);
+            }
+        }
+    }
+    assert!(low >= D_PLUS - EPSILON, "ramp should keep low layers near d+, got {low:?}");
+    assert!(
+        high < low,
+        "skew must decay with layer: high {high:?} vs low {low:?}"
+    );
+}
+
+#[test]
+fn histogram_concentration_with_exponential_tail() {
+    // Fig. 10's shape: the bulk of intra-layer samples in the first few
+    // bins, monotone-ish decay afterwards.
+    use hexclock::analysis::histogram::Histogram;
+    let (grid, views) = scenario_batch(Scenario::Zero);
+    let all = cumulated(&grid, &views);
+    let mut h = Histogram::new(Duration::ZERO, Duration::from_ns(9.0), 18);
+    h.add_all(&all.intra);
+    let counts = h.counts();
+    let total: u64 = h.total();
+    let head: u64 = counts[..4].iter().sum();
+    assert!(
+        head as f64 / total as f64 > 0.8,
+        "first 4 bins hold {head}/{total}, expected sharp concentration"
+    );
+    // Tail decays: last occupied bin count ≪ mode.
+    let mode = counts.iter().copied().max().unwrap();
+    let last = h.last_occupied_bin().unwrap();
+    assert!(counts[last] < mode / 4);
+}
+
+#[test]
+fn per_layer_series_smooths_upward() {
+    // Fig. 12: per-layer inter-layer spread (max − min) shrinks between the
+    // lowest layers and the steady region for the ramp scenario.
+    use hexclock::analysis::layers::layer_series;
+    let (grid, views) = scenario_batch(Scenario::Ramp);
+    let refs: Vec<&PulseView> = views.iter().collect();
+    let mask = exclusion_mask(&grid, &[], 0);
+    let rows = layer_series(&grid, &refs, &mask, L);
+    let spread = |r: &hexclock::analysis::layers::LayerRow| r.summary.max - r.summary.min;
+    let early = spread(&rows[1]);
+    let late = spread(rows.last().unwrap());
+    assert!(
+        late < early,
+        "inter-layer spread should shrink: layer2 {early:.3} vs top {late:.3}"
+    );
+}

@@ -1,0 +1,123 @@
+//! Self-stabilization integration tests (Theorem 2 / Figs. 18–19), plus
+//! the link-timeout ablation.
+
+use hexclock::analysis::stabilization::{stabilization_pulse, summarize, Criterion};
+use hexclock::core::fault::{forwarder_candidates, place_condition1};
+use hexclock::prelude::*;
+
+const L: u32 = 15;
+const W: u32 = 10;
+const RUNS: usize = 15;
+const PULSES: usize = 8;
+
+fn stab_estimates(f: usize, timing: Timing, sigma_mult: i64) -> Vec<Option<usize>> {
+    let grid = HexGrid::new(L, W);
+    let c2 = Condition2::paper(Duration::from_ns(31.75));
+    let separation = c2.derive().separation;
+    run_batch(RUNS, 4, |run| {
+        let seed = 3000 + run as u64;
+        let mut rng = SimRng::seed_from_u64(seed);
+        let candidates = forwarder_candidates(grid.graph());
+        let placed = place_condition1(grid.graph(), &candidates, f, &mut rng, 10_000).unwrap();
+        let sched =
+            PulseTrain::new(Scenario::RandomDPlus, PULSES, separation).generate(W, &mut rng);
+        let cfg = SimConfig {
+            timing,
+            faults: FaultPlan::none().with_nodes(&placed, NodeFault::Byzantine),
+            init: InitState::Arbitrary,
+            ..SimConfig::fault_free()
+        };
+        let trace = simulate(grid.graph(), &sched, &cfg, seed);
+        let views = assign_pulses(&grid, &trace, &sched, DelayRange::paper().mid());
+        let mask = exclusion_mask(&grid, &placed, 0);
+        let crit = Criterion::uniform(D_PLUS * sigma_mult, D_PLUS, grid.length());
+        stabilization_pulse(&grid, &views, &mask, &crit)
+    })
+}
+
+#[test]
+fn fault_free_stabilizes_within_two_pulses() {
+    let est = stab_estimates(0, Timing::paper_scenario_iii(), 3);
+    let stats = summarize(&est);
+    assert_eq!(stats.stabilized, RUNS, "all runs must stabilize");
+    assert!(
+        stats.avg <= 2.0,
+        "average stabilization pulse {} should be ≤ 2 (paper: 'reliably stabilize within two clock pulses')",
+        stats.avg
+    );
+}
+
+#[test]
+fn stabilizes_despite_byzantine_faults() {
+    for f in [1usize, 2] {
+        let est = stab_estimates(f, Timing::paper_scenario_iii(), 3);
+        let stats = summarize(&est);
+        assert!(
+            stats.stabilized as f64 >= RUNS as f64 * 0.9,
+            "f={f}: only {}/{} stabilized",
+            stats.stabilized,
+            stats.runs
+        );
+        assert!(stats.avg <= 3.0, "f={f}: avg pulse {}", stats.avg);
+    }
+}
+
+#[test]
+fn aggressive_thresholds_stabilize_later_or_fail() {
+    // The C-sweep effect of Figs. 18/19: shrinking σ(f,ℓ) can only push the
+    // stabilization estimate up (or turn runs into non-stabilized ones).
+    let generous = stab_estimates(1, Timing::paper_scenario_iii(), 3);
+    let aggressive = stab_estimates(1, Timing::paper_scenario_iii(), 1);
+    let g = summarize(&generous);
+    let a = summarize(&aggressive);
+    assert!(a.stabilized <= g.stabilized);
+    if a.stabilized > 0 && g.stabilized > 0 {
+        assert!(a.avg >= g.avg - 1e-9);
+    }
+}
+
+#[test]
+fn link_timeout_ablation() {
+    // "Note that there would be no need for the individual link timeout
+    // mechanism if the algorithm always started from a properly
+    // initialized state. It is required, however, for ... self-
+    // stabilization" — with timeouts disabled (very long retention),
+    // stabilization must not get *better*, and with them it is uniformly
+    // fast.
+    let with = summarize(&stab_estimates(0, Timing::paper_scenario_iii(), 3));
+    let without_timing = Timing {
+        link: DelayRange::fixed(Duration::from_ns(50_000.0)),
+        sleep: Timing::paper_scenario_iii().sleep,
+    };
+    let without = summarize(&stab_estimates(0, without_timing, 3));
+    assert_eq!(with.stabilized, RUNS);
+    assert!(with.avg <= 2.0);
+    // Stale flags can survive arbitrarily long without timeouts; the
+    // stabilized count can only drop and the average can only grow.
+    assert!(without.stabilized <= with.stabilized);
+    if without.stabilized > 0 {
+        assert!(without.avg >= with.avg - 1e-9);
+    }
+}
+
+#[test]
+fn once_per_pulse_after_stabilization() {
+    // Theorem 2's conclusion: unique triggering time per pulse window for
+    // every correct node once stable.
+    let grid = HexGrid::new(L, W);
+    let c2 = Condition2::paper(Duration::from_ns(31.75));
+    let separation = c2.derive().separation;
+    let mut rng = SimRng::seed_from_u64(77);
+    let sched = PulseTrain::new(Scenario::Zero, PULSES, separation).generate(W, &mut rng);
+    let cfg = SimConfig {
+        timing: Timing::paper_scenario_iii(),
+        init: InitState::Arbitrary,
+        ..SimConfig::fault_free()
+    };
+    let trace = simulate(grid.graph(), &sched, &cfg, 78);
+    let views = assign_pulses(&grid, &trace, &sched, DelayRange::paper().mid());
+    for (k, v) in views.iter().enumerate().skip(3) {
+        assert!(v.complete_except(&grid, &[]), "pulse {k} incomplete");
+        assert_eq!(v.spurious, 0, "pulse {k} has spurious firings");
+    }
+}

@@ -1,0 +1,135 @@
+//! Topology-variant integration tests: the Section-5 extensions run
+//! through the exact same simulator and deliver their promised properties.
+
+use hexclock::prelude::*;
+use hexclock::topo::freqmul::tick_stream_skew;
+use hexclock::topo::{AugmentedHexGrid, DoublingTopology, FreqMultiplier};
+
+#[test]
+fn doubling_topology_distributes_every_pulse() {
+    let topo = DoublingTopology::new(6, 10, &[2, 5, 8]);
+    let sched = Schedule::single_pulse(vec![Time::ZERO; 6]);
+    for seed in 0..5u64 {
+        let trace = simulate(topo.graph(), &sched, &SimConfig::fault_free(), seed);
+        assert_eq!(trace.total_fires(), topo.node_count());
+    }
+    // The outermost ring serves 4x the sources: the doubling layers did
+    // their job of growing the clocked area.
+    assert_eq!(topo.width(10), 48);
+}
+
+#[test]
+fn doubling_topology_ring_skews_bounded() {
+    let topo = DoublingTopology::new(6, 10, &[3, 7]);
+    let sched = Schedule::single_pulse(vec![Time::ZERO; 6]);
+    for seed in 0..5u64 {
+        let trace = simulate(topo.graph(), &sched, &SimConfig::fault_free(), seed);
+        let fires: Vec<Option<Time>> = (0..topo.node_count())
+            .map(|n| trace.unique_fire(n as u32))
+            .collect();
+        for layer in 1..=10 {
+            let skew = topo.ring_skew(layer, &fires).unwrap();
+            let bound = theorem1_intra_bound(topo.width(layer), DelayRange::paper());
+            assert!(skew <= bound, "layer {layer}: {skew:?} > {bound:?}");
+        }
+    }
+}
+
+#[test]
+fn doubling_topology_tolerates_a_fault() {
+    let topo = DoublingTopology::new(6, 8, &[3]);
+    let victim = topo.node(4, 5);
+    let sched = Schedule::single_pulse(vec![Time::ZERO; 6]);
+    let cfg = SimConfig {
+        faults: FaultPlan::none().with_node(victim, NodeFault::FailSilent),
+        ..SimConfig::fault_free()
+    };
+    let trace = simulate(topo.graph(), &sched, &cfg, 9);
+    for n in topo.graph().node_ids() {
+        if n != victim {
+            assert!(trace.unique_fire(n).is_some(), "node {n} starved");
+        }
+    }
+}
+
+#[test]
+fn augmented_grid_runs_the_same_pipeline() {
+    let aug = AugmentedHexGrid::new(12, 10);
+    let sched = Schedule::single_pulse(vec![Time::ZERO; 10]);
+    let trace = simulate(aug.graph(), &sched, &SimConfig::fault_free(), 1);
+    assert_eq!(trace.total_fires(), aug.graph().node_count());
+}
+
+#[test]
+fn augmented_grid_survives_two_adjacent_crashes() {
+    // The configuration that *breaks* standard HEX (two adjacent lower
+    // crashes starve the common upper neighbor) is tolerated by the
+    // augmented fan: (ℓ+1, i) still has the (LLL, LL)… wait — with both
+    // (ℓ, i) and (ℓ, i+1) dead, node (ℓ+1, i) can use (lower-left-left,
+    // lower-left)? No: lower-left IS (ℓ, i). It can use
+    // (left, lower-left-left) — not a guard pair — but (lower-right-right,
+    // right) IS one: (ℓ, i+2) and (ℓ+1, i+1). So it still fires.
+    let aug = AugmentedHexGrid::new(8, 10);
+    let a = aug.node(3, 4);
+    let b = aug.node(3, 5);
+    let sched = Schedule::single_pulse(vec![Time::ZERO; 10]);
+    let cfg = SimConfig {
+        faults: FaultPlan::none().with_nodes(&[a, b], NodeFault::FailSilent),
+        ..SimConfig::fault_free()
+    };
+    let trace = simulate(aug.graph(), &sched, &cfg, 2);
+    let survivor = aug.node(4, 4);
+    assert!(
+        trace.unique_fire(survivor).is_some(),
+        "augmented grid should save the node standard HEX starves"
+    );
+    // Cross-check: standard HEX starves it (see fault_injection example).
+    let grid = HexGrid::new(8, 10);
+    let cfg = SimConfig {
+        faults: FaultPlan::none().with_nodes(
+            &[grid.node(3, 4), grid.node(3, 5)],
+            NodeFault::FailSilent,
+        ),
+        ..SimConfig::fault_free()
+    };
+    let trace = simulate(grid.graph(), &sched, &cfg, 2);
+    assert!(trace.unique_fire(grid.node(4, 4)).is_none());
+}
+
+#[test]
+fn frequency_multiplication_end_to_end() {
+    // Multi-pulse HEX run -> per-node tick streams -> neighbor fast skew
+    // within the closed-form worst case.
+    let grid = HexGrid::new(10, 8);
+    let c2 = Condition2::paper(Duration::from_ns(31.75));
+    let separation = c2.derive().separation;
+    let mut rng = SimRng::seed_from_u64(3);
+    let sched = PulseTrain::new(Scenario::Zero, 5, separation).generate(8, &mut rng);
+    let cfg = SimConfig {
+        timing: c2.timing(),
+        ..SimConfig::fault_free()
+    };
+    let trace = simulate(grid.graph(), &sched, &cfg, 4);
+
+    let m = FreqMultiplier::new(8, Duration::from_ns(3.0), 1.05);
+    assert!(m.fits_within(sched.min_separation().unwrap()));
+
+    for col in 0..8i64 {
+        let a = grid.node(5, col);
+        let b = grid.node(5, col + 1);
+        let pa: Vec<Time> = trace.fires[a as usize].iter().map(|&(t, _)| t).collect();
+        let pb: Vec<Time> = trace.fires[b as usize].iter().map(|&(t, _)| t).collect();
+        assert_eq!(pa.len(), 5);
+        assert_eq!(pb.len(), 5);
+        let hex_skew = pa
+            .iter()
+            .zip(&pb)
+            .map(|(&x, &y)| x.abs_diff(y))
+            .max()
+            .unwrap();
+        let ta = m.ticks(&pa, &mut rng);
+        let tb = m.ticks(&pb, &mut rng);
+        let fast = tick_stream_skew(&ta, &tb).unwrap();
+        assert!(fast <= m.worst_fast_skew(hex_skew), "col {col}");
+    }
+}

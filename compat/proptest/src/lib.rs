@@ -1,0 +1,413 @@
+//! Offline stand-in for the subset of
+//! [`proptest`](https://crates.io/crates/proptest) 1.x this workspace uses.
+//!
+//! The real proptest is a shrinking property-testing framework; this shim
+//! keeps the *interface* (so test sources stay byte-for-byte compatible
+//! with the crates.io release) but implements the simplest semantics that
+//! still give value: run each property for `Config::cases` deterministic
+//! pseudo-random cases and panic on the first failure, without shrinking.
+//!
+//! Supported surface:
+//!
+//! * `proptest! { #![proptest_config(...)] #[test] fn f(x in strat, ..) {..} }`
+//! * strategies: integer and `f64` ranges (`0u32..64`, `-1e6f64..1e6`),
+//!   `any::<T>()` for the primitive types the workspace tests use,
+//!   tuples of strategies, `prop::collection::vec(strat, len_range)`,
+//!   `prop::sample::Index`;
+//! * `prop_assert!`, `prop_assert_eq!`, `prop_assert_ne!`, `prop_assume!`;
+//! * `ProptestConfig::default()` honors the `PROPTEST_CASES` environment
+//!   variable (like the real crate) with a CI-friendly default of 32.
+
+#![forbid(unsafe_code)]
+
+pub mod strategy {
+    //! Value-generation strategies (sampling only, no shrinking).
+
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+
+    /// A recipe for generating values of `Self::Value`.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+        /// Draw one value.
+        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+    }
+
+    /// Blanket impl so `&strat` works where a strategy is expected.
+    impl<S: Strategy + ?Sized> Strategy for &S {
+        type Value = S::Value;
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            (**self).sample(rng)
+        }
+    }
+
+    macro_rules! impl_range_strategy_int {
+        ($($t:ty),* $(,)?) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    rng.rng.gen_range(self.clone())
+                }
+            }
+            impl Strategy for core::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    rng.rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Strategy for core::ops::Range<f64> {
+        type Value = f64;
+        fn sample(&self, rng: &mut TestRng) -> f64 {
+            rng.rng.gen_range(self.clone())
+        }
+    }
+
+    /// Types with a canonical "anything" strategy (cf. `proptest::arbitrary`).
+    pub trait Arbitrary: Sized {
+        /// Draw an unconstrained value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! impl_arbitrary_uint {
+        ($($t:ty),* $(,)?) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> Self {
+                    rng.rng.gen::<u64>() as $t
+                }
+            }
+        )*};
+    }
+
+    impl_arbitrary_uint!(u8, u16, u32, u64, usize);
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),* $(,)?) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> Self {
+                    rng.rng.gen::<u64>() as $t
+                }
+            }
+        )*};
+    }
+
+    impl_arbitrary_int!(i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rng.rng.gen()
+        }
+    }
+
+    impl Arbitrary for f64 {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rng.rng.gen()
+        }
+    }
+
+    /// Strategy returned by [`crate::arbitrary::any`].
+    pub struct Any<T>(core::marker::PhantomData<T>);
+
+    impl<T> Any<T> {
+        /// Construct (used by `any::<T>()`).
+        pub fn new() -> Self {
+            Any(core::marker::PhantomData)
+        }
+    }
+
+    impl<T> Default for Any<T> {
+        fn default() -> Self {
+            Self::new()
+        }
+    }
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// A constant strategy (compat with `proptest::strategy::Just`).
+    #[derive(Debug, Clone, Copy)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn sample(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($s:ident / $ix:tt),+))*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$ix.sample(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    impl_tuple_strategy! {
+        (A/0, B/1)
+        (A/0, B/1, C/2)
+        (A/0, B/1, C/2, D/3)
+        (A/0, B/1, C/2, D/3, E/4)
+        (A/0, B/1, C/2, D/3, E/4, F/5)
+    }
+}
+
+pub mod arbitrary {
+    //! `any::<T>()` — the unconstrained strategy for `T`.
+
+    use crate::strategy::{Any, Arbitrary};
+
+    /// Strategy producing arbitrary values of `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any::new()
+    }
+}
+
+pub mod collection {
+    //! Collection strategies (`vec`).
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+
+    /// Strategy for `Vec<S::Value>` with length drawn from a range.
+    pub struct VecStrategy<S> {
+        element: S,
+        len: core::ops::Range<usize>,
+    }
+
+    /// `vec(element, 1..300)`: vectors of 1–299 elements.
+    pub fn vec<S: Strategy>(element: S, len: core::ops::Range<usize>) -> VecStrategy<S> {
+        assert!(len.start < len.end, "empty length range");
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            let n = rng.rng.gen_range(self.len.clone());
+            (0..n).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+pub mod sample {
+    //! Index sampling (`prop::sample::Index`).
+
+    use crate::strategy::Arbitrary;
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+
+    /// An abstract index into a collection of yet-unknown size.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct Index(usize);
+
+    impl Index {
+        /// Resolve against a collection of `len` elements. Panics on `len == 0`.
+        pub fn index(&self, len: usize) -> usize {
+            assert!(len > 0, "Index::index on empty collection");
+            self.0 % len
+        }
+    }
+
+    impl Arbitrary for Index {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            Index(rng.rng.gen::<usize>())
+        }
+    }
+}
+
+pub mod test_runner {
+    //! Configuration and the per-test RNG.
+
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Per-property configuration (compat with `proptest::test_runner::Config`).
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        /// Number of cases to run per property.
+        pub cases: u32,
+    }
+
+    /// The workspace-wide default case budget (CI-friendly; the real
+    /// proptest defaults to 256, which is too slow for the 19 property
+    /// sites here).
+    pub const DEFAULT_CASES: u32 = 32;
+
+    impl Default for Config {
+        /// Honors `PROPTEST_CASES` (like the real crate's env override),
+        /// falling back to [`DEFAULT_CASES`].
+        fn default() -> Self {
+            let cases = std::env::var("PROPTEST_CASES")
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(DEFAULT_CASES);
+            Config { cases: cases.max(1) }
+        }
+    }
+
+    impl Config {
+        /// A config running exactly `cases` cases.
+        pub fn with_cases(cases: u32) -> Self {
+            Config { cases: cases.max(1) }
+        }
+    }
+
+    /// Deterministic RNG handed to strategies.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        pub(crate) rng: StdRng,
+    }
+
+    impl TestRng {
+        /// RNG for case number `case` of a property (deterministic,
+        /// independent of execution order).
+        pub fn for_case(case: u64) -> Self {
+            TestRng {
+                rng: StdRng::seed_from_u64(0x9E37_79B9_7F4A_7C15 ^ case.wrapping_mul(0xA24B_AED4_963E_E407)),
+            }
+        }
+    }
+}
+
+pub mod prelude {
+    //! One-stop imports, mirroring `proptest::prelude`.
+
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+
+    /// Namespace alias (`prop::collection::vec`, `prop::sample::Index`).
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::sample;
+        pub use crate::strategy;
+    }
+}
+
+/// Define property tests: each `#[test] fn name(pat in strategy, ..) { .. }`
+/// becomes a normal test running `Config::cases` sampled cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { (<$crate::test_runner::Config as ::core::default::Default>::default()) $($rest)* }
+    };
+}
+
+/// Internal expansion helper for [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    ( ($cfg:expr)
+      $( $(#[$meta:meta])*
+         fn $name:ident ( $($arg:pat in $strat:expr),+ $(,)? ) $body:block
+      )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::test_runner::Config = $cfg;
+                for __case in 0..(__config.cases as u64) {
+                    let mut __rng = $crate::test_runner::TestRng::for_case(__case);
+                    $(
+                        let $arg = $crate::strategy::Strategy::sample(&($strat), &mut __rng);
+                    )+
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+/// `assert!` under a property (no shrinking in this shim, so it just panics).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// `assert_eq!` under a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// `assert_ne!` under a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Skip the current case when an assumption does not hold.
+///
+/// In the real proptest a violated assumption rejects the case; here it
+/// simply ends the test early (cases are independent, so this is sound,
+/// just coarser).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(, $($fmt:tt)*)?) => {
+        if !$cond {
+            return;
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_in_bounds(x in 3u32..17, y in -5i64..5, f in 0.25f64..0.75) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((-5..5).contains(&y));
+            prop_assert!((0.25..0.75).contains(&f));
+        }
+
+        #[test]
+        fn vec_lengths(v in prop::collection::vec(0i64..10, 2..6)) {
+            prop_assert!(v.len() >= 2 && v.len() < 6);
+            prop_assert!(v.iter().all(|&e| (0..10).contains(&e)));
+        }
+
+        #[test]
+        fn tuples_and_any(seed in any::<u64>(), pair in (0u8..4, 0u8..3)) {
+            let _ = seed;
+            prop_assert!(pair.0 < 4 && pair.1 < 3);
+        }
+
+        #[test]
+        fn index_resolves(ix in any::<prop::sample::Index>()) {
+            prop_assert!(ix.index(7) < 7);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(5))]
+        #[test]
+        fn explicit_config_runs(x in 0u32..10) {
+            prop_assert!(x < 10);
+        }
+    }
+
+    #[test]
+    fn default_cases_positive() {
+        assert!(crate::test_runner::Config::default().cases >= 1);
+    }
+}

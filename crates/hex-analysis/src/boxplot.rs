@@ -176,6 +176,8 @@ mod tests {
     }
 
     proptest! {
+        // Shared CI case budget: pin 32 cases (= compat/proptest DEFAULT_CASES).
+        #![proptest_config(ProptestConfig::with_cases(32))]
         /// A box is always ordered lo ≤ q1 ≤ med ≤ q3 ≤ hi.
         #[test]
         fn prop_box_order(values in prop::collection::vec(-1e5f64..1e5, 1..200)) {

@@ -180,6 +180,8 @@ mod tests {
     }
 
     proptest! {
+        // Shared CI case budget: pin 32 cases (= compat/proptest DEFAULT_CASES).
+        #![proptest_config(ProptestConfig::with_cases(32))]
         /// Every in-range sample lands in exactly one bin; totals add up.
         #[test]
         fn prop_conservation(samples in prop::collection::vec(-200i64..400, 0..500)) {

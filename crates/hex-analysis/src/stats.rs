@@ -152,6 +152,8 @@ mod tests {
     }
 
     proptest! {
+        // Shared CI case budget: pin 32 cases (= compat/proptest DEFAULT_CASES).
+        #![proptest_config(ProptestConfig::with_cases(32))]
         /// min ≤ q05 ≤ avg-compatible ordering ≤ q95 ≤ max and quantiles are
         /// monotone in q.
         #[test]

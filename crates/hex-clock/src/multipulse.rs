@@ -152,6 +152,8 @@ mod tests {
     }
 
     proptest! {
+        // Shared CI case budget: pin 32 cases (= compat/proptest DEFAULT_CASES).
+        #![proptest_config(ProptestConfig::with_cases(32))]
         /// For any scenario/seed/width, the realized min separation honors S.
         #[test]
         fn prop_separation_honored(seed in any::<u64>(), w in 3u32..24, pulses in 2usize..8) {

@@ -246,6 +246,8 @@ mod tests {
     }
 
     proptest! {
+        // Shared CI case budget: pin 32 cases (= compat/proptest DEFAULT_CASES).
+        #![proptest_config(ProptestConfig::with_cases(32))]
         /// The offset estimate error is always (d_ms − d_sm)/2 — exactly,
         /// for any offset and any delays (up to the ±1 ps integer-division
         /// rounding of the two halving operations).

@@ -186,6 +186,8 @@ mod tests {
     }
 
     proptest! {
+        // Shared CI case budget: pin 32 cases (= compat/proptest DEFAULT_CASES).
+        #![proptest_config(ProptestConfig::with_cases(32))]
         /// Offsets never exceed the scenario's declared max_offset.
         #[test]
         fn prop_max_offset_is_bound(seed in any::<u64>(), w in 3u32..40) {

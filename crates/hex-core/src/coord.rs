@@ -90,6 +90,8 @@ mod tests {
     }
 
     proptest! {
+        // Shared CI case budget: pin 32 cases (= compat/proptest DEFAULT_CASES).
+        #![proptest_config(ProptestConfig::with_cases(32))]
         /// Cyclic distance is symmetric, bounded by W/2, and satisfies the
         /// triangle inequality on the cycle.
         #[test]

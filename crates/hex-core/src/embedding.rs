@@ -256,6 +256,8 @@ mod tests {
     }
 
     proptest! {
+        // Shared CI case budget: pin 32 cases (= compat/proptest DEFAULT_CASES).
+        #![proptest_config(ProptestConfig::with_cases(32))]
         /// Graph distance satisfies the triangle inequality on sampled
         /// triples.
         #[test]

@@ -309,6 +309,8 @@ mod tests {
     }
 
     proptest! {
+        // Shared CI case budget: pin 32 cases (= compat/proptest DEFAULT_CASES).
+        #![proptest_config(ProptestConfig::with_cases(32))]
         /// Random Condition-1 placements always verify, for many seeds and
         /// grid shapes.
         #[test]

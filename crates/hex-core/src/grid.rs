@@ -275,6 +275,8 @@ mod tests {
     }
 
     proptest! {
+        // Shared CI case budget: pin 32 cases (= compat/proptest DEFAULT_CASES).
+        #![proptest_config(ProptestConfig::with_cases(32))]
         /// The grid's link structure is self-consistent: the out-links of
         /// (ℓ, i) point exactly at its upper-left/upper-right/left/right
         /// neighbors, and the in/out link sets are mirror images.

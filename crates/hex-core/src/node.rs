@@ -375,6 +375,8 @@ mod tests {
     }
 
     proptest! {
+        // Shared CI case budget: pin 32 cases (= compat/proptest DEFAULT_CASES).
+        #![proptest_config(ProptestConfig::with_cases(32))]
         /// Epochs strictly increase over any sequence of operations, and a
         /// timeout can clear a flag at most once.
         #[test]

@@ -247,6 +247,8 @@ mod tests {
     }
 
     proptest! {
+        // Shared CI case budget: pin 32 cases (= compat/proptest DEFAULT_CASES).
+        #![proptest_config(ProptestConfig::with_cases(32))]
         /// Popping always yields a (time, seq)-nondecreasing sequence and
         /// returns every pushed payload exactly once.
         #[test]

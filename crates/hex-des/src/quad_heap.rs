@@ -271,6 +271,8 @@ mod tests {
     }
 
     proptest! {
+        // Shared CI case budget: pin 32 cases (= compat/proptest DEFAULT_CASES).
+        #![proptest_config(ProptestConfig::with_cases(32))]
         /// Drop-in equivalence: any push sequence pops identically to
         /// EventQueue (same payload order).
         #[test]

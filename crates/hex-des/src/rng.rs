@@ -172,6 +172,8 @@ mod tests {
     }
 
     proptest! {
+        // Shared CI case budget: pin 32 cases (= compat/proptest DEFAULT_CASES).
+        #![proptest_config(ProptestConfig::with_cases(32))]
         /// Samples always fall inside the requested closed interval.
         #[test]
         fn prop_in_range(seed in any::<u64>(), lo in -10_000i64..10_000, span in 0i64..10_000) {

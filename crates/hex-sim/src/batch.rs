@@ -2,53 +2,60 @@
 //!
 //! The paper's statistics aggregate 250 independent simulation runs per
 //! configuration. Runs are pure functions of `(config, seed)`, so the batch
-//! is embarrassingly parallel: a crossbeam scoped-thread pool pulls run
-//! indices from an atomic counter (work stealing at the granularity of one
-//! run) and results are reassembled in index order — the output is
-//! **independent of the number of worker threads**, preserving end-to-end
-//! determinism.
+//! is embarrassingly parallel: scoped worker threads pull run indices from
+//! an atomic counter (work stealing at the granularity of one run) and
+//! results are reassembled in index order — the output is **independent of
+//! the number of worker threads**, preserving end-to-end determinism.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 
-use parking_lot::Mutex;
-
 /// Execute `runs` independent jobs, `job(run_index) -> T`, on `threads`
-/// worker threads (clamped to at least 1; pass
-/// [`default_threads`]`()` for the available parallelism). Results are
-/// returned in run-index order regardless of scheduling.
+/// worker threads (pass [`default_threads`]`()` — or `0` — for the
+/// machine's available parallelism). Results are returned in run-index
+/// order regardless of scheduling.
 pub fn run_batch<T, F>(runs: usize, threads: usize, job: F) -> Vec<T>
 where
     T: Send,
     F: Fn(usize) -> T + Sync,
 {
-    let threads = threads.max(1).min(runs.max(1));
-    if threads <= 1 {
+    let threads = if threads == 0 { default_threads() } else { threads };
+    let threads = threads.min(runs.max(1));
+    if threads <= 1 || runs <= 1 {
         return (0..runs).map(&job).collect();
     }
     let next = AtomicUsize::new(0);
-    let results: Mutex<Vec<Option<T>>> =
-        Mutex::new((0..runs).map(|_| None).collect());
 
-    crossbeam::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|_| {
-                // Local buffer per worker: lock only once per run to store,
-                // not to synchronize work distribution.
-                loop {
-                    let ix = next.fetch_add(1, Ordering::Relaxed);
-                    if ix >= runs {
-                        break;
+    // Each worker buffers (index, result) pairs locally; no shared lock on
+    // the hot path. The scope join gives us every buffer back, and a final
+    // single-threaded pass restores run-index order.
+    let mut buffers: Vec<Vec<(usize, T)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut local = Vec::with_capacity(runs / threads + 1);
+                    loop {
+                        let ix = next.fetch_add(1, Ordering::Relaxed);
+                        if ix >= runs {
+                            break;
+                        }
+                        local.push((ix, job(ix)));
                     }
-                    let out = job(ix);
-                    results.lock()[ix] = Some(out);
-                }
-            });
-        }
-    })
-    .expect("batch worker panicked");
+                    local
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("batch worker panicked"))
+            .collect()
+    });
 
-    results
-        .into_inner()
+    let mut slots: Vec<Option<T>> = (0..runs).map(|_| None).collect();
+    for (ix, out) in buffers.drain(..).flatten() {
+        debug_assert!(slots[ix].is_none(), "run {ix} produced twice");
+        slots[ix] = Some(out);
+    }
+    slots
         .into_iter()
         .map(|o| o.expect("every run produced a result"))
         .collect()
@@ -85,6 +92,12 @@ mod tests {
     }
 
     #[test]
+    fn zero_threads_means_available_parallelism() {
+        let out = run_batch(32, 0, |i| i + 7);
+        assert_eq!(out, (0..32).map(|i| i + 7).collect::<Vec<_>>());
+    }
+
+    #[test]
     fn more_threads_than_runs() {
         let out = run_batch(3, 64, |i| i + 1);
         assert_eq!(out, vec![1, 2, 3]);
@@ -100,6 +113,28 @@ mod tests {
         for (i, c) in counts.iter().enumerate() {
             assert_eq!(c.load(Ordering::Relaxed), 1, "index {i}");
         }
+    }
+
+    #[test]
+    fn actually_runs_on_multiple_threads() {
+        use std::collections::HashSet;
+        use std::sync::Mutex;
+        use std::time::{Duration, Instant};
+        let seen: Mutex<HashSet<std::thread::ThreadId>> = Mutex::new(HashSet::new());
+        run_batch(64, 4, |ix| {
+            seen.lock().unwrap().insert(std::thread::current().id());
+            if ix == 0 {
+                // Rendezvous: hold the first run until a second worker has
+                // registered, so the assertion cannot race thread spawn on a
+                // loaded machine. The deadline only trips if the pool truly
+                // failed to engage a second thread.
+                let deadline = Instant::now() + Duration::from_secs(5);
+                while seen.lock().unwrap().len() < 2 && Instant::now() < deadline {
+                    std::thread::yield_now();
+                }
+            }
+        });
+        assert!(seen.lock().unwrap().len() >= 2, "batch ran serially");
     }
 
     #[test]

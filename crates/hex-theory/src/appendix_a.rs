@@ -128,6 +128,8 @@ mod tests {
     }
 
     proptest! {
+        // Shared CI case budget: pin 32 cases (= compat/proptest DEFAULT_CASES).
+        #![proptest_config(ProptestConfig::with_cases(32))]
         /// The faulty bound is monotone in f and always at least the
         /// fault-free bound.
         #[test]

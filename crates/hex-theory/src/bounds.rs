@@ -296,6 +296,8 @@ mod tests {
     }
 
     proptest! {
+        // Shared CI case budget: pin 32 cases (= compat/proptest DEFAULT_CASES).
+        #![proptest_config(ProptestConfig::with_cases(32))]
         /// λ₀ is monotone and bounded by ℓ; epsilon_hops is nonnegative and
         /// monotone.
         #[test]

@@ -182,6 +182,8 @@ mod tests {
     }
 
     proptest! {
+        // Shared CI case budget: pin 32 cases (= compat/proptest DEFAULT_CASES).
+        #![proptest_config(ProptestConfig::with_cases(32))]
         /// The effective multiplied frequency is m× the pulse rate: tick
         /// count is exactly m per pulse for any pulse train that satisfies
         /// the feasibility constraint.

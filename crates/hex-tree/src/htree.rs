@@ -300,6 +300,8 @@ mod tests {
         use proptest::prelude::*;
 
         proptest! {
+            // Shared CI case budget: pin 32 cases (= compat/proptest DEFAULT_CASES).
+            #![proptest_config(ProptestConfig::with_cases(32))]
             /// Structural invariants for any depth: node count is the
             /// 4-ary geometric sum, internal nodes have exactly 4
             /// children, node order is topological, cells biject with

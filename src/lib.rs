@@ -32,8 +32,8 @@
 //! use hexclock::prelude::*;
 //!
 //! // The paper's 50×20 grid, one zero-skew pulse, paper delays.
-//! let grid = HexGrid::new(10, 8);
-//! let schedule = Schedule::single_pulse(vec![Time::ZERO; 8]);
+//! let grid = HexGrid::new(50, 20);
+//! let schedule = Schedule::single_pulse(vec![Time::ZERO; 20]);
 //! let trace = simulate(grid.graph(), &schedule, &SimConfig::fault_free(), 42);
 //!
 //! // Every node forwards the pulse exactly once...

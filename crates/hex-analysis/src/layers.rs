@@ -77,26 +77,6 @@ pub fn layer_series(
         .collect()
 }
 
-/// CSV rendering of a layer series:
-/// `layer,min_ns,q5_ns,avg_ns,q95_ns,max_ns,std_ns,n`.
-pub fn layer_series_csv(rows: &[LayerRow]) -> String {
-    let mut s = String::from("layer,min_ns,q5_ns,avg_ns,q95_ns,max_ns,std_ns,n\n");
-    for r in rows {
-        s.push_str(&format!(
-            "{},{:.3},{:.3},{:.3},{:.3},{:.3},{:.3},{}\n",
-            r.layer,
-            r.summary.min,
-            r.summary.q05,
-            r.summary.avg,
-            r.summary.q95,
-            r.summary.max,
-            r.summary.std,
-            r.summary.n
-        ));
-    }
-    s
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -142,14 +122,4 @@ mod tests {
         assert_eq!(rows.last().unwrap().layer, 4);
     }
 
-    #[test]
-    fn csv_rendering() {
-        let (grid, views) = runs(4, 5, 2);
-        let refs: Vec<&PulseView> = views.iter().collect();
-        let mask = exclusion_mask(&grid, &[], 0);
-        let rows = layer_series(&grid, &refs, &mask, 4);
-        let csv = layer_series_csv(&rows);
-        assert!(csv.starts_with("layer,"));
-        assert_eq!(csv.lines().count(), 5);
-    }
 }

@@ -24,8 +24,14 @@
 //! * [`crash`] — crash-cluster geometry (Section 3.2): exact starvation
 //!   shadows of dead sets, measured starved sets, hop-distance classes for
 //!   blast-radius plots;
-//! * [`wave`] — rendering of pulse waves (Figs. 8/9/13/14) as CSV series
-//!   and ASCII relief.
+//! * [`wave`] — rendering of pulse waves (Figs. 8/9/13/14) as ASCII relief
+//!   and per-layer wave fronts;
+//! * [`reduce`] — streaming batch reductions: [`hex_sim::batch::Reducer`]
+//!   implementations that turn a [`hex_sim::RunSpec`] batch into
+//!   [`reduce::BatchSkews`] or stabilization estimates on the worker
+//!   threads, without materializing the batch;
+//! * [`emit`] — shared machine-readable output (CSV/JSON tables gated by
+//!   `HEX_EMIT`) for all experiment drivers.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -35,13 +41,17 @@ pub mod causal;
 pub mod causal_faulty;
 pub mod checker;
 pub mod crash;
+pub mod emit;
 pub mod histogram;
 pub mod layers;
+pub mod reduce;
 pub mod report;
 pub mod skew;
 pub mod stabilization;
 pub mod stats;
 pub mod wave;
 
+pub use emit::{Emitter, Table, Value};
+pub use reduce::{batch_skews, batch_skews_from_views, BatchSkews, SkewReducer};
 pub use skew::{collect_skews, exclusion_mask, SkewSamples};
 pub use stats::Summary;

@@ -1,0 +1,288 @@
+//! Streaming reductions over [`RunSpec`] batches.
+//!
+//! The paper's statistics are per-run map+reduce: trace → [`PulseView`] →
+//! skew samples / summaries / stabilization estimates, aggregated over 250
+//! runs. The reducers here implement [`hex_sim::batch::Reducer`], so
+//! [`RunSpec::fold`] executes the whole reduction **inside the batch
+//! worker threads**: no `Vec<RunView>` of the batch ever exists, and the
+//! skew extraction that used to be a serial post-pass runs in parallel.
+//!
+//! ```
+//! use hex_analysis::reduce::batch_skews;
+//! use hex_clock::Scenario;
+//! use hex_sim::RunSpec;
+//!
+//! let spec = RunSpec::grid(8, 6).scenario(Scenario::Zero).runs(4).seed(1);
+//! let skews = batch_skews(&spec, 0);
+//! assert_eq!(skews.per_run_intra.len(), 4);
+//! // Every node pair contributes: W intra samples per layer and run.
+//! assert_eq!(skews.cumulated.intra.len(), 4 * (8 * 6) as usize);
+//! ```
+
+use hex_core::HexGrid;
+use hex_sim::batch::Reducer;
+use hex_sim::spec::{RunSpec, RunView};
+
+use crate::skew::{collect_skews, exclusion_mask, SkewSamples};
+use crate::stabilization::{stabilization_pulse, Criterion};
+use crate::stats::Summary;
+
+/// Cumulated skew samples + per-run summaries of a batch (the inputs of
+/// Tables 1/2, Figs. 10/11 and the box plots of Figs. 15/16).
+#[derive(Debug, Clone, Default)]
+pub struct BatchSkews {
+    /// All intra-layer samples across runs.
+    pub cumulated: SkewSamples,
+    /// Per-run intra-layer summaries.
+    pub per_run_intra: Vec<Summary>,
+    /// Per-run inter-layer summaries.
+    pub per_run_inter: Vec<Summary>,
+}
+
+impl BatchSkews {
+    /// Fold the skews of pulse `pulse` of one run into the aggregate
+    /// (`h`-hop fault exclusion).
+    fn add(&mut self, grid: &HexGrid, rv: &RunView, h: usize, pulse: usize) {
+        assert!(
+            pulse < rv.views.len(),
+            "skew reduction of pulse {pulse}, but the run recorded only {} pulse view(s)",
+            rv.views.len()
+        );
+        let mask = exclusion_mask(grid, &rv.faulty, h);
+        let s = collect_skews(grid, &rv.views[pulse], &mask);
+        if let Some(sum) = Summary::from_durations(&s.intra) {
+            self.per_run_intra.push(sum);
+        }
+        if let Some(sum) = Summary::from_durations(&s.inter) {
+            self.per_run_inter.push(sum);
+        }
+        self.cumulated.extend(&s);
+    }
+
+    /// Concatenate two aggregates covering consecutive run ranges.
+    fn append(&mut self, other: BatchSkews) {
+        self.cumulated.extend(&other.cumulated);
+        self.per_run_intra.extend(other.per_run_intra);
+        self.per_run_inter.extend(other.per_run_inter);
+    }
+}
+
+/// A [`Reducer`] extracting [`BatchSkews`] from runs with `h`-hop fault
+/// exclusion. By default the reduction covers pulse 0 — the whole run for
+/// the single-pulse batches of Sections 4.2/4.3; for multi-pulse
+/// (stabilization) batches pick the pulse explicitly with
+/// [`SkewReducer::at_pulse`] (folding panics if a run recorded fewer
+/// pulses).
+#[derive(Debug)]
+pub struct SkewReducer<'g> {
+    grid: &'g HexGrid,
+    h: usize,
+    pulse: usize,
+}
+
+impl<'g> SkewReducer<'g> {
+    /// Reduce on `grid` with `h`-hop exclusion around each run's faults.
+    pub fn new(grid: &'g HexGrid, h: usize) -> Self {
+        SkewReducer { grid, h, pulse: 0 }
+    }
+
+    /// Reduce the skews of pulse `pulse` instead of pulse 0.
+    pub fn at_pulse(mut self, pulse: usize) -> Self {
+        self.pulse = pulse;
+        self
+    }
+}
+
+impl Reducer<RunView> for SkewReducer<'_> {
+    type Acc = BatchSkews;
+
+    fn empty(&self) -> BatchSkews {
+        BatchSkews::default()
+    }
+
+    fn fold(&self, acc: &mut BatchSkews, _run: usize, rv: RunView) {
+        acc.add(self.grid, &rv, self.h, self.pulse);
+    }
+
+    fn merge(&self, mut left: BatchSkews, right: BatchSkews) -> BatchSkews {
+        left.append(right);
+        left
+    }
+}
+
+/// Run the single-pulse batch described by `spec` and extract its skews
+/// with `h`-hop fault exclusion, streaming per-run reduction on the worker
+/// threads.
+///
+/// # Panics
+///
+/// Panics if `spec` describes a multi-pulse batch: skew statistics of a
+/// stabilization run depend on *which* pulse is measured, so pick it
+/// explicitly via `spec.fold(&SkewReducer::new(&grid, h).at_pulse(k))`.
+pub fn batch_skews(spec: &RunSpec, h: usize) -> BatchSkews {
+    let pulses = spec
+        .schedule
+        .as_ref()
+        .map_or(spec.pulses, |s| s.pulses().max(spec.pulses));
+    assert!(
+        pulses <= 1,
+        "batch_skews reduces single-pulse batches; this spec generates {pulses} pulses per \
+         run — choose one with SkewReducer::at_pulse"
+    );
+    let grid = spec.hex_grid();
+    spec.fold(&SkewReducer::new(&grid, h))
+}
+
+/// Sequential fallback: extract [`BatchSkews`] from already-materialized
+/// views (drivers that need the views for other statistics too). Reduces
+/// pulse 0 of each run, like [`batch_skews`].
+pub fn batch_skews_from_views(grid: &HexGrid, views: &[RunView], h: usize) -> BatchSkews {
+    let mut acc = BatchSkews::default();
+    for rv in views {
+        acc.add(grid, rv, h, 0);
+    }
+    acc
+}
+
+/// A [`Reducer`] estimating the stabilization pulse of every run against
+/// several threshold [`Criterion`]s at once (Figs. 18/19 evaluate classes
+/// `C ∈ {0,…,3}` over one shared batch). The accumulator holds, per
+/// criterion, the per-run estimates in run order — exactly what
+/// [`crate::stabilization::summarize`] consumes.
+#[derive(Debug)]
+pub struct StabilizationReducer<'a> {
+    grid: &'a HexGrid,
+    criteria: &'a [Criterion],
+    h: usize,
+}
+
+impl<'a> StabilizationReducer<'a> {
+    /// Estimate against `criteria` with `h`-hop fault exclusion.
+    pub fn new(grid: &'a HexGrid, criteria: &'a [Criterion], h: usize) -> Self {
+        StabilizationReducer { grid, criteria, h }
+    }
+}
+
+impl Reducer<RunView> for StabilizationReducer<'_> {
+    type Acc = Vec<Vec<Option<usize>>>;
+
+    fn empty(&self) -> Self::Acc {
+        vec![Vec::new(); self.criteria.len()]
+    }
+
+    fn fold(&self, acc: &mut Self::Acc, _run: usize, rv: RunView) {
+        let mask = exclusion_mask(self.grid, &rv.faulty, self.h);
+        for (ci, criterion) in self.criteria.iter().enumerate() {
+            acc[ci].push(stabilization_pulse(self.grid, &rv.views, &mask, criterion));
+        }
+    }
+
+    fn merge(&self, mut left: Self::Acc, right: Self::Acc) -> Self::Acc {
+        for (l, r) in left.iter_mut().zip(right) {
+            l.extend(r);
+        }
+        left
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hex_clock::Scenario;
+    use hex_core::D_PLUS;
+    use hex_sim::spec::FaultRegime;
+    use hex_sim::InitState;
+
+    fn small() -> RunSpec {
+        RunSpec::grid(12, 8).runs(20).threads(2)
+    }
+
+    #[test]
+    fn streaming_equals_collect_then_fold() {
+        for threads in [1usize, 2, 8] {
+            let spec = small()
+                .scenario(Scenario::RandomDPlus)
+                .faults(FaultRegime::FailSilent(1))
+                .threads(threads);
+            let grid = spec.hex_grid();
+            let streamed = batch_skews(&spec, 1);
+            let sequential = batch_skews_from_views(&grid, &spec.run_batch(), 1);
+            assert_eq!(streamed.cumulated.intra, sequential.cumulated.intra);
+            assert_eq!(streamed.cumulated.inter, sequential.cumulated.inter);
+            assert_eq!(streamed.per_run_intra.len(), sequential.per_run_intra.len());
+            for (a, b) in streamed.per_run_intra.iter().zip(&sequential.per_run_intra) {
+                assert_eq!(a.max, b.max);
+                assert_eq!(a.avg, b.avg);
+            }
+        }
+    }
+
+    #[test]
+    fn batch_skews_shapes() {
+        let spec = small().scenario(Scenario::Zero);
+        let skews = batch_skews(&spec, 0);
+        assert_eq!(skews.per_run_intra.len(), spec.runs);
+        assert_eq!(skews.cumulated.intra.len(), spec.runs * (12 * 8) as usize);
+    }
+
+    #[test]
+    fn h1_excludes_more_than_h0() {
+        let spec = small()
+            .scenario(Scenario::RandomDPlus)
+            .faults(FaultRegime::FailSilent(1));
+        let h0 = batch_skews(&spec, 0);
+        let h1 = batch_skews(&spec, 1);
+        assert!(h1.cumulated.intra.len() < h0.cumulated.intra.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "single-pulse batches")]
+    fn batch_skews_rejects_multi_pulse_specs() {
+        let spec = small().pulses(5).init(InitState::Arbitrary);
+        batch_skews(&spec, 0);
+    }
+
+    #[test]
+    fn at_pulse_selects_the_requested_view() {
+        let spec = small()
+            .runs(3)
+            .pulses(4)
+            .init(InitState::Arbitrary);
+        let grid = spec.hex_grid();
+        let last = spec.fold(&SkewReducer::new(&grid, 0).at_pulse(3));
+        assert_eq!(last.per_run_intra.len(), 3);
+        // Manually reduce pulse 3 of each run and compare.
+        let mut expected = BatchSkews::default();
+        for rv in spec.run_batch() {
+            let mask = exclusion_mask(&grid, &rv.faulty, 0);
+            let s = collect_skews(&grid, &rv.views[3], &mask);
+            expected.cumulated.extend(&s);
+        }
+        assert_eq!(last.cumulated.intra, expected.cumulated.intra);
+    }
+
+    #[test]
+    fn stabilization_reducer_matches_per_run_loop() {
+        let spec = small()
+            .runs(4)
+            .scenario(Scenario::Zero)
+            .pulses(5)
+            .init(InitState::Arbitrary);
+        let grid = spec.hex_grid();
+        let criteria: Vec<Criterion> = (1..=3u8)
+            .map(|c| Criterion::class(c, D_PLUS, spec.length, |_| D_PLUS))
+            .collect();
+        let streamed = spec.fold(&StabilizationReducer::new(&grid, &criteria, 0));
+        let runs = spec.run_batch();
+        for (ci, criterion) in criteria.iter().enumerate() {
+            let expected: Vec<Option<usize>> = runs
+                .iter()
+                .map(|r| {
+                    let mask = exclusion_mask(&grid, &r.faulty, 0);
+                    stabilization_pulse(&grid, &r.views, &mask, criterion)
+                })
+                .collect();
+            assert_eq!(streamed[ci], expected, "criterion {ci}");
+        }
+    }
+}

@@ -3,38 +3,20 @@
 //! The paper visualizes a pulse as a 3D surface over the `(ℓ, i)` plane with
 //! the triggering time on the z-axis. Here a wave renders as
 //!
-//! * a CSV series `layer,col,t_ns,cause` (feedable to any plotting tool),
 //! * an ASCII relief where each cell shows the triggering time quantized
 //!   into `0-9a-z…` steps — enough to *see* the wave smooth out and faults
-//!   dent it.
+//!   dent it,
+//! * a per-layer wave front (min/max triggering time per layer).
+//!
+//! Machine-readable wave dumps go through [`crate::emit`] (see
+//! `hex-bench`'s `wave_table`) with a [`cause_label`]ed trigger cause.
 
 use hex_core::{HexGrid, TriggerCause};
 use hex_sim::PulseView;
 
-/// CSV rendering of a pulse view: `layer,col,t_ns,cause` (missing nodes get
-/// empty time and cause `dead`).
-pub fn wave_csv(grid: &HexGrid, view: &PulseView) -> String {
-    let mut s = String::from("layer,col,t_ns,cause\n");
-    for layer in 0..=grid.length() {
-        for col in 0..grid.width() {
-            let t = view.time(layer, col as i64);
-            let cause = view.trigger_cause(layer, col as i64);
-            match t {
-                Some(t) => s.push_str(&format!(
-                    "{},{},{:.3},{}\n",
-                    layer,
-                    col,
-                    t.ns(),
-                    cause_label(cause)
-                )),
-                None => s.push_str(&format!("{},{},,dead\n", layer, col)),
-            }
-        }
-    }
-    s
-}
-
-fn cause_label(c: Option<TriggerCause>) -> &'static str {
+/// A short stable label for a trigger cause (emit tables; `dead` for
+/// nodes that never fired).
+pub fn cause_label(c: Option<TriggerCause>) -> &'static str {
     match c {
         Some(TriggerCause::Left) => "left",
         Some(TriggerCause::Central) => "central",
@@ -128,12 +110,19 @@ mod tests {
     }
 
     #[test]
-    fn csv_has_all_cells() {
+    fn cause_labels_are_stable() {
         let (grid, v) = view(1, FaultPlan::none());
-        let csv = wave_csv(&grid, &v);
-        assert_eq!(csv.lines().count(), 1 + 7 * 8);
-        assert!(csv.contains("source"));
-        assert!(csv.contains("central") || csv.contains("left") || csv.contains("right"));
+        let labels: Vec<&str> = (0..=grid.length())
+            .flat_map(|layer| {
+                (0..grid.width() as i64)
+                    .map(move |col| (layer, col))
+            })
+            .map(|(layer, col)| cause_label(v.trigger_cause(layer, col)))
+            .collect();
+        assert_eq!(labels.len(), 7 * 8);
+        assert!(labels.contains(&"source"));
+        assert!(labels.iter().any(|&l| l == "central" || l == "left" || l == "right"));
+        assert_eq!(cause_label(None), "dead");
     }
 
     #[test]

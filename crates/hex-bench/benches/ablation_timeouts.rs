@@ -8,15 +8,16 @@
 //! `tests/stabilization.rs`.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use hex_clock::{PulseTrain, Scenario};
-use hex_core::{DelayRange, HexGrid, Timing};
-use hex_des::{Duration, SimRng};
-use hex_sim::{simulate, InitState, SimConfig};
+use hex_bench::{RunSpec, TimingPolicy};
+use hex_core::{DelayRange, Timing};
+use hex_des::Duration;
+use hex_sim::InitState;
 
 fn bench_timeouts(c: &mut Criterion) {
     let mut g = c.benchmark_group("timeout_ablation");
     g.sample_size(10);
-    let grid = HexGrid::new(20, 10);
+    let base = RunSpec::grid(20, 10).pulses(10).init(InitState::Arbitrary);
+    let grid = base.hex_grid();
     let with_timeouts = Timing::paper_scenario_iii();
     let without_timeouts = Timing {
         link: DelayRange::fixed(Duration::from_ns(100_000.0)),
@@ -24,19 +25,12 @@ fn bench_timeouts(c: &mut Criterion) {
     };
     for (name, timing) in [("link_timeouts_on", with_timeouts), ("link_timeouts_off", without_timeouts)]
     {
-        g.bench_with_input(BenchmarkId::new("stab_run", name), &timing, |b, timing| {
-            let mut seed = 0u64;
+        let spec = base.clone().timing(TimingPolicy::Fixed(timing));
+        g.bench_with_input(BenchmarkId::new("stab_run", name), &spec, |b, spec| {
+            let mut run = 0usize;
             b.iter(|| {
-                seed += 1;
-                let mut rng = SimRng::seed_from_u64(seed);
-                let train = PulseTrain::new(Scenario::Zero, 10, Duration::from_ns(300.0));
-                let sched = train.generate(10, &mut rng);
-                let cfg = SimConfig {
-                    timing: *timing,
-                    init: InitState::Arbitrary,
-                    ..SimConfig::fault_free()
-                };
-                simulate(grid.graph(), &sched, &cfg, seed).total_fires()
+                run += 1;
+                spec.run_one_with(&grid, run).views.len()
             })
         });
     }

@@ -1,30 +1,29 @@
 //! Analysis-pipeline benchmarks: skew statistics, histograms and the
-//! stabilization estimator over pre-simulated run sets.
+//! stabilization estimator over pre-simulated run sets (materialized once
+//! through `RunSpec`).
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use hex_analysis::histogram::Histogram;
 use hex_analysis::skew::{collect_skews, exclusion_mask, SkewSamples};
 use hex_analysis::stabilization::{stabilization_pulse, Criterion as StabCriterion};
 use hex_analysis::stats::Summary;
-use hex_bench::zero_schedule;
-use hex_clock::{PulseTrain, Scenario};
-use hex_core::{HexGrid, Timing, D_PLUS};
-use hex_des::{Duration, SimRng};
-use hex_sim::{assign_pulses, simulate, InitState, PulseView, SimConfig};
+use hex_bench::{zero_schedule, RunSpec, TimingPolicy};
+use hex_core::D_PLUS;
+use hex_des::Duration;
+use hex_sim::{InitState, PulseView};
 
 fn bench_stats(c: &mut Criterion) {
-    let grid = HexGrid::paper();
+    let spec = RunSpec::paper()
+        .runs(50)
+        .seed(0)
+        .schedule(zero_schedule(20))
+        .timing(TimingPolicy::Generous);
+    let grid = spec.hex_grid();
     let mask = exclusion_mask(&grid, &[], 0);
-    let views: Vec<PulseView> = (0..50u64)
-        .map(|seed| {
-            let trace = simulate(
-                grid.graph(),
-                &zero_schedule(20),
-                &SimConfig::fault_free(),
-                seed,
-            );
-            PulseView::from_single_pulse(&grid, &trace)
-        })
+    let views: Vec<PulseView> = spec
+        .run_batch()
+        .into_iter()
+        .map(|rv| rv.views.into_iter().next().expect("one view"))
         .collect();
     let mut cumulated = SkewSamples::default();
     for v in &views {
@@ -47,21 +46,17 @@ fn bench_stats(c: &mut Criterion) {
 }
 
 fn bench_stabilization_estimator(c: &mut Criterion) {
-    let grid = HexGrid::new(20, 10);
-    let mut rng = SimRng::seed_from_u64(1);
-    let train = PulseTrain::new(Scenario::Zero, 10, Duration::from_ns(300.0));
-    let sched = train.generate(10, &mut rng);
-    let cfg = SimConfig {
-        timing: Timing::paper_scenario_iii(),
-        init: InitState::Arbitrary,
-        ..SimConfig::fault_free()
-    };
-    let trace = simulate(grid.graph(), &sched, &cfg, 2);
-    let views = assign_pulses(&grid, &trace, &sched, hex_core::DelayRange::paper().mid());
+    let spec = RunSpec::grid(20, 10)
+        .runs(1)
+        .seed(2)
+        .pulses(10)
+        .init(InitState::Arbitrary);
+    let grid = spec.hex_grid();
+    let rv = spec.run_single();
     let mask = exclusion_mask(&grid, &[], 0);
     let crit = StabCriterion::uniform(D_PLUS * 2, D_PLUS, grid.length());
     c.bench_function("stabilization_estimate_10_pulses", |b| {
-        b.iter(|| stabilization_pulse(&grid, &views, &mask, &crit))
+        b.iter(|| stabilization_pulse(&grid, &rv.views, &mask, &crit))
     });
 }
 

@@ -1,11 +1,26 @@
 //! Batch-runner scaling: the experiment loop at 1, 2, 4 and all available
-//! worker threads (crossbeam work-stealing over run indices).
+//! worker threads (`std::thread::scope` work stealing over run indices),
+//! plus the streaming fold path at full parallelism.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use hex_bench::zero_schedule;
 use hex_core::HexGrid;
-use hex_sim::batch::default_threads;
-use hex_sim::{run_batch, simulate, SimConfig};
+use hex_sim::batch::{default_threads, Reducer};
+use hex_sim::{run_batch, run_batch_fold, simulate, SimConfig};
+
+struct SumFires;
+impl Reducer<usize> for SumFires {
+    type Acc = usize;
+    fn empty(&self) -> usize {
+        0
+    }
+    fn fold(&self, acc: &mut usize, _run: usize, fires: usize) {
+        *acc += fires;
+    }
+    fn merge(&self, left: usize, right: usize) -> usize {
+        left + right
+    }
+}
 
 fn bench_batch(c: &mut Criterion) {
     let mut g = c.benchmark_group("batch_64_runs");
@@ -26,6 +41,16 @@ fn bench_batch(c: &mut Criterion) {
             })
         });
     }
+    g.bench_with_input(BenchmarkId::new("fold_threads", all), &all, |b, &t| {
+        b.iter(|| {
+            run_batch_fold(
+                64,
+                t,
+                |run| simulate(grid.graph(), &sched, &cfg, run as u64).total_fires(),
+                &SumFires,
+            )
+        })
+    });
     g.finish();
 }
 

@@ -1,37 +1,38 @@
 //! Reduced-run versions of the Table 1 / Table 2 pipelines, keeping
 //! `cargo bench` an honest end-to-end exercise of the experiment drivers.
+//! Both pipelines run through `RunSpec` + the streaming `batch_skews`
+//! reduction, and the materializing path is timed next to it so the
+//! streaming win stays measurable.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use hex_bench::{batch_skews, single_pulse_batch, Experiment, FaultRegime};
+use hex_bench::{batch_skews, batch_skews_from_views, FaultRegime, RunSpec};
 use hex_clock::Scenario;
 
 fn bench_tables(c: &mut Criterion) {
     let mut g = c.benchmark_group("tables");
     g.sample_size(10);
-    let exp = Experiment {
-        runs: 10,
-        ..Experiment::paper()
-    };
+    let exp = RunSpec::paper().runs(10).scenario(Scenario::RandomDPlus);
     g.bench_with_input(
         BenchmarkId::new("table1_pipeline", "10_runs"),
         &exp,
-        |b, exp| {
-            b.iter(|| {
-                let views = single_pulse_batch(exp, Scenario::RandomDPlus, FaultRegime::None);
-                batch_skews(exp, &views, 0).cumulated.intra.len()
-            })
-        },
+        |b, exp| b.iter(|| batch_skews(exp, 0).cumulated.intra.len()),
     );
     g.bench_with_input(
-        BenchmarkId::new("table2_pipeline", "10_runs"),
+        BenchmarkId::new("table1_pipeline_materialized", "10_runs"),
         &exp,
         |b, exp| {
             b.iter(|| {
-                let views =
-                    single_pulse_batch(exp, Scenario::RandomDPlus, FaultRegime::Byzantine(1));
-                batch_skews(exp, &views, 0).cumulated.intra.len()
+                let grid = exp.hex_grid();
+                let views = exp.run_batch();
+                batch_skews_from_views(&grid, &views, 0).cumulated.intra.len()
             })
         },
+    );
+    let byz = exp.clone().faults(FaultRegime::Byzantine(1));
+    g.bench_with_input(
+        BenchmarkId::new("table2_pipeline", "10_runs"),
+        &byz,
+        |b, byz| b.iter(|| batch_skews(byz, 0).cumulated.intra.len()),
     );
     g.finish();
 }

@@ -1,32 +1,29 @@
 //! Wave-pipeline benchmarks: one full single-pulse experiment (simulate +
-//! view extraction + skew collection) per scenario on the paper's grid.
+//! view extraction + skew collection) per scenario on the paper's grid,
+//! driven through `RunSpec` run materialization.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use hex_analysis::skew::{collect_skews, exclusion_mask};
+use hex_bench::RunSpec;
 use hex_clock::Scenario;
-use hex_core::{HexGrid, D_MINUS, D_PLUS};
-use hex_des::{Schedule, SimRng};
-use hex_sim::{simulate, PulseView, SimConfig};
 
 fn bench_scenarios(c: &mut Criterion) {
     let mut g = c.benchmark_group("wave_pipeline");
     g.sample_size(20);
-    let grid = HexGrid::paper();
+    let base = RunSpec::paper();
+    let grid = base.hex_grid();
     let mask = exclusion_mask(&grid, &[], 0);
     for scenario in Scenario::ALL {
+        let spec = base.clone().scenario(scenario);
         g.bench_with_input(
             BenchmarkId::new("scenario", scenario.label()),
-            &scenario,
-            |b, &scenario| {
-                let mut seed = 0u64;
+            &spec,
+            |b, spec| {
+                let mut run = 0usize;
                 b.iter(|| {
-                    seed += 1;
-                    let mut rng = SimRng::seed_from_u64(seed);
-                    let offsets = scenario.single_pulse_times(20, D_MINUS, D_PLUS, &mut rng);
-                    let sched = Schedule::single_pulse(offsets);
-                    let trace = simulate(grid.graph(), &sched, &SimConfig::fault_free(), seed);
-                    let view = PulseView::from_single_pulse(&grid, &trace);
-                    collect_skews(&grid, &view, &mask).intra.len()
+                    run += 1;
+                    let rv = spec.run_one_with(&grid, run);
+                    collect_skews(&grid, rv.view(), &mask).intra.len()
                 })
             },
         );

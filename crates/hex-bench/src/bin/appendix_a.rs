@@ -19,19 +19,18 @@ use hex_analysis::causal_faulty::{
     FaultSet,
 };
 use hex_analysis::skew::{exclusion_mask, per_layer_max_intra};
-use hex_bench::{scenario_timing, Experiment};
+use hex_bench::{FaultRegime, RunSpec};
 use hex_clock::Scenario;
 use hex_core::{FaultPlan, NodeFault, D_MINUS, D_PLUS, EPSILON};
-use hex_des::{Duration, Schedule, SimRng};
-use hex_sim::{simulate, PulseView, SimConfig};
+use hex_des::{Duration, SimRng};
 use hex_theory::appendix_a::{single_fault_intra_bound, LEMMA2_DETOUR_HOPS, SINGLE_FAULT_HOPS};
 use hex_theory::Theorem1;
 
 fn main() {
-    let exp = Experiment::from_env();
+    let base = RunSpec::from_env();
     println!(
         "Appendix A sweep: {}x{} grid, {} runs per fault position, seed {}",
-        exp.length, exp.width, exp.runs, exp.seed
+        base.length, base.width, base.runs, base.seed
     );
     println!(
         "degradation constants: intra {SINGLE_FAULT_HOPS} d+ per fault, \
@@ -39,31 +38,31 @@ fn main() {
     );
 
     for scenario in [Scenario::Zero, Scenario::Ramp] {
-        sweep(&exp, scenario);
+        sweep(&base, scenario);
     }
 }
 
-fn sweep(exp: &Experiment, scenario: Scenario) {
-    let grid = exp.grid();
+fn sweep(base: &RunSpec, scenario: Scenario) {
+    let grid = base.hex_grid();
     // Conservative Δ₀ estimate: worst skew potential over 64 draws.
-    let mut rng = SimRng::seed_from_u64(exp.seed ^ 0xA11D);
+    let mut rng = SimRng::seed_from_u64(base.seed ^ 0xA11D);
     let mut pot = Duration::ZERO;
     for _ in 0..64 {
-        let offs = scenario.offsets(exp.width, D_MINUS, D_PLUS, &mut rng);
+        let offs = scenario.offsets(base.width, D_MINUS, D_PLUS, &mut rng);
         pot = pot.max(Scenario::skew_potential(&offs, D_MINUS));
     }
     let thm = Theorem1 {
-        width: exp.width,
-        length: exp.length,
+        width: base.width,
+        length: base.length,
         delays: hex_core::DelayRange::paper(),
         potential0: pot,
     };
 
-    let fault_layers: Vec<u32> = [1u32, 2, 4, 8, 16, 32, exp.length]
+    let fault_layers: Vec<u32> = [1u32, 2, 4, 8, 16, 32, base.length]
         .into_iter()
-        .filter(|&l| l >= 1 && l <= exp.length)
+        .filter(|&l| l >= 1 && l <= base.length)
         .collect();
-    let fault_cols: Vec<u32> = (0..exp.width).step_by((exp.width as usize / 5).max(1)).collect();
+    let fault_cols: Vec<u32> = (0..base.width).step_by((base.width as usize / 5).max(1)).collect();
 
     println!(
         "scenario {} (Δ0 ≤ {:.3} ns): worst intra-layer skew by fault layer",
@@ -86,24 +85,20 @@ fn sweep(exp: &Experiment, scenario: Scenario) {
         let mut detours_here = 0usize;
         for &fc in &fault_cols {
             let victim = grid.node(fl, fc as i64);
-            for run in 0..exp.runs.min(40) {
-                let seed = exp.seed + run as u64;
-                let mut rng = SimRng::seed_from_u64(seed ^ 0xAB1D ^ (fl as u64) << 32 ^ fc as u64);
-                let offsets = scenario.single_pulse_times(exp.width, D_MINUS, D_PLUS, &mut rng);
-                let schedule = Schedule::single_pulse(offsets);
-                let faults = FaultPlan::none().with_node(victim, NodeFault::Byzantine);
-                let cfg = SimConfig {
-                    timing: scenario_timing(scenario),
-                    faults: faults.clone(),
-                    ..SimConfig::fault_free()
-                };
-                let trace = simulate(grid.graph(), &schedule, &cfg, seed);
-                let view = PulseView::from_single_pulse(&grid, &trace);
-                let fs = FaultSet::new(&grid, &trace.faulty);
+            let spec = base
+                .clone()
+                .scenario(scenario)
+                .faults(FaultRegime::Plan(
+                    FaultPlan::none().with_node(victim, NodeFault::Byzantine),
+                ))
+                .runs(base.runs.min(40));
+            for (run, rv) in spec.run_batch().into_iter().enumerate() {
+                let view = rv.view();
+                let fs = FaultSet::new(&grid, &rv.faulty);
 
                 for (h, worst) in [(0usize, &mut worst_h0), (1, &mut worst_h1)] {
-                    let mask = exclusion_mask(&grid, &trace.faulty, h);
-                    for (ix, s) in per_layer_max_intra(&grid, &view, &mask).iter().enumerate() {
+                    let mask = exclusion_mask(&grid, &rv.faulty, h);
+                    for (ix, s) in per_layer_max_intra(&grid, view, &mask).iter().enumerate() {
                         let layer = ix as u32 + 1;
                         if let Some(s) = s {
                             *worst = (*worst).max(*s);
@@ -125,22 +120,22 @@ fn sweep(exp: &Experiment, scenario: Scenario) {
                 // above the fault (where detours actually occur — a zig-zag
                 // from far above rarely meets a single fault).
                 if run < 8 {
-                    for probe in [exp.length, (fl + 1).min(exp.length)] {
-                        let stats = collect_avoid_stats(&grid, &view, &fs, probe);
+                    for probe in [base.length, (fl + 1).min(base.length)] {
+                        let stats = collect_avoid_stats(&grid, view, &fs, probe);
                         detours_here += stats.detour_links;
                         merge(&mut stats_total, &stats);
-                        for col in 0..exp.width as i64 {
+                        for col in 0..base.width as i64 {
                             if fs.contains(&grid, probe, col) {
                                 continue;
                             }
                             let (path, shift) =
-                                left_zigzag_with_shift(&grid, &view, &fs, probe, col)
+                                left_zigzag_with_shift(&grid, view, &fs, probe, col)
                                     .expect("fault-avoiding path exists");
-                            causality_checked += check_causality(&view, &path, D_MINUS)
+                            causality_checked += check_causality(view, &path, D_MINUS)
                                 .unwrap_or_else(|k| panic!("non-causal link {k}"));
                             lemma2_checked += check_lemma2_relaxed(
                                 &grid,
-                                &view,
+                                view,
                                 &fs,
                                 &path,
                                 col + shift,
@@ -151,7 +146,7 @@ fn sweep(exp: &Experiment, scenario: Scenario) {
                             )
                             .unwrap_or_else(|k| panic!("relaxed Lemma 2 violated at prefix {k}"));
                         }
-                        if probe == exp.length && fl + 1 >= exp.length {
+                        if probe == base.length && fl + 1 >= base.length {
                             break; // same layer, don't double count
                         }
                     }

@@ -12,6 +12,7 @@
 //! cargo run --release -p hex-bench --bin condition1_density
 //! ```
 
+use hex_bench::RunSpec;
 use hex_core::fault::satisfies_condition1;
 use hex_core::HexGrid;
 use hex_des::SimRng;
@@ -20,14 +21,10 @@ use hex_theory::condition1::{
 };
 
 fn main() {
-    let trials: usize = std::env::var("HEX_RUNS")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(2_000);
-    let seed: u64 = std::env::var("HEX_SEED")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(42);
+    // No simulation here — the spec only carries the Monte-Carlo trial
+    // count (HEX_RUNS, default 2000) and the seed (HEX_SEED).
+    let spec = RunSpec::paper().runs(2_000).with_env();
+    let trials = spec.runs;
 
     println!("Condition-1 probability, {trials} Monte Carlo trials per cell\n");
     println!(
@@ -40,7 +37,7 @@ fn main() {
         // sources may be faulty too (Byzantine clock sources, §1).
         let candidates: Vec<u32> = grid.graph().node_ids().collect();
         let n = grid.node_count();
-        let mut rng = SimRng::seed_from_u64(seed);
+        let mut rng = SimRng::seed_from_u64(spec.seed);
         for f in [2usize, 5, 10, 20] {
             if f > candidates.len() {
                 continue;

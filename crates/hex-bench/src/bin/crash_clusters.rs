@@ -14,29 +14,27 @@
 //! cargo run --release -p hex-bench --bin crash_clusters
 //! ```
 
-use hex_analysis::crash::{crash_shadow, hop_distances, horizontal_cluster, starved};
+use hex_analysis::crash::{crash_shadow, hop_distances, horizontal_cluster};
 use hex_analysis::skew::exclusion_mask;
 use hex_analysis::stats::Summary;
-use hex_bench::{batch_skews, single_pulse_batch, Experiment, FaultRegime};
+use hex_bench::{batch_skews, FaultRegime, RunSpec, TimingPolicy};
 use hex_clock::Scenario;
-use hex_core::{FaultPlan, NodeFault, D_MINUS, D_PLUS};
-use hex_des::{Duration, Schedule, SimRng};
-use hex_sim::{simulate, PulseView, SimConfig};
+use hex_core::{FaultPlan, NodeFault, NodeId};
+use hex_des::Duration;
 
 fn main() {
-    let exp = Experiment::from_env();
-    let scenario = Scenario::RandomDPlus;
-    let grid = exp.grid();
+    let base = RunSpec::from_env().scenario(Scenario::RandomDPlus);
+    let grid = base.hex_grid();
     println!(
         "Crash clusters: {}x{} grid, scenario {}, {} runs per configuration\n",
-        exp.length,
-        exp.width,
-        scenario.label(),
-        exp.runs
+        base.length,
+        base.width,
+        base.scenario.label(),
+        base.runs
     );
 
     // Fault-free reference for the blast-radius comparison.
-    let ff = batch_skews(&exp, &single_pulse_batch(&exp, scenario, FaultRegime::None), 0);
+    let ff = batch_skews(&base, 0);
     let ff_sum = Summary::from_durations(&ff.cumulated.intra).unwrap();
     println!(
         "fault-free reference: intra avg {:.3} / q95 {:.3} / max {:.3} ns\n",
@@ -48,6 +46,9 @@ fn main() {
         "k", "shadow", "exact", "q95 intra skew by hop distance from hole (ns)"
     );
     let cluster_layer = 4u32;
+    // The k ∈ {2,3,4} batches are reused verbatim by the clustered-vs-
+    // separated comparison below — cache them instead of re-simulating.
+    let mut cached: Vec<Option<Vec<hex_bench::RunView>>> = vec![None; 6];
     for k in 1..=5usize {
         let dead = horizontal_cluster(&grid, cluster_layer, 7, k);
         let shadow = crash_shadow(&grid, &dead);
@@ -57,24 +58,21 @@ fn main() {
         hole.sort_unstable();
         let dist = hop_distances(&grid, &hole);
 
-        // Intra-skew samples per distance class over runs.
+        // Clustered fail-silent faults, generous single-pulse timeouts
+        // (stabilization timing is irrelevant for one clean pulse).
+        let batch = cluster_spec(&base, &dead).run_batch();
+
+        // Intra-skew samples per distance class over runs. The starved-set
+        // check needs each run's view, so the batch is materialized.
         let mut by_dist: Vec<Vec<Duration>> = vec![Vec::new(); 7];
         let mut measured_shadow = None;
-        for run in 0..exp.runs {
-            let seed = exp.seed + run as u64;
-            let mut rng = SimRng::seed_from_u64(seed ^ 0xC4A5);
-            let offsets = scenario.single_pulse_times(exp.width, D_MINUS, D_PLUS, &mut rng);
-            let cfg = SimConfig {
-                faults: FaultPlan::none().with_nodes(&dead, NodeFault::FailSilent),
-                ..SimConfig::fault_free()
-            };
-            let trace = simulate(grid.graph(), &Schedule::single_pulse(offsets), &cfg, seed);
-            let got = starved(&grid, &trace);
+        for (run, rv) in batch.iter().enumerate() {
+            let view = rv.view();
+            let got: Vec<NodeId> = starved_of_view(&grid, view, &dead);
             assert_eq!(got, shadow, "run {run}: measured shadow deviates from the fixpoint");
             measured_shadow = Some(got.len());
-            let view = PulseView::from_single_pulse(&grid, &trace);
-            for layer in 1..=exp.length {
-                for col in 0..exp.width as i64 {
+            for layer in 1..=base.length {
+                for col in 0..base.width as i64 {
                     let a = grid.node(layer, col);
                     let b = grid.node(layer, col + 1);
                     let (Some(ta), Some(tb)) = (view.time(layer, col), view.time(layer, col + 1))
@@ -101,6 +99,9 @@ fn main() {
             k * (k - 1) / 2,
             cells.join("  ")
         );
+        if (2..=4).contains(&k) {
+            cached[k] = Some(batch);
+        }
     }
 
     // Clustered vs separated placement of the same f (skew over survivors,
@@ -111,30 +112,20 @@ fn main() {
         "f", "clustered intra avg/q95/max", "separated intra avg/q95/max"
     );
     for f in 2..=4usize {
-        // Clustered: one k = f horizontal run.
+        // Clustered: one k = f horizontal run, the batch cached above.
         let dead = horizontal_cluster(&grid, cluster_layer, 7, f);
         let shadow = crash_shadow(&grid, &dead);
         let mut excluded = dead.clone();
         excluded.extend(&shadow);
         excluded.sort_unstable();
+        let mask = exclusion_mask(&grid, &excluded, 0);
         let mut all = Vec::new();
-        for run in 0..exp.runs {
-            let seed = exp.seed + run as u64;
-            let mut rng = SimRng::seed_from_u64(seed ^ 0xC4A6);
-            let offsets = scenario.single_pulse_times(exp.width, D_MINUS, D_PLUS, &mut rng);
-            let cfg = SimConfig {
-                faults: FaultPlan::none().with_nodes(&dead, NodeFault::FailSilent),
-                ..SimConfig::fault_free()
-            };
-            let trace = simulate(grid.graph(), &Schedule::single_pulse(offsets), &cfg, seed);
-            let view = PulseView::from_single_pulse(&grid, &trace);
-            let mask = exclusion_mask(&grid, &excluded, 0);
-            all.extend(hex_analysis::skew::collect_skews(&grid, &view, &mask).intra);
+        for rv in cached[f].as_ref().expect("k = f batch cached") {
+            all.extend(hex_analysis::skew::collect_skews(&grid, rv.view(), &mask).intra);
         }
         let clustered = Summary::from_durations(&all).unwrap();
 
-        let sep =
-            batch_skews(&exp, &single_pulse_batch(&exp, scenario, FaultRegime::FailSilent(f)), 0);
+        let sep = batch_skews(&base.clone().faults(FaultRegime::FailSilent(f)), 0);
         let separated = Summary::from_durations(&sep.cumulated.intra).unwrap();
         println!(
             "{:>2} | {:>8.3} {:>8.3} {:>8.3} | {:>8.3} {:>8.3} {:>8.3}",
@@ -151,4 +142,35 @@ fn main() {
          skew than separated ones of the same f — clustering trades skew for the starved \
          triangle."
     );
+}
+
+/// The base spec with a fixed fail-silent cluster and generous timeouts.
+fn cluster_spec(base: &RunSpec, dead: &[NodeId]) -> RunSpec {
+    base.clone()
+        .faults(FaultRegime::Plan(
+            FaultPlan::none().with_nodes(dead, NodeFault::FailSilent),
+        ))
+        .timing(TimingPolicy::Generous)
+}
+
+/// Correct nodes that never fired in this view, excluding the dead set
+/// (the view-level equivalent of `hex_analysis::crash::starved`).
+fn starved_of_view(
+    grid: &hex_core::HexGrid,
+    view: &hex_sim::PulseView,
+    dead: &[NodeId],
+) -> Vec<NodeId> {
+    let mut out = Vec::new();
+    for layer in 0..=grid.length() {
+        for col in 0..grid.width() {
+            let n = grid.node(layer, col as i64);
+            if dead.binary_search(&n).is_ok() {
+                continue;
+            }
+            if view.time(layer, col as i64).is_none() {
+                out.push(n);
+            }
+        }
+    }
+    out
 }

@@ -6,18 +6,17 @@
 
 use hex_analysis::histogram::Histogram;
 use hex_analysis::stats::Summary;
-use hex_bench::{batch_skews, single_pulse_batch, Experiment, FaultRegime};
+use hex_bench::{batch_skews, histogram_table, Emitter, RunSpec};
 use hex_clock::Scenario;
 use hex_des::Duration;
 
 fn main() {
-    let exp = Experiment::from_env();
-    let views = single_pulse_batch(&exp, Scenario::Ramp, FaultRegime::None);
-    let skews = batch_skews(&exp, &views, 0);
+    let spec = RunSpec::from_env().scenario(Scenario::Ramp);
+    let skews = batch_skews(&spec, 0);
 
     println!(
         "Fig. 11: cumulated skew histograms, scenario (iv), {} runs",
-        exp.runs
+        spec.runs
     );
 
     let mut intra = Histogram::new(Duration::ZERO, Duration::from_ns(9.0), 36);
@@ -43,8 +42,7 @@ fn main() {
     let s = Summary::from_durations(&skews.cumulated.inter).unwrap();
     println!("summary: {}", s.inter_row());
 
-    if std::env::var("HEX_CSV").is_ok() {
-        println!("\nintra CSV:\n{}", intra.to_csv());
-        println!("inter CSV:\n{}", inter.to_csv());
-    }
+    let emitter = Emitter::from_env();
+    emitter.emit(&histogram_table("fig11_intra", &intra));
+    emitter.emit(&histogram_table("fig11_inter", &inter));
 }

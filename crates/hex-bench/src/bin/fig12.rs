@@ -6,24 +6,26 @@
 //! most visible for the ramp scenario, whose per-layer max drops sharply
 //! after layer 18 (W = 20).
 
-use hex_analysis::layers::{layer_series, layer_series_csv};
+use hex_analysis::layers::layer_series;
 use hex_analysis::skew::exclusion_mask;
-use hex_bench::{single_pulse_batch, Experiment, FaultRegime};
+use hex_bench::{layer_table, Emitter, RunSpec};
 use hex_clock::Scenario;
 use hex_sim::PulseView;
 
 fn main() {
-    let exp = Experiment::from_env();
-    let grid = exp.grid();
+    let base = RunSpec::from_env();
+    let grid = base.hex_grid();
     let mask = exclusion_mask(&grid, &[], 0);
+    let emitter = Emitter::from_env();
     for scenario in [Scenario::RandomDPlus, Scenario::Ramp] {
-        let views = single_pulse_batch(&exp, scenario, FaultRegime::None);
-        let refs: Vec<&PulseView> = views.iter().map(|rv| &rv.view).collect();
+        let spec = base.clone().scenario(scenario);
+        let views = spec.run_batch();
+        let refs: Vec<&PulseView> = views.iter().map(|rv| rv.view()).collect();
         let rows = layer_series(&grid, &refs, &mask, 30);
         println!(
             "\nFig. 12, scenario {}: per-layer inter-layer skews (ns), {} runs",
             scenario.label(),
-            exp.runs
+            spec.runs
         );
         println!(
             "{:>5} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8}",
@@ -41,8 +43,9 @@ fn main() {
                 r.summary.std
             );
         }
-        if std::env::var("HEX_CSV").is_ok() {
-            println!("{}", layer_series_csv(&rows));
-        }
+        emitter.emit(&layer_table(
+            &format!("fig12_{}", scenario.slug()),
+            &rows,
+        ));
     }
 }

@@ -8,15 +8,13 @@
 use hex_analysis::skew::{collect_skews, exclusion_mask};
 use hex_analysis::stats::Summary;
 use hex_analysis::wave::wave_ascii;
-use hex_bench::Experiment;
+use hex_bench::{wave_table, Emitter, FaultRegime, RunSpec};
 use hex_clock::Scenario;
 use hex_core::{FaultPlan, LinkBehavior, NodeFault};
-use hex_des::{Schedule, SimRng};
-use hex_sim::{simulate, PulseView, SimConfig};
 
 fn main() {
-    let exp = Experiment::from_env();
-    let grid = exp.grid();
+    let base = RunSpec::from_env().scenario(Scenario::Zero);
+    let grid = base.hex_grid();
     let byz = grid.node(1, 19);
 
     // The figure's exact behaviour: constant 1 to left/right, constant 0 to
@@ -33,32 +31,20 @@ fn main() {
         faults = faults.with_link(l, behavior);
     }
 
-    let mut rng = SimRng::seed_from_u64(exp.seed);
-    let offsets = Scenario::Zero.single_pulse_times(
-        exp.width,
-        hex_core::D_MINUS,
-        hex_core::D_PLUS,
-        &mut rng,
-    );
-    let cfg = SimConfig {
-        timing: hex_bench::scenario_timing(Scenario::Zero),
-        faults,
-        ..SimConfig::fault_free()
-    };
-    let trace = simulate(grid.graph(), &Schedule::single_pulse(offsets), &cfg, exp.seed);
-    let view = PulseView::from_single_pulse(&grid, &trace);
+    let rv = base.faults(FaultRegime::Plan(faults)).run_single();
 
     println!("Fig. 13: wave with Byzantine node at (1,19), scenario (i)");
-    print!("{}", wave_ascii(&grid, &view, 30));
+    print!("{}", wave_ascii(&grid, rv.view(), 30));
 
     // Fault locality: skews near the fault vs. far away.
     for h in [0usize, 1, 2] {
         let mask = exclusion_mask(&grid, &[byz], h);
-        let s = collect_skews(&grid, &view, &mask);
+        let s = collect_skews(&grid, rv.view(), &mask);
         let sum = Summary::from_durations(&s.intra).unwrap();
         println!(
             "h={h}: intra-layer skews avg {:>6.3} q95 {:>6.3} max {:>6.3} (n={})",
             sum.avg, sum.q95, sum.max, sum.n
         );
     }
+    Emitter::from_env().emit(&wave_table("fig13_wave", &grid, rv.view()));
 }

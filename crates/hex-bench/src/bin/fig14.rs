@@ -4,13 +4,15 @@
 use hex_analysis::skew::{collect_skews, exclusion_mask};
 use hex_analysis::stats::Summary;
 use hex_analysis::wave::wave_ascii;
-use hex_bench::{single_wave, Experiment, FaultRegime};
+use hex_bench::{wave_table, Emitter, FaultRegime, RunSpec};
 use hex_clock::Scenario;
 
 fn main() {
-    let exp = Experiment::from_env();
-    let grid = exp.grid();
-    let rv = single_wave(&exp, Scenario::Ramp, FaultRegime::Byzantine(5));
+    let spec = RunSpec::from_env()
+        .scenario(Scenario::Ramp)
+        .faults(FaultRegime::Byzantine(5));
+    let grid = spec.hex_grid();
+    let rv = spec.run_single();
 
     println!("Fig. 14: wave with five Byzantine nodes, scenario (iv)");
     println!(
@@ -20,15 +22,16 @@ fn main() {
             .map(|&n| grid.coord_of(n))
             .collect::<Vec<_>>()
     );
-    print!("{}", wave_ascii(&grid, &rv.view, 30));
+    print!("{}", wave_ascii(&grid, rv.view(), 30));
 
     for h in [0usize, 1] {
         let mask = exclusion_mask(&grid, &rv.faulty, h);
-        let s = collect_skews(&grid, &rv.view, &mask);
+        let s = collect_skews(&grid, rv.view(), &mask);
         let sum = Summary::from_durations(&s.intra).unwrap();
         println!(
             "h={h}: intra-layer skews avg {:>6.3} q95 {:>6.3} max {:>6.3} (n={})",
             sum.avg, sum.q95, sum.max, sum.n
         );
     }
+    Emitter::from_env().emit(&wave_table("fig14_wave", &grid, rv.view()));
 }

@@ -6,10 +6,10 @@
 //! worst-case ≈ 5·f·d+), and with `h = 1` the fault effects essentially
 //! disappear (fault locality).
 
-use hex_bench::{fault_sweep, Experiment};
+use hex_bench::{fault_sweep, RunSpec};
 use hex_clock::Scenario;
 
 fn main() {
-    let exp = Experiment::from_env();
-    fault_sweep(&exp, Scenario::RandomDPlus, "Fig. 15");
+    let spec = RunSpec::from_env().scenario(Scenario::RandomDPlus);
+    fault_sweep(&spec, "Fig. 15");
 }

@@ -7,10 +7,10 @@
 //! skews" because the ramped wave propagates diagonally (Fig. 17's
 //! explanation).
 
-use hex_bench::{fault_sweep, Experiment};
+use hex_bench::{fault_sweep, RunSpec};
 use hex_clock::Scenario;
 
 fn main() {
-    let exp = Experiment::from_env();
-    fault_sweep(&exp, Scenario::Ramp, "Fig. 16");
+    let spec = RunSpec::from_env().scenario(Scenario::Ramp);
+    fault_sweep(&spec, "Fig. 16");
 }

@@ -7,19 +7,13 @@
 //! worst skews found, next to the fault-free ramp baseline of exactly
 //! `d+`.
 
+use hex_bench::{construction_spec, RunView};
 use hex_core::D_PLUS;
 use hex_des::Duration;
-use hex_sim::{simulate, PulseView, SimConfig};
 use hex_theory::adversary::{byzantine_ramp, ByzProfile, Construction};
 
-fn run(c: &Construction) -> PulseView {
-    let cfg = SimConfig {
-        delays: c.delays.clone(),
-        faults: c.faults.clone(),
-        ..SimConfig::fault_free()
-    };
-    let trace = simulate(c.grid.graph(), &c.schedule, &cfg, 1);
-    PulseView::from_single_pulse(&c.grid, &trace)
+fn run(c: &Construction) -> RunView {
+    construction_spec(c, 1).run_single()
 }
 
 fn main() {
@@ -36,7 +30,8 @@ fn main() {
     for profile in ByzProfile::sweep() {
         for byz_col in 0..width {
             let c = byzantine_ramp(length, width, byz_layer, byz_col, profile, delays);
-            let view = run(&c);
+            let rv = run(&c);
+            let view = rv.view();
             let ((la, ca), (lb, cb)) = c.focus;
             let (Some(ta), Some(tb)) = (view.time(la, ca), view.time(lb, cb)) else {
                 continue;

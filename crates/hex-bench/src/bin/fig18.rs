@@ -7,10 +7,10 @@
 //! stabilizes after the very first pulse"; for large C the averages go up
 //! moderately and some runs fail to stabilize within 10 pulses (< 25%).
 
-use hex_bench::{stabilization_sweep, Experiment};
+use hex_bench::{stabilization_sweep, RunSpec};
 use hex_clock::Scenario;
 
 fn main() {
-    let exp = Experiment::from_env();
-    stabilization_sweep(&exp, Scenario::RandomDPlus, "Fig. 18", 10);
+    let spec = RunSpec::from_env().scenario(Scenario::RandomDPlus);
+    stabilization_sweep(&spec, "Fig. 18", 10);
 }

@@ -1,10 +1,10 @@
 //! Fig. 19 — stabilization times under scenario (iv) (ramp layer-0 skews):
 //! the companion of Fig. 18 with the adversarial source pattern.
 
-use hex_bench::{stabilization_sweep, Experiment};
+use hex_bench::{stabilization_sweep, RunSpec};
 use hex_clock::Scenario;
 
 fn main() {
-    let exp = Experiment::from_env();
-    stabilization_sweep(&exp, Scenario::Ramp, "Fig. 19", 10);
+    let spec = RunSpec::from_env().scenario(Scenario::Ramp);
+    stabilization_sweep(&spec, "Fig. 19", 10);
 }

@@ -14,44 +14,37 @@
 //! cargo run --release -p hex-bench --bin fig20
 //! ```
 
-use hex_bench::{scenario_separation, scenario_timing, Experiment};
-use hex_clock::{PulseTrain, Scenario};
-use hex_core::DelayRange;
+use hex_bench::RunSpec;
+use hex_clock::Scenario;
 use hex_des::{Duration, SimRng, Time};
-use hex_sim::{assign_pulses, simulate, SimConfig};
 use hex_topo::freqmul::{tick_stream_skew, FreqMultiplier};
 
 const THETA: f64 = 1.05;
 const PULSES: usize = 6;
 
 fn main() {
-    let exp = Experiment::from_env();
-    let scenario = Scenario::RandomDPlus;
-    let grid = exp.grid();
-    let separation = scenario_separation(scenario);
+    let spec = RunSpec::from_env()
+        .scenario(Scenario::RandomDPlus)
+        .pulses(PULSES);
+    let grid = spec.hex_grid();
+    let separation = spec.separation();
     println!(
         "Fig. 20: frequency multiplication, {}x{} grid, scenario {}, S = {:.2} ns, θ = {THETA}",
-        exp.length,
-        exp.width,
-        scenario.label(),
+        spec.length,
+        spec.width,
+        spec.scenario.label(),
         separation.ns()
     );
 
     // One representative multi-pulse run.
-    let mut rng = SimRng::seed_from_u64(exp.seed);
-    let schedule = PulseTrain::new(scenario, PULSES, separation).generate(exp.width, &mut rng);
-    let cfg = SimConfig {
-        timing: scenario_timing(scenario),
-        ..SimConfig::fault_free()
-    };
-    let trace = simulate(grid.graph(), &schedule, &cfg, exp.seed);
-    let views = assign_pulses(&grid, &trace, &schedule, DelayRange::paper().mid());
+    let rv = spec.run_single();
+    let views = &rv.views;
 
     // Per-node pulse trains and the measured pulse-separation floor Δ_min.
     let mut pulse_times: Vec<Vec<Time>> = vec![Vec::new(); grid.node_count()];
-    for v in &views {
-        for layer in 0..=exp.length {
-            for col in 0..exp.width as i64 {
+    for v in views {
+        for layer in 0..=spec.length {
+            for col in 0..spec.width as i64 {
                 let n = grid.node(layer, col);
                 pulse_times[n as usize].push(v.time(layer, col).expect("clean run"));
             }
@@ -65,9 +58,9 @@ fn main() {
     // Worst measured HEX neighbor skew of this run (intra + inter, all
     // pulses) — the base term of the fast-skew decomposition.
     let mut hex_skew = Duration::ZERO;
-    for v in &views {
-        for layer in 1..=exp.length {
-            for col in 0..exp.width as i64 {
+    for v in views {
+        for layer in 1..=spec.length {
+            for col in 0..spec.width as i64 {
                 let t = v.time(layer, col).unwrap();
                 for (l2, c2) in [(layer, col + 1), (layer - 1, col), (layer - 1, col + 1)] {
                     hex_skew = hex_skew.max(t.abs_diff(v.time(l2, c2).unwrap()));
@@ -94,13 +87,13 @@ fn main() {
         if fits {
             // Each node's oscillator drifts independently; ticks are
             // aligned per (pulse, j) between neighbors.
-            let mut tick_rng = SimRng::seed_from_u64(exp.seed ^ 0xF16_20);
+            let mut tick_rng = SimRng::seed_from_u64(spec.seed ^ 0xF16_20);
             let ticks: Vec<Vec<Time>> = pulse_times
                 .iter()
                 .map(|ts| fm.ticks(ts, &mut tick_rng))
                 .collect();
-            for layer in 1..=exp.length {
-                for col in 0..exp.width as i64 {
+            for layer in 1..=spec.length {
+                for col in 0..spec.width as i64 {
                     let n = grid.node(layer, col) as usize;
                     for (l2, c2) in [(layer, col + 1), (layer - 1, col), (layer - 1, col + 1)] {
                         let m2 = grid.node(l2, c2) as usize;

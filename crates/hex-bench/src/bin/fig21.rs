@@ -6,37 +6,36 @@
 //! ring so the node count grows with the annulus circumference —
 //! doubling layers become less frequent with distance from the center.
 //! This driver builds that topology, pushes pulses through the unchanged
-//! Algorithm-1 pipeline, and reports per-ring skews against the
-//! Theorem-1-style bound for each ring's width, next to a plain cylinder
-//! of the final width — the Section-5 conjecture is that the doubling
-//! variant is no worse.
+//! Algorithm-1 pipeline (via [`RunSpec::simulate_on`]), and reports
+//! per-ring skews against the Theorem-1-style bound for each ring's width,
+//! next to a plain cylinder of the final width — the Section-5 conjecture
+//! is that the doubling variant is no worse.
 //!
 //! ```text
 //! cargo run --release -p hex-bench --bin fig21
 //! ```
 
 use hex_analysis::stats::Summary;
-use hex_core::{DelayRange, HexGrid};
-use hex_des::{Duration, Schedule, Time};
-use hex_sim::{simulate, PulseView, SimConfig};
+use hex_bench::{RunSpec, TimingPolicy};
+use hex_core::DelayRange;
+use hex_des::{Duration, Time};
 use hex_theory::theorem1_intra_bound;
 use hex_topo::doubling::DoublingTopology;
 
 fn main() {
-    let runs: usize = std::env::var("HEX_RUNS")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(100);
-    let seed: u64 = std::env::var("HEX_SEED")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(42);
-
     // Fig. 21's shape: doubling layers at 1, 2, 4, 8 — less frequent with
     // distance from the center. 4 sources grow to a 64-wide outer ring.
     let initial = 4u32;
     let length = 12u32;
     let doubling = [1u32, 2, 4, 8];
+
+    // 100 runs by default (not the paper's 250: the topology is a Section-5
+    // conjecture check, not a paper table), HEX_RUNS/HEX_SEED still apply.
+    let spec = RunSpec::grid(length, initial)
+        .runs(100)
+        .timing(TimingPolicy::Generous)
+        .with_env();
+
     let topo = DoublingTopology::new(initial, length, &doubling);
     println!(
         "Fig. 21: doubling topology, {} sources, {} layers, doubling at {:?}, {} nodes, {} runs",
@@ -44,14 +43,13 @@ fn main() {
         length,
         doubling,
         topo.node_count(),
-        runs
+        spec.runs
     );
 
     // Per-ring skew statistics across runs.
     let mut per_layer: Vec<Vec<Duration>> = vec![Vec::new(); (length + 1) as usize];
-    for run in 0..runs {
-        let sched = Schedule::single_pulse(vec![Time::ZERO; initial as usize]);
-        let trace = simulate(topo.graph(), &sched, &SimConfig::fault_free(), seed + run as u64);
+    for run in 0..spec.runs {
+        let trace = spec.simulate_on(topo.graph(), run);
         let fires: Vec<Option<Time>> = (0..topo.node_count())
             .map(|n| trace.unique_fire(n as u32))
             .collect();
@@ -87,14 +85,15 @@ fn main() {
     }
 
     // Plain cylinder of the final width for comparison (same number of
-    // layers above the last doubling).
+    // layers above the last doubling), as a parallel RunSpec batch.
     let final_w = topo.width(length);
-    let grid = HexGrid::new(length, final_w);
+    let plain_spec = RunSpec::grid(length, final_w)
+        .runs(spec.runs)
+        .seed(spec.seed ^ 0xF16)
+        .timing(TimingPolicy::Generous);
     let mut plain: Vec<Duration> = Vec::new();
-    for run in 0..runs {
-        let sched = Schedule::single_pulse(vec![Time::ZERO; final_w as usize]);
-        let trace = simulate(grid.graph(), &sched, &SimConfig::fault_free(), seed ^ 0xF16 + run as u64);
-        let view = PulseView::from_single_pulse(&grid, &trace);
+    for rv in plain_spec.run_batch() {
+        let view = rv.view();
         for layer in 1..=length {
             for col in 0..final_w as i64 {
                 let (a, b) = (view.time(layer, col).unwrap(), view.time(layer, col + 1).unwrap());

@@ -5,9 +5,9 @@
 //! Lemma-4 worst case.
 
 use hex_analysis::wave::wave_ascii;
+use hex_bench::construction_spec;
 use hex_clock::Scenario;
 use hex_des::Time;
-use hex_sim::{simulate, PulseView, SimConfig};
 use hex_theory::adversary::fault_free_worst_case;
 use hex_theory::bounds::Theorem1;
 
@@ -16,19 +16,14 @@ fn main() {
     let (length, width, fast_col, barrier_col) = (20u32, 20u32, 8u32, 16u32);
     let c = fault_free_worst_case(length, width, fast_col, barrier_col, delays);
 
-    let cfg = SimConfig {
-        delays: c.delays.clone(),
-        faults: c.faults.clone(),
-        ..SimConfig::fault_free()
-    };
-    let trace = simulate(c.grid.graph(), &c.schedule, &cfg, 1);
-    let view = PulseView::from_single_pulse(&c.grid, &trace);
+    let rv = construction_spec(&c, 1).run_single();
+    let view = rv.view();
 
     println!(
         "Fig. 5: fault-free worst case ({}x{}, dead barrier col {}, fast cols 0..={})",
         length, width, barrier_col, fast_col
     );
-    print!("{}", wave_ascii(&c.grid, &view, length));
+    print!("{}", wave_ascii(&c.grid, view, length));
 
     let ((la, ca), (lb, cb)) = c.focus;
     let ta = view.time(la, ca).expect("fast node fired");

@@ -3,23 +3,24 @@
 //! The paper shows a 3D plot of a typical wave on a 50×20 grid, truncated
 //! to 30 layers: "the wave propagates evenly throughout the grid, nicely
 //! smoothing out the initial skew differences". We print the ASCII relief,
-//! the per-layer wave front, and emit the full CSV for external plotting.
+//! the per-layer wave front, and emit the full wave as CSV/JSON
+//! (`HEX_EMIT`) for external plotting.
 
-use hex_analysis::wave::{wave_ascii, wave_csv, wave_front};
-use hex_bench::{single_wave, Experiment, FaultRegime};
+use hex_analysis::wave::{wave_ascii, wave_front};
+use hex_bench::{wave_table, Emitter, RunSpec};
 use hex_clock::Scenario;
 
 fn main() {
-    let exp = Experiment::from_env();
-    let rv = single_wave(&exp, Scenario::Zero, FaultRegime::None);
-    let grid = exp.grid();
+    let spec = RunSpec::from_env().scenario(Scenario::Zero);
+    let rv = spec.run_single();
+    let grid = spec.hex_grid();
     println!(
         "Fig. 8: pulse wave, scenario (i), {}x{} grid (ASCII relief, 30 layers)",
-        exp.length, exp.width
+        spec.length, spec.width
     );
-    print!("{}", wave_ascii(&grid, &rv.view, 30));
+    print!("{}", wave_ascii(&grid, rv.view(), 30));
     println!("\nwave front (layer: min..max trigger time, ns):");
-    for (layer, span) in wave_front(&grid, &rv.view) {
+    for (layer, span) in wave_front(&grid, rv.view()) {
         if layer > 30 {
             break;
         }
@@ -27,7 +28,5 @@ fn main() {
             println!("  {layer:>3}: {lo:8.3} .. {hi:8.3}  (spread {:.3})", hi - lo);
         }
     }
-    if std::env::var("HEX_CSV").is_ok() {
-        println!("\n{}", wave_csv(&grid, &rv.view));
-    }
+    Emitter::from_env().emit(&wave_table("fig8_wave", &grid, rv.view()));
 }

@@ -4,21 +4,21 @@
 //! The wave starts strongly tilted (the ramp) and the tilt visibly smooths
 //! out after ≈ W − 2 layers, in accordance with Lemma 3.
 
-use hex_analysis::wave::{wave_ascii, wave_csv, wave_front};
-use hex_bench::{single_wave, Experiment, FaultRegime};
+use hex_analysis::wave::{wave_ascii, wave_front};
+use hex_bench::{wave_table, Emitter, RunSpec};
 use hex_clock::Scenario;
 
 fn main() {
-    let exp = Experiment::from_env();
-    let rv = single_wave(&exp, Scenario::Ramp, FaultRegime::None);
-    let grid = exp.grid();
+    let spec = RunSpec::from_env().scenario(Scenario::Ramp);
+    let rv = spec.run_single();
+    let grid = spec.hex_grid();
     println!(
         "Fig. 9: pulse wave, scenario (iv) ramp d+, {}x{} grid (ASCII relief, 30 layers)",
-        exp.length, exp.width
+        spec.length, spec.width
     );
-    print!("{}", wave_ascii(&grid, &rv.view, 30));
+    print!("{}", wave_ascii(&grid, rv.view(), 30));
     println!("\nwave front (layer: min..max trigger time, ns):");
-    for (layer, span) in wave_front(&grid, &rv.view) {
+    for (layer, span) in wave_front(&grid, rv.view()) {
         if layer > 30 {
             break;
         }
@@ -26,7 +26,5 @@ fn main() {
             println!("  {layer:>3}: {lo:8.3} .. {hi:8.3}  (spread {:.3})", hi - lo);
         }
     }
-    if std::env::var("HEX_CSV").is_ok() {
-        println!("\n{}", wave_csv(&grid, &rv.view));
-    }
+    Emitter::from_env().emit(&wave_table("fig9_wave", &grid, rv.view()));
 }

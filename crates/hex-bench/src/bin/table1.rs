@@ -12,22 +12,21 @@
 //! (iv)  ramp d+             1.860  7.639  8.191      0.357 7.262 8.642 14.834 16.390
 //! ```
 
-use hex_bench::{batch_skews, single_pulse_batch, table_row, Experiment, FaultRegime};
+use hex_bench::{batch_skews, table_row, RunSpec};
 use hex_clock::Scenario;
 
 fn main() {
-    let exp = Experiment::from_env();
+    let base = RunSpec::from_env();
     println!(
         "Table 1: skews (ns), {} runs on a {}x{} grid, fault-free",
-        exp.runs, exp.length, exp.width
+        base.runs, base.length, base.width
     );
     println!(
         "{:<24} | {:>7} {:>7} {:>7} | {:>7} {:>7} {:>7} {:>7} {:>7}",
         "scenario", "avg", "q95", "max", "min", "q5", "avg", "q95", "max"
     );
     for scenario in Scenario::ALL {
-        let views = single_pulse_batch(&exp, scenario, FaultRegime::None);
-        let skews = batch_skews(&exp, &views, 0);
+        let skews = batch_skews(&base.clone().scenario(scenario), 0);
         println!("{}", table_row(scenario.label(), &skews));
     }
 }

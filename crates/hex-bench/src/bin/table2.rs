@@ -12,22 +12,21 @@
 //! (iv)  ramp d+             1.973  7.660 34.590    −19.695 7.260 8.690 14.866 24.305
 //! ```
 
-use hex_bench::{batch_skews, single_pulse_batch, table_row, Experiment, FaultRegime};
+use hex_bench::{batch_skews, table_row, FaultRegime, RunSpec};
 use hex_clock::Scenario;
 
 fn main() {
-    let exp = Experiment::from_env();
+    let base = RunSpec::from_env().faults(FaultRegime::Byzantine(1));
     println!(
         "Table 2: skews (ns), {} runs on a {}x{} grid, one Byzantine node",
-        exp.runs, exp.length, exp.width
+        base.runs, base.length, base.width
     );
     println!(
         "{:<24} | {:>7} {:>7} {:>7} | {:>7} {:>7} {:>7} {:>7} {:>7}",
         "scenario", "avg", "q95", "max", "min", "q5", "avg", "q95", "max"
     );
     for scenario in Scenario::ALL {
-        let views = single_pulse_batch(&exp, scenario, FaultRegime::Byzantine(1));
-        let skews = batch_skews(&exp, &views, 0);
+        let skews = batch_skews(&base.clone().scenario(scenario), 0);
         println!("{}", table_row(scenario.label(), &skews));
     }
 }

@@ -16,9 +16,8 @@
 //! second block.
 
 use hex_clock::Scenario;
+use hex_core::condition2::{Condition2, TABLE3_SIGMA_NS};
 use hex_des::Duration;
-use hex_theory::condition2::TABLE3_SIGMA_NS;
-use hex_theory::Condition2;
 
 fn print_block(title: &str, pulse_width: Duration) {
     println!("{title}");

@@ -9,7 +9,7 @@
 
 use hex_analysis::skew::{exclusion_mask, per_layer_max_intra};
 use hex_analysis::stats::Summary;
-use hex_bench::{batch_skews, single_pulse_batch, Experiment, FaultRegime};
+use hex_bench::{batch_skews_from_views, RunSpec};
 use hex_clock::Scenario;
 use hex_core::{D_MINUS, D_PLUS};
 use hex_des::Duration;
@@ -17,13 +17,13 @@ use hex_des::SimRng;
 use hex_theory::bounds::Theorem1;
 
 fn main() {
-    let exp = Experiment::from_env();
+    let base = RunSpec::from_env();
     let delays = hex_core::DelayRange::paper();
     println!(
         "Theorem 1 cross-check: {} runs, {}x{} grid, eps <= d+/7: {}",
-        exp.runs,
-        exp.length,
-        exp.width,
+        base.runs,
+        base.length,
+        base.width,
         delays.satisfies_theorem1_constraint()
     );
     println!(
@@ -33,20 +33,24 @@ fn main() {
     for scenario in Scenario::ALL {
         // Worst-case potential of the scenario (max over a sampling of
         // offset draws; exact for deterministic scenarios).
-        let mut rng = SimRng::seed_from_u64(exp.seed);
+        let mut rng = SimRng::seed_from_u64(base.seed);
         let mut pot = Duration::ZERO;
         for _ in 0..32 {
-            let offs = scenario.offsets(exp.width, D_MINUS, D_PLUS, &mut rng);
+            let offs = scenario.offsets(base.width, D_MINUS, D_PLUS, &mut rng);
             pot = pot.max(Scenario::skew_potential(&offs, D_MINUS));
         }
         let thm = Theorem1 {
-            width: exp.width,
-            length: exp.length,
+            width: base.width,
+            length: base.length,
             delays,
             potential0: pot,
         };
-        let views = single_pulse_batch(&exp, scenario, FaultRegime::None);
-        let skews = batch_skews(&exp, &views, 0);
+        let spec = base.clone().scenario(scenario);
+        let grid = spec.hex_grid();
+        // The per-layer ramp detail below needs the views themselves, so
+        // materialize once and fold sequentially.
+        let views = spec.run_batch();
+        let skews = batch_skews_from_views(&grid, &views, 0);
         let measured = Summary::from_durations(&skews.cumulated.intra).unwrap();
         let bound = thm.intra_max();
         let ok = measured.max <= bound.ns() + 1e-9;
@@ -62,18 +66,17 @@ fn main() {
 
         if scenario == Scenario::Ramp {
             // Per-layer detail: the transient (ℓ < 2W−2) vs steady regime.
-            let grid = exp.grid();
             let mask = exclusion_mask(&grid, &[], 0);
             let mut transient_max = Duration::ZERO;
             let mut steady_max = Duration::ZERO;
             for rv in &views {
-                for (ix, s) in per_layer_max_intra(&grid, &rv.view, &mask)
+                for (ix, s) in per_layer_max_intra(&grid, rv.view(), &mask)
                     .into_iter()
                     .enumerate()
                 {
                     let layer = ix as u32 + 1;
                     if let Some(s) = s {
-                        if layer <= 2 * exp.width - 3 {
+                        if layer <= 2 * base.width - 3 {
                             transient_max = transient_max.max(s);
                         } else {
                             steady_max = steady_max.max(s);
@@ -84,7 +87,7 @@ fn main() {
             println!(
                 "    ramp detail: transient layers max {:.3} ns (bound {:.3}), steady layers max {:.3} ns (bound {:.3})",
                 transient_max.ns(),
-                thm.intra(1).ns().max(thm.intra(2 * exp.width - 3).ns()),
+                thm.intra(1).ns().max(thm.intra(2 * base.width - 3).ns()),
                 steady_max.ns(),
                 thm.steady_intra().ns()
             );

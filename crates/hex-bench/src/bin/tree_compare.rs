@@ -12,11 +12,9 @@
 
 use hex_analysis::skew::{collect_skews, exclusion_mask};
 use hex_analysis::stats::Summary;
-use hex_bench::zero_schedule;
-use hex_core::HexGrid;
-use hex_des::SimRng;
-use hex_sim::{simulate, PulseView, SimConfig};
+use hex_bench::{zero_schedule, FaultRegime, RunSpec, TimingPolicy};
 use hex_core::{FaultPlan, NodeFault};
+use hex_des::SimRng;
 use hex_tree::{
     blast_radius, leaf_skews, neighbor_wire_distance, worst_blast_radius, HTree, HTreeConfig,
 };
@@ -54,7 +52,10 @@ fn main() {
 
         // --- HEX of comparable size: (side-1) layers x side columns ---
         let (l, w) = ((side as u32).max(2) - 1, (side as u32).max(3));
-        let grid = HexGrid::new(l.max(1), w);
+        let base = RunSpec::grid(l.max(1), w)
+            .schedule(zero_schedule(w))
+            .timing(TimingPolicy::Generous);
+        let grid = base.hex_grid();
         // Neighbor wire in a HEX embedding is one grid pitch by
         // construction (Section 1: Θ(1) with optimal layout).
         let hex_nbr_wire = 1.0f64;
@@ -62,11 +63,13 @@ fn main() {
         // correct nodes it actually silences: zero; the damage is a bounded
         // skew perturbation, not an outage.
         let victim = grid.node(l / 2, (w / 2) as i64);
-        let cfg = SimConfig {
-            faults: FaultPlan::none().with_node(victim, NodeFault::FailSilent),
-            ..SimConfig::fault_free()
-        };
-        let trace = simulate(grid.graph(), &zero_schedule(w), &cfg, 1);
+        let (trace, _) = base
+            .clone()
+            .faults(FaultRegime::Plan(
+                FaultPlan::none().with_node(victim, NodeFault::FailSilent),
+            ))
+            .seed(1)
+            .trace(0);
         let silenced = grid
             .graph()
             .node_ids()
@@ -76,15 +79,8 @@ fn main() {
 
         let mut hex_sk = Vec::new();
         let mask = exclusion_mask(&grid, &[], 0);
-        for seed in 0..20u64 {
-            let trace = simulate(
-                grid.graph(),
-                &zero_schedule(w),
-                &SimConfig::fault_free(),
-                seed,
-            );
-            let view = PulseView::from_single_pulse(&grid, &trace);
-            hex_sk.extend(collect_skews(&grid, &view, &mask).intra);
+        for rv in base.clone().seed(0).runs(20).run_batch() {
+            hex_sk.extend(collect_skews(&grid, rv.view(), &mask).intra);
         }
         let hex_skew = Summary::from_durations(&hex_sk).unwrap();
 

@@ -17,13 +17,10 @@
 //! cargo run --release -p hex-bench --bin variation
 //! ```
 
-use hex_analysis::skew::{collect_skews, exclusion_mask};
 use hex_analysis::stats::Summary;
-use hex_bench::Experiment;
+use hex_bench::{batch_skews, RunSpec, TimingPolicy};
 use hex_clock::Scenario;
-use hex_core::{DelayModel, DelayRange, SpatialVariation, D_MINUS, D_PLUS};
-use hex_des::{Schedule, SimRng};
-use hex_sim::{simulate, PulseView, SimConfig};
+use hex_core::{DelayModel, DelayRange, SpatialVariation};
 use hex_theory::theorem1_intra_bound;
 
 fn spatial(layer_gradient: f64, column_wave: f64, jitter: f64) -> DelayModel {
@@ -36,16 +33,18 @@ fn spatial(layer_gradient: f64, column_wave: f64, jitter: f64) -> DelayModel {
 }
 
 fn main() {
-    let exp = Experiment::from_env();
-    let scenario = Scenario::RandomDPlus;
-    let grid = exp.grid();
-    let bound = theorem1_intra_bound(exp.width, DelayRange::paper());
+    // Generous single-pulse timeouts, like the pre-RunSpec version of this
+    // driver — the published prose below quotes those numbers.
+    let base = RunSpec::from_env()
+        .scenario(Scenario::RandomDPlus)
+        .timing(TimingPolicy::Generous);
+    let bound = theorem1_intra_bound(base.width, DelayRange::paper());
     println!(
         "Process variation: {}x{} grid, scenario {}, {} runs; Theorem-1 bound {:.3} ns\n",
-        exp.length,
-        exp.width,
-        scenario.label(),
-        exp.runs,
+        base.length,
+        base.width,
+        base.scenario.label(),
+        base.runs,
         bound.ns()
     );
 
@@ -65,25 +64,9 @@ fn main() {
         "delay model", "intra avg", "q95", "max", "inter avg", "max", "bound use"
     );
     for (label, model) in models {
-        let mut intra = Vec::new();
-        let mut inter = Vec::new();
-        for run in 0..exp.runs {
-            let seed = exp.seed + run as u64;
-            let mut rng = SimRng::seed_from_u64(seed ^ 0x5A71);
-            let offsets = scenario.single_pulse_times(exp.width, D_MINUS, D_PLUS, &mut rng);
-            let cfg = SimConfig {
-                delays: model.clone(),
-                ..SimConfig::fault_free()
-            };
-            let trace = simulate(grid.graph(), &Schedule::single_pulse(offsets), &cfg, seed);
-            let view = PulseView::from_single_pulse(&grid, &trace);
-            let mask = exclusion_mask(&grid, &[], 0);
-            let s = collect_skews(&grid, &view, &mask);
-            intra.extend(s.intra);
-            inter.extend(s.inter);
-        }
-        let si = Summary::from_durations(&intra).unwrap();
-        let se = Summary::from_durations(&inter).unwrap();
+        let skews = batch_skews(&base.clone().delays(model), 0);
+        let si = Summary::from_durations(&skews.cumulated.intra).unwrap();
+        let se = Summary::from_durations(&skews.cumulated.inter).unwrap();
         assert!(
             si.max <= bound.ns() + 1e-9,
             "{label}: measured max {:.3} exceeds the Theorem-1 bound {:.3}",

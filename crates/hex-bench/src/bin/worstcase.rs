@@ -4,9 +4,9 @@
 //! Quantifies how much of the analytic worst case each method reaches —
 //! the tightness story of Section 3.1 (Fig. 5 and the Lemma-4 remark).
 
+use hex_bench::construction_spec;
 use hex_core::{DelayRange, HexGrid};
 use hex_des::{SimRng, Time};
-use hex_sim::{simulate, PulseView, SimConfig};
 use hex_theory::adversary::fault_free_worst_case;
 use hex_theory::appendix_a::single_fault_intra_bound;
 use hex_theory::bounds::Theorem1;
@@ -29,18 +29,13 @@ fn main() {
 
     // 3. The hand construction of Fig. 5 (barrier + skew potential).
     let c = fault_free_worst_case(l, w, 8, 16, delays);
-    let cfg = SimConfig {
-        delays: c.delays.clone(),
-        faults: c.faults.clone(),
-        ..SimConfig::fault_free()
-    };
-    let trace = simulate(c.grid.graph(), &c.schedule, &cfg, 1);
-    let view = PulseView::from_single_pulse(&c.grid, &trace);
+    let rv = construction_spec(&c, 1).run_single();
     let ((la, ca), (lb, cb)) = c.focus;
-    let constructed = view
+    let constructed = rv
+        .view()
         .time(la, ca)
         .unwrap()
-        .abs_diff(view.time(lb, cb).unwrap());
+        .abs_diff(rv.view().time(lb, cb).unwrap());
 
     // 4. Theorem-1 bounds.
     let steady = Theorem1 {

@@ -1,279 +1,108 @@
 //! # hex-bench — experiment drivers for every table and figure
 //!
 //! Each binary in `src/bin/` regenerates one table or figure of the paper's
-//! evaluation (see DESIGN.md for the full index); this library holds the
-//! shared drivers so the binaries stay declarative. Criterion benches under
-//! `benches/` time the underlying kernels and run reduced versions of the
-//! experiment pipelines.
+//! evaluation (see DESIGN.md for the full index). Since the `RunSpec`
+//! redesign the experiment vocabulary itself — grid shape, scenarios, fault
+//! regimes, Table-3 timing, seeding — lives in [`hex_sim::spec`], and the
+//! reductions (skews, stabilization estimates) in [`hex_analysis::reduce`];
+//! this library only keeps the *presentation* drivers (paper-layout rows,
+//! the Fig. 15/16 and Fig. 18/19 sweep printers) so the binaries stay
+//! declarative. Criterion benches under `benches/` time the underlying
+//! kernels and run reduced versions of the experiment pipelines.
 //!
-//! Environment knobs honored by all binaries:
+//! Environment knobs honored by all binaries (via [`RunSpec::from_env`] /
+//! [`RunSpec::with_env`]):
 //!
 //! * `HEX_RUNS` — runs per configuration (default 250, the paper's count);
 //! * `HEX_SEED` — base seed (default 42);
-//! * `HEX_THREADS` — worker threads (default: available parallelism).
+//! * `HEX_THREADS` — worker threads (default: available parallelism);
+//! * `HEX_EMIT` — `csv`/`json` machine-readable output next to the text
+//!   (legacy alias: setting `HEX_CSV` selects CSV).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use hex_analysis::skew::{collect_skews, exclusion_mask, SkewSamples};
+use hex_analysis::reduce::StabilizationReducer;
 use hex_analysis::stats::Summary;
-use hex_core::fault::{forwarder_candidates, place_condition1};
-use hex_core::{FaultPlan, HexGrid, NodeFault, NodeId, Timing, D_MINUS, D_PLUS};
-use hex_clock::{PulseTrain, Scenario};
-use hex_des::{Duration, Schedule, SimRng, Time};
-use hex_sim::{assign_pulses, run_batch, simulate, InitState, PulseView, SimConfig};
-use hex_theory::condition2::TABLE3_SIGMA_NS;
-use hex_theory::Condition2;
+use hex_core::{D_MINUS, D_PLUS};
+use hex_des::{Duration, Schedule, Time};
 
-/// Global experiment configuration (grid shape, runs, seeding, threads).
-#[derive(Debug, Clone, Copy)]
-pub struct Experiment {
-    /// Grid length `L` (default 50).
-    pub length: u32,
-    /// Grid width `W` (default 20).
-    pub width: u32,
-    /// Runs per configuration (default 250).
-    pub runs: usize,
-    /// Base seed; run `r` uses `seed + r`.
-    pub seed: u64,
-    /// Worker threads.
-    pub threads: usize,
+pub use hex_analysis::emit::{Emitter, Table, Value};
+pub use hex_analysis::reduce::{batch_skews, batch_skews_from_views, BatchSkews};
+pub use hex_sim::spec::{
+    scenario_separation, scenario_timing, FaultRegime, RunSpec, RunView, TimingPolicy,
+};
+
+use hex_clock::Scenario;
+
+/// A single-run spec reproducing a deterministic adversarial
+/// [`Construction`](hex_theory::adversary::Construction) (Fig. 5, Fig. 17,
+/// the worst-case landscape): explicit delay tables, fault plan and
+/// layer-0 schedule, generous single-pulse timeouts.
+pub fn construction_spec(c: &hex_theory::adversary::Construction, seed: u64) -> RunSpec {
+    RunSpec::grid(c.grid.length(), c.grid.width())
+        .runs(1)
+        .threads(1)
+        .seed(seed)
+        .delays(c.delays.clone())
+        .faults(FaultRegime::Plan(c.faults.clone()))
+        .schedule(c.schedule.clone())
+        .timing(TimingPolicy::Generous)
 }
 
-impl Experiment {
-    /// The paper's setup: 50×20 grid, 250 runs.
-    pub fn paper() -> Self {
-        Experiment {
-            length: 50,
-            width: 20,
-            runs: 250,
-            seed: 42,
-            threads: hex_sim::batch::default_threads(),
+/// The full triggering-time matrix of a wave as a
+/// `(layer, col, t_ns, cause)` emit table (Figs. 8/9/13/14).
+pub fn wave_table(name: &str, grid: &hex_core::HexGrid, view: &hex_sim::PulseView) -> Table {
+    use hex_analysis::wave::cause_label;
+    let mut t = Table::new(name, &["layer", "col", "t_ns", "cause"]);
+    for layer in 0..=grid.length() {
+        for col in 0..grid.width() {
+            let time = view
+                .time(layer, col as i64)
+                .map(|at| (at - Time::ZERO).ns());
+            t.row(vec![
+                Value::from(layer),
+                Value::from(col),
+                Value::from(time),
+                Value::from(cause_label(view.trigger_cause(layer, col as i64))),
+            ]);
         }
     }
+    t
+}
 
-    /// Paper setup with `HEX_RUNS` / `HEX_SEED` / `HEX_THREADS` overrides.
-    pub fn from_env() -> Self {
-        let mut e = Experiment::paper();
-        if let Ok(v) = std::env::var("HEX_RUNS") {
-            e.runs = v.parse().expect("HEX_RUNS must be a number");
-        }
-        if let Ok(v) = std::env::var("HEX_SEED") {
-            e.seed = v.parse().expect("HEX_SEED must be a number");
-        }
-        if let Ok(v) = std::env::var("HEX_THREADS") {
-            e.threads = v.parse().expect("HEX_THREADS must be a number");
-        }
-        e
+/// A histogram as a `(bin_lo_ns, bin_hi_ns, count)` emit table
+/// (Figs. 10/11).
+pub fn histogram_table(name: &str, h: &hex_analysis::histogram::Histogram) -> Table {
+    let mut t = Table::new(name, &["bin_lo_ns", "bin_hi_ns", "count"]);
+    for (lo, hi, count) in h.rows() {
+        t.row(vec![
+            Value::from(lo.ns()),
+            Value::from(hi.ns()),
+            Value::from(count),
+        ]);
     }
+    t
+}
 
-    /// A smaller setup for unit tests and criterion benches.
-    pub fn small() -> Self {
-        Experiment {
-            length: 12,
-            width: 8,
-            runs: 20,
-            seed: 42,
-            threads: 2,
-        }
+/// A per-layer skew series as an emit table (Fig. 12).
+pub fn layer_table(name: &str, rows: &[hex_analysis::layers::LayerRow]) -> Table {
+    let mut t = Table::new(
+        name,
+        &["layer", "min", "q5", "avg", "q95", "max", "std"],
+    );
+    for r in rows {
+        t.row(vec![
+            Value::from(r.layer),
+            Value::from(r.summary.min),
+            Value::from(r.summary.q05),
+            Value::from(r.summary.avg),
+            Value::from(r.summary.q95),
+            Value::from(r.summary.max),
+            Value::from(r.summary.std),
+        ]);
     }
-
-    /// Build the grid.
-    pub fn grid(&self) -> HexGrid {
-        HexGrid::new(self.length, self.width)
-    }
-}
-
-/// Fault regime of a run batch.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum FaultRegime {
-    /// No faults.
-    None,
-    /// `f` Byzantine nodes placed per run under Condition 1.
-    Byzantine(usize),
-    /// `f` fail-silent nodes placed per run under Condition 1.
-    FailSilent(usize),
-    /// A fixed Byzantine node (Fig. 13 uses `(1, 19)`).
-    FixedByzantine(u32, u32),
-}
-
-impl FaultRegime {
-    /// The nominal fault count `f`.
-    pub fn f(&self) -> usize {
-        match self {
-            FaultRegime::None => 0,
-            FaultRegime::Byzantine(f) | FaultRegime::FailSilent(f) => *f,
-            FaultRegime::FixedByzantine(..) => 1,
-        }
-    }
-
-    /// Materialize the fault plan for one run.
-    pub fn plan(&self, grid: &HexGrid, rng: &mut SimRng) -> FaultPlan {
-        match *self {
-            FaultRegime::None => FaultPlan::none(),
-            FaultRegime::FixedByzantine(l, c) => {
-                FaultPlan::none().with_node(grid.node(l, c as i64), NodeFault::Byzantine)
-            }
-            FaultRegime::Byzantine(f) | FaultRegime::FailSilent(f) => {
-                let kind = if matches!(self, FaultRegime::Byzantine(_)) {
-                    NodeFault::Byzantine
-                } else {
-                    NodeFault::FailSilent
-                };
-                let candidates = forwarder_candidates(grid.graph());
-                let placed = place_condition1(grid.graph(), &candidates, f, rng, 10_000)
-                    .expect("Condition-1 placement feasible");
-                FaultPlan::none().with_nodes(&placed, kind)
-            }
-        }
-    }
-}
-
-/// Result of one single-pulse run: the pulse view plus the faulty node set.
-#[derive(Debug, Clone)]
-pub struct RunView {
-    /// Triggering-time matrix.
-    pub view: PulseView,
-    /// Faulty nodes of this run.
-    pub faulty: Vec<NodeId>,
-}
-
-/// Run `exp.runs` independent single-pulse simulations of `scenario` under
-/// `regime` and return their views. Timing uses generous timeouts (the
-/// single-pulse regime of Section 3.1) unless faults are present, in which
-/// case the Table-3-style timeouts for the scenario apply (stuck-at-1 links
-/// interact with link timeouts).
-pub fn single_pulse_batch(exp: &Experiment, scenario: Scenario, regime: FaultRegime) -> Vec<RunView> {
-    let grid = exp.grid();
-    run_batch(exp.runs, exp.threads, |run| {
-        let seed = exp.seed + run as u64;
-        let mut rng = SimRng::seed_from_u64(seed ^ 0x5EED_0001);
-        let offsets = scenario.single_pulse_times(exp.width, D_MINUS, D_PLUS, &mut rng);
-        let schedule = Schedule::single_pulse(offsets);
-        let faults = regime.plan(&grid, &mut rng);
-        let cfg = SimConfig {
-            timing: scenario_timing(scenario),
-            faults,
-            ..SimConfig::fault_free()
-        };
-        let trace = simulate(grid.graph(), &schedule, &cfg, seed);
-        RunView {
-            faulty: trace.faulty.clone(),
-            view: PulseView::from_single_pulse(&grid, &trace),
-        }
-    })
-}
-
-/// The Condition-2 timing for a scenario, using the paper's Table-3 stable
-/// skews.
-pub fn scenario_timing(scenario: Scenario) -> Timing {
-    let ix = Scenario::ALL
-        .iter()
-        .position(|&s| s == scenario)
-        .expect("known scenario");
-    Condition2::paper(Duration::from_ns(TABLE3_SIGMA_NS[ix])).timing()
-}
-
-/// The Condition-2 pulse separation `S` for a scenario (Table 3).
-pub fn scenario_separation(scenario: Scenario) -> Duration {
-    let ix = Scenario::ALL
-        .iter()
-        .position(|&s| s == scenario)
-        .expect("known scenario");
-    Condition2::paper(Duration::from_ns(TABLE3_SIGMA_NS[ix]))
-        .derive()
-        .separation
-}
-
-/// Cumulated skew samples + per-run summaries of a batch (the inputs of
-/// Tables 1/2, Figs. 10/11 and the box plots of Figs. 15/16).
-#[derive(Debug, Clone)]
-pub struct BatchSkews {
-    /// All intra-layer samples across runs.
-    pub cumulated: SkewSamples,
-    /// Per-run intra-layer summaries.
-    pub per_run_intra: Vec<Summary>,
-    /// Per-run inter-layer summaries.
-    pub per_run_inter: Vec<Summary>,
-}
-
-/// Extract skews from a batch with `h`-hop fault exclusion.
-pub fn batch_skews(exp: &Experiment, views: &[RunView], h: usize) -> BatchSkews {
-    let grid = exp.grid();
-    let mut cumulated = SkewSamples::default();
-    let mut per_run_intra = Vec::with_capacity(views.len());
-    let mut per_run_inter = Vec::with_capacity(views.len());
-    for rv in views {
-        let mask = exclusion_mask(&grid, &rv.faulty, h);
-        let s = collect_skews(&grid, &rv.view, &mask);
-        if let Some(sum) = Summary::from_durations(&s.intra) {
-            per_run_intra.push(sum);
-        }
-        if let Some(sum) = Summary::from_durations(&s.inter) {
-            per_run_inter.push(sum);
-        }
-        cumulated.extend(&s);
-    }
-    BatchSkews {
-        cumulated,
-        per_run_intra,
-        per_run_inter,
-    }
-}
-
-/// One multi-pulse stabilization run: the per-pulse views and faulty set.
-#[derive(Debug, Clone)]
-pub struct StabRun {
-    /// Per-pulse triggering-time matrices.
-    pub views: Vec<PulseView>,
-    /// Faulty nodes.
-    pub faulty: Vec<NodeId>,
-}
-
-/// Run the Section-4.4 stabilization batch: `pulses` pulses with the
-/// scenario's Table-3 separation, arbitrary initial states, faults per
-/// `regime`.
-pub fn stabilization_batch(
-    exp: &Experiment,
-    scenario: Scenario,
-    regime: FaultRegime,
-    pulses: usize,
-) -> Vec<StabRun> {
-    let grid = exp.grid();
-    let separation = scenario_separation(scenario);
-    run_batch(exp.runs, exp.threads, |run| {
-        let seed = exp.seed + run as u64;
-        let mut rng = SimRng::seed_from_u64(seed ^ 0x5EED_0002);
-        let train = PulseTrain::new(scenario, pulses, separation);
-        let schedule = train.generate(exp.width, &mut rng);
-        let faults = regime.plan(&grid, &mut rng);
-        let cfg = SimConfig {
-            timing: scenario_timing(scenario),
-            faults,
-            init: InitState::Arbitrary,
-            ..SimConfig::fault_free()
-        };
-        let trace = simulate(grid.graph(), &schedule, &cfg, seed);
-        let views = assign_pulses(
-            &grid,
-            &trace,
-            &schedule,
-            hex_core::DelayRange::paper().mid(),
-        );
-        StabRun {
-            faulty: trace.faulty.clone(),
-            views,
-        }
-    })
-}
-
-/// A single representative run (Figs. 8/9/13/14 plot one wave).
-pub fn single_wave(exp: &Experiment, scenario: Scenario, regime: FaultRegime) -> RunView {
-    let one = Experiment { runs: 1, ..*exp };
-    single_pulse_batch(&one, scenario, regime)
-        .into_iter()
-        .next()
-        .expect("one run")
+    t
 }
 
 /// Render the paper's table row (intra avg/q95/max + inter min/q5/avg/q95/
@@ -295,20 +124,22 @@ pub fn zero_schedule(w: u32) -> Schedule {
 
 /// The Fig. 15/16 fault sweep: for `f ∈ {0,…,5}` Byzantine nodes and
 /// `h ∈ {0, 1}` exclusion radii, print the per-run skew op distributions
-/// as box-plot CSV.
-pub fn fault_sweep(exp: &Experiment, scenario: Scenario, title: &str) {
+/// as box-plot CSV. `base` fixes grid, runs, seed and scenario; the sweep
+/// overrides the fault regime per cell and streams each batch through
+/// [`batch_skews`].
+pub fn fault_sweep(base: &RunSpec, title: &str) {
     use hex_analysis::boxplot::{op_boxes, sweep_csv, OpBoxes};
     for h in [0usize, 1] {
         println!(
             "\n{title}, scenario {}, h = {h}: per-run skew op distributions over {} runs (ns)",
-            scenario.label(),
-            exp.runs
+            base.scenario.label(),
+            base.runs
         );
         let mut sweep_intra: Vec<(usize, OpBoxes)> = Vec::new();
         let mut sweep_inter: Vec<(usize, OpBoxes)> = Vec::new();
         for f in 0..=5usize {
-            let views = single_pulse_batch(exp, scenario, FaultRegime::Byzantine(f));
-            let skews = batch_skews(exp, &views, h);
+            let spec = base.clone().faults(FaultRegime::Byzantine(f));
+            let skews = batch_skews(&spec, h);
             sweep_intra.push((f, op_boxes(&skews.per_run_intra)));
             sweep_inter.push((f, op_boxes(&skews.per_run_inter)));
         }
@@ -320,23 +151,25 @@ pub fn fault_sweep(exp: &Experiment, scenario: Scenario, title: &str) {
 /// The Fig. 18/19 stabilization sweep: for fault kinds Byzantine and
 /// fail-silent, `f ∈ {0,…,5}` and threshold classes `C ∈ {0,…,3}`, print
 /// average (± std) stabilization pulse and the number of stabilized runs.
-pub fn stabilization_sweep(exp: &Experiment, scenario: Scenario, title: &str, pulses: usize) {
-    use hex_analysis::skew::exclusion_mask;
-    use hex_analysis::stabilization::{stabilization_pulse, summarize, Criterion};
+/// Each `(kind, f)` batch is simulated once and streamed through a
+/// [`StabilizationReducer`] evaluating all four classes.
+pub fn stabilization_sweep(base: &RunSpec, title: &str, pulses: usize) {
+    use hex_analysis::stabilization::{summarize, Criterion};
     use hex_theory::bounds::lemma5_layer_bound;
 
-    let grid = exp.grid();
+    let scenario = base.scenario;
+    let grid = base.hex_grid();
     let source_spread = match scenario {
         Scenario::Zero => Duration::ZERO,
         Scenario::RandomDMinus => D_MINUS,
         Scenario::RandomDPlus => D_PLUS,
-        Scenario::Ramp => D_PLUS.times((exp.width / 2) as i64),
+        Scenario::Ramp => D_PLUS.times((base.width / 2) as i64),
     };
     println!(
         "\n{title}, scenario {}: stabilization over {} pulses, {} runs (avg pulse ± std | stabilized/runs)",
         scenario.label(),
         pulses,
-        exp.runs
+        base.runs
     );
     println!(
         "{:<12} {:>2} | {:>18} {:>18} {:>18} {:>18}",
@@ -349,30 +182,34 @@ pub fn stabilization_sweep(exp: &Experiment, scenario: Scenario, title: &str, pu
             } else {
                 FaultRegime::FailSilent(f)
             };
-            let runs = stabilization_batch(exp, scenario, regime, pulses);
-            let mut cells = Vec::new();
-            for c in 0..=3u8 {
-                let criterion = Criterion::class(c, D_PLUS, exp.length, |layer| {
-                    lemma5_layer_bound(
-                        source_spread,
-                        layer,
-                        f.min(layer as usize),
-                        hex_core::DelayRange::paper(),
-                    )
-                });
-                let estimates: Vec<Option<usize>> = runs
-                    .iter()
-                    .map(|r| {
-                        let mask = exclusion_mask(&grid, &r.faulty, 0);
-                        stabilization_pulse(&grid, &r.views, &mask, &criterion)
+            let spec = base
+                .clone()
+                .faults(regime)
+                .pulses(pulses)
+                .init(hex_sim::InitState::Arbitrary);
+            let criteria: Vec<Criterion> = (0..=3u8)
+                .map(|c| {
+                    Criterion::class(c, D_PLUS, base.length, |layer| {
+                        lemma5_layer_bound(
+                            source_spread,
+                            layer,
+                            f.min(layer as usize),
+                            hex_core::DelayRange::paper(),
+                        )
                     })
-                    .collect();
-                let stats = summarize(&estimates);
-                cells.push(format!(
-                    "{:>5.2}±{:<4.2} {:>3}/{:<3}",
-                    stats.avg, stats.std, stats.stabilized, stats.runs
-                ));
-            }
+                })
+                .collect();
+            let estimates = spec.fold(&StabilizationReducer::new(&grid, &criteria, 0));
+            let cells: Vec<String> = estimates
+                .iter()
+                .map(|per_run| {
+                    let stats = summarize(per_run);
+                    format!(
+                        "{:>5.2}±{:<4.2} {:>3}/{:<3}",
+                        stats.avg, stats.std, stats.stabilized, stats.runs
+                    )
+                })
+                .collect();
             println!(
                 "{:<12} {:>2} | {} ",
                 if byzantine { "byzantine" } else { "fail-silent" },
@@ -388,57 +225,33 @@ mod tests {
     use super::*;
 
     #[test]
-    fn env_defaults() {
-        let e = Experiment::paper();
-        assert_eq!(e.length, 50);
-        assert_eq!(e.width, 20);
-        assert_eq!(e.runs, 250);
+    fn spec_defaults_match_paper() {
+        let s = RunSpec::paper();
+        assert_eq!(s.length, 50);
+        assert_eq!(s.width, 20);
+        assert_eq!(s.runs, 250);
     }
 
     #[test]
     fn single_pulse_batch_shapes() {
-        let exp = Experiment::small();
-        let views = single_pulse_batch(&exp, Scenario::Zero, FaultRegime::None);
-        assert_eq!(views.len(), exp.runs);
+        let spec = RunSpec::small();
+        let views = spec.run_batch();
+        assert_eq!(views.len(), spec.runs);
         for rv in &views {
             assert!(rv.faulty.is_empty());
-            assert_eq!(rv.view.spurious, 0);
+            assert_eq!(rv.view().spurious, 0);
         }
-    }
-
-    #[test]
-    fn faulty_batch_places_faults() {
-        let exp = Experiment::small();
-        let views = single_pulse_batch(&exp, Scenario::RandomDPlus, FaultRegime::Byzantine(2));
-        for rv in &views {
-            assert_eq!(rv.faulty.len(), 2);
-        }
-        // Different runs place different faults (with overwhelming
-        // probability across 20 runs).
-        let distinct: std::collections::BTreeSet<_> =
-            views.iter().map(|rv| rv.faulty.clone()).collect();
-        assert!(distinct.len() > 1);
     }
 
     #[test]
     fn batch_skews_nonempty() {
-        let exp = Experiment::small();
-        let views = single_pulse_batch(&exp, Scenario::Zero, FaultRegime::None);
-        let skews = batch_skews(&exp, &views, 0);
-        assert_eq!(skews.per_run_intra.len(), exp.runs);
+        let spec = RunSpec::small();
+        let skews = batch_skews(&spec, 0);
+        assert_eq!(skews.per_run_intra.len(), spec.runs);
         assert_eq!(
             skews.cumulated.intra.len(),
-            exp.runs * (exp.length * exp.width) as usize
+            spec.runs * (spec.length * spec.width) as usize
         );
-    }
-
-    #[test]
-    fn h1_excludes_more_than_h0() {
-        let exp = Experiment::small();
-        let views = single_pulse_batch(&exp, Scenario::RandomDPlus, FaultRegime::FailSilent(1));
-        let h0 = batch_skews(&exp, &views, 0);
-        let h1 = batch_skews(&exp, &views, 1);
-        assert!(h1.cumulated.intra.len() < h0.cumulated.intra.len());
     }
 
     #[test]
@@ -451,11 +264,11 @@ mod tests {
 
     #[test]
     fn stabilization_batch_shapes() {
-        let exp = Experiment {
-            runs: 3,
-            ..Experiment::small()
-        };
-        let runs = stabilization_batch(&exp, Scenario::Zero, FaultRegime::None, 5);
+        let spec = RunSpec::small()
+            .runs(3)
+            .pulses(5)
+            .init(hex_sim::InitState::Arbitrary);
+        let runs = spec.run_batch();
         assert_eq!(runs.len(), 3);
         for r in &runs {
             assert_eq!(r.views.len(), 5);
@@ -464,9 +277,8 @@ mod tests {
 
     #[test]
     fn table_row_formats() {
-        let exp = Experiment::small();
-        let views = single_pulse_batch(&exp, Scenario::Zero, FaultRegime::None);
-        let skews = batch_skews(&exp, &views, 0);
+        let spec = RunSpec::small();
+        let skews = batch_skews(&spec, 0);
         let row = table_row("(i) 0", &skews);
         assert!(row.contains("(i) 0"));
         assert!(row.contains('|'));

@@ -45,6 +45,16 @@ impl Scenario {
         }
     }
 
+    /// A short machine-friendly name (emit table names, CLI flags).
+    pub fn slug(self) -> &'static str {
+        match self {
+            Scenario::Zero => "i",
+            Scenario::RandomDMinus => "ii",
+            Scenario::RandomDPlus => "iii",
+            Scenario::Ramp => "iv",
+        }
+    }
+
     /// Draw the layer-0 offsets for one pulse on a width-`w` grid, given the
     /// delay bounds `d-`/`d+`. Offsets are relative to the pulse base time.
     pub fn offsets(

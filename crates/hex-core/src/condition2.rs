@@ -18,7 +18,7 @@
 //! `w = 2.464 ns` the derivation reproduces Table 3 to the printed
 //! precision, with `w = 0` it is the bare Condition 2.
 
-use hex_core::{DelayRange, Timing};
+use crate::params::{DelayRange, Timing};
 use hex_des::Duration;
 
 /// Inputs of the Condition-2 derivation.
@@ -62,7 +62,7 @@ impl Condition2 {
         Condition2 {
             sigma,
             delays: DelayRange::paper(),
-            theta: hex_core::THETA,
+            theta: crate::params::THETA,
             length: 50,
             faults: 5,
             pulse_width: Duration::from_ps(2_464),
@@ -169,7 +169,7 @@ mod tests {
         let f5 = Condition2 { faults: 5, ..base }.derive();
         assert_eq!(
             (f5.separation - f0.separation).ps(),
-            5 * hex_core::D_PLUS.ps()
+            5 * crate::params::D_PLUS.ps()
         );
     }
 

@@ -14,7 +14,9 @@
 //!   in `[T-, ϑ·T-]` ([`params`], [`delay`]);
 //! * the **fault model** of Section 3.2 — Byzantine (per-link stuck-at-0/1)
 //!   and fail-silent nodes, plus Condition 1 (fault separation) checking and
-//!   uniformly-random constrained placement ([`fault`]).
+//!   uniformly-random constrained placement ([`fault`]);
+//! * the **Condition-2 timeout derivation** reproducing the paper's Table 3
+//!   ([`condition2`]; re-exported by `hex-theory` next to the other bounds).
 //!
 //! The actual event-driven execution lives in `hex-sim`; this crate is pure
 //! data + transition logic and is fully unit-testable without a simulator.
@@ -22,6 +24,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod condition2;
 pub mod coord;
 pub mod delay;
 pub mod embedding;
@@ -31,6 +34,7 @@ pub mod grid;
 pub mod node;
 pub mod params;
 
+pub use condition2::{Condition2, DerivedTiming};
 pub use coord::{cyclic_distance, Coord};
 pub use delay::{DelayModel, SpatialVariation};
 pub use fault::{FaultPlan, LinkBehavior, NodeFault};

@@ -2,10 +2,45 @@
 //!
 //! The paper's statistics aggregate 250 independent simulation runs per
 //! configuration. Runs are pure functions of `(config, seed)`, so the batch
-//! is embarrassingly parallel: scoped worker threads pull run indices from
-//! an atomic counter (work stealing at the granularity of one run) and
-//! results are reassembled in index order — the output is **independent of
-//! the number of worker threads**, preserving end-to-end determinism.
+//! is embarrassingly parallel: scoped worker threads (`std::thread::scope`)
+//! pull work from an atomic counter (work stealing) and results are
+//! reassembled in run-index order — the output is **independent of the
+//! number of worker threads**, preserving end-to-end determinism.
+//!
+//! Two entry points:
+//!
+//! * [`run_batch`] materializes every result (`Vec<T>`, run-index order) —
+//!   right when downstream analysis needs all runs side by side;
+//! * [`run_batch_fold`] streams each result into a [`Reducer`] **inside the
+//!   worker that produced it**, so a 250-run sweep never holds 250 traces
+//!   (or views) in memory and the reduction itself runs in parallel. The
+//!   merged accumulator is identical to `run_batch` + a sequential fold,
+//!   at any thread count.
+//!
+//! ```
+//! use hex_sim::batch::{run_batch, run_batch_fold, Reducer};
+//!
+//! /// Sums `f(run)` and remembers how many runs contributed.
+//! struct Sum;
+//! impl Reducer<u64> for Sum {
+//!     type Acc = (u64, usize);
+//!     fn empty(&self) -> Self::Acc {
+//!         (0, 0)
+//!     }
+//!     fn fold(&self, acc: &mut Self::Acc, _run: usize, item: u64) {
+//!         acc.0 += item;
+//!         acc.1 += 1;
+//!     }
+//!     fn merge(&self, left: Self::Acc, right: Self::Acc) -> Self::Acc {
+//!         (left.0 + right.0, left.1 + right.1)
+//!     }
+//! }
+//!
+//! let job = |run: usize| (run as u64) * 3;
+//! let streamed = run_batch_fold(100, 4, job, &Sum);
+//! let materialized: u64 = run_batch(100, 4, job).into_iter().sum();
+//! assert_eq!(streamed, (materialized, 100));
+//! ```
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 
@@ -59,6 +94,103 @@ where
         .into_iter()
         .map(|o| o.expect("every run produced a result"))
         .collect()
+}
+
+/// A parallel map-reduce contract for [`run_batch_fold`].
+///
+/// Implementations describe how per-run results are folded into an
+/// accumulator and how two accumulators covering disjoint, *consecutive*
+/// run ranges are merged. For the batch output to be independent of the
+/// thread count, `merge` must agree with concatenation:
+///
+/// ```text
+/// merge(fold_all(empty, runs a..b), fold_all(empty, runs b..c))
+///     == fold_all(empty, runs a..c)
+/// ```
+///
+/// which every "append to vectors / add to tallies" reduction satisfies.
+/// `merge` is always called with `left` covering the lower run indices.
+pub trait Reducer<T> {
+    /// The accumulator type.
+    type Acc: Send;
+
+    /// A fresh (identity) accumulator.
+    fn empty(&self) -> Self::Acc;
+
+    /// Fold one run's result into the accumulator. Called exactly once per
+    /// run, in ascending run order *within* each accumulator.
+    fn fold(&self, acc: &mut Self::Acc, run: usize, item: T);
+
+    /// Merge two accumulators; `left` covers strictly lower run indices
+    /// than `right`.
+    fn merge(&self, left: Self::Acc, right: Self::Acc) -> Self::Acc;
+}
+
+/// Execute `runs` independent jobs and reduce their results on the worker
+/// threads, returning the merged accumulator.
+///
+/// Workers steal *contiguous chunks* of run indices and fold each chunk
+/// into its own accumulator as results are produced — no `Vec<T>` of all
+/// results ever exists. Chunk accumulators are merged in ascending
+/// run-range order after the scope joins, so for any [`Reducer`] honoring
+/// the concatenation law the result equals
+/// `run_batch(runs, _, job)` followed by a sequential fold — **at any
+/// thread count** (see `spec_equivalence` tests at the workspace root).
+pub fn run_batch_fold<T, F, R>(runs: usize, threads: usize, job: F, reducer: &R) -> R::Acc
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+    R: Reducer<T> + Sync,
+{
+    let threads = if threads == 0 { default_threads() } else { threads };
+    let threads = threads.min(runs.max(1));
+    if threads <= 1 || runs <= 1 {
+        let mut acc = reducer.empty();
+        for run in 0..runs {
+            reducer.fold(&mut acc, run, job(run));
+        }
+        return acc;
+    }
+
+    // Chunked work stealing: big enough chunks to amortize the atomic and
+    // keep per-chunk accumulators few, small enough to balance load.
+    let chunk = (runs / (threads * 8)).max(1);
+    let next = AtomicUsize::new(0);
+
+    let mut parts: Vec<(usize, R::Acc)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut local: Vec<(usize, R::Acc)> = Vec::new();
+                    loop {
+                        let start = next.fetch_add(chunk, Ordering::Relaxed);
+                        if start >= runs {
+                            break;
+                        }
+                        let end = (start + chunk).min(runs);
+                        let mut acc = reducer.empty();
+                        for run in start..end {
+                            reducer.fold(&mut acc, run, job(run));
+                        }
+                        local.push((start, acc));
+                    }
+                    local
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("batch worker panicked"))
+            .collect()
+    });
+
+    // Restore run order: chunks are disjoint, so sorting by start index
+    // yields consecutive ranges; merge left to right.
+    parts.sort_by_key(|&(start, _)| start);
+    parts
+        .into_iter()
+        .map(|(_, acc)| acc)
+        .fold(reducer.empty(), |left, right| reducer.merge(left, right))
 }
 
 /// The machine's available parallelism (≥ 1).
@@ -140,6 +272,61 @@ mod tests {
     #[test]
     fn default_threads_positive() {
         assert!(default_threads() >= 1);
+    }
+
+    /// Order-sensitive reducer: concatenates `(run, item)` pairs. Any
+    /// scheduling bug that breaks run order or drops/duplicates a run
+    /// changes the output.
+    struct Collect;
+    impl Reducer<u64> for Collect {
+        type Acc = Vec<(usize, u64)>;
+        fn empty(&self) -> Self::Acc {
+            Vec::new()
+        }
+        fn fold(&self, acc: &mut Self::Acc, run: usize, item: u64) {
+            acc.push((run, item));
+        }
+        fn merge(&self, mut left: Self::Acc, right: Self::Acc) -> Self::Acc {
+            left.extend(right);
+            left
+        }
+    }
+
+    #[test]
+    fn fold_equals_sequential_fold_at_any_thread_count() {
+        let job = |run: usize| (run as u64).wrapping_mul(0x9E3779B97F4A7C15);
+        let expected: Vec<(usize, u64)> = (0..137).map(|r| (r, job(r))).collect();
+        for threads in [0, 1, 2, 3, 7, 16, 200] {
+            assert_eq!(
+                run_batch_fold(137, threads, job, &Collect),
+                expected,
+                "threads = {threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn fold_zero_runs_is_empty() {
+        let acc = run_batch_fold(0, 4, |_| unreachable!(), &Collect);
+        assert!(acc.is_empty());
+    }
+
+    #[test]
+    fn fold_folds_each_run_exactly_once() {
+        use std::sync::atomic::AtomicU32;
+        let counts: Vec<AtomicU32> = (0..200).map(|_| AtomicU32::new(0)).collect();
+        run_batch_fold(
+            200,
+            6,
+            |i| {
+                counts[i].fetch_add(1, Ordering::Relaxed);
+                i as u64
+            },
+            &Collect,
+        );
+        for (i, c) in counts.iter().enumerate() {
+            assert_eq!(c.load(Ordering::Relaxed), 1, "index {i}");
+        }
     }
 
     #[test]

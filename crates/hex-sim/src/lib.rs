@@ -12,9 +12,13 @@
 //!   their trigger causes (left / central / right, Definition 1);
 //! * [`trace::PulseView`] / [`trace::assign_pulses`] — the per-pulse
 //!   triggering-time matrices the paper's statistics are computed from;
-//! * [`batch`] — an embarrassingly-parallel batch runner (crossbeam scoped
-//!   threads, deterministic per-run seeding) for the 250-run experiment
-//!   suites;
+//! * [`spec::RunSpec`] — the declarative experiment vocabulary: grid
+//!   shape, layer-0 scenario, fault regime, Table-3 timing, init states,
+//!   pulse count and per-run seed policy in one buildable description;
+//! * [`batch`] — an embarrassingly-parallel batch runner (`std::thread::
+//!   scope` workers, work stealing, deterministic per-run seeding) for the
+//!   250-run experiment suites, with a streaming [`batch::run_batch_fold`]
+//!   map+reduce path that never materializes a whole batch;
 //! * [`vcd`] — waveform export: render any trace as an IEEE-1364 VCD
 //!   document for GTKWave-style inspection (the ModelSim-waveform
 //!   equivalent of this reproduction).
@@ -25,10 +29,12 @@
 pub mod batch;
 pub mod engine;
 pub mod invariants;
+pub mod spec;
 pub mod trace;
 pub mod vcd;
 
-pub use batch::run_batch;
+pub use batch::{run_batch, run_batch_fold, Reducer};
 pub use engine::{simulate, InitState, SimConfig};
+pub use spec::{FaultRegime, RunSpec, RunView, TimingPolicy};
 pub use trace::{assign_pulses, PulseView, Trace};
 pub use vcd::{vcd_document, VcdOptions};

@@ -8,7 +8,9 @@
 //!   skew recursion), Corollary 1 (width-aware refinement), Theorem 1
 //!   (the headline skew bounds), Lemma 5 (coarse faulty-case bound);
 //! * [`condition2`] — the timeout/separation parameter derivation
-//!   (`T±_link`, `T±_sleep`, `S`) reproducing Table 3;
+//!   (`T±_link`, `T±_sleep`, `S`) reproducing Table 3 (it lives in
+//!   `hex-core::condition2` so the simulator's `RunSpec` can derive
+//!   timings without a dependency cycle, and is re-exported here);
 //! * [`adversary`] — deterministic worst-case executions: the fault-free
 //!   construction of Fig. 5 (dead-node barrier, fast left / slow right) and
 //!   the single-Byzantine construction of Fig. 17 (ramp scenario, ≈ 5·d+
@@ -27,7 +29,6 @@ pub mod adversary;
 pub mod appendix_a;
 pub mod bounds;
 pub mod condition1;
-pub mod condition2;
 pub mod limits;
 pub mod search;
 
@@ -35,4 +36,5 @@ pub use bounds::{
     inter_layer_envelope, lambda0, lemma3_skew_potential, lemma4_intra_bound, lemma5_pulse_skew,
     theorem1_intra_bound, Theorem1,
 };
-pub use condition2::Condition2;
+pub use hex_core::condition2;
+pub use hex_core::condition2::Condition2;

@@ -9,11 +9,14 @@
 //! hexctl vcd       [--out FILE] [--pulses P] [--scenario ..] ...    dump a run as a VCD waveform
 //! ```
 //!
-//! Plain `std::env::args` parsing — no CLI dependency.
+//! Every simulating subcommand builds one [`RunSpec`] from the flags; mixed
+//! `--byzantine`/`--fail-silent` counts map to [`FaultRegime::Mixed`]
+//! (joint Condition-1 placement). Plain `std::env::args` parsing — no CLI
+//! dependency.
 
-use hexclock::analysis::stabilization::{stabilization_pulse, summarize, Criterion};
+use hexclock::analysis::reduce::StabilizationReducer;
+use hexclock::analysis::stabilization::{summarize, Criterion};
 use hexclock::analysis::wave::wave_ascii;
-use hexclock::core::fault::{forwarder_candidates, place_condition1};
 use hexclock::prelude::*;
 
 #[derive(Debug, Clone)]
@@ -94,63 +97,32 @@ fn parse() -> Opts {
     o
 }
 
-fn faults_for(o: &Opts, grid: &HexGrid, rng: &mut SimRng) -> (FaultPlan, Vec<u32>) {
-    let candidates = forwarder_candidates(grid.graph());
-    let byz = place_condition1(grid.graph(), &candidates, o.byzantine, rng, 10_000)
-        .expect("Condition-1 placement for Byzantine nodes");
-    let mut plan = FaultPlan::none().with_nodes(&byz, NodeFault::Byzantine);
-    let mut all = byz.clone();
-    if o.fail_silent > 0 {
-        let remaining: Vec<u32> = candidates
-            .iter()
-            .copied()
-            .filter(|n| !byz.contains(n))
-            .collect();
-        // Keep Condition 1 over the union by rejection on the combined set.
-        let mut silent = Vec::new();
-        for _ in 0..10_000 {
-            let pick = place_condition1(grid.graph(), &remaining, o.fail_silent, rng, 1)
-                .unwrap_or_default();
-            if pick.len() == o.fail_silent {
-                let mut union = byz.clone();
-                union.extend(&pick);
-                union.sort_unstable();
-                if hexclock::core::fault::satisfies_condition1(grid.graph(), &union) {
-                    silent = pick;
-                    break;
-                }
-            }
-        }
-        assert_eq!(silent.len(), o.fail_silent, "combined placement infeasible");
-        plan = plan.with_nodes(&silent, NodeFault::FailSilent);
-        all.extend(silent);
-    }
-    all.sort_unstable();
-    (plan, all)
+/// The one place where flags become an experiment description.
+fn spec_for(o: &Opts) -> RunSpec {
+    RunSpec::grid(o.length, o.width)
+        .scenario(o.scenario)
+        .seed(o.seed)
+        .runs(o.runs)
+        .faults(FaultRegime::Mixed {
+            byzantine: o.byzantine,
+            fail_silent: o.fail_silent,
+        })
 }
 
 fn cmd_wave(o: &Opts) {
-    let grid = HexGrid::new(o.length, o.width);
-    let mut rng = SimRng::seed_from_u64(o.seed);
-    let offsets = o.scenario.single_pulse_times(o.width, D_MINUS, D_PLUS, &mut rng);
-    let (faults, faulty) = faults_for(o, &grid, &mut rng);
-    let cfg = SimConfig {
-        faults,
-        timing: Timing::paper_scenario_iii(),
-        ..SimConfig::fault_free()
-    };
-    let trace = simulate(grid.graph(), &Schedule::single_pulse(offsets), &cfg, o.seed);
-    let view = PulseView::from_single_pulse(&grid, &trace);
+    let spec = spec_for(o).runs(1);
+    let grid = spec.hex_grid();
+    let rv = spec.run_single();
     println!(
         "wave: {}x{} grid, scenario {}, {} fault(s)",
         o.length,
         o.width,
         o.scenario.label(),
-        faulty.len()
+        rv.faulty.len()
     );
-    print!("{}", wave_ascii(&grid, &view, 30));
-    let mask = exclusion_mask(&grid, &faulty, 0);
-    let skews = collect_skews(&grid, &view, &mask);
+    print!("{}", wave_ascii(&grid, rv.view(), 30));
+    let mask = exclusion_mask(&grid, &rv.faulty, 0);
+    let skews = collect_skews(&grid, rv.view(), &mask);
     if let Some(s) = Summary::from_durations(&skews.intra) {
         println!("intra-layer skews (ns): avg {:.3} q95 {:.3} max {:.3}", s.avg, s.q95, s.max);
     }
@@ -160,28 +132,10 @@ fn cmd_wave(o: &Opts) {
 }
 
 fn cmd_table(o: &Opts) {
-    let grid = HexGrid::new(o.length, o.width);
-    let mut all = SkewSamples::default();
-    let results = run_batch(o.runs, hexclock::sim::batch::default_threads(), |run| {
-        let seed = o.seed + run as u64;
-        let mut rng = SimRng::seed_from_u64(seed);
-        let offsets = o.scenario.single_pulse_times(o.width, D_MINUS, D_PLUS, &mut rng);
-        let (faults, faulty) = faults_for(o, &grid, &mut rng);
-        let cfg = SimConfig {
-            faults,
-            timing: Timing::paper_scenario_iii(),
-            ..SimConfig::fault_free()
-        };
-        let trace = simulate(grid.graph(), &Schedule::single_pulse(offsets), &cfg, seed);
-        let view = PulseView::from_single_pulse(&grid, &trace);
-        let mask = exclusion_mask(&grid, &faulty, 0);
-        collect_skews(&grid, &view, &mask)
-    });
-    for s in &results {
-        all.extend(s);
-    }
-    let intra = Summary::from_durations(&all.intra).unwrap();
-    let inter = Summary::from_durations(&all.inter).unwrap();
+    let spec = spec_for(o);
+    let skews = batch_skews(&spec, 0);
+    let intra = Summary::from_durations(&skews.cumulated.intra).unwrap();
+    let inter = Summary::from_durations(&skews.cumulated.inter).unwrap();
     println!(
         "{} over {} runs ({} byzantine, {} fail-silent):",
         o.scenario.label(),
@@ -194,28 +148,11 @@ fn cmd_table(o: &Opts) {
 }
 
 fn cmd_stabilize(o: &Opts) {
-    let grid = HexGrid::new(o.length, o.width);
-    let sep = hexclock::theory::Condition2::paper(Duration::from_ns(31.75))
-        .derive()
-        .separation;
-    let estimates = run_batch(o.runs, hexclock::sim::batch::default_threads(), |run| {
-        let seed = o.seed + run as u64;
-        let mut rng = SimRng::seed_from_u64(seed);
-        let sched = PulseTrain::new(o.scenario, o.pulses, sep).generate(o.width, &mut rng);
-        let (faults, faulty) = faults_for(o, &grid, &mut rng);
-        let cfg = SimConfig {
-            faults,
-            timing: Timing::paper_scenario_iii(),
-            init: InitState::Arbitrary,
-            ..SimConfig::fault_free()
-        };
-        let trace = simulate(grid.graph(), &sched, &cfg, seed);
-        let views = assign_pulses(&grid, &trace, &sched, DelayRange::paper().mid());
-        let mask = exclusion_mask(&grid, &faulty, 0);
-        let crit = Criterion::uniform(D_PLUS * 3, D_PLUS, grid.length());
-        stabilization_pulse(&grid, &views, &mask, &crit)
-    });
-    let stats = summarize(&estimates);
+    let spec = spec_for(o).pulses(o.pulses).init(InitState::Arbitrary);
+    let grid = spec.hex_grid();
+    let criteria = [Criterion::uniform(D_PLUS * 3, D_PLUS, grid.length())];
+    let estimates = spec.fold(&StabilizationReducer::new(&grid, &criteria, 0));
+    let stats = summarize(&estimates[0]);
     println!(
         "stabilization ({} runs, {} pulses, scenario {}): avg pulse {:.2} ± {:.2}, {}/{} stabilized",
         stats.runs,
@@ -255,23 +192,9 @@ fn cmd_bounds(o: &Opts) {
 
 fn cmd_vcd(o: &Opts) {
     use hexclock::sim::{vcd_document, VcdOptions};
-    let grid = HexGrid::new(o.length, o.width);
-    let mut rng = SimRng::seed_from_u64(o.seed);
-    let sep = hexclock::theory::Condition2::paper(Duration::from_ns(31.75))
-        .derive()
-        .separation;
-    let sched = if o.pulses <= 1 {
-        Schedule::single_pulse(o.scenario.single_pulse_times(o.width, D_MINUS, D_PLUS, &mut rng))
-    } else {
-        PulseTrain::new(o.scenario, o.pulses, sep).generate(o.width, &mut rng)
-    };
-    let (faults, faulty) = faults_for(o, &grid, &mut rng);
-    let cfg = SimConfig {
-        faults,
-        timing: Timing::paper_scenario_iii(),
-        ..SimConfig::fault_free()
-    };
-    let trace = simulate(grid.graph(), &sched, &cfg, o.seed);
+    let spec = spec_for(o).pulses(o.pulses.max(1));
+    let grid = spec.hex_grid();
+    let (trace, _schedule) = spec.trace(0);
     let doc = vcd_document(&grid, &trace, &VcdOptions::default());
     std::fs::write(&o.out, &doc).expect("write VCD file");
     println!(
@@ -279,7 +202,7 @@ fn cmd_vcd(o: &Opts) {
         o.out,
         grid.node_count(),
         trace.total_fires(),
-        faulty.len(),
+        trace.faulty.len(),
         o.pulses.max(1)
     );
 }

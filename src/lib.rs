@@ -20,7 +20,7 @@
 //! | [`des`] (`hex-des`) | deterministic discrete-event engine, ps time |
 //! | [`core`] (`hex-core`) | grid topology, node state machines, faults |
 //! | [`clock`] (`hex-clock`) | layer-0 scenarios, pulse trains, FT pulser |
-//! | [`sim`] (`hex-sim`) | simulator, traces, parallel batch runner |
+//! | [`sim`] (`hex-sim`) | simulator, traces, `RunSpec` experiment builder, parallel batch runner |
 //! | [`analysis`] (`hex-analysis`) | skews, histograms, stabilization, causal paths |
 //! | [`theory`] (`hex-theory`) | Theorem 1 / Lemmas 2–5 / Condition 2, adversarial constructions |
 //! | [`tree`] (`hex-tree`) | buffered H-tree baseline |
@@ -28,23 +28,40 @@
 //!
 //! ## Quickstart
 //!
+//! Experiments are described by the [`sim::RunSpec`] builder — grid shape,
+//! layer-0 scenario, fault regime, Table-3 timing, initial states, pulse
+//! count and the per-run seed policy in one value:
+//!
 //! ```
 //! use hexclock::prelude::*;
 //!
-//! // The paper's 50×20 grid, one zero-skew pulse, paper delays.
-//! let grid = HexGrid::new(50, 20);
-//! let schedule = Schedule::single_pulse(vec![Time::ZERO; 20]);
-//! let trace = simulate(grid.graph(), &schedule, &SimConfig::fault_free(), 42);
+//! // One zero-skew pulse through the paper's 50×20 grid, paper delays.
+//! let spec = RunSpec::grid(50, 20).scenario(Scenario::Zero).seed(42);
+//! let rv = spec.run_single();
 //!
 //! // Every node forwards the pulse exactly once...
-//! assert_eq!(trace.total_fires(), grid.node_count());
+//! let grid = spec.hex_grid();
+//! assert!(rv.view().complete_except(&grid, &[]));
 //!
 //! // ...and neighbor skews stay below the Theorem-1 worst case.
-//! let view = PulseView::from_single_pulse(&grid, &trace);
 //! let mask = exclusion_mask(&grid, &[], 0);
-//! let skews = collect_skews(&grid, &view, &mask);
+//! let skews = collect_skews(&grid, rv.view(), &mask);
 //! let bound = theorem1_intra_bound(grid.width(), DelayRange::paper());
 //! assert!(skews.intra.iter().all(|&s| s <= bound));
+//! ```
+//!
+//! Whole batches stream their reduction on the worker threads — the 250-run
+//! Table-1 row for scenario (iii) with one Byzantine node per run is:
+//!
+//! ```no_run
+//! use hexclock::prelude::*;
+//!
+//! let spec = RunSpec::paper()
+//!     .scenario(Scenario::RandomDPlus)
+//!     .faults(FaultRegime::Byzantine(1));
+//! let skews = batch_skews(&spec, 0); // never materializes 250 views
+//! let intra = Summary::from_durations(&skews.cumulated.intra).unwrap();
+//! println!("intra avg/q95/max: {}", intra.intra_row());
 //! ```
 
 #![forbid(unsafe_code)]
@@ -61,6 +78,8 @@ pub use hex_tree as tree;
 
 /// One-stop imports for the common simulation workflow.
 pub mod prelude {
+    pub use hex_analysis::emit::{Emitter, Table, Value};
+    pub use hex_analysis::reduce::{batch_skews, batch_skews_from_views, BatchSkews};
     pub use hex_analysis::skew::{collect_skews, exclusion_mask, SkewSamples};
     pub use hex_analysis::stats::Summary;
     pub use hex_clock::{PulseTrain, Scenario};
@@ -68,6 +87,9 @@ pub mod prelude {
         DelayModel, DelayRange, FaultPlan, HexGrid, NodeFault, Timing, D_MINUS, D_PLUS, EPSILON,
     };
     pub use hex_des::{Duration, Schedule, SimRng, Time};
-    pub use hex_sim::{assign_pulses, run_batch, simulate, InitState, PulseView, SimConfig};
+    pub use hex_sim::{
+        assign_pulses, run_batch, run_batch_fold, simulate, FaultRegime, InitState, PulseView,
+        Reducer, RunSpec, RunView, SimConfig, TimingPolicy,
+    };
     pub use hex_theory::{theorem1_intra_bound, Condition2};
 }

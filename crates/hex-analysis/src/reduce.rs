@@ -100,8 +100,14 @@ impl Reducer<RunView> for SkewReducer<'_> {
         BatchSkews::default()
     }
 
-    fn fold(&self, acc: &mut BatchSkews, _run: usize, rv: RunView) {
-        acc.add(self.grid, &rv, self.h, self.pulse);
+    fn fold(&self, acc: &mut BatchSkews, run: usize, rv: RunView) {
+        self.fold_ref(acc, run, &rv);
+    }
+
+    // The reduction only reads the views, so the scratch-backed fold path
+    // hands them over by reference — no per-run RunView clone.
+    fn fold_ref(&self, acc: &mut BatchSkews, _run: usize, rv: &RunView) {
+        acc.add(self.grid, rv, self.h, self.pulse);
     }
 
     fn merge(&self, mut left: BatchSkews, right: BatchSkews) -> BatchSkews {
@@ -170,7 +176,12 @@ impl Reducer<RunView> for StabilizationReducer<'_> {
         vec![Vec::new(); self.criteria.len()]
     }
 
-    fn fold(&self, acc: &mut Self::Acc, _run: usize, rv: RunView) {
+    fn fold(&self, acc: &mut Self::Acc, run: usize, rv: RunView) {
+        self.fold_ref(acc, run, &rv);
+    }
+
+    // Read-only reduction: fold straight from the worker's scratch views.
+    fn fold_ref(&self, acc: &mut Self::Acc, _run: usize, rv: &RunView) {
         let mask = exclusion_mask(self.grid, &rv.faulty, self.h);
         for (ci, criterion) in self.criteria.iter().enumerate() {
             acc[ci].push(stabilization_pulse(self.grid, &rv.views, &mask, criterion));

@@ -1,12 +1,16 @@
 //! Batch-runner scaling: the experiment loop at 1, 2, 4 and all available
 //! worker threads (`std::thread::scope` work stealing over run indices),
-//! plus the streaming fold path at full parallelism.
+//! plus the streaming fold path — with and without per-worker `SimScratch`
+//! reuse — at full parallelism.
+//!
+//! `HEX_RUNS` overrides the batch size (default 64); CI smokes the scratch
+//! path with `HEX_RUNS=2`.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use hex_bench::zero_schedule;
 use hex_core::HexGrid;
-use hex_sim::batch::{default_threads, Reducer};
-use hex_sim::{run_batch, run_batch_fold, simulate, SimConfig};
+use hex_sim::batch::{default_threads, run_batch_fold_with, Reducer};
+use hex_sim::{run_batch, run_batch_fold, simulate, simulate_into, SimConfig, SimScratch};
 
 struct SumFires;
 impl Reducer<usize> for SumFires {
@@ -23,7 +27,11 @@ impl Reducer<usize> for SumFires {
 }
 
 fn bench_batch(c: &mut Criterion) {
-    let mut g = c.benchmark_group("batch_64_runs");
+    let runs: usize = std::env::var("HEX_RUNS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(64);
+    let mut g = c.benchmark_group(format!("batch_{runs}_runs"));
     g.sample_size(10);
     let grid = HexGrid::new(30, 16);
     let sched = zero_schedule(16);
@@ -35,7 +43,7 @@ fn bench_batch(c: &mut Criterion) {
     for t in threads {
         g.bench_with_input(BenchmarkId::new("threads", t), &t, |b, &t| {
             b.iter(|| {
-                run_batch(64, t, |run| {
+                run_batch(runs, t, |run| {
                     simulate(grid.graph(), &sched, &cfg, run as u64).total_fires()
                 })
             })
@@ -44,10 +52,27 @@ fn bench_batch(c: &mut Criterion) {
     g.bench_with_input(BenchmarkId::new("fold_threads", all), &all, |b, &t| {
         b.iter(|| {
             run_batch_fold(
-                64,
+                runs,
                 t,
                 |run| simulate(grid.graph(), &sched, &cfg, run as u64).total_fires(),
                 &SumFires,
+            )
+        })
+    });
+    // The streaming fold with one SimScratch per worker — the hot
+    // configuration of every RunSpec-driven sweep.
+    g.bench_with_input(BenchmarkId::new("fold_scratch_threads", all), &all, |b, &t| {
+        b.iter(|| {
+            run_batch_fold_with(
+                runs,
+                t,
+                SimScratch::new,
+                || 0usize,
+                |scratch, acc, run| {
+                    *acc += simulate_into(scratch, grid.graph(), &sched, &cfg, run as u64)
+                        .total_fires();
+                },
+                |left, right| left + right,
             )
         })
     });

@@ -5,7 +5,7 @@ use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criteri
 use hex_bench::zero_schedule;
 use hex_core::HexGrid;
 use hex_des::{EventQueue, Time};
-use hex_sim::{simulate, SimConfig};
+use hex_sim::{simulate, simulate_into, SimConfig, SimScratch};
 
 fn bench_event_queue(c: &mut Criterion) {
     let mut g = c.benchmark_group("event_queue");
@@ -50,6 +50,20 @@ fn bench_single_pulse(c: &mut Criterion) {
                 b.iter(|| {
                     seed += 1;
                     simulate(grid.graph(), &sched, &cfg, seed).total_fires()
+                })
+            },
+        );
+        // The same run through a persistent SimScratch: the fresh-vs-reuse
+        // delta is the allocation cost the batch paths amortize away.
+        g.bench_with_input(
+            BenchmarkId::new("grid_scratch", format!("{l}x{w}")),
+            &grid,
+            |b, grid| {
+                let mut scratch = SimScratch::new();
+                let mut seed = 0u64;
+                b.iter(|| {
+                    seed += 1;
+                    simulate_into(&mut scratch, grid.graph(), &sched, &cfg, seed).total_fires()
                 })
             },
         );

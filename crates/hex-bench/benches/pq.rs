@@ -8,6 +8,10 @@
 //!   runs are close to this: most events exist before the wave passes);
 //! * **hold model** — pop one, reschedule it a random delta ahead
 //!   (steady-state multi-pulse simulation; the classic PQ benchmark).
+//!
+//! The bulk-drain pattern is additionally measured against a **reused**
+//! queue (`EventQueue::clear` between iterations, the `SimScratch` batch
+//! idiom) to expose the allocation share of the fresh-queue cost.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use hex_des::{Duration, EventQueue, QuadHeapQueue, SimRng, Time};
@@ -47,6 +51,22 @@ fn bulk_drain(c: &mut Criterion) {
                 let mut acc = 0usize;
                 while let Some((_, p)) = q.pop() {
                     acc ^= p;
+                }
+                black_box(acc)
+            })
+        });
+        // One queue cleared between iterations: the scratch-reuse path of
+        // the simulation engine (allocation amortized away).
+        g.bench_with_input(BenchmarkId::new("binary_heap_reused", n), &ts, |b, ts| {
+            let mut q = EventQueue::with_capacity(ts.len());
+            b.iter(|| {
+                q.clear();
+                for (i, &t) in ts.iter().enumerate() {
+                    q.push(Time::from_ps(t), i);
+                }
+                let mut acc = 0usize;
+                while let Some(e) = q.pop() {
+                    acc ^= e.payload;
                 }
                 black_box(acc)
             })

@@ -16,6 +16,30 @@
 //! Note ports 0/3 at layer 1 come from layer-1 siblings; layer-0 nodes have
 //! no incoming links (they are externally driven sources, cf. Section 2:
 //! links are defined for nodes with ℓ > 0 only).
+//!
+//! ```
+//! use hex_core::grid::HexGrid;
+//! use hex_core::graph::Role;
+//!
+//! // L = 3 forwarding layers above W = 6 sources, cylindric columns.
+//! let grid = HexGrid::new(3, 6);
+//! assert_eq!(grid.node_count(), 4 * 6);
+//! assert_eq!(grid.graph().role(grid.node(0, 2)), Role::Source);
+//!
+//! // Columns wrap: node (2, -1) is node (2, 5).
+//! assert_eq!(grid.node(2, -1), grid.node(2, 5));
+//!
+//! // A forwarder's four in-ports follow the fixed left / lower-left /
+//! // lower-right / right order of the table above.
+//! let n = grid.node(2, 0);
+//! let ports = grid.graph().in_links(n);
+//! assert_eq!(ports.len(), 4);
+//! let src = |l: u32| grid.graph().link(ports[l as usize] as u32).src;
+//! assert_eq!(src(0), grid.node(2, -1)); // left
+//! assert_eq!(src(1), grid.node(1, 0)); // lower-left
+//! assert_eq!(src(2), grid.node(1, 1)); // lower-right
+//! assert_eq!(src(3), grid.node(2, 1)); // right
+//! ```
 
 use crate::coord::Coord;
 use crate::graph::{NodeId, PulseGraph, Role};

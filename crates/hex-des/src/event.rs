@@ -5,6 +5,31 @@
 //! in FIFO order. This is what makes whole simulations bit-reproducible:
 //! given the same configuration and seed, the event interleaving is
 //! identical on every platform.
+//!
+//! Queues are reusable across runs: [`EventQueue::clear`] resets the
+//! logical state (sequence counter, clock, pop count) while keeping the
+//! heap's capacity, so a batch of simulations can amortize its event-list
+//! allocation — a cleared queue is observationally identical to a fresh
+//! one:
+//!
+//! ```
+//! use hex_des::{EventQueue, Time};
+//!
+//! let mut q = EventQueue::with_capacity(64);
+//! q.push(Time::from_ps(10), "first run");
+//! q.pop();
+//!
+//! let cap = q.capacity();
+//! q.clear(); // back to the fresh state, capacity retained
+//! assert!(q.is_empty());
+//! assert_eq!(q.now(), Time::MIN);
+//! assert_eq!(q.popped(), 0);
+//! assert!(q.capacity() >= cap.min(64));
+//!
+//! // Scheduling "into the past" of the previous run is legal again.
+//! q.push(Time::from_ps(1), "second run");
+//! assert_eq!(q.pop().unwrap().payload, "second run");
+//! ```
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
@@ -96,6 +121,29 @@ impl<E> EventQueue<E> {
             now: Time::MIN,
             popped: 0,
         }
+    }
+
+    /// Reset to the fresh state — no pending events, sequence counter at 0,
+    /// clock at `Time::MIN`, pop count at 0 — while keeping the heap's
+    /// allocated capacity. A cleared queue behaves identically to one from
+    /// [`EventQueue::new`], so simulation runs can recycle a single queue
+    /// without affecting determinism.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+        self.next_seq = 0;
+        self.now = Time::MIN;
+        self.popped = 0;
+    }
+
+    /// Number of events the queue can hold without reallocating.
+    pub fn capacity(&self) -> usize {
+        self.heap.capacity()
+    }
+
+    /// Reserve capacity for at least `additional` more events (no-op when
+    /// the existing allocation already suffices).
+    pub fn reserve(&mut self, additional: usize) {
+        self.heap.reserve(additional);
     }
 
     /// Schedule `payload` at absolute time `at`.
@@ -219,6 +267,41 @@ mod tests {
         assert_eq!(q.len(), 5);
         let order: Vec<i64> = std::iter::from_fn(|| q.pop().map(|e| e.payload)).collect();
         assert_eq!(order, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn clear_restores_the_fresh_state() {
+        let mut dirty = EventQueue::new();
+        for t in 0..100 {
+            dirty.push(Time::from_ps(t), t);
+        }
+        for _ in 0..40 {
+            dirty.pop();
+        }
+        let cap = dirty.capacity();
+        dirty.clear();
+        assert!(dirty.is_empty());
+        assert_eq!(dirty.now(), Time::MIN);
+        assert_eq!(dirty.popped(), 0);
+        assert!(dirty.capacity() >= cap.min(100), "clear must keep capacity");
+
+        // A cleared queue replays a schedule exactly like a fresh one,
+        // including FIFO tie-breaking (sequence counter reset).
+        let mut fresh = EventQueue::new();
+        for q in [&mut dirty, &mut fresh] {
+            q.push(Time::from_ps(5), 0);
+            q.push(Time::from_ps(5), 1);
+            q.push(Time::from_ps(2), 2);
+        }
+        loop {
+            match (dirty.pop(), fresh.pop()) {
+                (None, None) => break,
+                (a, b) => {
+                    let (a, b) = (a.expect("same length"), b.expect("same length"));
+                    assert_eq!((a.at, a.seq, a.payload), (b.at, b.seq, b.payload));
+                }
+            }
+        }
     }
 
     #[test]

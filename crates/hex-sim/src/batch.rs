@@ -53,10 +53,26 @@ where
     T: Send,
     F: Fn(usize) -> T + Sync,
 {
+    run_batch_with(runs, threads, || (), |(), run| job(run))
+}
+
+/// [`run_batch`] with one worker-owned scratch value: `make_scratch` runs
+/// once per worker thread (once total on the serial path) and every job on
+/// that worker gets `&mut` access to its scratch. This is how the
+/// simulation batch paths reuse a [`SimScratch`](crate::SimScratch) —
+/// O(threads) scratch allocations for any number of runs — without
+/// affecting the output: results are still returned in run-index order.
+pub fn run_batch_with<S, T, FS, F>(runs: usize, threads: usize, make_scratch: FS, job: F) -> Vec<T>
+where
+    T: Send,
+    FS: Fn() -> S + Sync,
+    F: Fn(&mut S, usize) -> T + Sync,
+{
     let threads = if threads == 0 { default_threads() } else { threads };
     let threads = threads.min(runs.max(1));
     if threads <= 1 || runs <= 1 {
-        return (0..runs).map(&job).collect();
+        let mut scratch = make_scratch();
+        return (0..runs).map(|run| job(&mut scratch, run)).collect();
     }
     let next = AtomicUsize::new(0);
 
@@ -67,13 +83,14 @@ where
         let handles: Vec<_> = (0..threads)
             .map(|_| {
                 scope.spawn(|| {
+                    let mut scratch = make_scratch();
                     let mut local = Vec::with_capacity(runs / threads + 1);
                     loop {
                         let ix = next.fetch_add(1, Ordering::Relaxed);
                         if ix >= runs {
                             break;
                         }
-                        local.push((ix, job(ix)));
+                        local.push((ix, job(&mut scratch, ix)));
                     }
                     local
                 })
@@ -121,6 +138,18 @@ pub trait Reducer<T> {
     /// run, in ascending run order *within* each accumulator.
     fn fold(&self, acc: &mut Self::Acc, run: usize, item: T);
 
+    /// Fold one run's result **by reference**, leaving `item` intact so the
+    /// caller can reuse its buffers for the next run (the scratch-backed
+    /// batch paths depend on this). The default clones and delegates to
+    /// [`Reducer::fold`]; reducers that only read the item override it to
+    /// skip the clone.
+    fn fold_ref(&self, acc: &mut Self::Acc, run: usize, item: &T)
+    where
+        T: Clone,
+    {
+        self.fold(acc, run, item.clone());
+    }
+
     /// Merge two accumulators; `left` covers strictly lower run indices
     /// than `right`.
     fn merge(&self, left: Self::Acc, right: Self::Acc) -> Self::Acc;
@@ -142,12 +171,48 @@ where
     F: Fn(usize) -> T + Sync,
     R: Reducer<T> + Sync,
 {
+    run_batch_fold_with(
+        runs,
+        threads,
+        || (),
+        || reducer.empty(),
+        |(), acc, run| reducer.fold(acc, run, job(run)),
+        |left, right| reducer.merge(left, right),
+    )
+}
+
+/// The scratch-aware core of [`run_batch_fold`], expressed in accumulator
+/// operations so the per-run closure can both *produce* (into its worker's
+/// scratch) and *reduce* (into the chunk accumulator) without the result
+/// ever being moved: `fold_run(&mut scratch, &mut acc, run)`.
+///
+/// `make_scratch` runs once per worker (once total on the serial path), so
+/// a batch performs O(threads) scratch allocations. Chunk boundaries and
+/// the merge order are identical to [`run_batch_fold`]'s: for any
+/// concatenation-lawful `(empty, fold_run, merge)` triple the result is
+/// independent of the thread count.
+pub fn run_batch_fold_with<S, A, FS, FE, F, FM>(
+    runs: usize,
+    threads: usize,
+    make_scratch: FS,
+    empty: FE,
+    fold_run: F,
+    merge: FM,
+) -> A
+where
+    A: Send,
+    FS: Fn() -> S + Sync,
+    FE: Fn() -> A + Sync,
+    F: Fn(&mut S, &mut A, usize) + Sync,
+    FM: Fn(A, A) -> A,
+{
     let threads = if threads == 0 { default_threads() } else { threads };
     let threads = threads.min(runs.max(1));
     if threads <= 1 || runs <= 1 {
-        let mut acc = reducer.empty();
+        let mut scratch = make_scratch();
+        let mut acc = empty();
         for run in 0..runs {
-            reducer.fold(&mut acc, run, job(run));
+            fold_run(&mut scratch, &mut acc, run);
         }
         return acc;
     }
@@ -157,20 +222,21 @@ where
     let chunk = (runs / (threads * 8)).max(1);
     let next = AtomicUsize::new(0);
 
-    let mut parts: Vec<(usize, R::Acc)> = std::thread::scope(|scope| {
+    let mut parts: Vec<(usize, A)> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..threads)
             .map(|_| {
                 scope.spawn(|| {
-                    let mut local: Vec<(usize, R::Acc)> = Vec::new();
+                    let mut scratch = make_scratch();
+                    let mut local: Vec<(usize, A)> = Vec::new();
                     loop {
                         let start = next.fetch_add(chunk, Ordering::Relaxed);
                         if start >= runs {
                             break;
                         }
                         let end = (start + chunk).min(runs);
-                        let mut acc = reducer.empty();
+                        let mut acc = empty();
                         for run in start..end {
-                            reducer.fold(&mut acc, run, job(run));
+                            fold_run(&mut scratch, &mut acc, run);
                         }
                         local.push((start, acc));
                     }
@@ -190,7 +256,7 @@ where
     parts
         .into_iter()
         .map(|(_, acc)| acc)
-        .fold(reducer.empty(), |left, right| reducer.merge(left, right))
+        .fold(empty(), |left, right| merge(left, right))
 }
 
 /// The machine's available parallelism (≥ 1).

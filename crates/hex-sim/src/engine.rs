@@ -117,16 +117,164 @@ enum Ev {
     Wake { node: NodeId, epoch: u32 },
 }
 
+/// Reusable simulation working memory: the event queue, per-node states,
+/// the [`Trace`] storage (per-node `fires`/`arrivals` vectors) and the
+/// per-run [`RunView`](crate::spec::RunView) output buffers.
+///
+/// One run of [`simulate_into`] on a dirty scratch is **byte-identical** to
+/// [`simulate`] on fresh allocations (pinned by the workspace determinism
+/// wall and a property suite): reuse only recycles capacity, never state.
+/// The batch paths ([`RunSpec::fold`](crate::spec::RunSpec::fold),
+/// [`RunSpec::run_batch`](crate::spec::RunSpec::run_batch)) allocate one
+/// scratch per worker thread, so a 250-run sweep performs O(threads) rather
+/// than O(runs) trace-sized allocations.
+///
+/// ```
+/// use hex_core::HexGrid;
+/// use hex_des::{Schedule, Time};
+/// use hex_sim::{simulate, simulate_into, SimConfig, SimScratch};
+///
+/// let grid = HexGrid::new(6, 5);
+/// let sched = Schedule::single_pulse(vec![Time::ZERO; 5]);
+/// let cfg = SimConfig::fault_free();
+///
+/// let mut scratch = SimScratch::new();
+/// for seed in 0..4 {
+///     let reused = simulate_into(&mut scratch, grid.graph(), &sched, &cfg, seed);
+///     assert_eq!(reused.fires, simulate(grid.graph(), &sched, &cfg, seed).fires);
+/// }
+/// // All four runs shared one trace-sized allocation.
+/// assert_eq!(scratch.grow_count(), 1);
+/// ```
+#[derive(Debug)]
+pub struct SimScratch {
+    trace: Trace,
+    states: Vec<NodeState>,
+    queue: EventQueue<Ev>,
+    /// Spec-level output buffers
+    /// ([`RunSpec::run_one_into`](crate::spec::RunSpec::run_one_into)
+    /// refills these per run).
+    pub(crate) out: crate::spec::RunView,
+    grows: usize,
+}
+
+impl Default for SimScratch {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SimScratch {
+    /// An empty scratch; buffers are grown on first use and reused after.
+    pub fn new() -> Self {
+        SimScratch {
+            trace: Trace {
+                fires: Vec::new(),
+                arrivals: Vec::new(),
+                faulty: Vec::new(),
+                horizon: Time::ZERO,
+            },
+            states: Vec::new(),
+            queue: EventQueue::new(),
+            out: crate::spec::RunView::default(),
+            grows: 0,
+        }
+    }
+
+    /// The trace of the most recent [`simulate_into`] run.
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// Extract the most recent trace, consuming the scratch.
+    pub fn into_trace(self) -> Trace {
+        self.trace
+    }
+
+    /// How many times the trace-sized buffers had to be (re)allocated —
+    /// 1 after any number of same-shape runs; grows only when the graph
+    /// shape changes under the scratch.
+    pub fn grow_count(&self) -> usize {
+        self.grows
+    }
+
+    /// Split into the last run's trace and the spec-level output buffers
+    /// (both live in the scratch; the borrow checker needs them apart).
+    pub(crate) fn trace_and_out(&mut self) -> (&Trace, &mut crate::spec::RunView) {
+        (&self.trace, &mut self.out)
+    }
+
+    /// Make every buffer observationally identical to a fresh allocation
+    /// for `graph`, reusing capacity whenever the shape allows.
+    fn prepare(&mut self, graph: &PulseGraph) {
+        let n = graph.node_count();
+        let shape_ok = self.trace.fires.len() == n
+            && self.trace.arrivals.len() == n
+            && self.states.len() == n
+            && graph.node_ids().all(|id| {
+                let s = &self.states[id as usize];
+                s.id() == id && s.ports() == graph.port_count(id)
+            });
+        if shape_ok {
+            self.trace.clear();
+            for s in &mut self.states {
+                s.reset_clean();
+            }
+        } else {
+            self.grows += 1;
+            self.trace = Trace {
+                fires: vec![Vec::new(); n],
+                arrivals: vec![Vec::new(); n],
+                faulty: Vec::new(),
+                horizon: Time::ZERO,
+            };
+            self.states = graph
+                .node_ids()
+                .map(|id| NodeState::clean(id, graph.port_count(id)))
+                .collect();
+        }
+        self.queue.clear();
+        // First-run behavior matches steady-state reuse: the event list
+        // starts sized for the graph instead of growing through the run.
+        self.queue.reserve(n);
+    }
+}
+
 /// Run one simulation of `graph` driven by `schedule` (one entry per source
 /// node, in [`PulseGraph::source_ids`] order) under `cfg`, seeded by `seed`.
 ///
 /// Returns the full [`Trace`]: per node, the list of firing times with
 /// their trigger causes. Faulty nodes never record fires.
 ///
+/// This is a thin fresh-scratch wrapper over [`simulate_into`]; batch
+/// drivers that run many simulations reuse one [`SimScratch`] instead.
+///
 /// # Panics
 ///
 /// Panics if the schedule's source count does not match the graph's.
 pub fn simulate(graph: &PulseGraph, schedule: &Schedule, cfg: &SimConfig, seed: u64) -> Trace {
+    let mut scratch = SimScratch::new();
+    simulate_into(&mut scratch, graph, schedule, cfg, seed);
+    scratch.into_trace()
+}
+
+/// Run one simulation into `scratch`, recycling its event queue, node
+/// states and trace storage, and return the recorded trace (borrowed from
+/// the scratch, which stays reusable for the next run).
+///
+/// The result is byte-identical to [`simulate`] with the same arguments,
+/// no matter what ran through the scratch before.
+///
+/// # Panics
+///
+/// Panics if the schedule's source count does not match the graph's.
+pub fn simulate_into<'s>(
+    scratch: &'s mut SimScratch,
+    graph: &PulseGraph,
+    schedule: &Schedule,
+    cfg: &SimConfig,
+    seed: u64,
+) -> &'s Trace {
     let sources: Vec<NodeId> = graph.source_ids().collect();
     assert_eq!(
         sources.len(),
@@ -141,13 +289,16 @@ pub fn simulate(graph: &PulseGraph, schedule: &Schedule, cfg: &SimConfig, seed: 
     let behaviors = cfg.faults.resolve(graph, &mut rng);
     let horizon = cfg.horizon.unwrap_or_else(|| cfg.auto_horizon(graph, schedule));
 
-    let mut states: Vec<NodeState> = graph
-        .node_ids()
-        .map(|n| NodeState::clean(n, graph.port_count(n)))
-        .collect();
-    let mut fires: Vec<Vec<(Time, TriggerCause)>> = vec![Vec::new(); graph.node_count()];
-    let mut arrivals: Vec<Vec<crate::trace::Arrival>> = vec![Vec::new(); graph.node_count()];
-    let mut q: EventQueue<Ev> = EventQueue::new();
+    scratch.prepare(graph);
+    let SimScratch {
+        trace,
+        states,
+        queue: q,
+        ..
+    } = scratch;
+    let states: &mut [NodeState] = states;
+    let fires = &mut trace.fires;
+    let arrivals = &mut trace.arrivals;
 
     // Schedule all source pulses.
     for (ix, &node) in sources.iter().enumerate() {
@@ -227,8 +378,7 @@ pub fn simulate(graph: &PulseGraph, schedule: &Schedule, cfg: &SimConfig, seed: 
         .collect();
     for n in ready_now {
         maybe_fire(
-            n, Time::ZERO, graph, cfg, &behaviors, &delays, &mut states, &mut fires, &mut q,
-            &mut rng,
+            n, Time::ZERO, graph, cfg, &behaviors, &delays, states, fires, q, &mut rng,
         );
     }
 
@@ -244,7 +394,7 @@ pub fn simulate(graph: &PulseGraph, schedule: &Schedule, cfg: &SimConfig, seed: 
                     continue; // mute/Byzantine source: outputs are constants
                 }
                 fires[node as usize].push((now, TriggerCause::Source));
-                broadcast(node, now, graph, &behaviors, &delays, &mut q, &mut rng);
+                broadcast(node, now, graph, &behaviors, &delays, q, &mut rng);
             }
             Ev::Deliver { link } => {
                 let l = graph.link(link);
@@ -270,19 +420,17 @@ pub fn simulate(graph: &PulseGraph, schedule: &Schedule, cfg: &SimConfig, seed: 
                         },
                     );
                     maybe_fire(
-                        n, now, graph, cfg, &behaviors, &delays, &mut states, &mut fires,
-                        &mut q, &mut rng,
+                        n, now, graph, cfg, &behaviors, &delays, states, fires, q, &mut rng,
                     );
                 }
             }
             Ev::LinkTimeout { node, port, epoch } => {
                 if states[node as usize].expire_flag(port, epoch) {
                     refresh_stuck_one(
-                        node, port, now, graph, cfg, &behaviors, &mut states, &mut q, &mut rng,
+                        node, port, now, graph, cfg, &behaviors, states, q, &mut rng,
                     );
                     maybe_fire(
-                        node, now, graph, cfg, &behaviors, &delays, &mut states, &mut fires,
-                        &mut q, &mut rng,
+                        node, now, graph, cfg, &behaviors, &delays, states, fires, q, &mut rng,
                     );
                 }
             }
@@ -291,25 +439,20 @@ pub fn simulate(graph: &PulseGraph, schedule: &Schedule, cfg: &SimConfig, seed: 
                     // All flags were cleared; stuck-1 ports re-assert.
                     for port in 0..graph.port_count(node) as u8 {
                         refresh_stuck_one(
-                            node, port, now, graph, cfg, &behaviors, &mut states, &mut q,
-                            &mut rng,
+                            node, port, now, graph, cfg, &behaviors, states, q, &mut rng,
                         );
                     }
                     maybe_fire(
-                        node, now, graph, cfg, &behaviors, &delays, &mut states, &mut fires,
-                        &mut q, &mut rng,
+                        node, now, graph, cfg, &behaviors, &delays, states, fires, q, &mut rng,
                     );
                 }
             }
         }
     }
 
-    Trace {
-        fires,
-        arrivals,
-        faulty: cfg.faults.faulty_nodes(),
-        horizon,
-    }
+    trace.faulty = cfg.faults.faulty_nodes();
+    trace.horizon = horizon;
+    &scratch.trace
 }
 
 /// If `node` is ready and its guard is satisfied, fire: record, broadcast,

@@ -8,6 +8,10 @@
 //!   deterministic per link), fault injection (Byzantine / fail-silent nodes
 //!   and stuck-at links), arbitrary initial states for self-stabilization
 //!   experiments, and multi-pulse layer-0 schedules;
+//! * [`engine::SimScratch`] / [`engine::simulate_into`] — the reusable
+//!   per-worker arena behind the batch paths: event queue, node states,
+//!   trace and view buffers are recycled across runs, byte-identically to
+//!   fresh allocations;
 //! * [`trace::Trace`] — the recorded triggering times `t^(k)_{ℓ,i}` with
 //!   their trigger causes (left / central / right, Definition 1);
 //! * [`trace::PulseView`] / [`trace::assign_pulses`] — the per-pulse
@@ -33,8 +37,8 @@ pub mod spec;
 pub mod trace;
 pub mod vcd;
 
-pub use batch::{run_batch, run_batch_fold, Reducer};
-pub use engine::{simulate, InitState, SimConfig};
+pub use batch::{run_batch, run_batch_fold, run_batch_fold_with, run_batch_with, Reducer};
+pub use engine::{simulate, simulate_into, InitState, SimConfig, SimScratch};
 pub use spec::{FaultRegime, RunSpec, RunView, TimingPolicy};
-pub use trace::{assign_pulses, PulseView, Trace};
+pub use trace::{assign_pulses, assign_pulses_into, PulseView, Trace};
 pub use vcd::{vcd_document, VcdOptions};

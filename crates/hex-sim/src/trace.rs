@@ -21,7 +21,7 @@ pub struct Arrival {
 }
 
 /// The raw output of one simulation run.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Trace {
     /// Per node: chronological `(time, cause)` firing records. Faulty nodes
     /// have no records.
@@ -36,6 +36,20 @@ pub struct Trace {
 }
 
 impl Trace {
+    /// Empty all recorded data while keeping the per-node vectors (and
+    /// their capacities) alive, so the next run refills without new
+    /// trace-sized allocations. The node count is preserved.
+    pub fn clear(&mut self) {
+        for f in &mut self.fires {
+            f.clear();
+        }
+        for a in &mut self.arrivals {
+            a.clear();
+        }
+        self.faulty.clear();
+        self.horizon = Time::ZERO;
+    }
+
     /// Total number of firings across all nodes.
     pub fn total_fires(&self) -> usize {
         self.fires.iter().map(Vec::len).sum()
@@ -60,7 +74,7 @@ impl Trace {
 /// pulse, `None` for nodes that did not fire (faulty or starved) or fired
 /// ambiguously (several firings binned to this pulse — counted in
 /// [`PulseView::spurious`]).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PulseView {
     /// Triggering times, `[layer][column]`.
     pub t: Vec<Vec<Option<Time>>>,
@@ -111,13 +125,48 @@ impl PulseView {
         true
     }
 
+    /// A zero-sized placeholder; only useful as a refill target (all
+    /// refill APIs reshape it to the grid first).
+    pub fn placeholder() -> PulseView {
+        PulseView {
+            t: Vec::new(),
+            cause: Vec::new(),
+            spurious: 0,
+        }
+    }
+
+    /// Resize to an `(l+1) × w` all-`None` matrix, reusing row allocations.
+    fn reshape(&mut self, l: u32, w: u32) {
+        let rows = (l + 1) as usize;
+        self.t.truncate(rows);
+        self.cause.truncate(rows);
+        self.t.resize_with(rows, Vec::new);
+        self.cause.resize_with(rows, Vec::new);
+        for row in &mut self.t {
+            row.clear();
+            row.resize(w as usize, None);
+        }
+        for row in &mut self.cause {
+            row.clear();
+            row.resize(w as usize, None);
+        }
+        self.spurious = 0;
+    }
+
     /// Build a single-pulse view directly from a trace (every node's unique
     /// firing; multiple firings count as spurious and void the entry).
     pub fn from_single_pulse(grid: &HexGrid, trace: &Trace) -> PulseView {
+        let mut view = PulseView::placeholder();
+        view.refill_single_pulse(grid, trace);
+        view
+    }
+
+    /// Refill `self` from a single-pulse trace in place — the reuse twin of
+    /// [`PulseView::from_single_pulse`]: identical contents, no matrix
+    /// allocation when the shape already matches `grid`.
+    pub fn refill_single_pulse(&mut self, grid: &HexGrid, trace: &Trace) {
         let (l, w) = (grid.length(), grid.width());
-        let mut t = vec![vec![None; w as usize]; (l + 1) as usize];
-        let mut cause = vec![vec![None; w as usize]; (l + 1) as usize];
-        let mut spurious = 0;
+        self.reshape(l, w);
         for layer in 0..=l {
             for col in 0..w {
                 let n = grid.node(layer, col as i64);
@@ -125,18 +174,26 @@ impl PulseView {
                 match fs.as_slice() {
                     [] => {}
                     [(time, c)] => {
-                        t[layer as usize][col as usize] = Some(*time);
-                        cause[layer as usize][col as usize] = Some(*c);
+                        self.t[layer as usize][col as usize] = Some(*time);
+                        self.cause[layer as usize][col as usize] = Some(*c);
                     }
                     more => {
-                        spurious += more.len() - 1;
-                        t[layer as usize][col as usize] = Some(more[0].0);
-                        cause[layer as usize][col as usize] = Some(more[0].1);
+                        self.spurious += more.len() - 1;
+                        self.t[layer as usize][col as usize] = Some(more[0].0);
+                        self.cause[layer as usize][col as usize] = Some(more[0].1);
                     }
                 }
             }
         }
-        PulseView { t, cause, spurious }
+    }
+}
+
+/// Truncate or pad `views` to exactly `pulses` placeholder-backed entries,
+/// keeping existing matrix allocations for reuse.
+pub(crate) fn ensure_views(views: &mut Vec<PulseView>, pulses: usize) {
+    views.truncate(pulses);
+    while views.len() < pulses {
+        views.push(PulseView::placeholder());
     }
 }
 
@@ -156,15 +213,27 @@ pub fn assign_pulses(
     schedule: &Schedule,
     d_mid: Duration,
 ) -> Vec<PulseView> {
+    let mut views = Vec::new();
+    assign_pulses_into(&mut views, grid, trace, schedule, d_mid);
+    views
+}
+
+/// In-place twin of [`assign_pulses`]: bin the firings into `views`,
+/// reusing its matrices when the shapes match. Produces exactly the same
+/// views as [`assign_pulses`], regardless of what `views` held before.
+pub fn assign_pulses_into(
+    views: &mut Vec<PulseView>,
+    grid: &HexGrid,
+    trace: &Trace,
+    schedule: &Schedule,
+    d_mid: Duration,
+) {
     let pulses = schedule.pulses();
     let (l, w) = (grid.length(), grid.width());
-    let mut views: Vec<PulseView> = (0..pulses)
-        .map(|_| PulseView {
-            t: vec![vec![None; w as usize]; (l + 1) as usize],
-            cause: vec![vec![None; w as usize]; (l + 1) as usize],
-            spurious: 0,
-        })
-        .collect();
+    ensure_views(views, pulses);
+    for v in views.iter_mut() {
+        v.reshape(l, w);
+    }
 
     // Per-pulse fallback base times for mute sources.
     let base: Vec<Time> = (0..pulses)
@@ -211,7 +280,6 @@ pub fn assign_pulses(
             }
         }
     }
-    views
 }
 
 #[cfg(test)]

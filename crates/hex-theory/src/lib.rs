@@ -21,6 +21,24 @@
 //!
 //! Everything here is pure arithmetic on the paper's parameters; the
 //! benches cross-check these numbers against simulated executions.
+//!
+//! ```
+//! use hex_core::{DelayRange, D_PLUS};
+//! use hex_des::Duration;
+//! use hex_theory::{theorem1_intra_bound, Condition2};
+//!
+//! // Theorem 1, zero layer-0 skew: neighbors on any layer of a W = 20
+//! // grid stay within d+ + ⌈W·ε/d+⌉·ε — a little above d+ and
+//! // independent of the grid length.
+//! let bound = theorem1_intra_bound(20, DelayRange::paper());
+//! assert!(bound >= D_PLUS);
+//! assert!(bound <= D_PLUS + Duration::from_ns(4.0));
+//!
+//! // Condition 2 turns a stable skew σ into timeouts and the minimum
+//! // pulse separation S (Table 3's derivation).
+//! let derived = Condition2::paper(Duration::from_ns(8.0)).derive();
+//! assert!(derived.separation > Duration::ZERO);
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -14,6 +14,20 @@
 //! * [`freqmul`] — **frequency multiplication** (Fig. 20): per-node
 //!   start/stoppable fast oscillators locked to the HEX pulses, with the
 //!   skew/drift accounting of the paper's discussion.
+//!
+//! ```
+//! use hex_topo::DoublingTopology;
+//!
+//! // Four source columns; the ring doubles at layers 1 and 3:
+//! // widths 4, 8, 8, 16.
+//! let topo = DoublingTopology::new(4, 3, &[1, 3]);
+//! assert_eq!(topo.length(), 3);
+//! assert_eq!((0..=3).map(|l| topo.width(l)).collect::<Vec<_>>(), [4, 8, 8, 16]);
+//! assert_eq!(topo.node_count(), 4 + 8 + 8 + 16);
+//!
+//! // Rings are cyclic like the HEX cylinder's columns.
+//! assert_eq!(topo.node(3, -1), topo.node(3, 15));
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -16,6 +16,25 @@
 //! leaf grid with per-segment buffered delays, delay-uncertainty sampling,
 //! fault injection (dead buffers) and the wire-length / skew / blast-radius
 //! metrics the comparison benches report.
+//!
+//! ```
+//! use hex_des::SimRng;
+//! use hex_tree::{leaf_skews, neighbor_wire_distance, HTree, HTreeConfig};
+//!
+//! // Depth-3 H-tree over an 8×8 leaf grid, delays comparable to HEX hops.
+//! let tree = HTree::build(HTreeConfig::paper_comparable(3));
+//! assert_eq!(tree.config().leaves(), 64);
+//!
+//! // Structural fact 1: physically adjacent leaves can sit far apart in
+//! // tree wiring — much farther than their unit physical distance.
+//! assert!(neighbor_wire_distance(&tree) > 4.0);
+//!
+//! // A fault-free pulse reaches every leaf; neighbor skews exist.
+//! let mut rng = SimRng::seed_from_u64(3);
+//! let arrivals = tree.simulate_pulse(&[], &mut rng);
+//! assert!(arrivals.iter().all(Option::is_some));
+//! assert!(!leaf_skews(&tree, &arrivals).is_empty());
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -88,8 +88,9 @@ pub mod prelude {
     };
     pub use hex_des::{Duration, Schedule, SimRng, Time};
     pub use hex_sim::{
-        assign_pulses, run_batch, run_batch_fold, simulate, FaultRegime, InitState, PulseView,
-        Reducer, RunSpec, RunView, SimConfig, TimingPolicy,
+        assign_pulses, run_batch, run_batch_fold, run_batch_fold_with, run_batch_with, simulate,
+        simulate_into, FaultRegime, InitState, PulseView, Reducer, RunSpec, RunView, SimConfig,
+        SimScratch, TimingPolicy,
     };
     pub use hex_theory::{theorem1_intra_bound, Condition2};
 }

@@ -102,3 +102,94 @@ fn same_seed_traces_serialize_byte_identical() {
     let doc_c = vcd_document(&grid, &c, &VcdOptions::default());
     assert_ne!(doc_a.as_bytes(), doc_c.as_bytes());
 }
+
+/// Scratch-reuse wall: `simulate_into` on a **dirty, reused** `SimScratch`
+/// must be byte-identical (VCD serialization) to fresh `simulate`, across
+/// the fault-free, Byzantine, and Mixed regimes and across init states.
+/// The scratch is deliberately polluted by a run of a *different* grid
+/// shape, fault plan and seed before every comparison, and carried from
+/// one regime to the next.
+#[test]
+fn dirty_scratch_runs_serialize_byte_identical_to_fresh() {
+    use hexclock::sim::{vcd_document, VcdOptions};
+
+    let grid = HexGrid::new(12, 8);
+    let sched = Schedule::single_pulse(vec![Time::ZERO; 8]);
+    let mut rng = SimRng::seed_from_u64(77);
+    let multi = PulseTrain::new(Scenario::Zero, 3, Duration::from_ns(300.0)).generate(8, &mut rng);
+
+    // Mixed regime: one Byzantine plus one fail-silent node, placed like
+    // the RunSpec mixed regime does (Condition 1 over the union).
+    let mut place_rng = SimRng::seed_from_u64(5);
+    let mixed = FaultRegime::Mixed {
+        byzantine: 1,
+        fail_silent: 1,
+    }
+    .plan(&grid, &mut place_rng);
+    assert_eq!(mixed.fault_count(), 2);
+
+    let regimes: Vec<(&str, SimConfig, &Schedule)> = vec![
+        (
+            "fault-free",
+            SimConfig {
+                timing: Timing::paper_scenario_iii(),
+                record_arrivals: true,
+                ..SimConfig::fault_free()
+            },
+            &sched,
+        ),
+        (
+            "byzantine",
+            SimConfig {
+                faults: FaultPlan::none().with_node(grid.node(4, 2), NodeFault::Byzantine),
+                timing: Timing::paper_scenario_iii(),
+                record_arrivals: true,
+                ..SimConfig::fault_free()
+            },
+            &sched,
+        ),
+        (
+            "mixed",
+            SimConfig {
+                faults: mixed,
+                timing: Timing::paper_scenario_iii(),
+                init: InitState::Arbitrary,
+                record_arrivals: true,
+                ..SimConfig::fault_free()
+            },
+            &multi,
+        ),
+    ];
+
+    let mut scratch = SimScratch::new();
+    // Pollute: different shape, different fault plan, different seed.
+    let decoy_grid = HexGrid::new(5, 6);
+    let decoy_sched = Schedule::single_pulse(vec![Time::ZERO; 6]);
+    let decoy_cfg = SimConfig {
+        faults: FaultPlan::none().with_node(decoy_grid.node(2, 1), NodeFault::FailSilent),
+        init: InitState::AllFlagsSet,
+        timing: Timing::paper_scenario_iii(),
+        record_arrivals: true,
+        ..SimConfig::fault_free()
+    };
+    simulate_into(&mut scratch, decoy_grid.graph(), &decoy_sched, &decoy_cfg, 999);
+
+    for (name, cfg, schedule) in &regimes {
+        for seed in [7u64, 8] {
+            let fresh = simulate(grid.graph(), schedule, cfg, seed);
+            let reused = simulate_into(&mut scratch, grid.graph(), schedule, cfg, seed);
+            assert_eq!(
+                &fresh, reused,
+                "{name}/seed {seed}: trace structs diverged under scratch reuse"
+            );
+            let doc_fresh = vcd_document(&grid, &fresh, &VcdOptions::default());
+            let doc_reused = vcd_document(&grid, reused, &VcdOptions::default());
+            assert!(!doc_fresh.is_empty());
+            assert_eq!(
+                doc_fresh.as_bytes(),
+                doc_reused.as_bytes(),
+                "{name}/seed {seed}: serialized traces diverged under scratch reuse"
+            );
+        }
+    }
+}

@@ -133,6 +133,55 @@ fn streaming_fold_equals_materialize_then_fold_at_any_thread_count() {
 }
 
 #[test]
+fn scratch_backed_fold_equals_materialize_for_multi_pulse_batches() {
+    use hexclock::analysis::reduce::StabilizationReducer;
+    use hexclock::analysis::skew::exclusion_mask;
+    use hexclock::analysis::stabilization::{stabilization_pulse, Criterion};
+
+    // Multi-pulse + Arbitrary init + Byzantine faults exercises every
+    // scratch-reuse path at once: trace buffers, view matrices
+    // (assign_pulses_into), and the per-worker SimScratch of fold.
+    let base = RunSpec::grid(10, 6)
+        .runs(12)
+        .scenario(Scenario::Zero)
+        .faults(FaultRegime::Byzantine(1))
+        .pulses(4)
+        .init(InitState::Arbitrary);
+    let grid = base.hex_grid();
+    let criteria: Vec<Criterion> = (1..=2u8)
+        .map(|c| Criterion::class(c, D_PLUS, base.length, |_| D_PLUS))
+        .collect();
+
+    // Reference: materialized batch + sequential per-run loop.
+    let runs = base.clone().threads(1).run_batch();
+    let expected: Vec<Vec<Option<usize>>> = criteria
+        .iter()
+        .map(|criterion| {
+            runs.iter()
+                .map(|rv| {
+                    let mask = exclusion_mask(&grid, &rv.faulty, 0);
+                    stabilization_pulse(&grid, &rv.views, &mask, criterion)
+                })
+                .collect()
+        })
+        .collect();
+
+    for threads in [1usize, 2, 3, 8, 64] {
+        let streamed = base
+            .clone()
+            .threads(threads)
+            .fold(&StabilizationReducer::new(&grid, &criteria, 0));
+        assert_eq!(streamed, expected, "threads = {threads}");
+        // The materialized batch is also thread-count independent.
+        assert_eq!(
+            base.clone().threads(threads).run_batch(),
+            runs,
+            "threads = {threads}: run_batch"
+        );
+    }
+}
+
+#[test]
 fn run_batch_fold_primitive_matches_sequential_fold() {
     use hexclock::sim::batch::Reducer;
 

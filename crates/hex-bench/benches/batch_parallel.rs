@@ -10,7 +10,9 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use hex_bench::zero_schedule;
 use hex_core::HexGrid;
 use hex_sim::batch::{default_threads, run_batch_fold_with, Reducer};
-use hex_sim::{run_batch, run_batch_fold, simulate, simulate_into, SimConfig, SimScratch};
+use hex_sim::{
+    run_batch, run_batch_fold, simulate, simulate_into, QueuePolicy, SimConfig, SimScratch,
+};
 
 struct SumFires;
 impl Reducer<usize> for SumFires {
@@ -76,6 +78,32 @@ fn bench_batch(c: &mut Criterion) {
             )
         })
     });
+    // The same sweep under the runner-up queue policy (`fold_scratch`
+    // above runs the default calendar ring): the batch-level leg of the
+    // three-way `QueuePolicy` ablation (identical output).
+    let alt_cfg = SimConfig {
+        queue: QueuePolicy::BinaryHeap,
+        ..SimConfig::fault_free()
+    };
+    g.bench_with_input(
+        BenchmarkId::new("fold_scratch_binary_heap_threads", all),
+        &all,
+        |b, &t| {
+            b.iter(|| {
+                run_batch_fold_with(
+                    runs,
+                    t,
+                    SimScratch::new,
+                    || 0usize,
+                    |scratch, acc, run| {
+                        *acc += simulate_into(scratch, grid.graph(), &sched, &alt_cfg, run as u64)
+                            .total_fires();
+                    },
+                    |left, right| left + right,
+                )
+            })
+        },
+    );
     g.finish();
 }
 

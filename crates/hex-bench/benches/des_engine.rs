@@ -1,11 +1,14 @@
 //! Engine microbenchmarks: event-queue throughput and single-pulse
-//! simulation cost as a function of grid size.
+//! simulation cost as a function of grid size, including the three-way
+//! `QueuePolicy` ablation on the flagship `single_pulse/grid/100x40`
+//! workload (recorded by `scripts/bench_snapshot.sh` into
+//! `BENCH_single_pulse.json`; the winner ships as the engine default).
 
 use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
 use hex_bench::zero_schedule;
 use hex_core::HexGrid;
 use hex_des::{EventQueue, Time};
-use hex_sim::{simulate, simulate_into, SimConfig, SimScratch};
+use hex_sim::{simulate, simulate_into, QueuePolicy, SimConfig, SimScratch};
 
 fn bench_event_queue(c: &mut Criterion) {
     let mut g = c.benchmark_group("event_queue");
@@ -67,9 +70,71 @@ fn bench_single_pulse(c: &mut Criterion) {
                 })
             },
         );
+        // The queue-policy ablation on the scratch path (the batch hot
+        // configuration): identical output, different future event list.
+        // `grid_scratch` above runs the engine default; these rows name
+        // each policy explicitly so the snapshot JSON is self-describing.
+        for policy in QueuePolicy::ALL {
+            let cfg = SimConfig {
+                queue: policy,
+                ..SimConfig::fault_free()
+            };
+            g.bench_with_input(
+                BenchmarkId::new(format!("grid_scratch_{}", policy.label()), format!("{l}x{w}")),
+                &grid,
+                |b, grid| {
+                    let mut scratch = SimScratch::new();
+                    let mut seed = 0u64;
+                    b.iter(|| {
+                        seed += 1;
+                        simulate_into(&mut scratch, grid.graph(), &sched, &cfg, seed).total_fires()
+                    })
+                },
+            );
+        }
     }
     g.finish();
 }
 
-criterion_group!(benches, bench_event_queue, bench_single_pulse);
+/// The stabilization regime — Table 3 (iii) timeouts, arbitrary init, an
+/// 8-pulse train — under each queue policy. Here every scheduling
+/// increment is tightly bounded (`max(T+_sleep) ≈ 95 ns`), the workload
+/// shape the calendar ring is sized for; the single-pulse groups above
+/// cover the generous-timeout regime where the sleep horizon dominates.
+fn bench_multi_pulse(c: &mut Criterion) {
+    use hex_clock::{PulseTrain, Scenario};
+    use hex_core::Timing;
+    use hex_des::{Duration, SimRng};
+    use hex_sim::InitState;
+
+    let mut g = c.benchmark_group("multi_pulse");
+    g.sample_size(10);
+    let grid = HexGrid::new(20, 20);
+    let mut rng = SimRng::seed_from_u64(7);
+    let sched =
+        PulseTrain::new(Scenario::Zero, 8, Duration::from_ns(300.0)).generate(20, &mut rng);
+    for policy in QueuePolicy::ALL {
+        let cfg = SimConfig {
+            timing: Timing::paper_scenario_iii(),
+            init: InitState::Arbitrary,
+            queue: policy,
+            ..SimConfig::fault_free()
+        };
+        g.bench_with_input(
+            BenchmarkId::new("stabilization_20x20", policy.label()),
+            &grid,
+            |b, grid| {
+                let mut scratch = SimScratch::new();
+                let mut seed = 0u64;
+                b.iter(|| {
+                    seed += 1;
+                    simulate_into(&mut scratch, grid.graph(), &sched, &cfg, seed).total_fires()
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_event_queue, bench_single_pulse, bench_multi_pulse);
 criterion_main!(benches);

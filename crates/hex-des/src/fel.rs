@@ -1,0 +1,222 @@
+//! The future-event-list abstraction the simulation engines plug into.
+//!
+//! Three queue implementations share one deterministic contract — pops
+//! ordered by `(time, push sequence)`, FIFO on ties, past-scheduling
+//! panics, monotone `now()`, and a [`clear`](FutureEventList::clear) that
+//! restores the fresh state while keeping allocations:
+//!
+//! * [`EventQueue`] — `std::collections::BinaryHeap`;
+//! * [`QuadHeapQueue`] — a 4-ary implicit heap;
+//! * [`CalendarQueue`] — a bounded-horizon calendar/bucket ring.
+//!
+//! [`FutureEventList`] is **sealed**: the determinism walls (byte-identical
+//! traces across queue policies) only cover these three implementations,
+//! so external impls are deliberately impossible. Engines genericize their
+//! hot loop over the trait and select the implementation once per run —
+//! monomorphized dispatch, no per-event indirection:
+//!
+//! ```
+//! use hex_des::{Duration, EventQueue, CalendarQueue, FutureEventList, Time};
+//!
+//! fn drain<Q: FutureEventList<u32>>(q: &mut Q) -> Vec<u32> {
+//!     std::iter::from_fn(|| q.pop_next().map(|(_, p)| p)).collect()
+//! }
+//!
+//! let mut heap = EventQueue::new();
+//! let mut ring = CalendarQueue::for_profile(Duration::from_ps(10), 4);
+//! for q in [&mut heap as &mut dyn FutureEventList<u32>, &mut ring] {
+//!     q.push(Time::from_ps(7), 1);
+//!     q.push(Time::from_ps(3), 2);
+//! }
+//! assert_eq!(drain(&mut heap), drain(&mut ring));
+//! ```
+
+use crate::calendar::CalendarQueue;
+use crate::event::EventQueue;
+use crate::quad_heap::QuadHeapQueue;
+use crate::time::Time;
+
+mod sealed {
+    /// Only the queues covered by the determinism walls may implement
+    /// [`super::FutureEventList`].
+    pub trait Sealed {}
+    impl<E> Sealed for super::EventQueue<E> {}
+    impl<E> Sealed for super::QuadHeapQueue<E> {}
+    impl<E> Sealed for super::CalendarQueue<E> {}
+}
+
+/// A deterministic future event list (sealed; see the [module
+/// docs](self)).
+pub trait FutureEventList<E>: sealed::Sealed {
+    /// Schedule `payload` at absolute time `at`; panics if `at` lies
+    /// before the last popped instant.
+    fn push(&mut self, at: Time, payload: E);
+
+    /// Remove and return the earliest `(time, payload)`, advancing
+    /// simulated time. Named `pop_next` so the inherent `pop` of each
+    /// queue (with its richer return type) stays available.
+    fn pop_next(&mut self) -> Option<(Time, E)>;
+
+    /// Current simulated time (time of the last popped event).
+    fn now(&self) -> Time;
+
+    /// Number of pending events.
+    fn len(&self) -> usize;
+
+    /// True iff no events are pending.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total number of events popped so far (simulation work metric).
+    fn popped(&self) -> u64;
+
+    /// Reset to the fresh state, keeping allocations (scratch reuse).
+    fn clear(&mut self);
+
+    /// Reserve room for at least `additional` more events.
+    fn reserve(&mut self, additional: usize);
+
+    /// Number of events the queue can hold without reallocating.
+    fn capacity(&self) -> usize;
+}
+
+impl<E> FutureEventList<E> for EventQueue<E> {
+    fn push(&mut self, at: Time, payload: E) {
+        EventQueue::push(self, at, payload);
+    }
+    fn pop_next(&mut self) -> Option<(Time, E)> {
+        EventQueue::pop(self).map(|e| (e.at, e.payload))
+    }
+    fn now(&self) -> Time {
+        EventQueue::now(self)
+    }
+    fn len(&self) -> usize {
+        EventQueue::len(self)
+    }
+    fn popped(&self) -> u64 {
+        EventQueue::popped(self)
+    }
+    fn clear(&mut self) {
+        EventQueue::clear(self);
+    }
+    fn reserve(&mut self, additional: usize) {
+        EventQueue::reserve(self, additional);
+    }
+    fn capacity(&self) -> usize {
+        EventQueue::capacity(self)
+    }
+}
+
+impl<E> FutureEventList<E> for QuadHeapQueue<E> {
+    fn push(&mut self, at: Time, payload: E) {
+        QuadHeapQueue::push(self, at, payload);
+    }
+    fn pop_next(&mut self) -> Option<(Time, E)> {
+        QuadHeapQueue::pop(self)
+    }
+    fn now(&self) -> Time {
+        QuadHeapQueue::now(self)
+    }
+    fn len(&self) -> usize {
+        QuadHeapQueue::len(self)
+    }
+    fn popped(&self) -> u64 {
+        QuadHeapQueue::popped(self)
+    }
+    fn clear(&mut self) {
+        QuadHeapQueue::clear(self);
+    }
+    fn reserve(&mut self, additional: usize) {
+        QuadHeapQueue::reserve(self, additional);
+    }
+    fn capacity(&self) -> usize {
+        QuadHeapQueue::capacity(self)
+    }
+}
+
+impl<E> FutureEventList<E> for CalendarQueue<E> {
+    fn push(&mut self, at: Time, payload: E) {
+        CalendarQueue::push(self, at, payload);
+    }
+    fn pop_next(&mut self) -> Option<(Time, E)> {
+        CalendarQueue::pop(self).map(|e| (e.at, e.payload))
+    }
+    fn now(&self) -> Time {
+        CalendarQueue::now(self)
+    }
+    fn len(&self) -> usize {
+        CalendarQueue::len(self)
+    }
+    fn popped(&self) -> u64 {
+        CalendarQueue::popped(self)
+    }
+    fn clear(&mut self) {
+        CalendarQueue::clear(self);
+    }
+    fn reserve(&mut self, additional: usize) {
+        CalendarQueue::reserve(self, additional);
+    }
+    fn capacity(&self) -> usize {
+        CalendarQueue::capacity(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::Duration;
+    use proptest::prelude::*;
+
+    /// A generic hold-model workload driven through the trait surface:
+    /// push a resident set, repeatedly pop-and-reschedule, then drain.
+    fn hold<Q: FutureEventList<usize>>(q: &mut Q, deltas: &[i64]) -> Vec<(i64, usize)> {
+        q.clear();
+        q.reserve(8);
+        for i in 0..8 {
+            q.push(Time::from_ps(i as i64), i);
+        }
+        let mut out = Vec::new();
+        for &d in deltas {
+            let (t, p) = q.pop_next().expect("resident set never empties");
+            out.push((t.ps(), p));
+            q.push(t + Duration::from_ps(d), p);
+        }
+        while let Some((t, p)) = q.pop_next() {
+            out.push((t.ps(), p));
+        }
+        assert!(q.is_empty());
+        out
+    }
+
+    #[test]
+    fn trait_surface_consistent_across_impls() {
+        let deltas: Vec<i64> = (0..200).map(|i| (i * 37) % 90).collect();
+        let mut bin = EventQueue::new();
+        let mut quad = QuadHeapQueue::new();
+        let mut cal = CalendarQueue::for_profile(Duration::from_ps(90), 8);
+        let expect = hold(&mut bin, &deltas);
+        assert_eq!(hold(&mut quad, &deltas), expect);
+        assert_eq!(hold(&mut cal, &deltas), expect);
+        assert_eq!(FutureEventList::<usize>::popped(&bin), expect.len() as u64);
+        assert_eq!(FutureEventList::<usize>::popped(&cal), expect.len() as u64);
+    }
+
+    proptest! {
+        // Shared CI case budget: pin 32 cases (= compat/proptest DEFAULT_CASES).
+        #![proptest_config(ProptestConfig::with_cases(32))]
+        /// All three implementations pop identically under random
+        /// bounded-increment interleavings, through the trait surface.
+        #[test]
+        fn prop_three_way_pop_equivalence(
+            deltas in prop::collection::vec(0i64..120, 1..150),
+        ) {
+            let mut bin = EventQueue::new();
+            let mut quad = QuadHeapQueue::new();
+            let mut cal = CalendarQueue::for_profile(Duration::from_ps(120), 8);
+            let expect = hold(&mut bin, &deltas);
+            prop_assert_eq!(hold(&mut quad, &deltas), expect.clone());
+            prop_assert_eq!(hold(&mut cal, &deltas), expect);
+        }
+    }
+}

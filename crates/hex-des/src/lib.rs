@@ -14,6 +14,10 @@
 //!   FIFO tie-breaking for simultaneous events;
 //! * [`QuadHeapQueue`] — a 4-ary-heap drop-in with the identical contract
 //!   (kept as the measured counterfactual of the `pq` ablation bench);
+//! * [`CalendarQueue`] — a bounded-horizon calendar/bucket-ring queue with
+//!   O(1) amortized push/pop on bounded-increment workloads;
+//! * [`FutureEventList`] — the sealed trait unifying the three queues, so
+//!   simulation engines can select their event list per run;
 //! * [`SimRng`] — seedable random sampling helpers (uniform delay intervals);
 //! * [`Schedule`] — absolute-time schedules used by pulse sources.
 //!
@@ -30,13 +34,17 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod calendar;
 pub mod event;
+pub mod fel;
 pub mod quad_heap;
 pub mod rng;
 pub mod schedule;
 pub mod time;
 
+pub use calendar::CalendarQueue;
 pub use event::{EventQueue, QueuedEvent};
+pub use fel::FutureEventList;
 pub use quad_heap::QuadHeapQueue;
 pub use rng::SimRng;
 pub use schedule::Schedule;

@@ -6,12 +6,17 @@
 //! binary heap, trading more comparisons per sift-down for fewer
 //! cache-missing levels — the textbook DES optimization. `cargo bench -p
 //! hex-bench --bench pq` quantifies it on simulation-shaped workloads, and
-//! on this workload the ablation goes the *other* way: HEX events are
-//! small (16-byte key + small payload) and the resident set fits in cache,
-//! so `std`'s hole-sifting `BinaryHeap` wins on both bulk-drain and
-//! hold-model patterns. The engine therefore keeps `BinaryHeap`; this
-//! queue stays as the measured counterfactual and as a drop-in for
-//! payload-heavy embedders. The deterministic contract is identical:
+//! on this workload the three-way ablation (BinaryHeap vs QuadHeap vs
+//! [`crate::CalendarQueue`]; `scripts/bench_snapshot.sh` records it in
+//! `BENCH_pq.json`) goes *against* this queue twice over: HEX events are
+//! small (16-byte key + small payload) and the resident set fits in
+//! cache, so `std`'s hole-sifting `BinaryHeap` beats the 4-ary heap on
+//! both bulk-drain and hold-model patterns — and the bounded-horizon
+//! calendar ring beats them *both* on every engine workload (HEX
+//! increments are bounded, so bucket pops are O(1) amortized), which is
+//! why `hex_sim::QueuePolicy` defaults to the calendar. This queue stays
+//! as the measured counterfactual and as a drop-in for payload-heavy
+//! embedders. The deterministic contract is identical:
 //!
 //! * pops are ordered by `(time, push sequence)` — FIFO on ties,
 //! * scheduling into the past panics,
@@ -88,6 +93,27 @@ impl<E> QuadHeapQueue<E> {
             now: Time::MIN,
             popped: 0,
         }
+    }
+
+    /// Reset to the fresh state — no pending events, sequence counter at
+    /// 0, clock at `Time::MIN`, pop count at 0 — while keeping the heap's
+    /// allocated capacity (the `SimScratch` reuse idiom shared by every
+    /// [`crate::FutureEventList`] implementation).
+    pub fn clear(&mut self) {
+        self.heap.clear();
+        self.next_seq = 0;
+        self.now = Time::MIN;
+        self.popped = 0;
+    }
+
+    /// Number of events the queue can hold without reallocating.
+    pub fn capacity(&self) -> usize {
+        self.heap.capacity()
+    }
+
+    /// Reserve capacity for at least `additional` more events.
+    pub fn reserve(&mut self, additional: usize) {
+        self.heap.reserve(additional);
     }
 
     /// Schedule `payload` at absolute time `at`.
@@ -251,6 +277,29 @@ mod tests {
         sorted.sort_unstable();
         assert_eq!(order, sorted);
         assert_eq!(order.len(), 25);
+    }
+
+    #[test]
+    fn clear_restores_the_fresh_state() {
+        let mut dirty = QuadHeapQueue::new();
+        for t in 0..100 {
+            dirty.push(Time::from_ps(t), t);
+        }
+        for _ in 0..40 {
+            dirty.pop();
+        }
+        let cap = dirty.capacity();
+        dirty.clear();
+        assert!(dirty.is_empty());
+        assert_eq!(dirty.now(), Time::MIN);
+        assert_eq!(dirty.popped(), 0);
+        assert!(dirty.capacity() >= cap.min(100), "clear must keep capacity");
+        // Scheduling "into the past" of the previous run is legal again,
+        // and the sequence counter (FIFO tie-breaker) is reset.
+        dirty.push(Time::from_ps(1), 10);
+        dirty.push(Time::from_ps(1), 11);
+        assert_eq!(dirty.pop().unwrap().1, 10);
+        assert_eq!(dirty.pop().unwrap().1, 11);
     }
 
     #[test]

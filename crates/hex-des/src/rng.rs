@@ -41,6 +41,7 @@ impl SimRng {
     /// # Panics
     ///
     /// Panics if `lo > hi`.
+    #[inline]
     pub fn duration_in(&mut self, lo: Duration, hi: Duration) -> Duration {
         assert!(lo <= hi, "empty interval [{:?}, {:?}]", lo, hi);
         if lo == hi {
@@ -50,6 +51,7 @@ impl SimRng {
     }
 
     /// Sample an instant uniformly from the closed interval `[lo, hi]`.
+    #[inline]
     pub fn time_in(&mut self, lo: Time, hi: Time) -> Time {
         assert!(lo <= hi, "empty interval [{:?}, {:?}]", lo, hi);
         if lo == hi {
@@ -63,27 +65,32 @@ impl SimRng {
     /// # Panics
     ///
     /// Panics if `n == 0`.
+    #[inline]
     pub fn index(&mut self, n: usize) -> usize {
         assert!(n > 0, "index range must be non-empty");
         self.rng.gen_range(0..n)
     }
 
     /// A fair coin flip.
+    #[inline]
     pub fn coin(&mut self) -> bool {
         self.rng.gen()
     }
 
     /// A uniform draw from `[0, 1)`.
+    #[inline]
     pub fn unit(&mut self) -> f64 {
         self.rng.gen()
     }
 
     /// A Bernoulli draw with probability `p` of `true`.
+    #[inline]
     pub fn chance(&mut self, p: f64) -> bool {
         self.rng.gen_bool(p.clamp(0.0, 1.0))
     }
 
     /// A raw 64-bit draw (used to derive sub-seeds for batch runs).
+    #[inline]
     pub fn next_u64(&mut self) -> u64 {
         self.rng.gen()
     }

@@ -10,6 +10,18 @@
 //! * `Wake` — a sleep timeout expires (sleeping → ready, flags cleared),
 //!   epoch-tagged.
 //!
+//! ## Future event list
+//!
+//! Every event the engine schedules lands inside a bounded lookahead
+//! window of the current instant (`[d-, d+]` deliveries, `[T-, T+]` link
+//! and sleep timeouts), so the event list is pluggable via
+//! [`QueuePolicy`]: the `std::collections::BinaryHeap`-backed
+//! [`EventQueue`], the 4-ary [`QuadHeapQueue`], or the bounded-horizon
+//! [`CalendarQueue`] — all three pop byte-identically (`(time, seq)`
+//! order, FIFO ties), which the workspace determinism wall pins across
+//! policies. The hot loop is monomorphized per queue through the sealed
+//! [`FutureEventList`] trait; no per-event dynamic dispatch.
+//!
 //! ## Fault semantics
 //!
 //! Outgoing links of faulty nodes (and explicitly overridden links) are
@@ -22,11 +34,14 @@
 //!   fast triggering" behaviour. Faulty nodes themselves are inert: their
 //!   own firing rule is irrelevant because their outputs are constants.
 
+use hex_core::delay::ResolvedDelays;
 use hex_core::{
     DelayModel, FaultPlan, FiringState, LinkBehavior, NodeId, NodeState, PulseGraph, Role,
     Timing, TriggerCause,
 };
-use hex_des::{Duration, EventQueue, Schedule, SimRng, Time};
+use hex_des::{
+    CalendarQueue, Duration, EventQueue, FutureEventList, QuadHeapQueue, Schedule, SimRng, Time,
+};
 
 use crate::trace::Trace;
 
@@ -53,6 +68,69 @@ pub enum InitState {
     AllAsleep,
 }
 
+/// Which [`FutureEventList`] implementation the engine runs on.
+///
+/// All three produce byte-identical traces (pinned by the determinism
+/// wall); the policy only trades queue-operation cost. The default is the
+/// winner of the three-way `pq`/`des_engine` ablation
+/// (`scripts/bench_snapshot.sh` records it in `BENCH_*.json`): the
+/// bounded-horizon calendar ring wins every engine workload — ~20% on
+/// `single_pulse/grid/100x40`, ~27% on the stabilization regime, and
+/// 1.6–2× on raw hold-model queue ops — because every HEX scheduling
+/// increment is bounded, the structure a bucket ring exploits for O(1)
+/// amortized push/pop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum QueuePolicy {
+    /// `std::collections::BinaryHeap` via [`EventQueue`]: the measured
+    /// runner-up, and the reference implementation the walls compare
+    /// against.
+    BinaryHeap,
+    /// 4-ary implicit heap ([`QuadHeapQueue`]): fewer cache-missing
+    /// levels, more comparisons per sift. Loses to both others on HEX
+    /// workloads; kept as the measured counterfactual.
+    QuadHeap,
+    /// Bounded-horizon calendar ring ([`CalendarQueue`]), sized per run
+    /// from the delivery envelope and the graph's node count (see
+    /// `calendar_geometry`) — the measured default.
+    #[default]
+    Calendar,
+}
+
+impl QueuePolicy {
+    /// Every policy, in ablation-report order.
+    pub const ALL: [QueuePolicy; 3] = [
+        QueuePolicy::BinaryHeap,
+        QueuePolicy::QuadHeap,
+        QueuePolicy::Calendar,
+    ];
+
+    /// Short label used by benches and the `HEX_QUEUE` env knob.
+    pub fn label(self) -> &'static str {
+        match self {
+            QueuePolicy::BinaryHeap => "binary_heap",
+            QueuePolicy::QuadHeap => "quad_heap",
+            QueuePolicy::Calendar => "calendar",
+        }
+    }
+}
+
+impl std::str::FromStr for QueuePolicy {
+    type Err = String;
+
+    /// Accepts the bench labels and their obvious shorthands
+    /// (`binary_heap`/`binary`/`heap`, `quad_heap`/`quad`, `calendar`).
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "binary_heap" | "binary" | "heap" => Ok(QueuePolicy::BinaryHeap),
+            "quad_heap" | "quad" => Ok(QueuePolicy::QuadHeap),
+            "calendar" => Ok(QueuePolicy::Calendar),
+            other => Err(format!(
+                "unknown queue policy {other:?} (expected binary_heap, quad_heap or calendar)"
+            )),
+        }
+    }
+}
+
 /// Configuration of one simulation run.
 #[derive(Debug, Clone)]
 pub struct SimConfig {
@@ -72,6 +150,8 @@ pub struct SimConfig {
     /// [`Trace::arrivals`] (provenance for the execution checker;
     /// off by default — it costs memory proportional to message count).
     pub record_arrivals: bool,
+    /// Future-event-list implementation (identical output either way).
+    pub queue: QueuePolicy,
 }
 
 impl SimConfig {
@@ -85,6 +165,7 @@ impl SimConfig {
             init: InitState::Clean,
             horizon: None,
             record_arrivals: false,
+            queue: QueuePolicy::default(),
         }
     }
 
@@ -107,6 +188,17 @@ impl SimConfig {
         let f = self.faults.fault_count() as i64;
         last + d_plus.times(2 * (depth + f + 2)) + self.timing.sleep.hi.times(2)
     }
+
+    /// The largest increment this configuration ever schedules ahead of
+    /// `now`: the slowest delivery, memory timeout or sleep. This is the
+    /// calendar queue's ring horizon.
+    pub fn max_increment(&self) -> Duration {
+        self.delays
+            .envelope()
+            .hi
+            .max(self.timing.link.hi)
+            .max(self.timing.sleep.hi)
+    }
 }
 
 #[derive(Debug, Clone)]
@@ -115,6 +207,38 @@ enum Ev {
     Deliver { link: u32 },
     LinkTimeout { node: NodeId, port: u8, epoch: u32 },
     Wake { node: NodeId, epoch: u32 },
+}
+
+/// The scratch-resident future event list: one variant per
+/// [`QueuePolicy`], selected (and if necessary rebuilt) per run by
+/// [`SimScratch::prepare`]. The run loop matches once and monomorphizes.
+#[derive(Debug)]
+enum FelQueue {
+    Binary(EventQueue<Ev>),
+    Quad(QuadHeapQueue<Ev>),
+    Calendar(CalendarQueue<Ev>),
+}
+
+/// The calendar ring geometry for a configuration on an `n`-node graph:
+/// bucket count tracks the resident event set (≈ one pending timer per
+/// node), one ring lap covers the maximum scheduling increment.
+fn calendar_geometry(cfg: &SimConfig, nodes: usize) -> (i64, usize) {
+    let (_, nb) = hex_des::calendar::profile_geometry(cfg.max_increment(), nodes);
+    let nb_i = nb as i64;
+    let env = cfg.delays.envelope();
+    // Deliveries are the dense event class (a node broadcasts ~3 per
+    // fire), so the width is tuned to them rather than to the slowest
+    // timeout: at least one ring lap must cover a whole delivery hop
+    // (else every delivery pop degenerates to a full-lap scan), and a
+    // hop's jitter ε should spread over ~4 buckets so concurrent
+    // deliveries don't pile into one. Sparse far-future timeouts beyond
+    // the lap (e.g. the generous 10 µs sleeps of single-pulse runs) just
+    // wait out extra laps — measured cheaper than widening the buckets
+    // to reach them (see `single_pulse/grid_scratch_calendar`).
+    let lap_covers_hop = (env.hi.ps().max(1) + nb_i - 1) / nb_i;
+    let jitter_spread = (env.uncertainty().ps() / 4).max(lap_covers_hop);
+    let width = (cfg.max_increment().ps().max(1) / nb_i).clamp(lap_covers_hop, jitter_spread);
+    (width.max(1), nb)
 }
 
 /// Reusable simulation working memory: the event queue, per-node states,
@@ -129,6 +253,11 @@ enum Ev {
 /// scratch per worker thread, so a 250-run sweep performs O(threads) rather
 /// than O(runs) trace-sized allocations.
 ///
+/// After a run the scratch also exposes the engine's work counters:
+/// [`SimScratch::popped_events`] and [`SimScratch::stale_events`] (the
+/// epoch-rejected `LinkTimeout`/`Wake` churn — events popped that bought
+/// no state change).
+///
 /// ```
 /// use hex_core::HexGrid;
 /// use hex_des::{Schedule, Time};
@@ -142,6 +271,7 @@ enum Ev {
 /// for seed in 0..4 {
 ///     let reused = simulate_into(&mut scratch, grid.graph(), &sched, &cfg, seed);
 ///     assert_eq!(reused.fires, simulate(grid.graph(), &sched, &cfg, seed).fires);
+///     assert!(scratch.popped_events() > 0);
 /// }
 /// // All four runs shared one trace-sized allocation.
 /// assert_eq!(scratch.grow_count(), 1);
@@ -150,12 +280,20 @@ enum Ev {
 pub struct SimScratch {
     trace: Trace,
     states: Vec<NodeState>,
-    queue: EventQueue<Ev>,
+    queue: FelQueue,
+    /// Per-node `role == Forwarder && !faulty` — the per-event
+    /// eligibility test, hoisted out of the loop (a `FaultPlan` probe is
+    /// a `BTreeMap` lookup).
+    active: Vec<bool>,
+    /// Per-node `FaultPlan::is_faulty` bitmask.
+    faulty: Vec<bool>,
     /// Spec-level output buffers
     /// ([`RunSpec::run_one_into`](crate::spec::RunSpec::run_one_into)
     /// refills these per run).
     pub(crate) out: crate::spec::RunView,
     grows: usize,
+    popped_events: u64,
+    stale_events: u64,
 }
 
 impl Default for SimScratch {
@@ -175,9 +313,13 @@ impl SimScratch {
                 horizon: Time::ZERO,
             },
             states: Vec::new(),
-            queue: EventQueue::new(),
+            queue: FelQueue::Binary(EventQueue::new()),
+            active: Vec::new(),
+            faulty: Vec::new(),
             out: crate::spec::RunView::default(),
             grows: 0,
+            popped_events: 0,
+            stale_events: 0,
         }
     }
 
@@ -198,6 +340,20 @@ impl SimScratch {
         self.grows
     }
 
+    /// Events popped by the most recent run (the simulation work metric).
+    pub fn popped_events(&self) -> u64 {
+        self.popped_events
+    }
+
+    /// Events popped by the most recent run that were rejected by their
+    /// target's epoch check — stale `LinkTimeout`/`Wake` churn from flags
+    /// re-set (or sleeps restarted) after the timeout was scheduled.
+    /// Queue work that bought no state change; the `pq` bench reports
+    /// this share to justify its hold-model mix.
+    pub fn stale_events(&self) -> u64 {
+        self.stale_events
+    }
+
     /// Split into the last run's trace and the spec-level output buffers
     /// (both live in the scratch; the borrow checker needs them apart).
     pub(crate) fn trace_and_out(&mut self) -> (&Trace, &mut crate::spec::RunView) {
@@ -205,8 +361,9 @@ impl SimScratch {
     }
 
     /// Make every buffer observationally identical to a fresh allocation
-    /// for `graph`, reusing capacity whenever the shape allows.
-    fn prepare(&mut self, graph: &PulseGraph) {
+    /// for `graph` under `cfg`, reusing capacity whenever the shape (and
+    /// queue policy) allows.
+    fn prepare(&mut self, graph: &PulseGraph, cfg: &SimConfig) {
         let n = graph.node_count();
         let shape_ok = self.trace.fires.len() == n
             && self.trace.arrivals.len() == n
@@ -233,10 +390,57 @@ impl SimScratch {
                 .map(|id| NodeState::clean(id, graph.port_count(id)))
                 .collect();
         }
-        self.queue.clear();
-        // First-run behavior matches steady-state reuse: the event list
-        // starts sized for the graph instead of growing through the run.
-        self.queue.reserve(n);
+
+        // Hoist the per-event eligibility checks into bitmasks.
+        self.faulty.clear();
+        self.faulty.resize(n, false);
+        for f in cfg.faults.faulty_nodes() {
+            self.faulty[f as usize] = true;
+        }
+        self.active.clear();
+        self.active.resize(n, false);
+        for id in graph.node_ids() {
+            self.active[id as usize] =
+                graph.role(id) == Role::Forwarder && !self.faulty[id as usize];
+        }
+
+        // Select the event list for this run's policy, recycling the
+        // stored queue when its variant (and, for the calendar, its ring
+        // geometry) matches. First-run behavior matches steady-state
+        // reuse: the heap-backed lists start sized for the graph instead
+        // of growing through the run.
+        let prev = std::mem::replace(&mut self.queue, FelQueue::Binary(EventQueue::new()));
+        self.queue = match (cfg.queue, prev) {
+            (QueuePolicy::BinaryHeap, FelQueue::Binary(mut q)) => {
+                q.clear();
+                q.reserve(n);
+                FelQueue::Binary(q)
+            }
+            (QueuePolicy::BinaryHeap, _) => FelQueue::Binary(EventQueue::with_capacity(n)),
+            (QueuePolicy::QuadHeap, FelQueue::Quad(mut q)) => {
+                q.clear();
+                q.reserve(n);
+                FelQueue::Quad(q)
+            }
+            (QueuePolicy::QuadHeap, _) => FelQueue::Quad(QuadHeapQueue::with_capacity(n)),
+            (QueuePolicy::Calendar, prev) => {
+                let (width, buckets) = calendar_geometry(cfg, n);
+                match prev {
+                    FelQueue::Calendar(mut q)
+                        if q.bucket_width() == width && q.bucket_count() == buckets =>
+                    {
+                        q.clear();
+                        FelQueue::Calendar(q)
+                    }
+                    _ => FelQueue::Calendar(CalendarQueue::with_geometry(
+                        Duration::from_ps(width),
+                        buckets,
+                    )),
+                }
+            }
+        };
+        self.popped_events = 0;
+        self.stale_events = 0;
     }
 }
 
@@ -258,12 +462,32 @@ pub fn simulate(graph: &PulseGraph, schedule: &Schedule, cfg: &SimConfig, seed: 
     scratch.into_trace()
 }
 
+/// Read-only per-run context shared by the event loop and its helpers.
+/// Everything per-event-resolvable at setup lives here, resolved: the
+/// eligibility bitmasks replace `FaultPlan` probes and `role` calls, and
+/// `all_links_correct` lets [`broadcast`] skip the behaviors table in the
+/// fault-free common case.
+struct RunCtx<'a> {
+    graph: &'a PulseGraph,
+    cfg: &'a SimConfig,
+    behaviors: &'a [LinkBehavior],
+    delays: &'a ResolvedDelays,
+    /// `role == Forwarder && !faulty`, per node.
+    active: &'a [bool],
+    /// `FaultPlan::is_faulty`, per node.
+    faulty: &'a [bool],
+    /// No faulty node and no link override anywhere.
+    all_links_correct: bool,
+    horizon: Time,
+}
+
 /// Run one simulation into `scratch`, recycling its event queue, node
 /// states and trace storage, and return the recorded trace (borrowed from
 /// the scratch, which stays reusable for the next run).
 ///
 /// The result is byte-identical to [`simulate`] with the same arguments,
-/// no matter what ran through the scratch before.
+/// no matter what ran through the scratch before — and no matter which
+/// [`QueuePolicy`] either run used.
 ///
 /// # Panics
 ///
@@ -289,16 +513,57 @@ pub fn simulate_into<'s>(
     let behaviors = cfg.faults.resolve(graph, &mut rng);
     let horizon = cfg.horizon.unwrap_or_else(|| cfg.auto_horizon(graph, schedule));
 
-    scratch.prepare(graph);
+    scratch.prepare(graph, cfg);
     let SimScratch {
         trace,
         states,
-        queue: q,
+        queue,
+        active,
+        faulty,
         ..
     } = scratch;
-    let states: &mut [NodeState] = states;
+    let ctx = RunCtx {
+        graph,
+        cfg,
+        behaviors: &behaviors,
+        delays: &delays,
+        active,
+        faulty,
+        all_links_correct: behaviors.iter().all(|&b| b == LinkBehavior::Correct),
+        horizon,
+    };
+
+    // Monomorphize the whole run per queue policy: one match, zero
+    // per-event dispatch.
+    let (popped, stale) = match queue {
+        FelQueue::Binary(q) => run_events(q, &ctx, schedule, &sources, states, trace, &mut rng),
+        FelQueue::Quad(q) => run_events(q, &ctx, schedule, &sources, states, trace, &mut rng),
+        FelQueue::Calendar(q) => run_events(q, &ctx, schedule, &sources, states, trace, &mut rng),
+    };
+
+    trace.faulty = cfg.faults.faulty_nodes();
+    trace.horizon = horizon;
+    scratch.popped_events = popped;
+    scratch.stale_events = stale;
+    &scratch.trace
+}
+
+/// Schedule the initial events and drain the queue: the whole of one run.
+/// Returns `(events popped, stale epoch-rejected events)`.
+fn run_events<Q: FutureEventList<Ev>>(
+    q: &mut Q,
+    ctx: &RunCtx<'_>,
+    schedule: &Schedule,
+    sources: &[NodeId],
+    states: &mut [NodeState],
+    trace: &mut Trace,
+    rng: &mut SimRng,
+) -> (u64, u64) {
+    let graph = ctx.graph;
+    let cfg = ctx.cfg;
     let fires = &mut trace.fires;
     let arrivals = &mut trace.arrivals;
+    let record_arrivals = cfg.record_arrivals;
 
     // Schedule all source pulses.
     for (ix, &node) in sources.iter().enumerate() {
@@ -310,7 +575,7 @@ pub fn simulate_into<'s>(
     // Corrupted initial states (self-stabilization experiments).
     if cfg.init != InitState::Clean {
         for n in graph.node_ids() {
-            if graph.role(n) != Role::Forwarder || cfg.faults.is_faulty(n) {
+            if !ctx.active[n as usize] {
                 continue;
             }
             let ports = graph.port_count(n);
@@ -350,11 +615,11 @@ pub fn simulate_into<'s>(
 
     // Stuck-at-1 in-ports assert themselves from the start.
     for n in graph.node_ids() {
-        if graph.role(n) != Role::Forwarder || cfg.faults.is_faulty(n) {
+        if !ctx.active[n as usize] {
             continue;
         }
         for (port, &l) in graph.in_links(n).iter().enumerate() {
-            if behaviors[l as usize] == LinkBehavior::StuckOne {
+            if ctx.behaviors[l as usize] == LinkBehavior::StuckOne {
                 if let Some(epoch) = states[n as usize].set_flag(port as u8) {
                     let dur = rng.duration_in(cfg.timing.link.lo, cfg.timing.link.hi);
                     q.push(
@@ -372,38 +637,34 @@ pub fn simulate_into<'s>(
 
     // Nodes whose guards are satisfied by the initial flag assignment fire
     // immediately (time 0).
-    let ready_now: Vec<NodeId> = graph
-        .node_ids()
-        .filter(|&n| graph.role(n) == Role::Forwarder && !cfg.faults.is_faulty(n))
-        .collect();
-    for n in ready_now {
-        maybe_fire(
-            n, Time::ZERO, graph, cfg, &behaviors, &delays, states, fires, q, &mut rng,
-        );
+    for n in graph.node_ids() {
+        if ctx.active[n as usize] {
+            maybe_fire(n, Time::ZERO, ctx, states, fires, q, rng);
+        }
     }
 
     // Main loop.
-    while let Some(ev) = q.pop() {
-        let now = ev.at;
-        if now > horizon {
+    let mut stale = 0u64;
+    while let Some((now, payload)) = q.pop_next() {
+        if now > ctx.horizon {
             break;
         }
-        match ev.payload {
+        match payload {
             Ev::SourceFire { node } => {
-                if cfg.faults.is_faulty(node) {
+                if ctx.faulty[node as usize] {
                     continue; // mute/Byzantine source: outputs are constants
                 }
                 fires[node as usize].push((now, TriggerCause::Source));
-                broadcast(node, now, graph, &behaviors, &delays, q, &mut rng);
+                broadcast(node, now, ctx, q, rng);
             }
             Ev::Deliver { link } => {
                 let l = graph.link(link);
                 let n = l.dst;
-                if graph.role(n) != Role::Forwarder || cfg.faults.is_faulty(n) {
+                if !ctx.active[n as usize] {
                     continue;
                 }
                 if let Some(epoch) = states[n as usize].set_flag(l.dst_port) {
-                    if cfg.record_arrivals {
+                    if record_arrivals {
                         arrivals[n as usize].push(crate::trace::Arrival {
                             at: now,
                             from: l.src,
@@ -419,68 +680,56 @@ pub fn simulate_into<'s>(
                             epoch,
                         },
                     );
-                    maybe_fire(
-                        n, now, graph, cfg, &behaviors, &delays, states, fires, q, &mut rng,
-                    );
+                    maybe_fire(n, now, ctx, states, fires, q, rng);
                 }
             }
             Ev::LinkTimeout { node, port, epoch } => {
                 if states[node as usize].expire_flag(port, epoch) {
-                    refresh_stuck_one(
-                        node, port, now, graph, cfg, &behaviors, states, q, &mut rng,
-                    );
-                    maybe_fire(
-                        node, now, graph, cfg, &behaviors, &delays, states, fires, q, &mut rng,
-                    );
+                    refresh_stuck_one(node, port, now, ctx, states, q, rng);
+                    maybe_fire(node, now, ctx, states, fires, q, rng);
+                } else {
+                    stale += 1;
                 }
             }
             Ev::Wake { node, epoch } => {
                 if states[node as usize].wake(epoch) {
                     // All flags were cleared; stuck-1 ports re-assert.
                     for port in 0..graph.port_count(node) as u8 {
-                        refresh_stuck_one(
-                            node, port, now, graph, cfg, &behaviors, states, q, &mut rng,
-                        );
+                        refresh_stuck_one(node, port, now, ctx, states, q, rng);
                     }
-                    maybe_fire(
-                        node, now, graph, cfg, &behaviors, &delays, states, fires, q, &mut rng,
-                    );
+                    maybe_fire(node, now, ctx, states, fires, q, rng);
+                } else {
+                    stale += 1;
                 }
             }
         }
     }
 
-    trace.faulty = cfg.faults.faulty_nodes();
-    trace.horizon = horizon;
-    &scratch.trace
+    (q.popped(), stale)
 }
 
 /// If `node` is ready and its guard is satisfied, fire: record, broadcast,
 /// sleep.
-#[allow(clippy::too_many_arguments)]
-fn maybe_fire(
+fn maybe_fire<Q: FutureEventList<Ev>>(
     node: NodeId,
     now: Time,
-    graph: &PulseGraph,
-    cfg: &SimConfig,
-    behaviors: &[LinkBehavior],
-    delays: &hex_core::delay::ResolvedDelays,
+    ctx: &RunCtx<'_>,
     states: &mut [NodeState],
     fires: &mut [Vec<(Time, TriggerCause)>],
-    q: &mut EventQueue<Ev>,
+    q: &mut Q,
     rng: &mut SimRng,
 ) {
     let st = &mut states[node as usize];
     if st.firing_state() != FiringState::Ready {
         return;
     }
-    let Some(ix) = st.satisfied_guard(graph.guard(node)) else {
+    let Some(ix) = st.satisfied_guard(ctx.graph.guard(node)) else {
         return;
     };
     let cause = TriggerCause::from_guard_index(ix);
     fires[node as usize].push((now, cause));
     let sleep_epoch = st.fire();
-    let dur = rng.duration_in(cfg.timing.sleep.lo, cfg.timing.sleep.hi);
+    let dur = rng.duration_in(ctx.cfg.timing.sleep.lo, ctx.cfg.timing.sleep.hi);
     q.push(
         now + dur,
         Ev::Wake {
@@ -488,47 +737,56 @@ fn maybe_fire(
             epoch: sleep_epoch,
         },
     );
-    broadcast(node, now, graph, behaviors, delays, q, rng);
+    broadcast(node, now, ctx, q, rng);
 }
 
 /// Send a trigger message on every correct outgoing link of `node`.
-fn broadcast(
+///
+/// With a fully-correct fault plan (the common case) the behaviors lookup
+/// is skipped entirely; the RNG stream is identical on both paths because
+/// every link is sampled either way.
+fn broadcast<Q: FutureEventList<Ev>>(
     node: NodeId,
     now: Time,
-    graph: &PulseGraph,
-    behaviors: &[LinkBehavior],
-    delays: &hex_core::delay::ResolvedDelays,
-    q: &mut EventQueue<Ev>,
+    ctx: &RunCtx<'_>,
+    q: &mut Q,
     rng: &mut SimRng,
 ) {
-    for &l in graph.out_links(node) {
-        if behaviors[l as usize] == LinkBehavior::Correct {
-            let d = delays.sample(l, rng);
+    if ctx.all_links_correct {
+        for &l in ctx.graph.out_links(node) {
+            let d = ctx.delays.sample(l, rng);
             q.push(now + d, Ev::Deliver { link: l });
+        }
+    } else {
+        for &l in ctx.graph.out_links(node) {
+            if ctx.behaviors[l as usize] == LinkBehavior::Correct {
+                let d = ctx.delays.sample(l, rng);
+                q.push(now + d, Ev::Deliver { link: l });
+            }
         }
     }
 }
 
 /// A stuck-at-1 in-port re-asserts its memory flag the instant it was
 /// cleared.
-#[allow(clippy::too_many_arguments)]
-fn refresh_stuck_one(
+fn refresh_stuck_one<Q: FutureEventList<Ev>>(
     node: NodeId,
     port: u8,
     now: Time,
-    graph: &PulseGraph,
-    cfg: &SimConfig,
-    behaviors: &[LinkBehavior],
+    ctx: &RunCtx<'_>,
     states: &mut [NodeState],
-    q: &mut EventQueue<Ev>,
+    q: &mut Q,
     rng: &mut SimRng,
 ) {
-    let l = graph.in_links(node)[port as usize];
-    if behaviors[l as usize] != LinkBehavior::StuckOne {
+    if ctx.all_links_correct {
+        return; // no stuck-at-1 links anywhere
+    }
+    let l = ctx.graph.in_links(node)[port as usize];
+    if ctx.behaviors[l as usize] != LinkBehavior::StuckOne {
         return;
     }
     if let Some(epoch) = states[node as usize].set_flag(port) {
-        let dur = rng.duration_in(cfg.timing.link.lo, cfg.timing.link.hi);
+        let dur = rng.duration_in(ctx.cfg.timing.link.lo, ctx.cfg.timing.link.hi);
         q.push(
             now + dur,
             Ev::LinkTimeout { node, port, epoch },
@@ -832,5 +1090,143 @@ mod tests {
                 );
             }
         }
+    }
+
+    /// Every queue policy replays the identical execution: same seed, same
+    /// trace, across fault-free, faulty and corrupted-init regimes.
+    #[test]
+    fn queue_policies_produce_identical_traces() {
+        use hex_clock::{PulseTrain, Scenario};
+        let grid = HexGrid::new(8, 6);
+        let mut rng = SimRng::seed_from_u64(3);
+        let multi = PulseTrain::new(Scenario::Zero, 3, Duration::from_ns(300.0))
+            .generate(6, &mut rng);
+        let configs: Vec<(SimConfig, Schedule)> = vec![
+            (SimConfig::fault_free(), zero_schedule(6)),
+            (
+                SimConfig {
+                    faults: FaultPlan::none().with_node(grid.node(3, 2), NodeFault::Byzantine),
+                    timing: Timing::paper_scenario_iii(),
+                    ..SimConfig::fault_free()
+                },
+                zero_schedule(6),
+            ),
+            (
+                SimConfig {
+                    timing: Timing::paper_scenario_iii(),
+                    init: InitState::Arbitrary,
+                    record_arrivals: true,
+                    ..SimConfig::fault_free()
+                },
+                multi,
+            ),
+        ];
+        for (cfg, sched) in &configs {
+            let reference = simulate(grid.graph(), sched, cfg, 77);
+            for policy in [QueuePolicy::QuadHeap, QueuePolicy::Calendar] {
+                let alt = SimConfig {
+                    queue: policy,
+                    ..cfg.clone()
+                };
+                let trace = simulate(grid.graph(), sched, &alt, 77);
+                assert_eq!(trace, reference, "policy {policy:?} diverged");
+            }
+        }
+    }
+
+    /// A dirty scratch carried *across* queue policies still reproduces
+    /// the fresh run for each policy.
+    #[test]
+    fn scratch_reuse_across_policy_changes() {
+        let grid = HexGrid::new(7, 5);
+        let sched = zero_schedule(5);
+        let mut scratch = SimScratch::new();
+        for (i, policy) in [
+            QueuePolicy::Calendar,
+            QueuePolicy::BinaryHeap,
+            QueuePolicy::QuadHeap,
+            QueuePolicy::Calendar,
+            QueuePolicy::QuadHeap,
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            let cfg = SimConfig {
+                queue: policy,
+                ..SimConfig::fault_free()
+            };
+            let seed = 100 + i as u64;
+            let fresh = simulate(grid.graph(), &sched, &cfg, seed);
+            let reused = simulate_into(&mut scratch, grid.graph(), &sched, &cfg, seed);
+            assert_eq!(&fresh, reused, "step {i} under {policy:?}");
+        }
+        // Policy churn never re-grows the trace-sized buffers.
+        assert_eq!(scratch.grow_count(), 1);
+    }
+
+    /// The stale counter sees exactly the epoch-rejected churn: zero in
+    /// the generous single-pulse regime, positive under tight timeouts
+    /// with corrupted init, and identical across queue policies.
+    #[test]
+    fn stale_counter_tracks_epoch_rejections() {
+        use hex_clock::{PulseTrain, Scenario};
+        let grid = HexGrid::new(6, 6);
+        let sched = zero_schedule(6);
+        let mut scratch = SimScratch::new();
+
+        // Even a fault-free single-pulse run churns: every wake-up clears
+        // flags whose LinkTimeouts are still pending, which then pop
+        // epoch-rejected. The counter must see them without ever
+        // exceeding the pop count.
+        simulate_into(&mut scratch, grid.graph(), &sched, &SimConfig::fault_free(), 1);
+        let (popped, stale) = (scratch.popped_events(), scratch.stale_events());
+        assert!(popped > 0);
+        assert!(stale < popped, "stale {stale} of {popped} popped");
+
+        let mut rng = SimRng::seed_from_u64(9);
+        let multi = PulseTrain::new(Scenario::Zero, 6, Duration::from_ns(300.0))
+            .generate(6, &mut rng);
+        let cfg = SimConfig {
+            timing: Timing::paper_scenario_iii(),
+            // Arbitrary init is the churn generator: nodes wake early and
+            // clear flags whose residual timeouts are still pending, and
+            // fresh deliveries re-set them before the old epoch pops.
+            init: InitState::Arbitrary,
+            ..SimConfig::fault_free()
+        };
+        let mut counts = Vec::new();
+        for policy in QueuePolicy::ALL {
+            let cfg = SimConfig {
+                queue: policy,
+                ..cfg.clone()
+            };
+            simulate_into(&mut scratch, grid.graph(), &multi, &cfg, 2);
+            counts.push((scratch.popped_events(), scratch.stale_events()));
+        }
+        assert!(counts[0].1 > 0, "corrupted multi-pulse runs churn timeouts");
+        assert!(counts[0].1 < counts[0].0, "stale events are a strict share");
+        assert_eq!(counts[0], counts[1], "quad heap diverged");
+        assert_eq!(counts[0], counts[2], "calendar diverged");
+    }
+
+    #[test]
+    fn queue_policy_labels_round_trip() {
+        for policy in QueuePolicy::ALL {
+            assert_eq!(policy.label().parse::<QueuePolicy>().unwrap(), policy);
+        }
+        assert_eq!("quad".parse::<QueuePolicy>().unwrap(), QueuePolicy::QuadHeap);
+        assert!("fibonacci".parse::<QueuePolicy>().is_err());
+    }
+
+    #[test]
+    fn max_increment_is_the_slowest_event() {
+        let cfg = SimConfig::fault_free();
+        // Generous timing: the 10 µs sleep dominates.
+        assert_eq!(cfg.max_increment(), cfg.timing.sleep.hi);
+        let cfg = SimConfig {
+            timing: Timing::paper_scenario_iii(),
+            ..SimConfig::fault_free()
+        };
+        assert_eq!(cfg.max_increment().ps(), 94_940);
     }
 }

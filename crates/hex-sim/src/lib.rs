@@ -38,7 +38,7 @@ pub mod trace;
 pub mod vcd;
 
 pub use batch::{run_batch, run_batch_fold, run_batch_fold_with, run_batch_with, Reducer};
-pub use engine::{simulate, simulate_into, InitState, SimConfig, SimScratch};
+pub use engine::{simulate, simulate_into, InitState, QueuePolicy, SimConfig, SimScratch};
 pub use spec::{FaultRegime, RunSpec, RunView, TimingPolicy};
 pub use trace::{assign_pulses, assign_pulses_into, PulseView, Trace};
 pub use vcd::{vcd_document, VcdOptions};

@@ -42,7 +42,7 @@ use hex_core::{
 use hex_des::{Duration, Schedule, SimRng};
 
 use crate::batch::{self, Reducer};
-use crate::engine::{simulate, simulate_into, InitState, SimConfig, SimScratch};
+use crate::engine::{simulate, simulate_into, InitState, QueuePolicy, SimConfig, SimScratch};
 use crate::trace::{assign_pulses_into, ensure_views, PulseView, Trace};
 
 /// Per-run RNG salt for single-pulse batches (the run's scenario offsets
@@ -268,6 +268,9 @@ pub struct RunSpec {
     pub timing: TimingPolicy,
     /// Link-delay model.
     pub delays: DelayModel,
+    /// Future-event-list implementation (byte-identical output across
+    /// policies; a pure performance knob).
+    pub queue: QueuePolicy,
     /// Explicit layer-0 schedule override (adversarial constructions);
     /// `None` derives the schedule from `scenario`/`pulses` per run.
     pub schedule: Option<Schedule>,
@@ -290,6 +293,7 @@ impl RunSpec {
             pulses: 1,
             timing: TimingPolicy::Table3,
             delays: DelayModel::paper(),
+            queue: QueuePolicy::default(),
             schedule: None,
         }
     }
@@ -304,14 +308,15 @@ impl RunSpec {
         RunSpec::grid(12, 8).runs(20).threads(2)
     }
 
-    /// Paper setup with `HEX_RUNS` / `HEX_SEED` / `HEX_THREADS` applied.
+    /// Paper setup with `HEX_RUNS` / `HEX_SEED` / `HEX_THREADS` /
+    /// `HEX_QUEUE` applied.
     pub fn from_env() -> Self {
         RunSpec::paper().with_env()
     }
 
-    /// Apply the `HEX_RUNS` / `HEX_SEED` / `HEX_THREADS` environment knobs
-    /// on top of this spec (drivers with non-paper defaults chain this:
-    /// `RunSpec::grid(12, 4).runs(100).with_env()`).
+    /// Apply the `HEX_RUNS` / `HEX_SEED` / `HEX_THREADS` / `HEX_QUEUE`
+    /// environment knobs on top of this spec (drivers with non-paper
+    /// defaults chain this: `RunSpec::grid(12, 4).runs(100).with_env()`).
     pub fn with_env(mut self) -> Self {
         if let Ok(v) = std::env::var("HEX_RUNS") {
             self.runs = v.parse().expect("HEX_RUNS must be a number");
@@ -321,6 +326,11 @@ impl RunSpec {
         }
         if let Ok(v) = std::env::var("HEX_THREADS") {
             self.threads = v.parse().expect("HEX_THREADS must be a number");
+        }
+        if let Ok(v) = std::env::var("HEX_QUEUE") {
+            self.queue = v
+                .parse()
+                .expect("HEX_QUEUE must be binary_heap, quad_heap or calendar");
         }
         self
     }
@@ -377,6 +387,13 @@ impl RunSpec {
     /// Set the link-delay model.
     pub fn delays(mut self, delays: DelayModel) -> Self {
         self.delays = delays;
+        self
+    }
+
+    /// Set the future-event-list implementation (the `HEX_QUEUE` knob;
+    /// byte-identical output across policies).
+    pub fn queue(mut self, queue: QueuePolicy) -> Self {
+        self.queue = queue;
         self
     }
 
@@ -459,6 +476,7 @@ impl RunSpec {
             init: self.init,
             horizon: None,
             record_arrivals: false,
+            queue: self.queue,
         };
         RunInputs {
             seed,
@@ -732,6 +750,29 @@ mod tests {
         assert_eq!(spec.effective_timing(), Timing::generous());
         let inputs = spec.materialize(0);
         assert_eq!(inputs.config.timing, SimConfig::fault_free().timing);
+    }
+
+    #[test]
+    fn queue_policy_threads_through_to_the_engine() {
+        let base = RunSpec::grid(6, 5).runs(2).threads(1).seed(11);
+        let reference = base.clone().run_batch();
+        for policy in QueuePolicy::ALL {
+            let spec = base.clone().queue(policy);
+            assert_eq!(spec.materialize(0).config.queue, policy);
+            // A pure performance knob: batch output is identical.
+            assert_eq!(spec.run_batch(), reference, "{policy:?}");
+        }
+    }
+
+    #[test]
+    fn hex_queue_env_knob_selects_the_policy() {
+        // No other test in this crate reads HEX_QUEUE, so the brief global
+        // mutation cannot race a reader.
+        std::env::set_var("HEX_QUEUE", "calendar");
+        let spec = RunSpec::grid(4, 4).with_env();
+        std::env::remove_var("HEX_QUEUE");
+        assert_eq!(spec.queue, QueuePolicy::Calendar);
+        assert_eq!(RunSpec::grid(4, 4).with_env().queue, QueuePolicy::default());
     }
 
     #[test]

@@ -86,11 +86,14 @@ pub mod prelude {
     pub use hex_core::{
         DelayModel, DelayRange, FaultPlan, HexGrid, NodeFault, Timing, D_MINUS, D_PLUS, EPSILON,
     };
-    pub use hex_des::{Duration, Schedule, SimRng, Time};
+    pub use hex_des::{
+        CalendarQueue, Duration, EventQueue, FutureEventList, QuadHeapQueue, Schedule, SimRng,
+        Time,
+    };
     pub use hex_sim::{
         assign_pulses, run_batch, run_batch_fold, run_batch_fold_with, run_batch_with, simulate,
-        simulate_into, FaultRegime, InitState, PulseView, Reducer, RunSpec, RunView, SimConfig,
-        SimScratch, TimingPolicy,
+        simulate_into, FaultRegime, InitState, PulseView, QueuePolicy, Reducer, RunSpec, RunView,
+        SimConfig, SimScratch, TimingPolicy,
     };
     pub use hex_theory::{theorem1_intra_bound, Condition2};
 }

@@ -176,20 +176,30 @@ fn dirty_scratch_runs_serialize_byte_identical_to_fresh() {
 
     for (name, cfg, schedule) in &regimes {
         for seed in [7u64, 8] {
+            // The reference execution: fresh allocations, default queue.
             let fresh = simulate(grid.graph(), schedule, cfg, seed);
-            let reused = simulate_into(&mut scratch, grid.graph(), schedule, cfg, seed);
-            assert_eq!(
-                &fresh, reused,
-                "{name}/seed {seed}: trace structs diverged under scratch reuse"
-            );
             let doc_fresh = vcd_document(&grid, &fresh, &VcdOptions::default());
-            let doc_reused = vcd_document(&grid, reused, &VcdOptions::default());
             assert!(!doc_fresh.is_empty());
-            assert_eq!(
-                doc_fresh.as_bytes(),
-                doc_reused.as_bytes(),
-                "{name}/seed {seed}: serialized traces diverged under scratch reuse"
-            );
+            // Every queue policy, run through the same carried-over dirty
+            // scratch, must serialize byte-identically to that reference:
+            // the event list is a pure performance knob.
+            for policy in QueuePolicy::ALL {
+                let cfg = SimConfig {
+                    queue: policy,
+                    ..cfg.clone()
+                };
+                let reused = simulate_into(&mut scratch, grid.graph(), schedule, &cfg, seed);
+                assert_eq!(
+                    &fresh, reused,
+                    "{name}/seed {seed}/{policy:?}: trace structs diverged under scratch reuse"
+                );
+                let doc_reused = vcd_document(&grid, reused, &VcdOptions::default());
+                assert_eq!(
+                    doc_fresh.as_bytes(),
+                    doc_reused.as_bytes(),
+                    "{name}/seed {seed}/{policy:?}: serialized traces diverged under scratch reuse"
+                );
+            }
         }
     }
 }

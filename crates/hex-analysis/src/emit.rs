@@ -95,6 +95,14 @@ impl From<Option<f64>> for Value {
     }
 }
 
+impl From<Option<usize>> for Value {
+    /// Stabilization estimates are `Option<usize>` per run (`None` = the
+    /// run never stabilized): missing data in the emitted tables.
+    fn from(v: Option<usize>) -> Value {
+        v.map_or(Value::Null, |k| Value::Int(k as i64))
+    }
+}
+
 impl Value {
     fn csv_cell(&self) -> String {
         match self {
@@ -335,5 +343,7 @@ mod tests {
         assert_eq!(Value::from(3u32), Value::Int(3));
         assert_eq!(Value::from(Some(2.0)), Value::Num(2.0));
         assert_eq!(Value::from(None::<f64>), Value::Null);
+        assert_eq!(Value::from(Some(4usize)), Value::Int(4));
+        assert_eq!(Value::from(None::<usize>), Value::Null);
     }
 }

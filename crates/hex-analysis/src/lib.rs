@@ -29,7 +29,13 @@
 //! * [`reduce`] — streaming batch reductions: [`hex_sim::batch::Reducer`]
 //!   implementations that turn a [`hex_sim::RunSpec`] batch into
 //!   [`reduce::BatchSkews`] or stabilization estimates on the worker
-//!   threads, without materializing the batch;
+//!   threads, without materializing the batch. The observer-backed pair
+//!   ([`reduce::ObservedSkewReducer`] /
+//!   [`reduce::ObservedStabilizationReducer`], via
+//!   [`hex_sim::RunSpec::fold_observed`]) goes further: skews are
+//!   accumulated online as fires happen, with no per-run trace or
+//!   [`hex_sim::PulseView`] matrices at all — byte-identical to the
+//!   materialized path, which stays as the reference;
 //! * [`emit`] — shared machine-readable output (CSV/JSON tables gated by
 //!   `HEX_EMIT`) for all experiment drivers.
 
@@ -52,6 +58,9 @@ pub mod stats;
 pub mod wave;
 
 pub use emit::{Emitter, Table, Value};
-pub use reduce::{batch_skews, batch_skews_from_views, BatchSkews, SkewReducer};
-pub use skew::{collect_skews, exclusion_mask, SkewSamples};
+pub use reduce::{
+    batch_skews, batch_skews_from_views, BatchSkews, ObservedSkewReducer,
+    ObservedStabilizationReducer, SkewReducer, StabilizationReducer,
+};
+pub use skew::{collect_skews, collect_skews_observed, exclusion_mask, SkewSamples};
 pub use stats::Summary;

@@ -22,9 +22,12 @@
 use hex_core::HexGrid;
 use hex_sim::batch::Reducer;
 use hex_sim::spec::{RunSpec, RunView};
+use hex_sim::PulseBinner;
 
-use crate::skew::{collect_skews, exclusion_mask, SkewSamples};
-use crate::stabilization::{stabilization_pulse, Criterion};
+use crate::skew::{collect_skews, collect_skews_observed, exclusion_mask, SkewSamples};
+use crate::stabilization::{
+    observed_pulse_profiles, stabilization_from_profiles, stabilization_pulse, Criterion,
+};
 use crate::stats::Summary;
 
 /// Cumulated skew samples + per-run summaries of a batch (the inputs of
@@ -40,6 +43,18 @@ pub struct BatchSkews {
 }
 
 impl BatchSkews {
+    /// Fold one run's sample set into the aggregate (shared tail of both
+    /// extraction paths).
+    fn add_samples(&mut self, s: &SkewSamples) {
+        if let Some(sum) = Summary::from_durations(&s.intra) {
+            self.per_run_intra.push(sum);
+        }
+        if let Some(sum) = Summary::from_durations(&s.inter) {
+            self.per_run_inter.push(sum);
+        }
+        self.cumulated.extend(s);
+    }
+
     /// Fold the skews of pulse `pulse` of one run into the aggregate
     /// (`h`-hop fault exclusion).
     fn add(&mut self, grid: &HexGrid, rv: &RunView, h: usize, pulse: usize) {
@@ -50,13 +65,20 @@ impl BatchSkews {
         );
         let mask = exclusion_mask(grid, &rv.faulty, h);
         let s = collect_skews(grid, &rv.views[pulse], &mask);
-        if let Some(sum) = Summary::from_durations(&s.intra) {
-            self.per_run_intra.push(sum);
-        }
-        if let Some(sum) = Summary::from_durations(&s.inter) {
-            self.per_run_inter.push(sum);
-        }
-        self.cumulated.extend(&s);
+        self.add_samples(&s);
+    }
+
+    /// The streaming twin of [`BatchSkews::add`]: fold pulse `pulse` of
+    /// one observed run, straight from the worker's [`PulseBinner`].
+    fn add_observed(&mut self, grid: &HexGrid, binner: &PulseBinner, h: usize, pulse: usize) {
+        assert!(
+            pulse < binner.pulses(),
+            "skew reduction of pulse {pulse}, but the run recorded only {} pulse(s)",
+            binner.pulses()
+        );
+        let mask = exclusion_mask(grid, binner.faulty(), h);
+        let s = collect_skews_observed(grid, binner, pulse, &mask);
+        self.add_samples(&s);
     }
 
     /// Concatenate two aggregates covering consecutive run ranges.
@@ -116,15 +138,85 @@ impl Reducer<RunView> for SkewReducer<'_> {
     }
 }
 
+/// The observer-backed twin of [`SkewReducer`], for
+/// [`RunSpec::fold_observed`]: folds each run's [`PulseBinner`] — skew
+/// samples accumulated online as fires happen, with no trace and no
+/// [`PulseView`](hex_sim::PulseView) matrices ever materialized. The
+/// resulting [`BatchSkews`] is **byte-identical** to the materialized
+/// path's (identical sample vectors, identical per-run summaries), pinned
+/// by the workspace observer walls.
+///
+/// ```
+/// use hex_analysis::reduce::{ObservedSkewReducer, SkewReducer};
+/// use hex_sim::RunSpec;
+///
+/// let spec = RunSpec::grid(6, 5).runs(3).seed(9);
+/// let grid = spec.hex_grid();
+/// let streamed = spec.fold_observed(&ObservedSkewReducer::new(&grid, 0));
+/// let materialized = spec.fold(&SkewReducer::new(&grid, 0));
+/// assert_eq!(streamed.cumulated.intra, materialized.cumulated.intra);
+/// assert_eq!(streamed.cumulated.inter, materialized.cumulated.inter);
+/// ```
+#[derive(Debug)]
+pub struct ObservedSkewReducer<'g> {
+    grid: &'g HexGrid,
+    h: usize,
+    pulse: usize,
+}
+
+impl<'g> ObservedSkewReducer<'g> {
+    /// Reduce on `grid` with `h`-hop exclusion around each run's faults.
+    pub fn new(grid: &'g HexGrid, h: usize) -> Self {
+        ObservedSkewReducer { grid, h, pulse: 0 }
+    }
+
+    /// Reduce the skews of pulse `pulse` instead of pulse 0.
+    pub fn at_pulse(mut self, pulse: usize) -> Self {
+        self.pulse = pulse;
+        self
+    }
+}
+
+impl Reducer<PulseBinner> for ObservedSkewReducer<'_> {
+    type Acc = BatchSkews;
+
+    fn empty(&self) -> BatchSkews {
+        BatchSkews::default()
+    }
+
+    fn fold(&self, acc: &mut BatchSkews, run: usize, binner: PulseBinner) {
+        self.fold_ref(acc, run, &binner);
+    }
+
+    // Read-only reduction: fold straight from the worker's scratch binner.
+    fn fold_ref(&self, acc: &mut BatchSkews, _run: usize, binner: &PulseBinner) {
+        acc.add_observed(self.grid, binner, self.h, self.pulse);
+    }
+
+    fn merge(&self, mut left: BatchSkews, right: BatchSkews) -> BatchSkews {
+        left.append(right);
+        left
+    }
+}
+
 /// Run the single-pulse batch described by `spec` and extract its skews
 /// with `h`-hop fault exclusion, streaming per-run reduction on the worker
 /// threads.
+///
+/// Since the observer redesign this rides the streaming extraction path
+/// ([`RunSpec::fold_observed`] + [`ObservedSkewReducer`]): skew samples
+/// are accumulated online as fires happen, with no trace and no
+/// [`PulseView`](hex_sim::PulseView) matrices per run. The result is
+/// byte-identical to the materialized reference path
+/// (`spec.fold(&SkewReducer::new(&grid, h))`), which the workspace
+/// observer walls pin.
 ///
 /// # Panics
 ///
 /// Panics if `spec` describes a multi-pulse batch: skew statistics of a
 /// stabilization run depend on *which* pulse is measured, so pick it
-/// explicitly via `spec.fold(&SkewReducer::new(&grid, h).at_pulse(k))`.
+/// explicitly via `spec.fold_observed(&ObservedSkewReducer::new(&grid,
+/// h).at_pulse(k))`.
 pub fn batch_skews(spec: &RunSpec, h: usize) -> BatchSkews {
     let pulses = spec
         .schedule
@@ -133,10 +225,10 @@ pub fn batch_skews(spec: &RunSpec, h: usize) -> BatchSkews {
     assert!(
         pulses <= 1,
         "batch_skews reduces single-pulse batches; this spec generates {pulses} pulses per \
-         run — choose one with SkewReducer::at_pulse"
+         run — choose one with ObservedSkewReducer::at_pulse"
     );
     let grid = spec.hex_grid();
-    spec.fold(&SkewReducer::new(&grid, h))
+    spec.fold_observed(&ObservedSkewReducer::new(&grid, h))
 }
 
 /// Sequential fallback: extract [`BatchSkews`] from already-materialized
@@ -185,6 +277,57 @@ impl Reducer<RunView> for StabilizationReducer<'_> {
         let mask = exclusion_mask(self.grid, &rv.faulty, self.h);
         for (ci, criterion) in self.criteria.iter().enumerate() {
             acc[ci].push(stabilization_pulse(self.grid, &rv.views, &mask, criterion));
+        }
+    }
+
+    fn merge(&self, mut left: Self::Acc, right: Self::Acc) -> Self::Acc {
+        for (l, r) in left.iter_mut().zip(right) {
+            l.extend(r);
+        }
+        left
+    }
+}
+
+/// The observer-backed twin of [`StabilizationReducer`], for
+/// [`RunSpec::fold_observed`]: estimates each run's stabilization pulse
+/// straight from the worker's [`PulseBinner`] slots — the multi-pulse
+/// stabilization sweeps (Figs. 18/19) no longer materialize a single
+/// [`PulseView`](hex_sim::PulseView). Estimates are identical to the
+/// materialized path's, pinned by the workspace observer walls.
+#[derive(Debug)]
+pub struct ObservedStabilizationReducer<'a> {
+    grid: &'a HexGrid,
+    criteria: &'a [Criterion],
+    h: usize,
+}
+
+impl<'a> ObservedStabilizationReducer<'a> {
+    /// Estimate against `criteria` with `h`-hop fault exclusion.
+    pub fn new(grid: &'a HexGrid, criteria: &'a [Criterion], h: usize) -> Self {
+        ObservedStabilizationReducer { grid, criteria, h }
+    }
+}
+
+impl Reducer<PulseBinner> for ObservedStabilizationReducer<'_> {
+    type Acc = Vec<Vec<Option<usize>>>;
+
+    fn empty(&self) -> Self::Acc {
+        vec![Vec::new(); self.criteria.len()]
+    }
+
+    fn fold(&self, acc: &mut Self::Acc, run: usize, binner: PulseBinner) {
+        self.fold_ref(acc, run, &binner);
+    }
+
+    // Per-pulse completeness and skew maxima are criterion-independent:
+    // extract them once per run, then each criterion is a pure threshold
+    // sweep — the Fig. 18/19 four-class evaluation walks the binner once,
+    // not four times.
+    fn fold_ref(&self, acc: &mut Self::Acc, _run: usize, binner: &PulseBinner) {
+        let mask = exclusion_mask(self.grid, binner.faulty(), self.h);
+        let profiles = observed_pulse_profiles(self.grid, binner, &mask);
+        for (ci, criterion) in self.criteria.iter().enumerate() {
+            acc[ci].push(stabilization_from_profiles(&profiles, criterion));
         }
     }
 
@@ -270,6 +413,77 @@ mod tests {
             expected.cumulated.extend(&s);
         }
         assert_eq!(last.cumulated.intra, expected.cumulated.intra);
+    }
+
+    /// The streaming extraction path is byte-identical to the
+    /// materialized reference: identical cumulated sample *vectors*
+    /// (order included), identical per-run summaries, across fault
+    /// regimes and exclusion radii.
+    #[test]
+    fn observed_skews_equal_materialized_bytes() {
+        for (h, faults) in [
+            (0usize, FaultRegime::None),
+            (0, FaultRegime::Byzantine(2)),
+            (1, FaultRegime::Mixed { byzantine: 1, fail_silent: 1 }),
+        ] {
+            let spec = small().scenario(Scenario::RandomDPlus).faults(faults);
+            let grid = spec.hex_grid();
+            let observed = spec.fold_observed(&ObservedSkewReducer::new(&grid, h));
+            let materialized = spec.fold(&SkewReducer::new(&grid, h));
+            assert_eq!(observed.cumulated.intra, materialized.cumulated.intra, "h = {h}");
+            assert_eq!(observed.cumulated.inter, materialized.cumulated.inter, "h = {h}");
+            assert_eq!(observed.per_run_intra, materialized.per_run_intra, "h = {h}");
+            assert_eq!(observed.per_run_inter, materialized.per_run_inter, "h = {h}");
+        }
+    }
+
+    /// `at_pulse` on the observed reducer selects the same pulse as the
+    /// materialized one, for a corrupted-init multi-pulse batch.
+    #[test]
+    fn observed_at_pulse_equals_materialized() {
+        let spec = small().runs(4).pulses(4).init(InitState::Arbitrary);
+        let grid = spec.hex_grid();
+        for pulse in [0usize, 3] {
+            let observed =
+                spec.fold_observed(&ObservedSkewReducer::new(&grid, 0).at_pulse(pulse));
+            let materialized = spec.fold(&SkewReducer::new(&grid, 0).at_pulse(pulse));
+            assert_eq!(observed.cumulated.intra, materialized.cumulated.intra, "pulse {pulse}");
+            assert_eq!(observed.cumulated.inter, materialized.cumulated.inter, "pulse {pulse}");
+            assert_eq!(observed.per_run_intra, materialized.per_run_intra, "pulse {pulse}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "only 1 pulse(s)")]
+    fn observed_reducer_rejects_out_of_range_pulse() {
+        let spec = small().runs(1).threads(1);
+        let grid = spec.hex_grid();
+        spec.fold_observed(&ObservedSkewReducer::new(&grid, 0).at_pulse(2));
+    }
+
+    /// The observed stabilization reducer reproduces the materialized
+    /// estimates for every criterion, including runs that never
+    /// stabilize.
+    #[test]
+    fn observed_stabilization_equals_materialized() {
+        use hex_des::Duration;
+        let spec = small()
+            .runs(6)
+            .scenario(Scenario::Zero)
+            .faults(FaultRegime::FailSilent(1))
+            .pulses(5)
+            .init(InitState::Arbitrary);
+        let grid = spec.hex_grid();
+        let mut criteria: Vec<Criterion> = (1..=3u8)
+            .map(|c| Criterion::class(c, D_PLUS, spec.length, |_| D_PLUS))
+            .collect();
+        // An impossible bound: estimates must be None on both paths.
+        criteria.push(Criterion::uniform(Duration::ZERO, Duration::ZERO, spec.length));
+        let observed =
+            spec.fold_observed(&ObservedStabilizationReducer::new(&grid, &criteria, 0));
+        let materialized = spec.fold(&StabilizationReducer::new(&grid, &criteria, 0));
+        assert_eq!(observed, materialized);
+        assert!(observed.last().unwrap().iter().all(Option::is_none));
     }
 
     #[test]

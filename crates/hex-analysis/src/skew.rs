@@ -14,8 +14,8 @@
 //! (Figs. 15/16).
 
 use hex_core::{HexGrid, NodeId};
-use hex_des::Duration;
-use hex_sim::PulseView;
+use hex_des::{Duration, Time};
+use hex_sim::{PulseBinner, PulseView};
 
 /// Skew samples of one pulse.
 #[derive(Debug, Clone, Default)]
@@ -48,19 +48,17 @@ pub fn exclusion_mask(grid: &HexGrid, faulty: &[NodeId], h: usize) -> Vec<bool> 
     mask
 }
 
-/// Collect the Definition-3 skew samples of one pulse view, skipping pairs
-/// that touch excluded or missing nodes.
-pub fn collect_skews(grid: &HexGrid, view: &PulseView, excluded: &[bool]) -> SkewSamples {
-    let (l, w) = (grid.length(), grid.width());
+/// The shared sample walk of both extraction paths: `get(layer, col)` is
+/// the exclusion-masked triggering time (from a [`PulseView`] or a
+/// [`PulseBinner`] pulse). One canonical traversal order means the two
+/// paths produce *identical sample vectors*, not just identical
+/// statistics.
+fn collect_skews_with(
+    l: u32,
+    w: u32,
+    get: impl Fn(u32, i64) -> Option<Time>,
+) -> SkewSamples {
     let mut out = SkewSamples::default();
-    let get = |layer: u32, col: i64| -> Option<hex_des::Time> {
-        let n = grid.node(layer, col);
-        if excluded[n as usize] {
-            None
-        } else {
-            view.time(layer, col)
-        }
-    };
     for layer in 1..=l {
         for col in 0..w as i64 {
             let here = get(layer, col);
@@ -80,25 +78,71 @@ pub fn collect_skews(grid: &HexGrid, view: &PulseView, excluded: &[bool]) -> Ske
     out
 }
 
-/// Per-layer maximum absolute intra-layer skew, `None` for layers with no
-/// valid pair. Index 0 of the result is layer 1 (layer 0 skews are the
-/// source scenario's business).
-pub fn per_layer_max_intra(
+/// The exclusion-masked time accessor of the materialized path.
+fn masked_view<'a>(
+    grid: &'a HexGrid,
+    view: &'a PulseView,
+    excluded: &'a [bool],
+) -> impl Fn(u32, i64) -> Option<Time> + 'a {
+    move |layer, col| {
+        let n = grid.node(layer, col);
+        if excluded[n as usize] {
+            None
+        } else {
+            view.time(layer, col)
+        }
+    }
+}
+
+/// The exclusion-masked time accessor of the streaming path.
+fn masked_binner<'a>(
+    grid: &'a HexGrid,
+    binner: &'a PulseBinner,
+    pulse: usize,
+    excluded: &'a [bool],
+) -> impl Fn(u32, i64) -> Option<Time> + 'a {
+    move |layer, col| {
+        let n = grid.node(layer, col);
+        if excluded[n as usize] {
+            None
+        } else {
+            binner.time(pulse, n)
+        }
+    }
+}
+
+/// Collect the Definition-3 skew samples of one pulse view, skipping pairs
+/// that touch excluded or missing nodes.
+pub fn collect_skews(grid: &HexGrid, view: &PulseView, excluded: &[bool]) -> SkewSamples {
+    collect_skews_with(grid.length(), grid.width(), masked_view(grid, view, excluded))
+}
+
+/// [`collect_skews`] over pulse `pulse` of a streaming [`PulseBinner`]:
+/// identical samples in identical order, no [`PulseView`] required.
+pub fn collect_skews_observed(
     grid: &HexGrid,
-    view: &PulseView,
+    binner: &PulseBinner,
+    pulse: usize,
     excluded: &[bool],
+) -> SkewSamples {
+    collect_skews_with(
+        grid.length(),
+        grid.width(),
+        masked_binner(grid, binner, pulse, excluded),
+    )
+}
+
+/// The shared per-layer intra-max walk of both extraction paths.
+pub(crate) fn per_layer_max_intra_with(
+    l: u32,
+    w: u32,
+    get: impl Fn(u32, i64) -> Option<Time>,
 ) -> Vec<Option<Duration>> {
-    let (l, w) = (grid.length(), grid.width());
     (1..=l)
         .map(|layer| {
             let mut best: Option<Duration> = None;
             for col in 0..w as i64 {
-                let a = grid.node(layer, col);
-                let b = grid.node(layer, col + 1);
-                if excluded[a as usize] || excluded[b as usize] {
-                    continue;
-                }
-                if let (Some(ta), Some(tb)) = (view.time(layer, col), view.time(layer, col + 1)) {
+                if let (Some(ta), Some(tb)) = (get(layer, col), get(layer, col + 1)) {
                     let s = ta.abs_diff(tb);
                     best = Some(best.map_or(s, |m| m.max(s)));
                 }
@@ -108,30 +152,21 @@ pub fn per_layer_max_intra(
         .collect()
 }
 
-/// Per-layer maximum absolute inter-layer skew towards layer `ℓ−1`.
-pub fn per_layer_max_inter(
-    grid: &HexGrid,
-    view: &PulseView,
-    excluded: &[bool],
+/// The shared per-layer inter-max walk of both extraction paths.
+pub(crate) fn per_layer_max_inter_with(
+    l: u32,
+    w: u32,
+    get: impl Fn(u32, i64) -> Option<Time>,
 ) -> Vec<Option<Duration>> {
-    let (l, w) = (grid.length(), grid.width());
     (1..=l)
         .map(|layer| {
             let mut best: Option<Duration> = None;
             for col in 0..w as i64 {
-                let n = grid.node(layer, col);
-                if excluded[n as usize] {
-                    continue;
-                }
-                let Some(t) = view.time(layer, col) else {
+                let Some(t) = get(layer, col) else {
                     continue;
                 };
                 for lower in [col, col + 1] {
-                    let m = grid.node(layer - 1, lower);
-                    if excluded[m as usize] {
-                        continue;
-                    }
-                    if let Some(tl) = view.time(layer - 1, lower) {
+                    if let Some(tl) = get(layer - 1, lower) {
                         let s = t.abs_diff(tl);
                         best = Some(best.map_or(s, |m| m.max(s)));
                     }
@@ -140,6 +175,56 @@ pub fn per_layer_max_inter(
             best
         })
         .collect()
+}
+
+/// Per-layer maximum absolute intra-layer skew, `None` for layers with no
+/// valid pair. Index 0 of the result is layer 1 (layer 0 skews are the
+/// source scenario's business).
+pub fn per_layer_max_intra(
+    grid: &HexGrid,
+    view: &PulseView,
+    excluded: &[bool],
+) -> Vec<Option<Duration>> {
+    per_layer_max_intra_with(grid.length(), grid.width(), masked_view(grid, view, excluded))
+}
+
+/// [`per_layer_max_intra`] over pulse `pulse` of a streaming
+/// [`PulseBinner`].
+pub fn per_layer_max_intra_observed(
+    grid: &HexGrid,
+    binner: &PulseBinner,
+    pulse: usize,
+    excluded: &[bool],
+) -> Vec<Option<Duration>> {
+    per_layer_max_intra_with(
+        grid.length(),
+        grid.width(),
+        masked_binner(grid, binner, pulse, excluded),
+    )
+}
+
+/// Per-layer maximum absolute inter-layer skew towards layer `ℓ−1`.
+pub fn per_layer_max_inter(
+    grid: &HexGrid,
+    view: &PulseView,
+    excluded: &[bool],
+) -> Vec<Option<Duration>> {
+    per_layer_max_inter_with(grid.length(), grid.width(), masked_view(grid, view, excluded))
+}
+
+/// [`per_layer_max_inter`] over pulse `pulse` of a streaming
+/// [`PulseBinner`].
+pub fn per_layer_max_inter_observed(
+    grid: &HexGrid,
+    binner: &PulseBinner,
+    pulse: usize,
+    excluded: &[bool],
+) -> Vec<Option<Duration>> {
+    per_layer_max_inter_with(
+        grid.length(),
+        grid.width(),
+        masked_binner(grid, binner, pulse, excluded),
+    )
 }
 
 #[cfg(test)]

@@ -13,10 +13,10 @@
 //! envelope).
 
 use hex_core::HexGrid;
-use hex_des::Duration;
-use hex_sim::PulseView;
+use hex_des::{Duration, Time};
+use hex_sim::{PulseBinner, PulseView};
 
-use crate::skew::{per_layer_max_inter, per_layer_max_intra};
+use crate::skew::{per_layer_max_inter_with, per_layer_max_intra_with};
 
 /// Per-layer skew thresholds for the stabilization check.
 #[derive(Debug, Clone)]
@@ -74,30 +74,125 @@ pub fn pulse_satisfies(
     criterion: &Criterion,
 ) -> bool {
     assert_eq!(criterion.layers(), grid.length(), "criterion layer count");
-    // Completeness of all non-excluded nodes.
+    profile_with(grid, excluded, |layer, col| view.time(layer, col)).satisfies(criterion)
+}
+
+/// [`pulse_satisfies`] over pulse `pulse` of a streaming
+/// [`PulseBinner`]: identical verdict, no [`PulseView`] required.
+pub fn pulse_satisfies_observed(
+    grid: &HexGrid,
+    binner: &PulseBinner,
+    pulse: usize,
+    excluded: &[bool],
+    criterion: &Criterion,
+) -> bool {
+    assert_eq!(criterion.layers(), grid.length(), "criterion layer count");
+    profile_with(grid, excluded, |layer, col| binner.grid_time(pulse, layer, col))
+        .satisfies(criterion)
+}
+
+/// The **criterion-independent** part of one pulse's stabilization check:
+/// completeness of every non-excluded node plus the per-layer skew
+/// maxima. Evaluating a [`Criterion`] against a profile is then a pure
+/// threshold comparison, so a multi-criterion sweep (Figs. 18/19 evaluate
+/// four classes) extracts each pulse **once** instead of once per
+/// criterion.
+#[derive(Debug, Clone)]
+pub struct PulseProfile {
+    /// Every non-excluded node has a triggering time (an incomplete pulse
+    /// can never be called stable, whatever the thresholds).
+    pub complete: bool,
+    /// Per-layer maximum intra-layer skew (index 0 = layer 1); empty when
+    /// the pulse is incomplete.
+    pub intra: Vec<Option<Duration>>,
+    /// Per-layer maximum inter-layer skew; empty when incomplete.
+    pub inter: Vec<Option<Duration>>,
+}
+
+impl PulseProfile {
+    /// Does this pulse satisfy `criterion` on every layer?
+    pub fn satisfies(&self, criterion: &Criterion) -> bool {
+        if !self.complete {
+            return false;
+        }
+        assert_eq!(
+            criterion.layers() as usize,
+            self.intra.len(),
+            "criterion layer count"
+        );
+        for ix in 0..self.intra.len() {
+            if let Some(s) = self.intra[ix] {
+                if s > criterion.intra[ix] {
+                    return false;
+                }
+            }
+            if let Some(s) = self.inter[ix] {
+                if s > criterion.inter[ix] {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+/// Extract one pulse's [`PulseProfile`] through a raw (unmasked) time
+/// accessor — the single walk shared by the materialized and the
+/// streaming path. Maxima are skipped for incomplete pulses (they can
+/// never satisfy any criterion).
+fn profile_with(
+    grid: &HexGrid,
+    excluded: &[bool],
+    raw: impl Fn(u32, i64) -> Option<Time> + Copy,
+) -> PulseProfile {
     for layer in 0..=grid.length() {
         for col in 0..grid.width() {
             let n = grid.node(layer, col as i64);
-            if !excluded[n as usize] && view.time(layer, col as i64).is_none() {
-                return false;
+            if !excluded[n as usize] && raw(layer, col as i64).is_none() {
+                return PulseProfile {
+                    complete: false,
+                    intra: Vec::new(),
+                    inter: Vec::new(),
+                };
             }
         }
     }
-    let intra = per_layer_max_intra(grid, view, excluded);
-    let inter = per_layer_max_inter(grid, view, excluded);
-    for ix in 0..grid.length() as usize {
-        if let Some(s) = intra[ix] {
-            if s > criterion.intra[ix] {
-                return false;
-            }
+    let masked = move |layer: u32, col: i64| {
+        let n = grid.node(layer, col);
+        if excluded[n as usize] {
+            None
+        } else {
+            raw(layer, col)
         }
-        if let Some(s) = inter[ix] {
-            if s > criterion.inter[ix] {
-                return false;
-            }
-        }
+    };
+    PulseProfile {
+        complete: true,
+        intra: per_layer_max_intra_with(grid.length(), grid.width(), masked),
+        inter: per_layer_max_inter_with(grid.length(), grid.width(), masked),
     }
-    true
+}
+
+/// The criterion-independent profiles of every pulse of an observed run
+/// (`h`-masked by `excluded`), extracted in one walk per pulse. Feed the
+/// result to [`stabilization_from_profiles`] once per criterion.
+pub fn observed_pulse_profiles(
+    grid: &HexGrid,
+    binner: &PulseBinner,
+    excluded: &[bool],
+) -> Vec<PulseProfile> {
+    (0..binner.pulses())
+        .map(|k| profile_with(grid, excluded, |layer, col| binner.grid_time(k, layer, col)))
+        .collect()
+}
+
+/// The stabilization estimate over pre-extracted [`PulseProfile`]s: the
+/// minimal pulse from which every later pulse satisfies `criterion`.
+pub fn stabilization_from_profiles(
+    profiles: &[PulseProfile],
+    criterion: &Criterion,
+) -> Option<usize> {
+    let ok: Vec<bool> = profiles.iter().map(|p| p.satisfies(criterion)).collect();
+    longest_suffix_start(&ok)
 }
 
 /// The stabilization estimate of one run: the minimal pulse index `k` such
@@ -114,16 +209,33 @@ pub fn stabilization_pulse(
         .iter()
         .map(|v| pulse_satisfies(grid, v, excluded, criterion))
         .collect();
-    // Longest satisfied suffix.
-    let mut k = views.len();
-    for i in (0..views.len()).rev() {
+    longest_suffix_start(&ok)
+}
+
+/// [`stabilization_pulse`] over all pulses of a streaming
+/// [`PulseBinner`]: identical estimate, no [`PulseView`]s required.
+/// Multi-criterion sweeps should extract [`observed_pulse_profiles`] once
+/// and call [`stabilization_from_profiles`] per criterion instead.
+pub fn stabilization_pulse_observed(
+    grid: &HexGrid,
+    binner: &PulseBinner,
+    excluded: &[bool],
+    criterion: &Criterion,
+) -> Option<usize> {
+    stabilization_from_profiles(&observed_pulse_profiles(grid, binner, excluded), criterion)
+}
+
+/// Start of the longest `true` suffix, `None` if the last pulse fails.
+fn longest_suffix_start(ok: &[bool]) -> Option<usize> {
+    let mut k = ok.len();
+    for i in (0..ok.len()).rev() {
         if ok[i] {
             k = i;
         } else {
             break;
         }
     }
-    if k == views.len() {
+    if k == ok.len() {
         None
     } else {
         Some(k)

@@ -22,13 +22,16 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use hex_analysis::reduce::StabilizationReducer;
+use hex_analysis::reduce::ObservedStabilizationReducer;
 use hex_analysis::stats::Summary;
 use hex_core::{D_MINUS, D_PLUS};
 use hex_des::{Duration, Schedule, Time};
 
 pub use hex_analysis::emit::{Emitter, Table, Value};
-pub use hex_analysis::reduce::{batch_skews, batch_skews_from_views, BatchSkews};
+pub use hex_analysis::reduce::{
+    batch_skews, batch_skews_from_views, BatchSkews, ObservedSkewReducer, SkewReducer,
+    StabilizationReducer,
+};
 pub use hex_sim::spec::{
     scenario_separation, scenario_timing, FaultRegime, RunSpec, RunView, TimingPolicy,
 };
@@ -151,8 +154,10 @@ pub fn fault_sweep(base: &RunSpec, title: &str) {
 /// The Fig. 18/19 stabilization sweep: for fault kinds Byzantine and
 /// fail-silent, `f ∈ {0,…,5}` and threshold classes `C ∈ {0,…,3}`, print
 /// average (± std) stabilization pulse and the number of stabilized runs.
-/// Each `(kind, f)` batch is simulated once and streamed through a
-/// [`StabilizationReducer`] evaluating all four classes.
+/// Each `(kind, f)` batch is simulated once on the streaming extraction
+/// path and folded through an [`ObservedStabilizationReducer`] evaluating
+/// all four classes — no run of the sweep materializes a trace or a
+/// pulse-view matrix.
 pub fn stabilization_sweep(base: &RunSpec, title: &str, pulses: usize) {
     use hex_analysis::stabilization::{summarize, Criterion};
     use hex_theory::bounds::lemma5_layer_bound;
@@ -199,7 +204,8 @@ pub fn stabilization_sweep(base: &RunSpec, title: &str, pulses: usize) {
                     })
                 })
                 .collect();
-            let estimates = spec.fold(&StabilizationReducer::new(&grid, &criteria, 0));
+            let estimates =
+                spec.fold_observed(&ObservedStabilizationReducer::new(&grid, &criteria, 0));
             let cells: Vec<String> = estimates
                 .iter()
                 .map(|per_run| {

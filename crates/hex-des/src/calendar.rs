@@ -387,6 +387,68 @@ mod tests {
         assert!(q.pop().is_none());
     }
 
+    /// Regression net for the lap-walk fallback: events landing *exactly*
+    /// on the ring-horizon boundary (`width × buckets` ahead of the
+    /// anchor) and one tick past it must still pop in `(time, seq)` order
+    /// with FIFO ties — these are the instants where an off-by-one in the
+    /// window arithmetic would either pop a beyond-horizon event a full
+    /// lap early or skip it for a lap.
+    #[test]
+    fn horizon_boundary_events_pop_in_time_seq_order() {
+        // small(): width 16 × 8 buckets ⇒ ring horizon 128 ps.
+        let horizon = 16 * 8;
+        for anchor in [0i64, 5, 16, 127] {
+            let mut cal: CalendarQueue<usize> =
+                CalendarQueue::with_geometry(Duration::from_ps(16), 8);
+            let mut bin = EventQueue::new();
+            let mut payload = 0usize;
+            let mut push = |cal: &mut CalendarQueue<usize>, bin: &mut EventQueue<usize>, t: i64| {
+                cal.push(Time::from_ps(t), payload);
+                bin.push(Time::from_ps(t), payload);
+                payload += 1;
+            };
+            // Anchor the window, then lay events on the boundary, one
+            // tick before, one past, and duplicates of each (FIFO ties).
+            push(&mut cal, &mut bin, anchor);
+            for t in [
+                anchor + horizon - 1,
+                anchor + horizon, // exactly one lap ahead
+                anchor + horizon, // FIFO tie on the boundary
+                anchor + horizon + 1, // one tick past the horizon
+                anchor + horizon + 1,
+                anchor + 2 * horizon, // two laps ahead
+            ] {
+                push(&mut cal, &mut bin, t);
+            }
+            assert_drains_identically(cal, bin);
+        }
+    }
+
+    /// The same boundary instants when the window has already walked:
+    /// pop-then-reschedule exactly `horizon` and `horizon + 1` ahead of
+    /// `now` (the engine's far-future sleep shape).
+    #[test]
+    fn horizon_boundary_reschedules_after_pops() {
+        let horizon = 16i64 * 8;
+        let mut cal: CalendarQueue<usize> =
+            CalendarQueue::with_geometry(Duration::from_ps(16), 8);
+        let mut bin = EventQueue::new();
+        for i in 0..4usize {
+            cal.push(Time::from_ps(i as i64), i);
+            bin.push(Time::from_ps(i as i64), i);
+        }
+        for step in 0..12 {
+            let a = cal.pop().unwrap();
+            let b = bin.pop().unwrap();
+            assert_eq!((a.at, a.seq, a.payload), (b.at, b.seq, b.payload), "step {step}");
+            // Alternate exactly-on-horizon and one-past-horizon holds.
+            let delta = if step % 2 == 0 { horizon } else { horizon + 1 };
+            cal.push(a.at + Duration::from_ps(delta), a.payload);
+            bin.push(b.at + Duration::from_ps(delta), b.payload);
+        }
+        assert_drains_identically(cal, bin);
+    }
+
     #[test]
     fn negative_instants_are_legal() {
         let mut q = small();

@@ -127,6 +127,12 @@ where
 ///
 /// which every "append to vectors / add to tallies" reduction satisfies.
 /// `merge` is always called with `left` covering the lower run indices.
+///
+/// The item type is whatever the batch produces per run: materialized
+/// [`RunView`](crate::RunView)s for [`RunSpec::fold`](crate::RunSpec::fold),
+/// or borrowed [`PulseBinner`](crate::PulseBinner) observer state for the
+/// streaming [`RunSpec::fold_observed`](crate::RunSpec::fold_observed) —
+/// the same contract covers both extraction paths.
 pub trait Reducer<T> {
     /// The accumulator type.
     type Acc: Send;

@@ -36,14 +36,15 @@
 
 use hex_core::delay::ResolvedDelays;
 use hex_core::{
-    DelayModel, FaultPlan, FiringState, LinkBehavior, NodeId, NodeState, PulseGraph, Role,
-    Timing, TriggerCause,
+    DelayModel, FaultPlan, FiringState, HexGrid, LinkBehavior, NodeId, NodeState, PulseGraph,
+    Role, Timing, TriggerCause,
 };
 use hex_des::{
     CalendarQueue, Duration, EventQueue, FutureEventList, QuadHeapQueue, Schedule, SimRng, Time,
 };
 
-use crate::trace::Trace;
+use crate::observe::{FireLog, PulseBinner, RunObserver};
+use crate::trace::{Arrival, Trace};
 
 /// Initial node states.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -79,7 +80,7 @@ pub enum InitState {
 /// 1.6–2× on raw hold-model queue ops — because every HEX scheduling
 /// increment is bounded, the structure a bucket ring exploits for O(1)
 /// amortized push/pop.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum QueuePolicy {
     /// `std::collections::BinaryHeap` via [`EventQueue`]: the measured
     /// runner-up, and the reference implementation the walls compare
@@ -92,8 +93,26 @@ pub enum QueuePolicy {
     /// Bounded-horizon calendar ring ([`CalendarQueue`]), sized per run
     /// from the delivery envelope and the graph's node count (see
     /// `calendar_geometry`) — the measured default.
-    #[default]
     Calendar,
+}
+
+impl Default for QueuePolicy {
+    /// The calendar ring (the ablation winner) — unless `HEX_QUEUE` names
+    /// another policy, in which case the whole process defaults to that
+    /// one. The variable is read once and cached, so the default is
+    /// stable for the process lifetime; all policies produce byte-
+    /// identical output, so this is purely a performance (and CI
+    /// coverage: the test matrix re-runs the full suite under
+    /// `HEX_QUEUE=binary_heap`) knob.
+    fn default() -> Self {
+        static ENV_DEFAULT: std::sync::OnceLock<QueuePolicy> = std::sync::OnceLock::new();
+        *ENV_DEFAULT.get_or_init(|| match std::env::var("HEX_QUEUE") {
+            Ok(v) => v
+                .parse()
+                .expect("HEX_QUEUE must be binary_heap, quad_heap or calendar"),
+            Err(_) => QueuePolicy::Calendar,
+        })
+    }
 }
 
 impl QueuePolicy {
@@ -291,6 +310,10 @@ pub struct SimScratch {
     /// ([`RunSpec::run_one_into`](crate::spec::RunSpec::run_one_into)
     /// refills these per run).
     pub(crate) out: crate::spec::RunView,
+    /// Observer state of the streaming extraction path
+    /// ([`simulate_observed_into`]); its slot buffers are recycled across
+    /// runs like every other arena here.
+    binner: PulseBinner,
     grows: usize,
     popped_events: u64,
     stale_events: u64,
@@ -317,20 +340,34 @@ impl SimScratch {
             active: Vec::new(),
             faulty: Vec::new(),
             out: crate::spec::RunView::default(),
+            binner: PulseBinner::new(),
             grows: 0,
             popped_events: 0,
             stale_events: 0,
         }
     }
 
-    /// The trace of the most recent [`simulate_into`] run.
+    /// The trace of the most recent [`simulate_into`] run. (An observed
+    /// run — [`simulate_observed_into`] — records no fires, so after one
+    /// this reads as an empty trace.)
     pub fn trace(&self) -> &Trace {
         &self.trace
+    }
+
+    /// The pulse-binned observer state of the most recent
+    /// [`simulate_observed_into`] run.
+    pub fn binner(&self) -> &PulseBinner {
+        &self.binner
     }
 
     /// Extract the most recent trace, consuming the scratch.
     pub fn into_trace(self) -> Trace {
         self.trace
+    }
+
+    /// Extract the most recent observed-run binner, consuming the scratch.
+    pub fn into_binner(self) -> PulseBinner {
+        self.binner
     }
 
     /// How many times the trace-sized buffers had to be (re)allocated —
@@ -481,6 +518,83 @@ struct RunCtx<'a> {
     horizon: Time,
 }
 
+/// Everything a run derives before the event loop, in the one canonical
+/// order. The RNG draw sequence — delays resolved first, fault behaviors
+/// second — is part of the byte-equality contract between the trace and
+/// observer entry points, so it lives in exactly one place.
+struct RunSetup {
+    sources: Vec<NodeId>,
+    rng: SimRng,
+    delays: ResolvedDelays,
+    behaviors: Vec<LinkBehavior>,
+    horizon: Time,
+}
+
+/// # Panics
+///
+/// Panics if the schedule's source count does not match the graph's.
+fn prepare_run(graph: &PulseGraph, schedule: &Schedule, cfg: &SimConfig, seed: u64) -> RunSetup {
+    let sources: Vec<NodeId> = graph.source_ids().collect();
+    assert_eq!(
+        sources.len(),
+        schedule.sources(),
+        "schedule has {} sources, graph has {}",
+        schedule.sources(),
+        sources.len()
+    );
+    let mut rng = SimRng::seed_from_u64(seed);
+    let delays = cfg.delays.resolve(graph, &mut rng);
+    let behaviors = cfg.faults.resolve(graph, &mut rng);
+    let horizon = cfg.horizon.unwrap_or_else(|| cfg.auto_horizon(graph, schedule));
+    RunSetup {
+        sources,
+        rng,
+        delays,
+        behaviors,
+        horizon,
+    }
+}
+
+/// Build the run context and drain the whole event list through the
+/// queue-policy match: the single observer-generic core behind both
+/// [`simulate_into`] and [`simulate_observed_into`]. One match per run,
+/// zero per-event dispatch on either axis.
+#[allow(clippy::too_many_arguments)]
+fn drive<O: RunObserver>(
+    setup: &mut RunSetup,
+    graph: &PulseGraph,
+    cfg: &SimConfig,
+    schedule: &Schedule,
+    queue: &mut FelQueue,
+    states: &mut [NodeState],
+    active: &[bool],
+    faulty: &[bool],
+    obs: &mut O,
+    arrivals: &mut [Vec<Arrival>],
+) -> (u64, u64) {
+    let ctx = RunCtx {
+        graph,
+        cfg,
+        behaviors: &setup.behaviors,
+        delays: &setup.delays,
+        active,
+        faulty,
+        all_links_correct: setup.behaviors.iter().all(|&b| b == LinkBehavior::Correct),
+        horizon: setup.horizon,
+    };
+    match queue {
+        FelQueue::Binary(q) => {
+            run_events(q, &ctx, schedule, &setup.sources, states, obs, arrivals, &mut setup.rng)
+        }
+        FelQueue::Quad(q) => {
+            run_events(q, &ctx, schedule, &setup.sources, states, obs, arrivals, &mut setup.rng)
+        }
+        FelQueue::Calendar(q) => {
+            run_events(q, &ctx, schedule, &setup.sources, states, obs, arrivals, &mut setup.rng)
+        }
+    }
+}
+
 /// Run one simulation into `scratch`, recycling its event queue, node
 /// states and trace storage, and return the recorded trace (borrowed from
 /// the scratch, which stays reusable for the next run).
@@ -499,20 +613,7 @@ pub fn simulate_into<'s>(
     cfg: &SimConfig,
     seed: u64,
 ) -> &'s Trace {
-    let sources: Vec<NodeId> = graph.source_ids().collect();
-    assert_eq!(
-        sources.len(),
-        schedule.sources(),
-        "schedule has {} sources, graph has {}",
-        schedule.sources(),
-        sources.len()
-    );
-
-    let mut rng = SimRng::seed_from_u64(seed);
-    let delays = cfg.delays.resolve(graph, &mut rng);
-    let behaviors = cfg.faults.resolve(graph, &mut rng);
-    let horizon = cfg.horizon.unwrap_or_else(|| cfg.auto_horizon(graph, schedule));
-
+    let mut setup = prepare_run(graph, schedule, cfg, seed);
     scratch.prepare(graph, cfg);
     let SimScratch {
         trace,
@@ -522,47 +623,83 @@ pub fn simulate_into<'s>(
         faulty,
         ..
     } = scratch;
-    let ctx = RunCtx {
-        graph,
-        cfg,
-        behaviors: &behaviors,
-        delays: &delays,
-        active,
-        faulty,
-        all_links_correct: behaviors.iter().all(|&b| b == LinkBehavior::Correct),
-        horizon,
-    };
-
-    // Monomorphize the whole run per queue policy: one match, zero
-    // per-event dispatch.
-    let (popped, stale) = match queue {
-        FelQueue::Binary(q) => run_events(q, &ctx, schedule, &sources, states, trace, &mut rng),
-        FelQueue::Quad(q) => run_events(q, &ctx, schedule, &sources, states, trace, &mut rng),
-        FelQueue::Calendar(q) => run_events(q, &ctx, schedule, &sources, states, trace, &mut rng),
-    };
+    let Trace { fires, arrivals, .. } = trace;
+    let mut obs = FireLog { fires };
+    let (popped, stale) =
+        drive(&mut setup, graph, cfg, schedule, queue, states, active, faulty, &mut obs, arrivals);
 
     trace.faulty = cfg.faults.faulty_nodes();
-    trace.horizon = horizon;
+    trace.horizon = setup.horizon;
     scratch.popped_events = popped;
     scratch.stale_events = stale;
     &scratch.trace
 }
 
+/// Run one simulation into `scratch`, streaming every firing into the
+/// scratch's [`PulseBinner`] instead of recording a trace: skew and
+/// stabilization statistics can then be extracted straight from the
+/// binner's per-pulse slots — no [`Trace`] fires, no
+/// [`PulseView`](crate::PulseView) matrices, no second pass.
+///
+/// The binner's contents are **identical** to running [`simulate_into`]
+/// and post-processing the trace with
+/// [`assign_pulses`](crate::assign_pulses) (or
+/// [`PulseView::from_single_pulse`](crate::PulseView::from_single_pulse)
+/// for single-pulse schedules) with the same `d_mid` — pinned by the
+/// observer-equivalence walls across queue policies and thread counts.
+/// The scratch stays reusable for either path afterwards.
+///
+/// # Panics
+///
+/// Panics if the schedule's source count does not match the graph's.
+pub fn simulate_observed_into<'s>(
+    scratch: &'s mut SimScratch,
+    grid: &HexGrid,
+    schedule: &Schedule,
+    cfg: &SimConfig,
+    seed: u64,
+    d_mid: Duration,
+) -> &'s PulseBinner {
+    let graph = grid.graph();
+    let mut setup = prepare_run(graph, schedule, cfg, seed);
+    scratch.prepare(graph, cfg);
+    let SimScratch {
+        trace,
+        states,
+        queue,
+        active,
+        faulty,
+        binner,
+        ..
+    } = scratch;
+    binner.prepare(grid, schedule, d_mid, &cfg.faults.faulty_nodes());
+    let arrivals = &mut trace.arrivals;
+    let (popped, stale) =
+        drive(&mut setup, graph, cfg, schedule, queue, states, active, faulty, binner, arrivals);
+
+    scratch.popped_events = popped;
+    scratch.stale_events = stale;
+    &scratch.binner
+}
+
 /// Schedule the initial events and drain the queue: the whole of one run.
-/// Returns `(events popped, stale epoch-rejected events)`.
-fn run_events<Q: FutureEventList<Ev>>(
+/// Firing records flow through `obs` — the [`FireLog`] of the trace path
+/// or the [`PulseBinner`] of the streaming path; both the queue and the
+/// observer are monomorphized, so the loop pays no per-event dispatch for
+/// either axis. Returns `(events popped, stale epoch-rejected events)`.
+#[allow(clippy::too_many_arguments)]
+fn run_events<Q: FutureEventList<Ev>, O: RunObserver>(
     q: &mut Q,
     ctx: &RunCtx<'_>,
     schedule: &Schedule,
     sources: &[NodeId],
     states: &mut [NodeState],
-    trace: &mut Trace,
+    obs: &mut O,
+    arrivals: &mut [Vec<Arrival>],
     rng: &mut SimRng,
 ) -> (u64, u64) {
     let graph = ctx.graph;
     let cfg = ctx.cfg;
-    let fires = &mut trace.fires;
-    let arrivals = &mut trace.arrivals;
     let record_arrivals = cfg.record_arrivals;
 
     // Schedule all source pulses.
@@ -639,7 +776,7 @@ fn run_events<Q: FutureEventList<Ev>>(
     // immediately (time 0).
     for n in graph.node_ids() {
         if ctx.active[n as usize] {
-            maybe_fire(n, Time::ZERO, ctx, states, fires, q, rng);
+            maybe_fire(n, Time::ZERO, ctx, states, obs, q, rng);
         }
     }
 
@@ -654,7 +791,7 @@ fn run_events<Q: FutureEventList<Ev>>(
                 if ctx.faulty[node as usize] {
                     continue; // mute/Byzantine source: outputs are constants
                 }
-                fires[node as usize].push((now, TriggerCause::Source));
+                obs.on_fire(node, now, TriggerCause::Source);
                 broadcast(node, now, ctx, q, rng);
             }
             Ev::Deliver { link } => {
@@ -665,7 +802,7 @@ fn run_events<Q: FutureEventList<Ev>>(
                 }
                 if let Some(epoch) = states[n as usize].set_flag(l.dst_port) {
                     if record_arrivals {
-                        arrivals[n as usize].push(crate::trace::Arrival {
+                        arrivals[n as usize].push(Arrival {
                             at: now,
                             from: l.src,
                             port: l.dst_port,
@@ -680,13 +817,13 @@ fn run_events<Q: FutureEventList<Ev>>(
                             epoch,
                         },
                     );
-                    maybe_fire(n, now, ctx, states, fires, q, rng);
+                    maybe_fire(n, now, ctx, states, obs, q, rng);
                 }
             }
             Ev::LinkTimeout { node, port, epoch } => {
                 if states[node as usize].expire_flag(port, epoch) {
                     refresh_stuck_one(node, port, now, ctx, states, q, rng);
-                    maybe_fire(node, now, ctx, states, fires, q, rng);
+                    maybe_fire(node, now, ctx, states, obs, q, rng);
                 } else {
                     stale += 1;
                 }
@@ -697,7 +834,7 @@ fn run_events<Q: FutureEventList<Ev>>(
                     for port in 0..graph.port_count(node) as u8 {
                         refresh_stuck_one(node, port, now, ctx, states, q, rng);
                     }
-                    maybe_fire(node, now, ctx, states, fires, q, rng);
+                    maybe_fire(node, now, ctx, states, obs, q, rng);
                 } else {
                     stale += 1;
                 }
@@ -708,14 +845,14 @@ fn run_events<Q: FutureEventList<Ev>>(
     (q.popped(), stale)
 }
 
-/// If `node` is ready and its guard is satisfied, fire: record, broadcast,
-/// sleep.
-fn maybe_fire<Q: FutureEventList<Ev>>(
+/// If `node` is ready and its guard is satisfied, fire: observe the firing
+/// record, broadcast, sleep.
+fn maybe_fire<Q: FutureEventList<Ev>, O: RunObserver>(
     node: NodeId,
     now: Time,
     ctx: &RunCtx<'_>,
     states: &mut [NodeState],
-    fires: &mut [Vec<(Time, TriggerCause)>],
+    obs: &mut O,
     q: &mut Q,
     rng: &mut SimRng,
 ) {
@@ -727,7 +864,7 @@ fn maybe_fire<Q: FutureEventList<Ev>>(
         return;
     };
     let cause = TriggerCause::from_guard_index(ix);
-    fires[node as usize].push((now, cause));
+    obs.on_fire(node, now, cause);
     let sleep_epoch = st.fire();
     let dur = rng.duration_in(ctx.cfg.timing.sleep.lo, ctx.cfg.timing.sleep.hi);
     q.push(
@@ -1207,6 +1344,148 @@ mod tests {
         assert!(counts[0].1 < counts[0].0, "stale events are a strict share");
         assert_eq!(counts[0], counts[1], "quad heap diverged");
         assert_eq!(counts[0], counts[2], "calendar diverged");
+    }
+
+    /// The streaming observer path replays the identical execution: the
+    /// binner's slots match the trace-then-view extraction for every
+    /// queue policy, with one dirty scratch carried across both paths.
+    #[test]
+    fn observed_run_matches_trace_extraction_across_policies() {
+        use crate::trace::{assign_pulses, PulseView};
+        use hex_clock::{PulseTrain, Scenario};
+
+        let grid = HexGrid::new(7, 6);
+        let mut rng = SimRng::seed_from_u64(13);
+        let multi = PulseTrain::new(Scenario::Zero, 3, Duration::from_ns(300.0))
+            .generate(6, &mut rng);
+        let single = zero_schedule(6);
+        let d_mid = hex_core::DelayRange::paper().mid();
+        let mut scratch = SimScratch::new();
+
+        for policy in QueuePolicy::ALL {
+            // Single pulse: binner slots == PulseView::from_single_pulse.
+            let cfg = SimConfig {
+                queue: policy,
+                ..SimConfig::fault_free()
+            };
+            let trace = simulate(grid.graph(), &single, &cfg, 5);
+            let view = PulseView::from_single_pulse(&grid, &trace);
+            let binner =
+                simulate_observed_into(&mut scratch, &grid, &single, &cfg, 5, d_mid);
+            assert_eq!(binner.pulses(), 1);
+            for layer in 0..=7 {
+                for col in 0..6i64 {
+                    assert_eq!(
+                        binner.grid_time(0, layer, col),
+                        view.time(layer, col),
+                        "{policy:?} node ({layer},{col})"
+                    );
+                }
+            }
+            assert_eq!(binner.spurious(), view.spurious, "{policy:?}");
+
+            // Multi pulse with corrupted init: binner == assign_pulses.
+            let cfg = SimConfig {
+                queue: policy,
+                timing: Timing::paper_scenario_iii(),
+                init: InitState::Arbitrary,
+                ..SimConfig::fault_free()
+            };
+            let trace = simulate(grid.graph(), &multi, &cfg, 6);
+            let views = assign_pulses(&grid, &trace, &multi, d_mid);
+            let binner = simulate_observed_into(&mut scratch, &grid, &multi, &cfg, 6, d_mid);
+            assert_eq!(binner.pulses(), views.len());
+            let mut spurious = 0;
+            for (k, v) in views.iter().enumerate() {
+                spurious += v.spurious;
+                for layer in 0..=7 {
+                    for col in 0..6i64 {
+                        assert_eq!(
+                            binner.grid_time(k, layer, col),
+                            v.time(layer, col),
+                            "{policy:?} pulse {k} node ({layer},{col})"
+                        );
+                    }
+                }
+            }
+            assert_eq!(binner.spurious(), spurious, "{policy:?}");
+        }
+        // Both paths shared the scratch without regrowing its buffers.
+        assert_eq!(scratch.grow_count(), 1);
+    }
+
+    /// The observed path records the faulty set and skips faulty fires
+    /// exactly like the trace path.
+    #[test]
+    fn observed_run_reports_faulty_nodes() {
+        let grid = HexGrid::new(5, 6);
+        let victim = grid.node(2, 3);
+        let cfg = SimConfig {
+            faults: FaultPlan::none().with_node(victim, NodeFault::FailSilent),
+            ..SimConfig::fault_free()
+        };
+        let mut scratch = SimScratch::new();
+        let d_mid = hex_core::DelayRange::paper().mid();
+        let binner =
+            simulate_observed_into(&mut scratch, &grid, &zero_schedule(6), &cfg, 3, d_mid);
+        assert_eq!(binner.faulty(), &[victim]);
+        assert_eq!(binner.time(0, victim), None);
+    }
+
+    /// Regression net for the scratch work counters: **every** reuse path
+    /// (same-policy reuse, policy switch, the observed entry point, and a
+    /// run that pops zero events) must leave `popped_events` /
+    /// `stale_events` describing the *most recent* run only — never a
+    /// stale or accumulated value from earlier runs through the same
+    /// scratch.
+    #[test]
+    fn counters_describe_only_the_most_recent_run() {
+        let grid = HexGrid::new(6, 6);
+        let sched = zero_schedule(6);
+        let d_mid = hex_core::DelayRange::paper().mid();
+        let mut scratch = SimScratch::new();
+
+        // A real run accumulates work...
+        simulate_into(&mut scratch, grid.graph(), &sched, &SimConfig::fault_free(), 1);
+        let first = scratch.popped_events();
+        assert!(first > 0);
+
+        // ...a second identical run through the same scratch reports the
+        // same work, not 2× (the queue's pop counter resets with it).
+        simulate_into(&mut scratch, grid.graph(), &sched, &SimConfig::fault_free(), 1);
+        assert_eq!(scratch.popped_events(), first, "counter accumulated across reuse");
+
+        // The observed entry point resets and reports identically: the
+        // event interleaving is the same, only the recording differs.
+        simulate_observed_into(
+            &mut scratch,
+            &grid,
+            &sched,
+            &SimConfig::fault_free(),
+            1,
+            d_mid,
+        );
+        assert_eq!(scratch.popped_events(), first, "observed path diverged");
+
+        // A policy switch through the same scratch still reports
+        // per-run work.
+        let alt = SimConfig {
+            queue: QueuePolicy::QuadHeap,
+            ..SimConfig::fault_free()
+        };
+        simulate_into(&mut scratch, grid.graph(), &sched, &alt, 1);
+        assert_eq!(scratch.popped_events(), first, "policy switch leaked counters");
+
+        // A run that pops nothing (no scheduled pulses, clean init) must
+        // read 0 — not the previous run's totals.
+        let empty = Schedule::new(vec![Vec::new(); 6]);
+        let quiet = SimConfig {
+            horizon: Some(Time::from_ns(100.0)),
+            ..SimConfig::fault_free()
+        };
+        simulate_into(&mut scratch, grid.graph(), &empty, &quiet, 1);
+        assert_eq!(scratch.popped_events(), 0, "stale popped count survived reuse");
+        assert_eq!(scratch.stale_events(), 0, "stale stale count survived reuse");
     }
 
     #[test]

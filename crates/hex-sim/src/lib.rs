@@ -15,7 +15,13 @@
 //! * [`trace::Trace`] — the recorded triggering times `t^(k)_{ℓ,i}` with
 //!   their trigger causes (left / central / right, Definition 1);
 //! * [`trace::PulseView`] / [`trace::assign_pulses`] — the per-pulse
-//!   triggering-time matrices the paper's statistics are computed from;
+//!   triggering-time matrices the paper's statistics are computed from
+//!   (the materialized reference path);
+//! * [`observe::RunObserver`] / [`observe::PulseBinner`] — the streaming
+//!   extraction path: the engine's fire-recording hook as a sealed
+//!   abstraction, with an observer that bins firings to pulses online so
+//!   batch statistics never materialize traces or view matrices
+//!   ([`engine::simulate_observed_into`], `RunSpec::fold_observed`);
 //! * [`spec::RunSpec`] — the declarative experiment vocabulary: grid
 //!   shape, layer-0 scenario, fault regime, Table-3 timing, init states,
 //!   pulse count and per-run seed policy in one buildable description;
@@ -33,12 +39,17 @@
 pub mod batch;
 pub mod engine;
 pub mod invariants;
+pub mod observe;
 pub mod spec;
 pub mod trace;
 pub mod vcd;
 
 pub use batch::{run_batch, run_batch_fold, run_batch_fold_with, run_batch_with, Reducer};
-pub use engine::{simulate, simulate_into, InitState, QueuePolicy, SimConfig, SimScratch};
+pub use engine::{
+    simulate, simulate_into, simulate_observed_into, InitState, QueuePolicy, SimConfig,
+    SimScratch,
+};
+pub use observe::{PulseBinner, RunObserver};
 pub use spec::{FaultRegime, RunSpec, RunView, TimingPolicy};
 pub use trace::{assign_pulses, assign_pulses_into, PulseView, Trace};
 pub use vcd::{vcd_document, VcdOptions};

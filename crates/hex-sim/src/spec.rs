@@ -42,7 +42,11 @@ use hex_core::{
 use hex_des::{Duration, Schedule, SimRng};
 
 use crate::batch::{self, Reducer};
-use crate::engine::{simulate, simulate_into, InitState, QueuePolicy, SimConfig, SimScratch};
+use crate::engine::{
+    simulate, simulate_into, simulate_observed_into, InitState, QueuePolicy, SimConfig,
+    SimScratch,
+};
+use crate::observe::PulseBinner;
 use crate::trace::{assign_pulses_into, ensure_views, PulseView, Trace};
 
 /// Per-run RNG salt for single-pulse batches (the run's scenario offsets
@@ -541,6 +545,33 @@ impl RunSpec {
         &scratch.out
     }
 
+    /// Execute one run through `scratch` on the **streaming extraction
+    /// path**: every firing is binned to its pulse online by the scratch's
+    /// [`PulseBinner`] — no trace fires are recorded and no
+    /// [`PulseView`] matrices exist. The binner's per-pulse slots are
+    /// identical to the view matrices [`RunSpec::run_one_into`] would have
+    /// produced (pinned by the observer-equivalence walls); extraction
+    /// helpers in `hex-analysis` read them directly.
+    pub fn run_one_observed_into<'s>(
+        &self,
+        grid: &HexGrid,
+        scratch: &'s mut SimScratch,
+        run: usize,
+    ) -> &'s PulseBinner {
+        let inputs = self.inputs_with(grid, run);
+        let d_mid = self.delays.envelope().mid();
+        simulate_observed_into(scratch, grid, &inputs.schedule, &inputs.config, inputs.seed, d_mid)
+    }
+
+    /// Fresh-scratch convenience for [`RunSpec::run_one_observed_into`]
+    /// (tests, doctests, one-off extractions); loops should hold one
+    /// [`SimScratch`] and use the `_into` twin.
+    pub fn run_one_observed(&self, grid: &HexGrid, run: usize) -> PulseBinner {
+        let mut scratch = SimScratch::new();
+        self.run_one_observed_into(grid, &mut scratch, run);
+        scratch.into_binner()
+    }
+
     /// Execute the whole batch in parallel, materializing every run's
     /// views in run-index order. Each worker thread recycles one
     /// [`SimScratch`] for its engine-side buffers; the returned views are
@@ -582,6 +613,34 @@ impl RunSpec {
     pub fn run_single(&self) -> RunView {
         let grid = self.hex_grid();
         self.run_one_with(&grid, 0)
+    }
+
+    /// Execute the whole batch in parallel on the **streaming extraction
+    /// path** and reduce every run's [`PulseBinner`] on the worker that
+    /// produced it: the observer-backed twin of [`RunSpec::fold`]. Skew
+    /// samples and stabilization estimates are accumulated online as fires
+    /// happen — no run of the sweep ever materializes a trace or a
+    /// [`PulseView`] — while each worker still owns a single
+    /// [`SimScratch`], so the whole sweep runs on O(threads) trace-sized
+    /// allocations. For the reducers in `hex_analysis::reduce` the result
+    /// is byte-identical to the materialized path at any thread count
+    /// (pinned by the workspace observer walls).
+    pub fn fold_observed<R>(&self, reducer: &R) -> R::Acc
+    where
+        R: Reducer<PulseBinner> + Sync,
+    {
+        let grid = self.hex_grid();
+        batch::run_batch_fold_with(
+            self.runs,
+            self.threads,
+            SimScratch::new,
+            || reducer.empty(),
+            |scratch, acc, run| {
+                let binner = self.run_one_observed_into(&grid, scratch, run);
+                reducer.fold_ref(acc, run, binner);
+            },
+            |left, right| reducer.merge(left, right),
+        )
     }
 }
 

@@ -4,6 +4,13 @@
 //! topologies it is reshaped into [`PulseView`]s — the matrices
 //! `t^(k)_{ℓ,i}` that all of the paper's statistics (Definition 3 skews,
 //! histograms, stabilization estimates) are computed from.
+//!
+//! This is the **materialized reference path**. Sweep workloads that only
+//! need the statistics ride the streaming twin instead — a
+//! [`PulseBinner`](crate::observe::PulseBinner) observer bins fires to
+//! pulses online, byte-identically to [`assign_pulses`] /
+//! [`PulseView::from_single_pulse`], without recording a trace at all
+//! (see [`crate::observe`]).
 
 use hex_core::{HexGrid, NodeId, TriggerCause};
 use hex_des::{Duration, Schedule, Time};

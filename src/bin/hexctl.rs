@@ -14,7 +14,7 @@
 //! (joint Condition-1 placement). Plain `std::env::args` parsing — no CLI
 //! dependency.
 
-use hexclock::analysis::reduce::StabilizationReducer;
+use hexclock::analysis::reduce::ObservedStabilizationReducer;
 use hexclock::analysis::stabilization::{summarize, Criterion};
 use hexclock::analysis::wave::wave_ascii;
 use hexclock::prelude::*;
@@ -151,7 +151,8 @@ fn cmd_stabilize(o: &Opts) {
     let spec = spec_for(o).pulses(o.pulses).init(InitState::Arbitrary);
     let grid = spec.hex_grid();
     let criteria = [Criterion::uniform(D_PLUS * 3, D_PLUS, grid.length())];
-    let estimates = spec.fold(&StabilizationReducer::new(&grid, &criteria, 0));
+    let estimates =
+        spec.fold_observed(&ObservedStabilizationReducer::new(&grid, &criteria, 0));
     let stats = summarize(&estimates[0]);
     println!(
         "stabilization ({} runs, {} pulses, scenario {}): avg pulse {:.2} ± {:.2}, {}/{} stabilized",

@@ -59,9 +59,26 @@
 //! let spec = RunSpec::paper()
 //!     .scenario(Scenario::RandomDPlus)
 //!     .faults(FaultRegime::Byzantine(1));
-//! let skews = batch_skews(&spec, 0); // never materializes 250 views
+//! let skews = batch_skews(&spec, 0); // streaming observers: no traces, no views
 //! let intra = Summary::from_durations(&skews.cumulated.intra).unwrap();
 //! println!("intra avg/q95/max: {}", intra.intra_row());
+//! ```
+//!
+//! `batch_skews` rides the **streaming observer path**: the engine bins
+//! every firing to its pulse online ([`sim::PulseBinner`]) and the skew
+//! reduction folds straight off the binner slots
+//! ([`sim::RunSpec::fold_observed`]) — byte-identical to the materialized
+//! `PulseView` reference path, which remains available through
+//! [`sim::RunSpec::fold`]:
+//!
+//! ```
+//! use hexclock::prelude::*;
+//!
+//! let spec = RunSpec::grid(8, 6).runs(3).seed(1);
+//! let grid = spec.hex_grid();
+//! let streamed = spec.fold_observed(&ObservedSkewReducer::new(&grid, 0));
+//! let reference = spec.fold(&SkewReducer::new(&grid, 0));
+//! assert_eq!(streamed.cumulated.intra, reference.cumulated.intra);
 //! ```
 
 #![forbid(unsafe_code)]
@@ -79,8 +96,13 @@ pub use hex_tree as tree;
 /// One-stop imports for the common simulation workflow.
 pub mod prelude {
     pub use hex_analysis::emit::{Emitter, Table, Value};
-    pub use hex_analysis::reduce::{batch_skews, batch_skews_from_views, BatchSkews};
-    pub use hex_analysis::skew::{collect_skews, exclusion_mask, SkewSamples};
+    pub use hex_analysis::reduce::{
+        batch_skews, batch_skews_from_views, BatchSkews, ObservedSkewReducer,
+        ObservedStabilizationReducer, SkewReducer, StabilizationReducer,
+    };
+    pub use hex_analysis::skew::{
+        collect_skews, collect_skews_observed, exclusion_mask, SkewSamples,
+    };
     pub use hex_analysis::stats::Summary;
     pub use hex_clock::{PulseTrain, Scenario};
     pub use hex_core::{
@@ -92,8 +114,8 @@ pub mod prelude {
     };
     pub use hex_sim::{
         assign_pulses, run_batch, run_batch_fold, run_batch_fold_with, run_batch_with, simulate,
-        simulate_into, FaultRegime, InitState, PulseView, QueuePolicy, Reducer, RunSpec, RunView,
-        SimConfig, SimScratch, TimingPolicy,
+        simulate_into, simulate_observed_into, FaultRegime, InitState, PulseBinner, PulseView,
+        QueuePolicy, Reducer, RunObserver, RunSpec, RunView, SimConfig, SimScratch, TimingPolicy,
     };
     pub use hex_theory::{theorem1_intra_bound, Condition2};
 }

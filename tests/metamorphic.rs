@@ -3,7 +3,13 @@
 //! the symmetry arguments the paper's proofs lean on ("we will exploit the
 //! translation and mirror symmetry of the grid w.r.t. column indices",
 //! footnote 6).
+//!
+//! The skew-distribution tests at the bottom run every property against
+//! **both extraction paths** — the materialized `PulseView` pipeline and
+//! the streaming observer fold — so a symmetry violation in either one
+//! (or a divergence between them) fails the same wall.
 
+use hexclock::analysis::reduce::{ObservedSkewReducer, SkewReducer};
 use hexclock::prelude::*;
 
 const L: u32 = 10;
@@ -128,6 +134,131 @@ fn batch_results_independent_of_thread_count() {
     let one = run_batch(12, 1, job);
     let four = run_batch(12, 4, job);
     assert_eq!(one, four);
+}
+
+/// Both extraction paths' skew samples for a single-run spec, as one
+/// `BatchSkews` each — asserted byte-equal before any metamorphic use, so
+/// every property below implicitly re-pins path equivalence on its
+/// transformed inputs too.
+fn both_path_skews(spec: &RunSpec, h: usize) -> BatchSkews {
+    let grid = spec.hex_grid();
+    let materialized = spec.fold(&SkewReducer::new(&grid, h));
+    let observed = spec.fold_observed(&ObservedSkewReducer::new(&grid, h));
+    assert_eq!(
+        observed.cumulated.intra, materialized.cumulated.intra,
+        "extraction paths diverged (intra)"
+    );
+    assert_eq!(
+        observed.cumulated.inter, materialized.cumulated.inter,
+        "extraction paths diverged (inter)"
+    );
+    observed
+}
+
+fn sorted(samples: &[Duration]) -> Vec<Duration> {
+    let mut s = samples.to_vec();
+    s.sort_unstable();
+    s
+}
+
+/// Multiset inclusion of sorted duration samples (two-pointer sweep).
+fn is_submultiset(sub: &[Duration], sup: &[Duration]) -> bool {
+    let (mut i, mut j) = (0, 0);
+    while i < sub.len() && j < sup.len() {
+        if sub[i] == sup[j] {
+            i += 1;
+        } else if sub[i] < sup[j] {
+            return false;
+        }
+        j += 1;
+    }
+    i == sub.len()
+}
+
+#[test]
+fn column_rotation_leaves_skew_distribution_invariant() {
+    // With per-link-identical delays, rotating the source offsets by r
+    // columns rotates the triggering-time matrix (proved above), so the
+    // *multisets* of intra- and inter-layer skew samples are invariant —
+    // on both extraction paths.
+    let mut rng = SimRng::seed_from_u64(29);
+    let offsets: Vec<Time> = Scenario::RandomDPlus.single_pulse_times(W, D_MINUS, D_PLUS, &mut rng);
+    let spec_for = |offs: Vec<Time>| {
+        RunSpec::grid(L, W)
+            .runs(1)
+            .threads(1)
+            .delays(DelayModel::Fixed(D_MINUS))
+            .timing(TimingPolicy::Generous)
+            .schedule(Schedule::single_pulse(offs))
+    };
+    let base = both_path_skews(&spec_for(offsets.clone()), 0);
+    for r in [1usize, 3, W as usize - 1] {
+        let rotated: Vec<Time> = (0..W as usize)
+            .map(|i| offsets[(i + r) % W as usize])
+            .collect();
+        let rot = both_path_skews(&spec_for(rotated), 0);
+        assert_eq!(
+            sorted(&rot.cumulated.intra),
+            sorted(&base.cumulated.intra),
+            "rotation {r}: intra distribution changed"
+        );
+        assert_eq!(
+            sorted(&rot.cumulated.inter),
+            sorted(&base.cumulated.inter),
+            "rotation {r}: inter distribution changed"
+        );
+    }
+}
+
+#[test]
+fn mirror_relabeling_leaves_skew_distribution_invariant() {
+    // The node relabeling ψ(ℓ, i) = (ℓ, a − ℓ − i) (footnote 6's mirror
+    // symmetry) maps neighbor pairs to neighbor pairs, so mirroring the
+    // source offsets leaves both skew distributions invariant — the
+    // relabeled grid measures the same population.
+    let mut rng = SimRng::seed_from_u64(31);
+    let offsets: Vec<Time> = Scenario::RandomDMinus.single_pulse_times(W, D_MINUS, D_PLUS, &mut rng);
+    let mirrored: Vec<Time> = (0..W as i64)
+        .map(|i| offsets[(-i).rem_euclid(W as i64) as usize])
+        .collect();
+    let spec_for = |offs: Vec<Time>| {
+        RunSpec::grid(L, W)
+            .runs(1)
+            .threads(1)
+            .delays(DelayModel::Fixed(D_PLUS))
+            .timing(TimingPolicy::Generous)
+            .schedule(Schedule::single_pulse(offs))
+    };
+    let base = both_path_skews(&spec_for(offsets), 0);
+    let mir = both_path_skews(&spec_for(mirrored), 0);
+    assert_eq!(sorted(&mir.cumulated.intra), sorted(&base.cumulated.intra));
+    assert_eq!(sorted(&mir.cumulated.inter), sorted(&base.cumulated.inter));
+}
+
+#[test]
+fn shrinking_exclusion_radius_only_adds_samples() {
+    // The h-hop fault-locality filter is monotone: every pair surviving
+    // the h = 1 mask also survives h = 0, so shrinking h can only *add*
+    // samples — as multisets, samples(h=1) ⊆ samples(h=0). Checked on
+    // faulty batches through both extraction paths.
+    for seed in [3u64, 17] {
+        let spec = RunSpec::grid(8, 6)
+            .runs(4)
+            .seed(seed)
+            .scenario(Scenario::RandomDPlus)
+            .faults(FaultRegime::Byzantine(2));
+        let h0 = both_path_skews(&spec, 0);
+        let h1 = both_path_skews(&spec, 1);
+        assert!(h1.cumulated.intra.len() < h0.cumulated.intra.len(), "seed {seed}");
+        assert!(
+            is_submultiset(&sorted(&h1.cumulated.intra), &sorted(&h0.cumulated.intra)),
+            "seed {seed}: h=1 intra samples not a sub-multiset of h=0"
+        );
+        assert!(
+            is_submultiset(&sorted(&h1.cumulated.inter), &sorted(&h0.cumulated.inter)),
+            "seed {seed}: h=1 inter samples not a sub-multiset of h=0"
+        );
+    }
 }
 
 #[test]

@@ -267,7 +267,9 @@ fn run_one<F: FnMut(&mut Bencher)>(label: &str, samples: usize, tp: Option<Throu
         Some(Throughput::Elements(n)) => {
             format!("  {:.1} Melem/s", n as f64 / per_iter_ns * 1e3)
         }
-        Some(Throughput::Bytes(n)) => format!("  {:.1} MiB/s", n as f64 / per_iter_ns * 1e3 / 1.048_576),
+        Some(Throughput::Bytes(n)) => {
+            format!("  {:.1} MiB/s", n as f64 / per_iter_ns * 1e3 / 1.048_576)
+        }
         None => String::new(),
     };
     println!(

@@ -255,14 +255,18 @@ pub mod test_runner {
                 .ok()
                 .and_then(|v| v.parse().ok())
                 .unwrap_or(DEFAULT_CASES);
-            Config { cases: cases.max(1) }
+            Config {
+                cases: cases.max(1),
+            }
         }
     }
 
     impl Config {
         /// A config running exactly `cases` cases.
         pub fn with_cases(cases: u32) -> Self {
-            Config { cases: cases.max(1) }
+            Config {
+                cases: cases.max(1),
+            }
         }
     }
 
@@ -277,7 +281,9 @@ pub mod test_runner {
         /// independent of execution order).
         pub fn for_case(case: u64) -> Self {
             TestRng {
-                rng: StdRng::seed_from_u64(0x9E37_79B9_7F4A_7C15 ^ case.wrapping_mul(0xA24B_AED4_963E_E407)),
+                rng: StdRng::seed_from_u64(
+                    0x9E37_79B9_7F4A_7C15 ^ case.wrapping_mul(0xA24B_AED4_963E_E407),
+                ),
             }
         }
     }

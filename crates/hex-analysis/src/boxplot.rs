@@ -5,7 +5,7 @@
 //! the paper's `σ^op_ρ` / `σ̂^op_ρ`): every run contributes one value per
 //! op, and the box summarizes the 250-run distribution of that value.
 
-use crate::stats::{quantile_sorted, Summary};
+use crate::stats::{quantile_sorted, total_f64, Summary};
 
 /// The per-run op being box-plotted.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -73,7 +73,7 @@ impl Box {
             return None;
         }
         let mut sorted = values.to_vec();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN"));
+        sorted.sort_by(total_f64);
         Some(Box {
             lo: sorted[0],
             q1: quantile_sorted(&sorted, 0.25),

@@ -46,9 +46,10 @@ pub enum ZigZagEnd {
 /// A constructed left zig-zag path.
 #[derive(Debug, Clone)]
 pub struct ZigZag {
-    /// Path nodes from origin to destination (so `nodes.len() == links.len()
-    /// + 1`). Column indices are *unwrapped* (may be negative or ≥ W) so
-    /// that surplus bookkeeping is exact; reduce mod W for lookups.
+    /// Path nodes from origin to destination (so `nodes.len()` is
+    /// `links.len() + 1`). Column indices are *unwrapped* (may be negative
+    /// or ≥ W) so that surplus bookkeeping is exact; reduce mod W for
+    /// lookups.
     pub nodes: Vec<(u32, i64)>,
     /// Path links, `links[k]` connecting `nodes[k] → nodes[k+1]`.
     pub links: Vec<ZigZagLink>,
@@ -235,10 +236,8 @@ pub fn check_lemma2(
         if r <= 0 {
             continue;
         }
-        let (Some(t_i), Some(t_target)) = (
-            view.time(layer, col),
-            view.time(layer, origin_col),
-        ) else {
+        let (Some(t_i), Some(t_target)) = (view.time(layer, col), view.time(layer, origin_col))
+        else {
             continue;
         };
         let bound = t_i + d_minus.times(r) + epsilon.times((layer - origin_layer) as i64);

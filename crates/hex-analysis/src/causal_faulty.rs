@@ -143,8 +143,7 @@ impl FaultSet {
     /// True iff `(layer, col)` (cyclic column) is faulty.
     pub fn contains(&self, grid: &HexGrid, layer: u32, col: i64) -> bool {
         let w = grid.width() as i64;
-        self.coords
-            .contains(&(layer, col.rem_euclid(w) as u32))
+        self.coords.contains(&(layer, col.rem_euclid(w) as u32))
     }
 
     /// Number of faults.
@@ -275,14 +274,9 @@ pub fn left_zigzag_with_shift(
     dest_col: i64,
 ) -> Option<(AvoidPath, i64)> {
     for shift in 1..=3i64 {
-        if let Some(p) = left_zigzag_avoiding(
-            grid,
-            view,
-            faults,
-            dest_layer,
-            dest_col,
-            dest_col + shift,
-        ) {
+        if let Some(p) =
+            left_zigzag_avoiding(grid, view, faults, dest_layer, dest_col, dest_col + shift)
+        {
             return Some((p, shift));
         }
     }
@@ -469,12 +463,7 @@ mod tests {
     use hex_des::{Schedule, Time};
     use hex_sim::{simulate, SimConfig};
 
-    fn run(
-        l: u32,
-        w: u32,
-        faults: FaultPlan,
-        seed: u64,
-    ) -> (HexGrid, PulseView, FaultSet) {
+    fn run(l: u32, w: u32, faults: FaultPlan, seed: u64) -> (HexGrid, PulseView, FaultSet) {
         let grid = HexGrid::new(l, w);
         let sched = Schedule::single_pulse(vec![Time::ZERO; w as usize]);
         let cfg = SimConfig {
@@ -492,8 +481,7 @@ mod tests {
         let (grid, view, fs) = run(8, 10, FaultPlan::none(), 1);
         for col in 0..10i64 {
             let plain = left_zigzag(&grid, &view, 8, col, col + 1).unwrap();
-            let avoid =
-                left_zigzag_avoiding(&grid, &view, &fs, 8, col, col + 1).unwrap();
+            let avoid = left_zigzag_avoiding(&grid, &view, &fs, 8, col, col + 1).unwrap();
             assert_eq!(avoid.detours(), 0, "col {col}: fault-free must not detour");
             assert_eq!(plain.nodes, avoid.nodes, "col {col}: node sequences differ");
             let plain_kinds: Vec<AvoidLink> = plain
@@ -523,9 +511,7 @@ mod tests {
             let plan = FaultPlan::none().with_node(victim, NodeFault::FailSilent);
             let (grid, view, fs) = run(10, 9, plan, seed);
             for col in 0..9i64 {
-                let Some((path, _)) =
-                    left_zigzag_with_shift(&grid, &view, &fs, 10, col)
-                else {
+                let Some((path, _)) = left_zigzag_with_shift(&grid, &view, &fs, 10, col) else {
                     panic!("seed {seed} col {col}: construction failed");
                 };
                 for &(l, c) in &path.nodes {
@@ -551,8 +537,8 @@ mod tests {
                     if fs.contains(&grid, layer, col) {
                         continue;
                     }
-                    let (path, _) = left_zigzag_with_shift(&grid, &view, &fs, layer, col)
-                        .expect("path exists");
+                    let (path, _) =
+                        left_zigzag_with_shift(&grid, &view, &fs, layer, col).expect("path exists");
                     check_causality(&view, &path, D_MINUS)
                         .unwrap_or_else(|k| panic!("non-causal link {k} (seed {seed})"));
                 }
@@ -573,8 +559,7 @@ mod tests {
                     if fs.contains(&grid, layer, col) {
                         continue;
                     }
-                    let Some((path, shift)) =
-                        left_zigzag_with_shift(&grid, &view, &fs, layer, col)
+                    let Some((path, shift)) = left_zigzag_with_shift(&grid, &view, &fs, layer, col)
                     else {
                         continue;
                     };
@@ -590,9 +575,9 @@ mod tests {
                         3,
                     ) {
                         Ok(n) => checked += n,
-                        Err(k) => panic!(
-                            "seed {seed} ({layer},{col}): relaxed Lemma 2 violated at {k}"
-                        ),
+                        Err(k) => {
+                            panic!("seed {seed} ({layer},{col}): relaxed Lemma 2 violated at {k}")
+                        }
                     }
                 }
             }
@@ -611,8 +596,7 @@ mod tests {
             let plan = FaultPlan::none().with_node(victim, NodeFault::Byzantine);
             let (grid, view, fs) = run(10, 12, plan, 300 + seed);
             for col in 0..12i64 {
-                let Some((path, _)) = left_zigzag_with_shift(&grid, &view, &fs, 10, col)
-                else {
+                let Some((path, _)) = left_zigzag_with_shift(&grid, &view, &fs, 10, col) else {
                     continue;
                 };
                 for (k, link) in path.links.iter().enumerate() {
@@ -620,8 +604,8 @@ mod tests {
                         // The evaded (regular) origin of nodes[k+1] must be
                         // the faulty node.
                         let (l, c) = path.nodes[k + 1];
-                        let evaded_is_fault = fs.contains(&grid, l, c - 1)
-                            || fs.contains(&grid, l - 1, c + 1);
+                        let evaded_is_fault =
+                            fs.contains(&grid, l, c - 1) || fs.contains(&grid, l - 1, c + 1);
                         assert!(
                             evaded_is_fault,
                             "seed {seed} col {col}: detour at ({l},{c}) without adjacent fault"

@@ -142,13 +142,11 @@ pub fn verify_execution(
                 stats.firings_checked += 1;
                 // Rule 3: the sender firing that explains this arrival is
                 // at least d- before our firing.
-                if let Some(&(t_src, _)) = trace.fires[support.from as usize]
-                    .iter()
-                    .filter(|&&(t, _)| {
+                if let Some(&(t_src, _)) =
+                    trace.fires[support.from as usize].iter().rfind(|&&(t, _)| {
                         let gap = support.at - t;
                         gap >= delays.lo && gap <= delays.hi
                     })
-                    .next_back()
                 {
                     let gap = t_fire - t_src;
                     if gap < delays.lo {
@@ -190,13 +188,8 @@ mod tests {
         let cfg = recorded_cfg();
         let sched = Schedule::single_pulse(vec![Time::ZERO; 8]);
         let trace = simulate(grid.graph(), &sched, &cfg, 1);
-        let stats = verify_execution(
-            grid.graph(),
-            &trace,
-            DelayRange::paper(),
-            t_link_max(&cfg),
-        )
-        .expect("clean execution must verify");
+        let stats = verify_execution(grid.graph(), &trace, DelayRange::paper(), t_link_max(&cfg))
+            .expect("clean execution must verify");
         assert!(stats.arrivals_checked > 0);
         assert!(stats.firings_checked > 0);
         assert!(stats.causal_links_checked > 0);
@@ -209,22 +202,13 @@ mod tests {
         for scenario in Scenario::ALL {
             for seed in 0..5u64 {
                 let mut rng = SimRng::seed_from_u64(seed);
-                let offsets = scenario.single_pulse_times(
-                    8,
-                    hex_core::D_MINUS,
-                    hex_core::D_PLUS,
-                    &mut rng,
-                );
+                let offsets =
+                    scenario.single_pulse_times(8, hex_core::D_MINUS, hex_core::D_PLUS, &mut rng);
                 let cfg = recorded_cfg();
                 let sched = Schedule::single_pulse(offsets);
                 let trace = simulate(grid.graph(), &sched, &cfg, seed);
-                verify_execution(
-                    grid.graph(),
-                    &trace,
-                    DelayRange::paper(),
-                    t_link_max(&cfg),
-                )
-                .unwrap_or_else(|v| panic!("{} seed {seed}: {v:?}", scenario.label()));
+                verify_execution(grid.graph(), &trace, DelayRange::paper(), t_link_max(&cfg))
+                    .unwrap_or_else(|v| panic!("{} seed {seed}: {v:?}", scenario.label()));
             }
         }
     }
@@ -240,13 +224,8 @@ mod tests {
         };
         let sched = Schedule::single_pulse(vec![Time::ZERO; 8]);
         let trace = simulate(grid.graph(), &sched, &cfg, 3);
-        verify_execution(
-            grid.graph(),
-            &trace,
-            DelayRange::paper(),
-            t_link_max(&cfg),
-        )
-        .expect("faulty execution still satisfies the model for correct nodes");
+        verify_execution(grid.graph(), &trace, DelayRange::paper(), t_link_max(&cfg))
+            .expect("faulty execution still satisfies the model for correct nodes");
     }
 
     #[test]
@@ -259,13 +238,8 @@ mod tests {
         let victim = grid.node(3, 3);
         let a = &mut trace.arrivals[victim as usize][0];
         a.at = Time::from_ps(1);
-        let err = verify_execution(
-            grid.graph(),
-            &trace,
-            DelayRange::paper(),
-            t_link_max(&cfg),
-        )
-        .unwrap_err();
+        let err = verify_execution(grid.graph(), &trace, DelayRange::paper(), t_link_max(&cfg))
+            .unwrap_err();
         assert!(matches!(err, Violation::UnexplainedArrival { .. }));
     }
 
@@ -278,13 +252,8 @@ mod tests {
         // Erase all arrivals of one node: its firing loses justification.
         let victim = grid.node(2, 2);
         trace.arrivals[victim as usize].clear();
-        let err = verify_execution(
-            grid.graph(),
-            &trace,
-            DelayRange::paper(),
-            t_link_max(&cfg),
-        )
-        .unwrap_err();
+        let err = verify_execution(grid.graph(), &trace, DelayRange::paper(), t_link_max(&cfg))
+            .unwrap_err();
         assert!(matches!(
             err,
             Violation::UnsupportedFiring { .. } | Violation::UnexplainedArrival { .. }

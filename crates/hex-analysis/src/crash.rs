@@ -98,19 +98,16 @@ pub fn horizontal_cluster(grid: &HexGrid, layer: u32, col: i64, k: usize) -> Vec
 /// triangle fits below layer `L`: `k·(k−1)/2`, truncated if the triangle
 /// pokes past the top layer.
 pub fn cluster_shadow_size(k: usize, layers_above: u32) -> usize {
-    (1..k)
-        .rev()
-        .take(layers_above as usize)
-        .sum()
+    (1..k).rev().take(layers_above as usize).sum()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use hex_core::{FaultPlan, NodeFault};
-    use std::collections::BTreeSet;
     use hex_des::{Schedule, Time};
     use hex_sim::{simulate, SimConfig};
+    use std::collections::BTreeSet;
 
     fn run(grid: &HexGrid, dead: &[NodeId], seed: u64) -> Trace {
         let sched = Schedule::single_pulse(vec![Time::ZERO; grid.width() as usize]);
@@ -190,7 +187,11 @@ mod tests {
         let trace = run(&grid, &dead, 11);
         let shadow: BTreeSet<NodeId> = crash_shadow(&grid, &dead).into_iter().collect();
         for n in grid.graph().node_ids() {
-            let expected = if trace.is_faulty(n) || shadow.contains(&n) { 0 } else { 1 };
+            let expected = if trace.is_faulty(n) || shadow.contains(&n) {
+                0
+            } else {
+                1
+            };
             assert_eq!(
                 trace.fires[n as usize].len(),
                 expected,

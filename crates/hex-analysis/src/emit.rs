@@ -242,13 +242,13 @@ impl Emitter {
     /// Configure from `HEX_EMIT` (`csv` / `json` / `off`); a set `HEX_CSV`
     /// is honored as a legacy alias for `HEX_EMIT=csv`.
     pub fn from_env() -> Emitter {
-        match std::env::var("HEX_EMIT").as_deref() {
-            Ok("csv") => Emitter::csv(),
-            Ok("json") => Emitter::json(),
-            Ok("off") | Ok("") => Emitter::disabled(),
-            Ok(other) => panic!("HEX_EMIT must be csv|json|off, got {other:?}"),
-            Err(_) if std::env::var("HEX_CSV").is_ok() => Emitter::csv(),
-            Err(_) => Emitter::disabled(),
+        match hex_sim::knobs::raw("HEX_EMIT").as_deref() {
+            Some("csv") => Emitter::csv(),
+            Some("json") => Emitter::json(),
+            Some("off") | Some("") => Emitter::disabled(),
+            Some(other) => panic!("HEX_EMIT must be csv|json|off, got {other:?}"),
+            None if hex_sim::knobs::is_set("HEX_CSV") => Emitter::csv(),
+            None => Emitter::disabled(),
         }
     }
 

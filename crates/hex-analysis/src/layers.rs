@@ -107,8 +107,18 @@ mod tests {
             // 2 samples per column per run.
             assert_eq!(r.summary.n, 2 * 6 * 5);
             // Inter-layer skews in a zero-scenario run live in [d-, ~2d+].
-            assert!(r.summary.min >= 7.161, "layer {} min {}", r.layer, r.summary.min);
-            assert!(r.summary.max <= 2.0 * 8.197, "layer {} max {}", r.layer, r.summary.max);
+            assert!(
+                r.summary.min >= 7.161,
+                "layer {} min {}",
+                r.layer,
+                r.summary.min
+            );
+            assert!(
+                r.summary.max <= 2.0 * 8.197,
+                "layer {} max {}",
+                r.layer,
+                r.summary.max
+            );
         }
     }
 
@@ -121,5 +131,4 @@ mod tests {
         assert_eq!(rows.len(), 4);
         assert_eq!(rows.last().unwrap().layer, 4);
     }
-
 }

@@ -63,4 +63,4 @@ pub use reduce::{
     ObservedStabilizationReducer, SkewReducer, StabilizationReducer,
 };
 pub use skew::{collect_skews, collect_skews_observed, exclusion_mask, SkewSamples};
-pub use stats::Summary;
+pub use stats::{total_f64, Summary};

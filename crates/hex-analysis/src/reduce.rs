@@ -398,10 +398,7 @@ mod tests {
 
     #[test]
     fn at_pulse_selects_the_requested_view() {
-        let spec = small()
-            .runs(3)
-            .pulses(4)
-            .init(InitState::Arbitrary);
+        let spec = small().runs(3).pulses(4).init(InitState::Arbitrary);
         let grid = spec.hex_grid();
         let last = spec.fold(&SkewReducer::new(&grid, 0).at_pulse(3));
         assert_eq!(last.per_run_intra.len(), 3);
@@ -424,16 +421,34 @@ mod tests {
         for (h, faults) in [
             (0usize, FaultRegime::None),
             (0, FaultRegime::Byzantine(2)),
-            (1, FaultRegime::Mixed { byzantine: 1, fail_silent: 1 }),
+            (
+                1,
+                FaultRegime::Mixed {
+                    byzantine: 1,
+                    fail_silent: 1,
+                },
+            ),
         ] {
             let spec = small().scenario(Scenario::RandomDPlus).faults(faults);
             let grid = spec.hex_grid();
             let observed = spec.fold_observed(&ObservedSkewReducer::new(&grid, h));
             let materialized = spec.fold(&SkewReducer::new(&grid, h));
-            assert_eq!(observed.cumulated.intra, materialized.cumulated.intra, "h = {h}");
-            assert_eq!(observed.cumulated.inter, materialized.cumulated.inter, "h = {h}");
-            assert_eq!(observed.per_run_intra, materialized.per_run_intra, "h = {h}");
-            assert_eq!(observed.per_run_inter, materialized.per_run_inter, "h = {h}");
+            assert_eq!(
+                observed.cumulated.intra, materialized.cumulated.intra,
+                "h = {h}"
+            );
+            assert_eq!(
+                observed.cumulated.inter, materialized.cumulated.inter,
+                "h = {h}"
+            );
+            assert_eq!(
+                observed.per_run_intra, materialized.per_run_intra,
+                "h = {h}"
+            );
+            assert_eq!(
+                observed.per_run_inter, materialized.per_run_inter,
+                "h = {h}"
+            );
         }
     }
 
@@ -444,12 +459,20 @@ mod tests {
         let spec = small().runs(4).pulses(4).init(InitState::Arbitrary);
         let grid = spec.hex_grid();
         for pulse in [0usize, 3] {
-            let observed =
-                spec.fold_observed(&ObservedSkewReducer::new(&grid, 0).at_pulse(pulse));
+            let observed = spec.fold_observed(&ObservedSkewReducer::new(&grid, 0).at_pulse(pulse));
             let materialized = spec.fold(&SkewReducer::new(&grid, 0).at_pulse(pulse));
-            assert_eq!(observed.cumulated.intra, materialized.cumulated.intra, "pulse {pulse}");
-            assert_eq!(observed.cumulated.inter, materialized.cumulated.inter, "pulse {pulse}");
-            assert_eq!(observed.per_run_intra, materialized.per_run_intra, "pulse {pulse}");
+            assert_eq!(
+                observed.cumulated.intra, materialized.cumulated.intra,
+                "pulse {pulse}"
+            );
+            assert_eq!(
+                observed.cumulated.inter, materialized.cumulated.inter,
+                "pulse {pulse}"
+            );
+            assert_eq!(
+                observed.per_run_intra, materialized.per_run_intra,
+                "pulse {pulse}"
+            );
         }
     }
 
@@ -478,9 +501,12 @@ mod tests {
             .map(|c| Criterion::class(c, D_PLUS, spec.length, |_| D_PLUS))
             .collect();
         // An impossible bound: estimates must be None on both paths.
-        criteria.push(Criterion::uniform(Duration::ZERO, Duration::ZERO, spec.length));
-        let observed =
-            spec.fold_observed(&ObservedStabilizationReducer::new(&grid, &criteria, 0));
+        criteria.push(Criterion::uniform(
+            Duration::ZERO,
+            Duration::ZERO,
+            spec.length,
+        ));
+        let observed = spec.fold_observed(&ObservedStabilizationReducer::new(&grid, &criteria, 0));
         let materialized = spec.fold(&StabilizationReducer::new(&grid, &criteria, 0));
         assert_eq!(observed, materialized);
         assert!(observed.last().unwrap().iter().all(Option::is_none));

@@ -62,7 +62,14 @@ impl SkewTable {
         for (label, intra, inter) in &self.rows {
             s.push_str(&format!(
                 "| {label} | {:.3} | {:.3} | {:.3} | {:.3} | {:.3} | {:.3} | {:.3} | {:.3} |\n",
-                intra.avg, intra.q95, intra.max, inter.min, inter.q05, inter.avg, inter.q95, inter.max
+                intra.avg,
+                intra.q95,
+                intra.max,
+                inter.min,
+                inter.q05,
+                inter.avg,
+                inter.q95,
+                inter.max
             ));
         }
         s
@@ -76,7 +83,14 @@ impl SkewTable {
         for (label, intra, inter) in &self.rows {
             s.push_str(&format!(
                 "{label},{:.3},{:.3},{:.3},{:.3},{:.3},{:.3},{:.3},{:.3}\n",
-                intra.avg, intra.q95, intra.max, inter.min, inter.q05, inter.avg, inter.q95, inter.max
+                intra.avg,
+                intra.q95,
+                intra.max,
+                inter.min,
+                inter.q05,
+                inter.avg,
+                inter.q95,
+                inter.max
             ));
         }
         s

@@ -53,11 +53,7 @@ pub fn exclusion_mask(grid: &HexGrid, faulty: &[NodeId], h: usize) -> Vec<bool> 
 /// [`PulseBinner`] pulse). One canonical traversal order means the two
 /// paths produce *identical sample vectors*, not just identical
 /// statistics.
-fn collect_skews_with(
-    l: u32,
-    w: u32,
-    get: impl Fn(u32, i64) -> Option<Time>,
-) -> SkewSamples {
+fn collect_skews_with(l: u32, w: u32, get: impl Fn(u32, i64) -> Option<Time>) -> SkewSamples {
     let mut out = SkewSamples::default();
     for layer in 1..=l {
         for col in 0..w as i64 {
@@ -114,7 +110,11 @@ fn masked_binner<'a>(
 /// Collect the Definition-3 skew samples of one pulse view, skipping pairs
 /// that touch excluded or missing nodes.
 pub fn collect_skews(grid: &HexGrid, view: &PulseView, excluded: &[bool]) -> SkewSamples {
-    collect_skews_with(grid.length(), grid.width(), masked_view(grid, view, excluded))
+    collect_skews_with(
+        grid.length(),
+        grid.width(),
+        masked_view(grid, view, excluded),
+    )
 }
 
 /// [`collect_skews`] over pulse `pulse` of a streaming [`PulseBinner`]:
@@ -185,7 +185,11 @@ pub fn per_layer_max_intra(
     view: &PulseView,
     excluded: &[bool],
 ) -> Vec<Option<Duration>> {
-    per_layer_max_intra_with(grid.length(), grid.width(), masked_view(grid, view, excluded))
+    per_layer_max_intra_with(
+        grid.length(),
+        grid.width(),
+        masked_view(grid, view, excluded),
+    )
 }
 
 /// [`per_layer_max_intra`] over pulse `pulse` of a streaming
@@ -209,7 +213,11 @@ pub fn per_layer_max_inter(
     view: &PulseView,
     excluded: &[bool],
 ) -> Vec<Option<Duration>> {
-    per_layer_max_inter_with(grid.length(), grid.width(), masked_view(grid, view, excluded))
+    per_layer_max_inter_with(
+        grid.length(),
+        grid.width(),
+        masked_view(grid, view, excluded),
+    )
 }
 
 /// [`per_layer_max_inter`] over pulse `pulse` of a streaming
@@ -230,7 +238,7 @@ pub fn per_layer_max_inter_observed(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use hex_core::{NodeFault, FaultPlan, DelayModel, D_PLUS, D_MINUS};
+    use hex_core::{DelayModel, FaultPlan, NodeFault, D_MINUS, D_PLUS};
     use hex_des::{Schedule, Time};
     use hex_sim::{simulate, PulseView, SimConfig};
 

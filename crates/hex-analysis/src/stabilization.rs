@@ -87,8 +87,10 @@ pub fn pulse_satisfies_observed(
     criterion: &Criterion,
 ) -> bool {
     assert_eq!(criterion.layers(), grid.length(), "criterion layer count");
-    profile_with(grid, excluded, |layer, col| binner.grid_time(pulse, layer, col))
-        .satisfies(criterion)
+    profile_with(grid, excluded, |layer, col| {
+        binner.grid_time(pulse, layer, col)
+    })
+    .satisfies(criterion)
 }
 
 /// The **criterion-independent** part of one pulse's stabilization check:
@@ -288,8 +290,8 @@ pub fn summarize(estimates: &[Option<usize>]) -> StabilizationStats {
 mod tests {
     use super::*;
     use crate::skew::exclusion_mask;
-    use hex_core::{Timing, D_PLUS};
     use hex_clock::{PulseTrain, Scenario};
+    use hex_core::{Timing, D_PLUS};
     use hex_des::{Duration, SimRng};
     use hex_sim::{assign_pulses, simulate, InitState, SimConfig};
 

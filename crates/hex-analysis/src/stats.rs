@@ -6,6 +6,22 @@
 //! well-defined for every population size ≥ 1.
 
 use hex_des::Duration;
+use std::cmp::Ordering;
+
+/// The workspace's documented total order on `f64` (the `float-ord`
+/// lint rule's sanctioned comparator).
+///
+/// `partial_cmp`-based sorts either panic on NaN or — worse, with
+/// `unwrap_or` fallbacks — produce an input-order-dependent permutation,
+/// which silently breaks run-order-independent reduction. This wrapper
+/// is IEEE 754 `totalOrder`: every value, including NaN and signed
+/// zeros, has one fixed rank, so a sort is a pure function of the
+/// sample multiset. Skew samples are finite by construction; NaN
+/// ordering is belt-and-braces, not a semantic choice.
+#[inline]
+pub fn total_f64(a: &f64, b: &f64) -> Ordering {
+    a.total_cmp(b)
+}
 
 /// Linear-interpolation quantile (R type 7) of an ascending slice.
 ///
@@ -56,7 +72,7 @@ impl Summary {
             return None;
         }
         let mut sorted = values.to_vec();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in sample"));
+        sorted.sort_by(total_f64);
         let n = sorted.len();
         let avg = sorted.iter().sum::<f64>() / n as f64;
         let var = sorted.iter().map(|v| (v - avg) * (v - avg)).sum::<f64>() / n as f64;
@@ -171,7 +187,7 @@ mod tests {
         fn prop_quantile_monotone(values in prop::collection::vec(-1e6f64..1e6, 1..100),
                                   q1 in 0.0f64..1.0, q2 in 0.0f64..1.0) {
             let mut sorted = values;
-            sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            sorted.sort_by(total_f64);
             let (lo, hi) = if q1 <= q2 { (q1, q2) } else { (q2, q1) };
             prop_assert!(quantile_sorted(&sorted, lo) <= quantile_sorted(&sorted, hi) + 1e-9);
         }

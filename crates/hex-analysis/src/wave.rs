@@ -55,8 +55,8 @@ pub fn wave_ascii(grid: &HexGrid, view: &PulseView, max_layers: u32) -> String {
             match view.time(layer, col as i64) {
                 Some(t) => {
                     let frac = (t - lo).ps() as f64 / span as f64;
-                    let ix = ((frac * (GLYPHS.len() - 1) as f64).round() as usize)
-                        .min(GLYPHS.len() - 1);
+                    let ix =
+                        ((frac * (GLYPHS.len() - 1) as f64).round() as usize).min(GLYPHS.len() - 1);
                     out.push(GLYPHS[ix] as char);
                 }
                 None => out.push('·'),
@@ -81,10 +81,7 @@ pub fn wave_front(grid: &HexGrid, view: &PulseView) -> Vec<(u32, Option<(f64, f6
             let span = if ts.is_empty() {
                 None
             } else {
-                Some((
-                    ts.iter().min().unwrap().ns(),
-                    ts.iter().max().unwrap().ns(),
-                ))
+                Some((ts.iter().min().unwrap().ns(), ts.iter().max().unwrap().ns()))
             };
             (layer, span)
         })
@@ -113,15 +110,14 @@ mod tests {
     fn cause_labels_are_stable() {
         let (grid, v) = view(1, FaultPlan::none());
         let labels: Vec<&str> = (0..=grid.length())
-            .flat_map(|layer| {
-                (0..grid.width() as i64)
-                    .map(move |col| (layer, col))
-            })
+            .flat_map(|layer| (0..grid.width() as i64).map(move |col| (layer, col)))
             .map(|(layer, col)| cause_label(v.trigger_cause(layer, col)))
             .collect();
         assert_eq!(labels.len(), 7 * 8);
         assert!(labels.contains(&"source"));
-        assert!(labels.iter().any(|&l| l == "central" || l == "left" || l == "right"));
+        assert!(labels
+            .iter()
+            .any(|&l| l == "central" || l == "left" || l == "right"));
         assert_eq!(cause_label(None), "dead");
     }
 

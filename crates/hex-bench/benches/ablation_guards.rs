@@ -25,7 +25,11 @@ fn guarded_grid(l: u32, w: u32, guard: &[(u8, u8)]) -> PulseGraph {
     let mut b = PulseGraph::builder();
     for layer in 0..=l {
         for col in 0..w {
-            let role = if layer == 0 { Role::Source } else { Role::Forwarder };
+            let role = if layer == 0 {
+                Role::Source
+            } else {
+                Role::Forwarder
+            };
             let g = if layer == 0 { vec![] } else { guard.to_vec() };
             b.add_node(role, Some(Coord::new(layer, col)), g);
         }

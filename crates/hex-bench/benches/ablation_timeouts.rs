@@ -23,8 +23,10 @@ fn bench_timeouts(c: &mut Criterion) {
         link: DelayRange::fixed(Duration::from_ns(100_000.0)),
         sleep: with_timeouts.sleep,
     };
-    for (name, timing) in [("link_timeouts_on", with_timeouts), ("link_timeouts_off", without_timeouts)]
-    {
+    for (name, timing) in [
+        ("link_timeouts_on", with_timeouts),
+        ("link_timeouts_off", without_timeouts),
+    ] {
         let spec = base.clone().timing(TimingPolicy::Fixed(timing));
         g.bench_with_input(BenchmarkId::new("stab_run", name), &spec, |b, spec| {
             let mut run = 0usize;

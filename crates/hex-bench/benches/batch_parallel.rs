@@ -9,9 +9,9 @@
 //! path with `HEX_RUNS=2`.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use hex_bench::{zero_schedule, ObservedSkewReducer, RunSpec, SkewReducer};
 use hex_analysis::reduce::{ObservedStabilizationReducer, StabilizationReducer};
 use hex_analysis::stabilization::Criterion as StabCriterion;
+use hex_bench::{zero_schedule, ObservedSkewReducer, RunSpec, SkewReducer};
 use hex_core::{HexGrid, D_PLUS};
 use hex_sim::batch::{default_threads, run_batch_fold_with, Reducer};
 use hex_sim::{
@@ -34,10 +34,7 @@ impl Reducer<usize> for SumFires {
 }
 
 fn bench_batch(c: &mut Criterion) {
-    let runs: usize = std::env::var("HEX_RUNS")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(64);
+    let runs: usize = hex_sim::knobs::parsed("HEX_RUNS", "a number").unwrap_or(64);
     let mut g = c.benchmark_group(format!("batch_{runs}_runs"));
     g.sample_size(10);
     let grid = HexGrid::new(30, 16);
@@ -68,21 +65,25 @@ fn bench_batch(c: &mut Criterion) {
     });
     // The streaming fold with one SimScratch per worker — the hot
     // configuration of every RunSpec-driven sweep.
-    g.bench_with_input(BenchmarkId::new("fold_scratch_threads", all), &all, |b, &t| {
-        b.iter(|| {
-            run_batch_fold_with(
-                runs,
-                t,
-                SimScratch::new,
-                || 0usize,
-                |scratch, acc, run| {
-                    *acc += simulate_into(scratch, grid.graph(), &sched, &cfg, run as u64)
-                        .total_fires();
-                },
-                |left, right| left + right,
-            )
-        })
-    });
+    g.bench_with_input(
+        BenchmarkId::new("fold_scratch_threads", all),
+        &all,
+        |b, &t| {
+            b.iter(|| {
+                run_batch_fold_with(
+                    runs,
+                    t,
+                    SimScratch::new,
+                    || 0usize,
+                    |scratch, acc, run| {
+                        *acc += simulate_into(scratch, grid.graph(), &sched, &cfg, run as u64)
+                            .total_fires();
+                    },
+                    |left, right| left + right,
+                )
+            })
+        },
+    );
     // The same sweep under the runner-up queue policy (`fold_scratch`
     // above runs the default calendar ring): the batch-level leg of the
     // three-way `QueuePolicy` ablation (identical output).

@@ -80,7 +80,10 @@ fn bench_single_pulse(c: &mut Criterion) {
                 ..SimConfig::fault_free()
             };
             g.bench_with_input(
-                BenchmarkId::new(format!("grid_scratch_{}", policy.label()), format!("{l}x{w}")),
+                BenchmarkId::new(
+                    format!("grid_scratch_{}", policy.label()),
+                    format!("{l}x{w}"),
+                ),
                 &grid,
                 |b, grid| {
                     let mut scratch = SimScratch::new();
@@ -111,8 +114,7 @@ fn bench_multi_pulse(c: &mut Criterion) {
     g.sample_size(10);
     let grid = HexGrid::new(20, 20);
     let mut rng = SimRng::seed_from_u64(7);
-    let sched =
-        PulseTrain::new(Scenario::Zero, 8, Duration::from_ns(300.0)).generate(20, &mut rng);
+    let sched = PulseTrain::new(Scenario::Zero, 8, Duration::from_ns(300.0)).generate(20, &mut rng);
     for policy in QueuePolicy::ALL {
         let cfg = SimConfig {
             timing: Timing::paper_scenario_iii(),
@@ -136,5 +138,10 @@ fn bench_multi_pulse(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_event_queue, bench_single_pulse, bench_multi_pulse);
+criterion_group!(
+    benches,
+    bench_event_queue,
+    bench_single_pulse,
+    bench_multi_pulse
+);
 criterion_main!(benches);

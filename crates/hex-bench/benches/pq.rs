@@ -35,7 +35,10 @@ use std::hint::black_box;
 fn delays(n: usize, seed: u64) -> Vec<i64> {
     let mut rng = SimRng::seed_from_u64(seed);
     (0..n)
-        .map(|_| rng.duration_in(Duration::from_ps(1), Duration::from_ps(10_000)).ps())
+        .map(|_| {
+            rng.duration_in(Duration::from_ps(1), Duration::from_ps(10_000))
+                .ps()
+        })
         .collect()
 }
 
@@ -259,7 +262,13 @@ fn report_stale_share() {
     let grid = HexGrid::new(spec.length, spec.width);
     let mut scratch = SimScratch::new();
     let inputs = spec.materialize(0);
-    simulate_into(&mut scratch, grid.graph(), &inputs.schedule, &inputs.config, inputs.seed);
+    simulate_into(
+        &mut scratch,
+        grid.graph(),
+        &inputs.schedule,
+        &inputs.config,
+        inputs.seed,
+    );
     let (popped, stale) = (scratch.popped_events(), scratch.stale_events());
     println!(
         "pq_hold_engine: engine stale-event share {stale}/{popped} pops \

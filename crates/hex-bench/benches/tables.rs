@@ -24,7 +24,10 @@ fn bench_tables(c: &mut Criterion) {
             b.iter(|| {
                 let grid = exp.hex_grid();
                 let views = exp.run_batch();
-                batch_skews_from_views(&grid, &views, 0).cumulated.intra.len()
+                batch_skews_from_views(&grid, &views, 0)
+                    .cumulated
+                    .intra
+                    .len()
             })
         },
     );

@@ -62,7 +62,9 @@ fn sweep(base: &RunSpec, scenario: Scenario) {
         .into_iter()
         .filter(|&l| l >= 1 && l <= base.length)
         .collect();
-    let fault_cols: Vec<u32> = (0..base.width).step_by((base.width as usize / 5).max(1)).collect();
+    let fault_cols: Vec<u32> = (0..base.width)
+        .step_by((base.width as usize / 5).max(1))
+        .collect();
 
     println!(
         "scenario {} (Δ0 ≤ {:.3} ns): worst intra-layer skew by fault layer",

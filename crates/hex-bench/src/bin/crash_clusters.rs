@@ -42,13 +42,16 @@ fn main() {
     );
 
     println!(
-        "{:>2} | {:>7} {:>7} | {}",
-        "k", "shadow", "exact", "q95 intra skew by hop distance from hole (ns)"
+        "{:>2} | {:>7} {:>7} | q95 intra skew by hop distance from hole (ns)",
+        "k", "shadow", "exact"
     );
     let cluster_layer = 4u32;
     // The k ∈ {2,3,4} batches are reused verbatim by the clustered-vs-
     // separated comparison below — cache them instead of re-simulating.
     let mut cached: Vec<Option<Vec<hex_bench::RunView>>> = vec![None; 6];
+    // `k` is the cluster size being swept, not an index walk; `cached[k]`
+    // is a keyed side-store, so enumerate() would misread the intent.
+    #[allow(clippy::needless_range_loop)]
     for k in 1..=5usize {
         let dead = horizontal_cluster(&grid, cluster_layer, 7, k);
         let shadow = crash_shadow(&grid, &dead);
@@ -69,7 +72,10 @@ fn main() {
         for (run, rv) in batch.iter().enumerate() {
             let view = rv.view();
             let got: Vec<NodeId> = starved_of_view(&grid, view, &dead);
-            assert_eq!(got, shadow, "run {run}: measured shadow deviates from the fixpoint");
+            assert_eq!(
+                got, shadow,
+                "run {run}: measured shadow deviates from the fixpoint"
+            );
             measured_shadow = Some(got.len());
             for layer in 1..=base.length {
                 for col in 0..base.width as i64 {
@@ -111,6 +117,8 @@ fn main() {
         "{:>2} | {:>28} | {:>28}",
         "f", "clustered intra avg/q95/max", "separated intra avg/q95/max"
     );
+    // As above: `f` is the fault count under study, `cached[f]` a keyed store.
+    #[allow(clippy::needless_range_loop)]
     for f in 2..=4usize {
         // Clustered: one k = f horizontal run, the batch cached above.
         let dead = horizontal_cluster(&grid, cluster_layer, 7, f);
@@ -129,7 +137,12 @@ fn main() {
         let separated = Summary::from_durations(&sep.cumulated.intra).unwrap();
         println!(
             "{:>2} | {:>8.3} {:>8.3} {:>8.3} | {:>8.3} {:>8.3} {:>8.3}",
-            f, clustered.avg, clustered.q95, clustered.max, separated.avg, separated.q95,
+            f,
+            clustered.avg,
+            clustered.q95,
+            clustered.max,
+            separated.avg,
+            separated.q95,
             separated.max
         );
     }

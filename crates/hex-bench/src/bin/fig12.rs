@@ -43,9 +43,6 @@ fn main() {
                 r.summary.std
             );
         }
-        emitter.emit(&layer_table(
-            &format!("fig12_{}", scenario.slug()),
-            &rows,
-        ));
+        emitter.emit(&layer_table(&format!("fig12_{}", scenario.slug()), &rows));
     }
 }

@@ -19,10 +19,12 @@ fn run(c: &Construction) -> RunView {
 fn main() {
     let delays = hex_core::DelayRange::paper();
     let (length, width, byz_layer) = (16u32, 20u32, 5u32);
+    println!("Fig. 17: deterministic single-Byzantine worst case (all delays d+, ramp layer 0)");
     println!(
-        "Fig. 17: deterministic single-Byzantine worst case (all delays d+, ramp layer 0)"
+        "d+ = {:.3} ns; paper's constructed skew: 5*d+ = {:.3} ns",
+        D_PLUS.ns(),
+        D_PLUS.ns() * 5.0
     );
-    println!("d+ = {:.3} ns; paper's constructed skew: 5*d+ = {:.3} ns", D_PLUS.ns(), D_PLUS.ns() * 5.0);
 
     let mut best_intra = Duration::ZERO;
     let mut best_inter = Duration::ZERO;
@@ -48,9 +50,7 @@ fn main() {
                     if lower.rem_euclid(width as i64) == byz_col as i64 {
                         continue;
                     }
-                    if let (Some(tu), Some(tl)) =
-                        (view.time(ul, uc), view.time(ul - 1, lower))
-                    {
+                    if let (Some(tu), Some(tl)) = (view.time(ul, uc), view.time(ul - 1, lower)) {
                         best_inter = best_inter.max(tu.abs_diff(tl));
                     }
                 }

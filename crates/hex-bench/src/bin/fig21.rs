@@ -96,7 +96,10 @@ fn main() {
         let view = rv.view();
         for layer in 1..=length {
             for col in 0..final_w as i64 {
-                let (a, b) = (view.time(layer, col).unwrap(), view.time(layer, col + 1).unwrap());
+                let (a, b) = (
+                    view.time(layer, col).unwrap(),
+                    view.time(layer, col + 1).unwrap(),
+                );
                 plain.push(a.abs_diff(b));
             }
         }

@@ -42,9 +42,16 @@ fn main() {
     };
     println!(
         "constructed skew between ({},{}) and ({},{}): {:.3} ns",
-        la, ca, lb, cb, skew.ns()
+        la,
+        ca,
+        lb,
+        cb,
+        skew.ns()
     );
-    println!("layer-0 skew potential of the construction:  {:.3} ns", pot.ns());
+    println!(
+        "layer-0 skew potential of the construction:  {:.3} ns",
+        pot.ns()
+    );
     println!(
         "Theorem-1 worst-case bound (same potential):  {:.3} ns (steady {:.3})",
         thm.intra_max().ns(),

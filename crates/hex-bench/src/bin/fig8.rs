@@ -25,7 +25,10 @@ fn main() {
             break;
         }
         if let Some((lo, hi)) = span {
-            println!("  {layer:>3}: {lo:8.3} .. {hi:8.3}  (spread {:.3})", hi - lo);
+            println!(
+                "  {layer:>3}: {lo:8.3} .. {hi:8.3}  (spread {:.3})",
+                hi - lo
+            );
         }
     }
     Emitter::from_env().emit(&wave_table("fig8_wave", &grid, rv.view()));

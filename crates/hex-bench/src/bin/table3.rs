@@ -51,8 +51,5 @@ fn main() {
         Duration::from_ps(2_464),
     );
     println!();
-    print_block(
-        "Bare Condition 2 (pulse-width allowance 0)",
-        Duration::ZERO,
-    );
+    print_block("Bare Condition 2 (pulse-width allowance 0)", Duration::ZERO);
 }

@@ -46,7 +46,11 @@ fn main() {
     }
     .steady_intra();
 
-    println!("Worst-case neighbor skew landscape ({l}x{w} grid, [d-,d+] = [{:.3},{:.3}] ns):", delays.lo.ns(), delays.hi.ns());
+    println!(
+        "Worst-case neighbor skew landscape ({l}x{w} grid, [d-,d+] = [{:.3},{:.3}] ns):",
+        delays.lo.ns(),
+        delays.hi.ns()
+    );
     println!(
         "  random delays, 100 runs (Δ0=0):        {:>7.3} ns",
         random.ns()
@@ -78,9 +82,9 @@ fn main() {
             .map(|i| {
                 let cur = t;
                 if i < w / 2 {
-                    t = t + delays.hi;
+                    t += delays.hi;
                 } else {
-                    t = t - delays.hi;
+                    t -= delays.hi;
                 }
                 cur
             })
@@ -111,7 +115,10 @@ fn main() {
         potential0: delays.uncertainty().times((w / 2) as i64),
     };
     let byz_bound = single_fault_intra_bound(&ramp_thm, probe_layer);
-    println!("\nByzantine landscape (ramp Δ0, 1 fault at (4,{}), probe layer {probe_layer}):", w / 2);
+    println!(
+        "\nByzantine landscape (ramp Δ0, 1 fault at (4,{}), probe layer {probe_layer}):",
+        w / 2
+    );
     println!(
         "  Fig.-17 starting profile:               {:>7.3} ns ({:.1} d+)",
         byz_initial.ns(),
@@ -126,7 +133,10 @@ fn main() {
         "  Appendix-A single-fault bound:          {:>7.3} ns",
         byz_bound.ns()
     );
-    assert!(byz_best <= byz_bound, "Byzantine search must respect the Appendix-A bound");
+    assert!(
+        byz_best <= byz_bound,
+        "Byzantine search must respect the Appendix-A bound"
+    );
     println!(
         "search reaches {:.0}% of the Appendix-A degradation budget.",
         100.0 * byz_best.ns() / byz_bound.ns()

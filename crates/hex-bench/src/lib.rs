@@ -90,10 +90,7 @@ pub fn histogram_table(name: &str, h: &hex_analysis::histogram::Histogram) -> Ta
 
 /// A per-layer skew series as an emit table (Fig. 12).
 pub fn layer_table(name: &str, rows: &[hex_analysis::layers::LayerRow]) -> Table {
-    let mut t = Table::new(
-        name,
-        &["layer", "min", "q5", "avg", "q95", "max", "std"],
-    );
+    let mut t = Table::new(name, &["layer", "min", "q5", "avg", "q95", "max", "std"]);
     for r in rows {
         t.row(vec![
             Value::from(r.layer),
@@ -218,7 +215,11 @@ pub fn stabilization_sweep(base: &RunSpec, title: &str, pulses: usize) {
                 .collect();
             println!(
                 "{:<12} {:>2} | {} ",
-                if byzantine { "byzantine" } else { "fail-silent" },
+                if byzantine {
+                    "byzantine"
+                } else {
+                    "fail-silent"
+                },
                 f,
                 cells.join(" | ")
             );

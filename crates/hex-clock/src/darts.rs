@@ -159,6 +159,9 @@ struct Member {
 }
 
 /// Run the DARTS-style clique.
+// The `n ≥ 3f+1` / `support ≥ f+1` forms mirror the paper's resilience
+// bounds; rewriting them as strict inequalities would obscure the formula.
+#[allow(clippy::int_plus_one)]
 pub fn run_darts(cfg: &DartsConfig, rng: &mut SimRng) -> DartsTrace {
     assert!(cfg.n >= 3 * cfg.f() + 1, "need n ≥ 3f+1");
     let n = cfg.n;
@@ -187,15 +190,14 @@ pub fn run_darts(cfg: &DartsConfig, rng: &mut SimRng) -> DartsTrace {
         }
     }
 
-    let broadcast =
-        |from: usize, k: u32, now: Time, q: &mut EventQueue<Ev>, rng: &mut SimRng| {
-            for to in 0..n {
-                if to != from {
-                    let d = rng.duration_in(cfg.d_minus, cfg.d_plus);
-                    q.push(now + d, Ev::Deliver { from, to, k });
-                }
+    let broadcast = |from: usize, k: u32, now: Time, q: &mut EventQueue<Ev>, rng: &mut SimRng| {
+        for to in 0..n {
+            if to != from {
+                let d = rng.duration_in(cfg.d_minus, cfg.d_plus);
+                q.push(now + d, Ev::Deliver { from, to, k });
             }
-        };
+        }
+    };
 
     while let Some(ev) = q.pop() {
         let now = ev.at;
@@ -240,7 +242,8 @@ pub fn run_darts(cfg: &DartsConfig, rng: &mut SimRng) -> DartsTrace {
 }
 
 /// Apply the catch-up (`f+1`) and advance (`n−f`) rules for `node`.
-#[allow(clippy::too_many_arguments)]
+// `support ≥ f+1` is the paper's catch-up threshold, kept verbatim.
+#[allow(clippy::too_many_arguments, clippy::int_plus_one)]
 fn try_advance(
     node: usize,
     now: Time,
@@ -310,7 +313,11 @@ mod tests {
         let cfg = DartsConfig::new(7, 10);
         let mut rng = SimRng::seed_from_u64(2);
         let trace = run_darts(&cfg, &mut rng);
-        assert!(trace.max_divergence() <= 1, "divergence {}", trace.max_divergence());
+        assert!(
+            trace.max_divergence() <= 1,
+            "divergence {}",
+            trace.max_divergence()
+        );
     }
 
     #[test]

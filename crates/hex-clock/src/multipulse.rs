@@ -73,9 +73,7 @@ impl PulseTrain {
         );
         let period = self.period(w);
         let mut per_source: Vec<Vec<Time>> = vec![Vec::with_capacity(self.pulses); w as usize];
-        let mut offsets = self
-            .scenario
-            .offsets(w, self.d_minus, self.d_plus, rng);
+        let mut offsets = self.scenario.offsets(w, self.d_minus, self.d_plus, rng);
         for k in 0..self.pulses {
             if k > 0 && self.resample_offsets {
                 offsets = self.scenario.offsets(w, self.d_minus, self.d_plus, rng);

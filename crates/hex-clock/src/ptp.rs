@@ -123,12 +123,7 @@ pub fn chain_sync_residuals(
         let raw_offset = Duration::from_ns(1_000.0 + hop as f64 * 13.0);
         let mut acc = 0i64;
         for r in 0..rounds {
-            let ex = run_exchange(
-                raw_offset,
-                link,
-                Time::from_ns(1_000.0 * r as f64),
-                rng,
-            );
+            let ex = run_exchange(raw_offset, link, Time::from_ns(1_000.0 * r as f64), rng);
             acc += ex.offset_estimate().ps();
         }
         let estimate = Duration::from_ps(acc / rounds as i64);

@@ -78,6 +78,8 @@ impl ThresholdPulserConfig {
     }
 
     /// Check the resilience bound `n ≥ 3f + 1`.
+    // Kept in the paper's `3f + 1` form rather than clippy's `> 3f`.
+    #[allow(clippy::int_plus_one)]
     pub fn resilient(&self) -> bool {
         self.n >= 3 * self.f() + 1
     }
@@ -223,8 +225,7 @@ impl ThresholdPulser {
         // jitter; spamming Byzantine nodes schedule their first spam.
         for i in 0..n {
             if is_byz(i) {
-                if let Some(&(_, ByzBehavior::Spam)) =
-                    cfg.byzantine.iter().find(|&&(b, _)| b == i)
+                if let Some(&(_, ByzBehavior::Spam)) = cfg.byzantine.iter().find(|&&(b, _)| b == i)
                 {
                     let at = Time::ZERO + rng.duration_in(cfg.d_plus, cfg.period / 4);
                     q.push(at, Ev::Spam { node: i });
@@ -376,10 +377,7 @@ mod tests {
         assert!(trace.complete_pulses() >= 5);
         for k in 0..5 {
             let skew = trace.pulse_skew(k).expect("complete pulse");
-            assert!(
-                skew <= skew_bound(&cfg),
-                "pulse {k} skew {skew:?} > 2d+"
-            );
+            assert!(skew <= skew_bound(&cfg), "pulse {k} skew {skew:?} > 2d+");
         }
     }
 

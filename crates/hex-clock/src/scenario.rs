@@ -148,7 +148,7 @@ mod tests {
         assert_eq!(offs[10], D_PLUS.times(10));
         assert_eq!(offs[0], Duration::ZERO);
         assert_eq!(offs[19], D_PLUS); // one step down from wrap to col 0
-        // Up by exactly d+ per column on the way up.
+                                      // Up by exactly d+ per column on the way up.
         for i in 0..10 {
             assert_eq!(offs[i + 1] - offs[i], D_PLUS);
         }

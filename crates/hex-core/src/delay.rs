@@ -257,8 +257,7 @@ mod tests {
     fn per_link_sampling_is_stable_within_run() {
         let g = HexGrid::new(2, 4);
         let mut rng = SimRng::seed_from_u64(2);
-        let resolved =
-            DelayModel::UniformPerLink(DelayRange::paper()).resolve(g.graph(), &mut rng);
+        let resolved = DelayModel::UniformPerLink(DelayRange::paper()).resolve(g.graph(), &mut rng);
         for l in 0..g.graph().link_count() as u32 {
             let d1 = resolved.sample(l, &mut rng);
             let d2 = resolved.sample(l, &mut rng);

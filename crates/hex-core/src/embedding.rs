@@ -57,9 +57,7 @@ impl Embedded {
 
     /// The longest link of the embedding.
     pub fn max_link_length(&self, graph: &PulseGraph) -> f64 {
-        self.link_lengths(graph)
-            .into_iter()
-            .fold(0.0, f64::max)
+        self.link_lengths(graph).into_iter().fold(0.0, f64::max)
     }
 
     /// All unordered node pairs within Euclidean distance `radius` of each
@@ -243,7 +241,7 @@ mod tests {
         assert_eq!(graph_distance(g, a, a), 0);
         assert_eq!(graph_distance(g, a, grid.node(1, 2)), 1);
         assert_eq!(graph_distance(g, a, grid.node(2, 1)), 1); // up-right link
-        // Distance is symmetric for the undirected closure.
+                                                              // Distance is symmetric for the undirected closure.
         let b = grid.node(3, 5);
         assert_eq!(graph_distance(g, a, b), graph_distance(g, b, a));
     }

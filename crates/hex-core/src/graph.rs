@@ -115,7 +115,8 @@ impl PulseGraph {
 
     /// The in-neighbor of `n` on port `port`.
     pub fn in_neighbor(&self, n: NodeId, port: u8) -> NodeId {
-        self.link(self.nodes[n as usize].in_links[port as usize]).src
+        self.link(self.nodes[n as usize].in_links[port as usize])
+            .src
     }
 
     /// Iterate over all node ids.
@@ -215,10 +216,9 @@ impl GraphBuilder {
     pub fn build(self) -> PulseGraph {
         for (i, n) in self.nodes.iter().enumerate() {
             match n.role {
-                Role::Source => assert!(
-                    n.guard.is_empty(),
-                    "source node {i} must not have a guard"
-                ),
+                Role::Source => {
+                    assert!(n.guard.is_empty(), "source node {i} must not have a guard")
+                }
                 Role::Forwarder => {
                     assert!(
                         !n.guard.is_empty(),

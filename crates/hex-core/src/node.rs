@@ -243,7 +243,11 @@ impl NodeState {
             flag_epochs.push((port, e));
         }
         ArbitraryEpochs {
-            sleep_epoch: if sleeping { Some(self.sleep_epoch) } else { None },
+            sleep_epoch: if sleeping {
+                Some(self.sleep_epoch)
+            } else {
+                None
+            },
             flag_epochs,
         }
     }

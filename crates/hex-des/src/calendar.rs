@@ -168,7 +168,8 @@ impl<E> CalendarQueue<E> {
     fn bucket_of(&self, t: i64) -> usize {
         // div_euclid keeps negative instants (pre-time-zero scheduling in
         // adversarial constructions) on the same ring.
-        t.div_euclid(self.width).rem_euclid(self.buckets.len() as i64) as usize
+        t.div_euclid(self.width)
+            .rem_euclid(self.buckets.len() as i64) as usize
     }
 
     /// Anchor the window so it covers instant `t`.
@@ -242,7 +243,7 @@ impl<E> CalendarQueue<E> {
         for (i, s) in self.buckets[bucket].iter().enumerate() {
             if s.at.ps() < self.window_end {
                 let key = (s.at, s.seq, i);
-                if best.is_none_or(|b| (key.0, key.1) < (b.0, b.1)) {
+                if best.map_or(true, |b| (key.0, key.1) < (b.0, b.1)) {
                     best = Some(key);
                 }
             }
@@ -256,7 +257,7 @@ impl<E> CalendarQueue<E> {
         let mut best: Option<(Time, u64, usize, usize)> = None;
         for (bi, bucket) in self.buckets.iter().enumerate() {
             for (i, s) in bucket.iter().enumerate() {
-                if best.is_none_or(|b| (s.at, s.seq) < (b.0, b.1)) {
+                if best.map_or(true, |b| (s.at, s.seq) < (b.0, b.1)) {
                     best = Some((s.at, s.seq, bi, i));
                 }
             }
@@ -272,7 +273,16 @@ impl<E> CalendarQueue<E> {
         // in-bucket storage order never influences pop order.
         let slot = self.buckets[bi].swap_remove(ix);
         self.len -= 1;
-        debug_assert!(slot.at >= self.now);
+        // Pop-time monotonicity: simulated time never runs backwards.
+        // For the calendar this also guards the window-walk logic: a
+        // backwards pop means a lap/window accounting bug, not just a
+        // mis-ordered push.
+        debug_assert!(
+            slot.at >= self.now,
+            "pop-time monotonicity violated: popped {:?} behind now {:?}",
+            slot.at,
+            self.now
+        );
         self.now = slot.at;
         self.popped += 1;
         QueuedEvent {
@@ -412,8 +422,8 @@ mod tests {
             push(&mut cal, &mut bin, anchor);
             for t in [
                 anchor + horizon - 1,
-                anchor + horizon, // exactly one lap ahead
-                anchor + horizon, // FIFO tie on the boundary
+                anchor + horizon,     // exactly one lap ahead
+                anchor + horizon,     // FIFO tie on the boundary
                 anchor + horizon + 1, // one tick past the horizon
                 anchor + horizon + 1,
                 anchor + 2 * horizon, // two laps ahead
@@ -430,8 +440,7 @@ mod tests {
     #[test]
     fn horizon_boundary_reschedules_after_pops() {
         let horizon = 16i64 * 8;
-        let mut cal: CalendarQueue<usize> =
-            CalendarQueue::with_geometry(Duration::from_ps(16), 8);
+        let mut cal: CalendarQueue<usize> = CalendarQueue::with_geometry(Duration::from_ps(16), 8);
         let mut bin = EventQueue::new();
         for i in 0..4usize {
             cal.push(Time::from_ps(i as i64), i);
@@ -440,7 +449,11 @@ mod tests {
         for step in 0..12 {
             let a = cal.pop().unwrap();
             let b = bin.pop().unwrap();
-            assert_eq!((a.at, a.seq, a.payload), (b.at, b.seq, b.payload), "step {step}");
+            assert_eq!(
+                (a.at, a.seq, a.payload),
+                (b.at, b.seq, b.payload),
+                "step {step}"
+            );
             // Alternate exactly-on-horizon and one-past-horizon holds.
             let delta = if step % 2 == 0 { horizon } else { horizon + 1 };
             cal.push(a.at + Duration::from_ps(delta), a.payload);

@@ -167,7 +167,15 @@ impl<E> EventQueue<E> {
     /// Remove and return the earliest event, advancing simulated time.
     pub fn pop(&mut self) -> Option<QueuedEvent<E>> {
         let ev = self.heap.pop()?;
-        debug_assert!(ev.at >= self.now);
+        // Pop-time monotonicity: simulated time never runs backwards.
+        // `push` already rejects past scheduling, so a violation here
+        // means the heap order itself is corrupt.
+        debug_assert!(
+            ev.at >= self.now,
+            "pop-time monotonicity violated: popped {:?} behind now {:?}",
+            ev.at,
+            self.now
+        );
         self.now = ev.at;
         self.popped += 1;
         Some(ev)

@@ -146,7 +146,13 @@ impl<E> QuadHeapQueue<E> {
         if !self.heap.is_empty() {
             self.sift_down(0);
         }
-        debug_assert!(slot.at >= self.now);
+        // Pop-time monotonicity: simulated time never runs backwards.
+        debug_assert!(
+            slot.at >= self.now,
+            "pop-time monotonicity violated: popped {:?} behind now {:?}",
+            slot.at,
+            self.now
+        );
         self.now = slot.at;
         self.popped += 1;
         Some((slot.at, slot.payload))

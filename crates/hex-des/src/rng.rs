@@ -126,10 +126,16 @@ mod tests {
         let mut a = SimRng::seed_from_u64(1);
         let mut b = SimRng::seed_from_u64(2);
         let da: Vec<i64> = (0..32)
-            .map(|_| a.duration_in(Duration::ZERO, Duration::from_ps(1 << 30)).ps())
+            .map(|_| {
+                a.duration_in(Duration::ZERO, Duration::from_ps(1 << 30))
+                    .ps()
+            })
             .collect();
         let db: Vec<i64> = (0..32)
-            .map(|_| b.duration_in(Duration::ZERO, Duration::from_ps(1 << 30)).ps())
+            .map(|_| {
+                b.duration_in(Duration::ZERO, Duration::from_ps(1 << 30))
+                    .ps()
+            })
             .collect();
         assert_ne!(da, db);
     }

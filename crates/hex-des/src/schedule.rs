@@ -125,10 +125,7 @@ mod tests {
     fn iter_covers_all() {
         let s = Schedule::new(vec![vec![t(0), t(10)], vec![t(1)]]);
         let triples: Vec<_> = s.iter().collect();
-        assert_eq!(
-            triples,
-            vec![(0, 0, t(0)), (0, 1, t(10)), (1, 0, t(1))]
-        );
+        assert_eq!(triples, vec![(0, 0, t(0)), (0, 1, t(10)), (1, 0, t(1))]);
     }
 
     #[test]

@@ -1,0 +1,450 @@
+//! A minimal, dependency-free Rust lexer.
+//!
+//! Produces a flat token stream with 1-based line/column positions —
+//! just enough structure for the token-pattern rules in [`crate::rules`]
+//! to see through the two classic sources of grep false positives:
+//! string literals and comments. Handles the full literal surface the
+//! workspace uses (raw strings, byte strings, char-vs-lifetime
+//! disambiguation, nested block comments); everything else is a
+//! single-character punct, except `::` which is joined because path
+//! patterns (`env::var`, `rand::random`) are what the rules match on.
+//!
+//! This is *not* a conforming Rust lexer: numeric literal edge cases are
+//! lexed loosely (their contents never matter to a rule), and keywords
+//! are ordinary [`TokKind::Ident`] tokens.
+
+/// Kind of a lexed token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`impl`, `HashMap`, `for`, ...).
+    Ident,
+    /// Lifetime (`'a`, `'static`).
+    Lifetime,
+    /// String literal of any flavor (`"…"`, `r#"…"#`, `b"…"`).
+    Str,
+    /// Char or byte-char literal (`'x'`, `b'\n'`).
+    Char,
+    /// Numeric literal (lexed loosely).
+    Num,
+    /// Punctuation: one character, or the joined path separator `::`.
+    Punct,
+    /// `// …` comment (doc comments included), text kept verbatim.
+    LineComment,
+    /// `/* … */` comment (nesting handled), text kept verbatim.
+    BlockComment,
+}
+
+/// One token with its source position (1-based line and column).
+#[derive(Debug, Clone)]
+pub struct Tok {
+    /// Token class.
+    pub kind: TokKind,
+    /// Verbatim source text of the token.
+    pub text: String,
+    /// 1-based line of the token's first character.
+    pub line: u32,
+    /// 1-based column (in characters) of the token's first character.
+    pub col: u32,
+}
+
+impl Tok {
+    /// True iff this token is an identifier with exactly this text.
+    pub fn is_ident(&self, text: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == text
+    }
+
+    /// True iff this token is punctuation with exactly this text.
+    pub fn is_punct(&self, text: &str) -> bool {
+        self.kind == TokKind::Punct && self.text == text
+    }
+}
+
+/// Lex `src` into a flat token stream (comments included).
+pub fn lex(src: &str) -> Vec<Tok> {
+    Lexer {
+        chars: src.chars().collect(),
+        i: 0,
+        line: 1,
+        col: 1,
+        toks: Vec::new(),
+    }
+    .run()
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    i: usize,
+    line: u32,
+    col: u32,
+    toks: Vec<Tok>,
+}
+
+impl Lexer {
+    fn peek(&self, k: usize) -> Option<char> {
+        self.chars.get(self.i + k).copied()
+    }
+
+    fn bump(&mut self, buf: &mut String) {
+        let c = self.chars[self.i];
+        self.i += 1;
+        buf.push(c);
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+    }
+
+    fn push(&mut self, kind: TokKind, text: String, line: u32, col: u32) {
+        self.toks.push(Tok {
+            kind,
+            text,
+            line,
+            col,
+        });
+    }
+
+    fn run(mut self) -> Vec<Tok> {
+        while let Some(c) = self.peek(0) {
+            let (line, col) = (self.line, self.col);
+            let mut text = String::new();
+            if c.is_whitespace() {
+                self.bump(&mut text);
+                continue;
+            }
+            if c == '/' && self.peek(1) == Some('/') {
+                while self.peek(0).is_some_and(|c| c != '\n') {
+                    self.bump(&mut text);
+                }
+                self.push(TokKind::LineComment, text, line, col);
+                continue;
+            }
+            if c == '/' && self.peek(1) == Some('*') {
+                self.take_block_comment(&mut text);
+                self.push(TokKind::BlockComment, text, line, col);
+                continue;
+            }
+            if c == '"' {
+                self.take_string(&mut text);
+                self.push(TokKind::Str, text, line, col);
+                continue;
+            }
+            if c == 'r' || c == 'b' {
+                if let Some(kind) = self.try_take_prefixed_literal(&mut text) {
+                    self.push(kind, text, line, col);
+                    continue;
+                }
+            }
+            if c == '\'' {
+                let kind = self.take_quote(&mut text);
+                self.push(kind, text, line, col);
+                continue;
+            }
+            if is_ident_start(c) {
+                while self.peek(0).is_some_and(is_ident_continue) {
+                    self.bump(&mut text);
+                }
+                self.push(TokKind::Ident, text, line, col);
+                continue;
+            }
+            if c.is_ascii_digit() {
+                self.take_number(&mut text);
+                self.push(TokKind::Num, text, line, col);
+                continue;
+            }
+            if c == ':' && self.peek(1) == Some(':') {
+                self.bump(&mut text);
+                self.bump(&mut text);
+                self.push(TokKind::Punct, text, line, col);
+                continue;
+            }
+            self.bump(&mut text);
+            self.push(TokKind::Punct, text, line, col);
+        }
+        self.toks
+    }
+
+    /// `/* … */` with nesting, tolerant of an unterminated tail.
+    fn take_block_comment(&mut self, text: &mut String) {
+        let mut depth = 0u32;
+        while self.peek(0).is_some() {
+            if self.peek(0) == Some('/') && self.peek(1) == Some('*') {
+                depth += 1;
+                self.bump(text);
+                self.bump(text);
+            } else if self.peek(0) == Some('*') && self.peek(1) == Some('/') {
+                depth -= 1;
+                self.bump(text);
+                self.bump(text);
+                if depth == 0 {
+                    return;
+                }
+            } else {
+                self.bump(text);
+            }
+        }
+    }
+
+    /// `"…"` with escapes, tolerant of an unterminated tail.
+    fn take_string(&mut self, text: &mut String) {
+        self.bump(text); // opening quote
+        while let Some(c) = self.peek(0) {
+            if c == '\\' {
+                self.bump(text);
+                if self.peek(0).is_some() {
+                    self.bump(text);
+                }
+            } else if c == '"' {
+                self.bump(text);
+                return;
+            } else {
+                self.bump(text);
+            }
+        }
+    }
+
+    /// Raw strings (`r"…"`, `r#"…"#`), byte strings (`b"…"`, `br#"…"#`),
+    /// byte chars (`b'x'`) and raw identifiers (`r#ident`). Returns
+    /// `None` when the `r`/`b` at the cursor is just an ordinary
+    /// identifier start.
+    fn try_take_prefixed_literal(&mut self, text: &mut String) -> Option<TokKind> {
+        let c = self.peek(0)?;
+        if c == 'b' {
+            match self.peek(1) {
+                Some('"') => {
+                    self.bump(text); // b
+                    self.take_string(text);
+                    return Some(TokKind::Str);
+                }
+                Some('\'') => {
+                    self.bump(text); // b
+                    self.take_quote(text);
+                    return Some(TokKind::Char);
+                }
+                Some('r') => {
+                    let hashes = self.count_hashes(2);
+                    if self.peek(2 + hashes) == Some('"') {
+                        self.bump(text); // b
+                        self.bump(text); // r
+                        self.take_raw_string(hashes, text);
+                        return Some(TokKind::Str);
+                    }
+                    return None;
+                }
+                _ => return None,
+            }
+        }
+        // c == 'r'
+        let hashes = self.count_hashes(1);
+        if self.peek(1 + hashes) == Some('"') {
+            self.bump(text); // r
+            self.take_raw_string(hashes, text);
+            return Some(TokKind::Str);
+        }
+        if hashes == 1 && self.peek(2).is_some_and(is_ident_start) {
+            // raw identifier r#ident — keep the prefix in the text.
+            self.bump(text); // r
+            self.bump(text); // #
+            while self.peek(0).is_some_and(is_ident_continue) {
+                self.bump(text);
+            }
+            return Some(TokKind::Ident);
+        }
+        None
+    }
+
+    fn count_hashes(&self, from: usize) -> usize {
+        let mut n = 0;
+        while self.peek(from + n) == Some('#') {
+            n += 1;
+        }
+        n
+    }
+
+    /// Cursor sits on the `#`* run (or directly on `"`); consumes through
+    /// the closing `"` followed by `hashes` hashes.
+    fn take_raw_string(&mut self, hashes: usize, text: &mut String) {
+        for _ in 0..hashes {
+            self.bump(text);
+        }
+        self.bump(text); // opening quote
+        while self.peek(0).is_some() {
+            if self.peek(0) == Some('"') && (1..=hashes).all(|k| self.peek(k) == Some('#')) {
+                for _ in 0..=hashes {
+                    self.bump(text);
+                }
+                return;
+            }
+            self.bump(text);
+        }
+    }
+
+    /// At a `'`: disambiguate char literal from lifetime.
+    fn take_quote(&mut self, text: &mut String) -> TokKind {
+        self.bump(text); // opening quote
+        match self.peek(0) {
+            Some('\\') => {
+                // escaped char literal: consume to the closing quote.
+                self.bump(text);
+                while self.peek(0).is_some_and(|c| c != '\'') {
+                    self.bump(text);
+                }
+                if self.peek(0).is_some() {
+                    self.bump(text);
+                }
+                TokKind::Char
+            }
+            Some(c) if is_ident_start(c) => {
+                if self.peek(1) == Some('\'') {
+                    // 'x'
+                    self.bump(text);
+                    self.bump(text);
+                    TokKind::Char
+                } else {
+                    // 'lifetime
+                    while self.peek(0).is_some_and(is_ident_continue) {
+                        self.bump(text);
+                    }
+                    TokKind::Lifetime
+                }
+            }
+            Some(_) => {
+                // non-alphabetic char literal like ' ' or '+'.
+                self.bump(text);
+                if self.peek(0) == Some('\'') {
+                    self.bump(text);
+                }
+                TokKind::Char
+            }
+            None => TokKind::Punct,
+        }
+    }
+
+    /// Loose numeric literal: digits, suffixes, `1.5`, `1e-3`, `0x_ff` —
+    /// but never eats `..` or a method call on a literal.
+    fn take_number(&mut self, text: &mut String) {
+        loop {
+            match self.peek(0) {
+                Some(c) if c.is_ascii_alphanumeric() || c == '_' => self.bump(text),
+                Some('.') if self.peek(1).is_some_and(|d| d.is_ascii_digit()) => self.bump(text),
+                Some('+') | Some('-')
+                    if matches!(text.chars().last(), Some('e') | Some('E'))
+                        && self.peek(1).is_some_and(|d| d.is_ascii_digit()) =>
+                {
+                    self.bump(text)
+                }
+                _ => return,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn idents_and_paths() {
+        let toks = kinds("std::env::var(\"HEX_RUNS\")");
+        assert_eq!(
+            toks,
+            vec![
+                (TokKind::Ident, "std".into()),
+                (TokKind::Punct, "::".into()),
+                (TokKind::Ident, "env".into()),
+                (TokKind::Punct, "::".into()),
+                (TokKind::Ident, "var".into()),
+                (TokKind::Punct, "(".into()),
+                (TokKind::Str, "\"HEX_RUNS\"".into()),
+                (TokKind::Punct, ")".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn strings_hide_identifiers() {
+        let toks = lex(r#"let x = "HashMap inside a string";"#);
+        assert!(!toks.iter().any(|t| t.is_ident("HashMap")));
+        assert!(toks.iter().any(|t| t.kind == TokKind::Str));
+    }
+
+    #[test]
+    fn comments_hide_identifiers_but_are_kept() {
+        let toks = lex("// mentions HashMap\nlet y = 1; /* and HashSet */");
+        assert!(!toks.iter().any(|t| t.is_ident("HashMap")));
+        assert_eq!(
+            toks.iter()
+                .filter(|t| t.kind == TokKind::LineComment)
+                .count(),
+            1
+        );
+        assert_eq!(
+            toks.iter()
+                .filter(|t| t.kind == TokKind::BlockComment)
+                .count(),
+            1
+        );
+    }
+
+    #[test]
+    fn nested_block_comment() {
+        let toks = lex("/* outer /* inner */ still comment */ after");
+        assert_eq!(toks.len(), 2);
+        assert_eq!(toks[0].kind, TokKind::BlockComment);
+        assert!(toks[1].is_ident("after"));
+    }
+
+    #[test]
+    fn raw_string_with_quotes() {
+        let toks = lex(r##"let s = r#"a "quoted" HashSet"#; next"##);
+        assert!(!toks.iter().any(|t| t.is_ident("HashSet")));
+        assert!(toks.iter().any(|t| t.is_ident("next")));
+    }
+
+    #[test]
+    fn lifetime_vs_char() {
+        let toks = kinds("'a 'x' '\\n' b'z' &'static str");
+        let lifetimes: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokKind::Lifetime)
+            .collect();
+        let chars: Vec<_> = toks.iter().filter(|(k, _)| *k == TokKind::Char).collect();
+        assert_eq!(lifetimes.len(), 2, "{toks:?}");
+        assert_eq!(chars.len(), 3, "{toks:?}");
+    }
+
+    #[test]
+    fn positions_are_one_based_lines_and_cols() {
+        let toks = lex("ab\n  cd");
+        assert_eq!((toks[0].line, toks[0].col), (1, 1));
+        assert_eq!((toks[1].line, toks[1].col), (2, 3));
+    }
+
+    #[test]
+    fn numbers_do_not_eat_ranges_or_fields() {
+        let toks = kinds("0usize..4 x.0 1.5e-3");
+        assert!(toks.contains(&(TokKind::Num, "0usize".into())));
+        assert!(toks.contains(&(TokKind::Num, "4".into())));
+        assert!(toks.contains(&(TokKind::Num, "1.5e-3".into())));
+    }
+
+    #[test]
+    fn unterminated_inputs_do_not_loop() {
+        for src in ["\"open", "/* open", "r#\"open", "'"] {
+            let _ = lex(src);
+        }
+    }
+}

@@ -1,0 +1,42 @@
+//! `hexlint` — audit the workspace against the determinism contract.
+//!
+//! Usage: `hexlint [workspace-root]` (defaults to the enclosing
+//! workspace of the current directory). Prints rustc-style diagnostics
+//! and exits nonzero if any rule fires.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let root = match std::env::args_os().nth(1) {
+        Some(arg) => PathBuf::from(arg),
+        None => {
+            let cwd = std::env::current_dir().expect("current dir");
+            match hex_lint::find_workspace_root(&cwd) {
+                Some(root) => root,
+                None => {
+                    eprintln!(
+                        "hexlint: no enclosing Cargo workspace from {}",
+                        cwd.display()
+                    );
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+    };
+    match hex_lint::lint_workspace(&root) {
+        Ok(findings) => {
+            let (rendered, clean) = hex_lint::report(&findings);
+            print!("{rendered}");
+            if clean {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("hexlint: walk failed under {}: {e}", root.display());
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,12 @@
+// Fixture: the same sorts, suppressed.
+
+pub fn median(values: &[f64]) -> f64 {
+    let mut sorted = values.to_vec();
+    // hexlint: allow(float-ord, reason = "fixture: inputs proven NaN-free upstream")
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    sorted[sorted.len() / 2]
+}
+
+pub fn worst(values: &[f64]) -> Option<&f64> {
+    values.iter().max_by(|a, b| a.partial_cmp(b).unwrap()) // hexlint: allow(float-ord, reason = "fixture")
+}

@@ -1,0 +1,7 @@
+// hexlint: allow(forbid-unsafe, reason = "fixture: FFI crate pending an unsafe audit")
+//! Fixture: the missing attribute, suppressed. The finding is reported
+//! at 1:1, so the pragma must head the file.
+
+#![warn(missing_docs)]
+
+pub mod engine;

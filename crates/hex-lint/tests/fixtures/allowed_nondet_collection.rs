@@ -1,0 +1,14 @@
+// Fixture: the same hazards, each suppressed with a reasoned pragma —
+// standalone, trailing, and stacked placements are all exercised.
+// hexlint: allow(nondet-collection, reason = "fixture: counted, never iterated")
+use std::collections::{HashMap, HashSet};
+
+// hexlint: allow(nondet-collection, reason = "fixture: counted, never iterated")
+pub fn pending_by_node() -> HashMap<u32, Vec<u64>> {
+    HashMap::new() // hexlint: allow(nondet-collection, reason = "fixture: counted, never iterated")
+}
+
+pub fn seen() -> HashSet<u32> { // hexlint: allow(nondet-collection, reason = "fixture: counted, never iterated")
+    // hexlint: allow(nondet-collection, reason = "fixture: counted, never iterated")
+    HashSet::new()
+}

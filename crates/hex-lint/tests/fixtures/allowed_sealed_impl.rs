@@ -1,0 +1,23 @@
+// Fixture: the same impls, suppressed.
+
+pub struct RogueQueue<E> {
+    events: Vec<E>,
+}
+
+// hexlint: allow(sealed-impl, reason = "fixture: demonstrating the pragma")
+impl<E> FutureEventList<E> for RogueQueue<E> {
+    fn push(&mut self, _at: Time, _payload: E) {}
+}
+
+pub struct RogueObserver;
+
+impl RunObserver for RogueObserver { // hexlint: allow(sealed-impl, reason = "fixture")
+    fn on_fire(&mut self) {}
+}
+
+pub struct RogueReducer;
+
+// hexlint: allow(sealed-impl, reason = "fixture")
+impl Reducer<u64> for RogueReducer {
+    type Acc = u64;
+}

@@ -1,0 +1,12 @@
+// Fixture: the same constructions, suppressed.
+// hexlint: allow(unseeded-rng, reason = "fixture: documenting the banned surface")
+use rand::rngs::{OsRng, StdRng};
+use rand::SeedableRng;
+
+pub fn lucky() -> u64 {
+    let mut tl = rand::thread_rng(); // hexlint: allow(unseeded-rng, reason = "fixture")
+    // hexlint: allow(unseeded-rng, reason = "fixture")
+    let _ = StdRng::from_entropy();
+    let _ = tl.gen::<u64>();
+    rand::random() // hexlint: allow(unseeded-rng, reason = "fixture")
+}

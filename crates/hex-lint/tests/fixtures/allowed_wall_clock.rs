@@ -1,0 +1,10 @@
+// Fixture: the same reads, suppressed.
+// hexlint: allow(wall-clock, reason = "fixture: watchdog only, never feeds simulated time")
+use std::time::{Instant, SystemTime};
+
+pub fn elapsed_ns() -> u128 {
+    let t0 = Instant::now(); // hexlint: allow(wall-clock, reason = "fixture: watchdog only")
+    // hexlint: allow(wall-clock, reason = "fixture: watchdog only")
+    let _ = SystemTime::now();
+    t0.elapsed().as_nanos()
+}

@@ -1,0 +1,15 @@
+// Fixture: environment reads outside the knob module (linted under the
+// virtual path crates/hex-core/src/fixture.rs). Never compiled.
+
+pub fn runs() -> usize {
+    std::env::var("HEX_RUNS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(64)
+}
+
+pub fn dump() {
+    for (k, v) in std::env::vars() {
+        println!("{k}={v}");
+    }
+}

@@ -1,0 +1,13 @@
+// Fixture: partial_cmp-based float sorting on a statistics path (linted
+// under the virtual path crates/hex-analysis/src/fixture.rs).
+// Never compiled.
+
+pub fn median(values: &[f64]) -> f64 {
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    sorted[sorted.len() / 2]
+}
+
+pub fn worst(values: &[f64]) -> Option<&f64> {
+    values.iter().max_by(|a, b| a.partial_cmp(b).unwrap())
+}

@@ -1,0 +1,6 @@
+//! Fixture: a crate root without `#![forbid(unsafe_code)]` (linted
+//! under the virtual path crates/hex-rogue/src/lib.rs). Never compiled.
+
+#![warn(missing_docs)]
+
+pub mod engine;

@@ -1,0 +1,11 @@
+// Fixture: hashed collections in a simulation crate (linted under the
+// virtual path crates/hex-des/src/fixture.rs). Never compiled.
+use std::collections::{HashMap, HashSet};
+
+pub fn pending_by_node() -> HashMap<u32, Vec<u64>> {
+    HashMap::new()
+}
+
+pub fn seen() -> HashSet<u32> {
+    HashSet::new()
+}

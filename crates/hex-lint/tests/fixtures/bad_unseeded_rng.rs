@@ -1,0 +1,10 @@
+// Fixture: entropy-sourced RNG construction (any path). Never compiled.
+use rand::rngs::{OsRng, StdRng};
+use rand::SeedableRng;
+
+pub fn lucky() -> u64 {
+    let mut tl = rand::thread_rng();
+    let _ = StdRng::from_entropy();
+    let _ = tl.gen::<u64>();
+    rand::random()
+}

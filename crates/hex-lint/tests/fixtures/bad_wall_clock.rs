@@ -1,0 +1,9 @@
+// Fixture: host-clock reads outside bench/emit code (linted under the
+// virtual path crates/hex-sim/src/fixture.rs). Never compiled.
+use std::time::{Instant, SystemTime};
+
+pub fn elapsed_ns() -> u128 {
+    let t0 = Instant::now();
+    let _ = SystemTime::now();
+    t0.elapsed().as_nanos()
+}

@@ -68,7 +68,11 @@ where
     FS: Fn() -> S + Sync,
     F: Fn(&mut S, usize) -> T + Sync,
 {
-    let threads = if threads == 0 { default_threads() } else { threads };
+    let threads = if threads == 0 {
+        default_threads()
+    } else {
+        threads
+    };
     let threads = threads.min(runs.max(1));
     if threads <= 1 || runs <= 1 {
         let mut scratch = make_scratch();
@@ -212,7 +216,11 @@ where
     F: Fn(&mut S, &mut A, usize) + Sync,
     FM: Fn(A, A) -> A,
 {
-    let threads = if threads == 0 { default_threads() } else { threads };
+    let threads = if threads == 0 {
+        default_threads()
+    } else {
+        threads
+    };
     let threads = threads.min(runs.max(1));
     if threads <= 1 || runs <= 1 {
         let mut scratch = make_scratch();
@@ -259,10 +267,7 @@ where
     // Restore run order: chunks are disjoint, so sorting by start index
     // yields consecutive ranges; merge left to right.
     parts.sort_by_key(|&(start, _)| start);
-    parts
-        .into_iter()
-        .map(|(_, acc)| acc)
-        .fold(empty(), |left, right| merge(left, right))
+    parts.into_iter().map(|(_, acc)| acc).fold(empty(), merge)
 }
 
 /// The machine's available parallelism (≥ 1).
@@ -321,9 +326,15 @@ mod tests {
 
     #[test]
     fn actually_runs_on_multiple_threads() {
+        // ThreadId implements neither Ord nor any stable total order, so
+        // a BTreeSet cannot replace this census; the set is only ever
+        // queried for its size, never iterated.
+        // hexlint: allow(nondet-collection, reason = "test-only thread census, counted not iterated")
         use std::collections::HashSet;
         use std::sync::Mutex;
+        // hexlint: allow(wall-clock, reason = "watchdog deadline for a liveness assertion; never feeds simulated time")
         use std::time::{Duration, Instant};
+        // hexlint: allow(nondet-collection, reason = "test-only thread census, counted not iterated")
         let seen: Mutex<HashSet<std::thread::ThreadId>> = Mutex::new(HashSet::new());
         run_batch(64, 4, |ix| {
             seen.lock().unwrap().insert(std::thread::current().id());
@@ -332,7 +343,9 @@ mod tests {
                 // registered, so the assertion cannot race thread spawn on a
                 // loaded machine. The deadline only trips if the pool truly
                 // failed to engage a second thread.
+                // hexlint: allow(wall-clock, reason = "watchdog deadline for a liveness assertion; never feeds simulated time")
                 let deadline = Instant::now() + Duration::from_secs(5);
+                // hexlint: allow(wall-clock, reason = "watchdog deadline for a liveness assertion; never feeds simulated time")
                 while seen.lock().unwrap().len() < 2 && Instant::now() < deadline {
                     std::thread::yield_now();
                 }

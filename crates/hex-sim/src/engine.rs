@@ -36,8 +36,8 @@
 
 use hex_core::delay::ResolvedDelays;
 use hex_core::{
-    DelayModel, FaultPlan, FiringState, HexGrid, LinkBehavior, NodeId, NodeState, PulseGraph,
-    Role, Timing, TriggerCause,
+    DelayModel, FaultPlan, FiringState, HexGrid, LinkBehavior, NodeId, NodeState, PulseGraph, Role,
+    Timing, TriggerCause,
 };
 use hex_des::{
     CalendarQueue, Duration, EventQueue, FutureEventList, QuadHeapQueue, Schedule, SimRng, Time,
@@ -106,11 +106,9 @@ impl Default for QueuePolicy {
     /// `HEX_QUEUE=binary_heap`) knob.
     fn default() -> Self {
         static ENV_DEFAULT: std::sync::OnceLock<QueuePolicy> = std::sync::OnceLock::new();
-        *ENV_DEFAULT.get_or_init(|| match std::env::var("HEX_QUEUE") {
-            Ok(v) => v
-                .parse()
-                .expect("HEX_QUEUE must be binary_heap, quad_heap or calendar"),
-            Err(_) => QueuePolicy::Calendar,
+        *ENV_DEFAULT.get_or_init(|| {
+            crate::knobs::parsed("HEX_QUEUE", "binary_heap, quad_heap or calendar")
+                .unwrap_or(QueuePolicy::Calendar)
         })
     }
 }
@@ -545,7 +543,9 @@ fn prepare_run(graph: &PulseGraph, schedule: &Schedule, cfg: &SimConfig, seed: u
     let mut rng = SimRng::seed_from_u64(seed);
     let delays = cfg.delays.resolve(graph, &mut rng);
     let behaviors = cfg.faults.resolve(graph, &mut rng);
-    let horizon = cfg.horizon.unwrap_or_else(|| cfg.auto_horizon(graph, schedule));
+    let horizon = cfg
+        .horizon
+        .unwrap_or_else(|| cfg.auto_horizon(graph, schedule));
     RunSetup {
         sources,
         rng,
@@ -583,15 +583,36 @@ fn drive<O: RunObserver>(
         horizon: setup.horizon,
     };
     match queue {
-        FelQueue::Binary(q) => {
-            run_events(q, &ctx, schedule, &setup.sources, states, obs, arrivals, &mut setup.rng)
-        }
-        FelQueue::Quad(q) => {
-            run_events(q, &ctx, schedule, &setup.sources, states, obs, arrivals, &mut setup.rng)
-        }
-        FelQueue::Calendar(q) => {
-            run_events(q, &ctx, schedule, &setup.sources, states, obs, arrivals, &mut setup.rng)
-        }
+        FelQueue::Binary(q) => run_events(
+            q,
+            &ctx,
+            schedule,
+            &setup.sources,
+            states,
+            obs,
+            arrivals,
+            &mut setup.rng,
+        ),
+        FelQueue::Quad(q) => run_events(
+            q,
+            &ctx,
+            schedule,
+            &setup.sources,
+            states,
+            obs,
+            arrivals,
+            &mut setup.rng,
+        ),
+        FelQueue::Calendar(q) => run_events(
+            q,
+            &ctx,
+            schedule,
+            &setup.sources,
+            states,
+            obs,
+            arrivals,
+            &mut setup.rng,
+        ),
     }
 }
 
@@ -623,10 +644,13 @@ pub fn simulate_into<'s>(
         faulty,
         ..
     } = scratch;
-    let Trace { fires, arrivals, .. } = trace;
+    let Trace {
+        fires, arrivals, ..
+    } = trace;
     let mut obs = FireLog { fires };
-    let (popped, stale) =
-        drive(&mut setup, graph, cfg, schedule, queue, states, active, faulty, &mut obs, arrivals);
+    let (popped, stale) = drive(
+        &mut setup, graph, cfg, schedule, queue, states, active, faulty, &mut obs, arrivals,
+    );
 
     trace.faulty = cfg.faults.faulty_nodes();
     trace.horizon = setup.horizon;
@@ -674,8 +698,9 @@ pub fn simulate_observed_into<'s>(
     } = scratch;
     binner.prepare(grid, schedule, d_mid, &cfg.faults.faulty_nodes());
     let arrivals = &mut trace.arrivals;
-    let (popped, stale) =
-        drive(&mut setup, graph, cfg, schedule, queue, states, active, faulty, binner, arrivals);
+    let (popped, stale) = drive(
+        &mut setup, graph, cfg, schedule, queue, states, active, faulty, binner, arrivals,
+    );
 
     scratch.popped_events = popped;
     scratch.stale_events = stale;
@@ -821,6 +846,17 @@ fn run_events<Q: FutureEventList<Ev>, O: RunObserver>(
                 }
             }
             Ev::LinkTimeout { node, port, epoch } => {
+                // Epoch bound: a timeout can carry at most the epoch it
+                // was scheduled under, and epochs only move forward — a
+                // popped epoch from the future means timer-cancellation
+                // bookkeeping is corrupt (the dynamic twin of the
+                // hex-lint determinism rules).
+                debug_assert!(
+                    epoch <= states[node as usize].flag_epoch(port),
+                    "LinkTimeout from the future: node {node} port {port} \
+                     carries epoch {epoch} > current {}",
+                    states[node as usize].flag_epoch(port)
+                );
                 if states[node as usize].expire_flag(port, epoch) {
                     refresh_stuck_one(node, port, now, ctx, states, q, rng);
                     maybe_fire(node, now, ctx, states, obs, q, rng);
@@ -829,6 +865,11 @@ fn run_events<Q: FutureEventList<Ev>, O: RunObserver>(
                 }
             }
             Ev::Wake { node, epoch } => {
+                debug_assert!(
+                    epoch <= states[node as usize].sleep_epoch(),
+                    "Wake from the future: node {node} carries epoch {epoch} > current {}",
+                    states[node as usize].sleep_epoch()
+                );
                 if states[node as usize].wake(epoch) {
                     // All flags were cleared; stuck-1 ports re-assert.
                     for port in 0..graph.port_count(node) as u8 {
@@ -924,10 +965,7 @@ fn refresh_stuck_one<Q: FutureEventList<Ev>>(
     }
     if let Some(epoch) = states[node as usize].set_flag(port) {
         let dur = rng.duration_in(ctx.cfg.timing.link.lo, ctx.cfg.timing.link.hi);
-        q.push(
-            now + dur,
-            Ev::LinkTimeout { node, port, epoch },
-        );
+        q.push(now + dur, Ev::LinkTimeout { node, port, epoch });
     }
 }
 
@@ -1032,7 +1070,12 @@ mod tests {
         // single fault).
         for n in grid.graph().node_ids() {
             if n != victim {
-                assert_eq!(trace.fires[n as usize].len(), 1, "node {:?}", grid.coord_of(n));
+                assert_eq!(
+                    trace.fires[n as usize].len(),
+                    1,
+                    "node {:?}",
+                    grid.coord_of(n)
+                );
             }
         }
     }
@@ -1057,12 +1100,14 @@ mod tests {
         let b = grid.node(2, 4);
         let starved = grid.node(3, 3);
         let cfg = SimConfig {
-            faults: FaultPlan::none()
-                .with_nodes(&[a, b], NodeFault::FailSilent),
+            faults: FaultPlan::none().with_nodes(&[a, b], NodeFault::FailSilent),
             ..SimConfig::fault_free()
         };
         let trace = simulate(grid.graph(), &zero_schedule(8), &cfg, 13);
-        assert!(trace.fires[starved as usize].is_empty(), "(3,3) should starve");
+        assert!(
+            trace.fires[starved as usize].is_empty(),
+            "(3,3) should starve"
+        );
         // But the pulse still reaches the top layer everywhere else: the
         // wave flows around the hole.
         for col in 0..8 {
@@ -1112,7 +1157,12 @@ mod tests {
         };
         let trace = simulate(grid.graph(), &sched, &cfg, 19);
         for n in grid.graph().node_ids() {
-            assert_eq!(trace.fires[n as usize].len(), 4, "node {:?}", grid.coord_of(n));
+            assert_eq!(
+                trace.fires[n as usize].len(),
+                4,
+                "node {:?}",
+                grid.coord_of(n)
+            );
         }
     }
 
@@ -1236,8 +1286,8 @@ mod tests {
         use hex_clock::{PulseTrain, Scenario};
         let grid = HexGrid::new(8, 6);
         let mut rng = SimRng::seed_from_u64(3);
-        let multi = PulseTrain::new(Scenario::Zero, 3, Duration::from_ns(300.0))
-            .generate(6, &mut rng);
+        let multi =
+            PulseTrain::new(Scenario::Zero, 3, Duration::from_ns(300.0)).generate(6, &mut rng);
         let configs: Vec<(SimConfig, Schedule)> = vec![
             (SimConfig::fault_free(), zero_schedule(6)),
             (
@@ -1315,14 +1365,20 @@ mod tests {
         // flags whose LinkTimeouts are still pending, which then pop
         // epoch-rejected. The counter must see them without ever
         // exceeding the pop count.
-        simulate_into(&mut scratch, grid.graph(), &sched, &SimConfig::fault_free(), 1);
+        simulate_into(
+            &mut scratch,
+            grid.graph(),
+            &sched,
+            &SimConfig::fault_free(),
+            1,
+        );
         let (popped, stale) = (scratch.popped_events(), scratch.stale_events());
         assert!(popped > 0);
         assert!(stale < popped, "stale {stale} of {popped} popped");
 
         let mut rng = SimRng::seed_from_u64(9);
-        let multi = PulseTrain::new(Scenario::Zero, 6, Duration::from_ns(300.0))
-            .generate(6, &mut rng);
+        let multi =
+            PulseTrain::new(Scenario::Zero, 6, Duration::from_ns(300.0)).generate(6, &mut rng);
         let cfg = SimConfig {
             timing: Timing::paper_scenario_iii(),
             // Arbitrary init is the churn generator: nodes wake early and
@@ -1356,8 +1412,8 @@ mod tests {
 
         let grid = HexGrid::new(7, 6);
         let mut rng = SimRng::seed_from_u64(13);
-        let multi = PulseTrain::new(Scenario::Zero, 3, Duration::from_ns(300.0))
-            .generate(6, &mut rng);
+        let multi =
+            PulseTrain::new(Scenario::Zero, 3, Duration::from_ns(300.0)).generate(6, &mut rng);
         let single = zero_schedule(6);
         let d_mid = hex_core::DelayRange::paper().mid();
         let mut scratch = SimScratch::new();
@@ -1370,8 +1426,7 @@ mod tests {
             };
             let trace = simulate(grid.graph(), &single, &cfg, 5);
             let view = PulseView::from_single_pulse(&grid, &trace);
-            let binner =
-                simulate_observed_into(&mut scratch, &grid, &single, &cfg, 5, d_mid);
+            let binner = simulate_observed_into(&mut scratch, &grid, &single, &cfg, 5, d_mid);
             assert_eq!(binner.pulses(), 1);
             for layer in 0..=7 {
                 for col in 0..6i64 {
@@ -1426,8 +1481,7 @@ mod tests {
         };
         let mut scratch = SimScratch::new();
         let d_mid = hex_core::DelayRange::paper().mid();
-        let binner =
-            simulate_observed_into(&mut scratch, &grid, &zero_schedule(6), &cfg, 3, d_mid);
+        let binner = simulate_observed_into(&mut scratch, &grid, &zero_schedule(6), &cfg, 3, d_mid);
         assert_eq!(binner.faulty(), &[victim]);
         assert_eq!(binner.time(0, victim), None);
     }
@@ -1446,14 +1500,30 @@ mod tests {
         let mut scratch = SimScratch::new();
 
         // A real run accumulates work...
-        simulate_into(&mut scratch, grid.graph(), &sched, &SimConfig::fault_free(), 1);
+        simulate_into(
+            &mut scratch,
+            grid.graph(),
+            &sched,
+            &SimConfig::fault_free(),
+            1,
+        );
         let first = scratch.popped_events();
         assert!(first > 0);
 
         // ...a second identical run through the same scratch reports the
         // same work, not 2× (the queue's pop counter resets with it).
-        simulate_into(&mut scratch, grid.graph(), &sched, &SimConfig::fault_free(), 1);
-        assert_eq!(scratch.popped_events(), first, "counter accumulated across reuse");
+        simulate_into(
+            &mut scratch,
+            grid.graph(),
+            &sched,
+            &SimConfig::fault_free(),
+            1,
+        );
+        assert_eq!(
+            scratch.popped_events(),
+            first,
+            "counter accumulated across reuse"
+        );
 
         // The observed entry point resets and reports identically: the
         // event interleaving is the same, only the recording differs.
@@ -1474,7 +1544,11 @@ mod tests {
             ..SimConfig::fault_free()
         };
         simulate_into(&mut scratch, grid.graph(), &sched, &alt, 1);
-        assert_eq!(scratch.popped_events(), first, "policy switch leaked counters");
+        assert_eq!(
+            scratch.popped_events(),
+            first,
+            "policy switch leaked counters"
+        );
 
         // A run that pops nothing (no scheduled pulses, clean init) must
         // read 0 — not the previous run's totals.
@@ -1484,8 +1558,16 @@ mod tests {
             ..SimConfig::fault_free()
         };
         simulate_into(&mut scratch, grid.graph(), &empty, &quiet, 1);
-        assert_eq!(scratch.popped_events(), 0, "stale popped count survived reuse");
-        assert_eq!(scratch.stale_events(), 0, "stale stale count survived reuse");
+        assert_eq!(
+            scratch.popped_events(),
+            0,
+            "stale popped count survived reuse"
+        );
+        assert_eq!(
+            scratch.stale_events(),
+            0,
+            "stale stale count survived reuse"
+        );
     }
 
     #[test]
@@ -1493,7 +1575,10 @@ mod tests {
         for policy in QueuePolicy::ALL {
             assert_eq!(policy.label().parse::<QueuePolicy>().unwrap(), policy);
         }
-        assert_eq!("quad".parse::<QueuePolicy>().unwrap(), QueuePolicy::QuadHeap);
+        assert_eq!(
+            "quad".parse::<QueuePolicy>().unwrap(),
+            QueuePolicy::QuadHeap
+        );
         assert!("fibonacci".parse::<QueuePolicy>().is_err());
     }
 

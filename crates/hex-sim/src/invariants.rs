@@ -118,9 +118,9 @@ pub fn check_all(
 mod tests {
     use super::*;
     use crate::engine::{simulate, InitState, SimConfig};
+    use hex_clock::{PulseTrain, Scenario};
     use hex_core::fault::{forwarder_candidates, place_condition1};
     use hex_core::{FaultPlan, HexGrid, NodeFault, Timing};
-    use hex_clock::{PulseTrain, Scenario};
     use hex_des::SimRng;
     use proptest::prelude::*;
 

@@ -39,6 +39,7 @@
 pub mod batch;
 pub mod engine;
 pub mod invariants;
+pub mod knobs;
 pub mod observe;
 pub mod spec;
 pub mod trace;
@@ -46,8 +47,7 @@ pub mod vcd;
 
 pub use batch::{run_batch, run_batch_fold, run_batch_fold_with, run_batch_with, Reducer};
 pub use engine::{
-    simulate, simulate_into, simulate_observed_into, InitState, QueuePolicy, SimConfig,
-    SimScratch,
+    simulate, simulate_into, simulate_observed_into, InitState, QueuePolicy, SimConfig, SimScratch,
 };
 pub use observe::{PulseBinner, RunObserver};
 pub use spec::{FaultRegime, RunSpec, RunView, TimingPolicy};

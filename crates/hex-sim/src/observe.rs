@@ -228,8 +228,7 @@ impl PulseBinner {
             // `assign_pulses`' `expected.binary_search(&time)` bit for
             // bit (including the nearest-neighbor tie-break).
             let adj = at - self.node_shift[ix];
-            let base = &self.colbase
-                [self.node_col[ix] as usize * self.pulses..][..self.pulses];
+            let base = &self.colbase[self.node_col[ix] as usize * self.pulses..][..self.pulses];
             match base.binary_search(&adj) {
                 Ok(k) => k,
                 Err(ins) => {
@@ -345,8 +344,8 @@ mod tests {
         let big = HexGrid::new(6, 8);
         let small = HexGrid::new(3, 4);
         let mut rng = SimRng::seed_from_u64(4);
-        let multi = PulseTrain::new(Scenario::Zero, 3, Duration::from_ns(300.0))
-            .generate(8, &mut rng);
+        let multi =
+            PulseTrain::new(Scenario::Zero, 3, Duration::from_ns(300.0)).generate(8, &mut rng);
         let single = Schedule::single_pulse(vec![Time::ZERO; 4]);
         let d_mid = hex_core::DelayRange::paper().mid();
 

@@ -43,9 +43,9 @@ use hex_des::{Duration, Schedule, SimRng};
 
 use crate::batch::{self, Reducer};
 use crate::engine::{
-    simulate, simulate_into, simulate_observed_into, InitState, QueuePolicy, SimConfig,
-    SimScratch,
+    simulate, simulate_into, simulate_observed_into, InitState, QueuePolicy, SimConfig, SimScratch,
 };
+use crate::knobs;
 use crate::observe::PulseBinner;
 use crate::trace::{assign_pulses_into, ensure_views, PulseView, Trace};
 
@@ -64,7 +64,9 @@ pub fn scenario_timing(scenario: Scenario) -> Timing {
 
 /// The Condition-2 pulse separation `S` for a scenario (Table 3).
 pub fn scenario_separation(scenario: Scenario) -> Duration {
-    Condition2::paper(table3_sigma(scenario)).derive().separation
+    Condition2::paper(table3_sigma(scenario))
+        .derive()
+        .separation
 }
 
 /// The Table-3 stable-skew input σ for a scenario.
@@ -322,19 +324,17 @@ impl RunSpec {
     /// environment knobs on top of this spec (drivers with non-paper
     /// defaults chain this: `RunSpec::grid(12, 4).runs(100).with_env()`).
     pub fn with_env(mut self) -> Self {
-        if let Ok(v) = std::env::var("HEX_RUNS") {
-            self.runs = v.parse().expect("HEX_RUNS must be a number");
+        if let Some(v) = knobs::parsed("HEX_RUNS", "a number") {
+            self.runs = v;
         }
-        if let Ok(v) = std::env::var("HEX_SEED") {
-            self.seed = v.parse().expect("HEX_SEED must be a number");
+        if let Some(v) = knobs::parsed("HEX_SEED", "a number") {
+            self.seed = v;
         }
-        if let Ok(v) = std::env::var("HEX_THREADS") {
-            self.threads = v.parse().expect("HEX_THREADS must be a number");
+        if let Some(v) = knobs::parsed("HEX_THREADS", "a number") {
+            self.threads = v;
         }
-        if let Ok(v) = std::env::var("HEX_QUEUE") {
-            self.queue = v
-                .parse()
-                .expect("HEX_QUEUE must be binary_heap, quad_heap or calendar");
+        if let Some(v) = knobs::parsed("HEX_QUEUE", "binary_heap, quad_heap or calendar") {
+            self.queue = v;
         }
         self
     }
@@ -463,12 +463,10 @@ impl RunSpec {
         let mut rng = SimRng::seed_from_u64(seed ^ self.salt());
         let schedule = match &self.schedule {
             Some(s) => s.clone(),
-            None if self.pulses <= 1 => Schedule::single_pulse(self.scenario.single_pulse_times(
-                self.width,
-                D_MINUS,
-                D_PLUS,
-                &mut rng,
-            )),
+            None if self.pulses <= 1 => Schedule::single_pulse(
+                self.scenario
+                    .single_pulse_times(self.width, D_MINUS, D_PLUS, &mut rng),
+            ),
             None => PulseTrain::new(self.scenario, self.pulses, self.separation())
                 .generate(self.width, &mut rng),
         };
@@ -531,7 +529,13 @@ impl RunSpec {
         run: usize,
     ) -> &'s RunView {
         let inputs = self.inputs_with(grid, run);
-        simulate_into(scratch, grid.graph(), &inputs.schedule, &inputs.config, inputs.seed);
+        simulate_into(
+            scratch,
+            grid.graph(),
+            &inputs.schedule,
+            &inputs.config,
+            inputs.seed,
+        );
         let mid = self.delays.envelope().mid();
         let (trace, out) = scratch.trace_and_out();
         out.faulty.clear();
@@ -560,7 +564,14 @@ impl RunSpec {
     ) -> &'s PulseBinner {
         let inputs = self.inputs_with(grid, run);
         let d_mid = self.delays.envelope().mid();
-        simulate_observed_into(scratch, grid, &inputs.schedule, &inputs.config, inputs.seed, d_mid)
+        simulate_observed_into(
+            scratch,
+            grid,
+            &inputs.schedule,
+            &inputs.config,
+            inputs.seed,
+            d_mid,
+        )
     }
 
     /// Fresh-scratch convenience for [`RunSpec::run_one_observed_into`]
@@ -769,7 +780,9 @@ mod tests {
     #[test]
     fn schedule_override_wins_over_scenario() {
         let sched = Schedule::single_pulse(vec![Time::ZERO; 8]);
-        let spec = RunSpec::small().scenario(Scenario::Ramp).schedule(sched.clone());
+        let spec = RunSpec::small()
+            .scenario(Scenario::Ramp)
+            .schedule(sched.clone());
         let inputs = spec.materialize(0);
         assert_eq!(inputs.schedule.source(0), sched.source(0));
     }
@@ -885,7 +898,8 @@ mod tests {
         }
         impl Drop for Tallied<'_> {
             fn drop(&mut self) {
-                self.grows.fetch_add(self.scratch.grow_count(), Ordering::Relaxed);
+                self.grows
+                    .fetch_add(self.scratch.grow_count(), Ordering::Relaxed);
             }
         }
 

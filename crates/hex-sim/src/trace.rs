@@ -293,8 +293,8 @@ pub fn assign_pulses_into(
 mod tests {
     use super::*;
     use crate::engine::{simulate, InitState, SimConfig};
-    use hex_core::Timing;
     use hex_clock::{PulseTrain, Scenario};
+    use hex_core::Timing;
     use hex_des::SimRng;
 
     #[test]
@@ -344,7 +344,9 @@ mod tests {
         for layer in 0..=6 {
             for col in 0..6i64 {
                 for k in 0..4 {
-                    assert!(views[k].time(layer, col).unwrap() < views[k + 1].time(layer, col).unwrap());
+                    assert!(
+                        views[k].time(layer, col).unwrap() < views[k + 1].time(layer, col).unwrap()
+                    );
                 }
             }
         }

@@ -108,7 +108,11 @@ pub fn vcd_document(grid: &HexGrid, trace: &Trace, opts: &VcdOptions) -> String 
         }
         let _ = writeln!(out, "{v}{}", id_code(n as usize));
     }
-    let _ = writeln!(out, "#{}", trace.horizon.ps().max(current.map_or(0, |t| t.ps())));
+    let _ = writeln!(
+        out,
+        "#{}",
+        trace.horizon.ps().max(current.map_or(0, |t| t.ps()))
+    );
     out
 }
 
@@ -132,8 +136,7 @@ impl VcdDocument {
         let mut scopes: Vec<String> = Vec::new();
         let mut now: i64 = 0;
         let mut in_dumpvars = false;
-        let mut lines = text.lines();
-        while let Some(line) = lines.next() {
+        for line in text.lines() {
             let line = line.trim();
             if line.is_empty() {
                 continue;
@@ -156,7 +159,8 @@ impl VcdDocument {
                 now = 0;
             } else if line.starts_with("$end") {
                 in_dumpvars = false;
-            } else if line.starts_with("$date") || line.starts_with("$version")
+            } else if line.starts_with("$date")
+                || line.starts_with("$version")
                 || line.starts_with("$enddefinitions")
             {
                 // header noise
@@ -249,7 +253,10 @@ mod tests {
         for n in grid.graph().node_ids() {
             let code = id_code(n as usize);
             let edges = doc.rising_edges(&code);
-            let fires: Vec<i64> = trace.fires[n as usize].iter().map(|&(t, _)| t.ps()).collect();
+            let fires: Vec<i64> = trace.fires[n as usize]
+                .iter()
+                .map(|&(t, _)| t.ps())
+                .collect();
             assert_eq!(edges, fires, "node {:?}", grid.coord_of(n));
         }
     }

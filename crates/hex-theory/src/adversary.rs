@@ -64,7 +64,9 @@ pub fn fault_free_worst_case(
     // fail-silent — otherwise the zero-offset source at the barrier's base
     // leaks fast support diagonally into the slow region and the
     // construction collapses to a d+ skew.
-    let barrier: Vec<_> = (0..=length).map(|l| grid.node(l, barrier_col as i64)).collect();
+    let barrier: Vec<_> = (0..=length)
+        .map(|l| grid.node(l, barrier_col as i64))
+        .collect();
     let faults = FaultPlan::none().with_nodes(&barrier, NodeFault::FailSilent);
 
     // Layer 0 (cf. Fig. 5): the fast region fires in a d−-per-column
@@ -98,10 +100,7 @@ pub fn fault_free_worst_case(
         delays: table.build(),
         faults,
         schedule: Schedule::single_pulse(offsets),
-        focus: (
-            (length, fast_col as i64),
-            (length, fast_col as i64 + 1),
-        ),
+        focus: ((length, fast_col as i64), (length, fast_col as i64 + 1)),
     }
 }
 
@@ -175,7 +174,10 @@ pub fn byzantine_ramp(
     profile: ByzProfile,
     delays: DelayRange,
 ) -> Construction {
-    assert!(byz_layer >= 1 && byz_layer < length, "fault must be interior");
+    assert!(
+        byz_layer >= 1 && byz_layer < length,
+        "fault must be interior"
+    );
     let grid = HexGrid::new(length, width);
     let graph = grid.graph();
     let byz = grid.node(byz_layer, byz_col as i64);
@@ -213,10 +215,7 @@ pub fn byzantine_ramp(
         delays: table,
         faults,
         schedule: Schedule::single_pulse(offsets),
-        focus: (
-            (byz_layer + 1, c - 1),
-            (byz_layer + 1, c),
-        ),
+        focus: ((byz_layer + 1, c - 1), (byz_layer + 1, c)),
     }
 }
 
@@ -314,7 +313,10 @@ mod tests {
             potential0: pot,
         };
         let ((la, ca), (lb, cb)) = c.focus;
-        let skew = view.time(la, ca).unwrap().abs_diff(view.time(lb, cb).unwrap());
+        let skew = view
+            .time(la, ca)
+            .unwrap()
+            .abs_diff(view.time(lb, cb).unwrap());
         // The dead barrier removes nodes, which only *hurts* propagation;
         // the theorem bound for the fault-free grid with this Δ₀ plus the
         // Lemma-5 fault allowance must still dominate.

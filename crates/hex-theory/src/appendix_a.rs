@@ -59,7 +59,10 @@ pub fn faulty_inter_envelope(
     f: usize,
 ) -> (Duration, Duration) {
     let widen = delays.hi.times(INTER_FAULT_HOPS * f as i64);
-    (delays.lo - sigma_below - widen, sigma_below + delays.hi + widen)
+    (
+        delays.lo - sigma_below - widen,
+        sigma_below + delays.hi + widen,
+    )
 }
 
 /// The slack budget (in `d+`-hops) that the relaxed Lemma-2 check of

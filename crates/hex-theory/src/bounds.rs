@@ -122,10 +122,7 @@ impl Theorem1 {
 /// Theorem 1's inter-layer envelope: given the intra-layer bound `σ_{ℓ−1}`
 /// of the layer below, `t_{ℓ,i} − t_{ℓ−1,·} ∈ [d− − σ_{ℓ−1}, σ_{ℓ−1} + d+]`.
 /// Returns `(lower, upper)`.
-pub fn inter_layer_envelope(
-    sigma_below: Duration,
-    delays: DelayRange,
-) -> (Duration, Duration) {
+pub fn inter_layer_envelope(sigma_below: Duration, delays: DelayRange) -> (Duration, Duration) {
     (delays.lo - sigma_below, sigma_below + delays.hi)
 }
 
@@ -162,9 +159,7 @@ pub fn lemma5_layer_bound(
     faulty_layers: usize,
     delays: DelayRange,
 ) -> Duration {
-    source_spread
-        + delays.uncertainty().times(layer as i64)
-        + delays.hi.times(faulty_layers as i64)
+    source_spread + delays.uncertainty().times(layer as i64) + delays.hi.times(faulty_layers as i64)
 }
 
 #[cfg(test)]

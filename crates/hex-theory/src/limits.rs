@@ -98,7 +98,10 @@ mod tests {
         let s_large = slope(256);
         let ideal = EPSILON.ps() as f64 * EPSILON.ps() as f64 / D_PLUS.ps() as f64;
         // Within ceiling slack of the ideal slope.
-        assert!((s_large - ideal).abs() / ideal < 0.2, "slope {s_large} vs {ideal}");
+        assert!(
+            (s_large - ideal).abs() / ideal < 0.2,
+            "slope {s_large} vs {ideal}"
+        );
         assert!((s_small - ideal).abs() / ideal < 0.5);
     }
 

@@ -387,9 +387,9 @@ mod tests {
         for i in 0..w {
             out.push(t);
             if i < w / 2 {
-                t = t + step;
+                t += step;
             } else {
-                t = t - step;
+                t -= step;
             }
         }
         out
@@ -449,8 +449,7 @@ mod tests {
         let offsets = ramp_offsets(8, delays.hi);
         let run = |seed| {
             let mut rng = SimRng::seed_from_u64(seed);
-            byzantine_worst_case_search(&grid, 3, fault, offsets.clone(), delays, 40, &mut rng)
-                .skew
+            byzantine_worst_case_search(&grid, 3, fault, offsets.clone(), delays, 40, &mut rng).skew
         };
         assert_eq!(run(5), run(5));
     }

@@ -42,8 +42,16 @@ impl AugmentedHexGrid {
         let mut b = PulseGraph::builder();
         for layer in 0..=length {
             for col in 0..width {
-                let role = if layer == 0 { Role::Source } else { Role::Forwarder };
-                let guard = if layer == 0 { vec![] } else { AUG_GUARD.to_vec() };
+                let role = if layer == 0 {
+                    Role::Source
+                } else {
+                    Role::Forwarder
+                };
+                let guard = if layer == 0 {
+                    vec![]
+                } else {
+                    AUG_GUARD.to_vec()
+                };
                 b.add_node(role, Some(Coord::new(layer, col)), guard);
             }
         }
@@ -218,9 +226,7 @@ mod tests {
             );
             let mut excluded = vec![false; aug.graph().node_count()];
             excluded[victim as usize] = true;
-            let worst = aug
-                .layer_skew(victim_layer + 1, &fires, &excluded)
-                .unwrap();
+            let worst = aug.layer_skew(victim_layer + 1, &fires, &excluded).unwrap();
             aug_sum += worst.ns();
         }
         let (std_avg, aug_avg) = (std_sum / seeds as f64, aug_sum / seeds as f64);

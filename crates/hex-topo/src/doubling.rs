@@ -56,7 +56,11 @@ impl DoublingTopology {
                 offsets[layer - 1] + widths[layer - 1]
             });
             for col in 0..w {
-                let role = if layer == 0 { Role::Source } else { Role::Forwarder };
+                let role = if layer == 0 {
+                    Role::Source
+                } else {
+                    Role::Forwarder
+                };
                 let guard = if layer == 0 {
                     vec![]
                 } else {
@@ -209,10 +213,8 @@ mod tests {
             let fires = fire_times(&t, seed);
             for layer in 1..=8 {
                 let skew = t.ring_skew(layer, &fires).unwrap();
-                let bound = hex_theory::theorem1_intra_bound(
-                    t.width(layer),
-                    hex_core::DelayRange::paper(),
-                );
+                let bound =
+                    hex_theory::theorem1_intra_bound(t.width(layer), hex_core::DelayRange::paper());
                 assert!(
                     skew <= bound,
                     "layer {layer} skew {skew:?} > bound {bound:?} (seed {seed})"

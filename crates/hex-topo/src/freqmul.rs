@@ -95,10 +95,7 @@ pub fn tick_stream_skew(a: &[Time], b: &[Time]) -> Option<Duration> {
     if a.len() != b.len() || a.is_empty() {
         return None;
     }
-    a.iter()
-        .zip(b.iter())
-        .map(|(&x, &y)| x.abs_diff(y))
-        .max()
+    a.iter().zip(b.iter()).map(|(&x, &y)| x.abs_diff(y)).max()
 }
 
 #[cfg(test)]

@@ -113,8 +113,7 @@ pub fn worst_blast_radius(tree: &HTree) -> f64 {
         .iter()
         .map(|&child| {
             let arrivals = tree.simulate_pulse(&[child], &mut rng);
-            arrivals.iter().filter(|a| a.is_none()).count() as f64
-                / tree.config().leaves() as f64
+            arrivals.iter().filter(|a| a.is_none()).count() as f64 / tree.config().leaves() as f64
         })
         .fold(0.0, f64::max)
 }

@@ -38,7 +38,10 @@ fn main() {
         let mask = exclusion_mask(&grid, &[byz], h);
         let s = collect_skews(&grid, &view, &mask);
         let sum = Summary::from_durations(&s.intra).unwrap();
-        println!("  h = {h}: intra-layer skew avg {:.3} ns, max {:.3} ns", sum.avg, sum.max);
+        println!(
+            "  h = {h}: intra-layer skew avg {:.3} ns, max {:.3} ns",
+            sum.avg, sum.max
+        );
     }
 
     // --- 2. Uniform random placement under Condition 1. ----------------

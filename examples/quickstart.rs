@@ -22,7 +22,10 @@ fn main() {
     // All 20 layer-0 clock sources fire at t = 0 (scenario (i)).
     let schedule = Schedule::single_pulse(vec![Time::ZERO; 20]);
     let trace = simulate(grid.graph(), &schedule, &SimConfig::fault_free(), 42);
-    println!("pulse forwarded {} times (once per node)", trace.total_fires());
+    println!(
+        "pulse forwarded {} times (once per node)",
+        trace.total_fires()
+    );
 
     // Definition-3 skews.
     let view = PulseView::from_single_pulse(&grid, &trace);
@@ -30,8 +33,14 @@ fn main() {
     let skews = collect_skews(&grid, &view, &mask);
     let intra = Summary::from_durations(&skews.intra).unwrap();
     let inter = Summary::from_durations(&skews.inter).unwrap();
-    println!("\nintra-layer neighbor skews (ns): avg {:.3}  q95 {:.3}  max {:.3}", intra.avg, intra.q95, intra.max);
-    println!("inter-layer neighbor skews (ns): min {:.3}  avg {:.3}  max {:.3}", inter.min, inter.avg, inter.max);
+    println!(
+        "\nintra-layer neighbor skews (ns): avg {:.3}  q95 {:.3}  max {:.3}",
+        intra.avg, intra.q95, intra.max
+    );
+    println!(
+        "inter-layer neighbor skews (ns): min {:.3}  avg {:.3}  max {:.3}",
+        inter.min, inter.avg, inter.max
+    );
 
     // Theory check: Theorem 1 bounds the intra-layer skew by
     // d+ + ceil(W*eps/d+)*eps for zero layer-0 skew potential.
@@ -45,8 +54,5 @@ fn main() {
 
     // The wave, as a picture (first 15 layers).
     println!("\nthe wave (time quantized 0-9a-z, top layer first):");
-    print!(
-        "{}",
-        hexclock::analysis::wave::wave_ascii(&grid, &view, 15)
-    );
+    print!("{}", hexclock::analysis::wave::wave_ascii(&grid, &view, 15));
 }

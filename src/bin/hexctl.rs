@@ -124,10 +124,16 @@ fn cmd_wave(o: &Opts) {
     let mask = exclusion_mask(&grid, &rv.faulty, 0);
     let skews = collect_skews(&grid, rv.view(), &mask);
     if let Some(s) = Summary::from_durations(&skews.intra) {
-        println!("intra-layer skews (ns): avg {:.3} q95 {:.3} max {:.3}", s.avg, s.q95, s.max);
+        println!(
+            "intra-layer skews (ns): avg {:.3} q95 {:.3} max {:.3}",
+            s.avg, s.q95, s.max
+        );
     }
     if let Some(s) = Summary::from_durations(&skews.inter) {
-        println!("inter-layer skews (ns): min {:.3} avg {:.3} max {:.3}", s.min, s.avg, s.max);
+        println!(
+            "inter-layer skews (ns): min {:.3} avg {:.3} max {:.3}",
+            s.min, s.avg, s.max
+        );
     }
 }
 
@@ -151,8 +157,7 @@ fn cmd_stabilize(o: &Opts) {
     let spec = spec_for(o).pulses(o.pulses).init(InitState::Arbitrary);
     let grid = spec.hex_grid();
     let criteria = [Criterion::uniform(D_PLUS * 3, D_PLUS, grid.length())];
-    let estimates =
-        spec.fold_observed(&ObservedStabilizationReducer::new(&grid, &criteria, 0));
+    let estimates = spec.fold_observed(&ObservedStabilizationReducer::new(&grid, &criteria, 0));
     let stats = summarize(&estimates[0]);
     println!(
         "stabilization ({} runs, {} pulses, scenario {}): avg pulse {:.2} ± {:.2}, {}/{} stabilized",
@@ -170,8 +175,18 @@ fn cmd_bounds(o: &Opts) {
     let delays = DelayRange::paper();
     let bound = theorem1_intra_bound(o.width, delays);
     let diam = hexclock::theory::limits::hex_diameter(o.length, o.width);
-    println!("{}x{} grid, [d-,d+] = [{:.3},{:.3}] ns, eps = {:.3} ns:", o.length, o.width, delays.lo.ns(), delays.hi.ns(), delays.uncertainty().ns());
-    println!("  Theorem-1 neighbor skew bound (Δ0=0): {:.3} ns", bound.ns());
+    println!(
+        "{}x{} grid, [d-,d+] = [{:.3},{:.3}] ns, eps = {:.3} ns:",
+        o.length,
+        o.width,
+        delays.lo.ns(),
+        delays.hi.ns(),
+        delays.uncertainty().ns()
+    );
+    println!(
+        "  Theorem-1 neighbor skew bound (Δ0=0): {:.3} ns",
+        bound.ns()
+    );
     println!(
         "  global skew lower bound (any algorithm, D = {}): {:.3} ns",
         diam,

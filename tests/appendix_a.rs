@@ -85,7 +85,10 @@ fn multi_fault_bound_holds_for_separated_faults() {
                 let layer = ix as u32 + 1;
                 if let Some(s) = s {
                     let bound = faulty_intra_bound(&thm, layer, f);
-                    assert!(*s <= bound, "f={f} seed {seed} layer {layer}: {s:?} > {bound:?}");
+                    assert!(
+                        *s <= bound,
+                        "f={f} seed {seed} layer {layer}: {s:?} > {bound:?}"
+                    );
                 }
             }
         }
@@ -109,7 +112,9 @@ fn inter_layer_envelope_with_fault_holds() {
                 if mask[n as usize] {
                     continue;
                 }
-                let Some(t) = view.time(layer, col) else { continue };
+                let Some(t) = view.time(layer, col) else {
+                    continue;
+                };
                 for lower in [col, col + 1] {
                     let m = grid.node(layer - 1, lower);
                     if mask[m as usize] {
@@ -141,7 +146,10 @@ fn avoiding_paths_exist_for_all_correct_destinations() {
                     }
                     let (path, shift) = left_zigzag_with_shift(&grid, &view, &fs, layer, col)
                         .unwrap_or_else(|| {
-                            panic!("{} seed {seed}: no path to ({layer},{col})", scenario.label())
+                            panic!(
+                                "{} seed {seed}: no path to ({layer},{col})",
+                                scenario.label()
+                            )
                         });
                     for &(l, c) in &path.nodes {
                         assert!(!fs.contains(&grid, l, c), "path visits fault");

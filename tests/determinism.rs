@@ -172,7 +172,13 @@ fn dirty_scratch_runs_serialize_byte_identical_to_fresh() {
         record_arrivals: true,
         ..SimConfig::fault_free()
     };
-    simulate_into(&mut scratch, decoy_grid.graph(), &decoy_sched, &decoy_cfg, 999);
+    simulate_into(
+        &mut scratch,
+        decoy_grid.graph(),
+        &decoy_sched,
+        &decoy_cfg,
+        999,
+    );
 
     for (name, cfg, schedule) in &regimes {
         for seed in [7u64, 8] {

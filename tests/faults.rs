@@ -12,8 +12,7 @@ fn faulty_batch(f: usize, kind: NodeFault) -> (HexGrid, Vec<(PulseView, Vec<u32>
     let views = run_batch(RUNS, 4, |run| {
         let seed = 2000 + run as u64;
         let mut rng = SimRng::seed_from_u64(seed);
-        let offsets =
-            Scenario::RandomDPlus.single_pulse_times(W, D_MINUS, D_PLUS, &mut rng);
+        let offsets = Scenario::RandomDPlus.single_pulse_times(W, D_MINUS, D_PLUS, &mut rng);
         let sched = Schedule::single_pulse(offsets);
         let candidates = forwarder_candidates(grid.graph());
         let placed = place_condition1(grid.graph(), &candidates, f, &mut rng, 10_000).unwrap();
@@ -61,7 +60,10 @@ fn single_byzantine_increases_skew_moderately() {
     let (_, faulty) = faulty_batch(1, NodeFault::Byzantine);
     let clean_max = max_intra(&grid, &clean, 0);
     let faulty_max = max_intra(&grid, &faulty, 0);
-    assert!(faulty_max >= clean_max, "faults should not reduce worst skew");
+    assert!(
+        faulty_max >= clean_max,
+        "faults should not reduce worst skew"
+    );
     assert!(
         faulty_max <= clean_max + 5.0 * D_PLUS.ns(),
         "single fault exceeded the 5·d+ worst-case addition: {faulty_max} vs {clean_max}"
@@ -142,9 +144,7 @@ fn lemma5_bound_holds_for_faulty_pulses() {
     let (grid, batch) = faulty_batch(3, NodeFault::FailSilent);
     for (view, faulty) in batch.iter().take(10) {
         // Layer-0 spread of this run.
-        let t0: Vec<Time> = (0..W)
-            .filter_map(|c| view.time(0, c as i64))
-            .collect();
+        let t0: Vec<Time> = (0..W).filter_map(|c| view.time(0, c as i64)).collect();
         let tmin = *t0.iter().min().unwrap();
         let tmax = *t0.iter().max().unwrap();
         for layer in 1..=L {
@@ -165,7 +165,10 @@ fn lemma5_bound_holds_for_faulty_pulses() {
                 let Some(t) = view.time(layer, col as i64) else {
                     continue;
                 };
-                assert!(t >= tmin + D_MINUS.times(layer as i64), "lower Lemma-5 bound");
+                assert!(
+                    t >= tmin + D_MINUS.times(layer as i64),
+                    "lower Lemma-5 bound"
+                );
                 assert!(
                     t <= tmax + D_PLUS.times(layer as i64 + fl),
                     "upper Lemma-5 bound at ({layer},{col}): {t:?}"

@@ -1,0 +1,30 @@
+//! The static determinism-contract gate: `cargo test -q` fails if any
+//! `hex-lint` rule fires anywhere in the workspace.
+//!
+//! This is the test-suite twin of the CI `lint` job (`cargo run -p
+//! hex-lint --release`) — same walker, same rules, same zero-findings
+//! bar. See the README's "Determinism contract" section for the rule
+//! set and the `// hexlint: allow(<rule>, reason = "…")` escape hatch.
+
+use std::path::Path;
+
+#[test]
+fn workspace_satisfies_the_determinism_contract() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let findings = hex_lint::lint_workspace(root).expect("workspace walk");
+    let (rendered, clean) = hex_lint::report(&findings);
+    assert!(clean, "\n{rendered}");
+}
+
+/// The walker actually saw the workspace: a tripwire against the gate
+/// silently passing because the walk roots moved.
+#[test]
+fn workspace_walk_is_nonempty() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    // Linting a known-dirty source under a simulation-crate path proves
+    // the rule engine is live in this build.
+    let ctx = hex_lint::FileCtx::classify("crates/hex-des/src/tripwire.rs");
+    let findings = hex_lint::lint_source(&ctx, "use std::collections::HashMap;");
+    assert_eq!(findings.len(), 1);
+    assert!(root.join("crates/hex-des/src/lib.rs").is_file());
+}

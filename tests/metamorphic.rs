@@ -67,10 +67,13 @@ fn column_rotation_equivariance_under_fixed_delays() {
         ..SimConfig::fault_free()
     };
     let mut rng = SimRng::seed_from_u64(11);
-    let offsets: Vec<Time> = Scenario::RandomDMinus.single_pulse_times(W, D_MINUS, D_PLUS, &mut rng);
+    let offsets: Vec<Time> =
+        Scenario::RandomDMinus.single_pulse_times(W, D_MINUS, D_PLUS, &mut rng);
     let base = fire_matrix(&grid, offsets.clone(), &cfg, 0);
     for r in 1..W as usize {
-        let rotated: Vec<Time> = (0..W as usize).map(|i| offsets[(i + r) % W as usize]).collect();
+        let rotated: Vec<Time> = (0..W as usize)
+            .map(|i| offsets[(i + r) % W as usize])
+            .collect();
         let rot = fire_matrix(&grid, rotated, &cfg, 0);
         for layer in 0..=L as usize {
             for col in 0..W as usize {
@@ -108,8 +111,7 @@ fn mirror_symmetry_under_fixed_delays() {
         for col in 0..W as i64 {
             let m = (a - layer - col).rem_euclid(W as i64);
             assert_eq!(
-                mir[layer as usize][m as usize],
-                base[layer as usize][col as usize],
+                mir[layer as usize][m as usize], base[layer as usize][col as usize],
                 "mirror node ({layer},{col}) -> ({layer},{m})"
             );
         }
@@ -217,7 +219,8 @@ fn mirror_relabeling_leaves_skew_distribution_invariant() {
     // source offsets leaves both skew distributions invariant — the
     // relabeled grid measures the same population.
     let mut rng = SimRng::seed_from_u64(31);
-    let offsets: Vec<Time> = Scenario::RandomDMinus.single_pulse_times(W, D_MINUS, D_PLUS, &mut rng);
+    let offsets: Vec<Time> =
+        Scenario::RandomDMinus.single_pulse_times(W, D_MINUS, D_PLUS, &mut rng);
     let mirrored: Vec<Time> = (0..W as i64)
         .map(|i| offsets[(-i).rem_euclid(W as i64) as usize])
         .collect();
@@ -249,7 +252,10 @@ fn shrinking_exclusion_radius_only_adds_samples() {
             .faults(FaultRegime::Byzantine(2));
         let h0 = both_path_skews(&spec, 0);
         let h1 = both_path_skews(&spec, 1);
-        assert!(h1.cumulated.intra.len() < h0.cumulated.intra.len(), "seed {seed}");
+        assert!(
+            h1.cumulated.intra.len() < h0.cumulated.intra.len(),
+            "seed {seed}"
+        );
         assert!(
             is_submultiset(&sorted(&h1.cumulated.intra), &sorted(&h0.cumulated.intra)),
             "seed {seed}: h=1 intra samples not a sub-multiset of h=0"

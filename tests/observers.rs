@@ -121,7 +121,10 @@ fn observed_fold_is_thread_count_independent() {
             streamed.cumulated.inter, reference.cumulated.inter,
             "threads = {threads}"
         );
-        assert_eq!(streamed.per_run_intra, reference.per_run_intra, "threads = {threads}");
+        assert_eq!(
+            streamed.per_run_intra, reference.per_run_intra,
+            "threads = {threads}"
+        );
     }
 }
 

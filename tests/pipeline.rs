@@ -87,7 +87,11 @@ fn table1_shape_average_far_below_max_below_bound() {
 fn inter_layer_bias_matches_paper() {
     // Scenarios (i)–(iii): σ̂min ≈ d− ("all nodes were always triggered by
     // their lower neighbors"); scenario (iv) violates this.
-    for scenario in [Scenario::Zero, Scenario::RandomDMinus, Scenario::RandomDPlus] {
+    for scenario in [
+        Scenario::Zero,
+        Scenario::RandomDMinus,
+        Scenario::RandomDPlus,
+    ] {
         let (grid, views) = scenario_batch(scenario);
         let all = cumulated(&grid, &views);
         let min = all.inter.iter().min().unwrap();
@@ -127,7 +131,10 @@ fn ramp_skews_decay_after_w_minus_2_layers() {
             }
         }
     }
-    assert!(low >= D_PLUS - EPSILON, "ramp should keep low layers near d+, got {low:?}");
+    assert!(
+        low >= D_PLUS - EPSILON,
+        "ramp should keep low layers near d+, got {low:?}"
+    );
     assert!(
         high < low,
         "skew must decay with layer: high {high:?} vs low {low:?}"

@@ -36,8 +36,7 @@ fn fault_free_single_pulse_batch_is_byte_identical_to_legacy_wiring() {
         // The exact pre-redesign wiring of `single_pulse_batch`.
         let seed = 42 + run as u64;
         let mut rng = SimRng::seed_from_u64(seed ^ 0x5EED_0001);
-        let offsets =
-            Scenario::RandomDPlus.single_pulse_times(20, D_MINUS, D_PLUS, &mut rng);
+        let offsets = Scenario::RandomDPlus.single_pulse_times(20, D_MINUS, D_PLUS, &mut rng);
         let schedule = Schedule::single_pulse(offsets);
         let cfg = SimConfig {
             timing: scenario_timing(Scenario::RandomDPlus),
@@ -201,8 +200,7 @@ fn run_batch_fold_primitive_matches_sequential_fold() {
     }
 
     let job = |run: usize| (run as u64).wrapping_mul(0x9E37_79B9);
-    let materialized: Vec<(usize, u64)> =
-        run_batch(97, 4, job).into_iter().enumerate().collect();
+    let materialized: Vec<(usize, u64)> = run_batch(97, 4, job).into_iter().enumerate().collect();
     for threads in [1usize, 2, 5, 16] {
         assert_eq!(
             run_batch_fold(97, threads, job, &Pairs),

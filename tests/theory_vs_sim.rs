@@ -93,7 +93,10 @@ fn zigzag_termination_kinds() {
     assert!(multi_link > 0, "no multi-link walks at all");
     // Layer-0 hits are rare by Definition 2; only require that the counter
     // arithmetic is consistent.
-    assert_eq!(triangular + non_triangular, 2 * 6 * layers.len() * W as usize);
+    assert_eq!(
+        triangular + non_triangular,
+        2 * 6 * layers.len() * W as usize
+    );
 }
 
 #[test]
@@ -104,7 +107,10 @@ fn trigger_cause_mix_depends_on_scenario() {
     let (_, ramp_view) = view_for(Scenario::Ramp, 4201);
     let (zl, zc, zr) = cause_counts(&grid, &zero_view);
     let (rl, rc, rr) = cause_counts(&grid, &ramp_view);
-    assert!(zc > zl && zc > zr, "zero scenario: central dominates ({zl},{zc},{zr})");
+    assert!(
+        zc > zl && zc > zr,
+        "zero scenario: central dominates ({zl},{zc},{zr})"
+    );
     let zero_sided = (zl + zr) as f64 / (zl + zc + zr) as f64;
     let ramp_sided = (rl + rr) as f64 / (rl + rc + rr) as f64;
     assert!(
@@ -212,12 +218,13 @@ fn condition2_separation_is_sufficient_but_not_wasteful() {
     // and S is within the paper's "at most roughly 10x" of the 2·d+ floor.
     let c2 = Condition2::paper(Duration::from_ns(31.75));
     let d = c2.derive();
-    let lemma5 = hexclock::theory::lemma5_pulse_skew(
-        Duration::ZERO,
-        50,
-        5,
-        DelayRange::paper(),
+    let lemma5 = hexclock::theory::lemma5_pulse_skew(Duration::ZERO, 50, 5, DelayRange::paper());
+    assert!(
+        d.separation > lemma5,
+        "S must exceed the pulse completion spread"
     );
-    assert!(d.separation > lemma5, "S must exceed the pulse completion spread");
-    assert!(d.separation.ns() < 2.0 * D_PLUS.ns() * 25.0, "S should stay near the paper's ~10x estimate");
+    assert!(
+        d.separation.ns() < 2.0 * D_PLUS.ns() * 25.0,
+        "S should stay near the paper's ~10x estimate"
+    );
 }

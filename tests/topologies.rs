@@ -86,10 +86,8 @@ fn augmented_grid_survives_two_adjacent_crashes() {
     // Cross-check: standard HEX starves it (see fault_injection example).
     let grid = HexGrid::new(8, 10);
     let cfg = SimConfig {
-        faults: FaultPlan::none().with_nodes(
-            &[grid.node(3, 4), grid.node(3, 5)],
-            NodeFault::FailSilent,
-        ),
+        faults: FaultPlan::none()
+            .with_nodes(&[grid.node(3, 4), grid.node(3, 5)], NodeFault::FailSilent),
         ..SimConfig::fault_free()
     };
     let trace = simulate(grid.graph(), &sched, &cfg, 2);

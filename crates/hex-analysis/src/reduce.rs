@@ -231,6 +231,55 @@ pub fn batch_skews(spec: &RunSpec, h: usize) -> BatchSkews {
     spec.fold_observed(&ObservedSkewReducer::new(&grid, h))
 }
 
+/// Render a [`BatchSkews`] aggregate as a deterministic [`Table`] — the
+/// canonical result encoding of a skew query (the `hexd` service caches
+/// and replays `skew_summary_table(..).to_json()` bytes). One row per
+/// skew kind summarizing the cumulated samples; empty sample sets render
+/// as `null` cells so the table shape is input-independent.
+///
+/// [`Table`]: crate::emit::Table
+pub fn skew_summary_table(skews: &BatchSkews) -> crate::emit::Table {
+    use crate::emit::{Table, Value};
+    let mut t = Table::new(
+        "skew_summary",
+        &[
+            "kind", "runs", "n", "min_ns", "q05_ns", "avg_ns", "q95_ns", "max_ns", "std_ns",
+        ],
+    );
+    let runs = skews.per_run_intra.len();
+    for (kind, samples) in [
+        ("intra", &skews.cumulated.intra),
+        ("inter", &skews.cumulated.inter),
+    ] {
+        let row = match Summary::from_durations(samples) {
+            Some(s) => vec![
+                Value::from(kind),
+                Value::from(runs),
+                Value::from(s.n),
+                Value::from(s.min),
+                Value::from(s.q05),
+                Value::from(s.avg),
+                Value::from(s.q95),
+                Value::from(s.max),
+                Value::from(s.std),
+            ],
+            None => vec![
+                Value::from(kind),
+                Value::from(runs),
+                Value::from(0usize),
+                Value::Null,
+                Value::Null,
+                Value::Null,
+                Value::Null,
+                Value::Null,
+                Value::Null,
+            ],
+        };
+        t.row(row);
+    }
+    t
+}
+
 /// Sequential fallback: extract [`BatchSkews`] from already-materialized
 /// views (drivers that need the views for other statistics too). Reduces
 /// pulse 0 of each run, like [`batch_skews`].

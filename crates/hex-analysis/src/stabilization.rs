@@ -286,6 +286,35 @@ pub fn summarize(estimates: &[Option<usize>]) -> StabilizationStats {
     }
 }
 
+/// Render a [`StabilizationStats`] as a deterministic [`Table`] — the
+/// canonical result encoding of a stabilization query (the `hexd` service
+/// caches and replays `stabilization_summary_table(..).to_json()` bytes).
+/// The NaN sentinels of an all-unstabilized batch render as `null` cells,
+/// keeping the JSON valid and byte-stable.
+///
+/// [`Table`]: crate::emit::Table
+pub fn stabilization_summary_table(stats: &StabilizationStats) -> crate::emit::Table {
+    use crate::emit::{Table, Value};
+    let mut t = Table::new(
+        "stabilization_summary",
+        &["stabilized", "runs", "avg_pulse", "std_pulse"],
+    );
+    let num = |v: f64| {
+        if v.is_nan() {
+            Value::Null
+        } else {
+            Value::from(v)
+        }
+    };
+    t.row(vec![
+        Value::from(stats.stabilized),
+        Value::from(stats.runs),
+        num(stats.avg),
+        num(stats.std),
+    ]);
+    t
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -117,6 +117,19 @@ impl FaultPlan {
         table
     }
 
+    /// Iterate the per-node fault assignments in ascending node id — the
+    /// complete node-level content of the plan (canonical serialization,
+    /// diffing, reporting).
+    pub fn node_fault_entries(&self) -> impl Iterator<Item = (NodeId, NodeFault)> + '_ {
+        self.node_faults.iter().map(|(&n, &f)| (n, f))
+    }
+
+    /// Iterate the explicit per-link behaviour overrides in ascending link
+    /// id — the complete link-level content of the plan.
+    pub fn link_override_entries(&self) -> impl Iterator<Item = (LinkId, LinkBehavior)> + '_ {
+        self.link_overrides.iter().map(|(&l, &b)| (l, b))
+    }
+
     /// The number of *layers that contain a faulty node* among layers
     /// `1..=up_to_layer` — the paper's `f_ℓ` of Lemma 5. Only meaningful for
     /// coordinate-bearing graphs.

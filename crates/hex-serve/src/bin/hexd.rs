@@ -1,0 +1,66 @@
+//! `hexd` — the persistent HEX sweep daemon.
+//!
+//! ```text
+//! hexd [--addr A] [--cache-dir D] [--cache-max-mb N] [--workers N] [--queue-depth N]
+//! ```
+//!
+//! Flags override the `HEX_SERVE_ADDR` / `HEX_CACHE_DIR` /
+//! `HEX_CACHE_MAX_MB` / `HEX_SERVE_WORKERS` knobs (all read through
+//! `hex_sim::knobs`); defaults are a `hexd.sock` Unix socket and an
+//! unbounded `hexd-cache` directory. The process blocks until a client
+//! sends the `shutdown` verb (`hexctl stop`), then drains queued work and
+//! prints a final counter line.
+
+use hex_serve::{serve, ServeConfig};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: hexd [--addr A] [--cache-dir D] [--cache-max-mb N] [--workers N] \
+         [--queue-depth N]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_config() -> ServeConfig {
+    let mut cfg = ServeConfig::from_knobs();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    while !args.is_empty() {
+        let flag = args.remove(0);
+        if args.is_empty() {
+            eprintln!("missing value for {flag}");
+            usage();
+        }
+        let value = args.remove(0);
+        match flag.as_str() {
+            "--addr" => cfg.addr = value,
+            "--cache-dir" => cfg.cache_dir = value.into(),
+            "--cache-max-mb" => cfg.cache_max_mb = value.parse().unwrap_or_else(|_| usage()),
+            "--workers" => cfg.workers = value.parse().unwrap_or_else(|_| usage()),
+            "--queue-depth" => cfg.queue_depth = value.parse().unwrap_or_else(|_| usage()),
+            other => {
+                eprintln!("unknown flag {other}");
+                usage();
+            }
+        }
+    }
+    cfg
+}
+
+fn main() {
+    let cfg = parse_config();
+    let cache_dir = cfg.cache_dir.display().to_string();
+    let handle = match serve(cfg) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("hexd: failed to start: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!(
+        "hexd: listening on {} (cache {cache_dir}, engine {})",
+        handle.addr(),
+        hex_sim::canon::engine_version()
+    );
+    let stats = handle.join();
+    println!("hexd: stopped — {}", stats.to_json());
+}

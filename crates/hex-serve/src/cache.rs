@@ -1,0 +1,320 @@
+//! The memoized on-disk result cache.
+//!
+//! One file per cached result, named `<query-hash>.hexres`, holding a
+//! self-describing header line and the raw result bytes:
+//!
+//! ```text
+//! hexres/1 <engine-version> <query-hash> <generation> <len> <payload-fnv>
+//! <payload bytes>
+//! ```
+//!
+//! Every load re-verifies the whole chain — magic, engine-version tag,
+//! hash-vs-filename, payload length, payload checksum — and a file that
+//! fails any check is deleted and reported as a miss: a torn write or a
+//! stale-engine entry can only cost a recomputation, never serve wrong
+//! bytes. Writes go to a `.tmp` sibling and are published by rename, so a
+//! crash mid-store leaves either the old state or the new one.
+//!
+//! Eviction is FIFO by **generation**, a persisted monotonic counter
+//! stamped into each entry's header ([`Cache::open`] resumes it from the
+//! on-disk maximum). Using generations instead of file mtimes keeps the
+//! daemon free of host-clock reads — the workspace `wall-clock` lint
+//! applies here as everywhere outside the benches.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use hex_sim::canon::{engine_version, fnv1a_64};
+
+/// Format magic of cache entry headers. Bump on layout changes.
+const MAGIC: &str = "hexres/1";
+
+const SUFFIX: &str = ".hexres";
+
+/// A directory of verified, atomically-written result files with a FIFO
+/// size ceiling. Not internally synchronized — the server serializes
+/// access behind one lock (the file operations are cheap next to the
+/// computations they memoize).
+#[derive(Debug)]
+pub struct Cache {
+    dir: PathBuf,
+    /// Size ceiling over all entry files, in bytes. 0 = unbounded.
+    max_bytes: u64,
+    /// Engine tag stamped into (and demanded of) every entry.
+    engine: String,
+    next_gen: u64,
+}
+
+/// What `load` found (distinguishes misses worth logging from clean ones).
+#[derive(Debug, PartialEq, Eq)]
+pub enum Lookup {
+    /// Verified payload bytes.
+    Hit(Vec<u8>),
+    /// No entry on disk.
+    Miss,
+    /// An entry existed but failed verification and was removed.
+    Corrupt,
+}
+
+impl Cache {
+    /// Open (creating if needed) a cache directory with a `max_mb` MiB
+    /// ceiling, resuming the eviction generation from the entries found.
+    pub fn open(dir: impl Into<PathBuf>, max_mb: u64) -> io::Result<Cache> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir)?;
+        let mut max_gen = 0u64;
+        for entry in Self::entries(&dir)? {
+            if let Some(h) = read_header(&entry) {
+                max_gen = max_gen.max(h.generation);
+            }
+        }
+        Ok(Cache {
+            dir,
+            max_bytes: max_mb.saturating_mul(1024 * 1024),
+            engine: engine_version(),
+            next_gen: max_gen + 1,
+        })
+    }
+
+    /// The directory this cache lives in.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Look up a query hash, verifying the stored entry end to end.
+    pub fn load(&self, hash: u64) -> Lookup {
+        let path = self.path_of(hash);
+        let bytes = match fs::read(&path) {
+            Ok(b) => b,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Lookup::Miss,
+            Err(_) => return Lookup::Corrupt,
+        };
+        match verify(&bytes, hash, &self.engine) {
+            Some(payload) => Lookup::Hit(payload),
+            None => {
+                // Torn write, stale engine, or plain corruption: retire
+                // the entry so it can be recomputed.
+                let _ = fs::remove_file(&path);
+                Lookup::Corrupt
+            }
+        }
+    }
+
+    /// Store a result under its query hash: write a `.tmp` sibling,
+    /// rename into place, then enforce the size ceiling.
+    pub fn store(&mut self, hash: u64, payload: &[u8]) -> io::Result<()> {
+        let generation = self.next_gen;
+        self.next_gen += 1;
+        let mut bytes = format!(
+            "{MAGIC} {} {hash:016x} {generation} {} {:016x}\n",
+            self.engine,
+            payload.len(),
+            fnv1a_64(payload)
+        )
+        .into_bytes();
+        bytes.extend_from_slice(payload);
+        let tmp = self.dir.join(format!("{hash:016x}.tmp"));
+        let path = self.path_of(hash);
+        fs::write(&tmp, &bytes)?;
+        fs::rename(&tmp, &path)?;
+        self.evict()?;
+        Ok(())
+    }
+
+    /// Number of entry files currently on disk.
+    pub fn entry_count(&self) -> usize {
+        Self::entries(&self.dir).map(|e| e.len()).unwrap_or(0)
+    }
+
+    /// Total size of all entry files, in bytes.
+    pub fn total_bytes(&self) -> u64 {
+        Self::entries(&self.dir)
+            .unwrap_or_default()
+            .iter()
+            .filter_map(|p| fs::metadata(p).ok())
+            .map(|m| m.len())
+            .sum()
+    }
+
+    fn path_of(&self, hash: u64) -> PathBuf {
+        self.dir.join(format!("{hash:016x}{SUFFIX}"))
+    }
+
+    /// All entry paths, sorted by name for deterministic traversal.
+    fn entries(dir: &Path) -> io::Result<Vec<PathBuf>> {
+        let mut out = Vec::new();
+        for e in fs::read_dir(dir)? {
+            let p = e?.path();
+            if p.extension().is_some_and(|x| x == "hexres") {
+                out.push(p);
+            }
+        }
+        out.sort();
+        Ok(out)
+    }
+
+    /// Remove oldest-generation entries until the ceiling holds. The
+    /// newest entry always survives, even alone above the ceiling —
+    /// evicting what was just stored would make large results uncacheable
+    /// loops.
+    fn evict(&self) -> io::Result<()> {
+        if self.max_bytes == 0 {
+            return Ok(());
+        }
+        let mut aged: Vec<(u64, u64, PathBuf)> = Vec::new();
+        let mut total = 0u64;
+        for path in Self::entries(&self.dir)? {
+            let size = fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
+            let generation = read_header(&path).map(|h| h.generation).unwrap_or(0);
+            total += size;
+            aged.push((generation, size, path));
+        }
+        aged.sort();
+        while total > self.max_bytes && aged.len() > 1 {
+            let (_, size, path) = aged.remove(0);
+            fs::remove_file(&path)?;
+            total -= size;
+        }
+        Ok(())
+    }
+}
+
+struct Header {
+    engine: String,
+    hash: u64,
+    generation: u64,
+    len: usize,
+    payload_fnv: u64,
+    body_start: usize,
+}
+
+fn parse_header(bytes: &[u8]) -> Option<Header> {
+    let line_end = bytes.iter().position(|&b| b == b'\n')?;
+    let line = std::str::from_utf8(&bytes[..line_end]).ok()?;
+    let mut f = line.split(' ');
+    if f.next()? != MAGIC {
+        return None;
+    }
+    Some(Header {
+        engine: f.next()?.to_string(),
+        hash: u64::from_str_radix(f.next()?, 16).ok()?,
+        generation: f.next()?.parse().ok()?,
+        len: f.next()?.parse().ok()?,
+        payload_fnv: u64::from_str_radix(f.next()?, 16).ok()?,
+        body_start: line_end + 1,
+    })
+}
+
+fn read_header(path: &Path) -> Option<Header> {
+    // Entries are small (reduced statistics tables); reading whole files
+    // keeps this free of partial-read bookkeeping.
+    parse_header(&fs::read(path).ok()?)
+}
+
+/// Full verification chain; `Some(payload)` only if every link holds.
+fn verify(bytes: &[u8], want_hash: u64, want_engine: &str) -> Option<Vec<u8>> {
+    let h = parse_header(bytes)?;
+    if h.engine != want_engine || h.hash != want_hash {
+        return None;
+    }
+    let body = bytes.get(h.body_start..)?;
+    if body.len() != h.len || fnv1a_64(body) != h.payload_fnv {
+        return None;
+    }
+    Some(body.to_vec())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Collision-free scratch dir without wall-clock or RNG reads.
+    fn scratch(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("hex-serve-cache-{}-{tag}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn store_then_load_round_trips() {
+        let dir = scratch("round-trip");
+        let mut c = Cache::open(&dir, 0).unwrap();
+        assert_eq!(c.load(7), Lookup::Miss);
+        c.store(7, b"payload bytes").unwrap();
+        assert_eq!(c.load(7), Lookup::Hit(b"payload bytes".to_vec()));
+        assert_eq!(c.entry_count(), 1);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn survives_reopen_and_resumes_generations() {
+        let dir = scratch("reopen");
+        let mut c = Cache::open(&dir, 0).unwrap();
+        c.store(1, b"one").unwrap();
+        c.store(2, b"two").unwrap();
+        let gen_before = c.next_gen;
+        drop(c);
+        let c2 = Cache::open(&dir, 0).unwrap();
+        assert_eq!(c2.load(1), Lookup::Hit(b"one".to_vec()));
+        assert_eq!(c2.next_gen, gen_before, "generation counter resumed");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corruption_is_detected_and_retired() {
+        let dir = scratch("corrupt");
+        let mut c = Cache::open(&dir, 0).unwrap();
+        c.store(9, b"good bytes").unwrap();
+        let path = dir.join(format!("{:016x}.hexres", 9u64));
+        // Flip a payload byte: checksum must catch it.
+        let mut bytes = fs::read(&path).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x40;
+        fs::write(&path, &bytes).unwrap();
+        assert_eq!(c.load(9), Lookup::Corrupt);
+        assert!(!path.exists(), "corrupt entry removed");
+        assert_eq!(c.load(9), Lookup::Miss, "subsequent loads are clean misses");
+        // Truncated header.
+        fs::write(&path, b"hexres/1 trunc").unwrap();
+        assert_eq!(c.load(9), Lookup::Corrupt);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn stale_engine_entries_are_misses() {
+        let dir = scratch("stale");
+        let mut c = Cache::open(&dir, 0).unwrap();
+        c.store(3, b"payload").unwrap();
+        let path = dir.join(format!("{:016x}.hexres", 3u64));
+        let text = String::from_utf8(fs::read(&path).unwrap()).unwrap();
+        fs::write(
+            &path,
+            text.replace(&engine_version(), "hex-sim-0.0.0+canon0"),
+        )
+        .unwrap();
+        assert_eq!(c.load(3), Lookup::Corrupt);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn eviction_is_fifo_by_generation_and_spares_the_newest() {
+        let dir = scratch("evict");
+        // Ceiling of 1 MiB; entries of ~400 KiB: the third store must
+        // evict the first, the oldest generation.
+        let mut c = Cache::open(&dir, 1).unwrap();
+        let blob = vec![0x5a; 400 * 1024];
+        c.store(1, &blob).unwrap();
+        c.store(2, &blob).unwrap();
+        c.store(3, &blob).unwrap();
+        assert_eq!(c.load(1), Lookup::Miss, "oldest evicted");
+        assert_eq!(c.load(2), Lookup::Hit(blob.clone()));
+        assert_eq!(c.load(3), Lookup::Hit(blob.clone()));
+        // A single entry above the ceiling still survives its own store.
+        let huge = vec![0x3c; 2 * 1024 * 1024];
+        c.store(4, &huge).unwrap();
+        assert_eq!(c.load(4), Lookup::Hit(huge));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,115 @@
+//! Blocking client for the `hexd/1` protocol — the thin layer `hexctl`'s
+//! `query`/`ping`/`stop` modes and the cache-warming drivers sit on.
+
+use std::io;
+
+use hex_sim::RunSpec;
+
+use crate::net::{connect, Addr, Stream};
+use crate::protocol::{
+    decode_response, encode_request, read_frame, write_frame, Query, QueryKind, Request, Response,
+};
+
+/// What a successful query came back with.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueryReply {
+    /// True iff the bytes were replayed (disk hit or coalesced) rather
+    /// than computed for this request.
+    pub cached: bool,
+    /// Engine-version tag the result was computed under.
+    pub engine: String,
+    /// The query hash the result is stored under.
+    pub query_hash: u64,
+    /// The result table as JSON bytes.
+    pub payload: Vec<u8>,
+}
+
+/// One connection to a `hexd` daemon; requests are issued sequentially.
+#[derive(Debug)]
+pub struct Client {
+    stream: Stream,
+}
+
+impl Client {
+    /// Connect to an address in the [`Addr::parse`] grammar.
+    pub fn connect(addr: &str) -> io::Result<Client> {
+        Ok(Client {
+            stream: connect(&Addr::parse(addr))?,
+        })
+    }
+
+    /// Liveness probe.
+    pub fn ping(&mut self) -> io::Result<()> {
+        match self.round_trip(&Request::Ping)? {
+            Response::Pong => Ok(()),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Fetch the daemon's counter snapshot as JSON bytes.
+    pub fn stats_json(&mut self) -> io::Result<Vec<u8>> {
+        match self.round_trip(&Request::Stats)? {
+            Response::Stats(body) => Ok(body),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Ask the daemon to shut down (it drains queued work first).
+    pub fn shutdown(&mut self) -> io::Result<()> {
+        match self.round_trip(&Request::Shutdown)? {
+            Response::Bye => Ok(()),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Run (or replay) a reduction over `spec` with exclusion radius `h`.
+    pub fn query(&mut self, kind: QueryKind, h: usize, spec: &RunSpec) -> io::Result<QueryReply> {
+        self.query_raw(kind, h, spec.canonical_bytes())
+    }
+
+    /// Like [`Client::query`], but with pre-encoded canonical spec bytes.
+    pub fn query_raw(
+        &mut self,
+        kind: QueryKind,
+        h: usize,
+        spec_bytes: Vec<u8>,
+    ) -> io::Result<QueryReply> {
+        let req = Request::Query(Query {
+            kind,
+            h,
+            spec_bytes,
+        });
+        match self.round_trip(&req)? {
+            Response::Ok {
+                cached,
+                engine,
+                query_hash,
+                payload,
+            } => Ok(QueryReply {
+                cached,
+                engine,
+                query_hash,
+                payload,
+            }),
+            Response::Err { code, message } => Err(io::Error::other(format!(
+                "hexd error [{}]: {message}",
+                code.token()
+            ))),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    fn round_trip(&mut self, req: &Request) -> io::Result<Response> {
+        write_frame(&mut self.stream, &encode_request(req))?;
+        let frame = read_frame(&mut self.stream)?
+            .ok_or_else(|| io::Error::new(io::ErrorKind::UnexpectedEof, "daemon closed"))?;
+        decode_response(&frame).map_err(io::Error::other)
+    }
+}
+
+fn unexpected(resp: &Response) -> io::Error {
+    io::Error::other(match resp {
+        Response::Err { code, message } => format!("hexd error [{}]: {message}", code.token()),
+        other => format!("unexpected response {other:?}"),
+    })
+}

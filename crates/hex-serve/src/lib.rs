@@ -1,0 +1,43 @@
+//! # hex-serve — the `hexd` persistent sweep service
+//!
+//! `RunSpec` is a complete, deterministic run description, and the
+//! observed folds reduce a batch to a small statistics table — so a sweep
+//! result is a pure function of `(spec, query kind, h, engine version)`.
+//! This crate turns that fact into a service with an explicit guarantee:
+//! **identical queries yield identical, byte-stable result bytes, whether
+//! computed, replayed from the on-disk cache, or coalesced onto another
+//! request's in-flight computation.**
+//!
+//! Four layers, bottom up:
+//!
+//! * [`hex_sim::canon`] (in hex-sim, not here): the versioned canonical
+//!   byte encoding and FNV content hash of specs — the identity
+//!   everything below keys on;
+//! * [`cache`]: one verified file per result, atomic write-rename,
+//!   corruption retirement, generation-based FIFO eviction;
+//! * [`protocol`] + [`net`]: a std-only, versioned, length-prefixed
+//!   frame grammar (`hexd/1`) over TCP or Unix-domain sockets;
+//! * [`server`] + [`client`]: the daemon (accept loop, sharded compute
+//!   workers, bounded admission queue with `busy` backpressure,
+//!   in-flight request coalescing) and the thin blocking client that
+//!   `hexctl serve`/`query`/`ping`/`stop` wrap.
+//!
+//! The daemon inherits the workspace determinism contract: no host-clock
+//! reads (`hex-lint` wall-clock rule — eviction is generation-based), env
+//! access only through [`hex_sim::knobs`] (`env-knob` rule), ordered
+//! collections only.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod client;
+pub mod net;
+pub mod protocol;
+pub mod server;
+
+pub use cache::{Cache, Lookup};
+pub use client::{Client, QueryReply};
+pub use net::Addr;
+pub use protocol::{Query, QueryKind};
+pub use server::{serve, ServeConfig, ServerHandle, StatsSnapshot};

@@ -1,0 +1,189 @@
+//! Transport selection: one address grammar over TCP and Unix-domain
+//! sockets, with uniform `Stream`/`Listener` wrappers so the rest of the
+//! crate is transport-blind.
+//!
+//! Address forms ([`Addr::parse`]):
+//!
+//! * `unix:<path>` — a Unix-domain socket at `<path>` (explicit form);
+//! * anything containing `:` — a TCP `host:port`;
+//! * anything else — a Unix-domain socket path (`hexd.sock`).
+
+use std::io::{self, Read, Write};
+use std::net::{TcpListener, TcpStream};
+#[cfg(unix)]
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::PathBuf;
+
+/// A parsed listen/connect address.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Addr {
+    /// Unix-domain socket path.
+    Unix(PathBuf),
+    /// TCP `host:port`.
+    Tcp(String),
+}
+
+impl Addr {
+    /// Parse the address grammar (see module docs).
+    pub fn parse(s: &str) -> Addr {
+        if let Some(path) = s.strip_prefix("unix:") {
+            Addr::Unix(PathBuf::from(path))
+        } else if s.contains(':') {
+            Addr::Tcp(s.to_string())
+        } else {
+            Addr::Unix(PathBuf::from(s))
+        }
+    }
+
+    /// Render back into the grammar (always the explicit `unix:` form
+    /// for sockets, so the result re-parses unambiguously).
+    pub fn display(&self) -> String {
+        match self {
+            Addr::Unix(p) => format!("unix:{}", p.display()),
+            Addr::Tcp(hp) => hp.clone(),
+        }
+    }
+}
+
+/// A connected byte stream over either transport.
+#[derive(Debug)]
+pub enum Stream {
+    /// TCP connection.
+    Tcp(TcpStream),
+    /// Unix-domain connection.
+    #[cfg(unix)]
+    Unix(UnixStream),
+}
+
+impl Read for Stream {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        match self {
+            Stream::Tcp(s) => s.read(buf),
+            #[cfg(unix)]
+            Stream::Unix(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for Stream {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        match self {
+            Stream::Tcp(s) => s.write(buf),
+            #[cfg(unix)]
+            Stream::Unix(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        match self {
+            Stream::Tcp(s) => s.flush(),
+            #[cfg(unix)]
+            Stream::Unix(s) => s.flush(),
+        }
+    }
+}
+
+/// Connect to an address.
+pub fn connect(addr: &Addr) -> io::Result<Stream> {
+    match addr {
+        Addr::Tcp(hp) => TcpStream::connect(hp.as_str()).map(Stream::Tcp),
+        #[cfg(unix)]
+        Addr::Unix(p) => UnixStream::connect(p).map(Stream::Unix),
+        #[cfg(not(unix))]
+        Addr::Unix(_) => Err(io::Error::new(
+            io::ErrorKind::Unsupported,
+            "unix-domain sockets are not available on this platform",
+        )),
+    }
+}
+
+/// A bound listener over either transport. Dropping a Unix listener
+/// removes its socket file.
+#[derive(Debug)]
+pub enum Listener {
+    /// Bound TCP listener.
+    Tcp(TcpListener),
+    /// Bound Unix listener plus its path (for display and cleanup).
+    #[cfg(unix)]
+    Unix(UnixListener, PathBuf),
+}
+
+impl Listener {
+    /// Bind. A stale Unix socket file at the path (a previous daemon
+    /// that died without cleanup) is removed first; TCP port 0 binds an
+    /// ephemeral port, visible via [`Listener::local_addr`].
+    pub fn bind(addr: &Addr) -> io::Result<Listener> {
+        match addr {
+            Addr::Tcp(hp) => TcpListener::bind(hp.as_str()).map(Listener::Tcp),
+            #[cfg(unix)]
+            Addr::Unix(p) => {
+                if p.exists() {
+                    std::fs::remove_file(p)?;
+                }
+                UnixListener::bind(p).map(|l| Listener::Unix(l, p.clone()))
+            }
+            #[cfg(not(unix))]
+            Addr::Unix(_) => Err(io::Error::new(
+                io::ErrorKind::Unsupported,
+                "unix-domain sockets are not available on this platform",
+            )),
+        }
+    }
+
+    /// Accept one connection.
+    pub fn accept(&self) -> io::Result<Stream> {
+        match self {
+            Listener::Tcp(l) => l.accept().map(|(s, _)| Stream::Tcp(s)),
+            #[cfg(unix)]
+            Listener::Unix(l, _) => l.accept().map(|(s, _)| Stream::Unix(s)),
+        }
+    }
+
+    /// The bound address in [`Addr`] grammar (TCP with the actual port).
+    pub fn local_addr(&self) -> Addr {
+        match self {
+            Listener::Tcp(l) => Addr::Tcp(
+                l.local_addr()
+                    .map(|a| a.to_string())
+                    .unwrap_or_else(|_| "?:?".to_string()),
+            ),
+            #[cfg(unix)]
+            Listener::Unix(_, p) => Addr::Unix(p.clone()),
+        }
+    }
+}
+
+#[cfg(unix)]
+impl Drop for Listener {
+    fn drop(&mut self) {
+        if let Listener::Unix(_, path) = self {
+            let _ = std::fs::remove_file(path);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn address_grammar() {
+        assert_eq!(
+            Addr::parse("unix:/tmp/hexd.sock"),
+            Addr::Unix(PathBuf::from("/tmp/hexd.sock"))
+        );
+        assert_eq!(
+            Addr::parse("127.0.0.1:4676"),
+            Addr::Tcp("127.0.0.1:4676".to_string())
+        );
+        assert_eq!(
+            Addr::parse("hexd.sock"),
+            Addr::Unix(PathBuf::from("hexd.sock"))
+        );
+        // display() re-parses to the same address.
+        for s in ["unix:/tmp/x.sock", "localhost:9", "relative.sock"] {
+            let a = Addr::parse(s);
+            assert_eq!(Addr::parse(&a.display()), a);
+        }
+    }
+}

@@ -34,6 +34,22 @@ pub const KNOWN: &[(&str, &str)] = &[
     ("HEX_EMIT", "table output format: csv | json | off"),
     ("HEX_CSV", "legacy alias for HEX_EMIT=csv (presence only)"),
     (
+        "HEX_SERVE_ADDR",
+        "hexd listen address: `unix:<path>` / a socket path / `host:port`",
+    ),
+    (
+        "HEX_CACHE_DIR",
+        "hexd on-disk result-cache directory (default: `hexd-cache`)",
+    ),
+    (
+        "HEX_CACHE_MAX_MB",
+        "hexd result-cache size ceiling in MiB (FIFO eviction; 0 = unbounded)",
+    ),
+    (
+        "HEX_SERVE_WORKERS",
+        "hexd compute-worker count (default: available parallelism)",
+    ),
+    (
         "HEX_BENCH_BUDGET_MS",
         "per-bench time budget (read by the criterion shim)",
     ),
@@ -110,5 +126,24 @@ mod tests {
     #[should_panic(expected = "not listed")]
     fn unlisted_knob_is_rejected() {
         let _ = raw("HEX_NOT_A_KNOB");
+    }
+
+    #[test]
+    fn serve_knobs_are_known() {
+        // The hexd daemon reads its configuration exclusively through
+        // this module; the tripwire must accept every serve knob.
+        for name in [
+            "HEX_SERVE_ADDR",
+            "HEX_CACHE_DIR",
+            "HEX_CACHE_MAX_MB",
+            "HEX_SERVE_WORKERS",
+        ] {
+            assert!(
+                KNOWN.iter().any(|(n, _)| *n == name),
+                "{name} missing from KNOWN"
+            );
+            // Exercises the debug_assert tripwire path with the real name.
+            let _ = raw(name);
+        }
     }
 }

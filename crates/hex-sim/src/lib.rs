@@ -37,6 +37,7 @@
 #![warn(missing_docs)]
 
 pub mod batch;
+pub mod canon;
 pub mod engine;
 pub mod invariants;
 pub mod knobs;

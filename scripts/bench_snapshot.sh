@@ -46,3 +46,4 @@ snapshot() {
 snapshot des_engine single_pulse
 snapshot pq pq
 snapshot batch_parallel fold_scratch
+snapshot serve serve

@@ -7,17 +7,26 @@
 //! hexctl stabilize [--runs R] [--pulses P] [--byzantine N] ...      stabilization estimate
 //! hexctl bounds    [--length L] [--width W]                         Theorem-1 / Condition-2 numbers
 //! hexctl vcd       [--out FILE] [--pulses P] [--scenario ..] ...    dump a run as a VCD waveform
+//! hexctl serve     [--addr A]                                       run the hexd daemon in-process
+//! hexctl query     [--addr A] [--kind skew|stabilize] [--hop H] ... ask a hexd daemon (thin client)
+//! hexctl ping      [--addr A]                                       probe a hexd daemon
+//! hexctl stop      [--addr A]                                       shut a hexd daemon down
 //! ```
 //!
 //! Every simulating subcommand builds one [`RunSpec`] from the flags; mixed
 //! `--byzantine`/`--fail-silent` counts map to [`FaultRegime::Mixed`]
-//! (joint Condition-1 placement). Plain `std::env::args` parsing — no CLI
-//! dependency.
+//! (joint Condition-1 placement). `query` sends that same spec to a `hexd`
+//! daemon instead of computing locally: the result JSON goes to stdout and
+//! a `cache_hit=0|1 query_hash=.. engine=..` provenance line to stderr.
+//! Plain `std::env::args` parsing — no CLI dependency; unknown flags,
+//! malformed values, and unknown subcommands all exit 2 with the usage
+//! string.
 
 use hexclock::analysis::reduce::ObservedStabilizationReducer;
 use hexclock::analysis::stabilization::{summarize, Criterion};
 use hexclock::analysis::wave::wave_ascii;
 use hexclock::prelude::*;
+use hexclock::serve::{Client, QueryKind, ServeConfig};
 
 #[derive(Debug, Clone)]
 struct Opts {
@@ -31,20 +40,40 @@ struct Opts {
     byzantine: usize,
     fail_silent: usize,
     out: String,
+    /// hexd address override (`--addr`); default comes from the
+    /// HEX_SERVE_ADDR knob via [`ServeConfig::from_knobs`].
+    addr: Option<String>,
+    kind: QueryKind,
+    hop: usize,
 }
 
-fn usage() -> ! {
-    eprintln!(
-        "usage: hexctl <wave|table|stabilize|bounds|vcd> [--length L] [--width W] \
-         [--scenario i|ii|iii|iv] [--seed S] [--runs R] [--pulses P] \
-         [--byzantine N] [--fail-silent N] [--out FILE]"
-    );
-    std::process::exit(2);
-}
+const USAGE: &str = "usage: hexctl <wave|table|stabilize|bounds|vcd|serve|query|ping|stop> \
+ [--length L] [--width W] [--scenario i|ii|iii|iv] [--seed S] [--runs R] [--pulses P] \
+ [--byzantine N] [--fail-silent N] [--out FILE] [--addr A] [--kind skew|stabilize] [--hop H]";
 
-fn parse() -> Opts {
-    let mut args = std::env::args().skip(1);
-    let command = args.next().unwrap_or_else(|| usage());
+/// Parse an argument vector (without the program name). Every failure —
+/// missing subcommand, unknown flag, missing or malformed value, unknown
+/// subcommand — is an `Err` with a one-line reason; `main` turns that
+/// into the usage string and exit code 2.
+fn parse_args(mut args: Vec<String>) -> Result<Opts, String> {
+    if args.is_empty() {
+        return Err("missing subcommand".to_string());
+    }
+    let command = args.remove(0);
+    const COMMANDS: [&str; 9] = [
+        "wave",
+        "table",
+        "stabilize",
+        "bounds",
+        "vcd",
+        "serve",
+        "query",
+        "ping",
+        "stop",
+    ];
+    if !COMMANDS.contains(&command.as_str()) {
+        return Err(format!("unknown subcommand `{command}`"));
+    }
     let mut o = Opts {
         command,
         length: 50,
@@ -56,45 +85,52 @@ fn parse() -> Opts {
         byzantine: 0,
         fail_silent: 0,
         out: "hex.vcd".to_string(),
+        addr: None,
+        kind: QueryKind::Skew,
+        hop: 0,
     };
-    let mut args: Vec<String> = args.collect();
     while !args.is_empty() {
         let flag = args.remove(0);
-        let mut value = || -> String {
-            if args.is_empty() {
-                eprintln!("missing value for {flag}");
-                usage();
-            }
-            args.remove(0)
-        };
+        if args.is_empty() {
+            return Err(format!("missing value for {flag}"));
+        }
+        let value = args.remove(0);
+        fn parsed<T: std::str::FromStr>(value: &str, what: &str) -> Result<T, String> {
+            value
+                .parse()
+                .map_err(|_| format!("malformed {what} value {value:?}"))
+        }
         match flag.as_str() {
-            "--length" => o.length = value().parse().unwrap_or_else(|_| usage()),
-            "--width" => o.width = value().parse().unwrap_or_else(|_| usage()),
-            "--seed" => o.seed = value().parse().unwrap_or_else(|_| usage()),
-            "--runs" => o.runs = value().parse().unwrap_or_else(|_| usage()),
-            "--pulses" => o.pulses = value().parse().unwrap_or_else(|_| usage()),
-            "--byzantine" => o.byzantine = value().parse().unwrap_or_else(|_| usage()),
-            "--fail-silent" => o.fail_silent = value().parse().unwrap_or_else(|_| usage()),
-            "--out" => o.out = value(),
+            "--length" => o.length = parsed(&value, "--length")?,
+            "--width" => o.width = parsed(&value, "--width")?,
+            "--seed" => o.seed = parsed(&value, "--seed")?,
+            "--runs" => o.runs = parsed(&value, "--runs")?,
+            "--pulses" => o.pulses = parsed(&value, "--pulses")?,
+            "--byzantine" => o.byzantine = parsed(&value, "--byzantine")?,
+            "--fail-silent" => o.fail_silent = parsed(&value, "--fail-silent")?,
+            "--hop" => o.hop = parsed(&value, "--hop")?,
+            "--out" => o.out = value,
+            "--addr" => o.addr = Some(value),
+            "--kind" => {
+                o.kind = match value.as_str() {
+                    "skew" => QueryKind::Skew,
+                    "stabilize" => QueryKind::Stabilize,
+                    other => return Err(format!("unknown query kind `{other}`")),
+                }
+            }
             "--scenario" => {
-                o.scenario = match value().as_str() {
+                o.scenario = match value.as_str() {
                     "i" | "zero" => Scenario::Zero,
                     "ii" => Scenario::RandomDMinus,
                     "iii" => Scenario::RandomDPlus,
                     "iv" | "ramp" => Scenario::Ramp,
-                    other => {
-                        eprintln!("unknown scenario {other}");
-                        usage();
-                    }
+                    other => return Err(format!("unknown scenario `{other}`")),
                 }
             }
-            other => {
-                eprintln!("unknown flag {other}");
-                usage();
-            }
+            other => return Err(format!("unknown flag {other}")),
         }
     }
-    o
+    Ok(o)
 }
 
 /// The one place where flags become an experiment description.
@@ -107,6 +143,13 @@ fn spec_for(o: &Opts) -> RunSpec {
             byzantine: o.byzantine,
             fail_silent: o.fail_silent,
         })
+}
+
+/// The daemon address: `--addr` wins, then the HEX_SERVE_ADDR knob.
+fn addr_for(o: &Opts) -> String {
+    o.addr
+        .clone()
+        .unwrap_or_else(|| ServeConfig::from_knobs().addr)
 }
 
 fn cmd_wave(o: &Opts) {
@@ -223,14 +266,171 @@ fn cmd_vcd(o: &Opts) {
     );
 }
 
+fn cmd_serve(o: &Opts) -> Result<(), String> {
+    let mut cfg = ServeConfig::from_knobs();
+    if let Some(addr) = &o.addr {
+        cfg.addr = addr.clone();
+    }
+    let cache_dir = cfg.cache_dir.display().to_string();
+    let handle = hexclock::serve::serve(cfg).map_err(|e| format!("failed to start: {e}"))?;
+    println!("hexd: listening on {} (cache {cache_dir})", handle.addr());
+    let stats = handle.join();
+    println!("hexd: stopped — {}", stats.to_json());
+    Ok(())
+}
+
+fn cmd_query(o: &Opts) -> Result<(), String> {
+    // The query spec mirrors what the local subcommands would compute:
+    // `table`'s single-pulse batch for skew, `stabilize`'s multi-pulse
+    // arbitrary-init batch for stabilization.
+    let spec = match o.kind {
+        QueryKind::Skew => spec_for(o),
+        QueryKind::Stabilize => spec_for(o).pulses(o.pulses).init(InitState::Arbitrary),
+    };
+    let addr = addr_for(o);
+    let mut client = Client::connect(&addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    let reply = client
+        .query(o.kind, o.hop, &spec)
+        .map_err(|e| format!("query: {e}"))?;
+    // Provenance on stderr, payload alone on stdout: scripts can consume
+    // the JSON while the CI smoke job greps the cache_hit flag.
+    eprintln!(
+        "cache_hit={} query_hash={:016x} engine={}",
+        u8::from(reply.cached),
+        reply.query_hash,
+        reply.engine
+    );
+    let payload = String::from_utf8_lossy(&reply.payload);
+    println!("{}", payload.trim_end_matches('\n'));
+    Ok(())
+}
+
+fn cmd_ping(o: &Opts) -> Result<(), String> {
+    let addr = addr_for(o);
+    let mut client = Client::connect(&addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    client.ping().map_err(|e| format!("ping: {e}"))?;
+    println!("pong from {addr}");
+    Ok(())
+}
+
+fn cmd_stop(o: &Opts) -> Result<(), String> {
+    let addr = addr_for(o);
+    let mut client = Client::connect(&addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    client.shutdown().map_err(|e| format!("stop: {e}"))?;
+    println!("hexd at {addr} shutting down");
+    Ok(())
+}
+
 fn main() {
-    let o = parse();
-    match o.command.as_str() {
-        "wave" => cmd_wave(&o),
-        "table" => cmd_table(&o),
-        "stabilize" => cmd_stabilize(&o),
-        "bounds" => cmd_bounds(&o),
-        "vcd" => cmd_vcd(&o),
-        _ => usage(),
+    let o = match parse_args(std::env::args().skip(1).collect()) {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("hexctl: {msg}");
+            eprintln!("{USAGE}");
+            std::process::exit(2);
+        }
+    };
+    let outcome = match o.command.as_str() {
+        "wave" => {
+            cmd_wave(&o);
+            Ok(())
+        }
+        "table" => {
+            cmd_table(&o);
+            Ok(())
+        }
+        "stabilize" => {
+            cmd_stabilize(&o);
+            Ok(())
+        }
+        "bounds" => {
+            cmd_bounds(&o);
+            Ok(())
+        }
+        "vcd" => {
+            cmd_vcd(&o);
+            Ok(())
+        }
+        "serve" => cmd_serve(&o),
+        "query" => cmd_query(&o),
+        "ping" => cmd_ping(&o),
+        "stop" => cmd_stop(&o),
+        // parse_args validated the subcommand; nothing can reach here.
+        other => Err(format!("unknown subcommand `{other}`")),
+    };
+    if let Err(msg) = outcome {
+        eprintln!("hexctl {}: {msg}", o.command);
+        std::process::exit(1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(parts: &[&str]) -> Vec<String> {
+        parts.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn valid_flags_parse() {
+        let o = parse_args(argv(&[
+            "table",
+            "--length",
+            "8",
+            "--width",
+            "6",
+            "--scenario",
+            "i",
+            "--runs",
+            "3",
+            "--byzantine",
+            "1",
+        ]))
+        .unwrap();
+        assert_eq!(o.command, "table");
+        assert_eq!((o.length, o.width, o.runs, o.byzantine), (8, 6, 3, 1));
+        assert_eq!(o.scenario, Scenario::Zero);
+    }
+
+    #[test]
+    fn query_flags_parse() {
+        let o = parse_args(argv(&[
+            "query",
+            "--addr",
+            "unix:/tmp/x.sock",
+            "--kind",
+            "stabilize",
+            "--hop",
+            "1",
+        ]))
+        .unwrap();
+        assert_eq!(o.addr.as_deref(), Some("unix:/tmp/x.sock"));
+        assert_eq!(o.kind, QueryKind::Stabilize);
+        assert_eq!(o.hop, 1);
+    }
+
+    #[test]
+    fn errors_are_reported_not_swallowed() {
+        for (label, args) in [
+            ("no subcommand", argv(&[])),
+            ("unknown subcommand", argv(&["warp"])),
+            ("unknown flag", argv(&["wave", "--bogus", "1"])),
+            ("missing value", argv(&["wave", "--length"])),
+            ("malformed value", argv(&["wave", "--length", "many"])),
+            ("bad scenario", argv(&["wave", "--scenario", "v"])),
+            ("bad kind", argv(&["query", "--kind", "median"])),
+        ] {
+            assert!(parse_args(args).is_err(), "{label} accepted");
+        }
+    }
+
+    #[test]
+    fn defaults_match_the_paper_grid() {
+        let o = parse_args(argv(&["wave"])).unwrap();
+        assert_eq!((o.length, o.width), (50, 20));
+        assert_eq!(o.seed, 42);
+        assert_eq!(o.kind, QueryKind::Skew);
+        assert!(o.addr.is_none());
     }
 }

@@ -25,6 +25,7 @@
 //! | [`theory`] (`hex-theory`) | Theorem 1 / Lemmas 2–5 / Condition 2, adversarial constructions |
 //! | [`tree`] (`hex-tree`) | buffered H-tree baseline |
 //! | [`topo`] (`hex-topo`) | doubling layers, augmented grid, frequency multiplication |
+//! | [`serve`] (`hex-serve`) | `hexd` sweep daemon: canonical spec hashing, memoized result cache |
 //!
 //! ## Quickstart
 //!
@@ -88,6 +89,7 @@ pub use hex_analysis as analysis;
 pub use hex_clock as clock;
 pub use hex_core as core;
 pub use hex_des as des;
+pub use hex_serve as serve;
 pub use hex_sim as sim;
 pub use hex_theory as theory;
 pub use hex_topo as topo;

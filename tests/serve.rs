@@ -1,0 +1,328 @@
+//! The hexd service wall: canonical-encoding round-trips, spec-hash
+//! stability, warm-cache byte identity across daemon restarts, and the
+//! concurrency dedup guarantee.
+//!
+//! The service's contract (README "hexd service"): identical queries
+//! yield identical, byte-stable result bytes — computed, replayed from
+//! the on-disk cache, or coalesced onto another request's in-flight
+//! computation — and a query's identity is the canonical encoding of its
+//! spec, so that identity must survive encode/decode round-trips and
+//! process restarts. Each test here pins one face of that contract.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use hexclock::prelude::*;
+use hexclock::serve::{serve, Client, QueryKind, ServeConfig};
+use hexclock::sim::canon::{decode_spec, encode_spec, spec_hash};
+use proptest::prelude::*;
+
+// ---------------------------------------------------------------------------
+// Canonical encoding: randomized round-trips and hash stability.
+
+/// Build a `RunSpec` from sampled coordinates covering every enum
+/// variant of every canonical field.
+#[allow(clippy::too_many_arguments)]
+fn spec_from(
+    length: u32,
+    width: u32,
+    runs: usize,
+    seed: u64,
+    scenario_ix: usize,
+    fault_ix: usize,
+    init_ix: usize,
+    pulses: usize,
+    timing_ix: usize,
+    delay_ix: usize,
+    queue_ix: usize,
+) -> RunSpec {
+    let faults = match fault_ix % 6 {
+        0 => FaultRegime::None,
+        1 => FaultRegime::Byzantine(1 + fault_ix % 3),
+        2 => FaultRegime::FailSilent(1 + fault_ix % 2),
+        3 => FaultRegime::FixedByzantine((fault_ix % 4) as u32, (fault_ix % 5) as u32),
+        4 => FaultRegime::Mixed {
+            byzantine: fault_ix % 3,
+            fail_silent: 1 + fault_ix % 2,
+        },
+        _ => FaultRegime::Plan(
+            FaultPlan::none()
+                .with_node((fault_ix % 7) as u32, NodeFault::Byzantine)
+                .with_link(
+                    (fault_ix % 11) as u32,
+                    hexclock::core::LinkBehavior::StuckZero,
+                ),
+        ),
+    };
+    let init = [
+        InitState::Clean,
+        InitState::Arbitrary,
+        InitState::AllFlagsSet,
+        InitState::AllAsleep,
+    ][init_ix % 4];
+    let timing = match timing_ix % 3 {
+        0 => TimingPolicy::Table3,
+        1 => TimingPolicy::Generous,
+        _ => TimingPolicy::Fixed(Timing::paper_scenario_iii()),
+    };
+    let delays = match delay_ix % 5 {
+        0 => DelayModel::paper(),
+        1 => DelayModel::UniformPerLink(DelayRange::paper()),
+        2 => DelayModel::Fixed(Duration::from_ps(7000 + delay_ix as i64)),
+        3 => DelayModel::PerLinkFixed(vec![
+            Duration::from_ps(7161),
+            Duration::from_ps(8197),
+            Duration::from_ps(7500 + delay_ix as i64),
+        ]),
+        _ => DelayModel::Spatial(hexclock::core::SpatialVariation {
+            range: DelayRange::paper(),
+            layer_gradient: 0.125 * delay_ix as f64,
+            column_wave: -0.0625,
+            jitter: 0.1 + 0.2,
+        }),
+    };
+    RunSpec::grid(length, width)
+        .runs(runs)
+        .seed(seed)
+        .scenario(Scenario::ALL[scenario_ix % 4])
+        .faults(faults)
+        .init(init)
+        .pulses(pulses)
+        .timing(timing)
+        .delays(delays)
+        .queue(QueuePolicy::ALL[queue_ix % 3])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Encode → decode → re-encode is the identity on canonical bytes,
+    /// and the content hash follows the bytes.
+    #[test]
+    fn canonical_encoding_round_trips(
+        (length, width, runs, seed) in (2u32..40, 3u32..16, 1usize..8, any::<u64>()),
+        (scenario_ix, fault_ix, init_ix) in (0usize..4, 0usize..12, 0usize..4),
+        (pulses, timing_ix, delay_ix, queue_ix) in (1usize..4, 0usize..3, 0usize..10, 0usize..3),
+    ) {
+        let spec = spec_from(
+            length, width, runs, seed, scenario_ix, fault_ix, init_ix, pulses,
+            timing_ix, delay_ix, queue_ix,
+        );
+        let bytes = encode_spec(&spec);
+        let back = decode_spec(&bytes).expect("canonical bytes decode");
+        prop_assert_eq!(encode_spec(&back), bytes, "re-encode diverged");
+        prop_assert_eq!(spec_hash(&back), spec_hash(&spec));
+        // The hash tracks content: any seed perturbation moves it.
+        let perturbed = spec.clone().seed(seed.wrapping_add(1));
+        prop_assert_ne!(spec_hash(&perturbed), spec_hash(&spec));
+    }
+}
+
+/// The spec hash is a wire/cache contract: it must be identical across
+/// processes, platforms, and sessions for a given engine version. A
+/// golden value pins it — if this test fails, the canonical encoding
+/// changed, and `CANON_VERSION` MUST be bumped (which retires on-disk
+/// caches) rather than silently re-keying them.
+#[test]
+fn spec_hash_is_stable_across_processes() {
+    // Queue pinned explicitly: the default honors HEX_QUEUE, and this
+    // hash must not depend on the environment.
+    let spec = RunSpec::grid(8, 6)
+        .runs(4)
+        .seed(7)
+        .scenario(Scenario::Zero)
+        .queue(QueuePolicy::Calendar);
+    assert_eq!(
+        spec_hash(&spec),
+        0xa5f9_4cef_0aac_00cf,
+        "canonical encoding changed — bump hex_sim::canon::CANON_VERSION \
+         and update this golden value"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// The daemon: cold/warm byte identity, restart persistence, dedup.
+
+static NEXT_TEST_ID: AtomicU64 = AtomicU64::new(0);
+
+/// A fresh socket path + cache dir per test, no wall-clock or RNG reads.
+fn test_config(tag: &str) -> ServeConfig {
+    let id = NEXT_TEST_ID.fetch_add(1, Ordering::Relaxed);
+    let base = std::env::temp_dir().join(format!("hex-serve-{}-{id}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&base);
+    std::fs::create_dir_all(&base).unwrap();
+    ServeConfig {
+        addr: format!("unix:{}", base.join("hexd.sock").display()),
+        cache_dir: base.join("cache"),
+        cache_max_mb: 0,
+        workers: 2,
+        queue_depth: 16,
+        max_cells: 1 << 20,
+        max_runs: 1 << 16,
+    }
+}
+
+fn cleanup(cfg: &ServeConfig) {
+    if let Some(base) = cfg.cache_dir.parent() {
+        let _ = std::fs::remove_dir_all(base);
+    }
+}
+
+fn small_spec() -> RunSpec {
+    RunSpec::grid(8, 6)
+        .runs(4)
+        .seed(11)
+        .scenario(Scenario::RandomDPlus)
+        .queue(QueuePolicy::Calendar)
+}
+
+/// Cold compute, daemon restart on the same cache dir, warm replay:
+/// byte-identical payloads, same query hash, zero recomputation.
+#[test]
+fn warm_cache_replays_cold_bytes_across_restart() {
+    let cfg = test_config("restart");
+    let spec = small_spec();
+
+    let handle = serve(cfg.clone()).expect("start hexd");
+    let mut client = Client::connect(&handle.addr()).expect("connect");
+    let cold = client.query(QueryKind::Skew, 0, &spec).expect("cold query");
+    assert!(!cold.cached, "first query must compute");
+    assert!(!cold.payload.is_empty());
+    drop(client);
+    let stats = handle.shutdown();
+    assert_eq!(stats.computations, 1);
+    assert_eq!(stats.cache_entries, 1);
+
+    // A new daemon process-equivalent: fresh state, same cache dir.
+    let handle = serve(cfg.clone()).expect("restart hexd");
+    let mut client = Client::connect(&handle.addr()).expect("reconnect");
+    let warm = client.query(QueryKind::Skew, 0, &spec).expect("warm query");
+    assert!(warm.cached, "restarted daemon must replay from disk");
+    assert_eq!(warm.payload, cold.payload, "warm bytes != cold bytes");
+    assert_eq!(warm.query_hash, cold.query_hash);
+    assert_eq!(warm.engine, cold.engine);
+    drop(client);
+    let stats = handle.shutdown();
+    assert_eq!(stats.computations, 0, "warm replay recomputed");
+    assert_eq!(stats.cache_hits, 1);
+    cleanup(&cfg);
+}
+
+/// N identical concurrent queries: exactly one computation (the dedup
+/// counter), exactly one `cached=0` reply, and byte-identical payloads
+/// for every waiter — coalesced or disk-replayed alike.
+#[test]
+fn concurrent_identical_queries_dedupe_to_one_computation() {
+    let cfg = test_config("dedupe");
+    // Large enough that the computation outlives client connect latency
+    // on any machine — coalescing is then the common path; the counter
+    // assertion holds even if some clients land after completion.
+    let spec = RunSpec::grid(16, 8)
+        .runs(24)
+        .seed(3)
+        .queue(QueuePolicy::Calendar);
+    let handle = serve(cfg.clone()).expect("start hexd");
+    let addr = handle.addr();
+
+    let replies: Vec<_> = std::thread::scope(|scope| {
+        let workers: Vec<_> = (0..8)
+            .map(|_| {
+                let addr = addr.clone();
+                let spec = spec.clone();
+                scope.spawn(move || {
+                    let mut client = Client::connect(&addr).expect("connect");
+                    client.query(QueryKind::Skew, 0, &spec).expect("query")
+                })
+            })
+            .collect();
+        workers.into_iter().map(|w| w.join().unwrap()).collect()
+    });
+
+    let first = &replies[0];
+    for r in &replies {
+        assert_eq!(r.payload, first.payload, "divergent payload bytes");
+        assert_eq!(r.query_hash, first.query_hash);
+    }
+    let fresh = replies.iter().filter(|r| !r.cached).count();
+    assert_eq!(fresh, 1, "exactly one reply may be the computing one");
+
+    let stats = handle.shutdown();
+    assert_eq!(stats.computations, 1, "identical queries double-computed");
+    assert_eq!(
+        stats.cache_hits + stats.coalesced,
+        replies.len() as u64 - 1,
+        "every other reply replayed (coalesced or disk)"
+    );
+    cleanup(&cfg);
+}
+
+/// Stabilization queries flow end to end, and a repeat within one daemon
+/// lifetime is a disk hit with identical bytes.
+#[test]
+fn stabilize_queries_cache_within_one_daemon() {
+    let cfg = test_config("stabilize");
+    let spec = RunSpec::grid(6, 6)
+        .runs(3)
+        .seed(5)
+        .pulses(3)
+        .init(InitState::Arbitrary)
+        .queue(QueuePolicy::Calendar);
+    let handle = serve(cfg.clone()).expect("start hexd");
+    let mut client = Client::connect(&handle.addr()).expect("connect");
+    let cold = client.query(QueryKind::Stabilize, 0, &spec).expect("cold");
+    let warm = client.query(QueryKind::Stabilize, 0, &spec).expect("warm");
+    assert!(!cold.cached);
+    assert!(warm.cached);
+    assert_eq!(warm.payload, cold.payload);
+    let text = String::from_utf8(cold.payload).unwrap();
+    assert!(
+        text.contains("stabilization_summary"),
+        "unexpected payload {text}"
+    );
+    drop(client);
+    let stats = handle.shutdown();
+    assert_eq!(stats.computations, 1);
+    assert_eq!(stats.cache_hits, 1);
+    cleanup(&cfg);
+}
+
+/// The admission layer rejects what would panic or overload: malformed
+/// spec bytes, over-limit grids, multi-pulse skew queries. The daemon
+/// answers each with a structured error and keeps serving.
+#[test]
+fn bad_queries_get_errors_and_the_daemon_survives() {
+    let cfg = test_config("badquery");
+    let handle = serve(cfg.clone()).expect("start hexd");
+    let mut client = Client::connect(&handle.addr()).expect("connect");
+
+    let garbage = client.query_raw(QueryKind::Skew, 0, b"not a spec".to_vec());
+    assert!(garbage.unwrap_err().to_string().contains("bad_request"));
+
+    let multi_pulse = client.query(QueryKind::Skew, 0, &small_spec().pulses(3));
+    let msg = multi_pulse.unwrap_err().to_string();
+    assert!(
+        msg.contains("bad_request") && msg.contains("pulses"),
+        "{msg}"
+    );
+
+    let oversize = client.query(QueryKind::Skew, 0, &RunSpec::grid(4096, 1024).runs(1));
+    assert!(oversize.unwrap_err().to_string().contains("bad_request"));
+
+    // Same connection still serves good queries afterwards.
+    client.ping().expect("ping after errors");
+    let ok = client
+        .query(QueryKind::Skew, 0, &small_spec())
+        .expect("good query");
+    assert!(!ok.payload.is_empty());
+
+    let stats_json = String::from_utf8(client.stats_json().expect("stats")).unwrap();
+    assert!(stats_json.contains("\"computations\":1"), "{stats_json}");
+
+    drop(client);
+    let stats = handle.shutdown();
+    assert_eq!(stats.computations, 1);
+    assert_eq!(
+        stats.failures, 0,
+        "bad queries must be rejected, not computed"
+    );
+    cleanup(&cfg);
+}

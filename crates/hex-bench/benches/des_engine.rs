@@ -138,10 +138,103 @@ fn bench_multi_pulse(c: &mut Criterion) {
     g.finish();
 }
 
+/// Batched SoA dispatch against the scalar reference on the same
+/// workloads, same queue (engine default): the rows differ only in
+/// `SimConfig::batch`. `single_pulse_*` is the fault-free fast-path
+/// regime (whole-batch masks let the kernel skip every fault and role
+/// check); `single_pulse_byzantine_*` keeps one Byzantine node so the
+/// guarded batched kernel is measured too; `stabilization_*` is the
+/// multi-pulse arbitrary-init regime. The committed
+/// `BENCH_single_pulse.json` snapshot records these rows — batched must
+/// not lose to scalar there.
+fn bench_dispatch(c: &mut Criterion) {
+    use hex_clock::{PulseTrain, Scenario};
+    use hex_core::{FaultPlan, NodeFault, Timing};
+    use hex_des::{Duration, SimRng};
+    use hex_sim::InitState;
+
+    let mut g = c.benchmark_group("dispatch");
+    g.sample_size(20);
+    for (l, w) in [(50u32, 20u32), (100, 40)] {
+        let grid = HexGrid::new(l, w);
+        let sched = zero_schedule(w);
+        for (label, batch) in [("scalar", false), ("batched", true)] {
+            let cfg = SimConfig {
+                batch,
+                ..SimConfig::fault_free()
+            };
+            g.bench_with_input(
+                BenchmarkId::new(format!("single_pulse_{label}"), format!("{l}x{w}")),
+                &grid,
+                |b, grid| {
+                    let mut scratch = SimScratch::new();
+                    let mut seed = 0u64;
+                    b.iter(|| {
+                        seed += 1;
+                        simulate_into(&mut scratch, grid.graph(), &sched, &cfg, seed).total_fires()
+                    })
+                },
+            );
+        }
+    }
+    {
+        let grid = HexGrid::new(50, 20);
+        let sched = zero_schedule(20);
+        for (label, batch) in [("scalar", false), ("batched", true)] {
+            let cfg = SimConfig {
+                batch,
+                faults: FaultPlan::none().with_node(grid.node(10, 10), NodeFault::Byzantine),
+                timing: Timing::paper_scenario_iii(),
+                ..SimConfig::fault_free()
+            };
+            g.bench_with_input(
+                BenchmarkId::new(format!("single_pulse_byzantine_{label}"), "50x20"),
+                &grid,
+                |b, grid| {
+                    let mut scratch = SimScratch::new();
+                    let mut seed = 0u64;
+                    b.iter(|| {
+                        seed += 1;
+                        simulate_into(&mut scratch, grid.graph(), &sched, &cfg, seed).total_fires()
+                    })
+                },
+            );
+        }
+    }
+    {
+        let grid = HexGrid::new(20, 20);
+        let mut rng = SimRng::seed_from_u64(7);
+        let sched =
+            PulseTrain::new(Scenario::Zero, 8, Duration::from_ns(300.0)).generate(20, &mut rng);
+        for (label, batch) in [("scalar", false), ("batched", true)] {
+            let cfg = SimConfig {
+                batch,
+                timing: Timing::paper_scenario_iii(),
+                init: InitState::Arbitrary,
+                ..SimConfig::fault_free()
+            };
+            g.bench_with_input(
+                BenchmarkId::new(format!("stabilization_{label}"), "20x20"),
+                &grid,
+                |b, grid| {
+                    let mut scratch = SimScratch::new();
+                    let mut seed = 0u64;
+                    b.iter(|| {
+                        seed += 1;
+                        simulate_into(&mut scratch, grid.graph(), &sched, &cfg, seed).total_fires()
+                    })
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
 criterion_group!(
     benches,
     bench_event_queue,
     bench_single_pulse,
-    bench_multi_pulse
+    bench_multi_pulse,
+    bench_dispatch
 );
 criterion_main!(benches);

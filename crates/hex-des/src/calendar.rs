@@ -87,6 +87,11 @@ pub struct CalendarQueue<E> {
     next_seq: u64,
     now: Time,
     popped: u64,
+    /// Per-window staging area for [`CalendarQueue::drain_bucket`]:
+    /// slots pulled out of one window get `(time, seq)`-sorted here
+    /// before moving into the caller's batch. Kept on the queue so
+    /// batched draining allocates nothing in steady state.
+    stage: Vec<Slot<E>>,
 }
 
 impl<E> CalendarQueue<E> {
@@ -110,6 +115,7 @@ impl<E> CalendarQueue<E> {
             next_seq: 0,
             now: Time::MIN,
             popped: 0,
+            stage: Vec::new(),
         }
     }
 
@@ -139,6 +145,7 @@ impl<E> CalendarQueue<E> {
         for b in &mut self.buckets {
             b.clear();
         }
+        self.stage.clear();
         self.cur = 0;
         self.window_end = 0;
         self.started = false;
@@ -233,6 +240,97 @@ impl<E> CalendarQueue<E> {
         self.anchor(at.ps());
         debug_assert_eq!(bi, self.cur);
         Some(self.take(bi, ix))
+    }
+
+    /// Drain a batch of earliest events in one bucket-granular pass.
+    ///
+    /// Clears `out`, then moves into it — in `(time, seq)` pop order —
+    /// the maximal prefix of the pop sequence whose times satisfy
+    /// `t <= min(first + span, cap)`, where `first` is the earliest
+    /// pending instant. The queue state afterwards (window position,
+    /// `now`, `popped`, `len`) is exactly what the same number of
+    /// [`pop`](CalendarQueue::pop) calls would leave, but each window is
+    /// emptied wholesale and sorted once instead of re-scanned per pop.
+    /// Returns the number of events drained; 0 when the queue is empty
+    /// or `first > cap` (the beyond-`cap` event stays pending).
+    pub fn drain_bucket(&mut self, span: Duration, cap: Time, out: &mut Vec<(Time, E)>) -> usize {
+        out.clear();
+        if self.len == 0 {
+            return 0;
+        }
+        // Position the window on the earliest pending event, exactly as
+        // `pop` would: walk at most one lap, then jump to the global
+        // minimum if the whole lap came up empty.
+        let nb = self.buckets.len();
+        let mut found = false;
+        for _ in 0..nb {
+            if self.best_in_window(self.cur).is_some() {
+                found = true;
+                break;
+            }
+            self.cur = (self.cur + 1) % nb;
+            self.window_end += self.width;
+        }
+        if !found {
+            let (_, _, at) = self.global_min();
+            self.anchor(at.ps());
+        }
+        let first = self.buckets[self.cur]
+            .iter()
+            .filter(|s| s.at.ps() < self.window_end)
+            .map(|s| s.at)
+            .min()
+            .expect("positioned window holds the minimum");
+        if first > cap {
+            return 0;
+        }
+        let limit = cap.min(first.saturating_add(span));
+        let mut drained = 0usize;
+        let mut last = first;
+        loop {
+            // Empty the current window of everything at or before
+            // `limit`. Slots from later ring laps fail the
+            // `at < window_end` test and stay put.
+            let window_end = self.window_end;
+            let bucket = &mut self.buckets[self.cur];
+            let mut i = 0;
+            while i < bucket.len() {
+                if bucket[i].at.ps() < window_end && bucket[i].at <= limit {
+                    self.stage.push(bucket.swap_remove(i));
+                } else {
+                    i += 1;
+                }
+            }
+            if !self.stage.is_empty() {
+                // Windows never overlap in time, so sorting per window
+                // and appending yields the global (time, seq) order.
+                self.stage.sort_unstable_by_key(|s| (s.at, s.seq));
+                drained += self.stage.len();
+                last = self.stage.last().expect("non-empty stage").at;
+                out.extend(self.stage.drain(..).map(|s| (s.at, s.payload)));
+            }
+            // Stop once the window has passed `limit` (every later
+            // window holds strictly later events) or nothing is left.
+            if self.window_end > limit.ps() || drained == self.len {
+                break;
+            }
+            self.cur = (self.cur + 1) % nb;
+            self.window_end += self.width;
+        }
+        debug_assert!(drained > 0, "first <= limit guarantees progress");
+        debug_assert!(
+            first >= self.now,
+            "pop-time monotonicity violated: batch starts {:?} behind now {:?}",
+            first,
+            self.now
+        );
+        self.len -= drained;
+        self.popped += drained as u64;
+        self.now = last;
+        // Leave the window exactly where a scalar pop sequence would:
+        // covering the last popped instant.
+        self.anchor(last.ps());
+        drained
     }
 
     /// Index of the minimal `(time, seq)` slot of `bucket` that falls

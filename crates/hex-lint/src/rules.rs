@@ -30,7 +30,14 @@ pub const EMIT_MODULE: &str = "crates/hex-analysis/src/emit.rs";
 /// Sealed traits and the modules allowed to implement them:
 /// `(trait name, allowed files, tests may implement)`.
 pub const SEALED_TRAITS: [(&str, &[&str], bool); 3] = [
-    ("FutureEventList", &["crates/hex-des/src/fel.rs"], false),
+    // The SoA node-state module is part of the batch-pop dispatch
+    // surface: its batch adapters may name the event list, and any
+    // future impl there is covered by the same determinism walls.
+    (
+        "FutureEventList",
+        &["crates/hex-des/src/fel.rs", "crates/hex-sim/src/soa.rs"],
+        false,
+    ),
     ("RunObserver", &["crates/hex-sim/src/observe.rs"], false),
     // `Reducer` is a public extension point: production impls live in
     // the two homes, but tests/benches/examples fold ad hoc.
@@ -750,6 +757,8 @@ mod tests {
             vec![Rule::SealedImpl]
         );
         assert!(lint_at("crates/hex-des/src/fel.rs", src).is_empty());
+        // The SoA module is part of the sealed batch-dispatch surface.
+        assert!(lint_at("crates/hex-sim/src/soa.rs", src).is_empty());
         // Generic *bounds* naming a sealed trait are not impls of it.
         let bound = "impl<Q: FutureEventList<Ev>> Holder<Q> { }\n";
         assert!(lint_at("crates/hex-sim/src/engine.rs", bound).is_empty());

@@ -13,17 +13,29 @@
 //! fails any check is deleted and reported as a miss: a torn write or a
 //! stale-engine entry can only cost a recomputation, never serve wrong
 //! bytes. Writes go to a `.tmp` sibling and are published by rename, so a
-//! crash mid-store leaves either the old state or the new one.
+//! crash mid-store leaves either the old state or the new one. Tmp names
+//! carry the process id and a process-global counter, so two daemons
+//! pointed at the same directory cannot clobber each other's in-flight
+//! writes; whatever `.tmp` siblings a crash strands are swept on the next
+//! [`Cache::open`].
 //!
 //! Eviction is FIFO by **generation**, a persisted monotonic counter
 //! stamped into each entry's header ([`Cache::open`] resumes it from the
 //! on-disk maximum). Using generations instead of file mtimes keeps the
 //! daemon free of host-clock reads — the workspace `wall-clock` lint
-//! applies here as everywhere outside the benches.
+//! applies here as everywhere outside the benches. Generation ties (two
+//! daemons can stamp the same counter value into one shared directory)
+//! break by ascending query hash, so the eviction order is a pure
+//! function of the entry headers. The directory is scanned once, at
+//! open; after that an in-memory index carries each entry's generation
+//! and size plus a running byte total, so stores stay O(log n) instead
+//! of re-reading every header.
 
+use std::collections::BTreeMap;
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use hex_sim::canon::{engine_version, fnv1a_64};
 
@@ -31,6 +43,11 @@ use hex_sim::canon::{engine_version, fnv1a_64};
 const MAGIC: &str = "hexres/1";
 
 const SUFFIX: &str = ".hexres";
+
+/// Process-global tmp-name counter: distinguishes in-flight writes from
+/// every `Cache` instance in this process (the pid in the name covers
+/// other processes).
+static TMP_SEQ: AtomicU64 = AtomicU64::new(0);
 
 /// A directory of verified, atomically-written result files with a FIFO
 /// size ceiling. Not internally synchronized — the server serializes
@@ -44,6 +61,12 @@ pub struct Cache {
     /// Engine tag stamped into (and demanded of) every entry.
     engine: String,
     next_gen: u64,
+    /// Every entry believed on disk: query hash → (generation, file
+    /// size). Built by the single directory scan in [`Cache::open`],
+    /// maintained by `store`/`load`/`evict` thereafter.
+    index: BTreeMap<u64, (u64, u64)>,
+    /// Running sum of the sizes in `index`.
+    total: u64,
 }
 
 /// What `load` found (distinguishes misses worth logging from clean ones).
@@ -59,14 +82,46 @@ pub enum Lookup {
 
 impl Cache {
     /// Open (creating if needed) a cache directory with a `max_mb` MiB
-    /// ceiling, resuming the eviction generation from the entries found.
+    /// ceiling. One scan sweeps `.tmp` files stranded by a crashed
+    /// writer, retires entries whose header no longer parses, builds the
+    /// in-memory index, and resumes the eviction generation from the
+    /// entries found.
     pub fn open(dir: impl Into<PathBuf>, max_mb: u64) -> io::Result<Cache> {
         let dir = dir.into();
         fs::create_dir_all(&dir)?;
+        let mut index = BTreeMap::new();
+        let mut total = 0u64;
         let mut max_gen = 0u64;
-        for entry in Self::entries(&dir)? {
-            if let Some(h) = read_header(&entry) {
-                max_gen = max_gen.max(h.generation);
+        for e in fs::read_dir(&dir)? {
+            let path = e?.path();
+            let ext = path.extension();
+            if ext.is_some_and(|x| x == "tmp") {
+                // A crash between write and rename strands the sibling;
+                // invisible to lookups (wrong extension), it would leak
+                // bytes forever without this sweep.
+                let _ = fs::remove_file(&path);
+                continue;
+            }
+            if !ext.is_some_and(|x| x == "hexres") {
+                continue;
+            }
+            let hash = path
+                .file_stem()
+                .and_then(|s| s.to_str())
+                .and_then(|s| u64::from_str_radix(s, 16).ok());
+            match (hash, read_header(&path)) {
+                (Some(hash), Some(h)) => {
+                    let size = fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
+                    max_gen = max_gen.max(h.generation);
+                    total += size;
+                    index.insert(hash, (h.generation, size));
+                }
+                // Unparsable name or torn header: the entry can never
+                // verify, so retire it now rather than carrying an
+                // unindexable file.
+                _ => {
+                    let _ = fs::remove_file(&path);
+                }
             }
         }
         Ok(Cache {
@@ -74,6 +129,8 @@ impl Cache {
             max_bytes: max_mb.saturating_mul(1024 * 1024),
             engine: engine_version(),
             next_gen: max_gen + 1,
+            index,
+            total,
         })
     }
 
@@ -83,11 +140,16 @@ impl Cache {
     }
 
     /// Look up a query hash, verifying the stored entry end to end.
-    pub fn load(&self, hash: u64) -> Lookup {
+    /// `&mut` because retiring a failed entry must also drop it from the
+    /// index.
+    pub fn load(&mut self, hash: u64) -> Lookup {
         let path = self.path_of(hash);
         let bytes = match fs::read(&path) {
             Ok(b) => b,
-            Err(e) if e.kind() == io::ErrorKind::NotFound => return Lookup::Miss,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => {
+                self.forget(hash);
+                return Lookup::Miss;
+            }
             Err(_) => return Lookup::Corrupt,
         };
         match verify(&bytes, hash, &self.engine) {
@@ -96,6 +158,7 @@ impl Cache {
                 // Torn write, stale engine, or plain corruption: retire
                 // the entry so it can be recomputed.
                 let _ = fs::remove_file(&path);
+                self.forget(hash);
                 Lookup::Corrupt
             }
         }
@@ -114,67 +177,67 @@ impl Cache {
         )
         .into_bytes();
         bytes.extend_from_slice(payload);
-        let tmp = self.dir.join(format!("{hash:016x}.tmp"));
+        let tmp = self.dir.join(format!(
+            "{hash:016x}.{}.{}.tmp",
+            std::process::id(),
+            TMP_SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
         let path = self.path_of(hash);
         fs::write(&tmp, &bytes)?;
         fs::rename(&tmp, &path)?;
+        self.forget(hash);
+        self.total += bytes.len() as u64;
+        self.index.insert(hash, (generation, bytes.len() as u64));
         self.evict()?;
         Ok(())
     }
 
-    /// Number of entry files currently on disk.
+    /// Number of entries in the index (entry files on disk).
     pub fn entry_count(&self) -> usize {
-        Self::entries(&self.dir).map(|e| e.len()).unwrap_or(0)
+        self.index.len()
     }
 
-    /// Total size of all entry files, in bytes.
+    /// Total size of all entry files, in bytes (the running total — no
+    /// directory scan).
     pub fn total_bytes(&self) -> u64 {
-        Self::entries(&self.dir)
-            .unwrap_or_default()
-            .iter()
-            .filter_map(|p| fs::metadata(p).ok())
-            .map(|m| m.len())
-            .sum()
+        self.total
     }
 
     fn path_of(&self, hash: u64) -> PathBuf {
         self.dir.join(format!("{hash:016x}{SUFFIX}"))
     }
 
-    /// All entry paths, sorted by name for deterministic traversal.
-    fn entries(dir: &Path) -> io::Result<Vec<PathBuf>> {
-        let mut out = Vec::new();
-        for e in fs::read_dir(dir)? {
-            let p = e?.path();
-            if p.extension().is_some_and(|x| x == "hexres") {
-                out.push(p);
-            }
+    /// Drop an entry from the index and the running total.
+    fn forget(&mut self, hash: u64) {
+        if let Some((_, size)) = self.index.remove(&hash) {
+            self.total -= size;
         }
-        out.sort();
-        Ok(out)
     }
 
-    /// Remove oldest-generation entries until the ceiling holds. The
+    /// Remove oldest entries — ascending (generation, hash), a total
+    /// order over the entry headers — until the ceiling holds. The
     /// newest entry always survives, even alone above the ceiling —
     /// evicting what was just stored would make large results uncacheable
     /// loops.
-    fn evict(&self) -> io::Result<()> {
+    fn evict(&mut self) -> io::Result<()> {
         if self.max_bytes == 0 {
             return Ok(());
         }
-        let mut aged: Vec<(u64, u64, PathBuf)> = Vec::new();
-        let mut total = 0u64;
-        for path in Self::entries(&self.dir)? {
-            let size = fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
-            let generation = read_header(&path).map(|h| h.generation).unwrap_or(0);
-            total += size;
-            aged.push((generation, size, path));
-        }
-        aged.sort();
-        while total > self.max_bytes && aged.len() > 1 {
-            let (_, size, path) = aged.remove(0);
-            fs::remove_file(&path)?;
-            total -= size;
+        while self.total > self.max_bytes && self.index.len() > 1 {
+            let (_, hash, _) = self
+                .index
+                .iter()
+                .map(|(&h, &(g, s))| (g, h, s))
+                .min()
+                .expect("index is non-empty inside the eviction loop");
+            match fs::remove_file(self.path_of(hash)) {
+                Ok(()) => {}
+                // Someone else (a sibling daemon) already removed it;
+                // the index entry is stale either way.
+                Err(e) if e.kind() == io::ErrorKind::NotFound => {}
+                Err(e) => return Err(e),
+            }
+            self.forget(hash);
         }
         Ok(())
     }
@@ -237,6 +300,21 @@ mod tests {
         dir
     }
 
+    /// Handcraft a well-formed entry file with a chosen generation —
+    /// what a sibling daemon sharing the directory would leave behind.
+    fn plant_entry(dir: &Path, hash: u64, generation: u64, payload: &[u8]) {
+        fs::create_dir_all(dir).unwrap();
+        let mut bytes = format!(
+            "{MAGIC} {} {hash:016x} {generation} {} {:016x}\n",
+            engine_version(),
+            payload.len(),
+            fnv1a_64(payload)
+        )
+        .into_bytes();
+        bytes.extend_from_slice(payload);
+        fs::write(dir.join(format!("{hash:016x}{SUFFIX}")), bytes).unwrap();
+    }
+
     #[test]
     fn store_then_load_round_trips() {
         let dir = scratch("round-trip");
@@ -256,7 +334,7 @@ mod tests {
         c.store(2, b"two").unwrap();
         let gen_before = c.next_gen;
         drop(c);
-        let c2 = Cache::open(&dir, 0).unwrap();
+        let mut c2 = Cache::open(&dir, 0).unwrap();
         assert_eq!(c2.load(1), Lookup::Hit(b"one".to_vec()));
         assert_eq!(c2.next_gen, gen_before, "generation counter resumed");
         fs::remove_dir_all(&dir).unwrap();
@@ -315,6 +393,116 @@ mod tests {
         let huge = vec![0x3c; 2 * 1024 * 1024];
         c.store(4, &huge).unwrap();
         assert_eq!(c.load(4), Lookup::Hit(huge));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn open_sweeps_stranded_tmp_files() {
+        let dir = scratch("tmp-sweep");
+        fs::create_dir_all(&dir).unwrap();
+        // What a writer crashed between `fs::write` and `fs::rename`
+        // leaves behind — both the old fixed name and the new
+        // process-qualified shape.
+        fs::write(dir.join("00000000000000aa.tmp"), b"half a write").unwrap();
+        fs::write(dir.join("00000000000000bb.12345.7.tmp"), b"torn").unwrap();
+        let mut c = Cache::open(&dir, 0).unwrap();
+        let leftovers: Vec<_> = fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().path())
+            .filter(|p| p.extension().is_some_and(|x| x == "tmp"))
+            .collect();
+        assert!(
+            leftovers.is_empty(),
+            "tmp files survived open: {leftovers:?}"
+        );
+        assert_eq!(c.entry_count(), 0);
+        assert_eq!(c.total_bytes(), 0);
+        // The swept directory works normally afterwards.
+        c.store(0xaa, b"fresh").unwrap();
+        assert_eq!(c.load(0xaa), Lookup::Hit(b"fresh".to_vec()));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn tmp_names_are_process_qualified() {
+        let dir = scratch("tmp-name");
+        let mut c = Cache::open(&dir, 0).unwrap();
+        // The rename is atomic, so the only observable trace of the tmp
+        // name is the counter: two stores of the SAME hash must not have
+        // reused one tmp path (a second daemon's in-flight write at the
+        // fixed legacy name would be clobbered mid-write).
+        let before = TMP_SEQ.load(Ordering::Relaxed);
+        c.store(5, b"first").unwrap();
+        c.store(5, b"second").unwrap();
+        assert!(
+            TMP_SEQ.load(Ordering::Relaxed) >= before + 2,
+            "each store must take a fresh tmp name"
+        );
+        assert_eq!(c.load(5), Lookup::Hit(b"second".to_vec()));
+        assert_eq!(c.entry_count(), 1, "re-store replaced, not duplicated");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn running_total_matches_disk() {
+        let dir = scratch("total");
+        let mut c = Cache::open(&dir, 0).unwrap();
+        c.store(1, &[1u8; 100]).unwrap();
+        c.store(2, &[2u8; 200]).unwrap();
+        // Replacing an entry must not double-count it.
+        c.store(1, &[3u8; 50]).unwrap();
+        let on_disk: u64 = fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().metadata().unwrap().len())
+            .sum();
+        assert_eq!(c.total_bytes(), on_disk);
+        // Retiring a corrupt entry shrinks the total.
+        let path = dir.join(format!("{:016x}{SUFFIX}", 2u64));
+        fs::write(&path, b"hexres/1 garbage").unwrap();
+        assert_eq!(c.load(2), Lookup::Corrupt);
+        assert_eq!(c.entry_count(), 1);
+        let on_disk: u64 = fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().metadata().unwrap().len())
+            .sum();
+        assert_eq!(c.total_bytes(), on_disk);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn generation_ties_evict_by_ascending_hash() {
+        let dir = scratch("tie");
+        // Two sibling daemons stamped the same generation into a shared
+        // directory. Ascending (generation, hash) must evict the LOWER
+        // hash first — never fall back to incidental path order.
+        let payload = vec![0x11u8; 400 * 1024];
+        plant_entry(&dir, 0xbeef, 7, &payload);
+        plant_entry(&dir, 0x0abc, 7, &payload);
+        let mut c = Cache::open(&dir, 1).unwrap();
+        assert_eq!(c.entry_count(), 2);
+        assert_eq!(c.next_gen, 8, "generation resumed past the tie");
+        // This store pushes the total just over 1 MiB: exactly one of
+        // the tied pair must go, and it must be the lower hash.
+        c.store(0xfeed, &vec![0x22u8; 300 * 1024]).unwrap();
+        assert_eq!(c.load(0x0abc), Lookup::Miss, "lower hash evicted on tie");
+        assert!(matches!(c.load(0xbeef), Lookup::Hit(_)), "higher hash kept");
+        assert!(matches!(c.load(0xfeed), Lookup::Hit(_)));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn open_retires_unparsable_entries() {
+        let dir = scratch("unparsable");
+        fs::create_dir_all(&dir).unwrap();
+        // A torn header can never verify; open retires it immediately so
+        // the index only carries entries it can account for.
+        fs::write(dir.join("0000000000000042.hexres"), b"hexres/1 tor").unwrap();
+        // A foreign file whose stem is not a hash.
+        fs::write(dir.join("notes.hexres"), b"not an entry").unwrap();
+        let c = Cache::open(&dir, 0).unwrap();
+        assert_eq!(c.entry_count(), 0);
+        assert!(!dir.join("0000000000000042.hexres").exists());
+        assert!(!dir.join("notes.hexres").exists());
         fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -1,14 +1,37 @@
 //! Blocking client for the `hexd/1` protocol — the thin layer `hexctl`'s
 //! `query`/`ping`/`stop` modes and the cache-warming drivers sit on.
+//!
+//! A daemon whose admission queue is full answers `busy` — transient
+//! backpressure, not failure: the queue drains as workers finish. Queries
+//! therefore retry `busy` answers with a bounded, deterministic
+//! exponential backoff (the HEX_SERVE_RETRIES knob sets the budget;
+//! [`Client::with_retries`] overrides it per client). An exhausted budget
+//! surfaces as [`std::io::ErrorKind::WouldBlock`], so callers can tell
+//! "still busy" apart from hard protocol failures — `hexctl query` maps
+//! it to its own exit code.
 
 use std::io;
+use std::thread;
+use std::time::Duration;
 
 use hex_sim::RunSpec;
 
 use crate::net::{connect, Addr, Stream};
 use crate::protocol::{
-    decode_response, encode_request, read_frame, write_frame, Query, QueryKind, Request, Response,
+    decode_response, encode_request, read_frame, write_frame, ErrorCode, Query, QueryKind, Request,
+    Response,
 };
+
+/// First backoff step after a `busy` answer; each further attempt
+/// doubles it (25, 50, 100, 200 ms, ...). A fixed schedule keeps retry
+/// behaviour a pure function of the retry budget.
+const BACKOFF_BASE_MS: u64 = 25;
+
+/// The HEX_SERVE_RETRIES knob, defaulting to 4 retries (so up to five
+/// attempts per query). 0 = fail fast on the first `busy`.
+fn retries_from_knobs() -> u32 {
+    hex_sim::knobs::parsed("HEX_SERVE_RETRIES", "a number of retries").unwrap_or(4)
+}
 
 /// What a successful query came back with.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -28,14 +51,24 @@ pub struct QueryReply {
 #[derive(Debug)]
 pub struct Client {
     stream: Stream,
+    /// `busy`-retry budget per query (attempts = retries + 1).
+    retries: u32,
 }
 
 impl Client {
-    /// Connect to an address in the [`Addr::parse`] grammar.
+    /// Connect to an address in the [`Addr::parse`] grammar. The retry
+    /// budget comes from the HEX_SERVE_RETRIES knob.
     pub fn connect(addr: &str) -> io::Result<Client> {
         Ok(Client {
             stream: connect(&Addr::parse(addr))?,
+            retries: retries_from_knobs(),
         })
+    }
+
+    /// Override the `busy`-retry budget (0 = fail fast).
+    pub fn with_retries(mut self, retries: u32) -> Client {
+        self.retries = retries;
+        self
     }
 
     /// Liveness probe.
@@ -68,6 +101,11 @@ impl Client {
     }
 
     /// Like [`Client::query`], but with pre-encoded canonical spec bytes.
+    ///
+    /// `busy` answers are retried up to the client's budget with
+    /// exponential backoff; exhaustion returns a
+    /// [`io::ErrorKind::WouldBlock`] error. Other daemon errors fail
+    /// immediately.
     pub fn query_raw(
         &mut self,
         kind: QueryKind,
@@ -79,23 +117,49 @@ impl Client {
             h,
             spec_bytes,
         });
-        match self.round_trip(&req)? {
-            Response::Ok {
-                cached,
-                engine,
-                query_hash,
-                payload,
-            } => Ok(QueryReply {
-                cached,
-                engine,
-                query_hash,
-                payload,
-            }),
-            Response::Err { code, message } => Err(io::Error::other(format!(
-                "hexd error [{}]: {message}",
-                code.token()
-            ))),
-            other => Err(unexpected(&other)),
+        let mut attempt = 0u32;
+        loop {
+            match self.round_trip(&req)? {
+                Response::Ok {
+                    cached,
+                    engine,
+                    query_hash,
+                    payload,
+                } => {
+                    return Ok(QueryReply {
+                        cached,
+                        engine,
+                        query_hash,
+                        payload,
+                    })
+                }
+                Response::Err {
+                    code: ErrorCode::Busy,
+                    message,
+                } => {
+                    if attempt >= self.retries {
+                        return Err(io::Error::new(
+                            io::ErrorKind::WouldBlock,
+                            format!(
+                                "hexd still busy after {} attempt(s): {message}",
+                                attempt + 1
+                            ),
+                        ));
+                    }
+                    // Deterministic schedule: 25 ms doubling per attempt,
+                    // no jitter — reproducibility beats thundering-herd
+                    // polish at this scale.
+                    thread::sleep(Duration::from_millis(BACKOFF_BASE_MS << attempt));
+                    attempt += 1;
+                }
+                Response::Err { code, message } => {
+                    return Err(io::Error::other(format!(
+                        "hexd error [{}]: {message}",
+                        code.token()
+                    )))
+                }
+                other => return Err(unexpected(&other)),
+            }
         }
     }
 

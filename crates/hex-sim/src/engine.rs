@@ -36,14 +36,14 @@
 
 use hex_core::delay::ResolvedDelays;
 use hex_core::{
-    DelayModel, FaultPlan, FiringState, HexGrid, LinkBehavior, NodeId, NodeState, PulseGraph, Role,
-    Timing, TriggerCause,
+    DelayModel, FaultPlan, HexGrid, LinkBehavior, NodeId, PulseGraph, Role, Timing, TriggerCause,
 };
 use hex_des::{
     CalendarQueue, Duration, EventQueue, FutureEventList, QuadHeapQueue, Schedule, SimRng, Time,
 };
 
 use crate::observe::{FireLog, PulseBinner, RunObserver};
+use crate::soa::SoaNodes;
 use crate::trace::{Arrival, Trace};
 
 /// Initial node states.
@@ -169,6 +169,27 @@ pub struct SimConfig {
     pub record_arrivals: bool,
     /// Future-event-list implementation (identical output either way).
     pub queue: QueuePolicy,
+    /// Drain the event list in bucket batches through the
+    /// structure-of-arrays kernels instead of one event at a time
+    /// (identical output either way, pinned by the determinism wall; see
+    /// [`batch_default`] for the `HEX_BATCH` escape hatch). Like `queue`,
+    /// this is a pure execution-strategy knob and is deliberately **not**
+    /// part of the canonical run encoding.
+    pub batch: bool,
+}
+
+/// The process-wide default for [`SimConfig::batch`]: batched kernels on,
+/// unless the `HEX_BATCH` env knob turns them off (`off`/`0`/`false`),
+/// which CI uses to keep the scalar reference path exercised by the full
+/// suite. Read once and cached, like the `HEX_QUEUE` policy default.
+pub fn batch_default() -> bool {
+    static ENV_DEFAULT: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *ENV_DEFAULT.get_or_init(|| match crate::knobs::raw("HEX_BATCH").as_deref() {
+        None => true,
+        Some("on") | Some("1") | Some("true") => true,
+        Some("off") | Some("0") | Some("false") => false,
+        Some(v) => panic!("HEX_BATCH must be on or off, got {v:?}"),
+    })
 }
 
 impl SimConfig {
@@ -183,6 +204,7 @@ impl SimConfig {
             horizon: None,
             record_arrivals: false,
             queue: QueuePolicy::default(),
+            batch: batch_default(),
         }
     }
 
@@ -216,14 +238,44 @@ impl SimConfig {
             .max(self.timing.link.hi)
             .max(self.timing.sleep.hi)
     }
+
+    /// The smallest increment the event loop ever schedules ahead of `now`:
+    /// the fastest delivery, memory timeout or sleep. This is the batch
+    /// span of the bucket-draining kernels — while a batch covering
+    /// `[first, first + min_increment]` is processed, every event it
+    /// schedules lands at or beyond the batch's end (same-instant pushes
+    /// get later sequence numbers), so draining the whole batch up front
+    /// replays the scalar pop order exactly. Only in-loop scheduling is
+    /// constrained: pre-loop pushes (corrupted-init residuals may be
+    /// arbitrarily short) all happen before the first batch is drained.
+    pub fn min_increment(&self) -> Duration {
+        self.delays
+            .envelope()
+            .lo
+            .min(self.timing.link.lo)
+            .min(self.timing.sleep.lo)
+    }
 }
 
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Copy)]
 enum Ev {
     SourceFire { node: NodeId },
     Deliver { link: u32 },
     LinkTimeout { node: NodeId, port: u8, epoch: u32 },
     Wake { node: NodeId, epoch: u32 },
+}
+
+impl Ev {
+    /// Discriminant for the batched kernel's same-kind run grouping.
+    #[inline]
+    fn kind(self) -> u8 {
+        match self {
+            Ev::SourceFire { .. } => 0,
+            Ev::Deliver { .. } => 1,
+            Ev::LinkTimeout { .. } => 2,
+            Ev::Wake { .. } => 3,
+        }
+    }
 }
 
 /// The scratch-resident future event list: one variant per
@@ -296,8 +348,13 @@ fn calendar_geometry(cfg: &SimConfig, nodes: usize) -> (i64, usize) {
 #[derive(Debug)]
 pub struct SimScratch {
     trace: Trace,
-    states: Vec<NodeState>,
+    /// Structure-of-arrays node state ([`SoaNodes`]): both the scalar and
+    /// the batched kernels run on the same parallel-vector layout.
+    nodes: SoaNodes,
     queue: FelQueue,
+    /// The batched kernels' pop buffer ([`FutureEventList::pop_batch`]
+    /// drains into it); recycled like every other arena here.
+    batch_buf: Vec<(Time, Ev)>,
     /// Per-node `role == Forwarder && !faulty` — the per-event
     /// eligibility test, hoisted out of the loop (a `FaultPlan` probe is
     /// a `BTreeMap` lookup).
@@ -333,8 +390,9 @@ impl SimScratch {
                 faulty: Vec::new(),
                 horizon: Time::ZERO,
             },
-            states: Vec::new(),
+            nodes: SoaNodes::new(),
             queue: FelQueue::Binary(EventQueue::new()),
+            batch_buf: Vec::new(),
             active: Vec::new(),
             faulty: Vec::new(),
             out: crate::spec::RunView::default(),
@@ -402,16 +460,10 @@ impl SimScratch {
         let n = graph.node_count();
         let shape_ok = self.trace.fires.len() == n
             && self.trace.arrivals.len() == n
-            && self.states.len() == n
-            && graph.node_ids().all(|id| {
-                let s = &self.states[id as usize];
-                s.id() == id && s.ports() == graph.port_count(id)
-            });
+            && self.nodes.matches(graph);
         if shape_ok {
             self.trace.clear();
-            for s in &mut self.states {
-                s.reset_clean();
-            }
+            self.nodes.reset_clean();
         } else {
             self.grows += 1;
             self.trace = Trace {
@@ -420,10 +472,7 @@ impl SimScratch {
                 faulty: Vec::new(),
                 horizon: Time::ZERO,
             };
-            self.states = graph
-                .node_ids()
-                .map(|id| NodeState::clean(id, graph.port_count(id)))
-                .collect();
+            self.nodes.rebuild(graph);
         }
 
         // Hoist the per-event eligibility checks into bitmasks.
@@ -557,8 +606,8 @@ fn prepare_run(graph: &PulseGraph, schedule: &Schedule, cfg: &SimConfig, seed: u
 
 /// Build the run context and drain the whole event list through the
 /// queue-policy match: the single observer-generic core behind both
-/// [`simulate_into`] and [`simulate_observed_into`]. One match per run,
-/// zero per-event dispatch on either axis.
+/// [`simulate_into`] and [`simulate_observed_into`]. One match per run
+/// (queue policy × scalar/batched), zero per-event dispatch on any axis.
 #[allow(clippy::too_many_arguments)]
 fn drive<O: RunObserver>(
     setup: &mut RunSetup,
@@ -566,11 +615,12 @@ fn drive<O: RunObserver>(
     cfg: &SimConfig,
     schedule: &Schedule,
     queue: &mut FelQueue,
-    states: &mut [NodeState],
+    nodes: &mut SoaNodes,
     active: &[bool],
     faulty: &[bool],
     obs: &mut O,
     arrivals: &mut [Vec<Arrival>],
+    batch_buf: &mut Vec<(Time, Ev)>,
 ) -> (u64, u64) {
     let ctx = RunCtx {
         graph,
@@ -582,37 +632,38 @@ fn drive<O: RunObserver>(
         all_links_correct: setup.behaviors.iter().all(|&b| b == LinkBehavior::Correct),
         horizon: setup.horizon,
     };
+    macro_rules! drain {
+        ($q:expr) => {
+            if cfg.batch {
+                run_events_batched(
+                    $q,
+                    &ctx,
+                    schedule,
+                    &setup.sources,
+                    nodes,
+                    obs,
+                    arrivals,
+                    &mut setup.rng,
+                    batch_buf,
+                )
+            } else {
+                run_events(
+                    $q,
+                    &ctx,
+                    schedule,
+                    &setup.sources,
+                    nodes,
+                    obs,
+                    arrivals,
+                    &mut setup.rng,
+                )
+            }
+        };
+    }
     match queue {
-        FelQueue::Binary(q) => run_events(
-            q,
-            &ctx,
-            schedule,
-            &setup.sources,
-            states,
-            obs,
-            arrivals,
-            &mut setup.rng,
-        ),
-        FelQueue::Quad(q) => run_events(
-            q,
-            &ctx,
-            schedule,
-            &setup.sources,
-            states,
-            obs,
-            arrivals,
-            &mut setup.rng,
-        ),
-        FelQueue::Calendar(q) => run_events(
-            q,
-            &ctx,
-            schedule,
-            &setup.sources,
-            states,
-            obs,
-            arrivals,
-            &mut setup.rng,
-        ),
+        FelQueue::Binary(q) => drain!(q),
+        FelQueue::Quad(q) => drain!(q),
+        FelQueue::Calendar(q) => drain!(q),
     }
 }
 
@@ -638,8 +689,9 @@ pub fn simulate_into<'s>(
     scratch.prepare(graph, cfg);
     let SimScratch {
         trace,
-        states,
+        nodes,
         queue,
+        batch_buf,
         active,
         faulty,
         ..
@@ -649,7 +701,8 @@ pub fn simulate_into<'s>(
     } = trace;
     let mut obs = FireLog { fires };
     let (popped, stale) = drive(
-        &mut setup, graph, cfg, schedule, queue, states, active, faulty, &mut obs, arrivals,
+        &mut setup, graph, cfg, schedule, queue, nodes, active, faulty, &mut obs, arrivals,
+        batch_buf,
     );
 
     trace.faulty = cfg.faults.faulty_nodes();
@@ -689,8 +742,9 @@ pub fn simulate_observed_into<'s>(
     scratch.prepare(graph, cfg);
     let SimScratch {
         trace,
-        states,
+        nodes,
         queue,
+        batch_buf,
         active,
         faulty,
         binner,
@@ -699,7 +753,7 @@ pub fn simulate_observed_into<'s>(
     binner.prepare(grid, schedule, d_mid, &cfg.faults.faulty_nodes());
     let arrivals = &mut trace.arrivals;
     let (popped, stale) = drive(
-        &mut setup, graph, cfg, schedule, queue, states, active, faulty, binner, arrivals,
+        &mut setup, graph, cfg, schedule, queue, nodes, active, faulty, binner, arrivals, batch_buf,
     );
 
     scratch.popped_events = popped;
@@ -707,25 +761,23 @@ pub fn simulate_observed_into<'s>(
     &scratch.binner
 }
 
-/// Schedule the initial events and drain the queue: the whole of one run.
-/// Firing records flow through `obs` — the [`FireLog`] of the trace path
-/// or the [`PulseBinner`] of the streaming path; both the queue and the
-/// observer are monomorphized, so the loop pays no per-event dispatch for
-/// either axis. Returns `(events popped, stale epoch-rejected events)`.
+/// Schedule everything that exists before the first event pops: source
+/// pulses, corrupted-init states with their residual timeouts, stuck-at-1
+/// port assertions and the time-0 guard sweep. Shared verbatim by the
+/// scalar and batched kernels — the pre-loop RNG draw order is part of
+/// their byte-equality contract.
 #[allow(clippy::too_many_arguments)]
-fn run_events<Q: FutureEventList<Ev>, O: RunObserver>(
+fn seed_events<Q: FutureEventList<Ev>, O: RunObserver>(
     q: &mut Q,
     ctx: &RunCtx<'_>,
     schedule: &Schedule,
     sources: &[NodeId],
-    states: &mut [NodeState],
+    nodes: &mut SoaNodes,
     obs: &mut O,
-    arrivals: &mut [Vec<Arrival>],
     rng: &mut SimRng,
-) -> (u64, u64) {
+) {
     let graph = ctx.graph;
     let cfg = ctx.cfg;
-    let record_arrivals = cfg.record_arrivals;
 
     // Schedule all source pulses.
     for (ix, &node) in sources.iter().enumerate() {
@@ -750,7 +802,7 @@ fn run_events<Q: FutureEventList<Ev>, O: RunObserver>(
                 InitState::AllAsleep => (true, Vec::new()),
                 InitState::Clean => unreachable!(),
             };
-            let eps = states[n as usize].force_arbitrary(sleeping, &set);
+            let eps = nodes.force_arbitrary(n, sleeping, &set);
             if let Some(e) = eps.sleep_epoch {
                 let residual = match cfg.init {
                     InitState::Arbitrary => rng.duration_in(Duration::ZERO, cfg.timing.sleep.hi),
@@ -782,7 +834,7 @@ fn run_events<Q: FutureEventList<Ev>, O: RunObserver>(
         }
         for (port, &l) in graph.in_links(n).iter().enumerate() {
             if ctx.behaviors[l as usize] == LinkBehavior::StuckOne {
-                if let Some(epoch) = states[n as usize].set_flag(port as u8) {
+                if let Some(epoch) = nodes.set_flag(n, port as u8) {
                     let dur = rng.duration_in(cfg.timing.link.lo, cfg.timing.link.hi);
                     q.push(
                         Time::ZERO + dur,
@@ -801,9 +853,32 @@ fn run_events<Q: FutureEventList<Ev>, O: RunObserver>(
     // immediately (time 0).
     for n in graph.node_ids() {
         if ctx.active[n as usize] {
-            maybe_fire(n, Time::ZERO, ctx, states, obs, q, rng);
+            maybe_fire::<Q, O, false>(n, Time::ZERO, ctx, nodes, obs, q, rng);
         }
     }
+}
+
+/// Schedule the initial events and drain the queue one event at a time:
+/// the scalar reference kernel. Firing records flow through `obs` — the
+/// [`FireLog`] of the trace path or the [`PulseBinner`] of the streaming
+/// path; both the queue and the observer are monomorphized, so the loop
+/// pays no per-event dispatch for either axis. Returns `(events popped,
+/// stale epoch-rejected events)`.
+#[allow(clippy::too_many_arguments)]
+fn run_events<Q: FutureEventList<Ev>, O: RunObserver>(
+    q: &mut Q,
+    ctx: &RunCtx<'_>,
+    schedule: &Schedule,
+    sources: &[NodeId],
+    nodes: &mut SoaNodes,
+    obs: &mut O,
+    arrivals: &mut [Vec<Arrival>],
+    rng: &mut SimRng,
+) -> (u64, u64) {
+    seed_events(q, ctx, schedule, sources, nodes, obs, rng);
+    let graph = ctx.graph;
+    let cfg = ctx.cfg;
+    let record_arrivals = cfg.record_arrivals;
 
     // Main loop.
     let mut stale = 0u64;
@@ -817,7 +892,7 @@ fn run_events<Q: FutureEventList<Ev>, O: RunObserver>(
                     continue; // mute/Byzantine source: outputs are constants
                 }
                 obs.on_fire(node, now, TriggerCause::Source);
-                broadcast(node, now, ctx, q, rng);
+                broadcast::<Q, false>(node, now, ctx, q, rng);
             }
             Ev::Deliver { link } => {
                 let l = graph.link(link);
@@ -825,7 +900,7 @@ fn run_events<Q: FutureEventList<Ev>, O: RunObserver>(
                 if !ctx.active[n as usize] {
                     continue;
                 }
-                if let Some(epoch) = states[n as usize].set_flag(l.dst_port) {
+                if let Some(epoch) = nodes.set_flag(n, l.dst_port) {
                     if record_arrivals {
                         arrivals[n as usize].push(Arrival {
                             at: now,
@@ -842,7 +917,7 @@ fn run_events<Q: FutureEventList<Ev>, O: RunObserver>(
                             epoch,
                         },
                     );
-                    maybe_fire(n, now, ctx, states, obs, q, rng);
+                    maybe_fire::<Q, O, false>(n, now, ctx, nodes, obs, q, rng);
                 }
             }
             Ev::LinkTimeout { node, port, epoch } => {
@@ -852,30 +927,30 @@ fn run_events<Q: FutureEventList<Ev>, O: RunObserver>(
                 // bookkeeping is corrupt (the dynamic twin of the
                 // hex-lint determinism rules).
                 debug_assert!(
-                    epoch <= states[node as usize].flag_epoch(port),
+                    epoch <= nodes.flag_epoch(node, port),
                     "LinkTimeout from the future: node {node} port {port} \
                      carries epoch {epoch} > current {}",
-                    states[node as usize].flag_epoch(port)
+                    nodes.flag_epoch(node, port)
                 );
-                if states[node as usize].expire_flag(port, epoch) {
-                    refresh_stuck_one(node, port, now, ctx, states, q, rng);
-                    maybe_fire(node, now, ctx, states, obs, q, rng);
+                if nodes.expire_flag(node, port, epoch) {
+                    refresh_stuck_one(node, port, now, ctx, nodes, q, rng);
+                    maybe_fire::<Q, O, false>(node, now, ctx, nodes, obs, q, rng);
                 } else {
                     stale += 1;
                 }
             }
             Ev::Wake { node, epoch } => {
                 debug_assert!(
-                    epoch <= states[node as usize].sleep_epoch(),
+                    epoch <= nodes.sleep_epoch(node),
                     "Wake from the future: node {node} carries epoch {epoch} > current {}",
-                    states[node as usize].sleep_epoch()
+                    nodes.sleep_epoch(node)
                 );
-                if states[node as usize].wake(epoch) {
+                if nodes.wake(node, epoch) {
                     // All flags were cleared; stuck-1 ports re-assert.
                     for port in 0..graph.port_count(node) as u8 {
-                        refresh_stuck_one(node, port, now, ctx, states, q, rng);
+                        refresh_stuck_one(node, port, now, ctx, nodes, q, rng);
                     }
-                    maybe_fire(node, now, ctx, states, obs, q, rng);
+                    maybe_fire::<Q, O, false>(node, now, ctx, nodes, obs, q, rng);
                 } else {
                     stale += 1;
                 }
@@ -886,27 +961,193 @@ fn run_events<Q: FutureEventList<Ev>, O: RunObserver>(
     (q.popped(), stale)
 }
 
+/// Schedule the initial events and drain the queue in bucket batches: the
+/// batched kernel behind [`SimConfig::batch`]. [`FutureEventList::pop_batch`]
+/// drains a span-bounded prefix of the pop sequence into `batch_buf`, and
+/// the events are processed as branch-light same-kind runs against the SoA
+/// node arrays. Byte-identical to [`run_events`] — same processing order,
+/// same RNG stream, same pop counters — because the batch span is
+/// [`SimConfig::min_increment`]: nothing processed inside a batch can
+/// schedule back into it.
+///
+/// The per-event `active`/`faulty` bitmask probes of the scalar loop are
+/// promoted to one whole-run mask test: when no node is faulty, every link
+/// behaves and every delivery targets an active forwarder, the entire drain
+/// runs through a `FAULT_FREE`-monomorphized kernel with no fault or role
+/// checks at all (and the stuck-at-1 refresh compiled out).
+#[allow(clippy::too_many_arguments)]
+fn run_events_batched<Q: FutureEventList<Ev>, O: RunObserver>(
+    q: &mut Q,
+    ctx: &RunCtx<'_>,
+    schedule: &Schedule,
+    sources: &[NodeId],
+    nodes: &mut SoaNodes,
+    obs: &mut O,
+    arrivals: &mut [Vec<Arrival>],
+    rng: &mut SimRng,
+    batch_buf: &mut Vec<(Time, Ev)>,
+) -> (u64, u64) {
+    seed_events(q, ctx, schedule, sources, nodes, obs, rng);
+    let graph = ctx.graph;
+    let fault_free = ctx.all_links_correct
+        && ctx.faulty.iter().all(|&f| !f)
+        && (0..graph.link_count() as u32).all(|l| ctx.active[graph.link(l).dst as usize]);
+    let stale = if fault_free {
+        drain_batches::<Q, O, true>(q, ctx, nodes, obs, arrivals, rng, batch_buf)
+    } else {
+        drain_batches::<Q, O, false>(q, ctx, nodes, obs, arrivals, rng, batch_buf)
+    };
+    // The scalar loop pops the first beyond-horizon event before breaking;
+    // mirror it so `popped()` stays byte-identical.
+    if !q.is_empty() {
+        q.pop_next();
+    }
+    (q.popped(), stale)
+}
+
+/// The batch-draining loop of [`run_events_batched`], monomorphized over
+/// the fault-free fast path. Returns the stale-event count.
+fn drain_batches<Q: FutureEventList<Ev>, O: RunObserver, const FAULT_FREE: bool>(
+    q: &mut Q,
+    ctx: &RunCtx<'_>,
+    nodes: &mut SoaNodes,
+    obs: &mut O,
+    arrivals: &mut [Vec<Arrival>],
+    rng: &mut SimRng,
+    batch: &mut Vec<(Time, Ev)>,
+) -> u64 {
+    let graph = ctx.graph;
+    let cfg = ctx.cfg;
+    let record_arrivals = cfg.record_arrivals;
+    let span = cfg.min_increment();
+    let mut stale = 0u64;
+    while q.pop_batch(span, ctx.horizon, batch) > 0 {
+        // Sort-free same-kind grouping: the batch is already in (time, seq)
+        // pop order; split it into maximal consecutive runs of one event
+        // kind and dispatch each run with a single match. Order within and
+        // across runs is untouched, so the replay stays exact.
+        let mut i = 0;
+        while i < batch.len() {
+            let kind = batch[i].1.kind();
+            let mut j = i + 1;
+            while j < batch.len() && batch[j].1.kind() == kind {
+                j += 1;
+            }
+            match kind {
+                0 => {
+                    for &(now, ev) in &batch[i..j] {
+                        let Ev::SourceFire { node } = ev else {
+                            unreachable!()
+                        };
+                        if !FAULT_FREE && ctx.faulty[node as usize] {
+                            continue; // mute/Byzantine source
+                        }
+                        obs.on_fire(node, now, TriggerCause::Source);
+                        broadcast::<Q, FAULT_FREE>(node, now, ctx, q, rng);
+                    }
+                }
+                1 => {
+                    for &(now, ev) in &batch[i..j] {
+                        let Ev::Deliver { link } = ev else {
+                            unreachable!()
+                        };
+                        let l = graph.link(link);
+                        let n = l.dst;
+                        if !FAULT_FREE && !ctx.active[n as usize] {
+                            continue;
+                        }
+                        if let Some(epoch) = nodes.set_flag(n, l.dst_port) {
+                            if record_arrivals {
+                                arrivals[n as usize].push(Arrival {
+                                    at: now,
+                                    from: l.src,
+                                    port: l.dst_port,
+                                });
+                            }
+                            let dur = rng.duration_in(cfg.timing.link.lo, cfg.timing.link.hi);
+                            q.push(
+                                now + dur,
+                                Ev::LinkTimeout {
+                                    node: n,
+                                    port: l.dst_port,
+                                    epoch,
+                                },
+                            );
+                            maybe_fire::<Q, O, FAULT_FREE>(n, now, ctx, nodes, obs, q, rng);
+                        }
+                    }
+                }
+                2 => {
+                    for &(now, ev) in &batch[i..j] {
+                        let Ev::LinkTimeout { node, port, epoch } = ev else {
+                            unreachable!()
+                        };
+                        debug_assert!(
+                            epoch <= nodes.flag_epoch(node, port),
+                            "LinkTimeout from the future: node {node} port {port} \
+                             carries epoch {epoch} > current {}",
+                            nodes.flag_epoch(node, port)
+                        );
+                        if nodes.expire_flag(node, port, epoch) {
+                            if !FAULT_FREE {
+                                refresh_stuck_one(node, port, now, ctx, nodes, q, rng);
+                            }
+                            maybe_fire::<Q, O, FAULT_FREE>(node, now, ctx, nodes, obs, q, rng);
+                        } else {
+                            stale += 1;
+                        }
+                    }
+                }
+                _ => {
+                    for &(now, ev) in &batch[i..j] {
+                        let Ev::Wake { node, epoch } = ev else {
+                            unreachable!()
+                        };
+                        debug_assert!(
+                            epoch <= nodes.sleep_epoch(node),
+                            "Wake from the future: node {node} carries epoch {epoch} > current {}",
+                            nodes.sleep_epoch(node)
+                        );
+                        if nodes.wake(node, epoch) {
+                            if !FAULT_FREE {
+                                // All flags were cleared; stuck-1 re-asserts.
+                                for port in 0..graph.port_count(node) as u8 {
+                                    refresh_stuck_one(node, port, now, ctx, nodes, q, rng);
+                                }
+                            }
+                            maybe_fire::<Q, O, FAULT_FREE>(node, now, ctx, nodes, obs, q, rng);
+                        } else {
+                            stale += 1;
+                        }
+                    }
+                }
+            }
+            i = j;
+        }
+    }
+    stale
+}
+
 /// If `node` is ready and its guard is satisfied, fire: observe the firing
-/// record, broadcast, sleep.
-fn maybe_fire<Q: FutureEventList<Ev>, O: RunObserver>(
+/// record, broadcast, sleep. `FAULT_FREE` only forwards to [`broadcast`].
+fn maybe_fire<Q: FutureEventList<Ev>, O: RunObserver, const FAULT_FREE: bool>(
     node: NodeId,
     now: Time,
     ctx: &RunCtx<'_>,
-    states: &mut [NodeState],
+    nodes: &mut SoaNodes,
     obs: &mut O,
     q: &mut Q,
     rng: &mut SimRng,
 ) {
-    let st = &mut states[node as usize];
-    if st.firing_state() != FiringState::Ready {
+    if nodes.is_sleeping(node) {
         return;
     }
-    let Some(ix) = st.satisfied_guard(ctx.graph.guard(node)) else {
+    let Some(ix) = nodes.satisfied_guard(node, ctx.graph.guard(node)) else {
         return;
     };
     let cause = TriggerCause::from_guard_index(ix);
     obs.on_fire(node, now, cause);
-    let sleep_epoch = st.fire();
+    let sleep_epoch = nodes.fire(node);
     let dur = rng.duration_in(ctx.cfg.timing.sleep.lo, ctx.cfg.timing.sleep.hi);
     q.push(
         now + dur,
@@ -915,22 +1156,23 @@ fn maybe_fire<Q: FutureEventList<Ev>, O: RunObserver>(
             epoch: sleep_epoch,
         },
     );
-    broadcast(node, now, ctx, q, rng);
+    broadcast::<Q, FAULT_FREE>(node, now, ctx, q, rng);
 }
 
 /// Send a trigger message on every correct outgoing link of `node`.
 ///
-/// With a fully-correct fault plan (the common case) the behaviors lookup
-/// is skipped entirely; the RNG stream is identical on both paths because
+/// With a fully-correct fault plan (the common case — and always under
+/// `FAULT_FREE`, where the branch is compiled out) the behaviors lookup is
+/// skipped entirely; the RNG stream is identical on both paths because
 /// every link is sampled either way.
-fn broadcast<Q: FutureEventList<Ev>>(
+fn broadcast<Q: FutureEventList<Ev>, const FAULT_FREE: bool>(
     node: NodeId,
     now: Time,
     ctx: &RunCtx<'_>,
     q: &mut Q,
     rng: &mut SimRng,
 ) {
-    if ctx.all_links_correct {
+    if FAULT_FREE || ctx.all_links_correct {
         for &l in ctx.graph.out_links(node) {
             let d = ctx.delays.sample(l, rng);
             q.push(now + d, Ev::Deliver { link: l });
@@ -946,13 +1188,14 @@ fn broadcast<Q: FutureEventList<Ev>>(
 }
 
 /// A stuck-at-1 in-port re-asserts its memory flag the instant it was
-/// cleared.
+/// cleared. (The `FAULT_FREE` batched kernel never calls this: fault-free
+/// implies `all_links_correct`, under which this is a no-op.)
 fn refresh_stuck_one<Q: FutureEventList<Ev>>(
     node: NodeId,
     port: u8,
     now: Time,
     ctx: &RunCtx<'_>,
-    states: &mut [NodeState],
+    nodes: &mut SoaNodes,
     q: &mut Q,
     rng: &mut SimRng,
 ) {
@@ -963,7 +1206,7 @@ fn refresh_stuck_one<Q: FutureEventList<Ev>>(
     if ctx.behaviors[l as usize] != LinkBehavior::StuckOne {
         return;
     }
-    if let Some(epoch) = states[node as usize].set_flag(port) {
+    if let Some(epoch) = nodes.set_flag(node, port) {
         let dur = rng.duration_in(ctx.cfg.timing.link.lo, ctx.cfg.timing.link.hi);
         q.push(now + dur, Ev::LinkTimeout { node, port, epoch });
     }
@@ -1568,6 +1811,137 @@ mod tests {
             0,
             "stale stale count survived reuse"
         );
+    }
+
+    /// The tentpole wall: the bucket-batched SoA kernels replay the scalar
+    /// reference byte-for-byte — fires, arrivals, popped/stale counters —
+    /// across every queue policy and every regime that exercises a
+    /// different kernel shape (fault-free fast path, faulty masks,
+    /// corrupted init with short residual timeouts).
+    #[test]
+    fn batched_kernels_match_scalar_reference() {
+        use hex_clock::{PulseTrain, Scenario};
+        let grid = HexGrid::new(8, 6);
+        let mut rng = SimRng::seed_from_u64(3);
+        let multi =
+            PulseTrain::new(Scenario::Zero, 4, Duration::from_ns(300.0)).generate(6, &mut rng);
+        let configs: Vec<(SimConfig, Schedule)> = vec![
+            // Fault-free clean start: the FAULT_FREE monomorphization.
+            (SimConfig::fault_free(), zero_schedule(6)),
+            // Byzantine node (stuck-at links, inert source): masked path.
+            (
+                SimConfig {
+                    faults: FaultPlan::none().with_node(grid.node(3, 2), NodeFault::Byzantine),
+                    timing: Timing::paper_scenario_iii(),
+                    record_arrivals: true,
+                    ..SimConfig::fault_free()
+                },
+                zero_schedule(6),
+            ),
+            // Corrupted init, tight timing, multi-pulse: heavy stale churn
+            // and pre-loop residuals shorter than the batch span.
+            (
+                SimConfig {
+                    timing: Timing::paper_scenario_iii(),
+                    init: InitState::Arbitrary,
+                    record_arrivals: true,
+                    ..SimConfig::fault_free()
+                },
+                multi,
+            ),
+        ];
+        let mut scalar_scratch = SimScratch::new();
+        let mut batched_scratch = SimScratch::new();
+        for (cfg, sched) in &configs {
+            for policy in QueuePolicy::ALL {
+                let scalar = SimConfig {
+                    queue: policy,
+                    batch: false,
+                    ..cfg.clone()
+                };
+                let batched = SimConfig {
+                    batch: true,
+                    ..scalar.clone()
+                };
+                let s =
+                    simulate_into(&mut scalar_scratch, grid.graph(), sched, &scalar, 77).clone();
+                let counters = (
+                    scalar_scratch.popped_events(),
+                    scalar_scratch.stale_events(),
+                );
+                let b = simulate_into(&mut batched_scratch, grid.graph(), sched, &batched, 77);
+                assert_eq!(b, &s, "batched diverged under {policy:?}");
+                assert_eq!(
+                    (
+                        batched_scratch.popped_events(),
+                        batched_scratch.stale_events()
+                    ),
+                    counters,
+                    "work counters diverged under {policy:?}"
+                );
+            }
+        }
+    }
+
+    /// The streaming observer sees the identical execution from the
+    /// batched kernels, with one dirty scratch alternating between the
+    /// scalar and batched paths (dirty-scratch reuse across dispatch
+    /// strategies must be as inert as across queue policies).
+    #[test]
+    fn batched_observed_path_matches_scalar_with_shared_scratch() {
+        let grid = HexGrid::new(7, 6);
+        let sched = zero_schedule(6);
+        let d_mid = hex_core::DelayRange::paper().mid();
+        let mut scratch = SimScratch::new();
+        for policy in QueuePolicy::ALL {
+            let scalar = SimConfig {
+                queue: policy,
+                batch: false,
+                timing: Timing::paper_scenario_iii(),
+                init: InitState::AllFlagsSet,
+                ..SimConfig::fault_free()
+            };
+            let batched = SimConfig {
+                batch: true,
+                ..scalar.clone()
+            };
+            // Same scratch, alternating strategies: batched first (dirties
+            // the batch buffer), then scalar, then batched again.
+            let b1: Vec<_> =
+                simulate_observed_into(&mut scratch, &grid, &sched, &batched, 9, d_mid)
+                    .slots()
+                    .to_vec();
+            let s: Vec<_> = simulate_observed_into(&mut scratch, &grid, &sched, &scalar, 9, d_mid)
+                .slots()
+                .to_vec();
+            let b2: Vec<_> =
+                simulate_observed_into(&mut scratch, &grid, &sched, &batched, 9, d_mid)
+                    .slots()
+                    .to_vec();
+            assert_eq!(b1, s, "batched observer diverged under {policy:?}");
+            assert_eq!(
+                b2, s,
+                "dirty-scratch batched rerun diverged under {policy:?}"
+            );
+        }
+        assert_eq!(scratch.grow_count(), 1);
+    }
+
+    /// The batch span is the fastest increment the loop can schedule.
+    #[test]
+    fn min_increment_is_the_fastest_event() {
+        let cfg = SimConfig::fault_free();
+        // The delivery envelope's lower edge is the fastest increment
+        // under generous timing.
+        assert_eq!(cfg.min_increment(), cfg.delays.envelope().lo);
+        let tight = SimConfig {
+            timing: Timing::paper_scenario_iii(),
+            ..SimConfig::fault_free()
+        };
+        assert!(tight.min_increment() <= tight.timing.link.lo);
+        assert!(tight.min_increment() <= tight.timing.sleep.lo);
+        assert!(tight.min_increment() <= tight.delays.envelope().lo);
+        assert!(tight.min_increment() > Duration::ZERO);
     }
 
     #[test]

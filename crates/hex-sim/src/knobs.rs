@@ -31,6 +31,10 @@ pub const KNOWN: &[(&str, &str)] = &[
         "HEX_QUEUE",
         "future-event-list policy: binary_heap | quad_heap | calendar",
     ),
+    (
+        "HEX_BATCH",
+        "engine dispatch: on = bucket-batched SoA kernels (default) | off = scalar reference",
+    ),
     ("HEX_EMIT", "table output format: csv | json | off"),
     ("HEX_CSV", "legacy alias for HEX_EMIT=csv (presence only)"),
     (
@@ -48,6 +52,10 @@ pub const KNOWN: &[(&str, &str)] = &[
     (
         "HEX_SERVE_WORKERS",
         "hexd compute-worker count (default: available parallelism)",
+    ),
+    (
+        "HEX_SERVE_RETRIES",
+        "hexctl retry budget when hexd answers `busy` (default: 4; 0 = fail fast)",
     ),
     (
         "HEX_BENCH_BUDGET_MS",
@@ -137,6 +145,7 @@ mod tests {
             "HEX_CACHE_DIR",
             "HEX_CACHE_MAX_MB",
             "HEX_SERVE_WORKERS",
+            "HEX_SERVE_RETRIES",
         ] {
             assert!(
                 KNOWN.iter().any(|(n, _)| *n == name),

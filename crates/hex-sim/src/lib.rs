@@ -42,6 +42,7 @@ pub mod engine;
 pub mod invariants;
 pub mod knobs;
 pub mod observe;
+pub mod soa;
 pub mod spec;
 pub mod trace;
 pub mod vcd;

@@ -181,6 +181,13 @@ impl PulseBinner {
         self.spurious
     }
 
+    /// The raw node-major slot buffer (`slots[node · pulses + k]`): the
+    /// complete binned observation in one flat view, for walls that pin
+    /// two observed runs byte-identical without probing slot by slot.
+    pub fn slots(&self) -> &[Option<Time>] {
+        &self.slots
+    }
+
     /// Faulty node ids of the observed run (ascending).
     pub fn faulty(&self) -> &[NodeId] {
         &self.faulty

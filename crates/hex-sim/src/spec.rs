@@ -479,6 +479,11 @@ impl RunSpec {
             horizon: None,
             record_arrivals: false,
             queue: self.queue,
+            // Like `threads`, the dispatch strategy is not part of the
+            // spec vocabulary (and not canonically encoded): batched and
+            // scalar kernels are byte-identical, so the process-wide
+            // `HEX_BATCH` default applies.
+            batch: crate::engine::batch_default(),
         };
         RunInputs {
             seed,
@@ -994,6 +999,73 @@ mod tests {
                 let fresh = spec.run_one_with(&grid, run);
                 let reused = spec.run_one_into(&grid, &mut scratch, run);
                 prop_assert_eq!(reused, &fresh, "run {} diverged under reuse", run);
+            }
+        }
+
+        /// The observed-fold wall for the batched kernels: for randomized
+        /// specs, every run's streamed [`PulseBinner`] — the exact state
+        /// [`RunSpec::fold_observed`] reduces — is identical whether the
+        /// engine dispatches one event at a time or in bucket batches,
+        /// across all three queue policies, each side on its own dirty
+        /// reused scratch.
+        #[test]
+        fn prop_batched_observed_runs_equal_scalar(
+            length in 4u32..8,
+            width in 6u32..9,
+            regime in 0usize..4,
+            pulses in 1usize..3,
+            arbitrary_init in 0usize..2,
+            seed in 0u64..1_000_000,
+        ) {
+            let faults = match regime {
+                0 => FaultRegime::None,
+                1 => FaultRegime::Byzantine(1),
+                2 => FaultRegime::FailSilent(1),
+                _ => FaultRegime::Mixed { byzantine: 1, fail_silent: 1 },
+            };
+            let init = if arbitrary_init == 0 {
+                InitState::Clean
+            } else {
+                InitState::Arbitrary
+            };
+            let spec = RunSpec::grid(length, width)
+                .runs(2)
+                .seed(seed)
+                .scenario(Scenario::RandomDPlus)
+                .faults(faults)
+                .init(init)
+                .pulses(pulses);
+            let grid = spec.hex_grid();
+            let d_mid = spec.delays.envelope().mid();
+            let mut scalar_scratch = SimScratch::new();
+            let mut batched_scratch = SimScratch::new();
+            for run in 0..spec.runs {
+                let inputs = spec.materialize(run);
+                for policy in QueuePolicy::ALL {
+                    let scalar_cfg = SimConfig {
+                        queue: policy,
+                        batch: false,
+                        ..inputs.config.clone()
+                    };
+                    let batched_cfg = SimConfig {
+                        batch: true,
+                        ..scalar_cfg.clone()
+                    };
+                    let s = simulate_observed_into(
+                        &mut scalar_scratch, &grid, &inputs.schedule,
+                        &scalar_cfg, inputs.seed, d_mid,
+                    );
+                    let (slots, spurious) = (s.slots().to_vec(), s.spurious());
+                    let b = simulate_observed_into(
+                        &mut batched_scratch, &grid, &inputs.schedule,
+                        &batched_cfg, inputs.seed, d_mid,
+                    );
+                    prop_assert_eq!(
+                        b.slots(), &slots[..],
+                        "run {} under {:?}: batched binner diverged", run, policy
+                    );
+                    prop_assert_eq!(b.spurious(), spurious);
+                }
             }
         }
     }

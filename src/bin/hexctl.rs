@@ -21,6 +21,10 @@
 //! Plain `std::env::args` parsing — no CLI dependency; unknown flags,
 //! malformed values, and unknown subcommands all exit 2 with the usage
 //! string.
+//!
+//! Exit codes: 0 success, 1 failure, 2 usage, 3 daemon still busy after
+//! the retry budget (HEX_SERVE_RETRIES) ran out — retryable by the
+//! caller, unlike 1.
 
 use hexclock::analysis::reduce::ObservedStabilizationReducer;
 use hexclock::analysis::stabilization::{summarize, Criterion};
@@ -289,9 +293,16 @@ fn cmd_query(o: &Opts) -> Result<(), String> {
     };
     let addr = addr_for(o);
     let mut client = Client::connect(&addr).map_err(|e| format!("connect {addr}: {e}"))?;
-    let reply = client
-        .query(o.kind, o.hop, &spec)
-        .map_err(|e| format!("query: {e}"))?;
+    let reply = match client.query(o.kind, o.hop, &spec) {
+        Ok(r) => r,
+        // The client already retried `busy` through its backoff budget;
+        // exit 3 tells scripts "try again later" apart from hard failure.
+        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+            eprintln!("hexctl query: {e}");
+            std::process::exit(3);
+        }
+        Err(e) => return Err(format!("query: {e}")),
+    };
     // Provenance on stderr, payload alone on stdout: scripts can consume
     // the JSON while the CI smoke job greps the cache_hit flag.
     eprintln!(

@@ -326,3 +326,138 @@ fn bad_queries_get_errors_and_the_daemon_survives() {
     );
     cleanup(&cfg);
 }
+
+/// Crash recovery: a daemon that died between `fs::write` and
+/// `fs::rename` leaves an orphaned `.tmp` sibling, and a torn entry can
+/// be left by a truncated write. A cold start over that directory must
+/// sweep the orphans, recompute the torn entry, and serve byte-identical
+/// results — never serve torn bytes, never leak the tmp files.
+#[test]
+fn cold_start_recovers_from_orphaned_tmp_and_torn_entries() {
+    let cfg = test_config("crash");
+    let spec = small_spec();
+
+    // A healthy first life: compute and cache one result.
+    let handle = serve(cfg.clone()).expect("start hexd");
+    let mut client = Client::connect(&handle.addr()).expect("connect");
+    let cold = client.query(QueryKind::Skew, 0, &spec).expect("cold query");
+    assert!(!cold.cached);
+    drop(client);
+    handle.shutdown();
+
+    // Simulate the crash aftermath. Orphaned in-flight writes in both
+    // shapes (fixed legacy name, process-qualified name) ...
+    std::fs::write(cfg.cache_dir.join("00000000deadbeef.tmp"), b"orphan").unwrap();
+    std::fs::write(
+        cfg.cache_dir
+            .join(format!("{:016x}.9999.3.tmp", cold.query_hash)),
+        b"in-flight",
+    )
+    .unwrap();
+    // ... and the cached entry torn mid-payload.
+    let entry = cfg
+        .cache_dir
+        .join(format!("{:016x}.hexres", cold.query_hash));
+    let full = std::fs::read(&entry).unwrap();
+    std::fs::write(&entry, &full[..full.len() - full.len() / 3]).unwrap();
+
+    // Second life over the damaged directory.
+    let handle = serve(cfg.clone()).expect("restart hexd");
+    let mut client = Client::connect(&handle.addr()).expect("reconnect");
+    let recovered = client.query(QueryKind::Skew, 0, &spec).expect("recovery");
+    assert!(
+        !recovered.cached,
+        "torn entry must be recomputed, not replayed"
+    );
+    assert_eq!(
+        recovered.payload, cold.payload,
+        "recomputed bytes diverged from the original computation"
+    );
+    let warm = client.query(QueryKind::Skew, 0, &spec).expect("warm query");
+    assert!(warm.cached, "recomputed entry must be cached again");
+    assert_eq!(warm.payload, cold.payload);
+    drop(client);
+    let stats = handle.shutdown();
+    assert_eq!(stats.computations, 1);
+    assert_eq!(stats.cache_hits, 1);
+
+    // The sweep removed every tmp orphan; only the fresh entry remains.
+    let leftovers: Vec<_> = std::fs::read_dir(&cfg.cache_dir)
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .filter(|p| !p.extension().is_some_and(|x| x == "hexres"))
+        .collect();
+    assert!(
+        leftovers.is_empty(),
+        "orphans survived the sweep: {leftovers:?}"
+    );
+    cleanup(&cfg);
+}
+
+/// Busy backpressure is transient, not fatal: with one worker and a
+/// one-slot admission queue, a third concurrent query is answered
+/// `busy`. A zero-retry client must surface that as `WouldBlock` (hexctl
+/// exit 3); a retrying client must wait the queue out and succeed.
+#[test]
+fn busy_answers_are_retried_until_the_queue_drains() {
+    let mut cfg = test_config("busy");
+    cfg.workers = 1;
+    cfg.queue_depth = 1;
+    // Slow enough (hundreds of ms even in release builds) to hold the
+    // single worker while the rest of the test runs; distinct seeds keep
+    // the queries from coalescing.
+    let slow = RunSpec::grid(96, 48)
+        .runs(128)
+        .seed(900)
+        .queue(QueuePolicy::Calendar);
+    let queued = small_spec().seed(901);
+    let crowded = small_spec().seed(902);
+
+    let handle = serve(cfg.clone()).expect("start hexd");
+    let addr = handle.addr();
+    let stats = std::thread::scope(|scope| {
+        // Occupies the worker.
+        let a = scope.spawn(|| {
+            let mut c = Client::connect(&addr).expect("connect A");
+            c.query(QueryKind::Skew, 0, &slow).expect("slow query")
+        });
+        std::thread::sleep(std::time::Duration::from_millis(60));
+        // Occupies the one queue slot (retries cover the window where
+        // the slow query is still queued rather than being computed).
+        let b = scope.spawn(|| {
+            let mut c = Client::connect(&addr).expect("connect B").with_retries(12);
+            c.query(QueryKind::Skew, 0, &queued).expect("queued query")
+        });
+        std::thread::sleep(std::time::Duration::from_millis(60));
+
+        // Fail-fast client: the full queue must come back as WouldBlock.
+        let mut c = Client::connect(&addr).expect("connect C").with_retries(0);
+        let refused = c
+            .query(QueryKind::Skew, 0, &crowded)
+            .expect_err("queue full, zero retries: the query must be refused");
+        assert_eq!(
+            refused.kind(),
+            std::io::ErrorKind::WouldBlock,
+            "busy exhaustion must map to WouldBlock, got: {refused}"
+        );
+
+        // The same query with a retry budget waits the backlog out.
+        let mut c = Client::connect(&addr)
+            .expect("reconnect C")
+            .with_retries(12);
+        let served = c
+            .query(QueryKind::Skew, 0, &crowded)
+            .expect("retrying client must eventually be served");
+        assert!(!served.payload.is_empty());
+
+        a.join().unwrap();
+        b.join().unwrap();
+        handle.shutdown()
+    });
+    assert_eq!(stats.computations, 3, "all three distinct queries computed");
+    assert!(
+        stats.rejected >= 1,
+        "the crowded query must have been turned away at least once"
+    );
+    cleanup(&cfg);
+}

@@ -59,8 +59,13 @@ pub mod wave;
 
 pub use emit::{Emitter, Table, Value};
 pub use reduce::{
-    batch_skews, batch_skews_from_views, BatchSkews, ObservedSkewReducer,
-    ObservedStabilizationReducer, SkewReducer, StabilizationReducer,
+    batch_skews, batch_skews_from_views, campaign_restabilization, BatchSkews,
+    ObservedRestabilizationReducer, ObservedSkewReducer, ObservedStabilizationReducer, SkewReducer,
+    StabilizationReducer,
 };
 pub use skew::{collect_skews, collect_skews_observed, exclusion_mask, SkewSamples};
+pub use stabilization::{
+    campaign_summary_table, restabilization_observed, summarize_campaign, CampaignStats,
+    DisturbanceStats, Restabilization,
+};
 pub use stats::{total_f64, Summary};

@@ -20,13 +20,15 @@
 //! ```
 
 use hex_core::HexGrid;
+use hex_des::Time;
 use hex_sim::batch::Reducer;
 use hex_sim::spec::{RunSpec, RunView};
 use hex_sim::PulseBinner;
 
 use crate::skew::{collect_skews, collect_skews_observed, exclusion_mask, SkewSamples};
 use crate::stabilization::{
-    observed_pulse_profiles, stabilization_from_profiles, stabilization_pulse, Criterion,
+    observed_pulse_profiles, restabilization_observed, stabilization_from_profiles,
+    stabilization_pulse, summarize_campaign, CampaignStats, Criterion, Restabilization,
 };
 use crate::stats::Summary;
 
@@ -388,6 +390,95 @@ impl Reducer<PulseBinner> for ObservedStabilizationReducer<'_> {
     }
 }
 
+/// A [`Reducer`] estimating, per run, the re-stabilization of every
+/// scripted disturbance of a dynamic fault campaign — straight from the
+/// worker's [`PulseBinner`], so a 250-run campaign sweep runs trace-free
+/// at batch scale. The accumulator is run-major ([run][disturbance]), in
+/// run order; feed it to
+/// [`summarize_campaign`](crate::stabilization::summarize_campaign).
+#[derive(Debug)]
+pub struct ObservedRestabilizationReducer<'a> {
+    grid: &'a HexGrid,
+    criterion: &'a Criterion,
+    disturbances: &'a [Time],
+    h: usize,
+}
+
+impl<'a> ObservedRestabilizationReducer<'a> {
+    /// Estimate recovery from each of `disturbances` (ascending, e.g.
+    /// [`FaultScript::disturbance_times`](hex_core::FaultScript::disturbance_times))
+    /// against `criterion`, with `h`-hop exclusion around each run's
+    /// *static* faults (scripted campaigns usually start fault-free, so
+    /// `h` only matters when a script rides on a `Plan` base).
+    pub fn new(
+        grid: &'a HexGrid,
+        criterion: &'a Criterion,
+        disturbances: &'a [Time],
+        h: usize,
+    ) -> Self {
+        ObservedRestabilizationReducer {
+            grid,
+            criterion,
+            disturbances,
+            h,
+        }
+    }
+}
+
+impl Reducer<PulseBinner> for ObservedRestabilizationReducer<'_> {
+    type Acc = Vec<Vec<Restabilization>>;
+
+    fn empty(&self) -> Self::Acc {
+        Vec::new()
+    }
+
+    fn fold(&self, acc: &mut Self::Acc, run: usize, binner: PulseBinner) {
+        self.fold_ref(acc, run, &binner);
+    }
+
+    fn fold_ref(&self, acc: &mut Self::Acc, _run: usize, binner: &PulseBinner) {
+        let mask = exclusion_mask(self.grid, binner.faulty(), self.h);
+        let profiles = observed_pulse_profiles(self.grid, binner, &mask);
+        acc.push(restabilization_observed(
+            self.grid,
+            binner,
+            &profiles,
+            self.criterion,
+            self.disturbances,
+        ));
+    }
+
+    fn merge(&self, mut left: Self::Acc, right: Self::Acc) -> Self::Acc {
+        left.extend(right);
+        left
+    }
+}
+
+/// Run the campaign described by `spec` (a
+/// [`FaultRegime::Script`](hex_sim::spec::FaultRegime::Script) batch) and
+/// summarize per-disturbance re-stabilization against `criterion` with
+/// `h`-hop static-fault exclusion, streaming through the observed fold.
+///
+/// # Panics
+///
+/// Panics if the spec's fault regime carries no script — a campaign
+/// without disturbances has nothing to re-stabilize from.
+pub fn campaign_restabilization(spec: &RunSpec, criterion: &Criterion, h: usize) -> CampaignStats {
+    let script = spec
+        .faults
+        .script()
+        .expect("campaign_restabilization needs a FaultRegime::Script spec");
+    let disturbances = script.disturbance_times();
+    let grid = spec.hex_grid();
+    let per_run = spec.fold_observed(&ObservedRestabilizationReducer::new(
+        &grid,
+        criterion,
+        &disturbances,
+        h,
+    ));
+    summarize_campaign(&per_run)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -559,6 +650,59 @@ mod tests {
         let materialized = spec.fold(&StabilizationReducer::new(&grid, &criteria, 0));
         assert_eq!(observed, materialized);
         assert!(observed.last().unwrap().iter().all(Option::is_none));
+    }
+
+    /// A scripted crash + clean rejoin between two pulses: every run
+    /// re-stabilizes, and the run-major accumulator is identical across
+    /// queue policies and worker-thread counts (the campaign sweep's
+    /// byte-identity claim, through the streaming observed fold).
+    #[test]
+    fn campaign_restabilization_recovers_and_is_policy_invariant() {
+        use hex_core::{FaultScript, RejoinState};
+        use hex_sim::QueuePolicy;
+
+        let base = RunSpec::grid(8, 6).runs(4).threads(2).pulses(6).seed(11);
+        let grid = base.hex_grid();
+        let s = base.separation();
+        // Crash a mid-grid forwarder between pulses 1 and 2, rejoin clean
+        // between pulses 2 and 3: pulse 2 is incomplete, pulse 3 recovers.
+        let crash = hex_des::Time::ZERO + s + s / 2;
+        let heal = hex_des::Time::ZERO + s.times(2) + s / 2;
+        let script = FaultScript::crash_rejoin(grid.node(3, 2), crash, heal, RejoinState::Clean);
+        let spec = base.faults(FaultRegime::Script(script.clone()));
+        let times = script.disturbance_times();
+        assert_eq!(times, vec![crash]);
+        let crit = Criterion::uniform(hex_core::D_PLUS * 2, D_PLUS, spec.length);
+
+        let stats = campaign_restabilization(&spec, &crit, 0);
+        assert_eq!(stats.disturbances.len(), 1);
+        let d = &stats.disturbances[0];
+        assert_eq!(d.runs, 4);
+        assert_eq!(d.restabilized, 4, "campaign failed to re-stabilize");
+        assert!(d.worst_pulses.is_some());
+        assert!(stats.fully_recovered());
+        assert_eq!(stats.worst(), d.worst_pulses);
+
+        let reference = spec.fold_observed(&ObservedRestabilizationReducer::new(
+            &grid, &crit, &times, 0,
+        ));
+        assert_eq!(reference.len(), 4);
+        for policy in QueuePolicy::ALL {
+            for threads in [1usize, 3] {
+                let leg = spec.clone().queue(policy).threads(threads);
+                let acc = leg.fold_observed(&ObservedRestabilizationReducer::new(
+                    &grid, &crit, &times, 0,
+                ));
+                assert_eq!(acc, reference, "{policy:?} × {threads} threads diverged");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "needs a FaultRegime::Script")]
+    fn campaign_restabilization_rejects_unscripted_specs() {
+        let crit = Criterion::uniform(D_PLUS, D_PLUS, 12);
+        campaign_restabilization(&small(), &crit, 0);
     }
 
     #[test]

@@ -315,6 +315,219 @@ pub fn stabilization_summary_table(stats: &StabilizationStats) -> crate::emit::T
     t
 }
 
+// ---------------------------------------------------------------------------
+// Re-stabilization after scripted mid-run disturbances.
+
+/// The re-stabilization estimate of one disturbance in one run: how the
+/// grid recovered from a scripted fault transition (a
+/// [`FaultScript`](hex_core::FaultScript) injection).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Restabilization {
+    /// When the disturbance was injected.
+    pub at: Time,
+    /// The first recorded pulse whose layer-0 wave starts at or after the
+    /// disturbance (`None` if the disturbance lands after the last
+    /// recorded pulse).
+    pub covered: Option<usize>,
+    /// The first pulse `k ≥ covered` from which every pulse up to the
+    /// next disturbance (or the end of the run) satisfies the criterion —
+    /// the per-disturbance analogue of [`stabilization_pulse`]'s
+    /// persistence requirement. `None` if the window never recovers.
+    pub pulse: Option<usize>,
+}
+
+impl Restabilization {
+    /// Pulses the grid needed to re-stabilize, 1-based like
+    /// [`StabilizationStats::avg`]: 1 means the very first pulse issued
+    /// after the disturbance already satisfied the criterion. `None` if
+    /// the disturbance was never covered or never recovered from.
+    pub fn pulses_to_restabilize(&self) -> Option<usize> {
+        match (self.covered, self.pulse) {
+            (Some(c), Some(p)) => Some(p - c + 1),
+            _ => None,
+        }
+    }
+}
+
+/// The layer-0 start of pulse `k`: the earliest recorded source time.
+fn pulse_start(grid: &HexGrid, binner: &PulseBinner, pulse: usize) -> Option<Time> {
+    (0..grid.width())
+        .filter_map(|col| binner.grid_time(pulse, 0, col as i64))
+        .min()
+}
+
+/// Per-disturbance re-stabilization estimates of one observed run.
+///
+/// `disturbances` must be ascending (e.g.
+/// [`FaultScript::disturbance_times`](hex_core::FaultScript::disturbance_times));
+/// `profiles` are the run's pre-extracted [`observed_pulse_profiles`].
+/// Each disturbance owns the pulse segment from its first covering pulse
+/// up to (excluding) the next disturbance's, and re-stabilizes at the
+/// start of the segment's longest criterion-satisfying suffix — so a
+/// later disturbance cannot mask an earlier one's recovery, and two
+/// disturbances inside one pulse window leave the earlier one
+/// unrecovered (its segment is empty).
+pub fn restabilization_observed(
+    grid: &HexGrid,
+    binner: &PulseBinner,
+    profiles: &[PulseProfile],
+    criterion: &Criterion,
+    disturbances: &[Time],
+) -> Vec<Restabilization> {
+    assert!(
+        disturbances.windows(2).all(|w| w[0] <= w[1]),
+        "disturbance times must be ascending"
+    );
+    let ok: Vec<bool> = profiles.iter().map(|p| p.satisfies(criterion)).collect();
+    let covered: Vec<Option<usize>> = disturbances
+        .iter()
+        .map(|&t| {
+            (0..profiles.len()).find(|&k| pulse_start(grid, binner, k).is_some_and(|s| s >= t))
+        })
+        .collect();
+    disturbances
+        .iter()
+        .enumerate()
+        .map(|(i, &at)| {
+            let Some(from) = covered[i] else {
+                return Restabilization {
+                    at,
+                    covered: None,
+                    pulse: None,
+                };
+            };
+            let until = covered[i + 1..]
+                .iter()
+                .flatten()
+                .next()
+                .copied()
+                .unwrap_or(profiles.len());
+            Restabilization {
+                at,
+                covered: Some(from),
+                pulse: longest_suffix_start(&ok[from..until]).map(|k| from + k),
+            }
+        })
+        .collect()
+}
+
+/// Aggregate re-stabilization statistics of one disturbance over a
+/// campaign's runs.
+#[derive(Debug, Clone, Copy)]
+pub struct DisturbanceStats {
+    /// When the disturbance is injected (identical in every run).
+    pub at: Time,
+    /// Total runs.
+    pub runs: usize,
+    /// Runs that re-stabilized from this disturbance.
+    pub restabilized: usize,
+    /// Mean pulses-to-restabilize among recovered runs (1-based; NaN if
+    /// no run recovered).
+    pub avg_pulses: f64,
+    /// Worst (maximum) pulses-to-restabilize among recovered runs.
+    pub worst_pulses: Option<usize>,
+}
+
+/// Campaign-level aggregate: per-disturbance statistics plus the
+/// campaign-wide worst case.
+#[derive(Debug, Clone)]
+pub struct CampaignStats {
+    /// One entry per scripted disturbance, in injection order.
+    pub disturbances: Vec<DisturbanceStats>,
+}
+
+impl CampaignStats {
+    /// The campaign's worst-case pulses-to-restabilize over every
+    /// disturbance and run — the headline number of a robustness sweep.
+    /// `None` if no disturbance recovered anywhere.
+    pub fn worst(&self) -> Option<usize> {
+        self.disturbances
+            .iter()
+            .filter_map(|d| d.worst_pulses)
+            .max()
+    }
+
+    /// Did every disturbance of every run re-stabilize?
+    pub fn fully_recovered(&self) -> bool {
+        self.disturbances.iter().all(|d| d.restabilized == d.runs)
+    }
+}
+
+/// Summarize per-run re-stabilization estimates (run-major, as
+/// accumulated by
+/// [`ObservedRestabilizationReducer`](crate::reduce::ObservedRestabilizationReducer))
+/// into per-disturbance campaign statistics.
+pub fn summarize_campaign(per_run: &[Vec<Restabilization>]) -> CampaignStats {
+    let disturbances = per_run.first().map_or(0, Vec::len);
+    let stats = (0..disturbances)
+        .map(|d| {
+            let at = per_run[0][d].at;
+            let recovered: Vec<usize> = per_run
+                .iter()
+                .filter_map(|run| {
+                    assert_eq!(run.len(), disturbances, "ragged campaign accumulator");
+                    assert_eq!(run[d].at, at, "disturbance times differ across runs");
+                    run[d].pulses_to_restabilize()
+                })
+                .collect();
+            let avg_pulses = if recovered.is_empty() {
+                f64::NAN
+            } else {
+                recovered.iter().sum::<usize>() as f64 / recovered.len() as f64
+            };
+            DisturbanceStats {
+                at,
+                runs: per_run.len(),
+                restabilized: recovered.len(),
+                avg_pulses,
+                worst_pulses: recovered.iter().max().copied(),
+            }
+        })
+        .collect();
+    CampaignStats {
+        disturbances: stats,
+    }
+}
+
+/// Render a [`CampaignStats`] as a deterministic [`Table`] — one row per
+/// disturbance plus the canonical result encoding of a `campaign` query
+/// (cached and replayed by `hexd` as `to_json()` bytes). NaN averages
+/// and never-recovered worst cases render as `null`.
+///
+/// [`Table`]: crate::emit::Table
+pub fn campaign_summary_table(stats: &CampaignStats) -> crate::emit::Table {
+    use crate::emit::{Table, Value};
+    let mut t = Table::new(
+        "campaign_summary",
+        &[
+            "disturbance",
+            "at_ps",
+            "runs",
+            "restabilized",
+            "avg_pulses",
+            "worst_pulses",
+        ],
+    );
+    for (ix, d) in stats.disturbances.iter().enumerate() {
+        t.row(vec![
+            Value::from(ix),
+            Value::from(d.at.ps()),
+            Value::from(d.runs),
+            Value::from(d.restabilized),
+            if d.avg_pulses.is_nan() {
+                Value::Null
+            } else {
+                Value::from(d.avg_pulses)
+            },
+            match d.worst_pulses {
+                Some(w) => Value::from(w),
+                None => Value::Null,
+            },
+        ]);
+    }
+    t
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -402,6 +615,50 @@ mod tests {
         let stats = summarize(&[None, None]);
         assert_eq!(stats.stabilized, 0);
         assert!(stats.avg.is_nan());
+    }
+
+    #[test]
+    fn campaign_summary_counts_and_table() {
+        let r = |at, covered, pulse| Restabilization {
+            at: Time::from_ps(at),
+            covered,
+            pulse,
+        };
+        let per_run = vec![
+            vec![r(100, Some(1), Some(1)), r(500, Some(3), None)],
+            vec![r(100, Some(1), Some(2)), r(500, None, None)],
+        ];
+        let stats = summarize_campaign(&per_run);
+        assert_eq!(stats.disturbances.len(), 2);
+        let d0 = &stats.disturbances[0];
+        assert_eq!((d0.runs, d0.restabilized), (2, 2));
+        assert!((d0.avg_pulses - 1.5).abs() < 1e-12);
+        assert_eq!(d0.worst_pulses, Some(2));
+        let d1 = &stats.disturbances[1];
+        assert_eq!(d1.restabilized, 0);
+        assert!(d1.avg_pulses.is_nan());
+        assert_eq!(d1.worst_pulses, None);
+        assert_eq!(stats.worst(), Some(2));
+        assert!(!stats.fully_recovered());
+        let json = campaign_summary_table(&stats).to_json();
+        assert!(json.contains("campaign_summary"), "{json}");
+        assert!(json.contains("null"), "{json}");
+    }
+
+    #[test]
+    fn pulses_to_restabilize_is_one_based() {
+        let r = Restabilization {
+            at: Time::ZERO,
+            covered: Some(3),
+            pulse: Some(3),
+        };
+        assert_eq!(r.pulses_to_restabilize(), Some(1));
+        let uncovered = Restabilization {
+            at: Time::ZERO,
+            covered: None,
+            pulse: None,
+        };
+        assert_eq!(uncovered.pulses_to_restabilize(), None);
     }
 
     #[test]

@@ -230,11 +230,73 @@ fn bench_dispatch(c: &mut Criterion) {
     g.finish();
 }
 
+/// Dynamic fault campaigns (scripted mid-run transitions) under both
+/// dispatch strategies: `burst_*` flips one node Byzantine for a
+/// two-pulse window (the script machinery's guarded path), `churn_*`
+/// rolls three fail-silent windows across random forwarders. Scripted
+/// runs leave the fault-free whole-batch masks, so this measures the
+/// transition-application overhead the campaign sweeps pay.
+fn bench_campaign(c: &mut Criterion) {
+    use hex_clock::{PulseTrain, Scenario};
+    use hex_core::fault::forwarder_candidates;
+    use hex_core::{FaultScript, NodeFault, RejoinState, Timing};
+    use hex_des::{Duration, SimRng};
+    use hex_sim::InitState;
+
+    let mut g = c.benchmark_group("campaign");
+    g.sample_size(10);
+    let grid = HexGrid::new(20, 20);
+    let mut rng = SimRng::seed_from_u64(7);
+    let sched = PulseTrain::new(Scenario::Zero, 8, Duration::from_ns(300.0)).generate(20, &mut rng);
+    let burst = FaultScript::burst(
+        grid.node(10, 10),
+        NodeFault::Byzantine,
+        Time::from_ns(450.0),
+        Time::from_ns(1_050.0),
+        RejoinState::Arbitrary,
+    );
+    let mut churn_rng = SimRng::seed_from_u64(11);
+    let churn = FaultScript::churn(
+        &forwarder_candidates(grid.graph()),
+        Time::from_ns(450.0),
+        Duration::from_ns(300.0),
+        Duration::from_ns(600.0),
+        3,
+        RejoinState::Clean,
+        &mut churn_rng,
+    );
+    for (regime, script) in [("burst", &burst), ("churn", &churn)] {
+        for (label, batch) in [("scalar", false), ("batched", true)] {
+            let cfg = SimConfig {
+                batch,
+                script: Some(script.clone()),
+                timing: Timing::paper_scenario_iii(),
+                init: InitState::Arbitrary,
+                ..SimConfig::fault_free()
+            };
+            g.bench_with_input(
+                BenchmarkId::new(format!("{regime}_{label}"), "20x20"),
+                &grid,
+                |b, grid| {
+                    let mut scratch = SimScratch::new();
+                    let mut seed = 0u64;
+                    b.iter(|| {
+                        seed += 1;
+                        simulate_into(&mut scratch, grid.graph(), &sched, &cfg, seed).total_fires()
+                    })
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
 criterion_group!(
     benches,
     bench_event_queue,
     bench_single_pulse,
     bench_multi_pulse,
-    bench_dispatch
+    bench_dispatch,
+    bench_campaign
 );
 criterion_main!(benches);

@@ -34,6 +34,7 @@ fn bench_serve(c: &mut Criterion) {
         queue_depth: 64,
         max_cells: 1 << 20,
         max_runs: 1 << 16,
+        timeout_ms: 0, // benches must never trip the socket budget
     };
     let handle = serve(cfg).expect("start hexd");
     let addr = handle.addr();

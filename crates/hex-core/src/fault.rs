@@ -11,7 +11,7 @@
 
 use std::collections::BTreeMap;
 
-use hex_des::SimRng;
+use hex_des::{Duration, SimRng, Time};
 
 use crate::graph::{LinkId, NodeId, PulseGraph};
 
@@ -144,6 +144,191 @@ impl FaultPlan {
         layers.sort_unstable();
         layers.dedup();
         layers.len()
+    }
+}
+
+/// How a healed node rejoins the grid after a scripted fault window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RejoinState {
+    /// Rejoin with a freshly reset local state: awake, all memory flags
+    /// cleared, no pending timeouts (the "repaired and power-cycled" model).
+    Clean,
+    /// Rejoin with adversarial local state: the engine draws an arbitrary
+    /// sleep/flag assignment plus residual timers, exactly like the
+    /// corrupted-initialization seeding — the self-stabilization stress case.
+    Arbitrary,
+}
+
+/// One scripted change to the live fault state of a run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultEvent {
+    /// `node` turns faulty with the given kind (its outgoing links adopt the
+    /// fault's link behaviours; Byzantine links draw stuck-0/1 from the
+    /// script RNG at apply time).
+    Fail(NodeId, NodeFault),
+    /// `node` heals: its outgoing links revert to their pre-script
+    /// behaviours and its local state rejoins per [`RejoinState`].
+    Heal(NodeId, RejoinState),
+    /// `link` overrides to the given behaviour (a link-level flap onset).
+    LinkDown(LinkId, LinkBehavior),
+    /// `link` reverts to its pre-script behaviour.
+    LinkUp(LinkId),
+}
+
+/// A fault transition scheduled at an absolute simulation time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultTransition {
+    /// When the transition applies (event-queue ordered against regular
+    /// simulation events; ties with same-time events resolve by push order).
+    pub at: Time,
+    /// What changes.
+    pub event: FaultEvent,
+}
+
+/// A deterministic timeline of fault transitions — the dynamic counterpart
+/// of the static [`FaultPlan`].
+///
+/// Transitions are kept **stably sorted by time**: same-time transitions
+/// apply in insertion order, and overlapping directives follow a
+/// last-writer-wins rule (a `Fail` after a `LinkDown` on one of the node's
+/// out-links overwrites that link's behaviour, and vice versa). The sorted
+/// order is part of the canonical encoding, so two scripts built from the
+/// same transitions in the same insertion order hash identically.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultScript {
+    transitions: Vec<FaultTransition>,
+}
+
+impl FaultScript {
+    /// The empty script (no dynamic transitions).
+    pub fn none() -> Self {
+        FaultScript::default()
+    }
+
+    /// Append a transition, keeping the timeline stably sorted by time.
+    pub fn push(&mut self, at: Time, event: FaultEvent) {
+        self.transitions.push(FaultTransition { at, event });
+        self.transitions.sort_by_key(|t| t.at); // stable: ties keep order
+    }
+
+    /// Builder form of [`FaultScript::push`].
+    pub fn with(mut self, at: Time, event: FaultEvent) -> Self {
+        self.push(at, event);
+        self
+    }
+
+    /// A transient fault burst: `node` turns faulty at `at` and heals at
+    /// `heal_at` into `rejoin` state.
+    pub fn burst(
+        node: NodeId,
+        fault: NodeFault,
+        at: Time,
+        heal_at: Time,
+        rejoin: RejoinState,
+    ) -> Self {
+        assert!(heal_at > at, "burst must heal strictly after it starts");
+        FaultScript::none()
+            .with(at, FaultEvent::Fail(node, fault))
+            .with(heal_at, FaultEvent::Heal(node, rejoin))
+    }
+
+    /// Crash-then-rejoin: a fail-silent window `[at, heal_at)` followed by
+    /// recovery into `rejoin` state.
+    pub fn crash_rejoin(node: NodeId, at: Time, heal_at: Time, rejoin: RejoinState) -> Self {
+        FaultScript::burst(node, NodeFault::FailSilent, at, heal_at, rejoin)
+    }
+
+    /// Rolling churn: `count` single-node crash windows, one every `period`
+    /// starting at `start`, each lasting `down` and healing into `rejoin`.
+    /// Victims are drawn from `candidates` with `rng` (seeded ⇒ the script
+    /// is a pure function of its inputs). `down <= period` keeps at most
+    /// one scripted node faulty at any instant.
+    pub fn churn(
+        candidates: &[NodeId],
+        start: Time,
+        down: Duration,
+        period: Duration,
+        count: usize,
+        rejoin: RejoinState,
+        rng: &mut SimRng,
+    ) -> Self {
+        assert!(!candidates.is_empty(), "churn needs victim candidates");
+        assert!(down.is_positive(), "churn down-time must be positive");
+        assert!(down <= period, "churn windows must not overlap");
+        let mut script = FaultScript::none();
+        for k in 0..count {
+            let node = candidates[rng.index(candidates.len())];
+            let at = start + period.times(k as i64);
+            script.push(at, FaultEvent::Fail(node, NodeFault::FailSilent));
+            script.push(at + down, FaultEvent::Heal(node, rejoin));
+        }
+        script
+    }
+
+    /// A link-level flap: `link` behaves as `behavior` during `[at, up_at)`.
+    pub fn link_flap(link: LinkId, behavior: LinkBehavior, at: Time, up_at: Time) -> Self {
+        assert!(up_at > at, "flap must end strictly after it starts");
+        FaultScript::none()
+            .with(at, FaultEvent::LinkDown(link, behavior))
+            .with(up_at, FaultEvent::LinkUp(link))
+    }
+
+    /// Merge another script's transitions into this one (stable order:
+    /// same-time transitions of `self` apply before `other`'s).
+    pub fn merged(mut self, other: FaultScript) -> Self {
+        self.transitions.extend(other.transitions);
+        self.transitions.sort_by_key(|t| t.at);
+        self
+    }
+
+    /// The timeline, sorted by time (ties in insertion order).
+    pub fn transitions(&self) -> &[FaultTransition] {
+        &self.transitions
+    }
+
+    /// Number of transitions.
+    pub fn len(&self) -> usize {
+        self.transitions.len()
+    }
+
+    /// True iff the script has no transitions.
+    pub fn is_empty(&self) -> bool {
+        self.transitions.is_empty()
+    }
+
+    /// Time of the last transition, if any.
+    pub fn last_at(&self) -> Option<Time> {
+        self.transitions.last().map(|t| t.at)
+    }
+
+    /// Distinct disturbance-onset times (each `Fail`/`LinkDown`), ascending —
+    /// the anchor points of per-disturbance re-stabilization measurement.
+    pub fn disturbance_times(&self) -> Vec<Time> {
+        let mut times: Vec<Time> = self
+            .transitions
+            .iter()
+            .filter(|t| matches!(t.event, FaultEvent::Fail(..) | FaultEvent::LinkDown(..)))
+            .map(|t| t.at)
+            .collect();
+        times.dedup();
+        times
+    }
+
+    /// Panics unless every referenced node/link id is in range — the
+    /// engine-facing sanity gate (decode paths check before running).
+    pub fn assert_in_bounds(&self, node_count: usize, link_count: usize) {
+        for t in &self.transitions {
+            match t.event {
+                FaultEvent::Fail(n, _) | FaultEvent::Heal(n, _) => assert!(
+                    (n as usize) < node_count,
+                    "script references node {n} of a {node_count}-node graph"
+                ),
+                FaultEvent::LinkDown(l, _) | FaultEvent::LinkUp(l) => assert!(
+                    (l as usize) < link_count,
+                    "script references link {l} of a {link_count}-link graph"
+                ),
+            }
+        }
     }
 }
 
@@ -319,6 +504,139 @@ mod tests {
         assert_eq!(plan.faulty_layers(g.graph(), 5), 2);
         assert_eq!(plan.faulty_layers(g.graph(), 3), 1);
         assert_eq!(plan.faulty_layers(g.graph(), 1), 0);
+    }
+
+    #[test]
+    fn script_keeps_transitions_sorted() {
+        let s = FaultScript::none()
+            .with(Time::from_ps(500), FaultEvent::Heal(3, RejoinState::Clean))
+            .with(
+                Time::from_ps(100),
+                FaultEvent::Fail(3, NodeFault::Byzantine),
+            )
+            .with(Time::from_ps(300), FaultEvent::LinkUp(7));
+        let at: Vec<i64> = s.transitions().iter().map(|t| t.at.ps()).collect();
+        assert_eq!(at, vec![100, 300, 500]);
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.last_at(), Some(Time::from_ps(500)));
+    }
+
+    #[test]
+    fn script_same_time_transitions_keep_insertion_order() {
+        let t = Time::from_ps(200);
+        let s = FaultScript::none()
+            .with(t, FaultEvent::Fail(1, NodeFault::FailSilent))
+            .with(t, FaultEvent::Fail(2, NodeFault::FailSilent))
+            .with(t, FaultEvent::Heal(1, RejoinState::Clean));
+        let events: Vec<FaultEvent> = s.transitions().iter().map(|tr| tr.event).collect();
+        assert_eq!(
+            events,
+            vec![
+                FaultEvent::Fail(1, NodeFault::FailSilent),
+                FaultEvent::Fail(2, NodeFault::FailSilent),
+                FaultEvent::Heal(1, RejoinState::Clean),
+            ]
+        );
+    }
+
+    #[test]
+    fn burst_and_flap_shapes() {
+        let b = FaultScript::burst(
+            5,
+            NodeFault::Byzantine,
+            Time::from_ps(10),
+            Time::from_ps(40),
+            RejoinState::Arbitrary,
+        );
+        assert_eq!(
+            b.transitions()[0].event,
+            FaultEvent::Fail(5, NodeFault::Byzantine)
+        );
+        assert_eq!(
+            b.transitions()[1].event,
+            FaultEvent::Heal(5, RejoinState::Arbitrary)
+        );
+        assert_eq!(b.disturbance_times(), vec![Time::from_ps(10)]);
+
+        let f = FaultScript::link_flap(
+            9,
+            LinkBehavior::StuckOne,
+            Time::from_ps(5),
+            Time::from_ps(25),
+        );
+        assert_eq!(
+            f.transitions()[0].event,
+            FaultEvent::LinkDown(9, LinkBehavior::StuckOne)
+        );
+        assert_eq!(f.transitions()[1].event, FaultEvent::LinkUp(9));
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly after")]
+    fn burst_rejects_empty_window() {
+        FaultScript::burst(
+            0,
+            NodeFault::FailSilent,
+            Time::from_ps(10),
+            Time::from_ps(10),
+            RejoinState::Clean,
+        );
+    }
+
+    #[test]
+    fn churn_is_a_pure_function_of_the_seed() {
+        let g = HexGrid::new(4, 6);
+        let candidates = forwarder_candidates(g.graph());
+        let build = |seed| {
+            let mut rng = SimRng::seed_from_u64(seed);
+            FaultScript::churn(
+                &candidates,
+                Time::from_ps(1_000),
+                Duration::from_ps(400),
+                Duration::from_ps(500),
+                4,
+                RejoinState::Clean,
+                &mut rng,
+            )
+        };
+        assert_eq!(build(42), build(42));
+        assert_eq!(build(42).len(), 8); // 4 fail + 4 heal
+                                        // Each window heals before (or exactly when) the next one starts.
+        let s = build(42);
+        assert_eq!(s.disturbance_times().len(), 4);
+        for w in s.transitions().windows(2) {
+            assert!(w[0].at <= w[1].at);
+        }
+    }
+
+    #[test]
+    fn merged_interleaves_by_time() {
+        let a = FaultScript::crash_rejoin(
+            1,
+            Time::from_ps(100),
+            Time::from_ps(300),
+            RejoinState::Clean,
+        );
+        let b = FaultScript::crash_rejoin(
+            2,
+            Time::from_ps(200),
+            Time::from_ps(400),
+            RejoinState::Clean,
+        );
+        let m = a.merged(b);
+        let at: Vec<i64> = m.transitions().iter().map(|t| t.at.ps()).collect();
+        assert_eq!(at, vec![100, 200, 300, 400]);
+    }
+
+    #[test]
+    #[should_panic(expected = "references node")]
+    fn bounds_check_rejects_out_of_range_node() {
+        FaultScript::none()
+            .with(
+                Time::from_ps(1),
+                FaultEvent::Fail(99, NodeFault::FailSilent),
+            )
+            .assert_in_bounds(10, 10);
     }
 
     proptest! {

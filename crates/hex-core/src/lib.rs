@@ -37,7 +37,9 @@ pub mod params;
 pub use condition2::{Condition2, DerivedTiming};
 pub use coord::{cyclic_distance, Coord};
 pub use delay::{DelayModel, SpatialVariation};
-pub use fault::{FaultPlan, LinkBehavior, NodeFault};
+pub use fault::{
+    FaultEvent, FaultPlan, FaultScript, FaultTransition, LinkBehavior, NodeFault, RejoinState,
+};
 pub use graph::{LinkId, NodeId, PulseGraph, Role};
 pub use grid::HexGrid;
 pub use node::{FiringState, NodeState, TriggerCause};

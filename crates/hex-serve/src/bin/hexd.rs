@@ -2,12 +2,13 @@
 //!
 //! ```text
 //! hexd [--addr A] [--cache-dir D] [--cache-max-mb N] [--workers N] [--queue-depth N]
+//!      [--timeout-ms N]
 //! ```
 //!
 //! Flags override the `HEX_SERVE_ADDR` / `HEX_CACHE_DIR` /
-//! `HEX_CACHE_MAX_MB` / `HEX_SERVE_WORKERS` knobs (all read through
-//! `hex_sim::knobs`); defaults are a `hexd.sock` Unix socket and an
-//! unbounded `hexd-cache` directory. The process blocks until a client
+//! `HEX_CACHE_MAX_MB` / `HEX_SERVE_WORKERS` / `HEX_SERVE_TIMEOUT_MS`
+//! knobs (all read through `hex_sim::knobs`); defaults are a `hexd.sock`
+//! Unix socket and an unbounded `hexd-cache` directory. The process blocks until a client
 //! sends the `shutdown` verb (`hexctl stop`), then drains queued work and
 //! prints a final counter line.
 
@@ -16,7 +17,7 @@ use hex_serve::{serve, ServeConfig};
 fn usage() -> ! {
     eprintln!(
         "usage: hexd [--addr A] [--cache-dir D] [--cache-max-mb N] [--workers N] \
-         [--queue-depth N]"
+         [--queue-depth N] [--timeout-ms N]"
     );
     std::process::exit(2);
 }
@@ -37,6 +38,7 @@ fn parse_config() -> ServeConfig {
             "--cache-max-mb" => cfg.cache_max_mb = value.parse().unwrap_or_else(|_| usage()),
             "--workers" => cfg.workers = value.parse().unwrap_or_else(|_| usage()),
             "--queue-depth" => cfg.queue_depth = value.parse().unwrap_or_else(|_| usage()),
+            "--timeout-ms" => cfg.timeout_ms = value.parse().unwrap_or_else(|_| usage()),
             other => {
                 eprintln!("unknown flag {other}");
                 usage();

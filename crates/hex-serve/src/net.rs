@@ -55,6 +55,26 @@ pub enum Stream {
     Unix(UnixStream),
 }
 
+impl Stream {
+    /// Bound the blocking time of every subsequent read *and* write on
+    /// this stream (`None` = block forever). A read/write that exhausts
+    /// the timeout fails with `WouldBlock`/`TimedOut`, which the daemon
+    /// maps to a clean connection drop.
+    pub fn set_timeout(&self, timeout: Option<std::time::Duration>) -> io::Result<()> {
+        match self {
+            Stream::Tcp(s) => {
+                s.set_read_timeout(timeout)?;
+                s.set_write_timeout(timeout)
+            }
+            #[cfg(unix)]
+            Stream::Unix(s) => {
+                s.set_read_timeout(timeout)?;
+                s.set_write_timeout(timeout)
+            }
+        }
+    }
+}
+
 impl Read for Stream {
     fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
         match self {

@@ -62,6 +62,11 @@ pub struct ServeConfig {
     pub max_cells: u64,
     /// Largest run count a query may ask for.
     pub max_runs: usize,
+    /// Per-connection socket read/write timeout in milliseconds
+    /// (0 = never time out). A connection that stays silent this long —
+    /// mid-frame or idle between requests — is dropped cleanly, so a
+    /// stalled client can never pin its connection thread forever.
+    pub timeout_ms: u64,
 }
 
 impl ServeConfig {
@@ -79,7 +84,15 @@ impl ServeConfig {
             queue_depth: 64,
             max_cells: 1 << 20,
             max_runs: 1 << 16,
+            timeout_ms: knobs::parsed("HEX_SERVE_TIMEOUT_MS", "a number of milliseconds")
+                .unwrap_or(10_000),
         }
+    }
+
+    /// The socket timeout as a [`std::time::Duration`] (`None` = block
+    /// forever).
+    fn timeout(&self) -> Option<std::time::Duration> {
+        (self.timeout_ms > 0).then(|| std::time::Duration::from_millis(self.timeout_ms))
     }
 }
 
@@ -92,6 +105,8 @@ struct Counters {
     coalesced: AtomicU64,
     rejected: AtomicU64,
     failures: AtomicU64,
+    timeouts: AtomicU64,
+    dropped_connections: AtomicU64,
 }
 
 /// A point-in-time copy of the daemon's counters.
@@ -107,6 +122,12 @@ pub struct StatsSnapshot {
     pub rejected: u64,
     /// Computations that failed or panicked.
     pub failures: u64,
+    /// Socket reads/writes that exhausted the HEX_SERVE_TIMEOUT_MS
+    /// budget (each also drops its connection).
+    pub timeouts: u64,
+    /// Connections dropped on a transport error (timeouts included)
+    /// rather than a clean end-of-stream.
+    pub dropped_connections: u64,
     /// Cache entries on disk at snapshot time.
     pub cache_entries: u64,
 }
@@ -117,12 +138,14 @@ impl StatsSnapshot {
     pub fn to_json(&self) -> String {
         format!(
             "{{\"computations\":{},\"cache_hits\":{},\"coalesced\":{},\"rejected\":{},\
-             \"failures\":{},\"cache_entries\":{}}}",
+             \"failures\":{},\"timeouts\":{},\"dropped_connections\":{},\"cache_entries\":{}}}",
             self.computations,
             self.cache_hits,
             self.coalesced,
             self.rejected,
             self.failures,
+            self.timeouts,
+            self.dropped_connections,
             self.cache_entries
         )
     }
@@ -188,6 +211,8 @@ impl Shared {
             coalesced: self.counters.coalesced.load(Ordering::Relaxed),
             rejected: self.counters.rejected.load(Ordering::Relaxed),
             failures: self.counters.failures.load(Ordering::Relaxed),
+            timeouts: self.counters.timeouts.load(Ordering::Relaxed),
+            dropped_connections: self.counters.dropped_connections.load(Ordering::Relaxed),
             cache_entries: entries,
         }
     }
@@ -343,10 +368,21 @@ fn worker_loop(shared: &Arc<Shared>) {
 }
 
 fn handle_connection(mut stream: Stream, shared: &Arc<Shared>) {
+    // Arm the HEX_SERVE_TIMEOUT_MS budget before touching the stream: a
+    // client that stalls mid-frame (or holds an idle connection open past
+    // the budget) times out instead of pinning this thread forever.
+    if stream.set_timeout(shared.cfg.timeout()).is_err() {
+        drop_connection(shared, None);
+        return;
+    }
     loop {
         let frame = match read_frame(&mut stream) {
             Ok(Some(f)) => f,
-            Ok(None) | Err(_) => return,
+            Ok(None) => return, // clean EOF at a frame boundary
+            Err(e) => {
+                drop_connection(shared, Some(&e));
+                return;
+            }
         };
         let response = match decode_request(&frame) {
             Err(msg) => Response::Err {
@@ -362,10 +398,28 @@ fn handle_connection(mut stream: Stream, shared: &Arc<Shared>) {
             }
             Ok(Request::Query(q)) => handle_query(shared, &q),
         };
-        if write_frame(&mut stream, &encode_response(&response)).is_err() {
+        if let Err(e) = write_frame(&mut stream, &encode_response(&response)) {
+            drop_connection(shared, Some(&e));
             return;
         }
     }
+}
+
+/// Count an abnormal connection drop; timeouts (the socket budget ran
+/// out) are counted separately on top.
+fn drop_connection(shared: &Arc<Shared>, cause: Option<&io::Error>) {
+    if cause.is_some_and(|e| {
+        matches!(
+            e.kind(),
+            io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+        )
+    }) {
+        shared.counters.timeouts.fetch_add(1, Ordering::Relaxed);
+    }
+    shared
+        .counters
+        .dropped_connections
+        .fetch_add(1, Ordering::Relaxed);
 }
 
 fn handle_query(shared: &Arc<Shared>, query: &Query) -> Response {

@@ -31,7 +31,7 @@
 //!
 //! ## Stability
 //!
-//! The format is versioned by the `hexcanon/1` header line and
+//! The format is versioned by the `hexcanon/2` header line and
 //! [`CANON_VERSION`]; [`engine_version`] combines it with the crate
 //! version into the tag the result cache stores next to every entry.
 //! Hashes are stable across processes and machines — pinned by a golden
@@ -52,7 +52,10 @@
 use std::fmt::Write as _;
 
 use hex_clock::Scenario;
-use hex_core::{DelayModel, DelayRange, FaultPlan, LinkBehavior, NodeFault, SpatialVariation};
+use hex_core::{
+    DelayModel, DelayRange, FaultEvent, FaultPlan, FaultScript, LinkBehavior, NodeFault,
+    RejoinState, SpatialVariation,
+};
 use hex_des::{Duration, Schedule, Time};
 
 use crate::engine::{InitState, QueuePolicy};
@@ -60,10 +63,11 @@ use crate::spec::{FaultRegime, RunSpec, TimingPolicy};
 
 /// Canonical-format epoch. Bump on ANY change to the byte encoding; the
 /// bump flows into [`engine_version`] and retires every cache entry.
-pub const CANON_VERSION: u32 = 1;
+/// Epoch 2 added the `faults script` regime (dynamic fault campaigns).
+pub const CANON_VERSION: u32 = 2;
 
 /// The header line every canonical spec starts with.
-pub const HEADER: &str = "hexcanon/1";
+pub const HEADER: &str = "hexcanon/2";
 
 /// The engine-version tag stored next to every cached result: the
 /// `hex-sim` crate version plus the canonical-format epoch. Results are
@@ -201,6 +205,30 @@ fn encode_faults(s: &mut String, faults: &FaultRegime) {
                 let _ = writeln!(s, "flink {l} {}", link_behavior_label(b));
             }
         }
+        FaultRegime::Script(script) => {
+            let _ = writeln!(s, "faults script {}", script.len());
+            for tr in script.transitions() {
+                let at = tr.at.ps();
+                match tr.event {
+                    FaultEvent::Fail(node, fault) => {
+                        let _ = writeln!(s, "ft {at} fail {node} {}", node_fault_label(fault));
+                    }
+                    FaultEvent::Heal(node, rejoin) => {
+                        let _ = writeln!(s, "ft {at} heal {node} {}", rejoin_label(rejoin));
+                    }
+                    FaultEvent::LinkDown(link, behavior) => {
+                        let _ = writeln!(
+                            s,
+                            "ft {at} link_down {link} {}",
+                            link_behavior_label(behavior)
+                        );
+                    }
+                    FaultEvent::LinkUp(link) => {
+                        let _ = writeln!(s, "ft {at} link_up {link}");
+                    }
+                }
+            }
+        }
     }
 }
 
@@ -330,6 +358,40 @@ fn decode_faults(lines: &mut std::str::Lines<'_>) -> Result<FaultRegime, String>
                 plan = plan.with_link(id, b);
             }
             Ok(FaultRegime::Plan(plan))
+        }
+        "script" => {
+            let count: usize = parse(&f, 1, "script transition count")?;
+            let mut script = FaultScript::none();
+            let mut last = i64::MIN;
+            for _ in 0..count {
+                let f = fields(lines, "ft")?;
+                let at: i64 = parse(&f, 0, "transition time")?;
+                // The canonical form is time-sorted; accepting unsorted
+                // input would re-encode differently and break the
+                // decode∘encode = id contract.
+                if at < last {
+                    return Err(format!("script transition at {at} ps out of order"));
+                }
+                last = at;
+                let event = match f.get(1).copied().unwrap_or("") {
+                    "fail" => FaultEvent::Fail(
+                        parse(&f, 2, "fail node id")?,
+                        node_fault_from_label(f.get(3).copied().unwrap_or(""))?,
+                    ),
+                    "heal" => FaultEvent::Heal(
+                        parse(&f, 2, "heal node id")?,
+                        rejoin_from_label(f.get(3).copied().unwrap_or(""))?,
+                    ),
+                    "link_down" => FaultEvent::LinkDown(
+                        parse(&f, 2, "flapped link id")?,
+                        link_behavior_from_label(f.get(3).copied().unwrap_or(""))?,
+                    ),
+                    "link_up" => FaultEvent::LinkUp(parse(&f, 2, "restored link id")?),
+                    other => return Err(format!("unknown fault transition `{other}`")),
+                };
+                script = script.with(Time::from_ps(at), event);
+            }
+            Ok(FaultRegime::Script(script))
         }
         other => Err(format!("unknown fault regime `{other}`")),
     }
@@ -525,6 +587,21 @@ fn link_behavior_from_label(label: &str) -> Result<LinkBehavior, String> {
     }
 }
 
+fn rejoin_label(r: RejoinState) -> &'static str {
+    match r {
+        RejoinState::Clean => "clean",
+        RejoinState::Arbitrary => "arbitrary",
+    }
+}
+
+fn rejoin_from_label(label: &str) -> Result<RejoinState, String> {
+    match label {
+        "clean" => Ok(RejoinState::Clean),
+        "arbitrary" => Ok(RejoinState::Arbitrary),
+        other => Err(format!("unknown rejoin state `{other}`")),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -556,6 +633,20 @@ mod tests {
             .with_node(17, NodeFault::FailSilent)
             .with_link(5, LinkBehavior::StuckOne)
             .with_link(9, LinkBehavior::Correct);
+        let script = FaultScript::none()
+            .with(
+                Time::from_ps(10_000),
+                FaultEvent::Fail(7, NodeFault::Byzantine),
+            )
+            .with(
+                Time::from_ps(45_000),
+                FaultEvent::Heal(7, RejoinState::Arbitrary),
+            )
+            .with(
+                Time::from_ps(45_000),
+                FaultEvent::LinkDown(2, LinkBehavior::StuckOne),
+            )
+            .with(Time::from_ps(60_000), FaultEvent::LinkUp(2));
         for faults in [
             FaultRegime::None,
             FaultRegime::Byzantine(2),
@@ -566,9 +657,28 @@ mod tests {
                 fail_silent: 2,
             },
             FaultRegime::Plan(plan),
+            FaultRegime::Script(FaultScript::none()),
+            FaultRegime::Script(script),
         ] {
             round_trip(&RunSpec::grid(6, 5).faults(faults));
         }
+    }
+
+    #[test]
+    fn script_decoder_rejects_unsorted_and_unknown_transitions() {
+        let text = encode_spec(&RunSpec::grid(4, 4));
+        let text = String::from_utf8(text).unwrap();
+        let unsorted = text.replace(
+            "faults none",
+            "faults script 2\nft 500 fail 3 byzantine\nft 100 heal 3 clean",
+        );
+        assert!(decode_spec(unsorted.as_bytes())
+            .unwrap_err()
+            .contains("out of order"));
+        let unknown = text.replace("faults none", "faults script 1\nft 500 explode 3");
+        assert!(decode_spec(unknown.as_bytes())
+            .unwrap_err()
+            .contains("unknown fault transition"));
     }
 
     #[test]
@@ -648,7 +758,8 @@ mod tests {
         for (label, bytes) in [
             ("empty", &b""[..]),
             ("bad header", &b"hexcanon/9\n"[..]),
-            ("truncated", &b"hexcanon/1\ngrid 4 4\n"[..]),
+            ("stale epoch", &b"hexcanon/1\ngrid 4 4\n"[..]),
+            ("truncated", &b"hexcanon/2\ngrid 4 4\n"[..]),
         ] {
             assert!(decode_spec(bytes).is_err(), "{label} accepted");
         }
@@ -696,7 +807,7 @@ mod tests {
     #[test]
     fn engine_version_names_the_canon_epoch() {
         let v = engine_version();
-        assert!(v.contains("canon1"), "{v}");
+        assert!(v.contains("canon2"), "{v}");
         assert!(v.starts_with("hex-sim-"), "{v}");
     }
 

@@ -36,7 +36,8 @@
 
 use hex_core::delay::ResolvedDelays;
 use hex_core::{
-    DelayModel, FaultPlan, HexGrid, LinkBehavior, NodeId, PulseGraph, Role, Timing, TriggerCause,
+    DelayModel, FaultEvent, FaultPlan, FaultScript, FaultTransition, HexGrid, LinkBehavior,
+    NodeFault, NodeId, PulseGraph, RejoinState, Role, Timing, TriggerCause,
 };
 use hex_des::{
     CalendarQueue, Duration, EventQueue, FutureEventList, QuadHeapQueue, Schedule, SimRng, Time,
@@ -176,7 +177,22 @@ pub struct SimConfig {
     /// this is a pure execution-strategy knob and is deliberately **not**
     /// part of the canonical run encoding.
     pub batch: bool,
+    /// Dynamic fault timeline: scheduled [`FaultTransition`]s that flip
+    /// the hoisted `active`/`faulty` bitmasks (and the link-behaviour
+    /// table) mid-run. `None` (or an empty script) runs the static-plan
+    /// engine byte-identically to before the subsystem existed. All
+    /// script-induced randomness (Byzantine link draws, arbitrary-rejoin
+    /// states, residual timers) comes from a **separate RNG stream**
+    /// seeded `seed ^ SCRIPT_SALT`, so the main draw sequence is
+    /// untouched by the script machinery.
+    pub script: Option<FaultScript>,
 }
+
+/// Seed salt of the script RNG stream: all apply-time draws of a
+/// [`FaultScript`] come from `SimRng::seed_from_u64(seed ^ SCRIPT_SALT)`,
+/// leaving the main per-run stream (delays, behaviours, in-loop timers)
+/// byte-identical to an unscripted run.
+pub const SCRIPT_SALT: u64 = 0x5EED_5C21;
 
 /// The process-wide default for [`SimConfig::batch`]: batched kernels on,
 /// unless the `HEX_BATCH` env knob turns them off (`off`/`0`/`false`),
@@ -205,6 +221,7 @@ impl SimConfig {
             record_arrivals: false,
             queue: QueuePolicy::default(),
             batch: batch_default(),
+            script: None,
         }
     }
 
@@ -259,10 +276,28 @@ impl SimConfig {
 
 #[derive(Debug, Clone, Copy)]
 enum Ev {
-    SourceFire { node: NodeId },
-    Deliver { link: u32 },
-    LinkTimeout { node: NodeId, port: u8, epoch: u32 },
-    Wake { node: NodeId, epoch: u32 },
+    SourceFire {
+        node: NodeId,
+    },
+    Deliver {
+        link: u32,
+    },
+    LinkTimeout {
+        node: NodeId,
+        port: u8,
+        epoch: u32,
+    },
+    Wake {
+        node: NodeId,
+        epoch: u32,
+    },
+    /// Sentinel for `cfg.script.transitions()[index]`: popping it ends the
+    /// current fault window. Seeded up-front (one per transition), so the
+    /// `(time, seq)` interleaving against regular events is identical on
+    /// the scalar and batched paths.
+    Script {
+        index: u32,
+    },
 }
 
 impl Ev {
@@ -274,6 +309,7 @@ impl Ev {
             Ev::Deliver { .. } => 1,
             Ev::LinkTimeout { .. } => 2,
             Ev::Wake { .. } => 3,
+            Ev::Script { .. } => 4,
         }
     }
 }
@@ -575,6 +611,12 @@ struct RunSetup {
     delays: ResolvedDelays,
     behaviors: Vec<LinkBehavior>,
     horizon: Time,
+    /// The script RNG stream (`seed ^ SCRIPT_SALT`); only ever drawn from
+    /// while applying a [`FaultTransition`].
+    script_rng: SimRng,
+    /// Setup-resolved copy of `behaviors`, the restore table for
+    /// `Heal`/`LinkUp` transitions. Empty when the run has no script.
+    base_behaviors: Vec<LinkBehavior>,
 }
 
 /// # Panics
@@ -595,12 +637,21 @@ fn prepare_run(graph: &PulseGraph, schedule: &Schedule, cfg: &SimConfig, seed: u
     let horizon = cfg
         .horizon
         .unwrap_or_else(|| cfg.auto_horizon(graph, schedule));
+    let base_behaviors = match &cfg.script {
+        Some(script) if !script.is_empty() => {
+            script.assert_in_bounds(graph.node_count(), graph.link_count());
+            behaviors.clone()
+        }
+        _ => Vec::new(),
+    };
     RunSetup {
         sources,
         rng,
         delays,
         behaviors,
         horizon,
+        script_rng: SimRng::seed_from_u64(seed ^ SCRIPT_SALT),
+        base_behaviors,
     }
 }
 
@@ -616,47 +667,61 @@ fn drive<O: RunObserver>(
     schedule: &Schedule,
     queue: &mut FelQueue,
     nodes: &mut SoaNodes,
-    active: &[bool],
-    faulty: &[bool],
+    active: &mut [bool],
+    faulty: &mut [bool],
     obs: &mut O,
     arrivals: &mut [Vec<Arrival>],
     batch_buf: &mut Vec<(Time, Ev)>,
 ) -> (u64, u64) {
-    let ctx = RunCtx {
-        graph,
-        cfg,
-        behaviors: &setup.behaviors,
-        delays: &setup.delays,
-        active,
-        faulty,
-        all_links_correct: setup.behaviors.iter().all(|&b| b == LinkBehavior::Correct),
-        horizon: setup.horizon,
-    };
+    let scripted = cfg.script.as_ref().is_some_and(|s| !s.is_empty());
     macro_rules! drain {
         ($q:expr) => {
-            if cfg.batch {
-                run_events_batched(
-                    $q,
-                    &ctx,
-                    schedule,
-                    &setup.sources,
-                    nodes,
-                    obs,
-                    arrivals,
-                    &mut setup.rng,
-                    batch_buf,
-                )
+            if scripted {
+                if cfg.batch {
+                    run_events_scripted_batched(
+                        $q, setup, graph, cfg, schedule, nodes, active, faulty, obs, arrivals,
+                        batch_buf,
+                    )
+                } else {
+                    run_events_scripted(
+                        $q, setup, graph, cfg, schedule, nodes, active, faulty, obs, arrivals,
+                    )
+                }
             } else {
-                run_events(
-                    $q,
-                    &ctx,
-                    schedule,
-                    &setup.sources,
-                    nodes,
-                    obs,
-                    arrivals,
-                    &mut setup.rng,
-                )
+                let ctx = RunCtx {
+                    graph,
+                    cfg,
+                    behaviors: &setup.behaviors,
+                    delays: &setup.delays,
+                    active,
+                    faulty,
+                    all_links_correct: setup.behaviors.iter().all(|&b| b == LinkBehavior::Correct),
+                    horizon: setup.horizon,
+                };
+                if cfg.batch {
+                    run_events_batched(
+                        $q,
+                        &ctx,
+                        schedule,
+                        &setup.sources,
+                        nodes,
+                        obs,
+                        arrivals,
+                        &mut setup.rng,
+                        batch_buf,
+                    )
+                } else {
+                    run_events(
+                        $q,
+                        &ctx,
+                        schedule,
+                        &setup.sources,
+                        nodes,
+                        obs,
+                        arrivals,
+                        &mut setup.rng,
+                    )
+                }
             }
         };
     }
@@ -856,6 +921,21 @@ fn seed_events<Q: FutureEventList<Ev>, O: RunObserver>(
             maybe_fire::<Q, O, false>(n, Time::ZERO, ctx, nodes, obs, q, rng);
         }
     }
+
+    // One sentinel per scripted fault transition, pushed after everything
+    // else: at equal timestamps, seed-time events apply before the
+    // transition and in-loop events after it, identically on the scalar
+    // and batched paths.
+    if let Some(script) = &cfg.script {
+        for (index, tr) in script.transitions().iter().enumerate() {
+            q.push(
+                tr.at,
+                Ev::Script {
+                    index: index as u32,
+                },
+            );
+        }
+    }
 }
 
 /// Schedule the initial events and drain the queue one event at a time:
@@ -876,9 +956,6 @@ fn run_events<Q: FutureEventList<Ev>, O: RunObserver>(
     rng: &mut SimRng,
 ) -> (u64, u64) {
     seed_events(q, ctx, schedule, sources, nodes, obs, rng);
-    let graph = ctx.graph;
-    let cfg = ctx.cfg;
-    let record_arrivals = cfg.record_arrivals;
 
     // Main loop.
     let mut stale = 0u64;
@@ -886,78 +963,207 @@ fn run_events<Q: FutureEventList<Ev>, O: RunObserver>(
         if now > ctx.horizon {
             break;
         }
-        match payload {
-            Ev::SourceFire { node } => {
-                if ctx.faulty[node as usize] {
-                    continue; // mute/Byzantine source: outputs are constants
-                }
-                obs.on_fire(node, now, TriggerCause::Source);
-                broadcast::<Q, false>(node, now, ctx, q, rng);
-            }
-            Ev::Deliver { link } => {
-                let l = graph.link(link);
-                let n = l.dst;
-                if !ctx.active[n as usize] {
-                    continue;
-                }
-                if let Some(epoch) = nodes.set_flag(n, l.dst_port) {
-                    if record_arrivals {
-                        arrivals[n as usize].push(Arrival {
-                            at: now,
-                            from: l.src,
-                            port: l.dst_port,
-                        });
-                    }
-                    let dur = rng.duration_in(cfg.timing.link.lo, cfg.timing.link.hi);
-                    q.push(
-                        now + dur,
-                        Ev::LinkTimeout {
-                            node: n,
-                            port: l.dst_port,
-                            epoch,
-                        },
-                    );
-                    maybe_fire::<Q, O, false>(n, now, ctx, nodes, obs, q, rng);
-                }
-            }
-            Ev::LinkTimeout { node, port, epoch } => {
-                // Epoch bound: a timeout can carry at most the epoch it
-                // was scheduled under, and epochs only move forward — a
-                // popped epoch from the future means timer-cancellation
-                // bookkeeping is corrupt (the dynamic twin of the
-                // hex-lint determinism rules).
-                debug_assert!(
-                    epoch <= nodes.flag_epoch(node, port),
-                    "LinkTimeout from the future: node {node} port {port} \
-                     carries epoch {epoch} > current {}",
-                    nodes.flag_epoch(node, port)
-                );
-                if nodes.expire_flag(node, port, epoch) {
-                    refresh_stuck_one(node, port, now, ctx, nodes, q, rng);
-                    maybe_fire::<Q, O, false>(node, now, ctx, nodes, obs, q, rng);
-                } else {
-                    stale += 1;
-                }
-            }
-            Ev::Wake { node, epoch } => {
-                debug_assert!(
-                    epoch <= nodes.sleep_epoch(node),
-                    "Wake from the future: node {node} carries epoch {epoch} > current {}",
-                    nodes.sleep_epoch(node)
-                );
-                if nodes.wake(node, epoch) {
-                    // All flags were cleared; stuck-1 ports re-assert.
-                    for port in 0..graph.port_count(node) as u8 {
-                        refresh_stuck_one(node, port, now, ctx, nodes, q, rng);
-                    }
-                    maybe_fire::<Q, O, false>(node, now, ctx, nodes, obs, q, rng);
-                } else {
-                    stale += 1;
-                }
-            }
+        match handle_one::<Q, O, false>(now, payload, ctx, nodes, obs, arrivals, q, rng) {
+            Step::Done => {}
+            Step::Stale => stale += 1,
+            Step::Script(_) => unreachable!("script sentinel in an unscripted run"),
         }
     }
 
+    (q.popped(), stale)
+}
+
+/// What one scalar event dispatch did: nothing reportable, a stale
+/// epoch-rejected pop, or a scripted-fault sentinel (ending the window).
+enum Step {
+    Done,
+    Stale,
+    Script(u32),
+}
+
+/// Dispatch one popped event under the current context — the shared arm
+/// bodies of the scalar reference loop, the scripted window loop and the
+/// batched path's window-boundary replay. `DYNAMIC` adds the
+/// currently-faulty guard on `LinkTimeout`/`Wake` (a scripted fault must
+/// silence its victim's pending timers); it is compiled out of static
+/// runs, where an inactive node can never own a timer in the first place.
+#[allow(clippy::too_many_arguments)]
+#[inline]
+fn handle_one<Q: FutureEventList<Ev>, O: RunObserver, const DYNAMIC: bool>(
+    now: Time,
+    payload: Ev,
+    ctx: &RunCtx<'_>,
+    nodes: &mut SoaNodes,
+    obs: &mut O,
+    arrivals: &mut [Vec<Arrival>],
+    q: &mut Q,
+    rng: &mut SimRng,
+) -> Step {
+    let graph = ctx.graph;
+    let cfg = ctx.cfg;
+    match payload {
+        Ev::SourceFire { node } => {
+            if ctx.faulty[node as usize] {
+                return Step::Done; // mute/Byzantine source: outputs are constants
+            }
+            obs.on_fire(node, now, TriggerCause::Source);
+            broadcast::<Q, false>(node, now, ctx, q, rng);
+        }
+        Ev::Deliver { link } => {
+            let l = graph.link(link);
+            let n = l.dst;
+            if !ctx.active[n as usize] {
+                return Step::Done;
+            }
+            if let Some(epoch) = nodes.set_flag(n, l.dst_port) {
+                if cfg.record_arrivals {
+                    arrivals[n as usize].push(Arrival {
+                        at: now,
+                        from: l.src,
+                        port: l.dst_port,
+                    });
+                }
+                let dur = rng.duration_in(cfg.timing.link.lo, cfg.timing.link.hi);
+                q.push(
+                    now + dur,
+                    Ev::LinkTimeout {
+                        node: n,
+                        port: l.dst_port,
+                        epoch,
+                    },
+                );
+                maybe_fire::<Q, O, false>(n, now, ctx, nodes, obs, q, rng);
+            }
+        }
+        Ev::LinkTimeout { node, port, epoch } => {
+            if DYNAMIC && !ctx.active[node as usize] {
+                return Step::Stale; // timer owned by a currently-faulty node
+            }
+            // Epoch bound: a timeout can carry at most the epoch it
+            // was scheduled under, and epochs only move forward — a
+            // popped epoch from the future means timer-cancellation
+            // bookkeeping is corrupt (the dynamic twin of the
+            // hex-lint determinism rules).
+            debug_assert!(
+                epoch <= nodes.flag_epoch(node, port),
+                "LinkTimeout from the future: node {node} port {port} \
+                 carries epoch {epoch} > current {}",
+                nodes.flag_epoch(node, port)
+            );
+            if nodes.expire_flag(node, port, epoch) {
+                refresh_stuck_one(node, port, now, ctx, nodes, q, rng);
+                maybe_fire::<Q, O, false>(node, now, ctx, nodes, obs, q, rng);
+            } else {
+                return Step::Stale;
+            }
+        }
+        Ev::Wake { node, epoch } => {
+            if DYNAMIC && !ctx.active[node as usize] {
+                return Step::Stale; // timer owned by a currently-faulty node
+            }
+            debug_assert!(
+                epoch <= nodes.sleep_epoch(node),
+                "Wake from the future: node {node} carries epoch {epoch} > current {}",
+                nodes.sleep_epoch(node)
+            );
+            if nodes.wake(node, epoch) {
+                // All flags were cleared; stuck-1 ports re-assert.
+                for port in 0..graph.port_count(node) as u8 {
+                    refresh_stuck_one(node, port, now, ctx, nodes, q, rng);
+                }
+                maybe_fire::<Q, O, false>(node, now, ctx, nodes, obs, q, rng);
+            } else {
+                return Step::Stale;
+            }
+        }
+        Ev::Script { index } => return Step::Script(index),
+    }
+    Step::Done
+}
+
+/// The scripted scalar driver: the reference loop of [`run_events`], run
+/// window by window. Popping a [`Ev::Script`] sentinel ends the current
+/// window; the transition is applied (masks, behaviours, SoA state — see
+/// [`apply_transition`]) and the next window rebuilds its [`RunCtx`] with
+/// the updated `all_links_correct` hoist. Returns `(events popped, stale
+/// epoch-rejected events)`.
+#[allow(clippy::too_many_arguments)]
+fn run_events_scripted<Q: FutureEventList<Ev>, O: RunObserver>(
+    q: &mut Q,
+    setup: &mut RunSetup,
+    graph: &PulseGraph,
+    cfg: &SimConfig,
+    schedule: &Schedule,
+    nodes: &mut SoaNodes,
+    active: &mut [bool],
+    faulty: &mut [bool],
+    obs: &mut O,
+    arrivals: &mut [Vec<Arrival>],
+) -> (u64, u64) {
+    let script = cfg.script.as_ref().expect("scripted driver needs a script");
+    let mut stale = 0u64;
+    let mut seeded = false;
+    'windows: loop {
+        let ctx = RunCtx {
+            graph,
+            cfg,
+            behaviors: &setup.behaviors,
+            delays: &setup.delays,
+            active,
+            faulty,
+            all_links_correct: setup.behaviors.iter().all(|&b| b == LinkBehavior::Correct),
+            horizon: setup.horizon,
+        };
+        if !seeded {
+            seed_events(
+                q,
+                &ctx,
+                schedule,
+                &setup.sources,
+                nodes,
+                obs,
+                &mut setup.rng,
+            );
+            seeded = true;
+        }
+        let mut pending: Option<u32> = None;
+        while let Some((now, payload)) = q.pop_next() {
+            if now > ctx.horizon {
+                break 'windows; // beyond-horizon event consumed, like run_events
+            }
+            match handle_one::<Q, O, true>(
+                now,
+                payload,
+                &ctx,
+                nodes,
+                obs,
+                arrivals,
+                q,
+                &mut setup.rng,
+            ) {
+                Step::Done => {}
+                Step::Stale => stale += 1,
+                Step::Script(index) => {
+                    pending = Some(index);
+                    break;
+                }
+            }
+        }
+        match pending {
+            Some(index) => apply_transition(
+                q,
+                script.transitions()[index as usize],
+                graph,
+                cfg,
+                nodes,
+                active,
+                faulty,
+                setup,
+                obs,
+            ),
+            None => break, // queue fully drained
+        }
+    }
     (q.popped(), stale)
 }
 
@@ -988,14 +1194,10 @@ fn run_events_batched<Q: FutureEventList<Ev>, O: RunObserver>(
     batch_buf: &mut Vec<(Time, Ev)>,
 ) -> (u64, u64) {
     seed_events(q, ctx, schedule, sources, nodes, obs, rng);
-    let graph = ctx.graph;
-    let fault_free = ctx.all_links_correct
-        && ctx.faulty.iter().all(|&f| !f)
-        && (0..graph.link_count() as u32).all(|l| ctx.active[graph.link(l).dst as usize]);
-    let stale = if fault_free {
-        drain_batches::<Q, O, true>(q, ctx, nodes, obs, arrivals, rng, batch_buf)
+    let stale = if batch_fault_free(ctx) {
+        drain_batches::<Q, O, true>(q, ctx, ctx.horizon, nodes, obs, arrivals, rng, batch_buf)
     } else {
-        drain_batches::<Q, O, false>(q, ctx, nodes, obs, arrivals, rng, batch_buf)
+        drain_batches::<Q, O, false>(q, ctx, ctx.horizon, nodes, obs, arrivals, rng, batch_buf)
     };
     // The scalar loop pops the first beyond-horizon event before breaking;
     // mirror it so `popped()` stays byte-identical.
@@ -1005,11 +1207,160 @@ fn run_events_batched<Q: FutureEventList<Ev>, O: RunObserver>(
     (q.popped(), stale)
 }
 
+/// Can the whole drain (or, scripted, the current window) run through the
+/// `FAULT_FREE`-monomorphized kernel? True iff no node is faulty, every
+/// link behaves and every delivery targets an active forwarder.
+fn batch_fault_free(ctx: &RunCtx<'_>) -> bool {
+    let graph = ctx.graph;
+    ctx.all_links_correct
+        && ctx.faulty.iter().all(|&f| !f)
+        && (0..graph.link_count() as u32).all(|l| ctx.active[graph.link(l).dst as usize])
+}
+
+/// The scripted batched driver: drains span-bounded batches **capped one
+/// picosecond short of the next fault transition**, so a whole window runs
+/// through the batch kernel — `FAULT_FREE`-monomorphized whenever the
+/// window is actually fault-free, demoted to the masked kernel only while
+/// a fault is live. At the window boundary the loop replays events one at
+/// a time (identical arm bodies via [`handle_one`]) until the sentinel
+/// pops, applies the transition, and re-hoists the masks for the next
+/// window. Byte-identical to [`run_events_scripted`].
+#[allow(clippy::too_many_arguments)]
+fn run_events_scripted_batched<Q: FutureEventList<Ev>, O: RunObserver>(
+    q: &mut Q,
+    setup: &mut RunSetup,
+    graph: &PulseGraph,
+    cfg: &SimConfig,
+    schedule: &Schedule,
+    nodes: &mut SoaNodes,
+    active: &mut [bool],
+    faulty: &mut [bool],
+    obs: &mut O,
+    arrivals: &mut [Vec<Arrival>],
+    batch_buf: &mut Vec<(Time, Ev)>,
+) -> (u64, u64) {
+    let script = cfg.script.as_ref().expect("scripted driver needs a script");
+    let transitions = script.transitions();
+    let mut next_tr = 0usize;
+    let mut stale = 0u64;
+    let mut seeded = false;
+    'windows: loop {
+        let ctx = RunCtx {
+            graph,
+            cfg,
+            behaviors: &setup.behaviors,
+            delays: &setup.delays,
+            active,
+            faulty,
+            all_links_correct: setup.behaviors.iter().all(|&b| b == LinkBehavior::Correct),
+            horizon: setup.horizon,
+        };
+        if !seeded {
+            seed_events(
+                q,
+                &ctx,
+                schedule,
+                &setup.sources,
+                nodes,
+                obs,
+                &mut setup.rng,
+            );
+            seeded = true;
+        }
+        // Batches must stop strictly before the next transition: the
+        // sentinel (and everything at its timestamp) is replayed through
+        // the scalar boundary loop below, preserving exact pop order.
+        let window_ends = next_tr < transitions.len() && transitions[next_tr].at <= ctx.horizon;
+        let cap = if window_ends {
+            Time::from_ps(transitions[next_tr].at.ps() - 1)
+        } else {
+            ctx.horizon
+        };
+        stale += if batch_fault_free(&ctx) {
+            drain_batches::<Q, O, true>(
+                q,
+                &ctx,
+                cap,
+                nodes,
+                obs,
+                arrivals,
+                &mut setup.rng,
+                batch_buf,
+            )
+        } else {
+            drain_batches::<Q, O, false>(
+                q,
+                &ctx,
+                cap,
+                nodes,
+                obs,
+                arrivals,
+                &mut setup.rng,
+                batch_buf,
+            )
+        };
+        if !window_ends {
+            // Final window: mirror the scalar loop's single beyond-horizon
+            // pop so `popped()` stays byte-identical.
+            if !q.is_empty() {
+                q.pop_next();
+            }
+            break;
+        }
+        // Window boundary: replay same-timestamp events individually until
+        // the sentinel pops (they precede it in `(time, seq)` order).
+        let mut pending: Option<u32> = None;
+        while let Some((now, payload)) = q.pop_next() {
+            if now > ctx.horizon {
+                break 'windows; // beyond-horizon event consumed, like the scalar path
+            }
+            match handle_one::<Q, O, true>(
+                now,
+                payload,
+                &ctx,
+                nodes,
+                obs,
+                arrivals,
+                q,
+                &mut setup.rng,
+            ) {
+                Step::Done => {}
+                Step::Stale => stale += 1,
+                Step::Script(index) => {
+                    pending = Some(index);
+                    break;
+                }
+            }
+        }
+        match pending {
+            Some(index) => {
+                debug_assert_eq!(index as usize, next_tr, "sentinels pop in timeline order");
+                apply_transition(
+                    q,
+                    transitions[index as usize],
+                    graph,
+                    cfg,
+                    nodes,
+                    active,
+                    faulty,
+                    setup,
+                    obs,
+                );
+                next_tr = index as usize + 1;
+            }
+            None => break, // queue fully drained (unreachable: sentinel still queued)
+        }
+    }
+    (q.popped(), stale)
+}
+
 /// The batch-draining loop of [`run_events_batched`], monomorphized over
 /// the fault-free fast path. Returns the stale-event count.
+#[allow(clippy::too_many_arguments)]
 fn drain_batches<Q: FutureEventList<Ev>, O: RunObserver, const FAULT_FREE: bool>(
     q: &mut Q,
     ctx: &RunCtx<'_>,
+    cap: Time,
     nodes: &mut SoaNodes,
     obs: &mut O,
     arrivals: &mut [Vec<Arrival>],
@@ -1021,7 +1372,7 @@ fn drain_batches<Q: FutureEventList<Ev>, O: RunObserver, const FAULT_FREE: bool>
     let record_arrivals = cfg.record_arrivals;
     let span = cfg.min_increment();
     let mut stale = 0u64;
-    while q.pop_batch(span, ctx.horizon, batch) > 0 {
+    while q.pop_batch(span, cap, batch) > 0 {
         // Sort-free same-kind grouping: the batch is already in (time, seq)
         // pop order; split it into maximal consecutive runs of one event
         // kind and dispatch each run with a single match. Order within and
@@ -1082,6 +1433,10 @@ fn drain_batches<Q: FutureEventList<Ev>, O: RunObserver, const FAULT_FREE: bool>
                         let Ev::LinkTimeout { node, port, epoch } = ev else {
                             unreachable!()
                         };
+                        if !FAULT_FREE && !ctx.active[node as usize] {
+                            stale += 1; // timer owned by a currently-faulty node
+                            continue;
+                        }
                         debug_assert!(
                             epoch <= nodes.flag_epoch(node, port),
                             "LinkTimeout from the future: node {node} port {port} \
@@ -1103,6 +1458,10 @@ fn drain_batches<Q: FutureEventList<Ev>, O: RunObserver, const FAULT_FREE: bool>
                         let Ev::Wake { node, epoch } = ev else {
                             unreachable!()
                         };
+                        if !FAULT_FREE && !ctx.active[node as usize] {
+                            stale += 1; // timer owned by a currently-faulty node
+                            continue;
+                        }
                         debug_assert!(
                             epoch <= nodes.sleep_epoch(node),
                             "Wake from the future: node {node} carries epoch {epoch} > current {}",
@@ -1126,6 +1485,167 @@ fn drain_batches<Q: FutureEventList<Ev>, O: RunObserver, const FAULT_FREE: bool>
         }
     }
     stale
+}
+
+/// Apply one scripted [`FaultTransition`] at its scheduled instant: flip
+/// the hoisted `active`/`faulty` bitmasks, rewrite the affected link
+/// behaviours, and mutate the SoA node state. All randomness (Byzantine
+/// link draws, arbitrary-rejoin states, residual timers, any fires the
+/// transition itself provokes) comes from `setup.script_rng`, so the main
+/// per-run stream is untouched.
+///
+/// Every event this pushes lands at `tr.at + positive duration`, i.e. at
+/// or after the last popped timestamp — no past-push, and identical
+/// `(time, seq)` interleaving on the scalar and batched paths (both call
+/// this at the exact same point of the pop sequence).
+#[allow(clippy::too_many_arguments)]
+fn apply_transition<Q: FutureEventList<Ev>, O: RunObserver>(
+    q: &mut Q,
+    tr: FaultTransition,
+    graph: &PulseGraph,
+    cfg: &SimConfig,
+    nodes: &mut SoaNodes,
+    active: &mut [bool],
+    faulty: &mut [bool],
+    setup: &mut RunSetup,
+    obs: &mut O,
+) {
+    let now = tr.at;
+
+    // Phase 1: rewrite masks, behaviours and local state.
+    match tr.event {
+        FaultEvent::Fail(node, fault) => {
+            faulty[node as usize] = true;
+            active[node as usize] = false;
+            for &l in graph.out_links(node) {
+                setup.behaviors[l as usize] = match fault {
+                    NodeFault::FailSilent => LinkBehavior::StuckZero,
+                    NodeFault::Byzantine => {
+                        if setup.script_rng.coin() {
+                            LinkBehavior::StuckOne
+                        } else {
+                            LinkBehavior::StuckZero
+                        }
+                    }
+                };
+            }
+        }
+        FaultEvent::Heal(node, rejoin) => {
+            faulty[node as usize] = false;
+            active[node as usize] = graph.role(node) == Role::Forwarder;
+            for &l in graph.out_links(node) {
+                setup.behaviors[l as usize] = setup.base_behaviors[l as usize];
+            }
+            match rejoin {
+                RejoinState::Clean => {
+                    // Epoch-bumping reset: awake, flags cleared, every
+                    // pending timer from before the fault invalidated.
+                    nodes.force_arbitrary(node, false, &[]);
+                }
+                RejoinState::Arbitrary => {
+                    // Mirror the corrupted-init seeding, drawn from the
+                    // script stream.
+                    let ports = graph.port_count(node);
+                    let sleeping = setup.script_rng.coin();
+                    let set: Vec<u8> = (0..ports as u8)
+                        .filter(|_| setup.script_rng.coin())
+                        .collect();
+                    let eps = nodes.force_arbitrary(node, sleeping, &set);
+                    if let Some(e) = eps.sleep_epoch {
+                        let residual = setup
+                            .script_rng
+                            .duration_in(Duration::ZERO, cfg.timing.sleep.hi);
+                        q.push(now + residual, Ev::Wake { node, epoch: e });
+                    }
+                    for (port, e) in eps.flag_epochs {
+                        let residual = setup
+                            .script_rng
+                            .duration_in(Duration::ZERO, cfg.timing.link.hi);
+                        q.push(
+                            now + residual,
+                            Ev::LinkTimeout {
+                                node,
+                                port,
+                                epoch: e,
+                            },
+                        );
+                    }
+                }
+            }
+        }
+        FaultEvent::LinkDown(link, behavior) => {
+            setup.behaviors[link as usize] = behavior;
+        }
+        FaultEvent::LinkUp(link) => {
+            setup.behaviors[link as usize] = setup.base_behaviors[link as usize];
+        }
+    }
+
+    // Phase 2: react under the updated context — stuck-at-1 links assert
+    // their receiver's port, and affected ready nodes may fire.
+    let ctx = RunCtx {
+        graph,
+        cfg,
+        behaviors: &setup.behaviors,
+        delays: &setup.delays,
+        active,
+        faulty,
+        all_links_correct: setup.behaviors.iter().all(|&b| b == LinkBehavior::Correct),
+        horizon: setup.horizon,
+    };
+    let rng = &mut setup.script_rng;
+    let single;
+    let links: &[u32] = match tr.event {
+        FaultEvent::Fail(node, _) | FaultEvent::Heal(node, _) => graph.out_links(node),
+        FaultEvent::LinkDown(link, _) | FaultEvent::LinkUp(link) => {
+            single = [link];
+            &single
+        }
+    };
+    for &l in links {
+        if ctx.behaviors[l as usize] != LinkBehavior::StuckOne {
+            continue;
+        }
+        let lk = graph.link(l);
+        if !ctx.active[lk.dst as usize] {
+            continue;
+        }
+        if let Some(epoch) = nodes.set_flag(lk.dst, lk.dst_port) {
+            let dur = rng.duration_in(cfg.timing.link.lo, cfg.timing.link.hi);
+            q.push(
+                now + dur,
+                Ev::LinkTimeout {
+                    node: lk.dst,
+                    port: lk.dst_port,
+                    epoch,
+                },
+            );
+        }
+        maybe_fire::<Q, O, false>(lk.dst, now, &ctx, nodes, obs, q, rng);
+    }
+
+    // A healed node re-arms its stuck-at-1 in-ports (still-faulty
+    // neighbours, link overrides) and may fire off its rejoin state.
+    if let FaultEvent::Heal(node, _) = tr.event {
+        for (port, &l) in graph.in_links(node).iter().enumerate() {
+            if ctx.behaviors[l as usize] == LinkBehavior::StuckOne {
+                if let Some(epoch) = nodes.set_flag(node, port as u8) {
+                    let dur = rng.duration_in(cfg.timing.link.lo, cfg.timing.link.hi);
+                    q.push(
+                        now + dur,
+                        Ev::LinkTimeout {
+                            node,
+                            port: port as u8,
+                            epoch,
+                        },
+                    );
+                }
+            }
+        }
+        if ctx.active[node as usize] {
+            maybe_fire::<Q, O, false>(node, now, &ctx, nodes, obs, q, rng);
+        }
+    }
 }
 
 /// If `node` is ready and its guard is satisfied, fire: observe the firing
@@ -1954,6 +2474,141 @@ mod tests {
             QueuePolicy::QuadHeap
         );
         assert!("fibonacci".parse::<QueuePolicy>().is_err());
+    }
+
+    /// A scripted mid-run crash silences the victim for exactly its
+    /// window and the grid keeps pulsing around the hole; after a clean
+    /// rejoin the victim fires again with later pulses.
+    #[test]
+    fn scripted_crash_window_silences_then_recovers() {
+        use hex_clock::{PulseTrain, Scenario};
+        let grid = HexGrid::new(5, 6);
+        let mut rng = SimRng::seed_from_u64(51);
+        let sched =
+            PulseTrain::new(Scenario::Zero, 6, Duration::from_ns(300.0)).generate(6, &mut rng);
+        let victim = grid.node(2, 3);
+        let crash = Time::from_ns(150.0);
+        let heal = Time::from_ns(1_050.0);
+        let cfg = SimConfig {
+            timing: Timing::paper_scenario_iii(),
+            script: Some(FaultScript::crash_rejoin(
+                victim,
+                crash,
+                heal,
+                RejoinState::Clean,
+            )),
+            ..SimConfig::fault_free()
+        };
+        let trace = simulate(grid.graph(), &sched, &cfg, 61);
+        let fires = &trace.fires[victim as usize];
+        assert!(
+            fires.iter().any(|&(t, _)| t < crash),
+            "victim missed the pre-crash pulse"
+        );
+        assert!(
+            fires.iter().all(|&(t, _)| t < crash || t >= heal),
+            "victim fired while crashed"
+        );
+        assert!(
+            fires.iter().filter(|&&(t, _)| t >= heal).count() >= 2,
+            "victim never rejoined the pulse train"
+        );
+        // The wave flows around the hole: the top layer still sees every
+        // pulse (a single crash respects Condition 1).
+        for col in 0..6 {
+            let n = grid.node(5, col as i64);
+            assert!(
+                (5..=7).contains(&trace.fires[n as usize].len()),
+                "top-layer node {n} fired {} times",
+                trace.fires[n as usize].len()
+            );
+        }
+    }
+
+    /// Scripted campaigns replay byte-identically across every queue
+    /// policy and between the scalar and bucket-batched drivers, with a
+    /// dirty scratch shared across all legs. The script mixes every
+    /// transition kind: a Byzantine burst with an adversarial rejoin, a
+    /// crash + clean rejoin overlapping it, and a link flap.
+    #[test]
+    fn scripted_runs_replay_identically_across_policies_and_dispatch() {
+        use hex_clock::{PulseTrain, Scenario};
+        let grid = HexGrid::new(6, 6);
+        let mut rng = SimRng::seed_from_u64(71);
+        let sched =
+            PulseTrain::new(Scenario::Zero, 5, Duration::from_ns(300.0)).generate(6, &mut rng);
+        let script = FaultScript::none()
+            .with(
+                Time::from_ns(40.0),
+                FaultEvent::Fail(grid.node(3, 2), NodeFault::Byzantine),
+            )
+            .with(
+                Time::from_ns(400.0),
+                FaultEvent::Heal(grid.node(3, 2), RejoinState::Arbitrary),
+            )
+            .with(
+                Time::from_ns(400.0),
+                FaultEvent::Fail(grid.node(1, 4), NodeFault::FailSilent),
+            )
+            .with(
+                Time::from_ns(700.0),
+                FaultEvent::Heal(grid.node(1, 4), RejoinState::Clean),
+            )
+            .with(
+                Time::from_ns(900.0),
+                FaultEvent::LinkDown(5, LinkBehavior::StuckOne),
+            )
+            .with(Time::from_ns(1_100.0), FaultEvent::LinkUp(5));
+        let base = SimConfig {
+            timing: Timing::paper_scenario_iii(),
+            record_arrivals: true,
+            script: Some(script),
+            ..SimConfig::fault_free()
+        };
+        let reference = simulate(grid.graph(), &sched, &base, 77);
+        let mut scratch = SimScratch::new();
+        for policy in QueuePolicy::ALL {
+            for batch in [false, true] {
+                let cfg = SimConfig {
+                    queue: policy,
+                    batch,
+                    ..base.clone()
+                };
+                let t = simulate_into(&mut scratch, grid.graph(), &sched, &cfg, 77);
+                assert_eq!(t, &reference, "{policy:?} batch={batch} diverged");
+            }
+        }
+    }
+
+    /// Metamorphic: a script whose whole disturbance heals cleanly before
+    /// the wavefront reaches the victim leaves no observable trace — the
+    /// run is byte-identical to the unscripted one on both dispatch
+    /// paths (the script machinery draws only from its own salted RNG
+    /// stream).
+    #[test]
+    fn script_healed_before_the_wave_is_invisible() {
+        let grid = HexGrid::new(5, 6);
+        let sched = zero_schedule(6);
+        let victim = grid.node(4, 1);
+        // The wave cannot reach layer 4 before 4·d⁻; the whole fault
+        // window closes (with a clean rejoin) well before that.
+        let heal = Time::from_ps(20_000);
+        assert!(heal < Time::ZERO + D_MINUS.times(4));
+        let script =
+            FaultScript::crash_rejoin(victim, Time::from_ps(1_000), heal, RejoinState::Clean);
+        for batch in [false, true] {
+            let plain = SimConfig {
+                batch,
+                ..SimConfig::fault_free()
+            };
+            let scripted = SimConfig {
+                script: Some(script.clone()),
+                ..plain.clone()
+            };
+            let a = simulate(grid.graph(), &sched, &plain, 83);
+            let b = simulate(grid.graph(), &sched, &scripted, 83);
+            assert_eq!(a, b, "healed-in-place script left a trace (batch={batch})");
+        }
     }
 
     #[test]

@@ -58,6 +58,10 @@ pub const KNOWN: &[(&str, &str)] = &[
         "hexctl retry budget when hexd answers `busy` (default: 4; 0 = fail fast)",
     ),
     (
+        "HEX_SERVE_TIMEOUT_MS",
+        "hexd per-connection socket read/write timeout in ms (default: 10000; 0 = no timeout)",
+    ),
+    (
         "HEX_BENCH_BUDGET_MS",
         "per-bench time budget (read by the criterion shim)",
     ),
@@ -146,6 +150,7 @@ mod tests {
             "HEX_CACHE_MAX_MB",
             "HEX_SERVE_WORKERS",
             "HEX_SERVE_RETRIES",
+            "HEX_SERVE_TIMEOUT_MS",
         ] {
             assert!(
                 KNOWN.iter().any(|(n, _)| *n == name),

@@ -37,7 +37,8 @@ use hex_clock::{PulseTrain, Scenario};
 use hex_core::condition2::{Condition2, TABLE3_SIGMA_NS};
 use hex_core::fault::{forwarder_candidates, place_condition1, satisfies_condition1};
 use hex_core::{
-    DelayModel, FaultPlan, HexGrid, NodeFault, NodeId, PulseGraph, Timing, D_MINUS, D_PLUS,
+    DelayModel, FaultPlan, FaultScript, HexGrid, NodeFault, NodeId, PulseGraph, Timing, D_MINUS,
+    D_PLUS,
 };
 use hex_des::{Duration, Schedule, SimRng};
 
@@ -101,6 +102,13 @@ pub enum FaultRegime {
     /// An explicit, fixed fault plan used verbatim in every run (custom
     /// per-link behaviours, crash clusters, adversarial constructions).
     Plan(FaultPlan),
+    /// A dynamic fault campaign: the grid starts fault-free and the same
+    /// [`FaultScript`] timeline of mid-run transitions (bursts, crash +
+    /// rejoin, churn, link flaps) replays in every run. Script-internal
+    /// randomness (Byzantine stuck directions, adversarial rejoin states)
+    /// draws from a salted per-run stream, so the fault-free prefix of a
+    /// scripted run is byte-identical to [`FaultRegime::None`].
+    Script(FaultScript),
 }
 
 impl FaultRegime {
@@ -115,6 +123,17 @@ impl FaultRegime {
                 fail_silent,
             } => byzantine + fail_silent,
             FaultRegime::Plan(p) => p.fault_count(),
+            // Scripted runs start fault-free; the static count stays 0 so
+            // horizons and exclusion masks match the fault-free baseline.
+            FaultRegime::Script(_) => 0,
+        }
+    }
+
+    /// The script of a [`FaultRegime::Script`] regime, if any.
+    pub fn script(&self) -> Option<&FaultScript> {
+        match self {
+            FaultRegime::Script(s) => Some(s),
+            _ => None,
         }
     }
 
@@ -127,7 +146,7 @@ impl FaultRegime {
     /// the Section-5 topology variants, e.g. the Fig.-21 doubling rings).
     pub fn plan_on(&self, graph: &PulseGraph, rng: &mut SimRng) -> FaultPlan {
         match *self {
-            FaultRegime::None => FaultPlan::none(),
+            FaultRegime::None | FaultRegime::Script(_) => FaultPlan::none(),
             FaultRegime::Plan(ref plan) => plan.clone(),
             FaultRegime::FixedByzantine(layer, col) => {
                 // The column wraps modulo the layer's width, like
@@ -475,6 +494,7 @@ impl RunSpec {
             delays: self.delays.clone(),
             timing: self.effective_timing(),
             faults,
+            script: self.faults.script().cloned(),
             init: self.init,
             horizon: None,
             record_arrivals: false,

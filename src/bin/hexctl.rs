@@ -7,15 +7,24 @@
 //! hexctl stabilize [--runs R] [--pulses P] [--byzantine N] ...      stabilization estimate
 //! hexctl bounds    [--length L] [--width W]                         Theorem-1 / Condition-2 numbers
 //! hexctl vcd       [--out FILE] [--pulses P] [--scenario ..] ...    dump a run as a VCD waveform
+//! hexctl campaign  [--regime burst|crash|churn] [--runs R] ...      dynamic fault campaign + re-stabilization
 //! hexctl serve     [--addr A]                                       run the hexd daemon in-process
 //! hexctl query     [--addr A] [--kind skew|stabilize] [--hop H] ... ask a hexd daemon (thin client)
 //! hexctl ping      [--addr A]                                       probe a hexd daemon
+//! hexctl stats     [--addr A]                                       dump a hexd daemon's counters
 //! hexctl stop      [--addr A]                                       shut a hexd daemon down
 //! ```
 //!
 //! Every simulating subcommand builds one [`RunSpec`] from the flags; mixed
 //! `--byzantine`/`--fail-silent` counts map to [`FaultRegime::Mixed`]
-//! (joint Condition-1 placement). `query` sends that same spec to a `hexd`
+//! (joint Condition-1 placement). `campaign` instead runs one of the canned
+//! [`FaultScript`] shapes (`--regime`, scaled by the scenario's pulse
+//! separation) under [`FaultRegime::Script`] and reports per-disturbance
+//! re-stabilization through the streaming observed fold: the
+//! `campaign_summary` table JSON goes to stdout (byte-identical across
+//! queue policies and dispatch modes) and a human summary to stderr; it
+//! also honors `HEX_RUNS`/`HEX_SEED`/`HEX_THREADS`/`HEX_QUEUE` like the
+//! figure drivers. `query` sends the flag-built spec to a `hexd`
 //! daemon instead of computing locally: the result JSON goes to stdout and
 //! a `cache_hit=0|1 query_hash=.. engine=..` provenance line to stderr.
 //! Plain `std::env::args` parsing — no CLI dependency; unknown flags,
@@ -29,8 +38,33 @@
 use hexclock::analysis::reduce::ObservedStabilizationReducer;
 use hexclock::analysis::stabilization::{summarize, Criterion};
 use hexclock::analysis::wave::wave_ascii;
+use hexclock::core::fault::forwarder_candidates;
 use hexclock::prelude::*;
 use hexclock::serve::{Client, QueryKind, ServeConfig};
+
+/// The canned [`FaultScript`] shape behind `hexctl campaign --regime`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Regime {
+    /// A transient Byzantine burst on a mid-grid node, healing into
+    /// adversarial local state.
+    Burst,
+    /// Crash-then-rejoin: a fail-silent window on a mid-grid node with a
+    /// clean (power-cycled) recovery.
+    Crash,
+    /// Rolling churn: three consecutive single-node crash windows over
+    /// seed-drawn forwarder victims.
+    Churn,
+}
+
+impl Regime {
+    fn label(self) -> &'static str {
+        match self {
+            Regime::Burst => "burst",
+            Regime::Crash => "crash",
+            Regime::Churn => "churn",
+        }
+    }
+}
 
 #[derive(Debug, Clone)]
 struct Opts {
@@ -49,11 +83,14 @@ struct Opts {
     addr: Option<String>,
     kind: QueryKind,
     hop: usize,
+    regime: Regime,
 }
 
-const USAGE: &str = "usage: hexctl <wave|table|stabilize|bounds|vcd|serve|query|ping|stop> \
+const USAGE: &str =
+    "usage: hexctl <wave|table|stabilize|bounds|vcd|campaign|serve|query|ping|stats|stop> \
  [--length L] [--width W] [--scenario i|ii|iii|iv] [--seed S] [--runs R] [--pulses P] \
- [--byzantine N] [--fail-silent N] [--out FILE] [--addr A] [--kind skew|stabilize] [--hop H]";
+ [--byzantine N] [--fail-silent N] [--out FILE] [--addr A] [--kind skew|stabilize] [--hop H] \
+ [--regime burst|crash|churn]";
 
 /// Parse an argument vector (without the program name). Every failure —
 /// missing subcommand, unknown flag, missing or malformed value, unknown
@@ -64,15 +101,17 @@ fn parse_args(mut args: Vec<String>) -> Result<Opts, String> {
         return Err("missing subcommand".to_string());
     }
     let command = args.remove(0);
-    const COMMANDS: [&str; 9] = [
+    const COMMANDS: [&str; 11] = [
         "wave",
         "table",
         "stabilize",
         "bounds",
         "vcd",
+        "campaign",
         "serve",
         "query",
         "ping",
+        "stats",
         "stop",
     ];
     if !COMMANDS.contains(&command.as_str()) {
@@ -92,6 +131,7 @@ fn parse_args(mut args: Vec<String>) -> Result<Opts, String> {
         addr: None,
         kind: QueryKind::Skew,
         hop: 0,
+        regime: Regime::Crash,
     };
     while !args.is_empty() {
         let flag = args.remove(0);
@@ -120,6 +160,14 @@ fn parse_args(mut args: Vec<String>) -> Result<Opts, String> {
                     "skew" => QueryKind::Skew,
                     "stabilize" => QueryKind::Stabilize,
                     other => return Err(format!("unknown query kind `{other}`")),
+                }
+            }
+            "--regime" => {
+                o.regime = match value.as_str() {
+                    "burst" => Regime::Burst,
+                    "crash" => Regime::Crash,
+                    "churn" => Regime::Churn,
+                    other => return Err(format!("unknown campaign regime `{other}`")),
                 }
             }
             "--scenario" => {
@@ -270,6 +318,95 @@ fn cmd_vcd(o: &Opts) {
     );
 }
 
+/// Build the canned campaign script for `--regime`, scaled by the spec's
+/// Table-3 pulse separation so the same shapes work across scenarios: the
+/// first disturbance lands mid-flight of pulse 1 and every window spans
+/// two separations (churn: three one-separation windows, one every three
+/// separations — close enough to stress, spaced enough that each
+/// disturbance's segment can re-stabilize before the next hit).
+fn campaign_script(o: &Opts, spec: &RunSpec) -> FaultScript {
+    let grid = spec.hex_grid();
+    let s = spec.separation();
+    let onset = Time::ZERO + s + s / 2;
+    let victim = grid.node((o.length / 2).max(1), i64::from(o.width / 2));
+    match o.regime {
+        Regime::Burst => FaultScript::burst(
+            victim,
+            NodeFault::Byzantine,
+            onset,
+            onset + s.times(2),
+            RejoinState::Arbitrary,
+        ),
+        Regime::Crash => {
+            FaultScript::crash_rejoin(victim, onset, onset + s.times(2), RejoinState::Clean)
+        }
+        Regime::Churn => {
+            // Victims come from the lower quarter of the grid: a wave that
+            // already passed them when a window opens stays clean, so each
+            // churn hit disturbs exactly one pulse instead of every
+            // in-flight wave — the per-disturbance segments stay readable.
+            // (A pulse launched half a separation before a window crosses
+            // layer L up to ~(L+1)*d+ later; L <= length/4 keeps that
+            // crossing safely inside the window-free gap.)
+            let cap = (o.length / 4).max(1);
+            let mut candidates = forwarder_candidates(grid.graph());
+            candidates.retain(|&n| grid.graph().coord(n).is_some_and(|c| c.layer <= cap));
+            let mut rng = SimRng::seed_from_u64(o.seed);
+            FaultScript::churn(
+                &candidates,
+                onset,
+                s,
+                s.times(3),
+                3,
+                RejoinState::Clean,
+                &mut rng,
+            )
+        }
+    }
+}
+
+fn cmd_campaign(o: &Opts) -> Result<(), String> {
+    let base = spec_for(o).pulses(o.pulses).with_env();
+    let script = campaign_script(o, &base);
+    let spec = base.faults(FaultRegime::Script(script));
+    let grid = spec.hex_grid();
+    let criterion = Criterion::uniform(D_PLUS * 3, D_PLUS, grid.length());
+    let stats = campaign_restabilization(&spec, &criterion, o.hop);
+    eprintln!(
+        "campaign {} on {}x{} (scenario {}, {} runs, {} pulses): {} disturbance(s), {}",
+        o.regime.label(),
+        grid.length(),
+        grid.width(),
+        o.scenario.label(),
+        spec.runs,
+        o.pulses,
+        stats.disturbances.len(),
+        match stats.worst() {
+            Some(w) => format!("worst re-stabilization {w} pulse(s)"),
+            None => "no disturbance fully recovered".to_string(),
+        }
+    );
+    for (i, d) in stats.disturbances.iter().enumerate() {
+        let (avg, worst) = if d.restabilized > 0 {
+            let worst = d.worst_pulses.expect("restabilized segment has a worst");
+            (format!("{:.2}", d.avg_pulses), worst.to_string())
+        } else {
+            ("-".to_string(), "-".to_string())
+        };
+        eprintln!(
+            "  disturbance {i} at {} ps: {}/{} run(s) re-stabilized, avg {} pulse(s), worst {}",
+            d.at.ps(),
+            d.restabilized,
+            d.runs,
+            avg,
+            worst
+        );
+    }
+    let table = campaign_summary_table(&stats);
+    println!("{}", table.to_json());
+    Ok(())
+}
+
 fn cmd_serve(o: &Opts) -> Result<(), String> {
     let mut cfg = ServeConfig::from_knobs();
     if let Some(addr) = &o.addr {
@@ -324,6 +461,14 @@ fn cmd_ping(o: &Opts) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_stats(o: &Opts) -> Result<(), String> {
+    let addr = addr_for(o);
+    let mut client = Client::connect(&addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    let body = client.stats_json().map_err(|e| format!("stats: {e}"))?;
+    println!("{}", String::from_utf8_lossy(&body).trim_end_matches('\n'));
+    Ok(())
+}
+
 fn cmd_stop(o: &Opts) -> Result<(), String> {
     let addr = addr_for(o);
     let mut client = Client::connect(&addr).map_err(|e| format!("connect {addr}: {e}"))?;
@@ -362,9 +507,11 @@ fn main() {
             cmd_vcd(&o);
             Ok(())
         }
+        "campaign" => cmd_campaign(&o),
         "serve" => cmd_serve(&o),
         "query" => cmd_query(&o),
         "ping" => cmd_ping(&o),
+        "stats" => cmd_stats(&o),
         "stop" => cmd_stop(&o),
         // parse_args validated the subcommand; nothing can reach here.
         other => Err(format!("unknown subcommand `{other}`")),
@@ -422,6 +569,40 @@ mod tests {
     }
 
     #[test]
+    fn campaign_flags_parse() {
+        let o = parse_args(argv(&["campaign", "--regime", "burst", "--runs", "3"])).unwrap();
+        assert_eq!(o.command, "campaign");
+        assert_eq!(o.regime, Regime::Burst);
+        assert_eq!(o.runs, 3);
+    }
+
+    #[test]
+    fn campaign_scripts_have_the_advertised_shapes() {
+        let base = parse_args(argv(&["campaign", "--length", "8", "--width", "6"])).unwrap();
+        for (regime, disturbances, transitions) in [
+            (Regime::Burst, 1, 2),
+            (Regime::Crash, 1, 2),
+            (Regime::Churn, 3, 6),
+        ] {
+            let o = Opts {
+                regime,
+                ..base.clone()
+            };
+            let spec = spec_for(&o).pulses(o.pulses);
+            let script = campaign_script(&o, &spec);
+            assert_eq!(script.len(), transitions, "{}", regime.label());
+            assert_eq!(
+                script.disturbance_times().len(),
+                disturbances,
+                "{}",
+                regime.label()
+            );
+            let grid = spec.hex_grid();
+            script.assert_in_bounds(grid.node_count(), grid.graph().link_count());
+        }
+    }
+
+    #[test]
     fn errors_are_reported_not_swallowed() {
         for (label, args) in [
             ("no subcommand", argv(&[])),
@@ -431,6 +612,7 @@ mod tests {
             ("malformed value", argv(&["wave", "--length", "many"])),
             ("bad scenario", argv(&["wave", "--scenario", "v"])),
             ("bad kind", argv(&["query", "--kind", "median"])),
+            ("bad regime", argv(&["campaign", "--regime", "meteor"])),
         ] {
             assert!(parse_args(args).is_err(), "{label} accepted");
         }
@@ -442,6 +624,7 @@ mod tests {
         assert_eq!((o.length, o.width), (50, 20));
         assert_eq!(o.seed, 42);
         assert_eq!(o.kind, QueryKind::Skew);
+        assert_eq!(o.regime, Regime::Crash);
         assert!(o.addr.is_none());
     }
 }

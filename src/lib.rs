@@ -99,16 +99,22 @@ pub use hex_tree as tree;
 pub mod prelude {
     pub use hex_analysis::emit::{Emitter, Table, Value};
     pub use hex_analysis::reduce::{
-        batch_skews, batch_skews_from_views, BatchSkews, ObservedSkewReducer,
-        ObservedStabilizationReducer, SkewReducer, StabilizationReducer,
+        batch_skews, batch_skews_from_views, campaign_restabilization, BatchSkews,
+        ObservedRestabilizationReducer, ObservedSkewReducer, ObservedStabilizationReducer,
+        SkewReducer, StabilizationReducer,
     };
     pub use hex_analysis::skew::{
         collect_skews, collect_skews_observed, exclusion_mask, SkewSamples,
     };
+    pub use hex_analysis::stabilization::{
+        campaign_summary_table, summarize_campaign, CampaignStats, DisturbanceStats,
+        Restabilization,
+    };
     pub use hex_analysis::stats::Summary;
     pub use hex_clock::{PulseTrain, Scenario};
     pub use hex_core::{
-        DelayModel, DelayRange, FaultPlan, HexGrid, NodeFault, Timing, D_MINUS, D_PLUS, EPSILON,
+        DelayModel, DelayRange, FaultEvent, FaultPlan, FaultScript, FaultTransition, HexGrid,
+        LinkBehavior, NodeFault, RejoinState, Timing, D_MINUS, D_PLUS, EPSILON,
     };
     pub use hex_des::{
         CalendarQueue, Duration, EventQueue, FutureEventList, QuadHeapQueue, Schedule, SimRng, Time,

@@ -144,6 +144,119 @@ fn batched_and_scalar_serialize_byte_identical() {
     }
 }
 
+/// Dynamic-regime wall: a run under a live [`FaultScript`] — Byzantine
+/// burst, crash-rejoin and a link flap overlapping a multi-pulse train —
+/// serializes byte-identically across every queue policy and both
+/// dispatch strategies, through a dirty reused scratch. Scripted fault
+/// windows are simulation *content*; the event list and the batched
+/// kernels must stay pure performance knobs around them.
+#[test]
+fn scripted_runs_serialize_byte_identical_across_policies_and_dispatch() {
+    use hexclock::sim::{vcd_document, VcdOptions};
+
+    let grid = HexGrid::new(10, 8);
+    let mut rng = SimRng::seed_from_u64(31);
+    let sched = PulseTrain::new(Scenario::Zero, 5, Duration::from_ns(300.0)).generate(8, &mut rng);
+    let flapped = grid.graph().out_links(grid.node(1, 1))[0];
+    let script = FaultScript::burst(
+        grid.node(3, 2),
+        NodeFault::Byzantine,
+        Time::from_ns(120.0),
+        Time::from_ns(520.0),
+        RejoinState::Arbitrary,
+    )
+    .merged(FaultScript::crash_rejoin(
+        grid.node(6, 5),
+        Time::from_ns(400.0),
+        Time::from_ns(900.0),
+        RejoinState::Clean,
+    ))
+    .merged(FaultScript::link_flap(
+        flapped,
+        LinkBehavior::StuckOne,
+        Time::from_ns(700.0),
+        Time::from_ns(1_100.0),
+    ));
+    let base = SimConfig {
+        script: Some(script),
+        timing: Timing::paper_scenario_iii(),
+        init: InitState::Arbitrary,
+        record_arrivals: true,
+        ..SimConfig::fault_free()
+    };
+
+    let fresh = simulate(grid.graph(), &sched, &base, 606);
+    let doc_fresh = vcd_document(&grid, &fresh, &VcdOptions::default());
+    assert!(!doc_fresh.is_empty());
+
+    // Dirty scratch: polluted by a different shape/fault plan/seed first.
+    let mut scratch = SimScratch::new();
+    let decoy_grid = HexGrid::new(5, 6);
+    let decoy_sched = Schedule::single_pulse(vec![Time::ZERO; 6]);
+    simulate_into(
+        &mut scratch,
+        decoy_grid.graph(),
+        &decoy_sched,
+        &SimConfig {
+            faults: FaultPlan::none().with_node(decoy_grid.node(2, 1), NodeFault::FailSilent),
+            timing: Timing::paper_scenario_iii(),
+            record_arrivals: true,
+            ..SimConfig::fault_free()
+        },
+        999,
+    );
+
+    for policy in QueuePolicy::ALL {
+        for batch in [false, true] {
+            let cfg = SimConfig {
+                queue: policy,
+                batch,
+                ..base.clone()
+            };
+            let reused = simulate_into(&mut scratch, grid.graph(), &sched, &cfg, 606);
+            assert_eq!(
+                &fresh, reused,
+                "{policy:?}/batch={batch}: scripted trace diverged"
+            );
+            let doc_reused = vcd_document(&grid, reused, &VcdOptions::default());
+            assert_eq!(
+                doc_fresh.as_bytes(),
+                doc_reused.as_bytes(),
+                "{policy:?}/batch={batch}: scripted serialization diverged"
+            );
+        }
+    }
+}
+
+/// Metamorphic check at the experiment level: a script whose only window
+/// opens *and heals* before the pulse wave can reach its victim must be
+/// invisible — [`FaultRegime::Script`] output matches [`FaultRegime::None`]
+/// exactly, run for run. Script-internal randomness draws from a salted
+/// side stream, so merely carrying a script must not perturb the run.
+#[test]
+fn script_healed_before_the_wave_matches_fault_free_exactly() {
+    let base = RunSpec::grid(10, 6).runs(3).seed(17).pulses(3);
+    let grid = base.hex_grid();
+    // Victim on layer 8: the wave needs at least 8 minimum link delays
+    // to get there, and the whole fault window is over well before that.
+    let victim = grid.node(8, 3);
+    let heal = Time::from_ps(20_000);
+    assert!(
+        heal < Time::ZERO + D_MINUS.times(8),
+        "window not early enough"
+    );
+    let script = FaultScript::crash_rejoin(victim, Time::from_ps(1_000), heal, RejoinState::Clean);
+    let scripted = base.clone().faults(FaultRegime::Script(script));
+    for run in 0..3 {
+        let (plain, _) = base.trace(run);
+        let (with_script, _) = scripted.trace(run);
+        assert_eq!(
+            plain, with_script,
+            "run {run}: a healed-before-arrival script left a trace"
+        );
+    }
+}
+
 /// Scratch-reuse wall: `simulate_into` on a **dirty, reused** `SimScratch`
 /// must be byte-identical (VCD serialization) to fresh `simulate`, across
 /// the fault-free, Byzantine, and Mixed regimes and across init states.

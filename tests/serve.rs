@@ -35,7 +35,7 @@ fn spec_from(
     delay_ix: usize,
     queue_ix: usize,
 ) -> RunSpec {
-    let faults = match fault_ix % 6 {
+    let faults = match fault_ix % 7 {
         0 => FaultRegime::None,
         1 => FaultRegime::Byzantine(1 + fault_ix % 3),
         2 => FaultRegime::FailSilent(1 + fault_ix % 2),
@@ -44,6 +44,32 @@ fn spec_from(
             byzantine: fault_ix % 3,
             fail_silent: 1 + fault_ix % 2,
         },
+        5 => FaultRegime::Script(
+            FaultScript::none()
+                .with(
+                    Time::from_ps(10_000 + fault_ix as i64),
+                    FaultEvent::Fail((fault_ix % 7) as u32, NodeFault::Byzantine),
+                )
+                .with(
+                    Time::from_ps(40_000 + fault_ix as i64),
+                    FaultEvent::Heal(
+                        (fault_ix % 7) as u32,
+                        if fault_ix % 2 == 0 {
+                            RejoinState::Clean
+                        } else {
+                            RejoinState::Arbitrary
+                        },
+                    ),
+                )
+                .with(
+                    Time::from_ps(40_000 + fault_ix as i64),
+                    FaultEvent::LinkDown((fault_ix % 11) as u32, LinkBehavior::StuckOne),
+                )
+                .with(
+                    Time::from_ps(60_000),
+                    FaultEvent::LinkUp((fault_ix % 11) as u32),
+                ),
+        ),
         _ => FaultRegime::Plan(
             FaultPlan::none()
                 .with_node((fault_ix % 7) as u32, NodeFault::Byzantine)
@@ -133,7 +159,7 @@ fn spec_hash_is_stable_across_processes() {
         .queue(QueuePolicy::Calendar);
     assert_eq!(
         spec_hash(&spec),
-        0xa5f9_4cef_0aac_00cf,
+        0x01a7_35c5_e688_0e18,
         "canonical encoding changed — bump hex_sim::canon::CANON_VERSION \
          and update this golden value"
     );
@@ -158,6 +184,9 @@ fn test_config(tag: &str) -> ServeConfig {
         queue_depth: 16,
         max_cells: 1 << 20,
         max_runs: 1 << 16,
+        // No socket budget by default: only the stalled-client test opts
+        // in, so slow CI machines can't flake the rest of the wall.
+        timeout_ms: 0,
     }
 }
 
@@ -391,6 +420,110 @@ fn cold_start_recovers_from_orphaned_tmp_and_torn_entries() {
         leftovers.is_empty(),
         "orphans survived the sweep: {leftovers:?}"
     );
+    cleanup(&cfg);
+}
+
+/// A client that connects and then goes silent must not pin its
+/// connection thread forever: other clients are served meanwhile, and
+/// once the HEX_SERVE_TIMEOUT_MS budget expires the stalled connection
+/// is dropped cleanly and shows up in the `timeouts` /
+/// `dropped_connections` counters.
+#[test]
+fn stalled_clients_time_out_without_blocking_service() {
+    let mut cfg = test_config("stall");
+    cfg.timeout_ms = 150;
+    let handle = serve(cfg.clone()).expect("start hexd");
+    let addr = handle.addr();
+
+    // Connects, never sends a frame.
+    let stalled = Client::connect(&addr).expect("connect stalled");
+
+    // A second client is answered while the first holds its silent
+    // connection open.
+    let mut live = Client::connect(&addr).expect("connect live");
+    live.ping().expect("ping with a stalled peer");
+    let reply = live
+        .query(QueryKind::Skew, 0, &small_spec())
+        .expect("query with a stalled peer");
+    assert!(!reply.payload.is_empty());
+
+    // The stalled connection is reaped once its budget expires.
+    // hexlint: allow(wall-clock, reason = "socket timeouts are wall-clock by nature; this bounds the poll")
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+    loop {
+        let s = handle.stats();
+        if s.timeouts >= 1 && s.dropped_connections >= 1 {
+            break;
+        }
+        assert!(
+            // hexlint: allow(wall-clock, reason = "poll-loop deadline check for the socket-timeout feature")
+            std::time::Instant::now() < deadline,
+            "stalled connection never timed out: {s:?}"
+        );
+        std::thread::sleep(std::time::Duration::from_millis(20));
+    }
+    drop(stalled);
+    drop(live);
+    let stats = handle.shutdown();
+    assert!(stats.timeouts >= 1);
+    assert!(stats.dropped_connections >= stats.timeouts);
+    let json = stats.to_json();
+    assert!(
+        json.contains("\"timeouts\":") && json.contains("\"dropped_connections\":"),
+        "{json}"
+    );
+    cleanup(&cfg);
+}
+
+/// Bumping the canon epoch retires every cached result: an entry a
+/// `hexcanon/1`-era daemon stored for this spec sits under the old
+/// engine tag's hash, so the same query under `hexcanon/2` misses it and
+/// cold-recomputes instead of replaying stale bytes.
+#[test]
+fn canon_epoch_bump_retires_stale_cache_entries() {
+    use hexclock::sim::canon::{engine_version, fnv1a_64};
+
+    let spec = small_spec();
+    let bytes = hexclock::sim::canon::encode_spec(&spec);
+    let new_tag = engine_version();
+    assert!(new_tag.contains("canon2"), "engine tag: {new_tag}");
+    let old_tag = new_tag.replace("canon2", "canon1");
+    // Replicates `Query::hash` (engine tag, kind, h, spec bytes — NUL
+    // separated); the `query_hash` assertion below keeps it honest.
+    let hash_with = |tag: &str| {
+        let mut keyed = Vec::new();
+        keyed.extend_from_slice(tag.as_bytes());
+        keyed.push(0);
+        keyed.extend_from_slice(b"skew");
+        keyed.push(0);
+        keyed.extend_from_slice(b"0");
+        keyed.push(0);
+        keyed.extend_from_slice(&bytes);
+        fnv1a_64(&keyed)
+    };
+    let old_hash = hash_with(&old_tag);
+    let new_hash = hash_with(&new_tag);
+    assert_ne!(old_hash, new_hash, "epoch bump did not re-key the cache");
+
+    let cfg = test_config("epoch");
+    // Plant a poisoned entry exactly where the canon1-era daemon would
+    // have stored this query's result.
+    std::fs::create_dir_all(&cfg.cache_dir).unwrap();
+    std::fs::write(
+        cfg.cache_dir.join(format!("{old_hash:016x}.hexres")),
+        b"stale canon1-era bytes",
+    )
+    .unwrap();
+
+    let handle = serve(cfg.clone()).expect("start hexd");
+    let mut client = Client::connect(&handle.addr()).expect("connect");
+    let reply = client.query(QueryKind::Skew, 0, &spec).expect("query");
+    assert!(!reply.cached, "stale-epoch entry must cold-recompute");
+    assert_eq!(reply.query_hash, new_hash, "hash replication drifted");
+    drop(client);
+    let stats = handle.shutdown();
+    assert_eq!(stats.computations, 1);
+    assert_eq!(stats.cache_hits, 0, "the canon1 entry must never hit");
     cleanup(&cfg);
 }
 

@@ -1,0 +1,47 @@
+//! Intra-run tile-shard scaling: one simulation run split across column
+//! tiles (`SimConfig::shards`), measured on grids far beyond the paper's
+//! 50×20 — the regime the sharded engine exists for. The committed
+//! `BENCH_shard_scaling.json` snapshot records these rows together with
+//! the host's core count: shard speedup is bounded by physical
+//! parallelism (`shards=1` is the serial engine; on a single-core host
+//! every extra shard is pure coordination overhead, which is exactly
+//! what the snapshot then documents).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hex_bench::zero_schedule;
+use hex_core::HexGrid;
+use hex_sim::{simulate_into, SimConfig, SimScratch};
+
+/// Fault-free single pulse on a 400×160 grid (64 000 nodes, 16× the
+/// serial ceiling the roadmap called out) at 1/2/4/8 tiles, plus the
+/// paper-scale 100×40 for cross-reference against the `des_engine` rows.
+fn bench_shard_scaling(c: &mut Criterion) {
+    let mut g = c.benchmark_group("shard_scaling");
+    g.sample_size(10);
+    for (l, w) in [(100u32, 40u32), (400, 160)] {
+        let grid = HexGrid::new(l, w);
+        let sched = zero_schedule(w);
+        for shards in [1usize, 2, 4, 8] {
+            let cfg = SimConfig {
+                shards,
+                ..SimConfig::fault_free()
+            };
+            g.bench_with_input(
+                BenchmarkId::new(format!("single_pulse_shards_{shards}"), format!("{l}x{w}")),
+                &grid,
+                |b, grid| {
+                    let mut scratch = SimScratch::new();
+                    let mut seed = 0u64;
+                    b.iter(|| {
+                        seed += 1;
+                        simulate_into(&mut scratch, grid.graph(), &sched, &cfg, seed).total_fires()
+                    })
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_shard_scaling);
+criterion_main!(benches);

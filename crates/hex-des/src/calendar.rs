@@ -77,9 +77,11 @@ pub struct CalendarQueue<E> {
     width: i64,
     /// Ring index owning the current window.
     cur: usize,
-    /// Exclusive upper bound of the current window, in ps. Valid only
-    /// once `started`.
-    window_end: i64,
+    /// Exclusive upper bound of the current window, in *biased* ps space
+    /// (see [`CalendarQueue::biased`]), widened to `u128` so the
+    /// `(tick + 1) × width` bound and the lap walk stay exact for
+    /// instants all the way out to `i64::MAX`. Valid only once `started`.
+    window_end: u128,
     /// Whether the window has been anchored by a push since the last
     /// clear.
     started: bool,
@@ -170,20 +172,35 @@ impl<E> CalendarQueue<E> {
         }
     }
 
+    /// Map an instant onto the unsigned tick line: an order-preserving
+    /// bias (`t ^ i64::MIN`) that puts `i64::MIN` at 0 and `i64::MAX` at
+    /// `u64::MAX`. All bucket/window index math runs in this space so
+    /// negative instants (pre-time-zero scheduling in adversarial
+    /// constructions) and instants near `i64::MAX` both index exactly —
+    /// the signed `div_euclid`/`rem_euclid` formulation wrapped once the
+    /// `(tick + 1) × width` window bound left the `i64` range.
+    #[inline]
+    fn biased(t: i64) -> u64 {
+        (t as u64) ^ (1u64 << 63)
+    }
+
+    /// The tick (bucket-width quotient) of instant `t`, in biased space.
+    #[inline]
+    fn tick_of(&self, t: i64) -> u64 {
+        Self::biased(t) / self.width as u64
+    }
+
     /// The ring index of the bucket owning instant `t`.
     #[inline]
     fn bucket_of(&self, t: i64) -> usize {
-        // div_euclid keeps negative instants (pre-time-zero scheduling in
-        // adversarial constructions) on the same ring.
-        t.div_euclid(self.width)
-            .rem_euclid(self.buckets.len() as i64) as usize
+        (self.tick_of(t) % self.buckets.len() as u64) as usize
     }
 
     /// Anchor the window so it covers instant `t`.
     #[inline]
     fn anchor(&mut self, t: i64) {
         self.cur = self.bucket_of(t);
-        self.window_end = (t.div_euclid(self.width) + 1) * self.width;
+        self.window_end = (self.tick_of(t) as u128 + 1) * self.width as u128;
     }
 
     /// Schedule `payload` at absolute time `at`.
@@ -203,7 +220,7 @@ impl<E> CalendarQueue<E> {
         if !self.started {
             self.started = true;
             self.anchor(t);
-        } else if t < self.window_end - self.width {
+        } else if (Self::biased(t) as u128) < self.window_end - self.width as u128 {
             // Before the first pop the window only tracks the earliest
             // push; rewind it. (After a pop, `at >= now >= window start`,
             // so this branch is unreachable.)
@@ -232,7 +249,7 @@ impl<E> CalendarQueue<E> {
                 return Some(self.take(self.cur, ix));
             }
             self.cur = (self.cur + 1) % nb;
-            self.window_end += self.width;
+            self.window_end += self.width as u128;
         }
         // Sparse far-future tail: jump the window straight to the global
         // minimum instead of spinning through empty windows.
@@ -269,7 +286,7 @@ impl<E> CalendarQueue<E> {
                 break;
             }
             self.cur = (self.cur + 1) % nb;
-            self.window_end += self.width;
+            self.window_end += self.width as u128;
         }
         if !found {
             let (_, _, at) = self.global_min();
@@ -277,7 +294,7 @@ impl<E> CalendarQueue<E> {
         }
         let first = self.buckets[self.cur]
             .iter()
-            .filter(|s| s.at.ps() < self.window_end)
+            .filter(|s| (Self::biased(s.at.ps()) as u128) < self.window_end)
             .map(|s| s.at)
             .min()
             .expect("positioned window holds the minimum");
@@ -295,7 +312,7 @@ impl<E> CalendarQueue<E> {
             let bucket = &mut self.buckets[self.cur];
             let mut i = 0;
             while i < bucket.len() {
-                if bucket[i].at.ps() < window_end && bucket[i].at <= limit {
+                if (Self::biased(bucket[i].at.ps()) as u128) < window_end && bucket[i].at <= limit {
                     self.stage.push(bucket.swap_remove(i));
                 } else {
                     i += 1;
@@ -311,11 +328,11 @@ impl<E> CalendarQueue<E> {
             }
             // Stop once the window has passed `limit` (every later
             // window holds strictly later events) or nothing is left.
-            if self.window_end > limit.ps() || drained == self.len {
+            if self.window_end > Self::biased(limit.ps()) as u128 || drained == self.len {
                 break;
             }
             self.cur = (self.cur + 1) % nb;
-            self.window_end += self.width;
+            self.window_end += self.width as u128;
         }
         debug_assert!(drained > 0, "first <= limit guarantees progress");
         debug_assert!(
@@ -339,7 +356,7 @@ impl<E> CalendarQueue<E> {
     fn best_in_window(&self, bucket: usize) -> Option<usize> {
         let mut best: Option<(Time, u64, usize)> = None;
         for (i, s) in self.buckets[bucket].iter().enumerate() {
-            if s.at.ps() < self.window_end {
+            if (Self::biased(s.at.ps()) as u128) < self.window_end {
                 let key = (s.at, s.seq, i);
                 if best.map_or(true, |b| (key.0, key.1) < (b.0, b.1)) {
                     best = Some(key);
@@ -388,6 +405,32 @@ impl<E> CalendarQueue<E> {
             seq: slot.seq,
             payload: slot.payload,
         }
+    }
+
+    /// Time of the earliest pending event without popping it, or `None`
+    /// when empty. Walks the ring exactly like [`pop`](CalendarQueue::pop)
+    /// — at most one lap, then the global-minimum fallback — but mutates
+    /// nothing: the window position, `now` and the counters all stay put.
+    pub fn peek_time(&self) -> Option<Time> {
+        if self.len == 0 {
+            return None;
+        }
+        let nb = self.buckets.len();
+        let mut cur = self.cur;
+        let mut window_end = self.window_end;
+        for _ in 0..nb {
+            let best = self.buckets[cur]
+                .iter()
+                .filter(|s| (Self::biased(s.at.ps()) as u128) < window_end)
+                .map(|s| s.at)
+                .min();
+            if best.is_some() {
+                return best;
+            }
+            cur = (cur + 1) % nb;
+            window_end += self.width as u128;
+        }
+        Some(self.global_min().2)
     }
 
     /// Current simulated time (time of the last popped event).
@@ -558,6 +601,92 @@ mod tests {
             bin.push(b.at + Duration::from_ps(delta), b.payload);
         }
         assert_drains_identically(cal, bin);
+    }
+
+    /// Regression: bucket/window indexing used to run through signed
+    /// `i64` math, where the `(tick + 1) × width` window bound wraps for
+    /// instants near `i64::MAX` (≈ `u64::MAX / 2` on the biased tick
+    /// line) — events silently hashed into wrong buckets and popped out
+    /// of order. The biased-`u64`/`u128` formulation must pop extreme
+    /// timestamps exactly like the reference heap, FIFO ties included.
+    #[test]
+    fn extreme_timestamps_pop_like_the_heap() {
+        let top = i64::MAX;
+        for (width, buckets) in [(1i64, 4usize), (7, 8), (16, 8), (1 << 40, 16)] {
+            let mut cal: CalendarQueue<usize> =
+                CalendarQueue::with_geometry(Duration::from_ps(width), buckets);
+            let mut bin = EventQueue::new();
+            let mut payload = 0usize;
+            let mut push = |cal: &mut CalendarQueue<usize>, bin: &mut EventQueue<usize>, t: i64| {
+                cal.push(Time::from_ps(t), payload);
+                bin.push(Time::from_ps(t), payload);
+                payload += 1;
+            };
+            // A spread straddling the last few ring windows before the
+            // end of time, with FIFO ties on the extremes.
+            for t in [
+                top - 3 * width * buckets as i64,
+                top - width - 1,
+                top - 1,
+                top,
+                top, // FIFO tie at the end of time
+                top - width,
+                top - 1,
+            ] {
+                push(&mut cal, &mut bin, t);
+            }
+            assert_eq!(
+                cal.peek_time(),
+                Some(Time::from_ps(top - 3 * width * buckets as i64))
+            );
+            assert_drains_identically(cal, bin);
+        }
+    }
+
+    /// The same extremes through the batched drain: window walks starting
+    /// near `i64::MAX` must stop exactly at the cap, and the drain must
+    /// replay the scalar pop order.
+    #[test]
+    fn extreme_timestamps_drain_like_scalar_pops() {
+        let top = i64::MAX;
+        let mut cal: CalendarQueue<usize> = CalendarQueue::with_geometry(Duration::from_ps(16), 8);
+        let mut bin: CalendarQueue<usize> = CalendarQueue::with_geometry(Duration::from_ps(16), 8);
+        for (i, t) in [top - 400, top - 40, top - 39, top - 1, top, top]
+            .into_iter()
+            .enumerate()
+        {
+            cal.push(Time::from_ps(t), i);
+            bin.push(Time::from_ps(t), i);
+        }
+        let mut batch = Vec::new();
+        let drained = cal.drain_bucket(Duration::from_ps(500), Time::from_ps(top - 1), &mut batch);
+        assert_eq!(drained, 4, "cap at MAX-1 leaves the two end-of-time ties");
+        for &(at, p) in &batch {
+            let e = bin.pop().expect("scalar twin has the event");
+            assert_eq!((e.at, e.payload), (at, p));
+        }
+        assert_eq!(cal.peek_time(), Some(Time::from_ps(top)));
+        assert_eq!(cal.len(), 2);
+    }
+
+    /// `peek_time` mirrors `pop` (lap walk + far-future fallback) without
+    /// disturbing any observable state.
+    #[test]
+    fn peek_time_matches_pop_without_mutating() {
+        let mut q = small();
+        assert_eq!(q.peek_time(), None);
+        // Within-lap, beyond-lap (global-min fallback) and negative heads.
+        for &t in &[5i64, -300, 9_000_000, 7] {
+            q.push(Time::from_ps(t), t);
+        }
+        while !q.is_empty() {
+            let before = (q.len(), q.now(), q.popped());
+            let peeked = q.peek_time();
+            assert_eq!((q.len(), q.now(), q.popped()), before, "peek mutated state");
+            let e = q.pop().expect("non-empty");
+            assert_eq!(peeked, Some(e.at));
+        }
+        assert_eq!(q.peek_time(), None);
     }
 
     #[test]

@@ -188,7 +188,7 @@ impl Cache {
         self.forget(hash);
         self.total += bytes.len() as u64;
         self.index.insert(hash, (generation, bytes.len() as u64));
-        self.evict()?;
+        self.evict(hash)?;
         Ok(())
     }
 
@@ -215,21 +215,34 @@ impl Cache {
     }
 
     /// Remove oldest entries — ascending (generation, hash), a total
-    /// order over the entry headers — until the ceiling holds. The
-    /// newest entry always survives, even alone above the ceiling —
-    /// evicting what was just stored would make large results uncacheable
-    /// loops.
-    fn evict(&mut self) -> io::Result<()> {
+    /// order over the entry headers — until the ceiling holds. The entry
+    /// at `protect` (the one the enclosing `store` just wrote) is never a
+    /// candidate, even alone above the ceiling: a store must never answer
+    /// a later load with "gone", and evicting what was just stored would
+    /// make large results uncacheable loops. Protecting by hash rather
+    /// than by an `index.len() > 1` count matters under generation ties —
+    /// a sibling daemon that opened the shared directory at the same
+    /// moment resumes the same counter, and the tie-break by ascending
+    /// hash could otherwise land on the entry just stored.
+    fn evict(&mut self, protect: u64) -> io::Result<()> {
         if self.max_bytes == 0 {
+            // 0 = unbounded, not "evict everything": a zero budget with
+            // the `total > max_bytes` loop below would otherwise strip
+            // the cache down to the protected entry on every store.
             return Ok(());
         }
-        while self.total > self.max_bytes && self.index.len() > 1 {
-            let (_, hash, _) = self
+        while self.total > self.max_bytes {
+            let Some((_, hash, _)) = self
                 .index
                 .iter()
+                .filter(|&(&h, _)| h != protect)
                 .map(|(&h, &(g, s))| (g, h, s))
                 .min()
-                .expect("index is non-empty inside the eviction loop");
+            else {
+                // Only the just-stored entry remains; it stays even above
+                // the ceiling.
+                break;
+            };
             match fs::remove_file(self.path_of(hash)) {
                 Ok(()) => {}
                 // Someone else (a sibling daemon) already removed it;
@@ -487,6 +500,79 @@ mod tests {
         assert_eq!(c.load(0x0abc), Lookup::Miss, "lower hash evicted on tie");
         assert!(matches!(c.load(0xbeef), Lookup::Hit(_)), "higher hash kept");
         assert!(matches!(c.load(0xfeed), Lookup::Hit(_)));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn zero_budget_means_unbounded_not_evict_everything() {
+        let dir = scratch("zero-budget");
+        // HEX_CACHE_MAX_MB=0 disables the ceiling. A naive reading of
+        // `total > max_bytes` with max_bytes == 0 would evict every entry
+        // except the protected one on each store.
+        let mut c = Cache::open(&dir, 0).unwrap();
+        let blob = vec![0x77u8; 64 * 1024];
+        for hash in 1..=8u64 {
+            c.store(hash, &blob).unwrap();
+        }
+        assert_eq!(c.entry_count(), 8, "no eviction under an unbounded cache");
+        for hash in 1..=8u64 {
+            assert!(matches!(c.load(hash), Lookup::Hit(_)), "hash {hash}");
+        }
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn generation_tie_never_evicts_the_entry_just_stored() {
+        let dir = scratch("tie-protect");
+        // Two daemons open the shared directory at the same moment and
+        // resume the same generation counter; the sibling's store lands
+        // first, stamping the generation OUR next store will also use —
+        // with a higher hash. Ascending (generation, hash) would pick our
+        // just-stored lower hash as the eviction minimum; the store must
+        // protect it (a store must never answer a later load with
+        // "gone").
+        let payload = vec![0x11u8; 700 * 1024];
+        plant_entry(&dir, 0xffff, 7, &payload);
+        let mut c = Cache::open(&dir, 1).unwrap();
+        assert_eq!(c.next_gen, 8);
+        // Rewind to the sibling's counter value, as a concurrent open of
+        // the directory before the sibling's store would have produced.
+        c.next_gen = 7;
+        c.store(0x0001, &vec![0x22u8; 700 * 1024]).unwrap();
+        assert!(
+            matches!(c.load(0x0001), Lookup::Hit(_)),
+            "just-stored entry survived the tie"
+        );
+        assert_eq!(c.load(0xffff), Lookup::Miss, "the sibling's entry went");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn oversized_entry_sweep_resumes_generations_on_reopen() {
+        let dir = scratch("oversized-resume");
+        let mut c = Cache::open(&dir, 1).unwrap();
+        let small = vec![0x44u8; 100 * 1024];
+        c.store(1, &small).unwrap();
+        c.store(2, &small).unwrap();
+        // A single entry larger than the whole budget sweeps everything
+        // else out but must itself survive its own store.
+        let huge = vec![0x55u8; 3 * 1024 * 1024];
+        c.store(3, &huge).unwrap();
+        assert_eq!(c.entry_count(), 1, "sweep left only the oversized entry");
+        assert_eq!(c.load(1), Lookup::Miss);
+        assert_eq!(c.load(2), Lookup::Miss);
+        assert!(matches!(c.load(3), Lookup::Hit(_)));
+        let gen_before = c.next_gen;
+        drop(c);
+        // The sweep deleted the entries carrying generations 1 and 2; the
+        // counter must resume from the survivor, not restart below it.
+        let mut c2 = Cache::open(&dir, 1).unwrap();
+        assert_eq!(c2.next_gen, gen_before, "counter resumed past the sweep");
+        // And the resumed cache keeps ordering: the next store makes the
+        // oversized entry the oldest, so it goes first once over budget.
+        c2.store(4, &small).unwrap();
+        assert_eq!(c2.load(3), Lookup::Miss, "oversized entry now oldest");
+        assert!(matches!(c2.load(4), Lookup::Hit(_)));
         fs::remove_dir_all(&dir).unwrap();
     }
 

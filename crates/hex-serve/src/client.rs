@@ -27,6 +27,22 @@ use crate::protocol::{
 /// behaviour a pure function of the retry budget.
 const BACKOFF_BASE_MS: u64 = 25;
 
+/// Ceiling of the backoff schedule. Doubling stops here (attempt ≥ 8), so
+/// arbitrarily large `HEX_SERVE_RETRIES` budgets poll at a steady cadence
+/// instead of overflowing the shift (`25 << 58` wraps `u64`) or sleeping
+/// for geological time.
+const BACKOFF_MAX_MS: u64 = 5_000;
+
+/// The deterministic `busy`-backoff schedule: `25 ms << attempt`, clamped
+/// at [`BACKOFF_MAX_MS`]. Total over any budget is bounded by
+/// `attempts × 5 s`; the schedule stays a pure function of the attempt
+/// index for any `u32` attempt.
+fn backoff_ms(attempt: u32) -> u64 {
+    // 25 << 8 = 6400 > BACKOFF_MAX_MS, so clamping the exponent at 8
+    // keeps the shift far from the u64 edge and the min() does the rest.
+    (BACKOFF_BASE_MS << attempt.min(8)).min(BACKOFF_MAX_MS)
+}
+
 /// The HEX_SERVE_RETRIES knob, defaulting to 4 retries (so up to five
 /// attempts per query). 0 = fail fast on the first `busy`.
 fn retries_from_knobs() -> u32 {
@@ -146,10 +162,10 @@ impl Client {
                             ),
                         ));
                     }
-                    // Deterministic schedule: 25 ms doubling per attempt,
-                    // no jitter — reproducibility beats thundering-herd
-                    // polish at this scale.
-                    thread::sleep(Duration::from_millis(BACKOFF_BASE_MS << attempt));
+                    // Deterministic schedule: 25 ms doubling per attempt
+                    // up to a 5 s ceiling, no jitter — reproducibility
+                    // beats thundering-herd polish at this scale.
+                    thread::sleep(Duration::from_millis(backoff_ms(attempt)));
                     attempt += 1;
                 }
                 Response::Err { code, message } => {
@@ -176,4 +192,48 @@ fn unexpected(resp: &Response) -> io::Error {
         Response::Err { code, message } => format!("hexd error [{}]: {message}", code.token()),
         other => format!("unexpected response {other:?}"),
     })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Regression: `25 << attempt` overflowed `u64` once the retry budget
+    /// crossed ~58 attempts (debug panic, or a wrapped — possibly zero —
+    /// sleep in release). The schedule must stay finite and capped for
+    /// any attempt index a `u32` budget can produce.
+    #[test]
+    fn backoff_never_overflows_at_large_retry_budgets() {
+        // The documented uncapped prefix: 25, 50, 100, ... ms.
+        for attempt in 0..8 {
+            assert_eq!(backoff_ms(attempt), BACKOFF_BASE_MS << attempt);
+        }
+        // From the cap on, every step — including the exact indices that
+        // used to wrap the shift (58+) and the very last one — holds the
+        // ceiling.
+        for attempt in [8, 9, 57, 58, 63, 64, 1_000, u32::MAX] {
+            assert_eq!(backoff_ms(attempt), BACKOFF_MAX_MS, "attempt {attempt}");
+        }
+    }
+
+    /// The schedule is monotone non-decreasing: a later attempt never
+    /// sleeps less than an earlier one (the property the busy-poll loop
+    /// actually relies on).
+    #[test]
+    fn backoff_is_monotone() {
+        let mut prev = 0;
+        for attempt in 0..70 {
+            let ms = backoff_ms(attempt);
+            assert!(ms >= prev, "attempt {attempt}: {ms} < {prev}");
+            prev = ms;
+        }
+    }
+
+    /// A worst-case budget's total sleep stays bounded: even a 100-retry
+    /// budget waits minutes, not centuries.
+    #[test]
+    fn total_backoff_is_bounded_by_the_cap() {
+        let total: u64 = (0..100).map(backoff_ms).sum();
+        assert!(total <= 100 * BACKOFF_MAX_MS);
+    }
 }

@@ -73,6 +73,14 @@ impl ServeConfig {
     /// Defaults, overlaid with the `HEX_SERVE_*`/`HEX_CACHE_*` knobs
     /// (all reads go through [`hex_sim::knobs`] — the `env-knob` lint
     /// holds for this crate with no suppressions).
+    ///
+    /// Engine execution knobs are inherited from the daemon's own
+    /// environment rather than from clients: decoding a query spec goes
+    /// through `RunSpec::grid`, so `HEX_QUEUE`/`HEX_BATCH`/`HEX_SHARDS`
+    /// apply as they would to any local run. All three are excluded from
+    /// the canonical cache key — outputs are pinned identical across
+    /// them, so a cache entry computed sharded replays byte-identically
+    /// to one computed serially.
     pub fn from_knobs() -> ServeConfig {
         ServeConfig {
             addr: knobs::raw("HEX_SERVE_ADDR").unwrap_or_else(|| "hexd.sock".to_string()),

@@ -805,6 +805,16 @@ mod tests {
     }
 
     #[test]
+    fn shards_do_not_affect_the_hash() {
+        // Like `threads`, the tile-shard count is a pure execution
+        // strategy: the hexd cache must replay across shard configs.
+        let a = RunSpec::grid(8, 6).shards(1);
+        let b = RunSpec::grid(8, 6).shards(8);
+        assert_eq!(spec_hash(&a), spec_hash(&b));
+        assert_eq!(encode_spec(&a), encode_spec(&b));
+    }
+
+    #[test]
     fn engine_version_names_the_canon_epoch() {
         let v = engine_version();
         assert!(v.contains("canon2"), "{v}");

@@ -1,0 +1,1112 @@
+//! Tile-sharded intra-run parallelism: one simulation run spread across
+//! cores, byte-identical to the serial engine.
+//!
+//! ## Scheme
+//!
+//! The hex grid is partitioned into **column tiles** ([`TileMap`]): each
+//! tile owns a contiguous band of columns, a full event queue of the
+//! run's [`QueuePolicy`](crate::QueuePolicy), and a copy of the SoA node
+//! state. Tiles advance in **lockstep time windows** sized from the
+//! delivery-envelope lower bound ([`SimConfig::min_increment`]) — the
+//! conservative-parallel-DES lookahead: every event the engine schedules
+//! in-loop lands at least `min_increment` after the instant that
+//! scheduled it, so no event processed inside a window
+//! `[T0, T0 + min_increment)` can schedule back into that window, and
+//! each tile may drain its own slice of the window with no peeking at
+//! its neighbours.
+//!
+//! ## Determinism
+//!
+//! Outputs must be byte-identical to the serial engine at any shard
+//! count (the knob is not canonically encoded, so the `hexcanon/2` hash
+//! and the hexd cache never see it). Two mechanisms carry that
+//! contract:
+//!
+//! 1. **Global ranks.** Every scheduled event carries a `grank`,
+//!    assigned at push time by the single coordinator thread in exactly
+//!    the order the serial engine would have pushed. Tile queues
+//!    therefore break time ties FIFO-by-grank, and merging the tiles'
+//!    per-window streams by `(time, grank)` reproduces the serial pop
+//!    order *exactly*, independent of thread interleaving.
+//! 2. **Deferred side effects.** Workers only run the node state
+//!    machines (flag set/expire, sleep/wake, guard checks) and record an
+//!    op log; every RNG draw, observer record and event push is replayed
+//!    by the coordinator in merged `(time, grank)` order against the
+//!    single per-run RNG stream. The draw sequence — and with it every
+//!    delivery time, timeout and trace byte — is the serial engine's.
+//!
+//! At each window barrier the tiles exchange only boundary-crossing
+//! events, through per-tile mailboxes drained in grank (= serial push)
+//! order. Scripted fault transitions are **script instants**: the era of
+//! parallel windows ends, the coordinator gathers tile-owned node state
+//! into the master copy, replays everything scheduled at the transition
+//! instant serially through the shared serial handlers
+//! ([`handle_one`]/[`apply_transition`]), and scatters the updated state
+//! (and hoisted fault masks) back out before the next era.
+
+use std::sync::mpsc::{Receiver, Sender};
+use std::thread;
+
+use hex_core::delay::ResolvedDelays;
+use hex_core::{LinkBehavior, NodeId, PulseGraph, TriggerCause};
+use hex_des::{Duration, EventQueue, FutureEventList, Schedule, SimRng, Time};
+
+use crate::engine::{
+    apply_transition, handle_one, seed_events, Ev, EvSink, RunCtx, RunSetup, SimConfig, Step,
+};
+use crate::observe::RunObserver;
+use crate::soa::SoaNodes;
+use crate::trace::Arrival;
+
+/// The column partition of a [`PulseGraph`] into `tiles` shards.
+///
+/// Columns (the `col` of [`coord`](PulseGraph::coord)) are split into
+/// contiguous, balanced bands; a graph without coordinates (no hex
+/// embedding) falls back to contiguous node-id ranges. Only link
+/// *endpoints* matter for routing — an event is owned by the tile of the
+/// node it targets — so any partition is correct; columns are chosen
+/// because hex links connect adjacent layers at nearby columns, which
+/// keeps the boundary-crossing share small.
+#[derive(Debug, Clone, Default)]
+pub struct TileMap {
+    tile_of: Vec<u32>,
+    tiles: usize,
+    boundary_links: usize,
+}
+
+impl TileMap {
+    /// Partition `graph` into at most `shards` column tiles. The
+    /// effective tile count is clamped to the number of columns (or
+    /// nodes, without coordinates); every tile is non-empty.
+    pub fn columns(graph: &PulseGraph, shards: usize) -> TileMap {
+        let n = graph.node_count();
+        let shards = shards.max(1);
+        let cols = graph
+            .node_ids()
+            .map(|id| graph.coord(id).map(|c| c.col as usize + 1))
+            .collect::<Option<Vec<_>>>()
+            .and_then(|c| c.iter().copied().max());
+        let mut tile_of = vec![0u32; n];
+        let tiles = match cols {
+            Some(cols) => {
+                let tiles = shards.min(cols);
+                for id in graph.node_ids() {
+                    let col = graph.coord(id).expect("checked above").col as usize;
+                    tile_of[id as usize] = (col * tiles / cols) as u32;
+                }
+                tiles
+            }
+            None => {
+                let tiles = shards.min(n.max(1));
+                for (i, t) in tile_of.iter_mut().enumerate() {
+                    *t = (i * tiles / n) as u32;
+                }
+                tiles
+            }
+        };
+        let boundary_links = (0..graph.link_count() as u32)
+            .filter(|&l| {
+                let lk = graph.link(l);
+                tile_of[lk.src as usize] != tile_of[lk.dst as usize]
+            })
+            .count();
+        TileMap {
+            tile_of,
+            tiles,
+            boundary_links,
+        }
+    }
+
+    /// Number of tiles in the partition.
+    pub fn tiles(&self) -> usize {
+        self.tiles
+    }
+
+    /// The tile owning `node`.
+    pub fn tile_of(&self, node: NodeId) -> usize {
+        self.tile_of[node as usize] as usize
+    }
+
+    /// How many links cross a tile boundary — the events that must pass
+    /// through a barrier mailbox instead of staying tile-local.
+    pub fn boundary_links(&self) -> usize {
+        self.boundary_links
+    }
+}
+
+/// A scheduled event in flight between the coordinator and a tile:
+/// `(time, grank, event)`.
+type Push = (Time, u64, Ev);
+
+/// A scripted-fault sentinel, held by the coordinator (never enqueued on
+/// a tile): popping past it ends the current era.
+#[derive(Debug, Clone, Copy)]
+struct Sentinel {
+    at: Time,
+    grank: u64,
+    index: u32,
+}
+
+/// One entry of a script-instant work list, ordered by grank.
+#[derive(Debug, Clone, Copy)]
+enum Item {
+    Ev(Ev),
+    Sentinel(u32),
+}
+
+/// One deferred side effect of a tile-processed event, replayed by the
+/// coordinator in merged `(time, grank)` order.
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    /// An observer record (`obs.on_fire`).
+    Fire { node: NodeId, cause: TriggerCause },
+    /// A provenance record (`cfg.record_arrivals` only).
+    Arrival {
+        node: NodeId,
+        from: NodeId,
+        port: u8,
+    },
+    /// An RNG draw plus the push it times: replays as
+    /// `push(at + rng.duration_in(lo, hi), ev)`. Table delays record
+    /// `lo == hi`, which [`SimRng::duration_in`] returns without
+    /// consuming the stream — exactly like the serial `Table` arm.
+    Draw { ev: Ev, lo: Duration, hi: Duration },
+}
+
+/// One processed event's slice of the op log: ops `[start, end)` happened
+/// while handling the event popped at `(at, grank)`. Events whose
+/// handling had no side effects (inactive target, duplicate flag) record
+/// nothing.
+#[derive(Debug, Clone, Copy)]
+struct EvRec {
+    at: Time,
+    grank: u64,
+    start: u32,
+    end: u32,
+}
+
+/// The per-tile future event list over `(grank, Ev)` payloads — always
+/// the binary heap, *regardless* of [`QueuePolicy`](crate::QueuePolicy).
+/// The policy is a pure
+/// performance knob (every policy pops the identical `(time, seq)` order,
+/// pinned by the determinism walls), so the tile queue kind cannot affect
+/// output; and the lockstep access pattern — drain everything up to a cap,
+/// then peek the next head, once per window — is exactly where a heap wins:
+/// O(1) peek and no bucket walks. The calendar ring, the serial winner,
+/// re-scans its current bucket on every capped drain and walks empty
+/// buckets on every peek, which measured 3–13× worse here across tile
+/// geometries. The *master* run still honors `HEX_QUEUE` whenever
+/// `shards == 1`.
+type TileQueue = EventQueue<(u64, Ev)>;
+
+/// One tile: its event queue, its copy of the node state (full-size, so
+/// events address nodes by global id; only owned nodes are ever touched
+/// between script instants), and its recycled drain buffer.
+#[derive(Debug)]
+struct Tile {
+    nodes: SoaNodes,
+    queue: TileQueue,
+    batch: Vec<(Time, (u64, Ev))>,
+}
+
+/// Reusable working memory of the sharded engine, embedded in
+/// [`SimScratch`](crate::SimScratch): the tile map, the tiles, the
+/// barrier mailboxes and the coordinator's merge/instant scratch.
+/// Recycled across runs like every other scratch arena; empty (and
+/// allocation-free) until the first `cfg.shards > 1` run.
+#[derive(Debug, Default)]
+pub(crate) struct ShardScratch {
+    map: TileMap,
+    tiles: Vec<Tile>,
+    /// Per-tile mailbox: events routed to the tile, delivered into its
+    /// queue at the next barrier, in grank order.
+    pending: Vec<Vec<Push>>,
+    /// Recycled per-tile op-log buffers (ping-ponged with the workers).
+    spare_evs: Vec<Vec<EvRec>>,
+    spare_ops: Vec<Vec<Op>>,
+    sentinels: Vec<Sentinel>,
+    /// Script-instant work list, sorted by grank.
+    items: Vec<(u64, Item)>,
+    /// K-way merge cursors.
+    merge_idx: Vec<usize>,
+}
+
+impl ShardScratch {
+    pub(crate) fn new() -> Self {
+        ShardScratch::default()
+    }
+
+    /// Size everything for `graph` under `cfg`, recycling tiles whose
+    /// shape (and queue geometry) carries over.
+    fn prepare(&mut self, graph: &PulseGraph, cfg: &SimConfig) {
+        self.map = TileMap::columns(graph, cfg.shards);
+        let tiles = self.map.tiles();
+        let mut owned = vec![0usize; tiles];
+        for id in graph.node_ids() {
+            owned[self.map.tile_of(id)] += 1;
+        }
+        self.tiles.truncate(tiles);
+        while self.tiles.len() < tiles {
+            self.tiles.push(Tile {
+                nodes: SoaNodes::new(),
+                queue: EventQueue::new(),
+                batch: Vec::new(),
+            });
+        }
+        for (tile, &n) in self.tiles.iter_mut().zip(owned.iter()) {
+            // The node copy is refreshed from the seeded master below;
+            // only the shape needs to be right here.
+            if !tile.nodes.matches(graph) {
+                tile.nodes.rebuild(graph);
+            }
+            tile.queue.clear();
+            tile.queue.reserve(n);
+        }
+        self.pending.resize_with(tiles, Vec::new);
+        self.spare_evs.resize_with(tiles, Vec::new);
+        self.spare_ops.resize_with(tiles, Vec::new);
+        for buf in &mut self.pending {
+            buf.clear();
+        }
+        self.sentinels.clear();
+        self.items.clear();
+    }
+}
+
+/// The tile an event is owned by: the tile of the node whose state it
+/// touches (a delivery belongs to its *receiver*).
+fn target_tile(map: &TileMap, graph: &PulseGraph, ev: Ev) -> usize {
+    match ev {
+        Ev::SourceFire { node } | Ev::LinkTimeout { node, .. } | Ev::Wake { node, .. } => {
+            map.tile_of(node)
+        }
+        Ev::Deliver { link } => map.tile_of(graph.link(link).dst),
+        Ev::Script { .. } => unreachable!("sentinels are intercepted before routing"),
+    }
+}
+
+/// The seeding sink: assigns granks in push order (so tile-queue FIFO
+/// sequence numbers agree with the serial queue's), intercepts script
+/// sentinels into the coordinator's list, and routes everything else to
+/// the owning tile's mailbox.
+struct SeedRouter<'a> {
+    graph: &'a PulseGraph,
+    map: &'a TileMap,
+    pending: &'a mut [Vec<Push>],
+    sentinels: &'a mut Vec<Sentinel>,
+    counter: &'a mut u64,
+}
+
+impl EvSink for SeedRouter<'_> {
+    fn push(&mut self, t: Time, ev: Ev) {
+        let grank = *self.counter;
+        *self.counter += 1;
+        if let Ev::Script { index } = ev {
+            self.sentinels.push(Sentinel {
+                at: t,
+                grank,
+                index,
+            });
+        } else {
+            self.pending[target_tile(self.map, self.graph, ev)].push((t, grank, ev));
+        }
+    }
+}
+
+/// The script-instant sink: pushes at the instant itself are appended to
+/// the in-flight work list (their fresh granks exceed every queued
+/// item's, so the list stays grank-sorted), later ones go straight into
+/// the owning tile's queue.
+struct InstantSink<'a> {
+    now: Time,
+    graph: &'a PulseGraph,
+    map: &'a TileMap,
+    tiles: &'a mut [Tile],
+    items: &'a mut Vec<(u64, Item)>,
+    counter: &'a mut u64,
+}
+
+impl EvSink for InstantSink<'_> {
+    fn push(&mut self, t: Time, ev: Ev) {
+        let grank = *self.counter;
+        *self.counter += 1;
+        if t == self.now {
+            self.items.push((grank, Item::Ev(ev)));
+        } else {
+            self.tiles[target_tile(self.map, self.graph, ev)]
+                .queue
+                .push(t, (grank, ev));
+        }
+    }
+}
+
+/// Everything a tile worker reads, shared immutably for one era (fault
+/// masks and behaviours only change at script instants, which sit
+/// between eras).
+struct TileEnv<'a> {
+    graph: &'a PulseGraph,
+    cfg: &'a SimConfig,
+    behaviors: &'a [LinkBehavior],
+    delays: &'a ResolvedDelays,
+    active: &'a [bool],
+    faulty: &'a [bool],
+    all_links_correct: bool,
+}
+
+/// One lockstep window's input to a tile worker. The buffers ping-pong:
+/// the worker fills `evs`/`ops` and returns them (plus the emptied
+/// mailbox) in its [`WindowOut`].
+struct WindowIn {
+    cap: Time,
+    pushes: Vec<Push>,
+    evs: Vec<EvRec>,
+    ops: Vec<Op>,
+}
+
+/// One window's result from a tile worker.
+struct WindowOut {
+    head: Option<Time>,
+    stale: u64,
+    popped: u64,
+    pushes: Vec<Push>,
+    evs: Vec<EvRec>,
+    ops: Vec<Op>,
+}
+
+/// Per-link delay bounds for a deferred draw: per-message envelopes
+/// replay as a real draw, resolved tables as the degenerate `lo == hi`
+/// interval (no stream consumption — the serial `Table` arm's exact
+/// behaviour).
+fn delay_bounds(delays: &ResolvedDelays, link: u32) -> (Duration, Duration) {
+    match delays {
+        ResolvedDelays::PerMessage(r) => (r.lo, r.hi),
+        ResolvedDelays::Table(t) => {
+            let d = t[link as usize];
+            (d, d)
+        }
+    }
+}
+
+/// Deferred mirror of the serial `broadcast`: one draw per correct
+/// outgoing link, in link order.
+fn defer_broadcast(node: NodeId, env: &TileEnv<'_>, ops: &mut Vec<Op>) {
+    for &l in env.graph.out_links(node) {
+        if env.all_links_correct || env.behaviors[l as usize] == LinkBehavior::Correct {
+            let (lo, hi) = delay_bounds(env.delays, l);
+            ops.push(Op::Draw {
+                ev: Ev::Deliver { link: l },
+                lo,
+                hi,
+            });
+        }
+    }
+}
+
+/// Deferred mirror of the serial `maybe_fire`: run the firing state
+/// machine now, defer the observer record and both draw families.
+fn defer_maybe_fire(node: NodeId, env: &TileEnv<'_>, nodes: &mut SoaNodes, ops: &mut Vec<Op>) {
+    if nodes.is_sleeping(node) {
+        return;
+    }
+    let Some(ix) = nodes.satisfied_guard(node, env.graph.guard(node)) else {
+        return;
+    };
+    ops.push(Op::Fire {
+        node,
+        cause: TriggerCause::from_guard_index(ix),
+    });
+    let sleep_epoch = nodes.fire(node);
+    ops.push(Op::Draw {
+        ev: Ev::Wake {
+            node,
+            epoch: sleep_epoch,
+        },
+        lo: env.cfg.timing.sleep.lo,
+        hi: env.cfg.timing.sleep.hi,
+    });
+    defer_broadcast(node, env, ops);
+}
+
+/// Deferred mirror of the serial `refresh_stuck_one`.
+fn defer_refresh_stuck_one(
+    node: NodeId,
+    port: u8,
+    env: &TileEnv<'_>,
+    nodes: &mut SoaNodes,
+    ops: &mut Vec<Op>,
+) {
+    if env.all_links_correct {
+        return;
+    }
+    let l = env.graph.in_links(node)[port as usize];
+    if env.behaviors[l as usize] != LinkBehavior::StuckOne {
+        return;
+    }
+    if let Some(epoch) = nodes.set_flag(node, port) {
+        ops.push(Op::Draw {
+            ev: Ev::LinkTimeout { node, port, epoch },
+            lo: env.cfg.timing.link.lo,
+            hi: env.cfg.timing.link.hi,
+        });
+    }
+}
+
+/// Process one popped event against the tile's node state, recording the
+/// deferred side effects. Mirrors the serial `handle_one` arm bodies
+/// (with the dynamic currently-faulty guard always on — harmless in
+/// unscripted runs, where an inactive node never owns a timer). Returns
+/// 1 for a stale epoch-rejected pop.
+fn process_one(
+    now: Time,
+    grank: u64,
+    ev: Ev,
+    nodes: &mut SoaNodes,
+    env: &TileEnv<'_>,
+    evs: &mut Vec<EvRec>,
+    ops: &mut Vec<Op>,
+) -> u64 {
+    let _ = now;
+    let start = ops.len() as u32;
+    let mut stale = 0u64;
+    match ev {
+        Ev::SourceFire { node } => {
+            if !env.faulty[node as usize] {
+                ops.push(Op::Fire {
+                    node,
+                    cause: TriggerCause::Source,
+                });
+                defer_broadcast(node, env, ops);
+            }
+        }
+        Ev::Deliver { link } => {
+            let l = env.graph.link(link);
+            let n = l.dst;
+            if env.active[n as usize] {
+                if let Some(epoch) = nodes.set_flag(n, l.dst_port) {
+                    if env.cfg.record_arrivals {
+                        ops.push(Op::Arrival {
+                            node: n,
+                            from: l.src,
+                            port: l.dst_port,
+                        });
+                    }
+                    ops.push(Op::Draw {
+                        ev: Ev::LinkTimeout {
+                            node: n,
+                            port: l.dst_port,
+                            epoch,
+                        },
+                        lo: env.cfg.timing.link.lo,
+                        hi: env.cfg.timing.link.hi,
+                    });
+                    defer_maybe_fire(n, env, nodes, ops);
+                }
+            }
+        }
+        Ev::LinkTimeout { node, port, epoch } => {
+            debug_assert!(
+                epoch <= nodes.flag_epoch(node, port),
+                "LinkTimeout from the future: node {node} port {port} \
+                 carries epoch {epoch} > current {}",
+                nodes.flag_epoch(node, port)
+            );
+            if !env.active[node as usize] {
+                stale = 1;
+            } else if nodes.expire_flag(node, port, epoch) {
+                defer_refresh_stuck_one(node, port, env, nodes, ops);
+                defer_maybe_fire(node, env, nodes, ops);
+            } else {
+                stale = 1;
+            }
+        }
+        Ev::Wake { node, epoch } => {
+            debug_assert!(
+                epoch <= nodes.sleep_epoch(node),
+                "Wake from the future: node {node} carries epoch {epoch} > current {}",
+                nodes.sleep_epoch(node)
+            );
+            if !env.active[node as usize] {
+                stale = 1;
+            } else if nodes.wake(node, epoch) {
+                for port in 0..env.graph.port_count(node) as u8 {
+                    defer_refresh_stuck_one(node, port, env, nodes, ops);
+                }
+                defer_maybe_fire(node, env, nodes, ops);
+            } else {
+                stale = 1;
+            }
+        }
+        Ev::Script { .. } => unreachable!("script sentinels never enter tile queues"),
+    }
+    let end = ops.len() as u32;
+    if end > start {
+        evs.push(EvRec {
+            at: now,
+            grank,
+            start,
+            end,
+        });
+    }
+    stale
+}
+
+/// One tile's share of one lockstep window: absorb the mailbox, drain
+/// the queue up to the cap, run the state machines, return the op log
+/// and the new queue head. Called from a worker thread per tile, or
+/// inline on the coordinator when the host has no parallelism to offer —
+/// identical either way.
+fn process_tile_window(tile: &mut Tile, env: &TileEnv<'_>, win: WindowIn) -> WindowOut {
+    let span = env.cfg.min_increment();
+    let WindowIn {
+        cap,
+        mut pushes,
+        mut evs,
+        mut ops,
+    } = win;
+    for &(t, grank, ev) in &pushes {
+        tile.queue.push(t, (grank, ev));
+    }
+    pushes.clear();
+    evs.clear();
+    ops.clear();
+    let mut stale = 0u64;
+    let mut popped = 0u64;
+    // Everything in the window fits one span-bounded batch (the cap
+    // sits within the lookahead of the window's first event); the
+    // loop guards the degenerate zero-lookahead configuration.
+    while tile.queue.pop_batch(span, cap, &mut tile.batch) > 0 {
+        popped += tile.batch.len() as u64;
+        for i in 0..tile.batch.len() {
+            let (now, (grank, ev)) = tile.batch[i];
+            stale += process_one(now, grank, ev, &mut tile.nodes, env, &mut evs, &mut ops);
+        }
+    }
+    let head = tile.queue.peek_time();
+    WindowOut {
+        head,
+        stale,
+        popped,
+        pushes,
+        evs,
+        ops,
+    }
+}
+
+/// A tile worker's era loop: one [`process_tile_window`] per received
+/// window. Exits when the coordinator hangs up.
+fn tile_worker(tile: &mut Tile, env: &TileEnv<'_>, rx: Receiver<WindowIn>, tx: Sender<WindowOut>) {
+    while let Ok(win) = rx.recv() {
+        if tx.send(process_tile_window(tile, env, win)).is_err() {
+            return;
+        }
+    }
+}
+
+/// Route one replayed push to its owning tile's mailbox, assigning the
+/// next grank.
+fn route_push(
+    t: Time,
+    ev: Ev,
+    map: &TileMap,
+    graph: &PulseGraph,
+    pending: &mut [Vec<Push>],
+    counter: &mut u64,
+) {
+    let grank = *counter;
+    *counter += 1;
+    pending[target_tile(map, graph, ev)].push((t, grank, ev));
+}
+
+/// Merge the tiles' window op logs by `(time, grank)` — the serial pop
+/// order — and replay them against the real RNG, observer and arrival
+/// log. Draw replays route their pushes into the mailboxes with fresh
+/// granks (again: serial push order).
+#[allow(clippy::too_many_arguments)]
+fn merge_replay<O: RunObserver>(
+    outs: &[WindowOut],
+    map: &TileMap,
+    graph: &PulseGraph,
+    pending: &mut [Vec<Push>],
+    counter: &mut u64,
+    rng: &mut SimRng,
+    obs: &mut O,
+    arrivals: &mut [Vec<Arrival>],
+    idx: &mut Vec<usize>,
+) {
+    idx.clear();
+    idx.resize(outs.len(), 0);
+    loop {
+        // Linear min-scan over the tile cursors (k is the shard count;
+        // a heap would not pay for itself and keys are unique anyway).
+        let mut best: Option<(Time, u64, usize)> = None;
+        for (t, out) in outs.iter().enumerate() {
+            if let Some(rec) = out.evs.get(idx[t]) {
+                if best.map_or(true, |(bt, bg, _)| (rec.at, rec.grank) < (bt, bg)) {
+                    best = Some((rec.at, rec.grank, t));
+                }
+            }
+        }
+        let Some((_, _, t)) = best else {
+            break;
+        };
+        let rec = outs[t].evs[idx[t]];
+        idx[t] += 1;
+        for op in &outs[t].ops[rec.start as usize..rec.end as usize] {
+            match *op {
+                Op::Fire { node, cause } => obs.on_fire(node, rec.at, cause),
+                Op::Arrival { node, from, port } => {
+                    arrivals[node as usize].push(Arrival {
+                        at: rec.at,
+                        from,
+                        port,
+                    });
+                }
+                Op::Draw { ev, lo, hi } => {
+                    let d = rng.duration_in(lo, hi);
+                    route_push(rec.at + d, ev, map, graph, pending, counter);
+                }
+            }
+        }
+    }
+}
+
+/// The cap of a lockstep window starting at `t0`: one picosecond short
+/// of the lookahead (`t0 + span - 1`), clamped to the era limit; a
+/// degenerate zero lookahead still advances one instant at a time.
+fn window_cap(t0: Time, span: Duration, limit: Time) -> Time {
+    let end = Time::from_ps(t0.ps().saturating_add(span.ps()).saturating_sub(1));
+    end.max(t0).min(limit)
+}
+
+/// Deliver every mailbox into its tile's queue (between eras, when the
+/// coordinator owns the tiles).
+fn deliver_pending(shard: &mut ShardScratch) {
+    for (tile, buf) in shard.tiles.iter_mut().zip(shard.pending.iter_mut()) {
+        for &(t, grank, ev) in buf.iter() {
+            tile.queue.push(t, (grank, ev));
+        }
+        buf.clear();
+    }
+}
+
+/// Everything the coordinator does at a window barrier: reclaim the
+/// ping-ponged buffers, merge + replay the op logs (which refills the
+/// mailboxes), and compute the next window's start. Shared verbatim by
+/// the threaded and inline era drivers, so dispatch cannot drift.
+#[allow(clippy::too_many_arguments)]
+fn after_window<O: RunObserver>(
+    outs: &mut [WindowOut],
+    map: &TileMap,
+    graph: &PulseGraph,
+    pending: &mut [Vec<Push>],
+    spare_evs: &mut [Vec<EvRec>],
+    spare_ops: &mut [Vec<Op>],
+    merge_idx: &mut Vec<usize>,
+    counter: &mut u64,
+    rng: &mut SimRng,
+    obs: &mut O,
+    arrivals: &mut [Vec<Arrival>],
+    popped: &mut u64,
+    stale: &mut u64,
+) -> Option<Time> {
+    // Hand the emptied mailboxes back before the replay refills them
+    // with the window's deferred pushes.
+    for (i, out) in outs.iter_mut().enumerate() {
+        *popped += out.popped;
+        *stale += out.stale;
+        pending[i] = std::mem::take(&mut out.pushes);
+    }
+    merge_replay(
+        outs, map, graph, pending, counter, rng, obs, arrivals, merge_idx,
+    );
+    let mut next: Option<Time> = None;
+    for (i, out) in outs.iter_mut().enumerate() {
+        if let Some(h) = out.head {
+            next = Some(next.map_or(h, |x| x.min(h)));
+        }
+        let mut evs = std::mem::take(&mut out.evs);
+        evs.clear();
+        spare_evs[i] = evs;
+        let mut ops = std::mem::take(&mut out.ops);
+        ops.clear();
+        spare_ops[i] = ops;
+    }
+    for buf in pending.iter() {
+        for &(t, _, _) in buf {
+            next = Some(next.map_or(t, |x| x.min(t)));
+        }
+    }
+    next
+}
+
+/// Run one era of lockstep windows — from the first pending event up to
+/// `era_limit` (the horizon, or one picosecond short of the next script
+/// instant) — with one worker thread per tile, or inline on this thread
+/// when there is only one tile or the host has a single core (where
+/// per-window channel hand-offs would cost scheduler round-trips and
+/// buy nothing). Both drivers run the same window/merge code, so the
+/// output is byte-identical either way. Returns `(popped, stale)`.
+#[allow(clippy::too_many_arguments)]
+fn run_era<O: RunObserver>(
+    first: Time,
+    era_limit: Time,
+    setup: &mut RunSetup,
+    graph: &PulseGraph,
+    cfg: &SimConfig,
+    shard: &mut ShardScratch,
+    active: &[bool],
+    faulty: &[bool],
+    obs: &mut O,
+    arrivals: &mut [Vec<Arrival>],
+    counter: &mut u64,
+) -> (u64, u64) {
+    let ShardScratch {
+        map,
+        tiles,
+        pending,
+        spare_evs,
+        spare_ops,
+        merge_idx,
+        ..
+    } = shard;
+    let env = TileEnv {
+        graph,
+        cfg,
+        behaviors: &setup.behaviors,
+        delays: &setup.delays,
+        active,
+        faulty,
+        all_links_correct: setup.behaviors.iter().all(|&b| b == LinkBehavior::Correct),
+    };
+    let rng = &mut setup.rng;
+    let span = cfg.min_increment();
+    let tile_count = tiles.len();
+    let cores = thread::available_parallelism().map_or(1, |n| n.get());
+    let mut popped = 0u64;
+    let mut stale = 0u64;
+    let mut outs: Vec<WindowOut> = Vec::with_capacity(tile_count);
+
+    if tile_count == 1 || cores == 1 {
+        let mut t0 = first;
+        loop {
+            let cap = window_cap(t0, span, era_limit);
+            outs.clear();
+            for (i, tile) in tiles.iter_mut().enumerate() {
+                let win = WindowIn {
+                    cap,
+                    pushes: std::mem::take(&mut pending[i]),
+                    evs: std::mem::take(&mut spare_evs[i]),
+                    ops: std::mem::take(&mut spare_ops[i]),
+                };
+                outs.push(process_tile_window(tile, &env, win));
+            }
+            let next = after_window(
+                &mut outs,
+                map,
+                graph,
+                pending,
+                spare_evs,
+                spare_ops,
+                merge_idx,
+                counter,
+                rng,
+                obs,
+                arrivals,
+                &mut popped,
+                &mut stale,
+            );
+            match next {
+                Some(t) if t <= era_limit => t0 = t,
+                _ => break,
+            }
+        }
+        return (popped, stale);
+    }
+
+    thread::scope(|scope| {
+        let env = &env;
+        let mut chans = Vec::with_capacity(tile_count);
+        for tile in tiles.iter_mut() {
+            let (in_tx, in_rx) = std::sync::mpsc::channel::<WindowIn>();
+            let (out_tx, out_rx) = std::sync::mpsc::channel::<WindowOut>();
+            scope.spawn(move || tile_worker(tile, env, in_rx, out_tx));
+            chans.push((in_tx, out_rx));
+        }
+        let mut t0 = first;
+        loop {
+            let cap = window_cap(t0, span, era_limit);
+            for (i, (in_tx, _)) in chans.iter().enumerate() {
+                let win = WindowIn {
+                    cap,
+                    pushes: std::mem::take(&mut pending[i]),
+                    evs: std::mem::take(&mut spare_evs[i]),
+                    ops: std::mem::take(&mut spare_ops[i]),
+                };
+                in_tx.send(win).expect("tile worker alive");
+            }
+            outs.clear();
+            for (_, out_rx) in &chans {
+                outs.push(out_rx.recv().expect("tile worker alive"));
+            }
+            let next = after_window(
+                &mut outs,
+                map,
+                graph,
+                pending,
+                spare_evs,
+                spare_ops,
+                merge_idx,
+                counter,
+                rng,
+                obs,
+                arrivals,
+                &mut popped,
+                &mut stale,
+            );
+            match next {
+                Some(t) if t <= era_limit => t0 = t,
+                _ => break,
+            }
+        }
+        // Dropping the senders hangs the workers up; the scope joins.
+    });
+    (popped, stale)
+}
+
+/// Serially replay a script instant at `s`: gather the tile-owned node
+/// state into the master copy, pop everything scheduled at `s` (plus the
+/// due sentinels) into one grank-ordered list, and run it through the
+/// shared serial handlers — transitions applied exactly where their
+/// sentinel sits in the order, with all randomness from the usual
+/// streams. Returns `(popped, stale, sentinels consumed)`.
+#[allow(clippy::too_many_arguments)]
+fn run_instant<O: RunObserver>(
+    s: Time,
+    next_sent: usize,
+    setup: &mut RunSetup,
+    graph: &PulseGraph,
+    cfg: &SimConfig,
+    shard: &mut ShardScratch,
+    master: &mut SoaNodes,
+    active: &mut [bool],
+    faulty: &mut [bool],
+    obs: &mut O,
+    arrivals: &mut [Vec<Arrival>],
+    counter: &mut u64,
+) -> (u64, u64, usize) {
+    let script = cfg.script.as_ref().expect("instants imply a script");
+    let ShardScratch {
+        map,
+        tiles,
+        sentinels,
+        items,
+        ..
+    } = shard;
+    for n in graph.node_ids() {
+        master.copy_node_from(&tiles[map.tile_of(n)].nodes, n);
+    }
+    items.clear();
+    let mut popped = 0u64;
+    for tile in tiles.iter_mut() {
+        while tile.queue.peek_time() == Some(s) {
+            let (_, (grank, ev)) = tile.queue.pop_next().expect("peeked event pops");
+            items.push((grank, Item::Ev(ev)));
+            popped += 1;
+        }
+    }
+    let mut used = 0usize;
+    while let Some(sen) = sentinels.get(next_sent + used) {
+        if sen.at != s {
+            break;
+        }
+        items.push((sen.grank, Item::Sentinel(sen.index)));
+        used += 1;
+        popped += 1;
+    }
+    items.sort_unstable_by_key(|&(grank, _)| grank);
+    let mut stale = 0u64;
+    let mut i = 0;
+    while i < items.len() {
+        let (_, item) = items[i];
+        i += 1;
+        match item {
+            Item::Ev(ev) => {
+                let ctx = RunCtx {
+                    graph,
+                    cfg,
+                    behaviors: &setup.behaviors,
+                    delays: &setup.delays,
+                    active,
+                    faulty,
+                    all_links_correct: setup.behaviors.iter().all(|&b| b == LinkBehavior::Correct),
+                    horizon: setup.horizon,
+                };
+                let mut sink = InstantSink {
+                    now: s,
+                    graph,
+                    map,
+                    tiles,
+                    items,
+                    counter,
+                };
+                match handle_one::<_, O, true>(
+                    s,
+                    ev,
+                    &ctx,
+                    master,
+                    obs,
+                    arrivals,
+                    &mut sink,
+                    &mut setup.rng,
+                ) {
+                    Step::Done => {}
+                    Step::Stale => stale += 1,
+                    Step::Script(_) => unreachable!("sentinels never enter tile queues"),
+                }
+            }
+            Item::Sentinel(index) => {
+                let mut sink = InstantSink {
+                    now: s,
+                    graph,
+                    map,
+                    tiles,
+                    items,
+                    counter,
+                };
+                apply_transition(
+                    &mut sink,
+                    script.transitions()[index as usize],
+                    graph,
+                    cfg,
+                    master,
+                    active,
+                    faulty,
+                    setup,
+                    obs,
+                );
+            }
+        }
+    }
+    for tile in tiles.iter_mut() {
+        tile.nodes.copy_from(master);
+    }
+    (popped, stale, used)
+}
+
+/// The sharded run driver behind `cfg.shards > 1` — the parallel twin of
+/// the serial drains in [`crate::engine`], byte-identical to them in
+/// every output (trace, observer stream, arrival log, RNG consumption).
+/// Only the `popped` work counter is approximate: the serial loop pops
+/// one beyond-horizon event before breaking, the windowed loop leaves it
+/// queued.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn drive_sharded<O: RunObserver>(
+    setup: &mut RunSetup,
+    graph: &PulseGraph,
+    cfg: &SimConfig,
+    schedule: &Schedule,
+    shard: &mut ShardScratch,
+    master: &mut SoaNodes,
+    active: &mut [bool],
+    faulty: &mut [bool],
+    obs: &mut O,
+    arrivals: &mut [Vec<Arrival>],
+) -> (u64, u64) {
+    shard.prepare(graph, cfg);
+    let horizon = setup.horizon;
+    let mut counter = 0u64;
+    let mut popped = 0u64;
+    let mut stale = 0u64;
+
+    // Seed through the router: same handlers, same pre-loop RNG draw
+    // order as the serial engine, with granks assigned in push order.
+    {
+        let ctx = RunCtx {
+            graph,
+            cfg,
+            behaviors: &setup.behaviors,
+            delays: &setup.delays,
+            active,
+            faulty,
+            all_links_correct: setup.behaviors.iter().all(|&b| b == LinkBehavior::Correct),
+            horizon,
+        };
+        let ShardScratch {
+            map,
+            pending,
+            sentinels,
+            ..
+        } = &mut *shard;
+        let mut router = SeedRouter {
+            graph,
+            map,
+            pending,
+            sentinels,
+            counter: &mut counter,
+        };
+        seed_events(
+            &mut router,
+            &ctx,
+            schedule,
+            &setup.sources,
+            master,
+            obs,
+            &mut setup.rng,
+        );
+    }
+    for tile in &mut shard.tiles {
+        tile.nodes.copy_from(master);
+    }
+
+    let mut next_sent = 0usize;
+    loop {
+        deliver_pending(shard);
+        let head = shard.tiles.iter().filter_map(|t| t.queue.peek_time()).min();
+        let sent_at = shard.sentinels.get(next_sent).map(|sen| sen.at);
+        let event_due = head.is_some_and(|t| t <= horizon);
+        let sent_due = sent_at.is_some_and(|t| t <= horizon);
+        if !event_due && !sent_due {
+            break;
+        }
+        if sent_due && head.map_or(true, |h| sent_at.expect("sent_due") <= h) {
+            let (p, st, used) = run_instant(
+                sent_at.expect("sent_due"),
+                next_sent,
+                setup,
+                graph,
+                cfg,
+                shard,
+                master,
+                active,
+                faulty,
+                obs,
+                arrivals,
+                &mut counter,
+            );
+            popped += p;
+            stale += st;
+            next_sent += used;
+            continue;
+        }
+        let era_limit = match sent_at {
+            Some(s) if s <= horizon => Time::from_ps(s.ps() - 1).min(horizon),
+            _ => horizon,
+        };
+        let (p, st) = run_era(
+            head.expect("event_due"),
+            era_limit,
+            setup,
+            graph,
+            cfg,
+            shard,
+            active,
+            faulty,
+            obs,
+            arrivals,
+            &mut counter,
+        );
+        popped += p;
+        stale += st;
+    }
+    (popped, stale)
+}

@@ -20,6 +20,7 @@ cd "$(dirname "$0")/.."
 out_dir="${1:-.}"
 budget="${HEX_BENCH_BUDGET_MS:-40}"
 runs="${HEX_RUNS:-16}"
+cores="$(nproc 2>/dev/null || echo 1)"
 
 # Parse the shim's report lines:
 #   bench: <label>  <ns> ns/iter (<iters> iters, best of <samples>)...
@@ -29,9 +30,9 @@ snapshot() {
   HEX_BENCH_BUDGET_MS="$budget" HEX_RUNS="$runs" \
     cargo bench -q -p hex-bench --bench "$bench" \
     | tee /dev/stderr \
-    | awk -v bench="$name" -v budget="$budget" -v runs="$runs" '
+    | awk -v bench="$name" -v budget="$budget" -v runs="$runs" -v cores="$cores" '
       BEGIN {
-        printf "{\n  \"bench\": \"%s\",\n  \"budget_ms\": %s,\n  \"hex_runs\": %s,\n  \"results\": [", bench, budget, runs
+        printf "{\n  \"bench\": \"%s\",\n  \"budget_ms\": %s,\n  \"hex_runs\": %s,\n  \"host_cores\": %s,\n  \"results\": [", bench, budget, runs, cores
         n = 0
       }
       /^bench: / {
@@ -47,3 +48,4 @@ snapshot des_engine single_pulse
 snapshot pq pq
 snapshot batch_parallel fold_scratch
 snapshot serve serve
+snapshot shard_scaling shard_scaling

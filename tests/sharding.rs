@@ -1,0 +1,300 @@
+//! Tile-sharding walls: `SimConfig::shards` / `RunSpec::shards` is a
+//! pure performance knob. A run sharded across N column tiles must be
+//! **byte-identical** — VCD serialization, trace structs, streaming
+//! observed folds, canonical spec bytes — to the serial engine, at every
+//! shard count, under every queue policy, through dirty reused scratch,
+//! and across scripted dynamic-fault regimes.
+
+use hexclock::analysis::reduce::ObservedSkewReducer;
+use hexclock::prelude::*;
+use hexclock::sim::shard::TileMap;
+use hexclock::sim::{vcd_document, VcdOptions};
+
+/// The dynamic regime the sharded engine must reproduce exactly: a
+/// Byzantine burst, a crash-rejoin and a link flap overlapping a
+/// multi-pulse train (same shape as the scripted determinism wall).
+fn script_for(grid: &HexGrid) -> FaultScript {
+    let flapped = grid.graph().out_links(grid.node(1, 1))[0];
+    FaultScript::burst(
+        grid.node(3, 2),
+        NodeFault::Byzantine,
+        Time::from_ns(120.0),
+        Time::from_ns(520.0),
+        RejoinState::Arbitrary,
+    )
+    .merged(FaultScript::crash_rejoin(
+        grid.node(6, 5),
+        Time::from_ns(400.0),
+        Time::from_ns(900.0),
+        RejoinState::Clean,
+    ))
+    .merged(FaultScript::link_flap(
+        flapped,
+        LinkBehavior::StuckOne,
+        Time::from_ns(700.0),
+        Time::from_ns(1_100.0),
+    ))
+}
+
+/// The acceptance wall: sharded execution serializes byte-identically to
+/// the serial engine across shard counts {2, 4, 8} × all three queue
+/// policies × three regimes (fault-free, static Byzantine with arbitrary
+/// init and recorded arrivals, scripted dynamic faults).
+#[test]
+fn sharded_runs_serialize_byte_identical_to_serial() {
+    let grid = HexGrid::new(10, 8);
+    let single = Schedule::single_pulse(vec![Time::ZERO; 8]);
+    let mut rng = SimRng::seed_from_u64(31);
+    let multi = PulseTrain::new(Scenario::Zero, 5, Duration::from_ns(300.0)).generate(8, &mut rng);
+
+    let regimes: Vec<(&str, SimConfig, &Schedule)> = vec![
+        (
+            "fault-free",
+            SimConfig {
+                timing: Timing::paper_scenario_iii(),
+                ..SimConfig::fault_free()
+            },
+            &single,
+        ),
+        (
+            "byzantine",
+            SimConfig {
+                faults: FaultPlan::none().with_node(grid.node(4, 2), NodeFault::Byzantine),
+                timing: Timing::paper_scenario_iii(),
+                init: InitState::Arbitrary,
+                record_arrivals: true,
+                ..SimConfig::fault_free()
+            },
+            &multi,
+        ),
+        (
+            "scripted",
+            SimConfig {
+                script: Some(script_for(&grid)),
+                timing: Timing::paper_scenario_iii(),
+                init: InitState::Arbitrary,
+                record_arrivals: true,
+                ..SimConfig::fault_free()
+            },
+            &multi,
+        ),
+    ];
+
+    for (name, base, sched) in &regimes {
+        let serial_cfg = SimConfig {
+            shards: 1,
+            ..base.clone()
+        };
+        let serial = simulate(grid.graph(), sched, &serial_cfg, 606);
+        let doc_serial = vcd_document(&grid, &serial, &VcdOptions::default());
+        assert!(!doc_serial.is_empty());
+        for policy in QueuePolicy::ALL {
+            for shards in [2usize, 4, 8] {
+                let cfg = SimConfig {
+                    queue: policy,
+                    shards,
+                    ..base.clone()
+                };
+                let sharded = simulate(grid.graph(), sched, &cfg, 606);
+                assert_eq!(
+                    serial, sharded,
+                    "{name}/{policy:?}/shards={shards}: trace diverged from serial"
+                );
+                let doc = vcd_document(&grid, &sharded, &VcdOptions::default());
+                assert_eq!(
+                    doc_serial.as_bytes(),
+                    doc.as_bytes(),
+                    "{name}/{policy:?}/shards={shards}: VCD diverged from serial"
+                );
+            }
+        }
+    }
+}
+
+/// Scratch-reuse wall: a sharded run through a **dirty, reused**
+/// `SimScratch` — polluted by a run of a different shape, shard count and
+/// queue policy — must stay byte-identical to the fresh serial reference.
+#[test]
+fn dirty_scratch_sharded_runs_match_fresh_serial() {
+    let grid = HexGrid::new(10, 8);
+    let mut rng = SimRng::seed_from_u64(9);
+    let sched = PulseTrain::new(Scenario::Zero, 3, Duration::from_ns(300.0)).generate(8, &mut rng);
+    let base = SimConfig {
+        script: Some(script_for(&grid)),
+        timing: Timing::paper_scenario_iii(),
+        record_arrivals: true,
+        ..SimConfig::fault_free()
+    };
+    let fresh = simulate(
+        grid.graph(),
+        &sched,
+        &SimConfig {
+            shards: 1,
+            ..base.clone()
+        },
+        77,
+    );
+    let doc_fresh = vcd_document(&grid, &fresh, &VcdOptions::default());
+
+    let mut scratch = SimScratch::new();
+    let decoy_grid = HexGrid::new(5, 6);
+    let decoy_sched = Schedule::single_pulse(vec![Time::ZERO; 6]);
+    // Pollute the shard arena itself: a sharded run of a different shape.
+    simulate_into(
+        &mut scratch,
+        decoy_grid.graph(),
+        &decoy_sched,
+        &SimConfig {
+            shards: 3,
+            queue: QueuePolicy::Calendar,
+            timing: Timing::paper_scenario_iii(),
+            ..SimConfig::fault_free()
+        },
+        999,
+    );
+    for policy in QueuePolicy::ALL {
+        for shards in [1usize, 2, 4, 8] {
+            let cfg = SimConfig {
+                queue: policy,
+                shards,
+                ..base.clone()
+            };
+            let reused = simulate_into(&mut scratch, grid.graph(), &sched, &cfg, 77);
+            assert_eq!(
+                &fresh, reused,
+                "{policy:?}/shards={shards}: dirty-scratch trace diverged"
+            );
+            let doc = vcd_document(&grid, reused, &VcdOptions::default());
+            assert_eq!(
+                doc_fresh.as_bytes(),
+                doc.as_bytes(),
+                "{policy:?}/shards={shards}: dirty-scratch VCD diverged"
+            );
+        }
+    }
+}
+
+/// The streaming extraction path folds per-tile and merges
+/// deterministically: observed statistics from sharded runs equal the
+/// serial ones exactly, for a whole scripted batch.
+#[test]
+fn sharded_observed_fold_matches_serial() {
+    let spec = RunSpec::grid(8, 6)
+        .runs(4)
+        .seed(23)
+        .pulses(3)
+        .threads(2)
+        .faults(FaultRegime::Script(script_for(&HexGrid::new(8, 6))));
+    let grid = spec.hex_grid();
+    let serial = spec
+        .clone()
+        .shards(1)
+        .fold_observed(&ObservedSkewReducer::new(&grid, 1));
+    for shards in [2usize, 4, 8] {
+        let sharded = spec
+            .clone()
+            .shards(shards)
+            .fold_observed(&ObservedSkewReducer::new(&grid, 1));
+        assert_eq!(
+            serial.cumulated.intra, sharded.cumulated.intra,
+            "shards={shards}: cumulated intra samples diverged"
+        );
+        assert_eq!(
+            serial.cumulated.inter, sharded.cumulated.inter,
+            "shards={shards}: cumulated inter samples diverged"
+        );
+        assert_eq!(
+            serial.per_run_intra, sharded.per_run_intra,
+            "shards={shards}: per-run intra summaries diverged"
+        );
+        assert_eq!(
+            serial.per_run_inter, sharded.per_run_inter,
+            "shards={shards}: per-run inter summaries diverged"
+        );
+    }
+}
+
+/// Metamorphic wall under sharding: a script whose only fault window
+/// opens and heals before the wave reaches its victim must stay
+/// invisible at any shard count — scripted output equals the fault-free
+/// baseline, run for run.
+#[test]
+fn sharded_healed_script_matches_fault_free() {
+    let base = RunSpec::grid(10, 6).runs(2).seed(17).pulses(2).shards(4);
+    let grid = base.hex_grid();
+    let victim = grid.node(8, 3);
+    let heal = Time::from_ps(20_000);
+    assert!(
+        heal < Time::ZERO + D_MINUS.times(8),
+        "window not early enough"
+    );
+    let script = FaultScript::crash_rejoin(victim, Time::from_ps(1_000), heal, RejoinState::Clean);
+    let scripted = base.clone().faults(FaultRegime::Script(script));
+    for run in 0..2 {
+        let (plain, _) = base.trace(run);
+        let (with_script, _) = scripted.trace(run);
+        assert_eq!(
+            plain, with_script,
+            "run {run}: healed script visible under sharding"
+        );
+    }
+}
+
+/// The shard knob is deliberately NOT part of the canonical encoding:
+/// specs differing only in shard count hash identically, so the hexd
+/// result cache replays across shard configurations.
+#[test]
+fn shards_do_not_affect_canonical_bytes() {
+    let spec = RunSpec::grid(8, 6).runs(3).seed(5);
+    let one = spec.clone().shards(1);
+    for shards in [2usize, 4, 8] {
+        let n = spec.clone().shards(shards);
+        assert_eq!(one.canonical_bytes(), n.canonical_bytes());
+        assert_eq!(one.canonical_hash(), n.canonical_hash());
+    }
+}
+
+/// Partition sanity: column tiles cover every node exactly once, are
+/// contiguous in column order, clamp to the column count, and cut only a
+/// minority of links on a real hex grid.
+#[test]
+fn tile_map_partitions_columns_contiguously() {
+    let grid = HexGrid::new(12, 8);
+    let graph = grid.graph();
+    for shards in [1usize, 2, 3, 4, 8, 64] {
+        let map = TileMap::columns(graph, shards);
+        assert!(map.tiles() >= 1);
+        assert!(map.tiles() <= shards.min(8), "clamped to the column count");
+        // Tile ids are a monotone function of the column, hitting every
+        // tile (non-empty partition).
+        let mut seen = vec![false; map.tiles()];
+        for id in graph.node_ids() {
+            let col = graph.coord(id).expect("hex nodes have coords").col as usize;
+            let tile = map.tile_of(id);
+            assert!(tile < map.tiles());
+            seen[tile] = true;
+            for other in graph.node_ids() {
+                let ocol = graph.coord(other).expect("hex nodes have coords").col as usize;
+                if ocol == col {
+                    assert_eq!(map.tile_of(other), tile, "same column, same tile");
+                }
+                if ocol > col {
+                    assert!(map.tile_of(other) >= tile, "tiles follow column order");
+                }
+            }
+        }
+        assert!(
+            seen.iter().all(|&s| s),
+            "every tile owns at least one column"
+        );
+        if shards > 1 && map.tiles() > 1 {
+            assert!(map.boundary_links() > 0, "a cut exists");
+            assert!(
+                map.boundary_links() < graph.link_count(),
+                "a column cut must not sever every link"
+            );
+        } else {
+            assert_eq!(map.boundary_links(), 0);
+        }
+    }
+}
